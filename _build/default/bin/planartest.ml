@@ -1,0 +1,222 @@
+(* planartest — command-line front end to the distributed planarity tester
+   and its companion algorithms.
+
+     planartest gen --family grid --n 100 > g.txt
+     planartest test g.txt --eps 0.2
+     planartest partition g.txt --eps 0.3 [--randomized --delta 0.1]
+     planartest spanner g.txt --eps 0.25
+     planartest info g.txt *)
+
+open Cmdliner
+open Graphlib
+
+let read_graph path =
+  match path with "-" -> Gio.of_channel stdin | p -> Gio.load p
+
+let graph_arg =
+  let doc = "Input graph file (edge list; '-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let eps_arg =
+  let doc = "Distance / edge-cut parameter epsilon." in
+  Arg.(value & opt float 0.2 & info [ "eps" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+
+(* --- gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let family =
+    let doc =
+      "Family: grid, torus, cycle, path, tree, apollonian, planar, far, \
+       gnp, complete, kbipartite, petersen, hypercube, k5necklace."
+    in
+    Arg.(value & opt string "grid" & info [ "family" ] ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of vertices.")
+  in
+  let extra =
+    Arg.(
+      value & opt float 0.2
+      & info [ "param" ]
+          ~doc:
+            "Family parameter: eps for 'far', p*n for 'gnp', edge fraction \
+             for 'planar'.")
+  in
+  let run family n param seed =
+    let rng = Random.State.make [| seed |] in
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    let g =
+      match family with
+      | "grid" -> Generators.grid side side
+      | "torus" -> Generators.torus (max 3 side) (max 3 side)
+      | "cycle" -> Generators.cycle n
+      | "path" -> Generators.path n
+      | "tree" -> Generators.random_tree rng n
+      | "apollonian" -> Generators.apollonian rng n
+      | "planar" ->
+          let mmax = (3 * n) - 6 in
+          Generators.random_planar rng ~n
+            ~m:(max (n - 1) (int_of_float (param *. float_of_int mmax)))
+      | "far" -> Generators.far_from_planar rng ~n ~eps:param
+      | "gnp" -> Generators.gnp rng n (param /. float_of_int n)
+      | "complete" -> Generators.complete n
+      | "kbipartite" -> Generators.complete_bipartite (n / 2) (n - (n / 2))
+      | "petersen" -> Generators.petersen ()
+      | "hypercube" ->
+          Generators.hypercube
+            (int_of_float (log (float_of_int n) /. log 2.0))
+      | "k5necklace" -> Generators.k5_necklace (max 1 (n / 5))
+      | f -> failwith ("unknown family: " ^ f)
+    in
+    print_string (Gio.to_string g)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph from a synthetic family")
+    Term.(const run $ family $ n_arg $ extra $ seed_arg)
+
+(* --- test ------------------------------------------------------------ *)
+
+let test_cmd =
+  let run path eps seed =
+    let g = read_graph path in
+    let r = Tester.Planarity_tester.run g ~eps ~seed in
+    (match r.Tester.Planarity_tester.verdict with
+    | Tester.Planarity_tester.Accept -> print_endline "ACCEPT (all nodes)"
+    | Tester.Planarity_tester.Reject l ->
+        Printf.printf "REJECT (%d nodes)\n" (List.length l);
+        List.iteri
+          (fun i (node, reason) ->
+            if i < 5 then Printf.printf "  node %d: %s\n" node reason)
+          l);
+    Printf.printf
+      "rounds (simulated) : %d\nrounds (nominal)   : %d\nmessages           \
+       : %d\ntotal bits         : %d\n"
+      r.Tester.Planarity_tester.rounds r.Tester.Planarity_tester.nominal_rounds
+      r.Tester.Planarity_tester.messages r.Tester.Planarity_tester.total_bits;
+    Printf.printf "ground truth (LR)  : %s\n"
+      (if Planarity.Lr.is_planar g then "planar" else "non-planar")
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Run the distributed planarity tester")
+    Term.(const run $ graph_arg $ eps_arg $ seed_arg)
+
+(* --- partition -------------------------------------------------------- *)
+
+let partition_cmd =
+  let randomized =
+    Arg.(value & flag & info [ "randomized" ] ~doc:"Use the Theorem 4 variant.")
+  in
+  let delta =
+    Arg.(value & opt float 0.1 & info [ "delta" ] ~doc:"Confidence parameter.")
+  in
+  let run path eps seed randomized delta =
+    let g = read_graph path in
+    if randomized then begin
+      let r = Partition.Random_partition.run g ~eps ~delta ~seed in
+      Printf.printf
+        "randomized partition: phases=%d cut=%d (target %.0f) rounds=%d\n"
+        r.Partition.Random_partition.phases r.Partition.Random_partition.cut
+        (eps *. float_of_int (Graph.n g))
+        r.Partition.Random_partition.rounds
+    end
+    else begin
+      let r = Partition.Stage1.run g ~eps in
+      Printf.printf "deterministic partition (Stage I):\n";
+      List.iter
+        (fun (p : Partition.Stage1.phase_trace) ->
+          Printf.printf
+            "  phase %d: cut %d -> %d, parts=%d, max diameter=%d, depth=%d\n"
+            p.Partition.Stage1.phase p.Partition.Stage1.cut_before
+            p.Partition.Stage1.cut_after p.Partition.Stage1.parts
+            p.Partition.Stage1.max_diameter p.Partition.Stage1.max_tree_depth)
+        r.Partition.Stage1.phases;
+      match r.Partition.Stage1.rejected with
+      | [] ->
+          Printf.printf "final cut=%d (target %.0f), rounds=%d, nominal=%d\n"
+            (Partition.State.cut_edges r.Partition.Stage1.state)
+            (eps *. float_of_int (Graph.m g) /. 2.0)
+            r.Partition.Stage1.rounds r.Partition.Stage1.nominal_rounds
+      | (node, reason) :: _ ->
+          Printf.printf "REJECTED during partition: node %d: %s\n" node reason
+    end
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Run the Stage I / Theorem 4 partition")
+    Term.(const run $ graph_arg $ eps_arg $ seed_arg $ randomized $ delta)
+
+(* --- spanner ----------------------------------------------------------- *)
+
+let spanner_cmd =
+  let run path eps seed =
+    let g = read_graph path in
+    let r = Tester.Spanner.build g ~eps ~seed in
+    let stretch = Tester.Spanner.measured_stretch g r.Tester.Spanner.spanner in
+    Printf.printf
+      "spanner: %d edges (input %d, bound (1+eps)n = %.0f)\n\
+       tree edges=%d cut edges=%d\nstretch: measured=%d bound=%d\n"
+      (Graph.m r.Tester.Spanner.spanner)
+      (Graph.m g)
+      ((1.0 +. eps) *. float_of_int (Graph.n g))
+      r.Tester.Spanner.tree_edges r.Tester.Spanner.cut_edges stretch
+      r.Tester.Spanner.stretch_bound
+  in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Build the Corollary 17 spanner")
+    Term.(const run $ graph_arg $ eps_arg $ seed_arg)
+
+(* --- witness ------------------------------------------------------------ *)
+
+let witness_cmd =
+  let run path =
+    let g = read_graph path in
+    match Planarity.Kuratowski.find g with
+    | None -> print_endline "planar: no Kuratowski witness exists"
+    | Some w ->
+        Printf.printf "non-planar: contains a subdivision of %s\n"
+          (match w.Planarity.Kuratowski.kind with
+          | Planarity.Kuratowski.K5 -> "K5"
+          | Planarity.Kuratowski.K33 -> "K3,3");
+        Printf.printf "branch vertices: %s\n"
+          (String.concat " "
+             (List.map string_of_int w.Planarity.Kuratowski.branch_vertices));
+        Printf.printf "subdivision edges (%d):\n"
+          (List.length w.Planarity.Kuratowski.edges);
+        List.iter
+          (fun (u, v) -> Printf.printf "  %d %d\n" u v)
+          w.Planarity.Kuratowski.edges;
+        Printf.printf "witness verifies: %b\n" (Planarity.Kuratowski.verify g w)
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Extract a Kuratowski (K5 / K3,3 subdivision) witness")
+    Term.(const run $ graph_arg)
+
+(* --- info -------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let g = read_graph path in
+    Printf.printf "n=%d m=%d max degree=%d connected=%b\n" (Graph.n g)
+      (Graph.m g) (Graph.max_degree g) (Traversal.is_connected g);
+    Printf.printf "planar (left-right test): %b\n" (Planarity.Lr.is_planar g);
+    Printf.printf "distance to planarity: >= %d (Euler), <= %d (greedy)\n"
+      (Planarity.Distance.euler_lower_bound g)
+      (Planarity.Distance.greedy_upper_bound g);
+    match Girth.girth_upto g 24 with
+    | Some girth -> Printf.printf "girth: %d\n" girth
+    | None -> Printf.printf "girth: > 24 (or acyclic)\n"
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Centralized diagnostics for a graph")
+    Term.(const run $ graph_arg)
+
+let () =
+  let doc = "distributed property testing of planarity (PODC 2018)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "planartest" ~doc)
+          [ gen_cmd; test_cmd; partition_cmd; spanner_cmd; witness_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/farness_demo.ml: Generators Graph Graphlib List Planarity Printf Random Tester

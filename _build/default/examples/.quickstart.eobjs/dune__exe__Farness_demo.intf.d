@@ -1,0 +1,1 @@
+examples/farness_demo.mli:

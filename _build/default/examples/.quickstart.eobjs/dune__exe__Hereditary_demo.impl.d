@@ -1,0 +1,1 @@
+examples/hereditary_demo.ml: Generators Graph Graphlib List Planarity Printf Random Tester

@@ -1,0 +1,1 @@
+examples/hereditary_demo.mli:

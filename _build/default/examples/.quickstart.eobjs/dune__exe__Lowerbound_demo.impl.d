@@ -1,0 +1,1 @@
+examples/lowerbound_demo.ml: Graphlib List Lowerbound Printf Random

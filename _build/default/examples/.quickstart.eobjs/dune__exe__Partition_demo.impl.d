@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Array Generators Graph Graphlib List Partition Planarity Printf Random Traversal

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Generators Graph Graphlib List Planarity Printf Random Tester

@@ -1,0 +1,1 @@
+examples/spanner_demo.ml: Generators Graph Graphlib List Printf Random Tester

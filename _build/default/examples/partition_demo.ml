@@ -1,0 +1,56 @@
+(* The Stage I partition on a planar road-network-like graph: watch the
+   cut shrink geometrically (Claim 1) while part diameters stay small
+   (Claim 4), then compare with the randomized Theorem 4 partition.
+
+     dune exec examples/partition_demo.exe *)
+
+open Graphlib
+
+let () =
+  let rng = Random.State.make [| 2024 |] in
+  (* A "road network": a sparse random planar graph (grid-like sparsity,
+     planar by construction). *)
+  let g = Generators.random_planar rng ~n:600 ~m:1400 in
+  let g =
+    if Traversal.is_connected g then g
+    else begin
+      (* connect components along a path to keep the demo simple *)
+      let comp, c = Traversal.components g in
+      let first = Array.make c (-1) in
+      Array.iteri (fun v ci -> if first.(ci) < 0 then first.(ci) <- v) comp;
+      let extra = ref [] in
+      for ci = 1 to c - 1 do
+        extra := (first.(ci - 1), first.(ci)) :: !extra
+      done;
+      Graph.add_edges g !extra
+    end
+  in
+  Printf.printf "input: n=%d m=%d planar=%b\n\n" (Graph.n g) (Graph.m g)
+    (Planarity.Lr.is_planar g);
+  let eps = 0.3 in
+  let r = Partition.Stage1.run g ~eps in
+  Printf.printf "deterministic Stage I (eps = %.2f, target cut <= %.0f):\n"
+    eps
+    (eps *. float_of_int (Graph.m g) /. 2.0);
+  Printf.printf "  %-6s %-12s %-8s %-10s %-12s\n" "phase" "cut" "parts"
+    "diameter" "4^i bound";
+  List.iter
+    (fun (p : Partition.Stage1.phase_trace) ->
+      Printf.printf "  %-6d %4d -> %-4d %-8d %-10d %-12.0f\n"
+        p.Partition.Stage1.phase p.Partition.Stage1.cut_before
+        p.Partition.Stage1.cut_after p.Partition.Stage1.parts
+        p.Partition.Stage1.max_diameter
+        (4.0 ** float_of_int p.Partition.Stage1.phase))
+    r.Partition.Stage1.phases;
+  Printf.printf "  simulated rounds: %d\n\n" r.Partition.Stage1.rounds;
+  (* The Theorem 4 variant trades certainty for rounds. *)
+  List.iter
+    (fun delta ->
+      let rr = Partition.Random_partition.run g ~eps ~delta ~seed:5 in
+      Printf.printf
+        "randomized (delta = %.2f): cut=%d (target %.0f) phases=%d rounds=%d\n"
+        delta rr.Partition.Random_partition.cut
+        (eps *. float_of_int (Graph.n g))
+        rr.Partition.Random_partition.phases
+        rr.Partition.Random_partition.rounds)
+    [ 0.5; 0.1; 0.01 ]

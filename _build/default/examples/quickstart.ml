@@ -1,0 +1,37 @@
+(* Quickstart: test one planar and one far-from-planar graph with the
+   distributed tester, and cross-check against the centralized left-right
+   planarity test.
+
+     dune exec examples/quickstart.exe *)
+
+open Graphlib
+
+let describe name g eps =
+  let report = Tester.Planarity_tester.run g ~eps ~seed:42 in
+  let verdict =
+    match report.Tester.Planarity_tester.verdict with
+    | Tester.Planarity_tester.Accept -> "every node accepted"
+    | Tester.Planarity_tester.Reject rejecting ->
+        Printf.sprintf "%d node(s) rejected" (List.length rejecting)
+  in
+  Printf.printf "%s: n=%d, m=%d, eps=%.2f\n" name (Graph.n g) (Graph.m g) eps;
+  Printf.printf "  distributed tester : %s\n" verdict;
+  Printf.printf "  simulated rounds   : %d (paper schedule: %d)\n"
+    report.Tester.Planarity_tester.rounds
+    report.Tester.Planarity_tester.nominal_rounds;
+  Printf.printf "  centralized check  : %s\n\n"
+    (if Planarity.Lr.is_planar g then "planar" else "not planar")
+
+let () =
+  let rng = Random.State.make [| 7 |] in
+  (* A random planar triangulation: the tester must accept at every node
+     (one-sided error). *)
+  describe "Apollonian triangulation" (Generators.apollonian rng 250) 0.30;
+  (* The same triangulation plus enough random chords to be certifiably
+     0.2-far from planar: some node must reject (w.h.p.). *)
+  describe "triangulation + chords"
+    (Generators.far_from_planar rng ~n:250 ~eps:0.20)
+    0.15;
+  (* A 16x16 grid — planar, high diameter: note the round count stays
+     polylogarithmic in n, not linear in the diameter. *)
+  describe "16x16 grid" (Generators.grid 16 16) 0.30

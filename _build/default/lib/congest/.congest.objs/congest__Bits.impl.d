@@ -1,0 +1,1 @@
+lib/congest/bits.ml:

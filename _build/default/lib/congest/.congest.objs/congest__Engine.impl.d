@@ -1,0 +1,1 @@
+lib/congest/engine.ml: Array Bits Effect Graph Graphlib Hashtbl List Option Printf Random Stats

@@ -1,0 +1,1 @@
+lib/congest/engine.mli: Graphlib Random Stats

@@ -1,0 +1,1 @@
+lib/congest/protocols.ml: Array Bits Engine Graph Graphlib List Stats

@@ -1,0 +1,8 @@
+let int_bits ~universe =
+  let u = max universe 2 in
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 (u - 1)
+
+let id_bits n = int_bits ~universe:(max n 2)
+
+let default_bandwidth n = (8 * id_bits n) + 64

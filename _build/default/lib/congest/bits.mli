@@ -1,0 +1,12 @@
+(** Helpers for message-size accounting in the CONGEST model. *)
+
+(** [int_bits ~universe] is the number of bits needed to address a value in
+    [0 .. universe - 1] (at least 1). *)
+val int_bits : universe:int -> int
+
+(** Bits of one vertex id in an [n]-vertex network. *)
+val id_bits : int -> int
+
+(** [default_bandwidth n] is the per-edge per-round budget used when the
+    caller does not pass one: [Theta (log n)]. *)
+val default_bandwidth : int -> int

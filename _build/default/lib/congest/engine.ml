@@ -1,0 +1,169 @@
+open Graphlib
+
+module type MESSAGE = sig
+  type t
+
+  val bits : t -> int
+end
+
+module Make (Msg : MESSAGE) = struct
+  type engine = {
+    graph : Graph.t;
+    estats : Stats.t;
+    reject_log : (int * string) list ref;
+    mutable current_round : int;
+    (* outgoing.(v) holds (dest, msg) queued by v this round *)
+    outgoing : (int * Msg.t) list array;
+    incoming : (int * Msg.t) list array;
+  }
+
+  type ctx = { id : int; crng : Random.State.t; eng : engine }
+
+  type _ Effect.t += Sync : (int * Msg.t) list Effect.t
+
+  let my_id c = c.id
+  let n_nodes c = Graph.n c.eng.graph
+  let degree c = Graph.degree c.eng.graph c.id
+  let neighbors c = Graph.neighbors c.eng.graph c.id
+  let incident c = Graph.incident c.eng.graph c.id
+  let rng c = c.crng
+  let round c = c.eng.current_round
+  let stats c = c.eng.estats
+
+  let send c ~dest msg =
+    if not (Graph.has_edge c.eng.graph c.id dest) then
+      invalid_arg
+        (Printf.sprintf "Engine.send: %d is not a neighbor of %d" dest c.id);
+    c.eng.outgoing.(c.id) <- (dest, msg) :: c.eng.outgoing.(c.id)
+
+  let broadcast c msg =
+    Array.iter
+      (fun dest -> c.eng.outgoing.(c.id) <- (dest, msg) :: c.eng.outgoing.(c.id))
+      (neighbors c)
+
+  let sync _c = Effect.perform Sync
+
+  let idle c k =
+    for _ = 1 to k do
+      ignore (sync c)
+    done
+
+  let reject c reason =
+    c.eng.reject_log := (c.id, reason) :: !(c.eng.reject_log)
+
+  type 'o result = {
+    outputs : 'o option array;
+    rejections : (int * string) list;
+    stats : Stats.t;
+    completed : bool;
+  }
+
+  let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000) g
+      program =
+    let n = Graph.n g in
+    let bw =
+      match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
+    in
+    let eng =
+      {
+        graph = g;
+        estats = Stats.create ~bandwidth:bw;
+        reject_log = ref [];
+        current_round = 0;
+        outgoing = Array.make n [];
+        incoming = Array.make n [];
+      }
+    in
+    let outputs = Array.make n None in
+    let conts :
+        ((int * Msg.t) list, unit) Effect.Deep.continuation option array =
+      Array.make n None
+    in
+    let start v =
+      let ctx = { id = v; crng = Random.State.make [| seed; v; 0x5eed |]; eng } in
+      Effect.Deep.match_with
+        (fun () -> outputs.(v) <- Some (program ctx))
+        ()
+        {
+          retc = (fun () -> ());
+          exnc = (fun e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Sync ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      conts.(v) <- Some k)
+              | _ -> None);
+        }
+    in
+    for v = 0 to n - 1 do
+      start v
+    done;
+    let any_live () = Array.exists Option.is_some conts in
+    let stop = ref false in
+    while (not !stop) && any_live () do
+      if eng.estats.Stats.rounds >= max_rounds then stop := true
+      else begin
+        eng.estats.rounds <- eng.estats.rounds + 1;
+        eng.current_round <- eng.current_round + 1;
+        (* Deliver: move outboxes to inboxes, accounting per directed
+           edge. *)
+        let max_frames = ref 1 in
+        for v = 0 to n - 1 do
+          match eng.outgoing.(v) with
+          | [] -> ()
+          | msgs ->
+              eng.outgoing.(v) <- [];
+              (* Per-destination bit totals for this source. *)
+              let per_dest = Hashtbl.create 8 in
+              List.iter
+                (fun (dest, msg) ->
+                  let b = Msg.bits msg in
+                  eng.estats.messages <- eng.estats.messages + 1;
+                  eng.estats.total_bits <- eng.estats.total_bits + b;
+                  Hashtbl.replace per_dest dest
+                    (b
+                    + Option.value ~default:0 (Hashtbl.find_opt per_dest dest));
+                  eng.incoming.(dest) <- (v, msg) :: eng.incoming.(dest))
+                (List.rev msgs);
+              Hashtbl.iter
+                (fun _ b ->
+                  if b > eng.estats.max_edge_bits then
+                    eng.estats.max_edge_bits <- b;
+                  if b > bw then begin
+                    if strict then
+                      failwith
+                        (Printf.sprintf
+                           "Engine: %d bits on one edge in one round exceeds \
+                            the %d-bit bandwidth (strict mode)"
+                           b bw);
+                    eng.estats.oversized <- eng.estats.oversized + 1;
+                    let frames = (b + bw - 1) / bw in
+                    if frames > !max_frames then max_frames := frames
+                  end)
+                per_dest
+        done;
+        eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
+        (* Resume every live node with its inbox. *)
+        for v = 0 to n - 1 do
+          match conts.(v) with
+          | None -> eng.incoming.(v) <- []
+          | Some k ->
+              conts.(v) <- None;
+              let inbox =
+                List.sort (fun (a, _) (b, _) -> compare a b) eng.incoming.(v)
+              in
+              eng.incoming.(v) <- [];
+              Effect.Deep.continue k inbox
+        done
+      end
+    done;
+    {
+      outputs;
+      rejections =
+        List.sort_uniq compare !(eng.reject_log);
+      stats = eng.estats;
+      completed = not !stop;
+    }
+end

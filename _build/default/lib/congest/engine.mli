@@ -1,0 +1,89 @@
+(** Round-synchronous CONGEST simulator.
+
+    Node programs are ordinary OCaml functions written in direct style; the
+    effect handler behind {!Make.sync} suspends a node until the next round
+    and delivers its inbox.  All nodes run in lockstep: a round consists of
+    every live node executing until its next [sync], with the messages it
+    sent becoming visible to its neighbors when their [sync] returns.
+
+    Bandwidth is accounted per directed edge per round.  Rather than
+    fragmenting payloads, the engine charges a round in which some edge
+    carried [k] frames as [k] rounds in {!Stats.t.charged_rounds} — the cost
+    an actual CONGEST execution would pay by pipelining. *)
+
+module type MESSAGE = sig
+  type t
+
+  (** Size of the message on the wire, in bits. *)
+  val bits : t -> int
+end
+
+module Make (Msg : MESSAGE) : sig
+  type ctx
+  (** Handle to a node's identity and mailboxes, usable only inside a node
+      program. *)
+
+  val my_id : ctx -> int
+  val n_nodes : ctx -> int
+  val degree : ctx -> int
+
+  (** Sorted neighbor ids (shared array — do not mutate). *)
+  val neighbors : ctx -> int array
+
+  (** [(neighbor, edge id)] pairs, sorted by neighbor. *)
+  val incident : ctx -> (int * int) array
+
+  (** Per-node deterministic random state (derived from the run seed). *)
+  val rng : ctx -> Random.State.t
+
+  (** [send ctx ~dest msg] queues [msg] on the edge to neighbor [dest] for
+      delivery at the end of the current round.  Raises [Invalid_argument]
+      if [dest] is not a neighbor. *)
+  val send : ctx -> dest:int -> Msg.t -> unit
+
+  (** [broadcast ctx msg] sends [msg] to every neighbor. *)
+  val broadcast : ctx -> Msg.t -> unit
+
+  (** Ends the node's round.  Returns the messages received this round as
+      [(sender, message)] pairs sorted by sender. *)
+  val sync : ctx -> (int * Msg.t) list
+
+  (** [idle ctx k] syncs [k] times, discarding inboxes. *)
+  val idle : ctx -> int -> unit
+
+  (** Current round number (starts at 0, increments at each [sync]). *)
+  val round : ctx -> int
+
+  (** Record a one-sided-error rejection at this node; the program may keep
+      running. *)
+  val reject : ctx -> string -> unit
+
+  val stats : ctx -> Stats.t
+
+  type 'o result = {
+    outputs : 'o option array;
+        (** per node; [None] if the node did not finish before [max_rounds] *)
+    rejections : (int * string) list;  (** (node, reason), by node id *)
+    stats : Stats.t;
+    completed : bool;  (** all nodes ran to completion *)
+  }
+
+  (** [run g program] executes [program] at every node of [g].
+
+      @param seed     determinism seed for the per-node random states.
+      @param bandwidth per-edge per-round bit budget
+             (default {!Bits.default_bandwidth}).
+      @param strict raise [Failure] on the first (edge, round) pair whose
+             traffic exceeds [bandwidth], instead of charging extra rounds
+             (default [false]).
+      @param max_rounds safety limit; exceeding it stops the run with
+             [completed = false]. *)
+  val run :
+    ?seed:int ->
+    ?bandwidth:int ->
+    ?strict:bool ->
+    ?max_rounds:int ->
+    Graphlib.Graph.t ->
+    (ctx -> 'o) ->
+    'o result
+end

@@ -1,0 +1,116 @@
+open Graphlib
+
+module M = struct
+  type t = Level of int | Leader of int | Count of int | Child of bool
+
+  let bits = function
+    | Level v | Leader v | Count v -> 4 + Bits.int_bits ~universe:(abs v + 2)
+    | Child _ -> 5
+end
+
+module E = Engine.Make (M)
+
+type bfs_result = { parent : int array; level : int array; rounds : int }
+
+let bfs_tree g ~root ~rounds_bound =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let level = Array.make n (-1) in
+  let res =
+    E.run g (fun ctx ->
+        let v = E.my_id ctx in
+        (if v = root then begin
+           level.(v) <- 0;
+           E.broadcast ctx (M.Level 0)
+         end);
+        for _ = 1 to rounds_bound do
+          List.iter
+            (fun (from, msg) ->
+              match msg with
+              | M.Level d ->
+                  if level.(v) < 0 then begin
+                    level.(v) <- d + 1;
+                    parent.(v) <- from;
+                    E.broadcast ctx (M.Level (d + 1))
+                  end
+              | _ -> assert false)
+            (E.sync ctx)
+        done)
+  in
+  { parent; level; rounds = res.E.stats.Stats.rounds }
+
+let elect_min_id g ~rounds_bound =
+  let n = Graph.n g in
+  let leader = Array.init n (fun v -> v) in
+  ignore
+    (E.run g (fun ctx ->
+         let v = E.my_id ctx in
+         E.broadcast ctx (M.Leader v);
+         for _ = 1 to rounds_bound do
+           let improved = ref false in
+           List.iter
+             (fun (_, msg) ->
+               match msg with
+               | M.Leader c ->
+                   if c < leader.(v) then begin
+                     leader.(v) <- c;
+                     improved := true
+                   end
+               | _ -> assert false)
+             (E.sync ctx);
+           if !improved then E.broadcast ctx (M.Leader leader.(v))
+         done));
+  leader
+
+(* Flood-echo on a general graph: the wave builds a BFS tree; on adoption a
+   node tells its parent [Child true] and every other neighbor
+   [Child false], so each node knows when all neighbor relations are
+   resolved and all child counts are in. *)
+let count_nodes g ~root ~rounds_bound =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let total = ref 0 in
+  let res =
+    E.run g (fun ctx ->
+        let v = E.my_id ctx in
+        let unknown = ref (E.degree ctx) in
+        let children_pending = ref 0 in
+        let sum = ref 1 in
+        let sent = ref false in
+        (* Every neighbor sends exactly one [Child] message (when it
+           adopts); [unknown] resolves purely by receiving them. *)
+        let adopt from d =
+          parent.(v) <- from;
+          E.broadcast ctx (M.Level (d + 1));
+          Array.iter
+            (fun w ->
+              if w = from then E.send ctx ~dest:w (M.Child true)
+              else E.send ctx ~dest:w (M.Child false))
+            (E.neighbors ctx)
+        in
+        (if v = root then adopt (-1) (-1));
+        for _ = 1 to rounds_bound do
+          List.iter
+            (fun (from, msg) ->
+              match msg with
+              | M.Level d -> if parent.(v) = -2 then adopt from d
+              | M.Child true ->
+                  decr unknown;
+                  incr children_pending
+              | M.Child false -> decr unknown
+              | M.Count c ->
+                  sum := !sum + c;
+                  decr children_pending
+              | _ -> assert false)
+            (E.sync ctx);
+          if
+            !unknown = 0 && !children_pending = 0 && (not !sent)
+            && parent.(v) >= -1
+          then begin
+            sent := true;
+            if parent.(v) >= 0 then E.send ctx ~dest:parent.(v) (M.Count !sum)
+            else total := !sum
+          end
+        done)
+  in
+  (!total, res.E.stats.Stats.rounds)

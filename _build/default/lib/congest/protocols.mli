@@ -1,0 +1,24 @@
+(** Classic CONGEST building blocks on the simulator, provided both as
+    reusable substrate and as validation targets for the engine (their
+    round complexities are textbook facts the tests pin down). *)
+
+(** Result of {!bfs_tree}: parent pointers and levels of a BFS tree rooted
+    at the source ([-1] parent at the root and at unreached nodes). *)
+type bfs_result = {
+  parent : int array;
+  level : int array;  (** [-1] when unreached *)
+  rounds : int;
+}
+
+(** [bfs_tree g ~root ~rounds_bound] floods from [root] for
+    [rounds_bound] rounds (use an eccentricity upper bound, e.g. [n]). *)
+val bfs_tree : Graphlib.Graph.t -> root:int -> rounds_bound:int -> bfs_result
+
+(** Leader election by min-id flooding: every node learns the smallest id
+    in its component in (at most) [rounds_bound] rounds; returns the
+    per-node leader. *)
+val elect_min_id : Graphlib.Graph.t -> rounds_bound:int -> int array
+
+(** Flood-echo from [root]: counts the nodes of [root]'s component using a
+    spanning-tree convergecast; returns (count, rounds). *)
+val count_nodes : Graphlib.Graph.t -> root:int -> rounds_bound:int -> int * int

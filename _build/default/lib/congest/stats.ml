@@ -1,0 +1,37 @@
+type t = {
+  mutable rounds : int;
+  mutable charged_rounds : int;
+  mutable messages : int;
+  mutable total_bits : int;
+  mutable max_edge_bits : int;
+  mutable oversized : int;
+  bandwidth : int;
+}
+
+let create ~bandwidth =
+  {
+    rounds = 0;
+    charged_rounds = 0;
+    messages = 0;
+    total_bits = 0;
+    max_edge_bits = 0;
+    oversized = 0;
+    bandwidth;
+  }
+
+let charge t k = t.charged_rounds <- t.charged_rounds + k
+
+let add_into acc s =
+  acc.rounds <- acc.rounds + s.rounds;
+  acc.charged_rounds <- acc.charged_rounds + s.charged_rounds;
+  acc.messages <- acc.messages + s.messages;
+  acc.total_bits <- acc.total_bits + s.total_bits;
+  acc.max_edge_bits <- max acc.max_edge_bits s.max_edge_bits;
+  acc.oversized <- acc.oversized + s.oversized
+
+let pp fmt t =
+  Format.fprintf fmt
+    "rounds=%d charged=%d messages=%d bits=%d max-edge-bits=%d oversized=%d \
+     bandwidth=%d"
+    t.rounds t.charged_rounds t.messages t.total_bits t.max_edge_bits
+    t.oversized t.bandwidth

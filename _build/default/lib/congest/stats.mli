@@ -1,0 +1,28 @@
+(** Execution statistics of a CONGEST run.
+
+    [rounds] counts synchronous rounds as executed by the engine.
+    [charged_rounds] is the bandwidth-honest cost: a round in which some
+    edge carried [k > 1] frames of [bandwidth] bits is charged [k] rounds
+    (modelling the pipelining a real CONGEST algorithm would need), and
+    substituted subroutines may add explicit charges. *)
+
+type t = {
+  mutable rounds : int;
+  mutable charged_rounds : int;
+  mutable messages : int;
+  mutable total_bits : int;
+  mutable max_edge_bits : int;  (** max bits on one edge in one round *)
+  mutable oversized : int;  (** (round, edge) pairs exceeding bandwidth *)
+  bandwidth : int;
+}
+
+val create : bandwidth:int -> t
+
+(** [charge t k] adds [k] rounds of substituted-subroutine cost. *)
+val charge : t -> int -> unit
+
+(** [add_into acc s] accumulates the counters of [s] into [acc] (used when
+    an algorithm is a sequence of engine runs). *)
+val add_into : t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

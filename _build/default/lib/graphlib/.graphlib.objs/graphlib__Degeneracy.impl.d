@@ -1,0 +1,1 @@
+lib/graphlib/degeneracy.ml: Array Graph

@@ -1,0 +1,1 @@
+lib/graphlib/gio.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graphlib/gio.mli: Graph

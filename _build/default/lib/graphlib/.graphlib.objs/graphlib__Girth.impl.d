@@ -1,0 +1,1 @@
+lib/graphlib/girth.ml: Array Graph Queue

@@ -1,0 +1,66 @@
+(* Linear-time peeling with bucket queues. *)
+let degeneracy g =
+  let n = Graph.n g in
+  if n = 0 then (0, [||])
+  else begin
+    let deg = Array.init n (Graph.degree g) in
+    let maxdeg = Array.fold_left max 0 deg in
+    let buckets = Array.make (maxdeg + 1) [] in
+    Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+    let removed = Array.make n false in
+    let order = Array.make n 0 in
+    let core = ref 0 in
+    let cursor = ref 0 in
+    for i = 0 to n - 1 do
+      (* find the lowest non-empty bucket holding a live vertex *)
+      let rec next_bucket b =
+        match buckets.(b) with
+        | [] -> next_bucket (b + 1)
+        | v :: rest ->
+            buckets.(b) <- rest;
+            if removed.(v) || deg.(v) <> b then next_bucket b else (b, v)
+      in
+      let b, v = next_bucket 0 in
+      core := max !core b;
+      removed.(v) <- true;
+      order.(!cursor) <- v;
+      incr cursor;
+      ignore i;
+      Array.iter
+        (fun w ->
+          if not removed.(w) then begin
+            deg.(w) <- deg.(w) - 1;
+            buckets.(deg.(w)) <- w :: buckets.(deg.(w))
+          end)
+        (Graph.neighbors g v)
+    done;
+    (!core, order)
+  end
+
+let arboricity_bounds g =
+  let d, order = degeneracy g in
+  (* Nash-Williams: a >= ceil (m_H / (n_H - 1)) for any subgraph H; use the
+     peeling suffixes (the densest cores) as candidates. *)
+  let n = Graph.n g in
+  let lower = ref (if Graph.m g > 0 then 1 else 0) in
+  if n >= 2 then begin
+    let position = Array.make n 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    (* m_k = edges with both endpoints at position >= k *)
+    let suffix_edges = Array.make (n + 1) 0 in
+    Graph.iter_edges
+      (fun _ u v ->
+        let p = min position.(u) position.(v) in
+        suffix_edges.(p) <- suffix_edges.(p) + 1)
+      g;
+    let running = ref 0 in
+    for k = n - 1 downto 0 do
+      running := !running + suffix_edges.(k);
+      let nh = n - k in
+      if nh >= 2 then begin
+        let cand = (!running + nh - 2) / (nh - 1) in
+        if cand > !lower then lower := cand
+      end
+    done
+  end;
+  (!lower, max d !lower)

@@ -1,0 +1,16 @@
+(** Degeneracy (k-core peeling) and arboricity bounds.
+
+    A graph's degeneracy d is the smallest value such that every subgraph
+    has a vertex of degree at most d.  It sandwiches the arboricity a —
+    the quantity the paper's forest-decomposition step verifies:
+    [a <= d <= 2a - 1].  Planar graphs have degeneracy at most 5 and
+    arboricity at most 3. *)
+
+(** [degeneracy g] with a peeling order (a vertex order in which each
+    vertex has at most [degeneracy] neighbors after it). *)
+val degeneracy : Graph.t -> int * int array
+
+(** [arboricity_bounds g] is [(lower, upper)]: the Nash-Williams density
+    lower bound [max ceil(m_H / (n_H - 1))] over the peeling suffixes, and
+    the degeneracy upper bound. *)
+val arboricity_bounds : Graph.t -> int * int

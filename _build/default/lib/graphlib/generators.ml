@@ -1,0 +1,226 @@
+let path n =
+  if n < 1 then invalid_arg "Generators.path";
+  Graph.make ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle";
+  Graph.make ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star";
+  Graph.make ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n:(a + b) !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then edges := (id i j, id i (j + 1)) :: !edges;
+      if i + 1 < rows then edges := (id i j, id (i + 1) j) :: !edges
+    done
+  done;
+  Graph.make ~n:(rows * cols) !edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      edges := (id i j, id i ((j + 1) mod cols)) :: !edges;
+      edges := (id i j, id ((i + 1) mod rows) j) :: !edges
+    done
+  done;
+  Graph.of_edges_dedup ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Generators.hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (i + 5, ((i + 2) mod 5) + 5)) in
+  Graph.make ~n:10 (outer @ spokes @ inner)
+
+let binary_tree n =
+  if n < 1 then invalid_arg "Generators.binary_tree";
+  Graph.make ~n (List.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1)))
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Generators.random_tree";
+  Graph.make ~n
+    (List.init (n - 1) (fun i ->
+         let v = i + 1 in
+         (Random.State.int rng v, v)))
+
+let apollonian rng n =
+  if n < 3 then invalid_arg "Generators.apollonian";
+  let edges = ref [ (0, 1); (0, 2); (1, 2) ] in
+  (* Faces are stored in a growable array; subdividing face f into three
+     replaces slot f and appends two. *)
+  let faces = ref [| (0, 1, 2) |] in
+  let nfaces = ref 1 in
+  let push f =
+    let cap = Array.length !faces in
+    if !nfaces = cap then begin
+      let bigger = Array.make (2 * cap) (0, 0, 0) in
+      Array.blit !faces 0 bigger 0 cap;
+      faces := bigger
+    end;
+    !faces.(!nfaces) <- f;
+    incr nfaces
+  in
+  for v = 3 to n - 1 do
+    let i = Random.State.int rng !nfaces in
+    let a, b, c = !faces.(i) in
+    edges := (a, v) :: (b, v) :: (c, v) :: !edges;
+    !faces.(i) <- (a, b, v);
+    push (a, c, v);
+    push (b, c, v)
+  done;
+  Graph.make ~n !edges
+
+let random_planar rng ~n ~m =
+  let g = apollonian rng n in
+  let total = Graph.m g in
+  if m > total then invalid_arg "Generators.random_planar: m > 3n - 6";
+  let drop = total - m in
+  (* Choose [drop] distinct edge ids to delete. *)
+  let ids = Array.init total (fun i -> i) in
+  for i = total - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- t
+  done;
+  let doomed = Hashtbl.create (2 * drop) in
+  for i = 0 to drop - 1 do
+    Hashtbl.add doomed ids.(i) ()
+  done;
+  fst (Graph.remove_edges g (Hashtbl.mem doomed))
+
+let gnp rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let random_bipartite_planar rng n =
+  let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+  let g = grid side side in
+  (* Remove a random 15% of the edges, but keep the graph connected by only
+     committing deletions that do not disconnect it (checked via the
+     spanning forest of the remainder). *)
+  let m = Graph.m g in
+  let keep = Array.make m true in
+  let attempts = m * 15 / 100 in
+  let g_ref = ref g in
+  for _ = 1 to attempts do
+    let e = Random.State.int rng m in
+    if keep.(e) then begin
+      keep.(e) <- false;
+      let candidate, _ = Graph.remove_edges g (fun e' -> not keep.(e')) in
+      if Traversal.is_connected candidate then g_ref := candidate
+      else keep.(e) <- true
+    end
+  done;
+  !g_ref
+
+let random_non_edge rng g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "random_non_edge: too few vertices";
+  let rec go fuel =
+    if fuel = 0 then raise Not_found
+    else
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v && not (Graph.has_edge g u v) then
+        (min u v, max u v)
+      else go (fuel - 1)
+  in
+  go 10_000
+
+let planar_plus_chords rng ~base ~extra =
+  let g = ref base in
+  for _ = 1 to extra do
+    let u, v = random_non_edge rng !g in
+    g := Graph.add_edges !g [ (u, v) ]
+  done;
+  !g
+
+let far_from_planar rng ~n ~eps =
+  if not (eps > 0.0 && eps < 1.0) then invalid_arg "Generators.far_from_planar";
+  let base = apollonian rng n in
+  let m0 = float_of_int (Graph.m base) in
+  let extra = 1 + int_of_float (ceil (eps *. m0 /. (1.0 -. eps))) in
+  planar_plus_chords rng ~base ~extra
+
+let k5_necklace k =
+  if k < 1 then invalid_arg "Generators.k5_necklace";
+  let copies = ref (complete 5) in
+  for _ = 2 to k do
+    copies := Graph.disjoint_union !copies (complete 5)
+  done;
+  let g = !copies in
+  let links =
+    List.init k (fun i ->
+        let a = (i * 5) + 4 and b = ((i + 1) mod k) * 5 in
+        (min a b, max a b))
+  in
+  let links = List.sort_uniq compare links in
+  let links = List.filter (fun (a, b) -> not (Graph.has_edge g a b)) links in
+  Graph.add_edges g links
+
+let connected_copies g k =
+  if k < 1 then invalid_arg "Generators.connected_copies";
+  let size = Graph.n g in
+  let acc = ref g in
+  for i = 2 to k do
+    acc := Graph.disjoint_union !acc g;
+    let prev_last = ((i - 1) * size) - 1 in
+    let next_first = (i - 1) * size in
+    acc := Graph.add_edges !acc [ (prev_last, next_first) ]
+  done;
+  !acc
+
+let relabel rng g =
+  let n = Graph.n g in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Graph.make ~n
+    (Graph.fold_edges (fun acc _ u v -> (perm.(u), perm.(v)) :: acc) [] g)

@@ -1,0 +1,75 @@
+(** Synthetic graph families used by the examples, tests and benchmark
+    harness.  Random generators take an explicit [Random.State.t] so every
+    experiment is reproducible from a seed. *)
+
+val path : int -> Graph.t
+(** Path on [n >= 1] vertices. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] vertices. *)
+
+val star : int -> Graph.t
+(** Star: center [0] joined to [n - 1] leaves. *)
+
+val complete : int -> Graph.t
+(** Complete graph [K_n]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [K_{a,b}] with sides [0..a-1] and [a..a+b-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [rows x cols] planar grid; vertex [(i, j)] is [i * cols + j]. *)
+
+val torus : int -> int -> Graph.t
+(** Toroidal grid (non-planar for [rows, cols >= 3]); requires
+    [rows >= 3] and [cols >= 3] so wrap-around edges are simple. *)
+
+val hypercube : int -> Graph.t
+(** [d]-dimensional hypercube on [2^d] vertices. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph (non-planar, girth 5). *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree shape on [n] vertices (heap numbering). *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform random attachment tree on [n] vertices. *)
+
+val apollonian : Random.State.t -> int -> Graph.t
+(** Random Apollonian network on [n >= 3] vertices: a maximal planar graph
+    ([m = 3n - 6]) grown by repeated random face subdivision. *)
+
+val random_planar : Random.State.t -> n:int -> m:int -> Graph.t
+(** Random planar graph: an Apollonian network on [n] vertices with random
+    edges deleted down to [m] edges (requires [m <= 3n - 6]). *)
+
+val gnp : Random.State.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n, p)]. *)
+
+val random_bipartite_planar : Random.State.t -> int -> Graph.t
+(** A random planar bipartite graph: the square grid with a random subset of
+    edges removed (stays bipartite and planar, may be disconnected edges
+    trimmed to keep it connected). *)
+
+(** Planar graph plus [extra] random chords.  When the base is a maximal
+    planar graph, the Euler formula certifies that at least [extra] edges
+    must be removed to restore planarity. *)
+val planar_plus_chords : Random.State.t -> base:Graph.t -> extra:int -> Graph.t
+
+(** [far_from_planar rng ~n ~eps] is a graph certified (via the Euler bound)
+    to be at least [eps]-far from planar: an Apollonian triangulation plus
+    [ceil (eps * m0 / (1 - eps)) + 1] random chords. *)
+val far_from_planar : Random.State.t -> n:int -> eps:float -> Graph.t
+
+val k5_necklace : int -> Graph.t
+(** [k] disjoint copies of [K_5] strung together in a cycle by single edges:
+    connected, and every copy must lose an edge for planarity. *)
+
+val connected_copies : Graph.t -> int -> Graph.t
+(** [k] disjoint copies of a connected graph joined in a path by one edge
+    between consecutive copies (vertex 0 of copy [i+1] to the last vertex of
+    copy [i]).  Preserves planarity. *)
+
+val relabel : Random.State.t -> Graph.t -> Graph.t
+(** Random permutation of vertex ids (to de-bias id-based tie-breaking). *)

@@ -1,0 +1,58 @@
+let to_buffer buf g =
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges
+    (fun _ u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    g
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  to_buffer buf g;
+  Buffer.contents buf
+
+let of_lines lines =
+  let relevant =
+    List.filter
+      (fun line ->
+        let line = String.trim line in
+        line <> "" && line.[0] <> '#')
+      lines
+  in
+  match relevant with
+  | [] -> invalid_arg "Gio: empty input"
+  | header :: rest ->
+      let parse_pair line =
+        match String.split_on_char ' ' (String.trim line) with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> (a, b)
+            | _ -> invalid_arg ("Gio: bad line: " ^ line))
+        | _ -> invalid_arg ("Gio: bad line: " ^ line)
+      in
+      let n, m = parse_pair header in
+      let edges = List.map parse_pair rest in
+      if List.length edges <> m then
+        invalid_arg
+          (Printf.sprintf "Gio: header says %d edges, found %d" m
+             (List.length edges));
+      Graph.make ~n edges
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let to_channel oc g = output_string oc (to_string g)
+
+let of_channel ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  of_lines (List.rev !lines)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc g)

@@ -1,0 +1,19 @@
+(** Plain-text edge-list serialization.
+
+    Format: first line [n m], then one [u v] pair per line.  Lines starting
+    with [#] and blank lines are ignored. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_channel : out_channel -> Graph.t -> unit
+
+val of_channel : in_channel -> Graph.t
+
+val load : string -> Graph.t
+(** Read a graph from a file path. *)
+
+val save : string -> Graph.t -> unit
+(** Write a graph to a file path. *)

@@ -1,0 +1,87 @@
+(* BFS-based girth: for every start vertex, the first non-tree edge (u, x)
+   scanned gives a closed walk of length dist(u) + dist(x) + 1 through the
+   start; every such walk contains a cycle no longer than itself, and a
+   shortest cycle is reported exactly when the start lies on it. *)
+
+(* [cycle_via g s depth_limit] is [Some (len, e)] for the shortest closed
+   walk through [s] detected by truncated BFS, where [e] is the non-tree
+   edge closing it. *)
+let cycle_via g s depth_limit =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s q;
+  let best = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let u = Queue.pop q in
+       if dist.(u) >= depth_limit then raise Exit;
+       Array.iter
+         (fun (x, e) ->
+           if e <> parent_edge.(u) then
+             if dist.(x) < 0 then begin
+               dist.(x) <- dist.(u) + 1;
+               parent_edge.(x) <- e;
+               Queue.add x q
+             end
+             else
+               let cand = dist.(u) + dist.(x) + 1 in
+               match !best with
+               | Some (b, _) when b <= cand -> ()
+               | _ -> best := Some (cand, e))
+         (Graph.incident g u)
+     done
+   with Exit -> ());
+  !best
+
+let girth_witness_upto g limit =
+  if limit < 3 then None
+  else begin
+    let depth = (limit / 2) + 1 in
+    let best = ref None in
+    for s = 0 to Graph.n g - 1 do
+      match cycle_via g s depth with
+      | Some (l, e) when l <= limit -> (
+          match !best with
+          | Some (b, _) when b <= l -> ()
+          | _ -> best := Some (l, e))
+      | _ -> ()
+    done;
+    !best
+  end
+
+let girth_upto g limit =
+  match girth_witness_upto g limit with
+  | Some (l, _) -> Some l
+  | None -> None
+
+let girth g =
+  (* Any cycle has length at most n. *)
+  girth_upto g (Graph.n g)
+
+let shortest_cycle_through g v ~limit =
+  match cycle_via g v ((limit / 2) + 1) with
+  | Some (l, _) when l <= limit -> Some l
+  | _ -> None
+
+(* Process one start vertex at a time: repeatedly remove the closing edge
+   of the shortest cycle through it until none remains below the
+   threshold.  Removals never create cycles, so one pass over all starts
+   leaves girth >= len.  Each step is one truncated BFS. *)
+let break_short_cycles g len =
+  let removed = ref 0 in
+  let depth = ((len - 1) / 2) + 1 in
+  let current = ref g in
+  for s = 0 to Graph.n g - 1 do
+    let continue = ref true in
+    while !continue do
+      match cycle_via !current s depth with
+      | Some (l, e) when l <= len - 1 ->
+          incr removed;
+          current := fst (Graph.remove_edges !current (fun e' -> e' = e))
+      | _ -> continue := false
+    done
+  done;
+  (!current, !removed)

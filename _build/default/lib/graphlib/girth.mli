@@ -1,0 +1,21 @@
+(** Girth (length of the shortest cycle) computations. *)
+
+(** [girth g] is the length of the shortest cycle of [g], or [None] if [g]
+    is a forest.  Runs BFS from every vertex: [O(nm)]. *)
+val girth : Graph.t -> int option
+
+(** [girth_upto g limit] is [Some l] for the shortest cycle length
+    [l <= limit], [None] if every cycle is longer than [limit] (or there is
+    none).  BFS is truncated at depth [limit/2 + 1], so this is fast for
+    small limits. *)
+val girth_upto : Graph.t -> int -> int option
+
+(** [shortest_cycle_through g v ~limit] is the length of the shortest cycle
+    through [v] of length at most [limit], if any. *)
+val shortest_cycle_through : Graph.t -> int -> limit:int -> int option
+
+(** [break_short_cycles g len] removes one edge from every cycle shorter
+    than [len], repeatedly, until the girth is at least [len]; it returns
+    the new graph and the number of edges removed.  (Used by the Section 3
+    lower-bound construction.) *)
+val break_short_cycles : Graph.t -> int -> Graph.t * int

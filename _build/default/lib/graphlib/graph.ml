@@ -1,0 +1,184 @@
+type t = {
+  n : int;
+  m : int;
+  inc : (int * int) array array;
+  endpoints : (int * int) array;
+}
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let check_endpoint n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Graph: endpoint %d outside [0, %d)" v n)
+
+let build ~n pairs =
+  let m = Array.length pairs in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    pairs;
+  let inc = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      inc.(u).(fill.(u)) <- (v, e);
+      fill.(u) <- fill.(u) + 1;
+      inc.(v).(fill.(v)) <- (u, e);
+      fill.(v) <- fill.(v) + 1)
+    pairs;
+  Array.iter (fun a -> Array.sort compare a) inc;
+  { n; m; inc; endpoints = pairs }
+
+let make ~n edges =
+  let seen = Hashtbl.create (List.length edges * 2) in
+  let pairs =
+    List.map
+      (fun (u, v) ->
+        check_endpoint n u;
+        check_endpoint n v;
+        if u = v then
+          invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u);
+        let p = norm u v in
+        if Hashtbl.mem seen p then
+          invalid_arg
+            (Printf.sprintf "Graph.make: duplicate edge (%d, %d)" (fst p)
+               (snd p));
+        Hashtbl.add seen p ();
+        p)
+      edges
+  in
+  build ~n (Array.of_list pairs)
+
+let of_edges_dedup ~n edges =
+  let seen = Hashtbl.create (List.length edges * 2) in
+  let pairs =
+    List.filter_map
+      (fun (u, v) ->
+        check_endpoint n u;
+        check_endpoint n v;
+        if u = v then None
+        else
+          let p = norm u v in
+          if Hashtbl.mem seen p then None
+          else begin
+            Hashtbl.add seen p ();
+            Some p
+          end)
+      edges
+  in
+  build ~n (Array.of_list pairs)
+
+let n g = g.n
+let m g = g.m
+let incident g v = g.inc.(v)
+let neighbors g v = Array.map fst g.inc.(v)
+let degree g v = Array.length g.inc.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.inc
+
+let edge g e = g.endpoints.(e)
+let endpoints g = g.endpoints
+
+(* Binary search over the neighbor-sorted incidence array. *)
+let find_incident g u v =
+  let a = g.inc.(u) in
+  let rec go lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      let w, e = a.(mid) in
+      if w = v then e else if w < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let find_edge g u v = find_incident g u v
+let has_edge g u v = match find_incident g u v with _ -> true | exception Not_found -> false
+
+let other_endpoint g e v =
+  let u, w = g.endpoints.(e) in
+  if v = u then w
+  else if v = w then u
+  else invalid_arg "Graph.other_endpoint: vertex not on edge"
+
+let iter_edges f g = Array.iteri (fun e (u, v) -> f e u v) g.endpoints
+
+let fold_edges f init g =
+  let acc = ref init in
+  iter_edges (fun e u v -> acc := f !acc e u v) g;
+  !acc
+
+let add_edges g edges =
+  let extra =
+    List.map
+      (fun (u, v) ->
+        check_endpoint g.n u;
+        check_endpoint g.n v;
+        if u = v then invalid_arg "Graph.add_edges: self-loop";
+        if has_edge g u v then invalid_arg "Graph.add_edges: duplicate edge";
+        norm u v)
+      edges
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then invalid_arg "Graph.add_edges: duplicate edge";
+      Hashtbl.add seen p ())
+    extra;
+  build ~n:g.n (Array.append g.endpoints (Array.of_list extra))
+
+let remove_edges g pred =
+  let remap = Array.make g.m (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun e p ->
+      if not (pred e) then begin
+        kept := p :: !kept;
+        remap.(e) <- !count;
+        incr count
+      end)
+    g.endpoints;
+  (build ~n:g.n (Array.of_list (List.rev !kept)), remap)
+
+let induced g vs =
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let back = Hashtbl.create (2 * k) in
+  Array.iteri
+    (fun i v ->
+      check_endpoint g.n v;
+      if Hashtbl.mem back v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.add back v i)
+    vs;
+  let pairs = ref [] in
+  iter_edges
+    (fun _ u v ->
+      match (Hashtbl.find_opt back u, Hashtbl.find_opt back v) with
+      | Some iu, Some iv -> pairs := norm iu iv :: !pairs
+      | _ -> ())
+    g;
+  (build ~n:k (Array.of_list (List.rev !pairs)), vs)
+
+let disjoint_union g1 g2 =
+  let shift = g1.n in
+  let pairs =
+    Array.append g1.endpoints
+      (Array.map (fun (u, v) -> (u + shift, v + shift)) g2.endpoints)
+  in
+  build ~n:(g1.n + g2.n) pairs
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d@," g.n g.m;
+  iter_edges (fun e u v -> Format.fprintf fmt "  e%d: (%d, %d)@," e u v) g;
+  Format.fprintf fmt "@]"
+
+let equal g1 g2 =
+  g1.n = g2.n && g1.m = g2.m
+  &&
+  let s1 = Array.copy g1.endpoints and s2 = Array.copy g2.endpoints in
+  Array.sort compare s1;
+  Array.sort compare s2;
+  s1 = s2

@@ -1,0 +1,85 @@
+(** Static simple undirected graphs.
+
+    Vertices are integers [0 .. n-1].  Edges are undirected, stored once with
+    endpoints [(u, v)] such that [u < v], and carry a stable edge identifier
+    [0 .. m-1].  The structure is immutable; modification functions return a
+    new graph. *)
+
+type t
+
+(** [make ~n edges] builds a graph on [n] vertices from the given endpoint
+    pairs.  Self-loops and duplicate edges (in either orientation) raise
+    [Invalid_argument], as does an endpoint outside [0 .. n-1]. *)
+val make : n:int -> (int * int) list -> t
+
+(** [of_edges_dedup ~n edges] is [make], except that self-loops are dropped
+    and duplicate edges are kept once. *)
+val of_edges_dedup : n:int -> (int * int) list -> t
+
+(** Number of vertices. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** [neighbors g v] is the sorted array of neighbors of [v].  The returned
+    array is owned by the graph and must not be mutated. *)
+val neighbors : t -> int -> int array
+
+(** [incident g v] lists [(u, e)] for every edge [e] joining [v] to [u],
+    sorted by neighbor id.  The array must not be mutated. *)
+val incident : t -> int -> (int * int) array
+
+(** Degree of a vertex. *)
+val degree : t -> int -> int
+
+(** Maximum degree over all vertices ([0] for an empty graph). *)
+val max_degree : t -> int
+
+(** [edge g e] is the endpoint pair [(u, v)], [u < v], of edge id [e]. *)
+val edge : t -> int -> int * int
+
+(** [endpoints g] is the array of all endpoint pairs indexed by edge id.
+    The array must not be mutated. *)
+val endpoints : t -> (int * int) array
+
+(** [has_edge g u v] tests adjacency in [O(log (degree u))]. *)
+val has_edge : t -> int -> int -> bool
+
+(** [find_edge g u v] is the edge id joining [u] and [v].
+    @raise Not_found if they are not adjacent. *)
+val find_edge : t -> int -> int -> int
+
+(** [other_endpoint g e v] is the endpoint of [e] that is not [v].
+    Raises [Invalid_argument] if [v] is not an endpoint of [e]. *)
+val other_endpoint : t -> int -> int -> int
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f e u v] for every edge [e = (u, v)], [u < v]. *)
+
+val fold_edges : ('a -> int -> int -> int -> 'a) -> 'a -> t -> 'a
+(** [fold_edges f init g] folds [f acc e u v] over all edges. *)
+
+(** [add_edges g edges] returns a graph with the extra edges appended.  Edge
+    ids of existing edges are preserved; duplicates raise
+    [Invalid_argument]. *)
+val add_edges : t -> (int * int) list -> t
+
+(** [remove_edges g pred] keeps only edges [e] with [pred e = false].  Edge
+    ids are renumbered; the second component maps old ids to new ids (or
+    [-1] when removed). *)
+val remove_edges : t -> (int -> bool) -> t * int array
+
+(** [induced g vs] is the subgraph induced by the vertex list [vs] (which
+    must not contain duplicates), together with the map from new vertex ids
+    to original ids. *)
+val induced : t -> int list -> t * int array
+
+(** [disjoint_union g1 g2] places [g2]'s vertices after [g1]'s. *)
+val disjoint_union : t -> t -> t
+
+(** Pretty-printer showing [n], [m] and the edge list (for small graphs). *)
+val pp : Format.formatter -> t -> unit
+
+(** Structural equality: same [n] and same edge set. *)
+val equal : t -> t -> bool

@@ -1,0 +1,108 @@
+type bfs_tree = {
+  root : int;
+  parent : int array;
+  parent_edge : int array;
+  dist : int array;
+  order : int array;
+}
+
+let bfs g root =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let parent_edge = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  let order = Queue.create () in
+  let q = Queue.create () in
+  parent.(root) <- -1;
+  dist.(root) <- 0;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Queue.add u order;
+    Array.iter
+      (fun (v, e) ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          parent_edge.(v) <- e;
+          Queue.add v q
+        end)
+      (Graph.incident g u)
+  done;
+  {
+    root;
+    parent;
+    parent_edge;
+    dist;
+    order = Array.of_seq (Queue.to_seq order);
+  }
+
+let component_of g root = Array.to_list (bfs g root).order
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let c = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) < 0 then begin
+      let t = bfs g v in
+      Array.iter (fun u -> comp.(u) <- !c) t.order;
+      incr c
+    end
+  done;
+  (comp, !c)
+
+let is_connected g = Graph.n g = 0 || Array.length (bfs g 0).order = Graph.n g
+
+let dist_from g v = (bfs g v).dist
+
+let eccentricity g v =
+  Array.fold_left (fun acc d -> max acc d) 0 (bfs g v).dist
+
+let diameter g =
+  if Graph.n g = 0 then invalid_arg "Traversal.diameter: empty graph";
+  if not (is_connected g) then
+    invalid_arg "Traversal.diameter: disconnected graph";
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+let is_forest g =
+  let uf = Union_find.create (Graph.n g) in
+  Graph.fold_edges (fun ok _ u v -> ok && Union_find.union uf u v) true g
+
+let spanning_forest g =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let t = bfs g v in
+      Array.iter
+        (fun u ->
+          seen.(u) <- true;
+          if t.parent_edge.(u) >= 0 then acc := t.parent_edge.(u) :: !acc)
+        t.order
+    end
+  done;
+  !acc
+
+let odd_cycle_witness g =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if dist.(v) < 0 then begin
+      let t = bfs g v in
+      Array.iter (fun u -> dist.(u) <- t.dist.(u)) t.order
+    end
+  done;
+  Graph.fold_edges
+    (fun acc _ u v ->
+      match acc with
+      | Some _ -> acc
+      | None -> if (dist.(u) - dist.(v)) mod 2 = 0 then Some (u, v) else None)
+    None g
+
+let is_bipartite g = odd_cycle_witness g = None

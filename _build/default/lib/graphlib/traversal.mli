@@ -1,0 +1,48 @@
+(** Breadth-first and depth-first traversals and derived quantities. *)
+
+(** A rooted BFS tree.  [parent.(root) = -1]; unreachable vertices have
+    [parent = -2] and [dist = -1]. *)
+type bfs_tree = {
+  root : int;
+  parent : int array;  (** parent vertex in the tree *)
+  parent_edge : int array;  (** edge id to the parent, [-1] at root *)
+  dist : int array;  (** BFS level *)
+  order : int array;  (** vertices in visit order (reachable only) *)
+}
+
+(** [bfs g root] explores the connected component of [root]. *)
+val bfs : Graph.t -> int -> bfs_tree
+
+(** Vertices reachable from [root], in visit order. *)
+val component_of : Graph.t -> int -> int list
+
+(** [components g] assigns each vertex a component id in [0 .. c-1] and
+    returns the number [c] of components. *)
+val components : Graph.t -> int array * int
+
+val is_connected : Graph.t -> bool
+
+(** [eccentricity g v] is the greatest BFS distance from [v] within its
+    component. *)
+val eccentricity : Graph.t -> int -> int
+
+(** Exact diameter of a connected graph by all-sources BFS ([O(nm)]);
+    raises [Invalid_argument] if the graph is disconnected or empty. *)
+val diameter : Graph.t -> int
+
+(** [dist_from g v] is the array of BFS distances from [v] ([-1] when
+    unreachable). *)
+val dist_from : Graph.t -> int -> int array
+
+(** [is_forest g] holds iff [g] is acyclic. *)
+val is_forest : Graph.t -> bool
+
+(** [spanning_forest g] is the set of edge ids of a BFS spanning forest. *)
+val spanning_forest : Graph.t -> int list
+
+(** [odd_cycle_witness g] is [Some (u, v)] for an edge joining two vertices
+    at equal BFS parity (certifying an odd cycle), or [None] when [g] is
+    bipartite. *)
+val odd_cycle_witness : Graph.t -> (int * int) option
+
+val is_bipartite : Graph.t -> bool

@@ -1,0 +1,22 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+val create : int -> t
+
+(** Representative of the set containing the element. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the sets of [a] and [b]; returns [true] iff they
+    were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t a b] tests whether [a] and [b] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** Number of disjoint sets remaining. *)
+val count : t -> int
+
+(** Size of the set containing the element. *)
+val size : t -> int -> int

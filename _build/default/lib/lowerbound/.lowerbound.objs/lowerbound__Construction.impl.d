@@ -1,0 +1,1 @@
+lib/lowerbound/construction.ml: Generators Girth Graph Graphlib Planarity

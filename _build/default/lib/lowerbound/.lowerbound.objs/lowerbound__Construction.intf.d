@@ -1,0 +1,1 @@
+lib/lowerbound/construction.mli: Graphlib Random

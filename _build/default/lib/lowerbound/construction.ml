@@ -1,0 +1,36 @@
+open Graphlib
+
+type t = {
+  graph : Graph.t;
+  removed : int;
+  girth : int option;
+  girth_target : int;
+  euler_far : float;
+}
+
+let build rng ~n ~avg_degree ~girth_factor =
+  let p = avg_degree /. float_of_int n in
+  let g0 = Generators.gnp rng n p in
+  (* Claim 12's short-cycle threshold is [log n / c (k)] with
+     [c (k) = Theta (log k)]: logarithm base = the average degree, so that
+     the expected number of removals stays a small fraction of [m]. *)
+  let girth_target =
+    max 4
+      (int_of_float
+         (ceil
+            (girth_factor
+            *. (log (float_of_int (max n 2)) /. log (max avg_degree 2.0)))))
+  in
+  let g, removed = Girth.break_short_cycles g0 girth_target in
+  {
+    graph = g;
+    removed;
+    girth = Girth.girth_upto g (4 * girth_target);
+    girth_target;
+    euler_far = Planarity.Distance.eps_far_lower_bound g;
+  }
+
+let indistinguishability_radius t =
+  match t.girth with
+  | None -> max_int
+  | Some girth -> (girth - 1) / 2

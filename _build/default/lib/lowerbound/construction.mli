@@ -1,0 +1,30 @@
+(** The Theorem 2 lower-bound construction (Section 3): graphs that are
+    [Omega (1)]-far from planarity (more generally from [K_k]-minor
+    freeness) yet contain no cycle shorter than [Omega (log n)] — so every
+    [o (log n)]-round one-sided tester sees a tree around each node and
+    must accept.
+
+    Claims 11–12 use [G (n, p)] with [p = 1000 k^2 / n] for the analysis'
+    convenience; at laptop scale we take [p = c / n] with a moderate [c]
+    and *certify* the two properties the proof needs by direct
+    computation: farness via the Euler bound and girth by truncated BFS
+    (see DESIGN.md). *)
+
+type t = {
+  graph : Graphlib.Graph.t;
+  removed : int;  (** edges removed to kill short cycles *)
+  girth : int option;  (** measured girth of the result *)
+  girth_target : int;  (** the [log n / c] bound requested *)
+  euler_far : float;  (** certified relative distance from planarity *)
+}
+
+(** [build rng ~n ~avg_degree ~girth_factor] samples [G (n, c/n)] with
+    [c = avg_degree], removes one edge from each cycle shorter than
+    [girth_factor * log2 n], and measures what remains. *)
+val build :
+  Random.State.t -> n:int -> avg_degree:float -> girth_factor:float -> t
+
+(** Radius below which every node's view of [g] is a tree: [(girth-1)/2].
+    A one-sided error algorithm running fewer rounds cannot distinguish
+    the graph from a forest, hence must accept. *)
+val indistinguishability_radius : t -> int

@@ -1,0 +1,1 @@
+lib/partition/cv_coloring.ml: Array Graphlib List Prims State

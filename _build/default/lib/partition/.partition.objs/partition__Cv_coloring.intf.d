@@ -1,0 +1,1 @@
+lib/partition/cv_coloring.mli: State

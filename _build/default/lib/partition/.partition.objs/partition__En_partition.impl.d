@@ -1,0 +1,1 @@
+lib/partition/en_partition.ml: Array Graph Graphlib List Msg Prims Random State

@@ -1,0 +1,1 @@
+lib/partition/en_partition.mli: Graphlib State

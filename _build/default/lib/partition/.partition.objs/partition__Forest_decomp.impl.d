@@ -1,0 +1,1 @@
+lib/partition/forest_decomp.ml: Array List Prims Printf State

@@ -1,0 +1,1 @@
+lib/partition/merge.ml: Array Cv_coloring Graphlib List Msg Prims State

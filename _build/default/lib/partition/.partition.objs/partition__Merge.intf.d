@@ -1,0 +1,1 @@
+lib/partition/merge.mli: State

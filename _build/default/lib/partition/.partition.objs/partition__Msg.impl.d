@@ -1,0 +1,1 @@
+lib/partition/msg.ml: Congest List

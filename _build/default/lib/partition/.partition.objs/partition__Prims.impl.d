@@ -1,0 +1,1 @@
+lib/partition/prims.ml: Array Congest Graph Graphlib List Msg Printf State

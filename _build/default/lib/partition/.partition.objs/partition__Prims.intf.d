@@ -1,0 +1,1 @@
+lib/partition/prims.mli: Congest Msg Random State

@@ -1,0 +1,1 @@
+lib/partition/random_partition.ml: Array Congest Cv_coloring Graph Graphlib Hashtbl List Merge Msg Option Prims Random State

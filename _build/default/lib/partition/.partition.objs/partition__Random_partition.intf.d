@@ -1,0 +1,1 @@
+lib/partition/random_partition.mli: Graphlib State

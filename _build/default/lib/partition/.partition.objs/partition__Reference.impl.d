@@ -1,0 +1,1 @@
+lib/partition/reference.ml: Array Cv_coloring Forest_decomp Graph Graphlib Hashtbl List Merge Option Stage1

@@ -1,0 +1,1 @@
+lib/partition/stage1.ml: Congest Cv_coloring Forest_decomp Graph Graphlib List Merge Prims State Traversal

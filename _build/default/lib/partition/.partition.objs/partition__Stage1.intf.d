@@ -1,0 +1,1 @@
+lib/partition/stage1.mli: Graphlib State

@@ -1,0 +1,1 @@
+lib/partition/state.ml: Array Congest Graph Graphlib Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/partition/state.mli: Congest Graphlib

@@ -1,0 +1,28 @@
+(** Cole–Vishkin / Goldberg–Plotkin–Shannon 3-coloring of the selected
+    pseudo-forest [F_i], emulated at the part level (Sub-step 2a of the
+    merging step).
+
+    Each part's F-parent is its [fsel_target]; colors travel from the
+    parent part's root down its tree, across the designated boundary edge,
+    and back up the child part's tree — three engine runs per iteration.
+    After [O(log* n)] bit-shrinking iterations and three shift-down /
+    recolor steps, every part's [color] lies in [{1, 2, 3}] and adjacent
+    parts of [F_i] differ; [parent_color] is filled at every root.  Works
+    on directed pseudo-forests (the randomized variant's selection can
+    create directed cycles). *)
+
+val run : State.t -> budget:int -> unit
+
+(** Number of bit-shrinking iterations needed to go from id-colors over
+    universe [n] to fewer than 8 colors. *)
+val iterations_for : int -> int
+
+(** One Cole–Vishkin color-shrinking step: [2k + bit] at the lowest
+    differing bit position [k] (requires [own <> parent]).  Exposed so the
+    centralized {!Reference} mirrors the emulation exactly. *)
+val cv_step : int -> int -> int
+
+(** Engine runs consumed by [run] (for nominal-schedule accounting):
+    each iteration and each shift-down costs a broadcast, a boundary round
+    and a convergecast. *)
+val steps_for : int -> int

@@ -1,0 +1,122 @@
+type agg = Many | Counts of (int * int) list
+
+let super_rounds_for n =
+  2 + int_of_float (ceil (log (float_of_int (max n 2)) /. log 1.5))
+
+let add_count lst r x =
+  let rec go = function
+    | [] -> [ (r, x) ]
+    | (r', c) :: rest when r' = r -> (r', c + x) :: rest
+    | p :: rest -> p :: go rest
+  in
+  go lst
+
+let cap alpha = function
+  | Many -> Many
+  | Counts lst -> if List.length lst > 3 * alpha then Many else Counts lst
+
+let combine alpha a b =
+  match (a, b) with
+  | Many, _ | _, Many -> Many
+  | Counts la, Counts lb ->
+      cap alpha (Counts (List.fold_left (fun acc (r, x) -> add_count acc r x) la lb))
+
+let encode = function
+  | Many -> [ -1 ]
+  | Counts lst -> List.concat_map (fun (r, x) -> [ r; x ]) lst
+
+let decode = function
+  | [ -1 ] -> Many
+  | l ->
+      let rec pairs = function
+        | [] -> []
+        | r :: x :: rest -> (r, x) :: pairs rest
+        | [ _ ] -> failwith "Forest_decomp.decode: odd payload"
+      in
+      Counts (pairs l)
+
+let root_logic ~can_deactivate (nd : State.node) a l =
+  if nd.State.active then begin
+    match a with
+    | Many -> ()
+    | Counts lst ->
+        if can_deactivate then begin
+          nd.State.active <- false;
+          nd.State.deact_round <- l;
+          nd.State.snapshot <- lst
+        end
+  end
+  else if nd.State.deact_round = l - 1 then begin
+    let still_active =
+      match a with
+      | Many ->
+          (* Impossible: active neighbors of an inactive part only shrink,
+             and were at most 3 alpha at deactivation. *)
+          failwith "Forest_decomp: overflow at an inactive part"
+      | Counts lst -> List.map fst lst
+    in
+    nd.State.out_edges <-
+      List.filter
+        (fun (r', _) -> List.mem r' still_active || nd.State.id < r')
+        nd.State.snapshot
+  end
+
+let run st ~alpha ~super_rounds ~budget =
+  Array.iter
+    (fun nd ->
+      nd.State.active <- true;
+      nd.State.deact_round <- -1;
+      nd.State.snapshot <- [];
+      nd.State.out_edges <- [])
+    st.State.nodes;
+  let roots =
+    Array.to_list st.State.nodes
+    |> List.filter (fun nd -> State.is_root st nd.State.id)
+  in
+  let all_oriented l =
+    List.for_all
+      (fun nd -> (not nd.State.active) && nd.State.deact_round < l)
+      roots
+  in
+  let l = ref 1 in
+  let stop = ref false in
+  while (not !stop) && !l <= super_rounds + 1 do
+    (* Notices from boundary nodes of active parts. *)
+    Array.iter (fun nd -> nd.State.scratch_list <- []) st.State.nodes;
+    Prims.boundary st ~tag:((!l * 10) + 1)
+      ~payload:(fun nd ~port:_ ~nbr:_ ->
+        if nd.State.active then Some [ nd.State.part_root ] else None)
+      ~on_receive:(fun nd ~nbr:_ pl ->
+        match pl with
+        | [ r ] -> nd.State.scratch_list <- add_count nd.State.scratch_list r 1
+        | _ -> assert false);
+    (* Aggregate per-part notice counts to the root. *)
+    let sr = !l in
+    Prims.converge st ~budget ~tag:((sr * 10) + 2)
+      ~init:(fun nd -> cap alpha (Counts nd.State.scratch_list))
+      ~combine:(combine alpha) ~encode ~decode
+      ~at_root:(fun nd a ->
+        root_logic ~can_deactivate:(sr <= super_rounds) nd a sr);
+    (* Roots announce whether the part remains active. *)
+    Prims.bcast st ~budget ~tag:((sr * 10) + 3)
+      ~at_root:(fun nd ->
+        if nd.State.active then Some [ 1 ]
+        else if nd.State.deact_round = sr then Some [ 0 ]
+        else None)
+      ~on_receive:(fun nd pl -> nd.State.active <- pl = [ 1 ]);
+    if all_oriented !l then stop := true;
+    incr l
+  done;
+  let executed = !l - 1 in
+  List.iter
+    (fun nd ->
+      if nd.State.active then
+        st.State.rejections <-
+          ( nd.State.id,
+            Printf.sprintf
+              "forest decomposition: part %d still active after %d \
+               super-rounds (arboricity > %d evidence)"
+              nd.State.id super_rounds alpha )
+          :: st.State.rejections)
+    roots;
+  executed

@@ -1,0 +1,25 @@
+(** The forest-decomposition step of each Stage I phase (Sections 2.1.1 and
+    2.1.5): the Barenboim–Elkin peeling process run on the auxiliary graph
+    [G_i], emulated on [G] with super-rounds.
+
+    A part deactivates when at most [3 * alpha] of its neighboring parts
+    are still active; on deactivation its root records the active-neighbor
+    snapshot (with edge multiplicities — the weights of [G_i]), and one
+    super-round later it orients its auxiliary edges: toward parts that
+    outlived it, and by root id among parts that deactivated in the same
+    super-round.  Parts still active after [super_rounds] super-rounds are
+    evidence that [G_i] has arboricity exceeding [alpha]: their roots
+    reject.
+
+    On return, each deactivated part root [r] carries [deact_round],
+    [snapshot] and [out_edges].  The simulation stops early once every part
+    is oriented (the remaining super-rounds of the paper's fixed schedule
+    would be no-ops); the caller accounts the nominal schedule.
+
+    @return the number of super-rounds actually simulated. *)
+val run : State.t -> alpha:int -> super_rounds:int -> budget:int -> int
+
+(** [super_rounds_for n] is the [Theta (log n)] super-round bound under
+    which every bounded-arboricity graph fully deactivates (a third of the
+    live parts deactivate per super-round). *)
+val super_rounds_for : int -> int

@@ -1,0 +1,38 @@
+(** The merging step of a Stage I phase (Sections 2.1.2 and 2.1.6):
+    heaviest-out-edge selection, designated-edge election, Cole–Vishkin
+    coloring (via {!Cv_coloring}), the Czygrinow–Hańckowiak–Wawrzyniak
+    marking rules, shallow-tree levels with even/odd weight sums, and the
+    star contraction that produces the next partition.
+
+    Precondition: {!Forest_decomp.run} has filled [out_edges] at every part
+    root and nothing rejected.  Postcondition: [part_root] / [parent] /
+    [children] describe the coarsened partition [P_{i+1}] with the
+    properties of Lemma 6. *)
+
+(** Maximum height of a CHW marked tree (the paper proves 10; we give the
+    level protocol two rounds of slack and assert). *)
+val max_tree_height : int
+
+(** Local step at each root: pick the heaviest out-edge (ties to the
+    smaller root id).  Separated out so {!Random_partition} can substitute
+    its weighted random selection. *)
+val select_heaviest : State.t -> unit
+
+(** Clear the per-phase fields (selection, colors, marks, levels). *)
+val reset_phase_fields : State.t -> unit
+
+(** The individual sub-steps, exposed for unit tests.  They must run in
+    this order, after {!select_heaviest} (or the randomized selection). *)
+
+val designate : State.t -> budget:int -> unit
+val announce_and_resolve : State.t -> budget:int -> unit
+val marking : State.t -> budget:int -> unit
+val levels_and_decision : State.t -> budget:int -> unit
+val contract : State.t -> budget:int -> unit
+
+(** All remaining sub-steps, from designation through contraction.
+    [budget] must be at least the maximum part-tree depth. *)
+val run_after_selection : State.t -> budget:int -> unit
+
+(** [select_heaviest] followed by [run_after_selection]. *)
+val run : State.t -> budget:int -> unit

@@ -1,0 +1,17 @@
+(* Wire messages of the partition sub-protocols.  Payloads are flat int
+   lists; the [tag] identifies the sub-step so that lockstep violations
+   surface as assertion failures instead of silent cross-talk. *)
+
+type t =
+  | Root of int  (* neighbor-part-root refresh *)
+  | Down of int * int list  (* tag, payload: broadcast along part trees *)
+  | Up of int * int list  (* tag, payload: convergecast along part trees *)
+  | Bdry of int * int list  (* tag, payload: across cut edges *)
+
+let int_cost v = 2 + Congest.Bits.int_bits ~universe:(abs v + 2)
+
+let list_cost l = List.fold_left (fun acc v -> acc + int_cost v) 0 l
+
+let bits = function
+  | Root r -> 4 + int_cost r
+  | Down (t, l) | Up (t, l) | Bdry (t, l) -> 4 + int_cost t + list_cost l

@@ -1,0 +1,122 @@
+open Graphlib
+
+module Eng = Congest.Engine.Make (Msg)
+
+let sync = Eng.sync
+let send = Eng.send
+let reject = Eng.reject
+let rng = Eng.rng
+
+let run_program ?(seed = 0) (st : State.t) program =
+  let res =
+    Eng.run ~seed st.State.graph
+      (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
+  in
+  if not res.Eng.completed then failwith "Prims: node program did not complete";
+  Congest.Stats.add_into st.State.stats res.Eng.stats;
+  st.State.rejections <- res.Eng.rejections @ st.State.rejections
+
+let refresh_roots st =
+  run_program st (fun ctx nd ->
+      Array.iter
+        (fun (nbr, _) -> Eng.send ctx ~dest:nbr (Msg.Root nd.State.part_root))
+        (Graph.incident st.State.graph nd.State.id);
+      let inbox = Eng.sync ctx in
+      let inc = Graph.incident st.State.graph nd.State.id in
+      List.iter
+        (fun (from, msg) ->
+          match msg with
+          | Msg.Root r ->
+              (* Update the slot of this neighbor. *)
+              Array.iteri
+                (fun port (nbr, _) -> if nbr = from then nd.State.nbr_root.(port) <- r)
+                inc
+          | _ -> assert false)
+        inbox)
+
+let bcast st ~budget ~tag ~at_root ~on_receive =
+  run_program st (fun ctx nd ->
+      let relay payload =
+        List.iter
+          (fun c -> Eng.send ctx ~dest:c (Msg.Down (tag, payload)))
+          nd.State.children
+      in
+      (if State.is_root st nd.State.id then
+         match at_root nd with
+         | Some payload ->
+             on_receive nd payload;
+             relay payload
+         | None -> ());
+      for _ = 1 to budget do
+        let inbox = Eng.sync ctx in
+        List.iter
+          (fun (from, msg) ->
+            match msg with
+            | Msg.Down (t, payload) ->
+                if t <> tag then
+                  failwith
+                    (Printf.sprintf "bcast: lockstep violation (tag %d vs %d)" t
+                       tag);
+                assert (from = nd.State.parent);
+                on_receive nd payload;
+                relay payload
+            | _ -> assert false)
+          inbox
+      done)
+
+let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
+  run_program st (fun ctx nd ->
+      let pending = ref (List.length nd.State.children) in
+      let acc = ref (init nd) in
+      let sent = ref false in
+      let maybe_send () =
+        if !pending = 0 && not !sent then begin
+          sent := true;
+          if nd.State.parent >= 0 then
+            Eng.send ctx ~dest:nd.State.parent (Msg.Up (tag, encode !acc))
+          else at_root nd !acc
+        end
+      in
+      maybe_send ();
+      for _ = 1 to budget do
+        let inbox = Eng.sync ctx in
+        List.iter
+          (fun (from, msg) ->
+            match msg with
+            | Msg.Up (t, payload) ->
+                if t <> tag then
+                  failwith
+                    (Printf.sprintf
+                       "converge: lockstep violation (tag %d vs %d)" t tag);
+                if not (List.mem from nd.State.children) then
+                  failwith "converge: message from non-child";
+                acc := combine !acc (decode payload);
+                decr pending
+            | _ -> assert false)
+          inbox;
+        maybe_send ()
+      done;
+      if not !sent then failwith "converge: budget too small for tree depth")
+
+let boundary st ~tag ~payload ~on_receive =
+  run_program st (fun ctx nd ->
+      let inc = Graph.incident st.State.graph nd.State.id in
+      Array.iteri
+        (fun port (nbr, _) ->
+          if nd.State.nbr_root.(port) <> nd.State.part_root then
+            match payload nd ~port ~nbr with
+            | Some pl -> Eng.send ctx ~dest:nbr (Msg.Bdry (tag, pl))
+            | None -> ())
+        inc;
+      let inbox = Eng.sync ctx in
+      List.iter
+        (fun (from, msg) ->
+          match msg with
+          | Msg.Bdry (t, pl) ->
+              if t <> tag then
+                failwith
+                  (Printf.sprintf "boundary: lockstep violation (tag %d vs %d)"
+                     t tag);
+              on_receive nd ~nbr:from pl
+          | _ -> assert false)
+        inbox)

@@ -1,0 +1,82 @@
+(** Tree and boundary communication primitives of the Stage I emulation.
+
+    Every function executes one complete CONGEST protocol over the whole
+    network (an {!Congest.Engine.Make.run}) in which all nodes follow the
+    same fixed round schedule, so chaining primitives keeps every node in
+    lockstep — exactly the fixed-budget scheduling the paper uses (it
+    budgets each emulated super-round by the [4^i] diameter bound; we
+    budget by the true maximum part depth and account the nominal schedule
+    separately).
+
+    Round statistics accumulate into [st.stats]. *)
+
+module Eng : sig
+  type ctx
+
+  type 'o result = {
+    outputs : 'o option array;
+    rejections : (int * string) list;
+    stats : Congest.Stats.t;
+    completed : bool;
+  }
+end
+
+(** One round: every node tells every neighbor its current part root;
+    updates [nbr_root]. *)
+val refresh_roots : State.t -> unit
+
+(** [bcast st ~budget ~tag ~at_root ~on_receive] sends a payload from each
+    part root down its tree.  [at_root nd] produces the part's payload
+    ([None] = this part stays silent); [on_receive] fires at every node of
+    a broadcasting part, the root included.  [budget] must be at least the
+    maximum part-tree depth. *)
+val bcast :
+  State.t ->
+  budget:int ->
+  tag:int ->
+  at_root:(State.node -> int list option) ->
+  on_receive:(State.node -> int list -> unit) ->
+  unit
+
+(** [converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root]
+    aggregates a value from the leaves of every part tree to its root:
+    each node starts from [init nd], combines in its children's values, and
+    forwards; the root's total is delivered to [at_root].  [budget] must be
+    at least the maximum part-tree depth. *)
+val converge :
+  State.t ->
+  budget:int ->
+  tag:int ->
+  init:(State.node -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  encode:('a -> int list) ->
+  decode:(int list -> 'a) ->
+  at_root:(State.node -> 'a -> unit) ->
+  unit
+
+(** One round of cross-part messaging: [payload nd ~port ~nbr] is consulted
+    for every incident edge leading outside the part; deliveries invoke
+    [on_receive nd ~nbr payload]. *)
+val boundary :
+  State.t ->
+  tag:int ->
+  payload:(State.node -> port:int -> nbr:int -> int list option) ->
+  on_receive:(State.node -> nbr:int -> int list -> unit) ->
+  unit
+
+(** [run_program st program] escape hatch: run an arbitrary node program
+    over the state's graph, accumulating stats.  [program] receives the
+    engine context and this node's state.  [seed] feeds the per-node
+    random states. *)
+val run_program :
+  ?seed:int -> State.t -> (Eng.ctx -> State.node -> unit) -> unit
+
+(** Per-node random state (valid inside [run_program]). *)
+val rng : Eng.ctx -> Random.State.t
+
+(** Node-level API usable inside [run_program]. *)
+val sync : Eng.ctx -> (int * Msg.t) list
+
+val send : Eng.ctx -> dest:int -> Msg.t -> unit
+
+val reject : Eng.ctx -> string -> unit

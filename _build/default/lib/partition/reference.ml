@@ -1,0 +1,293 @@
+open Graphlib
+
+type result = {
+  part : int array;
+  cuts : int list;
+  rejected : bool;
+  phases : int;
+}
+
+(* Auxiliary graph of a partition: adjacency with edge multiplicities,
+   keyed by part roots. *)
+let aux_graph g part =
+  let w = Hashtbl.create 256 in
+  Graph.iter_edges
+    (fun _ u v ->
+      let a = part.(u) and b = part.(v) in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        Hashtbl.replace w key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt w key))
+      end)
+    g;
+  let nbrs = Hashtbl.create 256 in
+  let add a b x =
+    Hashtbl.replace nbrs a
+      ((b, x) :: Option.value ~default:[] (Hashtbl.find_opt nbrs a))
+  in
+  Hashtbl.iter
+    (fun (a, b) x ->
+      add a b x;
+      add b a x)
+    w;
+  nbrs
+
+let roots_of part =
+  Array.to_list part |> List.sort_uniq compare
+
+(* Barenboim–Elkin peeling: returns per-root (deact_round, out_edges) or
+   None on rejection. *)
+let peel nbrs roots ~alpha ~super_rounds =
+  let deact = Hashtbl.create 64 in
+  let degree_active r =
+    List.filter
+      (fun (q, _) -> not (Hashtbl.mem deact q))
+      (Option.value ~default:[] (Hashtbl.find_opt nbrs r))
+  in
+  let l = ref 1 in
+  let live = ref roots in
+  while !live <> [] && !l <= super_rounds do
+    let now =
+      List.filter (fun r -> List.length (degree_active r) <= 3 * alpha) !live
+    in
+    (* snapshot first, deactivate simultaneously *)
+    let snapshots = List.map (fun r -> (r, degree_active r)) now in
+    List.iter (fun (r, snap) -> Hashtbl.replace deact r (!l, snap)) snapshots;
+    live := List.filter (fun r -> not (Hashtbl.mem deact r)) !live;
+    incr l
+  done;
+  if !live <> [] then None
+  else
+    Some
+      (List.map
+         (fun r ->
+           let round, snap = Hashtbl.find deact r in
+           let out =
+             List.filter
+               (fun (q, _) ->
+                 let round_q, _ = Hashtbl.find deact q in
+                 round_q > round || (round_q = round && r < q))
+               snap
+           in
+           (r, round, out))
+         roots)
+
+(* The identical Cole–Vishkin schedule on the selected pseudo-forest. *)
+let cv_colors n fsel roots =
+  let color = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace color r r) roots;
+  let parent_color r =
+    match Hashtbl.find_opt fsel r with
+    | Some (t, _) -> Hashtbl.find color t
+    | None -> Hashtbl.find color r lxor 1
+  in
+  for _ = 1 to Cv_coloring.iterations_for n do
+    let next =
+      List.map
+        (fun r -> (r, Cv_coloring.cv_step (Hashtbl.find color r) (parent_color r)))
+        roots
+    in
+    List.iter (fun (r, c) -> Hashtbl.replace color r c) next
+  done;
+  List.iter
+    (fun c ->
+      (* shift-down *)
+      let prev = Hashtbl.copy color in
+      let shifted =
+        List.map
+          (fun r ->
+            ( r,
+              match Hashtbl.find_opt fsel r with
+              | Some (t, _) -> Hashtbl.find prev t
+              | None -> (Hashtbl.find prev r + 1) mod 3 ))
+          roots
+      in
+      List.iter (fun (r, x) -> Hashtbl.replace color r x) shifted;
+      (* recolor class c *)
+      let cur = Hashtbl.copy color in
+      List.iter
+        (fun r ->
+          if Hashtbl.find cur r = c then begin
+            let forbidden =
+              Hashtbl.find prev r
+              ::
+              (match Hashtbl.find_opt fsel r with
+              | Some (t, _) -> [ Hashtbl.find cur t ]
+              | None -> [])
+            in
+            let rec mex x = if List.mem x forbidden then mex (x + 1) else x in
+            Hashtbl.replace color r (mex 0)
+          end)
+        roots)
+    [ 5; 4; 3 ];
+  let final = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace final r (Hashtbl.find color r + 1)) roots;
+  final
+
+let one_phase g ~alpha ~super_rounds part =
+  let nbrs = aux_graph g part in
+  let roots = roots_of part in
+  match peel nbrs roots ~alpha ~super_rounds with
+  | None -> None
+  | Some oriented ->
+      (* Sub-step 1: heaviest out-edge, ties to the smaller root id. *)
+      let fsel = Hashtbl.create 64 in
+      List.iter
+        (fun (r, _, out) ->
+          let best =
+            List.fold_left
+              (fun acc (q, x) ->
+                match acc with
+                | None -> Some (q, x)
+                | Some (q', x') ->
+                    if x > x' || (x = x' && q < q') then Some (q, x) else acc)
+              None out
+          in
+          match best with
+          | Some sel -> Hashtbl.replace fsel r sel
+          | None -> ())
+        oriented;
+      (* Sub-step 2: coloring then marking. *)
+      let color = cv_colors (Graph.n g) fsel roots in
+      let in_children r =
+        List.filter_map
+          (fun q ->
+            match Hashtbl.find_opt fsel q with
+            | Some (t, x) when t = r -> Some (q, x)
+            | _ -> None)
+          roots
+      in
+      let out_marked = Hashtbl.create 64 in
+      let in_marked = Hashtbl.create 64 in
+      List.iter
+        (fun r ->
+          let children = in_children r in
+          let sum_color c =
+            List.fold_left
+              (fun acc (q, x) ->
+                if Hashtbl.find color q = c then acc + x else acc)
+              0 children
+          in
+          match Hashtbl.find color r with
+          | 1 ->
+              let total = sum_color 1 + sum_color 2 + sum_color 3 in
+              (match Hashtbl.find_opt fsel r with
+              | Some (_, w_out) when w_out >= total ->
+                  Hashtbl.replace out_marked r ()
+              | _ ->
+                  List.iter
+                    (fun (q, _) -> Hashtbl.replace in_marked (q, r) ())
+                    children)
+          | 2 -> (
+              let parent_is_3 =
+                match Hashtbl.find_opt fsel r with
+                | Some (t, _) -> Hashtbl.find color t = 3
+                | None -> false
+              in
+              let s3 = sum_color 3 in
+              match Hashtbl.find_opt fsel r with
+              | Some (_, w_out) when parent_is_3 && w_out >= s3 ->
+                  Hashtbl.replace out_marked r ()
+              | _ ->
+                  List.iter
+                    (fun (q, _) ->
+                      if Hashtbl.find color q = 3 then
+                        Hashtbl.replace in_marked (q, r) ())
+                    children)
+          | _ -> ())
+        roots;
+      let edge_marked q =
+        (* q's selected out-edge *)
+        match Hashtbl.find_opt fsel q with
+        | None -> false
+        | Some (t, _) ->
+            Hashtbl.mem out_marked q || Hashtbl.mem in_marked (q, t)
+      in
+      (* Sub-step 3: levels in the marked trees (T-root = unmarked out). *)
+      let tlevel = Hashtbl.create 64 in
+      List.iter
+        (fun r -> if not (edge_marked r) then Hashtbl.replace tlevel r 0)
+        roots;
+      for step = 0 to Merge.max_tree_height do
+        List.iter
+          (fun q ->
+            if (not (Hashtbl.mem tlevel q)) && edge_marked q then
+              let t, _ = Hashtbl.find fsel q in
+              match Hashtbl.find_opt tlevel t with
+              | Some l when l = step -> Hashtbl.replace tlevel q (l + 1)
+              | _ -> ())
+          roots
+      done;
+      (* Even/odd sums per T-root, then the decision bit. *)
+      let rec troot q =
+        if edge_marked q then troot (fst (Hashtbl.find fsel q)) else q
+      in
+      let w0 = Hashtbl.create 64 and w1 = Hashtbl.create 64 in
+      List.iter
+        (fun q ->
+          if edge_marked q then begin
+            let root = troot q in
+            let _, x = Hashtbl.find fsel q in
+            let tbl = if Hashtbl.find tlevel q mod 2 = 0 then w0 else w1 in
+            Hashtbl.replace tbl root
+              (x + Option.value ~default:0 (Hashtbl.find_opt tbl root))
+          end)
+        roots;
+      let bit root =
+        let a = Option.value ~default:0 (Hashtbl.find_opt w0 root) in
+        let b = Option.value ~default:0 (Hashtbl.find_opt w1 root) in
+        if a > b then 0 else 1
+      in
+      (* Sub-step 4: contract matching-parity marked edges. *)
+      let merges = Hashtbl.create 64 in
+      List.iter
+        (fun q ->
+          if edge_marked q then begin
+            let even_edge = Hashtbl.find tlevel q mod 2 = 0 in
+            let b = bit (troot q) in
+            if (even_edge && b = 0) || ((not even_edge) && b = 1) then
+              Hashtbl.replace merges q (fst (Hashtbl.find fsel q))
+          end)
+        roots;
+      let new_part = Array.copy part in
+      Array.iteri
+        (fun v r ->
+          match Hashtbl.find_opt merges r with
+          | Some target -> new_part.(v) <- target
+          | None -> ())
+        part;
+      Some new_part
+
+let cut_weight g part =
+  Graph.fold_edges
+    (fun acc _ u v -> if part.(u) <> part.(v) then acc + 1 else acc)
+    0 g
+
+let run ?(alpha = 3) ?(stop_when_met = true) g ~eps =
+  let n = Graph.n g and m = Graph.m g in
+  let super_rounds = Forest_decomp.super_rounds_for n in
+  let t = Stage1.phases_for ~eps ~alpha in
+  let target = eps *. float_of_int m /. 2.0 in
+  let part = ref (Array.init n (fun v -> v)) in
+  let cuts = ref [] in
+  let rejected = ref false in
+  let phase = ref 1 in
+  let stop = ref false in
+  while (not !stop) && !phase <= t do
+    (match one_phase g ~alpha ~super_rounds !part with
+    | None ->
+        rejected := true;
+        stop := true
+    | Some next ->
+        part := next;
+        let cut = cut_weight g next in
+        cuts := cut :: !cuts;
+        if stop_when_met && float_of_int cut <= target then stop := true);
+    incr phase
+  done;
+  {
+    part = !part;
+    cuts = List.rev !cuts;
+    rejected = !rejected;
+    phases = List.length !cuts;
+  }

@@ -1,0 +1,23 @@
+(** Centralized reference implementation of Stage I, operating directly on
+    the auxiliary weighted graphs [G_i] as the paper describes them
+    (Sections 2.1.1–2.1.2), with the same deterministic tie-breaking as the
+    distributed emulation: Barenboim–Elkin peeling with orientation by
+    (deactivation round, root id), heaviest-out-edge selection with ties to
+    the smaller root, the identical Cole–Vishkin iteration schedule, CHW
+    marking, shallow-tree levels and star contraction.
+
+    Because every choice is deterministic and mirrored, the emulation in
+    {!Stage1} must produce *identical* partitions — the differential test
+    the test suite runs on random planar inputs.  Disagreements indicate a
+    bug in one of the two. *)
+
+type result = {
+  part : int array;  (** per vertex: part root id, [P_{t+1}] *)
+  cuts : int list;  (** cut weight after each phase, chronological *)
+  rejected : bool;  (** some auxiliary graph exceeded the arboricity bound *)
+  phases : int;
+}
+
+(** Mirror of {!Stage1.run} (deterministic variant, [alpha = 3]). *)
+val run :
+  ?alpha:int -> ?stop_when_met:bool -> Graphlib.Graph.t -> eps:float -> result

@@ -1,0 +1,90 @@
+open Graphlib
+
+type phase_trace = {
+  phase : int;
+  cut_before : int;
+  cut_after : int;
+  max_diameter : int;
+  max_tree_depth : int;
+  parts : int;
+  fd_super_rounds : int;
+}
+
+type result = {
+  state : State.t;
+  rejected : (int * string) list;
+  phases : phase_trace list;
+  rounds : int;
+  nominal_rounds : int;
+}
+
+let phases_for ~eps ~alpha =
+  let rate = 1.0 -. (1.0 /. float_of_int (12 * alpha)) in
+  let t = log (eps /. 2.0) /. log rate in
+  max 1 (int_of_float (ceil t))
+
+(* Exact maximum induced-subgraph diameter over the current parts. *)
+let max_part_diameter st =
+  List.fold_left
+    (fun acc (_, members) ->
+      let sub, _ = Graph.induced st.State.graph members in
+      max acc (Traversal.diameter sub))
+    0 (State.parts st)
+
+(* The fixed schedule of the paper for phase [i] (1-based): Theta (log n)
+   super-rounds plus the merging sub-steps, each budgeted by the 4^(i-1)
+   diameter bound. *)
+let nominal_phase_rounds ~n ~phase =
+  let d_nom = int_of_float (4.0 ** float_of_int (phase - 1)) in
+  let per_step = (2 * d_nom) + 1 in
+  let fd = Forest_decomp.super_rounds_for n in
+  let cv = Cv_coloring.steps_for n in
+  let merge_steps = (3 * (Merge.max_tree_height + 1)) + 12 in
+  (fd + cv + merge_steps) * per_step
+
+let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true) g
+    ~eps =
+  if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
+  let st = State.create g in
+  let n = Graph.n g and m = Graph.m g in
+  let target = eps *. float_of_int m /. 2.0 in
+  let t = phases_for ~eps ~alpha in
+  let sr = Forest_decomp.super_rounds_for n in
+  let phases = ref [] in
+  let phase = ref 1 in
+  let stop = ref false in
+  while (not !stop) && !phase <= t do
+    let cut_before = State.cut_edges st in
+    Prims.refresh_roots st;
+    let budget = max 1 (State.max_depth st) in
+    let fd_super_rounds =
+      Forest_decomp.run st ~alpha ~super_rounds:sr ~budget
+    in
+    st.State.nominal_rounds <-
+      st.State.nominal_rounds + nominal_phase_rounds ~n ~phase:!phase;
+    if st.State.rejections <> [] then stop := true
+    else begin
+      Merge.run st ~budget;
+      let cut_after = State.cut_edges st in
+      phases :=
+        {
+          phase = !phase;
+          cut_before;
+          cut_after;
+          max_diameter = (if measure_diameters then max_part_diameter st else -1);
+          max_tree_depth = State.max_depth st;
+          parts = List.length (State.parts st);
+          fd_super_rounds;
+        }
+        :: !phases;
+      if stop_when_met && float_of_int cut_after <= target then stop := true;
+      incr phase
+    end
+  done;
+  {
+    state = st;
+    rejected = st.State.rejections;
+    phases = List.rev !phases;
+    rounds = st.State.stats.Congest.Stats.rounds;
+    nominal_rounds = st.State.nominal_rounds;
+  }

@@ -1,0 +1,53 @@
+(** Stage I of the tester (Section 2.1): the deterministic partition
+    algorithm.  Runs [t = O(log 1/eps)] phases of forest decomposition plus
+    merging, producing connected parts of poly(1/eps) diameter such that —
+    when the input graph is planar, or more generally of auxiliary
+    arboricity at most [alpha] throughout — the number of edges crossing
+    between parts is at most [eps * m / 2].
+
+    When some auxiliary graph has arboricity above [alpha], at least one
+    part root rejects; the returned trace says which.  (One-sided: planar
+    inputs never reject.) *)
+
+type phase_trace = {
+  phase : int;
+  cut_before : int;  (** inter-part edges entering the phase *)
+  cut_after : int;
+  max_diameter : int;  (** max part diameter after the phase *)
+  max_tree_depth : int;
+  parts : int;  (** parts after the phase *)
+  fd_super_rounds : int;  (** super-rounds the peeling actually took *)
+}
+
+type result = {
+  state : State.t;  (** final per-node state (partition + trees) *)
+  rejected : (int * string) list;  (** non-empty = evidence found *)
+  phases : phase_trace list;  (** chronological *)
+  rounds : int;  (** simulator rounds actually executed *)
+  nominal_rounds : int;
+      (** rounds of the paper's fixed schedule ([Theta (log n)] super-rounds
+          per phase, each budgeted by the [4^i] diameter bound) *)
+}
+
+(** Maximum number of phases for a distance parameter [eps]:
+    [(1 - 1/(12 alpha))^t <= eps / 2]. *)
+val phases_for : eps:float -> alpha:int -> int
+
+(** [run ?alpha ?stop_when_met g ~eps] executes Stage I.
+
+    @param alpha arboricity bound to verify (default 3 — planar).
+    @param stop_when_met stop as soon as the cut is at most
+           [eps * m / 2] (default [true]; the paper always runs the full
+           [t] phases, which its worst-case analysis needs, but stopping
+           early only removes no-op phases on real inputs — set [false]
+           to force the full schedule).
+    @param measure_diameters compute each phase's exact maximum part
+           diameter for the trace (default [true]; all-pairs BFS per part
+           — disable on large inputs, the trace then records [-1]). *)
+val run :
+  ?alpha:int ->
+  ?stop_when_met:bool ->
+  ?measure_diameters:bool ->
+  Graphlib.Graph.t ->
+  eps:float ->
+  result

@@ -1,0 +1,1 @@
+lib/planarity/distance.ml: Array Graph Graphlib Lr Random Traversal

@@ -1,0 +1,1 @@
+lib/planarity/distance.mli: Graphlib Random

@@ -1,0 +1,1 @@
+lib/planarity/dmp.ml: Array Graph Graphlib Hashtbl List Option Queue Stack Traversal Union_find

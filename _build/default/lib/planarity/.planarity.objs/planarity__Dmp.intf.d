@@ -1,0 +1,1 @@
+lib/planarity/dmp.mli: Graphlib

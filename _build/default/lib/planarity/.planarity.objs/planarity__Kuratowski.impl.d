@@ -1,0 +1,1 @@
+lib/planarity/kuratowski.ml: Graph Graphlib List Lr

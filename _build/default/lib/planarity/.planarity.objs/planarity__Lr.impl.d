@@ -1,0 +1,1 @@
+lib/planarity/lr.ml: Array Graph Graphlib List Rotation Stack

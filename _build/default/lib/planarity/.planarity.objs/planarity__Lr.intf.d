@@ -1,0 +1,1 @@
+lib/planarity/lr.mli: Graphlib Rotation

@@ -1,0 +1,1 @@
+lib/planarity/rotation.ml: Array Graph Graphlib List Traversal

@@ -1,0 +1,1 @@
+lib/planarity/rotation.mli: Graphlib

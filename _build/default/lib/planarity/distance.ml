@@ -1,0 +1,67 @@
+open Graphlib
+
+let has_triangle g =
+  (* For each edge (u, v) intersect neighbor lists; fine at test scales. *)
+  let result = ref false in
+  (try
+     Graph.iter_edges
+       (fun _ u v ->
+         let nu = Graph.neighbors g u and nv = Graph.neighbors g v in
+         let i = ref 0 and j = ref 0 in
+         while !i < Array.length nu && !j < Array.length nv do
+           if nu.(!i) = nv.(!j) then begin
+             result := true;
+             raise Exit
+           end
+           else if nu.(!i) < nv.(!j) then incr i
+           else incr j
+         done)
+       g
+   with Exit -> ());
+  !result
+
+let euler_lower_bound g =
+  let comp, c = Traversal.components g in
+  let nv = Array.make c 0 and ne = Array.make c 0 in
+  Array.iter (fun ci -> nv.(ci) <- nv.(ci) + 1) comp;
+  Graph.iter_edges (fun _ u _ -> ne.(comp.(u)) <- ne.(comp.(u)) + 1) g;
+  (* Component-wise: planar needs m_i <= 3 n_i - 6 (n_i >= 3); when the
+     whole graph is triangle-free, m_i <= 2 n_i - 4 (n_i >= 3). *)
+  let tf = not (has_triangle g) in
+  let total = ref 0 in
+  for ci = 0 to c - 1 do
+    if nv.(ci) >= 3 then begin
+      let cap = if tf then (2 * nv.(ci)) - 4 else (3 * nv.(ci)) - 6 in
+      if ne.(ci) > cap then total := !total + (ne.(ci) - cap)
+    end
+  done;
+  !total
+
+let greedy_upper_bound ?rng g =
+  let m = Graph.m g in
+  let order = Array.init m (fun i -> i) in
+  (match rng with
+  | Some rng ->
+      for i = m - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done
+  | None -> ());
+  let kept = ref [] in
+  let skipped = ref 0 in
+  Array.iter
+    (fun e ->
+      let u, v = Graph.edge g e in
+      let candidate = Graph.make ~n:(Graph.n g) ((u, v) :: !kept) in
+      if Lr.is_planar candidate then kept := (u, v) :: !kept
+      else incr skipped)
+    order;
+  !skipped
+
+let eps_far_lower_bound g =
+  if Graph.m g = 0 then 0.0
+  else float_of_int (euler_lower_bound g) /. float_of_int (Graph.m g)
+
+let is_certified_far g ~eps = eps_far_lower_bound g >= eps

@@ -1,0 +1,23 @@
+(** Bounds on the edit distance to planarity (number of edges whose removal
+    makes the graph planar), and the derived relative distance used by the
+    [eps]-far definition of the paper (distance / m). *)
+
+(** [euler_lower_bound g] is a certified lower bound: any simple planar
+    graph on [n >= 3] vertices has at most [3n - 6] edges, so at least
+    [m - (3n - 6)] edges must go.  Refined per connected component and, for
+    triangle-free components, via the bipartite-style bound [2n - 4]. *)
+val euler_lower_bound : Graphlib.Graph.t -> int
+
+(** [greedy_upper_bound ?rng g] builds a maximal planar subgraph by greedy
+    edge insertion (each insertion re-checked with the left-right test) and
+    returns the number of edges left out — an upper bound on the distance.
+    With [rng], edges are tried in random order. *)
+val greedy_upper_bound : ?rng:Random.State.t -> Graphlib.Graph.t -> int
+
+(** [eps_far_lower_bound g] is [euler_lower_bound g / m]: the graph is
+    certified at least this far from planar.  [0.] when [m = 0]. *)
+val eps_far_lower_bound : Graphlib.Graph.t -> float
+
+(** [is_certified_far g ~eps] holds when the Euler bound alone proves the
+    graph is [eps]-far from planar. *)
+val is_certified_far : Graphlib.Graph.t -> eps:float -> bool

@@ -1,0 +1,319 @@
+open Graphlib
+
+(* Biconnected components by the classic lowpoint algorithm, iterative. *)
+let blocks g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let edge_stack = Stack.create () in
+  let out = ref [] in
+  let pop_block until_edge =
+    let acc = ref [] in
+    let continue = ref true in
+    while !continue do
+      let e = Stack.pop edge_stack in
+      acc := e :: !acc;
+      if e = until_edge then continue := false
+    done;
+    out := !acc :: !out
+  in
+  for start = 0 to n - 1 do
+    if disc.(start) < 0 then begin
+      (* Frame: (v, edge to parent, incidence index). *)
+      let frames = Stack.create () in
+      disc.(start) <- !timer;
+      low.(start) <- !timer;
+      incr timer;
+      Stack.push (start, -1, ref 0) frames;
+      while not (Stack.is_empty frames) do
+        let v, pe, idx = Stack.top frames in
+        let inc = Graph.incident g v in
+        if !idx >= Array.length inc then begin
+          ignore (Stack.pop frames);
+          match Stack.top frames with
+          | exception Stack.Empty -> ()
+          | u, _, _ ->
+              low.(u) <- min low.(u) low.(v);
+              if low.(v) >= disc.(u) then pop_block pe
+        end
+        else begin
+          let w, e = inc.(!idx) in
+          incr idx;
+          if e <> pe then
+            if disc.(w) < 0 then begin
+              Stack.push e edge_stack;
+              disc.(w) <- !timer;
+              low.(w) <- !timer;
+              incr timer;
+              Stack.push (w, e, ref 0) frames
+            end
+            else if disc.(w) < disc.(v) then begin
+              Stack.push e edge_stack;
+              low.(v) <- min low.(v) disc.(w)
+            end
+        end
+      done
+    end
+  done;
+  !out
+
+(* A face of the partial embedding: a simple vertex cycle. *)
+module Face = struct
+  type t = { cycle : int list; verts : (int, unit) Hashtbl.t }
+
+  let of_cycle cycle =
+    let verts = Hashtbl.create (2 * List.length cycle) in
+    List.iter (fun v -> Hashtbl.replace verts v ()) cycle;
+    { cycle; verts }
+
+  let contains f v = Hashtbl.mem f.verts v
+end
+
+(* Split face [f] along [path = a :: interior @ [b]] with [a <> b], both on
+   [f] and [interior] disjoint from it. *)
+let split_face f path =
+  let a = List.hd path in
+  let b = List.nth path (List.length path - 1) in
+  let interior =
+    List.filteri (fun i _ -> i > 0 && i < List.length path - 1) path
+  in
+  let rec rotate acc = function
+    | [] -> invalid_arg "split_face: path start not on face"
+    | x :: rest when x = a -> (x :: rest) @ List.rev acc
+    | x :: rest -> rotate (x :: acc) rest
+  in
+  let cyc = rotate [] f.Face.cycle in
+  let rec cut pre = function
+    | [] -> invalid_arg "split_face: path end not on face"
+    | x :: rest when x = b -> (List.rev pre, rest)
+    | x :: rest -> cut (x :: pre) rest
+  in
+  let before_b, after_b = cut [] (List.tl cyc) in
+  let f1 = Face.of_cycle ((a :: before_b) @ (b :: List.rev interior)) in
+  let f2 = Face.of_cycle ((b :: after_b) @ (a :: interior)) in
+  (f1, f2)
+
+(* Find a cycle: grow a forest with union-find; the first edge closing a
+   cycle, plus the forest path between its endpoints, is one. *)
+let find_cycle g =
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let forest = ref [] in
+  let closing = ref None in
+  (try
+     Graph.iter_edges
+       (fun _ u v ->
+         if Union_find.union uf u v then forest := (u, v) :: !forest
+         else begin
+           closing := Some (u, v);
+           raise Exit
+         end)
+       g
+   with Exit -> ());
+  match !closing with
+  | None -> None
+  | Some (u, v) ->
+      let forest_graph = Graph.make ~n !forest in
+      let t = Traversal.bfs forest_graph u in
+      let rec climb x acc =
+        if x = u then u :: acc else climb t.Traversal.parent.(x) (x :: acc)
+      in
+      (* Cycle as vertex list [u; ...; v]; the closing edge joins v back to
+         u. *)
+      Some (climb v [])
+
+(* One fragment of g relative to the embedded subgraph:
+   [path] is a route between two distinct attachment vertices whose interior
+   avoids embedded vertices, and [admissible] the faces containing all
+   attachments. *)
+type fragment = { attachments : int list; path : int list }
+
+(* Fragments of g relative to (in_h, embedded_edge). *)
+let fragments g in_h embedded_edge =
+  let n = Graph.n g in
+  let frags = ref [] in
+  (* Singleton chord fragments. *)
+  Graph.iter_edges
+    (fun e u v ->
+      if (not embedded_edge.(e)) && in_h.(u) && in_h.(v) then
+        frags := { attachments = [ u; v ]; path = [ u; v ] } :: !frags)
+    g;
+  (* Component fragments: BFS over non-embedded vertices. *)
+  let seen = Array.make n false in
+  for start = 0 to n - 1 do
+    if (not in_h.(start)) && not seen.(start) then begin
+      let comp = ref [] in
+      let attach = Hashtbl.create 8 in
+      let q = Queue.create () in
+      seen.(start) <- true;
+      Queue.add start q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        comp := v :: !comp;
+        Array.iter
+          (fun (w, _) ->
+            if in_h.(w) then Hashtbl.replace attach w ()
+            else if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w q
+            end)
+          (Graph.incident g v)
+      done;
+      let attachments = Hashtbl.fold (fun v () acc -> v :: acc) attach [] in
+      (* Path between two attachments through the component: BFS from an
+         attachment [a], entering only component vertices, stopping at the
+         first embedded vertex [b <> a]. *)
+      let path =
+        match attachments with
+        | a :: _ :: _ ->
+            let parent = Array.make n (-1) in
+            let inside = Hashtbl.create 16 in
+            List.iter (fun v -> Hashtbl.replace inside v ()) !comp;
+            let q = Queue.create () in
+            let found = ref None in
+            Array.iter
+              (fun (w, _) ->
+                if Hashtbl.mem inside w && parent.(w) < 0 then begin
+                  parent.(w) <- a;
+                  Queue.add w q
+                end)
+              (Graph.incident g a);
+            (try
+               while not (Queue.is_empty q) do
+                 let v = Queue.pop q in
+                 Array.iter
+                   (fun (w, _) ->
+                     if in_h.(w) then begin
+                       if w <> a && !found = None then begin
+                         let rec climb x acc =
+                           if x = a then a :: acc else climb parent.(x) (x :: acc)
+                         in
+                         found := Some (climb v [ w ]);
+                         raise Exit
+                       end
+                     end
+                     else if parent.(w) < 0 then begin
+                       parent.(w) <- v;
+                       Queue.add w q
+                     end)
+                   (Graph.incident g v)
+               done
+             with Exit -> ());
+            (match !found with
+            | Some p -> p
+            | None ->
+                (* Unreachable in biconnected inputs: >= 2 attachments are
+                   always joined through the component. *)
+                invalid_arg "Dmp: fragment path not found")
+        | _ -> invalid_arg "Dmp: fragment with < 2 attachments (not 2-connected)"
+      in
+      frags := { attachments; path } :: !frags
+    end
+  done;
+  !frags
+
+(* DMP main loop on a biconnected graph with at least one cycle. *)
+let planar_biconnected g =
+  let n = Graph.n g and m = Graph.m g in
+  if n >= 3 && m > (3 * n) - 6 then false
+  else
+    match find_cycle g with
+    | None -> true (* forest *)
+    | Some cyc ->
+        let in_h = Array.make n false in
+        let embedded_edge = Array.make m false in
+        List.iter (fun v -> in_h.(v) <- true) cyc;
+        let mark_path_edges path =
+          let rec go = function
+            | u :: (v :: _ as rest) ->
+                embedded_edge.(Graph.find_edge g u v) <- true;
+                go rest
+            | _ -> ()
+          in
+          go path
+        in
+        mark_path_edges (cyc @ [ List.hd cyc ]);
+        let faces = ref [ Face.of_cycle cyc; Face.of_cycle (List.rev cyc) ] in
+        let embedded_count = ref (List.length cyc) in
+        let result = ref None in
+        while !result = None do
+          if !embedded_count = m then result := Some true
+          else begin
+            let frags = fragments g in_h embedded_edge in
+            (* Sanity: progress requires at least one fragment. *)
+            assert (frags <> []);
+            let with_admissible =
+              List.map
+                (fun fr ->
+                  let adm =
+                    List.filter
+                      (fun f ->
+                        List.for_all (Face.contains f) fr.attachments)
+                      !faces
+                  in
+                  (fr, adm))
+                frags
+            in
+            match
+              List.find_opt (fun (_, adm) -> adm = []) with_admissible
+            with
+            | Some _ -> result := Some false
+            | None ->
+                let fr, adm =
+                  match
+                    List.find_opt
+                      (fun (_, adm) -> List.length adm = 1)
+                      with_admissible
+                  with
+                  | Some x -> x
+                  | None -> List.hd with_admissible
+                in
+                let face = List.hd adm in
+                let f1, f2 = split_face face fr.path in
+                faces := f1 :: f2 :: List.filter (fun f -> f != face) !faces;
+                mark_path_edges fr.path;
+                List.iter
+                  (fun v ->
+                    if not in_h.(v) then in_h.(v) <- true)
+                  fr.path;
+                embedded_count :=
+                  Graph.fold_edges
+                    (fun acc e _ _ -> if embedded_edge.(e) then acc + 1 else acc)
+                    0 g
+          end
+        done;
+        Option.get !result
+
+let is_planar g =
+  let bs = blocks g in
+  List.for_all
+    (fun edge_ids ->
+      match edge_ids with
+      | [] | [ _ ] -> true
+      | _ ->
+          (* Build the local subgraph of this block. *)
+          let verts = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun e ->
+              let u, v = Graph.edge g e in
+              if not (Hashtbl.mem verts u) then begin
+                Hashtbl.add verts u (Hashtbl.length verts);
+                order := u :: !order
+              end;
+              if not (Hashtbl.mem verts v) then begin
+                Hashtbl.add verts v (Hashtbl.length verts);
+                order := v :: !order
+              end)
+            edge_ids;
+          let local =
+            Graph.make ~n:(Hashtbl.length verts)
+              (List.map
+                 (fun e ->
+                   let u, v = Graph.edge g e in
+                   (Hashtbl.find verts u, Hashtbl.find verts v))
+                 edge_ids)
+          in
+          planar_biconnected local)
+    bs

@@ -1,0 +1,13 @@
+(** Demoucron–Malgrange–Pertuiset planarity decision procedure.
+
+    A slower ([O(n^2 m)] worst case) but conceptually independent algorithm
+    used for differential testing of {!Lr}: faces are grown one fragment
+    path at a time; a fragment with no admissible face certifies
+    non-planarity.  The graph is decomposed into biconnected components
+    first (a graph is planar iff all its blocks are). *)
+
+val is_planar : Graphlib.Graph.t -> bool
+
+(** The biconnected components (blocks) of the graph, each as a list of
+    edge ids.  Exposed for testing. *)
+val blocks : Graphlib.Graph.t -> int list list

@@ -1,0 +1,84 @@
+open Graphlib
+
+type kind = K5 | K33
+
+type witness = {
+  kind : kind;
+  edges : (int * int) list;
+  branch_vertices : int list;
+}
+
+(* Greedy edge-minimization preserving non-planarity. *)
+let minimize g0 =
+  let current = ref g0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (try
+       for e = 0 to Graph.m !current - 1 do
+         let candidate, _ = Graph.remove_edges !current (fun e' -> e' = e) in
+         if not (Lr.is_planar candidate) then begin
+           current := candidate;
+           progress := true;
+           raise Exit
+         end
+       done
+     with Exit -> ())
+  done;
+  !current
+
+let classify g =
+  (* In an edge-minimal non-planar graph every vertex has degree 0, 2 or
+     the branch degree; branch vertices determine the kind. *)
+  let branch = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v >= 3 then branch := v :: !branch
+  done;
+  let branch = List.rev !branch in
+  match List.length branch with
+  | 5 -> Some (K5, branch)
+  | 6 -> Some (K33, branch)
+  | _ -> None
+
+let find g =
+  if Lr.is_planar g then None
+  else begin
+    let core = minimize g in
+    match classify core with
+    | None -> None (* unreachable if minimization is correct *)
+    | Some (kind, branch_vertices) ->
+        let edges =
+          Graph.fold_edges (fun acc _ u v -> (u, v) :: acc) [] core
+        in
+        Some { kind; edges; branch_vertices }
+  end
+
+let verify g w =
+  let subgraph_ok =
+    List.for_all (fun (u, v) -> Graph.has_edge g u v) w.edges
+  in
+  if not subgraph_ok then false
+  else begin
+    let h = Graph.make ~n:(Graph.n g) w.edges in
+    let nonplanar = not (Lr.is_planar h) in
+    let expected_branch_degree = match w.kind with K5 -> 4 | K33 -> 3 in
+    let expected_branch_count = match w.kind with K5 -> 5 | K33 -> 6 in
+    let branch_ok =
+      List.length w.branch_vertices = expected_branch_count
+      && List.for_all
+           (fun v -> Graph.degree h v = expected_branch_degree)
+           w.branch_vertices
+    in
+    let path_ok =
+      (* every non-branch vertex of the witness has degree 0 or 2 *)
+      let rec all v =
+        v < 0
+        || ((List.mem v w.branch_vertices
+            || Graph.degree h v = 0
+            || Graph.degree h v = 2)
+           && all (v - 1))
+      in
+      all (Graph.n h - 1)
+    in
+    nonplanar && branch_ok && path_ok
+  end

@@ -1,0 +1,27 @@
+(** Kuratowski witnesses: every non-planar graph contains a subdivision of
+    [K_5] or [K_{3,3}]; this module extracts one as concrete evidence of
+    non-planarity (the centralized analogue of the tester's rejection
+    evidence).
+
+    Extraction is by greedy minimization — repeatedly delete any edge whose
+    removal keeps the graph non-planar, then drop isolated vertices; the
+    remainder is an edge-minimal non-planar graph, which by Kuratowski's
+    theorem is exactly a subdivision of [K_5] or [K_{3,3}].  Costs [O(m)]
+    left-right tests. *)
+
+type kind = K5 | K33
+
+type witness = {
+  kind : kind;
+  edges : (int * int) list;  (** edges of the subdivision, original ids *)
+  branch_vertices : int list;
+      (** the 5 (resp. 6) vertices of degree 4 (resp. 3) *)
+}
+
+(** [find g] is a witness when [g] is non-planar, [None] otherwise. *)
+val find : Graphlib.Graph.t -> witness option
+
+(** [verify g w] checks that the witness is a subgraph of [g], is
+    non-planar, and has the degree profile of a [K_5] / [K_{3,3}]
+    subdivision. *)
+val verify : Graphlib.Graph.t -> witness -> bool

@@ -1,0 +1,441 @@
+open Graphlib
+
+(* Darts follow the Rotation convention: dart [2e] leaves the smaller
+   endpoint of edge [e], dart [2e + 1] the larger.  The algorithm orients
+   every edge in DFS direction and works on those oriented darts. *)
+
+type interval = { mutable low : int; mutable high : int } (* darts, -1 = none *)
+
+type conflict_pair = { left : interval; right : interval }
+
+exception Nonplanar
+
+let interval_empty i = i.low = -1 && i.high = -1
+
+let pair_empty p = interval_empty p.left && interval_empty p.right
+
+let swap_pair p =
+  let ll = p.left.low and lh = p.left.high in
+  p.left.low <- p.right.low;
+  p.left.high <- p.right.high;
+  p.right.low <- ll;
+  p.right.high <- lh
+
+type state = {
+  g : Graph.t;
+  height : int array; (* per vertex, -1 = unvisited *)
+  parent_edge : int array; (* per vertex, dart or -1 *)
+  orient : int array; (* per undirected edge: its DFS-oriented dart, -1 *)
+  lowpt : int array; (* per dart *)
+  lowpt2 : int array;
+  nesting_depth : int array;
+  ref_edge : int array; (* per dart, dart or -1 *)
+  side : int array; (* per dart, +1 / -1 *)
+  lowpt_edge : int array; (* per dart, dart or -1 *)
+  stack_bottom : conflict_pair option array; (* per dart *)
+  mutable stack : conflict_pair list;
+  ordered_adj : int array array; (* per vertex: outgoing darts by nesting *)
+  roots : int list ref;
+}
+
+let dart_src s d = Rotation.src s.g d
+let dart_dst s d = Rotation.dst s.g d
+
+let make_state g =
+  let n = Graph.n g and m = Graph.m g in
+  {
+    g;
+    height = Array.make n (-1);
+    parent_edge = Array.make n (-1);
+    orient = Array.make m (-1);
+    lowpt = Array.make (2 * m) 0;
+    lowpt2 = Array.make (2 * m) 0;
+    nesting_depth = Array.make (2 * m) 0;
+    ref_edge = Array.make (2 * m) (-1);
+    side = Array.make (2 * m) 1;
+    lowpt_edge = Array.make (2 * m) (-1);
+    stack_bottom = Array.make (2 * m) None;
+    stack = [];
+    ordered_adj = Array.make n [||];
+    roots = ref [];
+  }
+
+(* Phase 1: DFS orientation; computes height, lowpt, lowpt2, nesting_depth.
+   Iterative to survive deep DFS trees. *)
+let dfs_orientation s root =
+  let g = s.g in
+  s.height.(root) <- 0;
+  (* Frame: (v, incidence index).  Post-processing of a tree dart happens
+     when control returns to the parent frame. *)
+  let stack = Stack.create () in
+  Stack.push (root, ref 0) stack;
+  let update_parent_lowpts v vw =
+    let e = s.parent_edge.(v) in
+    if e >= 0 then
+      if s.lowpt.(vw) < s.lowpt.(e) then begin
+        s.lowpt2.(e) <- min s.lowpt.(e) s.lowpt2.(vw);
+        s.lowpt.(e) <- s.lowpt.(vw)
+      end
+      else if s.lowpt.(vw) > s.lowpt.(e) then
+        s.lowpt2.(e) <- min s.lowpt2.(e) s.lowpt.(vw)
+      else s.lowpt2.(e) <- min s.lowpt2.(e) s.lowpt2.(vw)
+  in
+  let finish_dart v vw =
+    s.nesting_depth.(vw) <- 2 * s.lowpt.(vw);
+    if s.lowpt2.(vw) < s.height.(v) then
+      s.nesting_depth.(vw) <- s.nesting_depth.(vw) + 1;
+    update_parent_lowpts v vw
+  in
+  while not (Stack.is_empty stack) do
+    let v, idx = Stack.top stack in
+    let inc = Graph.incident g v in
+    if !idx >= Array.length inc then begin
+      ignore (Stack.pop stack);
+      (* Returning into the parent: finish the tree dart into v. *)
+      let pe = s.parent_edge.(v) in
+      if pe >= 0 then finish_dart (dart_src s pe) pe
+    end
+    else begin
+      let w, e = inc.(!idx) in
+      incr idx;
+      if s.orient.(e) = -1 then begin
+        let vw = Rotation.dart_of g ~src:v e in
+        s.orient.(e) <- vw;
+        s.lowpt.(vw) <- s.height.(v);
+        s.lowpt2.(vw) <- s.height.(v);
+        if s.height.(w) = -1 then begin
+          (* tree dart; finished when w's frame pops *)
+          s.parent_edge.(w) <- vw;
+          s.height.(w) <- s.height.(v) + 1;
+          Stack.push (w, ref 0) stack
+        end
+        else begin
+          (* back dart *)
+          s.lowpt.(vw) <- s.height.(w);
+          finish_dart v vw
+        end
+      end
+    end
+  done
+
+let top_of_stack s = match s.stack with [] -> None | p :: _ -> Some p
+
+let pop_stack s =
+  match s.stack with
+  | [] -> failwith "Lr: pop on empty conflict stack"
+  | p :: rest ->
+      s.stack <- rest;
+      p
+
+let conflicting s i b = (not (interval_empty i)) && s.lowpt.(i.high) > s.lowpt.(b)
+
+let lowest s p =
+  if interval_empty p.left then s.lowpt.(p.right.low)
+  else if interval_empty p.right then s.lowpt.(p.left.low)
+  else min s.lowpt.(p.left.low) s.lowpt.(p.right.low)
+
+let add_constraints s ei e =
+  let p = { left = { low = -1; high = -1 }; right = { low = -1; high = -1 } } in
+  (* Merge return edges of e_i into p.right. *)
+  let continue = ref true in
+  while !continue do
+    let q = pop_stack s in
+    if not (interval_empty q.left) then swap_pair q;
+    if not (interval_empty q.left) then raise Nonplanar;
+    if s.lowpt.(q.right.low) > s.lowpt.(e) then begin
+      (* merge intervals *)
+      if interval_empty p.right then p.right.high <- q.right.high
+      else s.ref_edge.(p.right.low) <- q.right.high;
+      p.right.low <- q.right.low
+    end
+    else
+      (* align *)
+      s.ref_edge.(q.right.low) <- s.lowpt_edge.(e);
+    (match (top_of_stack s, s.stack_bottom.(ei)) with
+    | None, None -> continue := false
+    | Some a, Some b when a == b -> continue := false
+    | _ -> ())
+  done;
+  (* Merge conflicting return edges of e_1 .. e_{i-1} into p.left. *)
+  let keeps_conflicting () =
+    match top_of_stack s with
+    | None -> false
+    | Some q -> conflicting s q.left ei || conflicting s q.right ei
+  in
+  while keeps_conflicting () do
+    let q = pop_stack s in
+    if conflicting s q.right ei then swap_pair q;
+    if conflicting s q.right ei then raise Nonplanar;
+    (* merge interval below lowpt (e_i) into p.right *)
+    if p.right.low <> -1 then s.ref_edge.(p.right.low) <- q.right.high;
+    if q.right.low <> -1 then p.right.low <- q.right.low;
+    if interval_empty p.left then p.left.high <- q.left.high
+    else s.ref_edge.(p.left.low) <- q.left.high;
+    p.left.low <- q.left.low
+  done;
+  if not (pair_empty p) then s.stack <- p :: s.stack
+
+let remove_back_edges s e =
+  let u = dart_src s e in
+  (* Drop entire conflict pairs whose lowest return point is u. *)
+  let continue = ref true in
+  while !continue do
+    match s.stack with
+    | p :: _ when lowest s p = s.height.(u) ->
+        let p = pop_stack s in
+        if p.left.low <> -1 then s.side.(p.left.low) <- -1
+    | _ -> continue := false
+  done;
+  (* Trim the next conflict pair. *)
+  (match s.stack with
+  | [] -> ()
+  | _ ->
+      let p = pop_stack s in
+      while p.left.high <> -1 && dart_dst s p.left.high = u do
+        p.left.high <- s.ref_edge.(p.left.high)
+      done;
+      if p.left.high = -1 && p.left.low <> -1 then begin
+        s.ref_edge.(p.left.low) <- p.right.low;
+        s.side.(p.left.low) <- -1;
+        p.left.low <- -1
+      end;
+      while p.right.high <> -1 && dart_dst s p.right.high = u do
+        p.right.high <- s.ref_edge.(p.right.high)
+      done;
+      if p.right.high = -1 && p.right.low <> -1 then begin
+        s.ref_edge.(p.right.low) <- p.left.low;
+        s.side.(p.right.low) <- -1;
+        p.right.low <- -1
+      end;
+      s.stack <- p :: s.stack);
+  (* The side of e is the side of a highest return edge. *)
+  if s.lowpt.(e) < s.height.(u) then begin
+    match top_of_stack s with
+    | None -> ()
+    | Some top ->
+        let hl = top.left.high and hr = top.right.high in
+        if hl <> -1 && (hr = -1 || s.lowpt.(hl) > s.lowpt.(hr)) then
+          s.ref_edge.(e) <- hl
+        else s.ref_edge.(e) <- hr
+  end
+
+(* Phase 2: testing.  Iterative DFS over [ordered_adj]. *)
+let dfs_testing s root =
+  (* Frame: (v, index into ordered_adj v, dart being expanded or -1). *)
+  let stack = Stack.create () in
+  Stack.push (root, ref 0, ref (-1)) stack;
+  let after_child v ei =
+    (* Steps shared by the tree- and back-dart cases once ei is done. *)
+    if s.lowpt.(ei) < s.height.(v) then begin
+      let e = s.parent_edge.(v) in
+      if ei = s.ordered_adj.(v).(0) then
+        (if e >= 0 then s.lowpt_edge.(e) <- s.lowpt_edge.(ei))
+      else add_constraints s ei e
+    end
+  in
+  while not (Stack.is_empty stack) do
+    let v, idx, pending = Stack.top stack in
+    if !pending >= 0 then begin
+      (* A child's subtree just finished. *)
+      let ei = !pending in
+      pending := -1;
+      after_child v ei
+    end;
+    let adj = s.ordered_adj.(v) in
+    if !idx >= Array.length adj then begin
+      ignore (Stack.pop stack);
+      let e = s.parent_edge.(v) in
+      if e >= 0 then begin
+        remove_back_edges s e;
+        match Stack.top stack with
+        | exception Stack.Empty -> ()
+        | _, _, parent_pending -> parent_pending := e
+      end
+    end
+    else begin
+      let ei = adj.(!idx) in
+      incr idx;
+      let w = dart_dst s ei in
+      s.stack_bottom.(ei) <- top_of_stack s;
+      if ei = s.parent_edge.(w) then
+        (* tree dart: descend; [after_child] runs when w's frame pops *)
+        Stack.push (w, ref 0, ref (-1)) stack
+      else begin
+        (* back dart *)
+        s.lowpt_edge.(ei) <- ei;
+        s.stack <-
+          { left = { low = -1; high = -1 }; right = { low = ei; high = ei } }
+          :: s.stack;
+        after_child v ei
+      end
+    end
+  done
+
+(* Sign resolution: side (e) *= side (ref e), resolving ref chains.
+   Iterative over the chain. *)
+let sign s e =
+  let chain = ref [] in
+  let d = ref e in
+  while !d <> -1 && s.ref_edge.(!d) <> -1 do
+    chain := !d :: !chain;
+    d := s.ref_edge.(!d)
+  done;
+  (* !d has no ref: its side is final.  Unwind. *)
+  let acc = ref s.side.(!d) in
+  List.iter
+    (fun x ->
+      s.side.(x) <- s.side.(x) * !acc;
+      s.ref_edge.(x) <- -1;
+      acc := s.side.(x))
+    !chain;
+  s.side.(e)
+
+(* Doubly-linked rotations used while building the embedding. *)
+type emb = {
+  nxt : int array; (* per dart *)
+  prv : int array;
+  first : int array; (* per vertex, dart or -1 *)
+  present : bool array;
+}
+
+let emb_create n m =
+  {
+    nxt = Array.make (2 * m) (-1);
+    prv = Array.make (2 * m) (-1);
+    first = Array.make n (-1);
+    present = Array.make (2 * m) false;
+  }
+
+let emb_add_solo emb v d =
+  emb.first.(v) <- d;
+  emb.nxt.(d) <- d;
+  emb.prv.(d) <- d;
+  emb.present.(d) <- true
+
+let emb_add_after emb ref_d d =
+  (* insert d clockwise-after ref_d *)
+  let nx = emb.nxt.(ref_d) in
+  emb.nxt.(ref_d) <- d;
+  emb.prv.(d) <- ref_d;
+  emb.nxt.(d) <- nx;
+  emb.prv.(nx) <- d;
+  emb.present.(d) <- true
+
+let emb_add_before emb ref_d d =
+  let pv = emb.prv.(ref_d) in
+  emb.nxt.(pv) <- d;
+  emb.prv.(d) <- pv;
+  emb.nxt.(d) <- ref_d;
+  emb.prv.(ref_d) <- d;
+  emb.present.(d) <- true
+
+let emb_add_first emb v d =
+  if emb.first.(v) = -1 then emb_add_solo emb v d
+  else begin
+    emb_add_before emb emb.first.(v) d;
+    emb.first.(v) <- d
+  end
+
+let emb_add_last emb v d =
+  if emb.first.(v) = -1 then emb_add_solo emb v d
+  else emb_add_before emb emb.first.(v) d
+
+(* Phase 3: embedding.  Iterative DFS following ordered_adj re-sorted by
+   signed nesting depth. *)
+let dfs_embedding s emb root =
+  let left_ref = Array.make (Graph.n s.g) (-1) in
+  let right_ref = Array.make (Graph.n s.g) (-1) in
+  let stack = Stack.create () in
+  Stack.push (root, ref 0) stack;
+  while not (Stack.is_empty stack) do
+    let v, idx = Stack.top stack in
+    let adj = s.ordered_adj.(v) in
+    if !idx >= Array.length adj then ignore (Stack.pop stack)
+    else begin
+      let ei = adj.(!idx) in
+      incr idx;
+      let w = dart_dst s ei in
+      let back = Rotation.rev ei in
+      if ei = s.parent_edge.(w) then begin
+        (* tree dart: (w -> v) becomes first at w; v's refs point at its
+           most recent child dart *)
+        emb_add_first emb w back;
+        left_ref.(v) <- ei;
+        right_ref.(v) <- ei;
+        Stack.push (w, ref 0) stack
+      end
+      else if s.side.(ei) = 1 then emb_add_after emb right_ref.(w) back
+      else begin
+        emb_add_before emb left_ref.(w) back;
+        left_ref.(w) <- back
+      end
+    end
+  done
+
+let sort_ordered_adj s =
+  let g = s.g in
+  for v = 0 to Graph.n g - 1 do
+    let outs = ref [] in
+    Array.iter
+      (fun (_, e) ->
+        let d = s.orient.(e) in
+        if d >= 0 && dart_src s d = v then outs := d :: !outs)
+      (Graph.incident g v);
+    let arr = Array.of_list !outs in
+    Array.sort (fun a b -> compare s.nesting_depth.(a) s.nesting_depth.(b)) arr;
+    s.ordered_adj.(v) <- arr
+  done
+
+(* Runs orientation and testing; raises Nonplanar when the conflict-pair
+   constraints are unsatisfiable. *)
+let tested_state g =
+  let n = Graph.n g and m = Graph.m g in
+  if n >= 3 && m > (3 * n) - 6 then raise Nonplanar;
+  let s = make_state g in
+  for v = 0 to n - 1 do
+    if s.height.(v) = -1 then begin
+      s.roots := v :: !(s.roots);
+      dfs_orientation s v
+    end
+  done;
+  sort_ordered_adj s;
+  List.iter (dfs_testing s) !(s.roots);
+  s
+
+let is_planar g =
+  match tested_state g with _ -> true | exception Nonplanar -> false
+
+let embed g =
+  match tested_state g with
+  | exception Nonplanar -> None
+  | s ->
+      let m = Graph.m g in
+      for e = 0 to m - 1 do
+        let d = s.orient.(e) in
+        s.nesting_depth.(d) <- s.nesting_depth.(d) * sign s d
+      done;
+      sort_ordered_adj s;
+      let emb = emb_create (Graph.n g) m in
+      for v = 0 to Graph.n g - 1 do
+        Array.iter (fun d -> emb_add_last emb v d) s.ordered_adj.(v)
+      done;
+      List.iter (dfs_embedding s emb) !(s.roots);
+      let rotations =
+        Array.init (Graph.n g) (fun v ->
+            let deg = Graph.degree g v in
+            let rot = Array.make deg (-1) in
+            let d = ref emb.first.(v) in
+            for i = 0 to deg - 1 do
+              assert (!d >= 0 && emb.present.(!d));
+              rot.(i) <- !d;
+              d := emb.nxt.(!d)
+            done;
+            assert (deg = 0 || !d = emb.first.(v));
+            rot)
+      in
+      Some (Rotation.make g rotations)
+
+let embed_or_adjacency g =
+  match embed g with
+  | Some rot -> (rot, true)
+  | None -> (Rotation.of_adjacency_order g, false)

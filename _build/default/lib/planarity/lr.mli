@@ -1,0 +1,18 @@
+(** The left-right planarity test (de Fraysseix–Ossona de Mendez–
+    Rosenstiehl, as presented by Brandes), with combinatorial-embedding
+    extraction.  Linear time up to sorting adjacency lists by nesting
+    depth. *)
+
+(** [is_planar g] decides planarity. *)
+val is_planar : Graphlib.Graph.t -> bool
+
+(** [embed g] is a planar rotation system of [g], or [None] when [g] is not
+    planar.  The returned embedding always satisfies
+    [Rotation.is_planar_embedding]. *)
+val embed : Graphlib.Graph.t -> Rotation.t option
+
+(** [embed_or_adjacency g] is a planar embedding when one exists, and the
+    arbitrary adjacency-order rotation otherwise — exactly the behaviour the
+    tester's Stage II needs from the (substituted) Ghaffari–Haeupler
+    embedding step.  The boolean tells whether the embedding is planar. *)
+val embed_or_adjacency : Graphlib.Graph.t -> Rotation.t * bool

@@ -1,0 +1,108 @@
+open Graphlib
+
+type t = {
+  rotations : int array array;
+  succ_at_src : int array; (* dart -> next dart in rotation of its source *)
+}
+
+let rev d = d lxor 1
+let edge_of_dart d = d / 2
+
+let src g d =
+  let u, v = Graph.edge g (edge_of_dart d) in
+  if d land 1 = 0 then u else v
+
+let dst g d = src g (rev d)
+
+let dart_of g ~src:s e =
+  let u, v = Graph.edge g e in
+  if s = u then 2 * e
+  else if s = v then (2 * e) + 1
+  else invalid_arg "Rotation.dart_of: vertex not on edge"
+
+let make g rotations =
+  let n = Graph.n g and m = Graph.m g in
+  if Array.length rotations <> n then
+    invalid_arg "Rotation.make: wrong number of vertices";
+  let seen = Array.make (2 * m) false in
+  Array.iteri
+    (fun v rot ->
+      if Array.length rot <> Graph.degree g v then
+        invalid_arg "Rotation.make: rotation size <> degree";
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= 2 * m then invalid_arg "Rotation.make: bad dart";
+          if src g d <> v then
+            invalid_arg "Rotation.make: dart does not leave its vertex";
+          if seen.(d) then invalid_arg "Rotation.make: duplicate dart";
+          seen.(d) <- true)
+        rot)
+    rotations;
+  let succ_at_src = Array.make (2 * m) (-1) in
+  Array.iter
+    (fun rot ->
+      let k = Array.length rot in
+      for i = 0 to k - 1 do
+        succ_at_src.(rot.(i)) <- rot.((i + 1) mod k)
+      done)
+    rotations;
+  { rotations; succ_at_src }
+
+let of_adjacency_order g =
+  let rotations =
+    Array.init (Graph.n g) (fun v ->
+        Array.map (fun (_, e) -> dart_of g ~src:v e) (Graph.incident g v))
+  in
+  make g rotations
+
+let rotation t v = t.rotations.(v)
+let succ t d = t.succ_at_src.(d)
+
+(* The face permutation: the dart after [d] on its face is the successor of
+   [rev d] in the rotation at [dst d]. *)
+let face_next t d = t.succ_at_src.(rev d)
+
+let fold_faces f init g t =
+  let m = Graph.m g in
+  let visited = Array.make (2 * m) false in
+  let acc = ref init in
+  for d0 = 0 to (2 * m) - 1 do
+    if not visited.(d0) then begin
+      let face = ref [] in
+      let d = ref d0 in
+      let continue = ref true in
+      while !continue do
+        visited.(!d) <- true;
+        face := !d :: !face;
+        d := face_next t !d;
+        if !d = d0 then continue := false
+      done;
+      acc := f !acc (List.rev !face)
+    end
+  done;
+  !acc
+
+let count_faces g t = fold_faces (fun acc _ -> acc + 1) 0 g t
+let faces g t = List.rev (fold_faces (fun acc f -> f :: acc) [] g t)
+
+(* Per-component Euler: a component with edges has n_i - m_i + f_i = 2 in a
+   planar embedding (and strictly less otherwise, since higher genus only
+   loses faces); an isolated vertex has no darts, hence no counted face, and
+   contributes exactly 1 to n - m + f. *)
+let is_planar_embedding g t =
+  let comp, c = Traversal.components g in
+  let has_edge = Array.make c false in
+  Graph.iter_edges (fun _ u _ -> has_edge.(comp.(u)) <- true) g;
+  let isolated = ref 0 and edged = ref 0 in
+  Array.iter (fun b -> if b then incr edged) has_edge;
+  for v = 0 to Graph.n g - 1 do
+    if not has_edge.(comp.(v)) then incr isolated
+  done;
+  let f = count_faces g t in
+  Graph.n g - Graph.m g + f = (2 * !edged) + !isolated
+
+let genus g t =
+  if not (Traversal.is_connected g) then
+    invalid_arg "Rotation.genus: disconnected graph";
+  let f = count_faces g t in
+  (2 - (Graph.n g - Graph.m g + f)) / 2

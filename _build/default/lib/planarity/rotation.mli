@@ -1,0 +1,52 @@
+(** Rotation systems (combinatorial embeddings).
+
+    A rotation system assigns to every vertex a circular (clockwise) order
+    of its incident {e darts}.  The dart of edge [e] leaving its smaller
+    endpoint is [2 * e]; the dart leaving the larger endpoint is
+    [2 * e + 1].  A rotation system is a planar (combinatorial) embedding
+    iff its face count satisfies the Euler formula. *)
+
+type t
+
+(** [dart_of g ~src e] is the dart of edge [e] leaving vertex [src]. *)
+val dart_of : Graphlib.Graph.t -> src:int -> int -> int
+
+(** Reverse dart. *)
+val rev : int -> int
+
+(** Edge id of a dart. *)
+val edge_of_dart : int -> int
+
+(** [src g d] / [dst g d] are the tail and head vertices of dart [d]. *)
+val src : Graphlib.Graph.t -> int -> int
+val dst : Graphlib.Graph.t -> int -> int
+
+(** [make g rotations] builds a rotation system; [rotations.(v)] must list
+    every dart leaving [v] exactly once.  Raises [Invalid_argument]
+    otherwise. *)
+val make : Graphlib.Graph.t -> int array array -> t
+
+(** [of_adjacency_order g] is the rotation system given by neighbor-sorted
+    incidence order (an arbitrary, usually non-planar, embedding). *)
+val of_adjacency_order : Graphlib.Graph.t -> t
+
+(** The circular order of darts leaving [v] (must not be mutated). *)
+val rotation : t -> int -> int array
+
+(** [succ rot v d] is the dart following [d] in the clockwise order at its
+    source vertex [v]. *)
+val succ : t -> int -> int
+
+(** Number of faces of the embedding (orbits of the face permutation). *)
+val count_faces : Graphlib.Graph.t -> t -> int
+
+(** [faces g rot] lists the faces, each as its circular dart sequence. *)
+val faces : Graphlib.Graph.t -> t -> int list list
+
+(** [is_planar_embedding g rot] checks the (component-wise) Euler formula
+    [n - m + f = 1 + c]. *)
+val is_planar_embedding : Graphlib.Graph.t -> t -> bool
+
+(** Genus of the embedding, from [n - m + f = 2 - 2 genus] (connected
+    graphs only). *)
+val genus : Graphlib.Graph.t -> t -> int

@@ -1,0 +1,1 @@
+lib/tester/elkin_neiman.ml: Congest Graph Graphlib Hashtbl List Option Random

@@ -1,0 +1,1 @@
+lib/tester/elkin_neiman.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/tester/minor_free_testers.ml: Array Congest Graph Graphlib List Part_bfs Partition Printf

@@ -1,0 +1,1 @@
+lib/tester/minor_free_testers.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/tester/part_bfs.ml: Array Graph Graphlib List Partition Traversal

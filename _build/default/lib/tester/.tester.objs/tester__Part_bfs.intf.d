@@ -1,0 +1,1 @@
+lib/tester/part_bfs.mli: Partition

@@ -1,0 +1,1 @@
+lib/tester/planarity_tester.ml: Congest List Partition Stage2

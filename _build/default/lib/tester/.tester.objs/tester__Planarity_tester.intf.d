@@ -1,0 +1,1 @@
+lib/tester/planarity_tester.mli: Graphlib Partition Stage2

@@ -1,0 +1,1 @@
+lib/tester/spanner.ml: Array Congest Graph Graphlib Hashtbl List Option Part_bfs Partition Random Traversal

@@ -1,0 +1,1 @@
+lib/tester/spanner.mli: Graphlib Random

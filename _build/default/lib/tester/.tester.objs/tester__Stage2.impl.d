@@ -1,0 +1,1 @@
+lib/tester/stage2.ml: Array Congest Fun Graph Graphlib Hashtbl List Part_bfs Partition Planarity Printf Random Tester_util Traversal Violation

@@ -1,0 +1,1 @@
+lib/tester/stage2.mli: Partition

@@ -1,0 +1,1 @@
+lib/tester/tester_util.ml: Array Partition Violation

@@ -1,0 +1,1 @@
+lib/tester/tester_util.mli: Partition

@@ -1,0 +1,1 @@
+lib/tester/violation.ml: Array Graph Graphlib Hashtbl List Planarity Traversal

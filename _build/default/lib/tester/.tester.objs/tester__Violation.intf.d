@@ -1,0 +1,1 @@
+lib/tester/violation.mli: Graphlib Hashtbl Planarity

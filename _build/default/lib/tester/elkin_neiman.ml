@@ -1,0 +1,87 @@
+open Graphlib
+
+module M = struct
+  type t = Wave of int * float  (* cluster source, shifted value *)
+
+  (* One id plus a fixed-point payload. *)
+  let bits (Wave _) = 64
+end
+
+module E = Congest.Engine.Make (M)
+
+type result = {
+  spanner : Graph.t;
+  edges : int;
+  rounds : int;
+  failed : bool;
+}
+
+(* Miller–Peng–Xu-style exponential-shift clustering, as used by
+   Elkin–Neiman: every vertex starts a wave with value [r_v] (exponential
+   with rate [ln (n/delta) / k]); waves decay by 1 per hop and only the
+   best wave at each vertex keeps propagating.  Each vertex keeps the tree
+   edge to the neighbor that delivered its best wave, plus one edge toward
+   every other cluster heard within 1 of its own value. *)
+let build ?(seed = 0) g ~k ~delta =
+  let n = Graph.n g in
+  if n = 0 then
+    { spanner = Graph.make ~n:0 []; edges = 0; rounds = 0; failed = false }
+  else begin
+    let beta = log (float_of_int n /. delta) /. float_of_int k in
+    let failed = ref false in
+    let keep = Hashtbl.create (4 * n) in
+    let keep_edge u v = Hashtbl.replace keep (min u v, max u v) () in
+    let res =
+      E.run ~seed g (fun ctx ->
+          let v = E.my_id ctx in
+          let rng = E.rng ctx in
+          let r_v = -.log (1.0 -. Random.State.float rng 1.0) /. beta in
+          if r_v >= float_of_int k then failed := true;
+          (* Best wave so far: (source, value); own wave to start. *)
+          let src = ref v and m = ref r_v in
+          let tree_nbr = ref (-1) in
+          (* Per (neighbor cluster) best delivery: cluster -> (value,
+             neighbor). *)
+          let foreign = Hashtbl.create 8 in
+          let last_sent = ref neg_infinity in
+          let maybe_broadcast () =
+            if !m > !last_sent then begin
+              last_sent := !m;
+              E.broadcast ctx (M.Wave (!src, !m -. 1.0))
+            end
+          in
+          maybe_broadcast ();
+          for _ = 1 to k do
+            let inbox = E.sync ctx in
+            List.iter
+              (fun (from, M.Wave (s, x)) ->
+                (if x > !m then begin
+                   src := s;
+                   m := x;
+                   tree_nbr := from
+                 end);
+                let cur =
+                  Option.value ~default:neg_infinity
+                    (Option.map fst (Hashtbl.find_opt foreign s))
+                in
+                if x > cur then Hashtbl.replace foreign s (x, from))
+              inbox;
+            maybe_broadcast ()
+          done;
+          (* Tree edge into the cluster. *)
+          if !tree_nbr >= 0 then keep_edge v !tree_nbr;
+          (* One edge per foreign cluster heard within 1 of our value. *)
+          Hashtbl.iter
+            (fun s (x, from) ->
+              if s <> !src && x >= !m -. 1.0 then keep_edge v from)
+            foreign)
+    in
+    let edges = Hashtbl.fold (fun e () acc -> e :: acc) keep [] in
+    let spanner = Graph.make ~n edges in
+    {
+      spanner;
+      edges = Graph.m spanner;
+      rounds = res.E.stats.Congest.Stats.rounds;
+      failed = !failed;
+    }
+  end

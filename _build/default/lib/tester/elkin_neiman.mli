@@ -1,0 +1,21 @@
+(** The Elkin–Neiman spanner (SODA 2017), the baseline the paper compares
+    its minor-free spanner against in Section 1.2.
+
+    A [k]-round randomized CONGEST algorithm for general unweighted
+    graphs: every vertex draws an exponential radius [r_v] with rate
+    [ln (n / delta) / k] (failing, with probability at most [delta], when
+    some draw reaches [k]); shifted BFS waves [(r_v - dist)] propagate for
+    [k] rounds; each vertex keeps the edge to the first wave it hears and
+    to every neighbor whose best wave value is within 1 of its own.  With
+    probability [1 - delta] the result is a (2k - 1)-spanner with
+    [O (n^{1 + 1/k} / delta)] edges in expectation. *)
+
+type result = {
+  spanner : Graphlib.Graph.t;
+  edges : int;
+  rounds : int;
+  failed : bool;  (** some radius reached [k] (probability <= delta) *)
+}
+
+val build :
+  ?seed:int -> Graphlib.Graph.t -> k:int -> delta:float -> result

@@ -1,0 +1,94 @@
+open Graphlib
+module S = Partition.State
+
+type mode = Deterministic | Randomized of float
+
+type outcome = {
+  accepted : bool;
+  rejections : (int * string) list;
+  cut : int;
+  parts : int;
+  rounds : int;
+  nominal_rounds : int;
+}
+
+(* Partition with an absolute edge-cut target of [eps * m]. *)
+let partition_for mode seed g ~eps =
+  match mode with
+  | Deterministic ->
+      (* Stage1's target is eps' * m / 2; eps' = eps gives eps * m / 2 <=
+         eps * m. *)
+      (Partition.Stage1.run g ~eps).Partition.Stage1.state
+  | Randomized delta ->
+      (* Random_partition's target is eps' * n; eps' = eps * m / n. *)
+      let eps' =
+        if Graph.n g = 0 then eps
+        else
+          min 0.999
+            (eps *. float_of_int (Graph.m g) /. float_of_int (Graph.n g))
+      in
+      let eps' = max eps' 1e-9 in
+      (Partition.Random_partition.run g ~eps:eps' ~delta ~seed)
+        .Partition.Random_partition.state
+
+let finish st check =
+  let bfs = Part_bfs.build st in
+  Array.iter
+    (fun nd ->
+      let v = nd.S.id in
+      Part_bfs.iter_intra st nd (fun _ w ->
+          if
+            Part_bfs.assigned_to bfs st v w
+            && not (Part_bfs.is_tree_edge st v w)
+          then
+            match check bfs v w with
+            | Some reason -> st.S.rejections <- (v, reason) :: st.S.rejections
+            | None -> ()))
+    st.S.nodes;
+  {
+    accepted = st.S.rejections = [];
+    rejections = List.sort_uniq compare st.S.rejections;
+    cut = S.cut_edges st;
+    parts = List.length (S.parts st);
+    rounds = st.S.stats.Congest.Stats.rounds;
+    nominal_rounds = st.S.nominal_rounds + (2 * bfs.Part_bfs.depth_bound) + 3;
+  }
+
+let test_cycle_freeness ?(mode = Deterministic) ?(seed = 0) g ~eps =
+  let st = partition_for mode seed g ~eps in
+  finish st (fun _ v w ->
+      Some
+        (Printf.sprintf "node %d: non-tree edge (%d, %d) closes a cycle" v v w))
+
+let test_hereditary ?(mode = Deterministic) ?(seed = 0) g ~eps ~check_part =
+  let st = partition_for mode seed g ~eps in
+  let bfs = Part_bfs.build st in
+  List.iter
+    (fun (root, members) ->
+      let sub, _ = Graph.induced g members in
+      if not (check_part sub) then
+        st.S.rejections <-
+          (root, Printf.sprintf "part %d fails the hereditary property" root)
+          :: st.S.rejections)
+    (S.parts st);
+  {
+    accepted = st.S.rejections = [];
+    rejections = List.sort_uniq compare st.S.rejections;
+    cut = S.cut_edges st;
+    parts = List.length (S.parts st);
+    rounds = st.S.stats.Congest.Stats.rounds;
+    nominal_rounds = st.S.nominal_rounds + (2 * bfs.Part_bfs.depth_bound) + 3;
+  }
+
+let test_bipartiteness ?(mode = Deterministic) ?(seed = 0) g ~eps =
+  let st = partition_for mode seed g ~eps in
+  finish st (fun bfs v w ->
+      let dv = bfs.Part_bfs.dist.(v)
+      and dw = List.assoc w bfs.Part_bfs.nbr_level.(v) in
+      if (dv - dw) mod 2 = 0 then
+        Some
+          (Printf.sprintf
+             "node %d: non-tree edge (%d, %d) joins equal BFS parities (odd \
+              cycle)"
+             v v w)
+      else None)

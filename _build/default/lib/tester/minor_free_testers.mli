@@ -1,0 +1,45 @@
+(** Property testers for minor-free graphs (Corollary 16): cycle-freeness
+    and bipartiteness under a minor-free promise.
+
+    Both first run a partitioning algorithm — the deterministic Stage I
+    ([O(poly (1/eps) log n)] rounds) or the randomized Theorem 4 variant
+    ([O(poly (1/eps) (log (1/delta) + log* n))] rounds) — with the edge-cut
+    target [eps * m], then verify the property inside every part with a
+    BFS tree: any intra-part non-tree edge certifies a cycle; one joining
+    equal BFS parities certifies an odd cycle.
+
+    One-sided: a graph with the property is always accepted; an [eps]-far
+    minor-free graph is rejected (always for the deterministic partition,
+    with probability [1 - delta] for the randomized one). *)
+
+type mode = Deterministic | Randomized of float  (** confidence [delta] *)
+
+type outcome = {
+  accepted : bool;
+  rejections : (int * string) list;
+  cut : int;  (** inter-part edges of the partition used *)
+  parts : int;
+  rounds : int;
+  nominal_rounds : int;
+}
+
+val test_cycle_freeness :
+  ?mode:mode -> ?seed:int -> Graphlib.Graph.t -> eps:float -> outcome
+
+val test_bipartiteness :
+  ?mode:mode -> ?seed:int -> Graphlib.Graph.t -> eps:float -> outcome
+
+(** The paper's remark after Corollary 16: the same scheme tests any
+    hereditary property whose per-part verification runs in rounds
+    polynomial in the part diameter.  [check_part] receives each part's
+    induced subgraph (a substitution for that per-part verification; the
+    round cost charged is the part-BFS cost, i.e. O(diameter)).  A graph
+    all of whose parts satisfy the property is accepted; rejection evidence
+    names the part root. *)
+val test_hereditary :
+  ?mode:mode ->
+  ?seed:int ->
+  Graphlib.Graph.t ->
+  eps:float ->
+  check_part:(Graphlib.Graph.t -> bool) ->
+  outcome

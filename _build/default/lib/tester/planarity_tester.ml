@@ -1,0 +1,51 @@
+type verdict = Accept | Reject of (int * string) list
+
+type partition_mode = Stage_one | Exponential_shifts
+
+type report = {
+  verdict : verdict;
+  stage1 : Partition.Stage1.result option;
+  stage2 : Stage2.result option;
+  rounds : int;
+  nominal_rounds : int;
+  messages : int;
+  total_bits : int;
+}
+
+let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
+    ?(embedding = Stage2.Oracle) g ~eps =
+  let stage1, st =
+    match partition with
+    | Stage_one ->
+        let r = Partition.Stage1.run ~alpha g ~eps in
+        (Some r, r.Partition.Stage1.state)
+    | Exponential_shifts ->
+        let r = Partition.En_partition.run ~seed g ~eps in
+        (None, r.Partition.En_partition.state)
+  in
+  let partition_rejected =
+    match stage1 with
+    | Some r -> r.Partition.Stage1.rejected <> []
+    | None -> false
+  in
+  let stage2 =
+    if not partition_rejected then Some (Stage2.run ~embedding st ~eps ~seed)
+    else None
+  in
+  let rejections = st.Partition.State.rejections in
+  {
+    verdict =
+      (if rejections = [] then Accept
+       else Reject (List.sort_uniq compare rejections));
+    stage1;
+    stage2;
+    rounds = st.Partition.State.stats.Congest.Stats.rounds;
+    nominal_rounds = st.Partition.State.nominal_rounds;
+    messages = st.Partition.State.stats.Congest.Stats.messages;
+    total_bits = st.Partition.State.stats.Congest.Stats.total_bits;
+  }
+
+let accepts ?seed ?partition g ~eps =
+  match (run ?seed ?partition g ~eps).verdict with
+  | Accept -> true
+  | Reject _ -> false

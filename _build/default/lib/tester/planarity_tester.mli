@@ -1,0 +1,45 @@
+(** The complete distributed planarity tester of Theorem 1: Stage I
+    (partition, {!Partition.Stage1}) followed by Stage II (per-part testing,
+    {!Stage2}).
+
+    Guarantee: if the input graph is planar, every node accepts; if it is
+    [eps]-far from planar (more than [eps * m] edge deletions needed), some
+    node rejects with probability [1 - 1/poly n]. *)
+
+type verdict = Accept | Reject of (int * string) list
+
+(** Which partitioning algorithm feeds Stage II.  [Stage_one] is the
+    paper's deterministic Stage I (Theorem 1); [Exponential_shifts] is the
+    Section 1.1 alternative (the Elkin–Neiman-style clustering of
+    {!Partition.En_partition}), giving [O(log^2 n poly(1/eps))] rounds and
+    losing the deterministic completeness of the partition step (the
+    planarity verdict stays one-sided either way). *)
+type partition_mode = Stage_one | Exponential_shifts
+
+type report = {
+  verdict : verdict;
+  stage1 : Partition.Stage1.result option;
+      (** present in [Stage_one] mode *)
+  stage2 : Stage2.result option;  (** [None] when Stage I already rejected *)
+  rounds : int;  (** simulator rounds over both stages *)
+  nominal_rounds : int;  (** the paper's fixed-schedule round count *)
+  messages : int;
+  total_bits : int;
+}
+
+(** [run ?seed ?alpha ?partition g ~eps] executes the tester on the
+    simulator.  [seed] drives the randomized steps (Stage II's edge
+    sampling, and the shifts in [Exponential_shifts] mode). *)
+val run :
+  ?seed:int ->
+  ?alpha:int ->
+  ?partition:partition_mode ->
+  ?embedding:Stage2.embedding_mode ->
+  Graphlib.Graph.t ->
+  eps:float ->
+  report
+
+(** Convenience: [accepts] a graph iff no node rejected. *)
+val accepts :
+  ?seed:int -> ?partition:partition_mode -> Graphlib.Graph.t -> eps:float ->
+  bool

@@ -1,0 +1,28 @@
+(** Spanner construction for unweighted minor-free graphs (Corollary 17).
+
+    Run a partitioning algorithm with edge-cut target [eps * n], then keep
+    the BFS tree of every part plus every inter-part edge.  The result has
+    at most [(1 + eps) n] edges (deterministically for the Stage I
+    partition; with probability [1 - delta] for the Theorem 4 variant) and
+    stretch at most [2 D + 1] where [D] is the maximum part diameter —
+    [poly (1/eps)]. *)
+
+type mode = Deterministic | Randomized of float  (** confidence [delta] *)
+
+type result = {
+  spanner : Graphlib.Graph.t;
+  tree_edges : int;
+  cut_edges : int;
+  stretch_bound : int;  (** [2 * max part eccentricity + 1] *)
+  rounds : int;
+  nominal_rounds : int;
+}
+
+val build : ?mode:mode -> ?seed:int -> Graphlib.Graph.t -> eps:float -> result
+
+(** [measured_stretch ?samples ?rng g spanner] — the maximum over (sampled)
+    edges [(u, v)] of [g] of the spanner distance from [u] to [v] (exact
+    when [samples] covers all edges; default samples all edges up to
+    2000, then random). *)
+val measured_stretch :
+  ?samples:int -> ?rng:Random.State.t -> Graphlib.Graph.t -> Graphlib.Graph.t -> int

@@ -1,0 +1,7 @@
+(* Rotation walk for a node of the Stage II state: the rotation is stored
+   as neighbor ids, the tree is in the node's parent/children fields. *)
+let scan (nd : Partition.State.node) rotation f =
+  Violation.scan_neighbor_rotation
+    ~rotation:rotation.(nd.Partition.State.id)
+    ~parent:nd.Partition.State.parent
+    ~children:nd.Partition.State.children f

@@ -1,0 +1,7 @@
+(** Rotation walk for a node of the Stage II state: the rotation is stored
+    as neighbor ids, the tree lives in the node's parent/children fields.
+    [scan nd rotation f] calls [f nbr rank t] as in
+    {!Violation.scan_neighbor_rotation}. *)
+val scan :
+  Partition.State.node -> int array array -> (int -> int -> int -> unit) ->
+  unit

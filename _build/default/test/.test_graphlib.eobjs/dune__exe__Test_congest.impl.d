@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Congest Generators Graph Graphlib List QCheck QCheck_alcotest Random Traversal

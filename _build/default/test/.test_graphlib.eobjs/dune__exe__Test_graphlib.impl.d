@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Degeneracy Generators Gio Girth Graph Graphlib List Planarity QCheck QCheck_alcotest Random Traversal Union_find

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Graphlib Lowerbound QCheck QCheck_alcotest Random

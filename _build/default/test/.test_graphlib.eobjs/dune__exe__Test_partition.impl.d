@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Generators Graph Graphlib List Partition QCheck QCheck_alcotest Random Traversal

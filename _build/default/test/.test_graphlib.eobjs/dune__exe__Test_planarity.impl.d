@@ -1,0 +1,1 @@
+test/test_planarity.ml: Alcotest Array Generators Graph Graphlib List Planarity QCheck QCheck_alcotest Random

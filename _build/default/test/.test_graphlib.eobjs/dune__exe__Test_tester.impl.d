@@ -1,0 +1,1 @@
+test/test_tester.ml: Alcotest Array Generators Graph Graphlib List Option Partition Planarity QCheck QCheck_alcotest Random Tester Traversal

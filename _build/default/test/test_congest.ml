@@ -1,0 +1,331 @@
+open Graphlib
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let q = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_bits () =
+  check ci "universe 2" 1 (Congest.Bits.int_bits ~universe:2);
+  check ci "universe 3" 2 (Congest.Bits.int_bits ~universe:3);
+  check ci "universe 6" 3 (Congest.Bits.int_bits ~universe:6);
+  check ci "universe 8" 3 (Congest.Bits.int_bits ~universe:8);
+  check ci "universe 9" 4 (Congest.Bits.int_bits ~universe:9);
+  check ci "universe 1024" 10 (Congest.Bits.int_bits ~universe:1024)
+
+let test_id_bits () =
+  check ci "n=1" 1 (Congest.Bits.id_bits 1);
+  check ci "n=1000" 10 (Congest.Bits.id_bits 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module M = struct
+  type t = Int of int
+
+  let bits (Int v) = Congest.Bits.int_bits ~universe:(abs v + 2)
+end
+
+module E = Congest.Engine.Make (M)
+
+let test_no_messages_terminates () =
+  let g = Generators.path 4 in
+  let res = E.run g (fun ctx -> E.my_id ctx) in
+  check cb "completed" true res.E.completed;
+  check ci "no rounds needed" 0 res.E.stats.Congest.Stats.rounds;
+  Array.iteri
+    (fun v o -> check (Alcotest.option ci) "output" (Some v) o)
+    res.E.outputs
+
+let test_single_exchange () =
+  (* Each node learns the sum of its neighbors' ids. *)
+  let g = Generators.cycle 5 in
+  let res =
+    E.run g (fun ctx ->
+        E.broadcast ctx (M.Int (E.my_id ctx));
+        List.fold_left (fun acc (_, M.Int v) -> acc + v) 0 (E.sync ctx))
+  in
+  check cb "completed" true res.E.completed;
+  check ci "one round" 1 res.E.stats.Congest.Stats.rounds;
+  Array.iteri
+    (fun v o ->
+      let expect = ((v + 1) mod 5) + ((v + 4) mod 5) in
+      check (Alcotest.option ci) "sum of neighbors" (Some expect) o)
+    res.E.outputs
+
+let test_bfs_rounds_match_eccentricity () =
+  let g = Generators.grid 6 7 in
+  let ecc = Traversal.eccentricity g 0 in
+  let res =
+    E.run g (fun ctx ->
+        let level = ref (if E.my_id ctx = 0 then 0 else -1) in
+        if !level = 0 then E.broadcast ctx (M.Int 0);
+        let rounds = ref 0 in
+        (try
+           while !level = -1 do
+             incr rounds;
+             if !rounds > 100 then raise Exit;
+             List.iter
+               (fun (_, M.Int d) ->
+                 if !level = -1 then begin
+                   level := d + 1;
+                   E.broadcast ctx (M.Int !level)
+                 end)
+               (E.sync ctx)
+           done
+         with Exit -> ());
+        !level)
+  in
+  let dist = Traversal.dist_from g 0 in
+  Array.iteri
+    (fun v o -> check (Alcotest.option ci) "bfs level" (Some dist.(v)) o)
+    res.E.outputs;
+  check cb "rounds ~ eccentricity" true
+    (res.E.stats.Congest.Stats.rounds >= ecc)
+
+let test_send_non_neighbor_rejected () =
+  let g = Generators.path 3 in
+  try
+    ignore
+      (E.run g (fun ctx ->
+           if E.my_id ctx = 0 then E.send ctx ~dest:2 (M.Int 1)));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_max_rounds_timeout () =
+  let g = Generators.path 2 in
+  let res =
+    E.run ~max_rounds:5 g (fun ctx ->
+        while true do
+          ignore (E.sync ctx)
+        done)
+  in
+  check cb "not completed" false res.E.completed;
+  check ci "stopped at limit" 5 res.E.stats.Congest.Stats.rounds
+
+let test_rejection_log () =
+  let g = Generators.path 3 in
+  let res =
+    E.run g (fun ctx -> if E.my_id ctx = 1 then E.reject ctx "bad")
+  in
+  check
+    (Alcotest.list (Alcotest.pair ci Alcotest.string))
+    "rejections" [ (1, "bad") ] res.E.rejections
+
+let test_message_accounting () =
+  let g = Generators.path 2 in
+  let res =
+    E.run g (fun ctx ->
+        E.broadcast ctx (M.Int 1);
+        ignore (E.sync ctx))
+  in
+  check ci "two messages" 2 res.E.stats.Congest.Stats.messages;
+  check cb "bits counted" true (res.E.stats.Congest.Stats.total_bits > 0)
+
+let test_bandwidth_charging () =
+  (* Oversized traffic on one edge in one round is charged extra rounds. *)
+  let g = Generators.path 2 in
+  let res =
+    E.run ~bandwidth:8 g (fun ctx ->
+        if E.my_id ctx = 0 then
+          for _ = 1 to 10 do
+            E.send ctx ~dest:1 (M.Int 1000)
+          done;
+        ignore (E.sync ctx))
+  in
+  check ci "one logical round" 1 res.E.stats.Congest.Stats.rounds;
+  check cb "oversized flagged" true (res.E.stats.Congest.Stats.oversized > 0);
+  check cb "charged more" true
+    (res.E.stats.Congest.Stats.charged_rounds
+    > res.E.stats.Congest.Stats.rounds)
+
+let test_determinism () =
+  let g = Generators.grid 4 4 in
+  let run () =
+    E.run ~seed:3 g (fun ctx ->
+        let r = Random.State.int (E.rng ctx) 1000 in
+        E.broadcast ctx (M.Int r);
+        List.fold_left (fun acc (_, M.Int v) -> acc + v) r (E.sync ctx))
+  in
+  let a = run () and b = run () in
+  Array.iteri
+    (fun v o -> check (Alcotest.option ci) "same output" o b.E.outputs.(v))
+    a.E.outputs
+
+let test_inbox_sorted_by_sender () =
+  let g = Generators.star 6 in
+  let res =
+    E.run g (fun ctx ->
+        E.broadcast ctx (M.Int (E.my_id ctx));
+        let inbox = E.sync ctx in
+        List.map fst inbox)
+  in
+  match res.E.outputs.(0) with
+  | Some senders ->
+      check (Alcotest.list ci) "sorted senders" [ 1; 2; 3; 4; 5 ] senders
+  | None -> Alcotest.fail "no output"
+
+let test_idle () =
+  let g = Generators.path 3 in
+  let res =
+    E.run g (fun ctx ->
+        E.idle ctx 7;
+        E.round ctx)
+  in
+  check ci "rounds" 7 res.E.stats.Congest.Stats.rounds;
+  Array.iter
+    (fun o -> check (Alcotest.option ci) "round counter" (Some 7) o)
+    res.E.outputs
+
+
+let test_strict_mode () =
+  let g = Generators.path 2 in
+  try
+    ignore
+      (E.run ~bandwidth:4 ~strict:true g (fun ctx ->
+           if E.my_id ctx = 0 then E.send ctx ~dest:1 (M.Int 100000);
+           ignore (E.sync ctx)));
+    Alcotest.fail "expected strict-mode failure"
+  with Failure _ -> ()
+
+let test_strict_mode_ok_within_budget () =
+  let g = Generators.path 2 in
+  let res =
+    E.run ~bandwidth:64 ~strict:true g (fun ctx ->
+        E.broadcast ctx (M.Int 3);
+        ignore (E.sync ctx))
+  in
+  check cb "completed" true res.E.completed
+
+let test_stats_charge_and_merge () =
+  let s1 = Congest.Stats.create ~bandwidth:32 in
+  let s2 = Congest.Stats.create ~bandwidth:32 in
+  s1.Congest.Stats.rounds <- 3;
+  s2.Congest.Stats.rounds <- 4;
+  s2.Congest.Stats.max_edge_bits <- 100;
+  Congest.Stats.charge s1 10;
+  Congest.Stats.add_into s1 s2;
+  check ci "rounds merged" 7 s1.Congest.Stats.rounds;
+  check ci "charges kept" 10 s1.Congest.Stats.charged_rounds;
+  check ci "max merged" 100 s1.Congest.Stats.max_edge_bits
+
+let test_echo_qcheck =
+  QCheck.Test.make ~name:"flood-echo counts all nodes on random trees"
+    ~count:40
+    QCheck.(pair (int_range 2 40) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      let depth = Traversal.eccentricity g 0 in
+      let res =
+        E.run g (fun ctx ->
+            (* count subtree sizes toward node 0 *)
+            let v = E.my_id ctx in
+            let parent = ref (if v = 0 then -1 else -2) in
+            let pending = ref (E.degree ctx) in
+            let total = ref 1 in
+            if v = 0 then E.broadcast ctx (M.Int 0);
+            for _ = 1 to (2 * depth) + 2 do
+              let inbox = E.sync ctx in
+              List.iter
+                (fun (from, M.Int x) ->
+                  if x = 0 then begin
+                    (* wave down *)
+                    if !parent = -2 then begin
+                      parent := from;
+                      decr pending;
+                      E.broadcast ctx (M.Int 0)
+                    end
+                  end
+                  else begin
+                    total := !total + x - 1;
+                    decr pending
+                  end)
+                inbox;
+              if !pending = 0 then begin
+                pending := -1;
+                if !parent >= 0 then E.send ctx ~dest:!parent (M.Int (!total + 1))
+              end
+            done;
+            !total)
+      in
+      res.E.outputs.(0) = Some n)
+
+
+(* Appended: classic protocols on the engine. *)
+let test_protocols_bfs () =
+  let g = Generators.grid 5 6 in
+  let r = Congest.Protocols.bfs_tree g ~root:0 ~rounds_bound:(Graph.n g) in
+  let expect = Traversal.dist_from g 0 in
+  Array.iteri (fun v d -> check ci "level" expect.(v) d) r.Congest.Protocols.level
+
+let test_protocols_leader () =
+  let g = Graph.disjoint_union (Generators.cycle 5) (Generators.path 4) in
+  let leaders = Congest.Protocols.elect_min_id g ~rounds_bound:(Graph.n g) in
+  for v = 0 to 4 do check ci "component 1 leader" 0 leaders.(v) done;
+  for v = 5 to 8 do check ci "component 2 leader" 5 leaders.(v) done
+
+let test_protocols_count () =
+  let g = Generators.grid 6 6 in
+  let count, rounds = Congest.Protocols.count_nodes g ~root:0 ~rounds_bound:(3 * Graph.n g) in
+  check ci "counted all" 36 count;
+  check cb "rounds sane" true (rounds > 0)
+
+let test_protocols_count_qcheck =
+  QCheck.Test.make ~name:"flood-echo count on random connected graphs" ~count:30
+    QCheck.(pair (int_range 2 40) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n 0.25 in
+      let members = Traversal.component_of g 0 in
+      let count, _ = Congest.Protocols.count_nodes g ~root:0 ~rounds_bound:(3 * n + 4) in
+      count = List.length members)
+
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "int_bits" `Quick test_int_bits;
+          Alcotest.test_case "id_bits" `Quick test_id_bits;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "terminates without messages" `Quick
+            test_no_messages_terminates;
+          Alcotest.test_case "single exchange" `Quick test_single_exchange;
+          Alcotest.test_case "bfs rounds" `Quick
+            test_bfs_rounds_match_eccentricity;
+          Alcotest.test_case "send to non-neighbor" `Quick
+            test_send_non_neighbor_rejected;
+          Alcotest.test_case "max_rounds" `Quick test_max_rounds_timeout;
+          Alcotest.test_case "rejection log" `Quick test_rejection_log;
+          Alcotest.test_case "message accounting" `Quick
+            test_message_accounting;
+          Alcotest.test_case "bandwidth charging" `Quick
+            test_bandwidth_charging;
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_determinism;
+          Alcotest.test_case "inbox sorted" `Quick test_inbox_sorted_by_sender;
+          Alcotest.test_case "idle" `Quick test_idle;
+          Alcotest.test_case "strict mode rejects" `Quick test_strict_mode;
+          Alcotest.test_case "strict mode within budget" `Quick
+            test_strict_mode_ok_within_budget;
+          q test_echo_qcheck;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "charge and merge" `Quick test_stats_charge_and_merge ]
+      );
+      ( "protocols",
+        [
+          Alcotest.test_case "bfs levels" `Quick test_protocols_bfs;
+          Alcotest.test_case "min-id leader" `Quick test_protocols_leader;
+          Alcotest.test_case "flood-echo count" `Quick test_protocols_count;
+          q test_protocols_count_qcheck;
+        ] );
+    ]

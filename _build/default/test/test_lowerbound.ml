@@ -1,0 +1,76 @@
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let q = QCheck_alcotest.to_alcotest
+
+let test_construction_girth () =
+  let rng = Random.State.make [| 1 |] in
+  let c =
+    Lowerbound.Construction.build rng ~n:400 ~avg_degree:8.0 ~girth_factor:1.2
+  in
+  (match c.Lowerbound.Construction.girth with
+  | Some girth ->
+      check cb "girth at least target" true
+        (girth >= c.Lowerbound.Construction.girth_target)
+  | None -> ());
+  check cb "edges were removed" true (c.Lowerbound.Construction.removed > 0)
+
+let test_construction_far () =
+  let rng = Random.State.make [| 2 |] in
+  let c =
+    Lowerbound.Construction.build rng ~n:512 ~avg_degree:9.0 ~girth_factor:1.0
+  in
+  check cb "certified constant-far" true
+    (c.Lowerbound.Construction.euler_far >= 0.05)
+
+let test_blind_radius () =
+  let rng = Random.State.make [| 3 |] in
+  let c =
+    Lowerbound.Construction.build rng ~n:300 ~avg_degree:6.0 ~girth_factor:1.5
+  in
+  let r = Lowerbound.Construction.indistinguishability_radius c in
+  (match c.Lowerbound.Construction.girth with
+  | Some girth -> check ci "radius from girth" ((girth - 1) / 2) r
+  | None -> ());
+  check cb "radius positive" true (r >= 1)
+
+let test_tree_views () =
+  (* Within the blind radius, every node's view really is cycle-free. *)
+  let rng = Random.State.make [| 4 |] in
+  let c =
+    Lowerbound.Construction.build rng ~n:200 ~avg_degree:5.0 ~girth_factor:1.5
+  in
+  let g = c.Lowerbound.Construction.graph in
+  let r = Lowerbound.Construction.indistinguishability_radius c in
+  check cb "no cycle within radius ball" true
+    (Graphlib.Girth.girth_upto g (2 * r) = None)
+
+let test_girth_grows_qcheck =
+  QCheck.Test.make
+    ~name:"girth target grows with n at fixed degree" ~count:5
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let small =
+        Lowerbound.Construction.build rng ~n:64 ~avg_degree:5.0
+          ~girth_factor:1.5
+      in
+      let big =
+        Lowerbound.Construction.build rng ~n:2048 ~avg_degree:5.0
+          ~girth_factor:1.5
+      in
+      big.Lowerbound.Construction.girth_target
+      >= small.Lowerbound.Construction.girth_target)
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "girth" `Quick test_construction_girth;
+          Alcotest.test_case "farness" `Quick test_construction_far;
+          Alcotest.test_case "blind radius" `Quick test_blind_radius;
+          Alcotest.test_case "tree views" `Quick test_tree_views;
+          q test_girth_grows_qcheck;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+open Graphlib
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let q = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Rotation systems                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_darts () =
+  let g = Graph.make ~n:3 [ (0, 1); (1, 2) ] in
+  let d = Planarity.Rotation.dart_of g ~src:1 0 in
+  check ci "src" 1 (Planarity.Rotation.src g d);
+  check ci "dst" 0 (Planarity.Rotation.dst g d);
+  check ci "edge of dart" 0 (Planarity.Rotation.edge_of_dart d);
+  check ci "rev src" 0 (Planarity.Rotation.src g (Planarity.Rotation.rev d))
+
+let test_face_count_cycle () =
+  let g = Generators.cycle 5 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  check ci "cycle faces" 2 (Planarity.Rotation.count_faces g rot);
+  check cb "planar" true (Planarity.Rotation.is_planar_embedding g rot)
+
+let test_face_count_tree () =
+  let g = Generators.random_tree (Random.State.make [| 1 |]) 20 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  check ci "tree has one face" 1 (Planarity.Rotation.count_faces g rot);
+  check cb "planar" true (Planarity.Rotation.is_planar_embedding g rot)
+
+let test_k4_adjacency_rotation_toroidal () =
+  (* K4's adjacency-order rotation is a genus-1 (toroidal) embedding with
+     two faces — a nice witness that [of_adjacency_order] is arbitrary. *)
+  let g = Generators.complete 4 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  check ci "genus" 1 (Planarity.Rotation.genus g rot);
+  check ci "faces" 2 (Planarity.Rotation.count_faces g rot);
+  (* ... while a planar embedding of K4 exists and has 4 faces. *)
+  match Planarity.Lr.embed g with
+  | Some planar -> check ci "planar faces" 4 (Planarity.Rotation.count_faces g planar)
+  | None -> Alcotest.fail "K4 is planar" 
+
+let test_k5_adjacency_rotation_nonplanar () =
+  let g = Generators.complete 5 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  check cb "K5 cannot embed" false (Planarity.Rotation.is_planar_embedding g rot);
+  check cb "positive genus" true (Planarity.Rotation.genus g rot > 0)
+
+let test_rotation_validation () =
+  let g = Generators.cycle 3 in
+  (try
+     ignore (Planarity.Rotation.make g [| [| 0 |]; [| 1 |]; [| 3 |] |]);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Planarity.Rotation.make g [| [| 0; 0 |]; [||]; [||] |]);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_faces_partition_darts () =
+  let g = Generators.grid 3 3 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  let total =
+    List.fold_left
+      (fun acc f -> acc + List.length f)
+      0
+      (Planarity.Rotation.faces g rot)
+  in
+  check ci "darts partitioned" (2 * Graph.m g) total
+
+let test_isolated_vertices () =
+  let g = Graph.make ~n:5 [ (0, 1) ] in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  check cb "isolated vertices fine" true
+    (Planarity.Rotation.is_planar_embedding g rot)
+
+(* ------------------------------------------------------------------ *)
+(* Left-right planarity test                                           *)
+(* ------------------------------------------------------------------ *)
+
+let planar_cases =
+  [
+    ("K4", Generators.complete 4, true);
+    ("K5", Generators.complete 5, false);
+    ("K5 minus edge", (let g = Generators.complete 5 in fst (Graph.remove_edges g (fun e -> e = 0))), true);
+    ("K33", Generators.complete_bipartite 3 3, false);
+    ("K33 minus edge", (let g = Generators.complete_bipartite 3 3 in fst (Graph.remove_edges g (fun e -> e = 0))), true);
+    ("K24", Generators.complete_bipartite 2 4, true);
+    ("petersen", Generators.petersen (), false);
+    ("grid 8x8", Generators.grid 8 8, true);
+    ("torus 4x4", Generators.torus 4 4, false);
+    ("torus 3x3", Generators.torus 3 3, false);
+    ("hypercube 3", Generators.hypercube 3, true);
+    ("hypercube 4", Generators.hypercube 4, false);
+    ("cycle 30", Generators.cycle 30, true);
+    ("path 1", Generators.path 1, true);
+    ("empty 5", Graph.make ~n:5 [], true);
+    ("K6", Generators.complete 6, false);
+    ("two K5s", Graph.disjoint_union (Generators.complete 5) (Generators.complete 5), false);
+    ("K4 + K4", Graph.disjoint_union (Generators.complete 4) (Generators.complete 4), true);
+    ("k5 necklace", Generators.k5_necklace 3, false);
+  ]
+
+let test_lr_known () =
+  List.iter
+    (fun (name, g, expect) ->
+      check cb name expect (Planarity.Lr.is_planar g))
+    planar_cases
+
+let test_lr_embed_verifies () =
+  List.iter
+    (fun (name, g, expect) ->
+      match Planarity.Lr.embed g with
+      | Some rot ->
+          check cb (name ^ " planar") true expect;
+          check cb
+            (name ^ " embedding verifies")
+            true
+            (Planarity.Rotation.is_planar_embedding g rot)
+      | None -> check cb (name ^ " non-planar") false expect)
+    planar_cases
+
+let test_embed_or_adjacency () =
+  let g = Generators.complete 5 in
+  let rot, planar = Planarity.Lr.embed_or_adjacency g in
+  check cb "flagged non-planar" false planar;
+  check ci "rotation complete" 4 (Array.length (Planarity.Rotation.rotation rot 0))
+
+let test_lr_apollonian_qcheck =
+  QCheck.Test.make ~name:"lr accepts apollonian graphs with valid embedding"
+    ~count:60
+    QCheck.(pair (int_range 3 120) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Generators.apollonian (Random.State.make [| seed |]) n in
+      match Planarity.Lr.embed g with
+      | Some rot -> Planarity.Rotation.is_planar_embedding g rot
+      | None -> false)
+
+let test_lr_vs_dmp_qcheck =
+  QCheck.Test.make ~name:"lr agrees with dmp on random graphs" ~count:150
+    QCheck.(triple (int_range 4 22) (int_range 0 10000) (int_range 5 45))
+    (fun (n, seed, pct) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n (float_of_int pct /. 100.0) in
+      Planarity.Lr.is_planar g = Planarity.Dmp.is_planar g)
+
+let test_lr_monotone_qcheck =
+  QCheck.Test.make
+    ~name:"removing an edge never destroys planarity (lr monotone)" ~count:60
+    QCheck.(pair (int_range 4 18) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n 0.35 in
+      (not (Planarity.Lr.is_planar g)) || Graph.m g = 0
+      ||
+      let e = Random.State.int rng (Graph.m g) in
+      Planarity.Lr.is_planar (fst (Graph.remove_edges g (fun e' -> e' = e))))
+
+let test_lr_relabel_invariant_qcheck =
+  QCheck.Test.make ~name:"planarity invariant under relabeling" ~count:60
+    QCheck.(pair (int_range 4 25) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n 0.3 in
+      Planarity.Lr.is_planar g
+      = Planarity.Lr.is_planar (Generators.relabel rng g))
+
+(* ------------------------------------------------------------------ *)
+(* DMP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dmp_known () =
+  List.iter
+    (fun (name, g, expect) ->
+      check cb name expect (Planarity.Dmp.is_planar g))
+    planar_cases
+
+let test_blocks () =
+  (* Two triangles sharing a vertex: two blocks. *)
+  let g = Graph.make ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
+  let bs = Planarity.Dmp.blocks g in
+  check ci "two blocks" 2 (List.length bs);
+  List.iter (fun b -> check ci "block size" 3 (List.length b)) bs
+
+let test_blocks_bridges () =
+  let g = Generators.path 5 in
+  check ci "each edge a block" 4 (List.length (Planarity.Dmp.blocks g))
+
+let test_blocks_cover_edges () =
+  let rng = Random.State.make [| 3 |] in
+  let g = Generators.gnp rng 30 0.1 in
+  let covered = List.concat (Planarity.Dmp.blocks g) in
+  check ci "blocks partition edges" (Graph.m g)
+    (List.length (List.sort_uniq compare covered))
+
+(* ------------------------------------------------------------------ *)
+(* Distance to planarity                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_euler_bound () =
+  check ci "K5" 1 (Planarity.Distance.euler_lower_bound (Generators.complete 5));
+  check ci "K6" 3 (Planarity.Distance.euler_lower_bound (Generators.complete 6));
+  check ci "planar is 0" 0
+    (Planarity.Distance.euler_lower_bound (Generators.grid 5 5));
+  (* triangle-free refinement: K33 has m = 9 > 2n - 4 = 8 *)
+  check ci "K33 via bipartite bound" 1
+    (Planarity.Distance.euler_lower_bound (Generators.complete_bipartite 3 3));
+  check ci "K44" 4
+    (Planarity.Distance.euler_lower_bound (Generators.complete_bipartite 4 4))
+
+let test_greedy_upper () =
+  let ub = Planarity.Distance.greedy_upper_bound (Generators.complete 5) in
+  check ci "K5 exact" 1 ub;
+  check ci "planar zero" 0
+    (Planarity.Distance.greedy_upper_bound (Generators.grid 4 4))
+
+let test_bounds_bracket_qcheck =
+  QCheck.Test.make ~name:"euler lower <= greedy upper; zero iff planar"
+    ~count:50
+    QCheck.(pair (int_range 4 16) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n 0.4 in
+      let lb = Planarity.Distance.euler_lower_bound g in
+      let ub = Planarity.Distance.greedy_upper_bound ~rng g in
+      lb <= ub && (ub = 0) = Planarity.Lr.is_planar g)
+
+let test_far_eps () =
+  let rng = Random.State.make [| 17 |] in
+  let g = Generators.far_from_planar rng ~n:60 ~eps:0.25 in
+  check cb "certified" true (Planarity.Distance.is_certified_far g ~eps:0.25);
+  check cb "relative distance positive" true
+    (Planarity.Distance.eps_far_lower_bound g >= 0.25)
+
+
+(* ------------------------------------------------------------------ *)
+(* Kuratowski witnesses                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_kuratowski_k5 () =
+  let g = Generators.complete 5 in
+  match Planarity.Kuratowski.find g with
+  | Some w ->
+      check cb "kind" true (w.Planarity.Kuratowski.kind = Planarity.Kuratowski.K5);
+      check cb "verifies" true (Planarity.Kuratowski.verify g w)
+  | None -> Alcotest.fail "K5 must have a witness"
+
+let test_kuratowski_k33 () =
+  let g = Generators.complete_bipartite 3 3 in
+  match Planarity.Kuratowski.find g with
+  | Some w ->
+      check cb "kind" true (w.Planarity.Kuratowski.kind = Planarity.Kuratowski.K33);
+      check cb "verifies" true (Planarity.Kuratowski.verify g w)
+  | None -> Alcotest.fail "K33 must have a witness"
+
+let test_kuratowski_planar_none () =
+  check cb "no witness in planar" true
+    (Planarity.Kuratowski.find (Generators.grid 5 5) = None)
+
+let test_kuratowski_petersen () =
+  let g = Generators.petersen () in
+  match Planarity.Kuratowski.find g with
+  | Some w -> check cb "verifies" true (Planarity.Kuratowski.verify g w)
+  | None -> Alcotest.fail "petersen must have a witness"
+
+let test_kuratowski_qcheck =
+  QCheck.Test.make ~name:"every non-planar graph yields a verified witness"
+    ~count:40
+    QCheck.(pair (int_range 6 16) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.gnp rng n 0.5 in
+      match Planarity.Kuratowski.find g with
+      | Some w -> Planarity.Kuratowski.verify g w
+      | None -> Planarity.Lr.is_planar g)
+
+let () =
+  Alcotest.run "planarity"
+    [
+      ( "rotation",
+        [
+          Alcotest.test_case "darts" `Quick test_darts;
+          Alcotest.test_case "cycle faces" `Quick test_face_count_cycle;
+          Alcotest.test_case "tree faces" `Quick test_face_count_tree;
+          Alcotest.test_case "K4 adjacency toroidal" `Quick
+            test_k4_adjacency_rotation_toroidal;
+          Alcotest.test_case "K5 adjacency nonplanar" `Quick
+            test_k5_adjacency_rotation_nonplanar;
+          Alcotest.test_case "validation" `Quick test_rotation_validation;
+          Alcotest.test_case "faces partition darts" `Quick
+            test_faces_partition_darts;
+          Alcotest.test_case "isolated vertices" `Quick test_isolated_vertices;
+        ] );
+      ( "left-right",
+        [
+          Alcotest.test_case "known graphs" `Quick test_lr_known;
+          Alcotest.test_case "embeddings verify" `Quick test_lr_embed_verifies;
+          Alcotest.test_case "embed_or_adjacency" `Quick
+            test_embed_or_adjacency;
+          q test_lr_apollonian_qcheck;
+          q test_lr_vs_dmp_qcheck;
+          q test_lr_monotone_qcheck;
+          q test_lr_relabel_invariant_qcheck;
+        ] );
+      ( "dmp",
+        [
+          Alcotest.test_case "known graphs" `Quick test_dmp_known;
+          Alcotest.test_case "blocks" `Quick test_blocks;
+          Alcotest.test_case "bridges are blocks" `Quick test_blocks_bridges;
+          Alcotest.test_case "blocks cover edges" `Quick
+            test_blocks_cover_edges;
+        ] );
+      ( "kuratowski",
+        [
+          Alcotest.test_case "K5 witness" `Quick test_kuratowski_k5;
+          Alcotest.test_case "K33 witness" `Quick test_kuratowski_k33;
+          Alcotest.test_case "planar: none" `Quick test_kuratowski_planar_none;
+          Alcotest.test_case "petersen" `Quick test_kuratowski_petersen;
+          q test_kuratowski_qcheck;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "euler bound" `Quick test_euler_bound;
+          Alcotest.test_case "greedy upper" `Quick test_greedy_upper;
+          q test_bounds_bracket_qcheck;
+          Alcotest.test_case "eps-far certification" `Quick test_far_eps;
+        ] );
+    ]

@@ -1,0 +1,510 @@
+open Graphlib
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let q = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Labels and violations (Definition 7, Claims 8-10)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_compare_label () =
+  let c = Tester.Violation.compare_label in
+  check cb "prefix smaller" true (c [ 1 ] [ 1; 2 ] < 0);
+  check cb "lex" true (c [ 1; 3 ] [ 2 ] < 0);
+  check cb "equal" true (c [ 2; 1 ] [ 2; 1 ] = 0);
+  check cb "root smallest" true (c [] [ 1 ] < 0)
+
+let test_labels_on_star () =
+  let g = Generators.star 4 in
+  let tree = Traversal.bfs g 0 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  let lab = Tester.Violation.labels g tree rot in
+  check (Alcotest.list ci) "root label" [] lab.(0);
+  let leaf_labels = List.sort compare [ lab.(1); lab.(2); lab.(3) ] in
+  check
+    (Alcotest.list (Alcotest.list ci))
+    "leaves ranked" [ [ 1 ]; [ 2 ]; [ 3 ] ] leaf_labels
+
+let test_labels_depth () =
+  let g = Generators.path 5 in
+  let tree = Traversal.bfs g 0 in
+  let rot = Planarity.Rotation.of_adjacency_order g in
+  let lab = Tester.Violation.labels g tree rot in
+  check ci "label length = depth" 4 (List.length lab.(4))
+
+let test_intersects () =
+  let i = Tester.Violation.intersects in
+  check cb "interleaved" true (i ([ 1 ], [ 3 ]) ([ 2 ], [ 4 ]));
+  check cb "nested" false (i ([ 1 ], [ 4 ]) ([ 2 ], [ 3 ]));
+  check cb "disjoint" false (i ([ 1 ], [ 2 ]) ([ 3 ], [ 4 ]));
+  check cb "shared low endpoint" false (i ([ 1 ], [ 3 ]) ([ 1 ], [ 4 ]));
+  check cb "shared high endpoint" false (i ([ 1 ], [ 3 ]) ([ 2 ], [ 3 ]));
+  check cb "order-insensitive" true (i ([ 2 ], [ 4 ]) ([ 1 ], [ 3 ]));
+  check cb "unsorted pairs accepted" true (i ([ 3 ], [ 1 ]) ([ 4 ], [ 2 ]))
+
+let test_non_tree_edges () =
+  let g = Generators.cycle 6 in
+  let tree = Traversal.bfs g 0 in
+  check ci "one non-tree edge" 1
+    (List.length (Tester.Violation.non_tree_edges g tree))
+
+let test_claim10_planar_no_violations () =
+  List.iter
+    (fun g -> check ci "planar: zero violating" 0 (Tester.Violation.count_violating g))
+    [
+      Generators.grid 7 9;
+      Generators.apollonian (Random.State.make [| 1 |]) 150;
+      Generators.cycle 17;
+      Generators.random_tree (Random.State.make [| 2 |]) 60;
+      Generators.complete 4;
+      (let g = Generators.complete 5 in fst (Graph.remove_edges g (fun e -> e = 0)));
+    ]
+
+let test_violations_on_far_graphs () =
+  List.iter
+    (fun (g, at_least) ->
+      check cb "many violating edges" true
+        (List.length
+           (let tree = Traversal.bfs g 0 in
+            let rot, _ = Planarity.Lr.embed_or_adjacency g in
+            Tester.Violation.violating_edges g tree rot)
+        >= at_least))
+    [
+      (Generators.complete 5, 2);
+      (Generators.complete 6, 4);
+      (Generators.complete_bipartite 3 3, 2);
+      (Generators.far_from_planar (Random.State.make [| 3 |]) ~n:60 ~eps:0.2, 12);
+    ]
+
+let test_claim10_qcheck =
+  QCheck.Test.make
+    ~name:"claim 10: planar graphs have no violating edges (corner keys)"
+    ~count:150
+    QCheck.(pair (int_range 4 70) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g =
+        if seed mod 3 = 0 then Generators.apollonian rng n
+        else
+          Generators.random_planar rng ~n
+            ~m:(max (n - 1) (Random.State.int rng ((3 * n) - 6)))
+      in
+      (not (Traversal.is_connected g))
+      || Tester.Violation.count_violating g = 0)
+
+let test_corollary9_qcheck =
+  QCheck.Test.make
+    ~name:"corollary 9: violating edges at least the certified distance"
+    ~count:40
+    QCheck.(pair (int_range 20 80) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.far_from_planar rng ~n ~eps:0.2 in
+      Tester.Violation.count_violating g
+      >= Planarity.Distance.euler_lower_bound g)
+
+let test_scan_neighbor_rotation () =
+  (* rotation [parent; a; b; c] with children {b}: a gets corner (0, 1),
+     b rank 1, c corner (1, 1). *)
+  let out = ref [] in
+  Tester.Violation.scan_neighbor_rotation ~rotation:[| 9; 4; 5; 6 |] ~parent:9
+    ~children:[ 5 ] (fun w rank t -> out := (w, rank, t) :: !out);
+  check
+    (Alcotest.list (Alcotest.triple ci ci ci))
+    "scan order"
+    [ (4, 0, 1); (5, 1, 0); (6, 1, 1) ]
+    (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Stage II and the full tester                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_tester_accepts_planar () =
+  List.iter
+    (fun g ->
+      check cb "planar accepted" true
+        (Tester.Planarity_tester.accepts g ~eps:0.3 ~seed:1))
+    [
+      Generators.grid 9 9;
+      Generators.apollonian (Random.State.make [| 4 |]) 180;
+      Generators.random_tree (Random.State.make [| 5 |]) 120;
+      Generators.cycle 50;
+    ]
+
+let test_full_tester_rejects_far () =
+  List.iter
+    (fun g ->
+      check cb "far graph rejected" true
+        (not (Tester.Planarity_tester.accepts g ~eps:0.15 ~seed:1)))
+    [
+      Generators.far_from_planar (Random.State.make [| 6 |]) ~n:150 ~eps:0.25;
+      Generators.complete_bipartite 3 3;
+      Generators.complete 6;
+    ]
+
+let test_tester_k5_euler_reject () =
+  (* K5 merges into a single part with m = 10 > 3n - 6 = 9: the Euler check
+     inside stage II must fire. *)
+  let r = Tester.Planarity_tester.run (Generators.complete 5) ~eps:0.1 in
+  match r.Tester.Planarity_tester.verdict with
+  | Tester.Planarity_tester.Accept -> Alcotest.fail "K5 accepted"
+  | Tester.Planarity_tester.Reject _ -> ()
+
+let test_tester_report_fields () =
+  let g = Generators.grid 6 6 in
+  let r = Tester.Planarity_tester.run g ~eps:0.4 in
+  check cb "rounds positive" true (r.Tester.Planarity_tester.rounds > 0);
+  check cb "nominal at least simulated-ish" true
+    (r.Tester.Planarity_tester.nominal_rounds > 0);
+  check cb "stage2 ran" true (r.Tester.Planarity_tester.stage2 <> None);
+  match r.Tester.Planarity_tester.stage2 with
+  | Some s2 ->
+      check cb "sample target positive" true (s2.Tester.Stage2.sample_target > 0);
+      List.iter
+        (fun (p : Tester.Stage2.part_info) ->
+          check cb "part sizes consistent" true
+            (p.Tester.Stage2.m_edges >= p.Tester.Stage2.n_nodes - 1);
+          check cb "non-tree consistent" true
+            (p.Tester.Stage2.non_tree
+            = p.Tester.Stage2.m_edges - (p.Tester.Stage2.n_nodes - 1));
+          check cb "planar parts embed" true p.Tester.Stage2.embedding_planar)
+        s2.Tester.Stage2.parts
+  | None -> ()
+
+let test_stage2_part_counts () =
+  let g = Generators.apollonian (Random.State.make [| 7 |]) 100 in
+  let r = Tester.Planarity_tester.run g ~eps:0.4 in
+  match r.Tester.Planarity_tester.stage2 with
+  | Some s2 ->
+      let total_nodes =
+        List.fold_left
+          (fun acc (p : Tester.Stage2.part_info) ->
+            acc + p.Tester.Stage2.n_nodes)
+          0 s2.Tester.Stage2.parts
+      in
+      check ci "nodes partitioned" 100 total_nodes;
+      let total_edges =
+        List.fold_left
+          (fun acc (p : Tester.Stage2.part_info) ->
+            acc + p.Tester.Stage2.m_edges)
+          0 s2.Tester.Stage2.parts
+      in
+      let s1 = Option.get r.Tester.Planarity_tester.stage1 in
+      check ci "edges = m - cut"
+        (Graph.m g - Partition.State.cut_edges s1.Partition.Stage1.state)
+        total_edges
+  | None -> Alcotest.fail "stage2 missing"
+
+let test_completeness_qcheck =
+  QCheck.Test.make
+    ~name:"one-sided error: planar inputs always accepted (all seeds)"
+    ~count:30
+    QCheck.(triple (int_range 10 100) (int_range 0 10000) (int_range 0 5))
+    (fun (n, gseed, tseed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g =
+        match gseed mod 3 with
+        | 0 -> Generators.apollonian rng n
+        | 1 -> Generators.random_planar rng ~n ~m:(max (n - 1) (2 * n))
+        | _ -> Generators.random_tree rng n
+      in
+      (not (Traversal.is_connected g))
+      || Tester.Planarity_tester.accepts g ~eps:0.35 ~seed:tseed)
+
+let test_soundness_qcheck =
+  QCheck.Test.make ~name:"certified 0.25-far graphs rejected w.h.p."
+    ~count:20
+    QCheck.(pair (int_range 60 140) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.far_from_planar rng ~n ~eps:0.25 in
+      not (Tester.Planarity_tester.accepts g ~eps:0.2 ~seed))
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 16 testers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cycle_freeness () =
+  let tree = Generators.random_tree (Random.State.make [| 8 |]) 150 in
+  check cb "forest accepted" true
+    (Tester.Minor_free_testers.test_cycle_freeness tree ~eps:0.3)
+      .Tester.Minor_free_testers.accepted;
+  let grid = Generators.grid 10 10 in
+  check cb "grid rejected (far from forest)" false
+    (Tester.Minor_free_testers.test_cycle_freeness grid ~eps:0.3)
+      .Tester.Minor_free_testers.accepted
+
+let test_cycle_freeness_randomized () =
+  let tree = Generators.random_tree (Random.State.make [| 9 |]) 150 in
+  check cb "forest accepted (randomized)" true
+    (Tester.Minor_free_testers.test_cycle_freeness
+       ~mode:(Tester.Minor_free_testers.Randomized 0.1) tree ~eps:0.3)
+      .Tester.Minor_free_testers.accepted
+
+let test_bipartiteness () =
+  let grid = Generators.grid 10 10 in
+  check cb "grid accepted" true
+    (Tester.Minor_free_testers.test_bipartiteness grid ~eps:0.3)
+      .Tester.Minor_free_testers.accepted;
+  let tri = Generators.apollonian (Random.State.make [| 10 |]) 120 in
+  check cb "triangulation rejected" false
+    (Tester.Minor_free_testers.test_bipartiteness tri ~eps:0.3)
+      .Tester.Minor_free_testers.accepted
+
+let test_bipartite_one_sided_qcheck =
+  QCheck.Test.make ~name:"bipartiteness tester accepts bipartite planar"
+    ~count:20
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generators.random_bipartite_planar rng 64 in
+      (Tester.Minor_free_testers.test_bipartiteness g ~eps:0.3)
+        .Tester.Minor_free_testers.accepted)
+
+let test_cycle_free_one_sided_qcheck =
+  QCheck.Test.make ~name:"cycle-freeness tester accepts forests" ~count:20
+    QCheck.(pair (int_range 5 120) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Generators.random_tree (Random.State.make [| seed |]) n in
+      (Tester.Minor_free_testers.test_cycle_freeness g ~eps:0.4)
+        .Tester.Minor_free_testers.accepted)
+
+(* ------------------------------------------------------------------ *)
+(* Spanners                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_spanner_size_and_stretch () =
+  let g = Generators.apollonian (Random.State.make [| 11 |]) 250 in
+  let eps = 0.3 in
+  let r = Tester.Spanner.build g ~eps in
+  let sp = r.Tester.Spanner.spanner in
+  check cb "subgraph size bound" true
+    (float_of_int (Graph.m sp) <= (1.0 +. eps) *. float_of_int (Graph.n g));
+  check cb "connected" true (Traversal.is_connected sp);
+  let stretch = Tester.Spanner.measured_stretch g sp in
+  check cb "measured within bound" true
+    (stretch <= r.Tester.Spanner.stretch_bound);
+  (* spanner is a subgraph *)
+  Graph.iter_edges (fun _ u v -> check cb "edge of g" true (Graph.has_edge g u v)) sp
+
+let test_spanner_tree_input () =
+  let g = Generators.random_tree (Random.State.make [| 12 |]) 100 in
+  let r = Tester.Spanner.build g ~eps:0.2 in
+  check cb "tree spanner keeps connectivity" true
+    (Traversal.is_connected r.Tester.Spanner.spanner)
+
+let test_spanner_randomized_mode () =
+  let g = Generators.apollonian (Random.State.make [| 13 |]) 200 in
+  let r =
+    Tester.Spanner.build ~mode:(Tester.Spanner.Randomized 0.1) ~seed:4 g
+      ~eps:0.4
+  in
+  check cb "connected" true (Traversal.is_connected r.Tester.Spanner.spanner)
+
+let test_spanner_qcheck =
+  QCheck.Test.make ~name:"spanner: size bound and stretch on planar inputs"
+    ~count:10
+    QCheck.(pair (int_range 30 120) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Generators.apollonian (Random.State.make [| seed |]) n in
+      let r = Tester.Spanner.build g ~eps:0.5 in
+      let sp = r.Tester.Spanner.spanner in
+      float_of_int (Graph.m sp) <= 1.5 *. float_of_int n
+      && Traversal.is_connected sp
+      && Tester.Spanner.measured_stretch g sp <= r.Tester.Spanner.stretch_bound)
+
+(* ------------------------------------------------------------------ *)
+(* Elkin-Neiman baseline                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_en_stretch () =
+  let g = Generators.apollonian (Random.State.make [| 14 |]) 150 in
+  let k = 4 in
+  let r = Tester.Elkin_neiman.build g ~k ~delta:0.2 ~seed:2 in
+  if not r.Tester.Elkin_neiman.failed then begin
+    check cb "connected" true
+      (Traversal.is_connected r.Tester.Elkin_neiman.spanner);
+    check cb "stretch <= 2k - 1" true
+      (Tester.Spanner.measured_stretch g r.Tester.Elkin_neiman.spanner
+      <= (2 * k) - 1)
+  end
+
+let test_en_rounds () =
+  let g = Generators.grid 8 8 in
+  let r = Tester.Elkin_neiman.build g ~k:5 ~delta:0.2 ~seed:1 in
+  check ci "k rounds" 5 r.Tester.Elkin_neiman.rounds
+
+let test_en_qcheck =
+  QCheck.Test.make ~name:"elkin-neiman: stretch bound when no failure"
+    ~count:15
+    QCheck.(triple (int_range 20 100) (int_range 2 8) (int_range 0 10000))
+    (fun (n, k, seed) ->
+      let g = Generators.apollonian (Random.State.make [| seed |]) n in
+      let r = Tester.Elkin_neiman.build g ~k ~delta:0.2 ~seed in
+      r.Tester.Elkin_neiman.failed
+      || Tester.Spanner.measured_stretch g r.Tester.Elkin_neiman.spanner
+         <= (2 * k) - 1)
+
+
+(* ------------------------------------------------------------------ *)
+(* Hereditary tester and the vertex-label ablation                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_hereditary_planarity_as_property () =
+  (* Use per-part planarity itself as a hereditary property. *)
+  let planar_g = Generators.apollonian (Random.State.make [| 31 |]) 120 in
+  let far_g = Generators.far_from_planar (Random.State.make [| 32 |]) ~n:120 ~eps:0.3 in
+  check cb "planar parts pass" true
+    (Tester.Minor_free_testers.test_hereditary planar_g ~eps:0.3
+       ~check_part:Planarity.Lr.is_planar)
+      .Tester.Minor_free_testers.accepted;
+  check cb "far graph has a failing part" false
+    (Tester.Minor_free_testers.test_hereditary far_g ~eps:0.3
+       ~check_part:Planarity.Lr.is_planar)
+      .Tester.Minor_free_testers.accepted
+
+let test_hereditary_max_degree () =
+  (* "max degree <= 4" is hereditary; grids satisfy it, stars do not. *)
+  let grid = Generators.grid 8 8 in
+  let ok g = Graph.max_degree g <= 4 in
+  check cb "grid passes" true
+    (Tester.Minor_free_testers.test_hereditary grid ~eps:0.3 ~check_part:ok)
+      .Tester.Minor_free_testers.accepted;
+  let star = Generators.star 30 in
+  check cb "star fails" false
+    (Tester.Minor_free_testers.test_hereditary star ~eps:0.9 ~check_part:ok)
+      .Tester.Minor_free_testers.accepted
+
+let test_vertex_label_ablation () =
+  (* The paper's literal labeling falsely flags planar graphs; corner keys
+     do not (the DESIGN.md correction). *)
+  let g = Generators.apollonian (Random.State.make [| 33 |]) 60 in
+  check cb "vertex labels break claim 10" true
+    (Tester.Violation.count_violating_vertex_labels g > 0);
+  check ci "corner keys obey claim 10" 0 (Tester.Violation.count_violating g)
+
+let test_vertex_labels_still_sound () =
+  (* Soundness (Claim 8 direction) holds for both labelings. *)
+  let g = Generators.far_from_planar (Random.State.make [| 34 |]) ~n:80 ~eps:0.25 in
+  check cb "vertex labels detect far" true
+    (Tester.Violation.count_violating_vertex_labels g
+     >= Planarity.Distance.euler_lower_bound g)
+
+
+let test_collect_mode () =
+  (* The in-model collect-and-embed mode must agree on the verdict. *)
+  let planar_g = Generators.apollonian (Random.State.make [| 63 |]) 120 in
+  let r =
+    Tester.Planarity_tester.run ~embedding:Tester.Stage2.Collect planar_g
+      ~eps:0.3 ~seed:1
+  in
+  (match r.Tester.Planarity_tester.verdict with
+  | Tester.Planarity_tester.Accept -> ()
+  | Tester.Planarity_tester.Reject _ ->
+      Alcotest.fail "collect mode broke completeness");
+  let far_g =
+    Generators.far_from_planar (Random.State.make [| 64 |]) ~n:120 ~eps:0.25
+  in
+  check cb "collect mode rejects far" false
+    (match
+       (Tester.Planarity_tester.run ~embedding:Tester.Stage2.Collect far_g
+          ~eps:0.2 ~seed:1)
+         .Tester.Planarity_tester.verdict
+     with
+    | Tester.Planarity_tester.Accept -> true
+    | Tester.Planarity_tester.Reject _ -> false)
+
+let test_en_mode_completeness () =
+  (* Exponential-shift partition mode keeps the verdict one-sided. *)
+  for seed = 0 to 9 do
+    let g = Generators.apollonian (Random.State.make [| seed; 61 |]) 150 in
+    check cb "planar accepted (exp-shift mode)" true
+      (Tester.Planarity_tester.accepts
+         ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps:0.3
+         ~seed)
+  done
+
+let test_en_mode_soundness () =
+  let g =
+    Generators.far_from_planar (Random.State.make [| 62 |]) ~n:200 ~eps:0.25
+  in
+  check cb "far rejected (exp-shift mode)" false
+    (Tester.Planarity_tester.accepts
+       ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps:0.2
+       ~seed:3)
+
+let () =
+  Alcotest.run "tester"
+    [
+      ( "violation",
+        [
+          Alcotest.test_case "compare_label" `Quick test_compare_label;
+          Alcotest.test_case "labels on star" `Quick test_labels_on_star;
+          Alcotest.test_case "label depth" `Quick test_labels_depth;
+          Alcotest.test_case "intersects" `Quick test_intersects;
+          Alcotest.test_case "non-tree edges" `Quick test_non_tree_edges;
+          Alcotest.test_case "claim 10 cases" `Quick
+            test_claim10_planar_no_violations;
+          Alcotest.test_case "violations on far graphs" `Quick
+            test_violations_on_far_graphs;
+          Alcotest.test_case "scan rotation" `Quick
+            test_scan_neighbor_rotation;
+          q test_claim10_qcheck;
+          q test_corollary9_qcheck;
+        ] );
+      ( "planarity-tester",
+        [
+          Alcotest.test_case "accepts planar" `Quick
+            test_full_tester_accepts_planar;
+          Alcotest.test_case "rejects far" `Quick test_full_tester_rejects_far;
+          Alcotest.test_case "K5 euler reject" `Quick
+            test_tester_k5_euler_reject;
+          Alcotest.test_case "report fields" `Quick test_tester_report_fields;
+          Alcotest.test_case "part counts" `Quick test_stage2_part_counts;
+          q test_completeness_qcheck;
+          q test_soundness_qcheck;
+        ] );
+      ( "exp-shift-mode",
+        [
+          Alcotest.test_case "completeness" `Quick test_en_mode_completeness;
+          Alcotest.test_case "collect-and-embed mode" `Quick test_collect_mode;
+          Alcotest.test_case "soundness" `Quick test_en_mode_soundness;
+        ] );
+      ( "corollary-16",
+        [
+          Alcotest.test_case "cycle-freeness" `Quick test_cycle_freeness;
+          Alcotest.test_case "cycle-freeness randomized" `Quick
+            test_cycle_freeness_randomized;
+          Alcotest.test_case "bipartiteness" `Quick test_bipartiteness;
+          q test_bipartite_one_sided_qcheck;
+          q test_cycle_free_one_sided_qcheck;
+        ] );
+      ( "hereditary-and-ablation",
+        [
+          Alcotest.test_case "planarity as hereditary property" `Quick
+            test_hereditary_planarity_as_property;
+          Alcotest.test_case "max-degree property" `Quick
+            test_hereditary_max_degree;
+          Alcotest.test_case "vertex-label ablation" `Quick
+            test_vertex_label_ablation;
+          Alcotest.test_case "vertex labels still sound" `Quick
+            test_vertex_labels_still_sound;
+        ] );
+      ( "spanner",
+        [
+          Alcotest.test_case "size and stretch" `Quick
+            test_spanner_size_and_stretch;
+          Alcotest.test_case "tree input" `Quick test_spanner_tree_input;
+          Alcotest.test_case "randomized mode" `Quick
+            test_spanner_randomized_mode;
+          q test_spanner_qcheck;
+        ] );
+      ( "elkin-neiman",
+        [
+          Alcotest.test_case "stretch" `Quick test_en_stretch;
+          Alcotest.test_case "rounds" `Quick test_en_rounds;
+          q test_en_qcheck;
+        ] );
+    ]
