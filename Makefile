@@ -1,0 +1,21 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# What CI runs: full build, the whole test suite, and a quick pass of the
+# experiment harness with machine-readable output (also validates the
+# --json emitter end to end).
+ci: build test
+	dune exec bench/main.exe -- --quick --json /tmp/bench.json
+
+clean:
+	dune clean

@@ -3,12 +3,84 @@
    The paper (PODC 2018) has no tables or figures — it is a theory paper —
    so each experiment below regenerates the quantitative content of one
    theorem or claim (see DESIGN.md's per-experiment index and EXPERIMENTS.md
-   for paper-vs-measured).  Run with --quick for reduced sizes. *)
+   for paper-vs-measured).
+
+   Usage:  bench [--quick|-q] [--jobs N] [--json PATH]
+
+   Independent (family, n, eps, seed) points inside each experiment are
+   fanned across [--jobs] domains (default: the recommended domain count);
+   results are reassembled in input order, so the report is identical to a
+   serial run.  [--json PATH] additionally writes every experiment's data
+   as a machine-readable document (schema "bench.planarity/v1"). *)
 
 open Graphlib
+module J = Congest.Telemetry.Json
 
-let quick =
-  Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+(* --- command line ---------------------------------------------------- *)
+
+let quick = ref false
+let jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
+let json_path = ref None
+
+let () =
+  let argv = Sys.argv in
+  let usage () =
+    prerr_endline "usage: bench [--quick|-q] [--jobs N] [--json PATH]";
+    exit 2
+  in
+  let rec parse i =
+    if i < Array.length argv then
+      match argv.(i) with
+      | "--quick" | "-q" ->
+          quick := true;
+          parse (i + 1)
+      | "--jobs" when i + 1 < Array.length argv ->
+          (match int_of_string_opt argv.(i + 1) with
+          | Some n when n >= 1 -> jobs := n
+          | _ -> usage ());
+          parse (i + 2)
+      | "--json" when i + 1 < Array.length argv ->
+          json_path := Some argv.(i + 1);
+          parse (i + 2)
+      | _ -> usage ()
+  in
+  parse 1
+
+let quick = !quick
+let jobs = !jobs
+
+(* --- parallel point driver ------------------------------------------- *)
+
+(* Map [f] over [xs] using up to [jobs] domains pulling indices from a
+   shared [Atomic] counter.  Results land in their input slot, so order —
+   and therefore the printed report — matches a serial run.  Each point
+   must be self-contained (every tester run builds its own state and
+   engine pool), which all experiments below satisfy. *)
+let parmap f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let w = max 1 (min jobs n) in
+  if w = 1 then Array.iteri (fun i x -> out.(i) <- Some (f x)) arr
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = List.init (w - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join doms
+  end;
+  Array.to_list (Array.map Option.get out)
+
+(* --- report helpers --------------------------------------------------- *)
 
 let header title claim =
   Printf.printf "\n================================================================\n";
@@ -20,59 +92,115 @@ let row fmt = Printf.printf fmt
 
 let log2 x = log (float_of_int (max x 2)) /. log 2.0
 
+let sections : (string * J.t) list ref = ref []
+
+(* [experiment id title claim data] prints the section header, stores the
+   JSON section, and returns [data] for the caller to print rows from. *)
+let emit id ~title ~claim data =
+  header (id ^ " — " ^ title) claim;
+  sections := (id, J.Obj [ ("title", J.String title); ("claim", J.String claim); ("data", data) ]) :: !sections
+
 (* ------------------------------------------------------------------ *)
 
 let e1_rounds_vs_n () =
-  header "E1 — tester rounds vs n (planar inputs)"
-    "Theorem 1: O(log n * poly(1/eps)) rounds";
-  let sizes = if quick then [ 64; 128; 256; 512 ] else [ 64; 128; 256; 512; 1024; 2048 ] in
+  let sizes =
+    if quick then [ 64; 128; 256; 512 ] else [ 64; 128; 256; 512; 1024; 2048 ]
+  in
+  let points =
+    List.map (fun n -> ("apollonian", n)) sizes
+    @ List.map (fun n -> ("grid", n)) sizes
+  in
+  let results =
+    parmap
+      (fun (family, n) ->
+        let g =
+          match family with
+          | "apollonian" ->
+              Generators.apollonian (Random.State.make [| n |]) n
+          | _ ->
+              let side = int_of_float (sqrt (float_of_int n)) in
+              Generators.grid side side
+        in
+        let r = Tester.Planarity_tester.run g ~eps:0.3 ~seed:1 in
+        ( family,
+          Graph.n g,
+          Graph.m g,
+          r.Tester.Planarity_tester.rounds,
+          r.Tester.Planarity_tester.nominal_rounds ))
+      points
+  in
+  emit "E1" ~title:"tester rounds vs n (planar inputs)"
+    ~claim:"Theorem 1: O(log n * poly(1/eps)) rounds"
+    (J.List
+       (List.map
+          (fun (family, n, m, rounds, nominal) ->
+            J.Obj
+              [
+                ("family", J.String family);
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("rounds", J.Int rounds);
+                ("nominal", J.Int nominal);
+              ])
+          results));
   row "%-12s %-6s %-7s %-9s %-10s %-11s %-14s\n" "family" "n" "m" "rounds"
     "nominal" "rounds/lg n" "nominal/lg n";
   List.iter
-    (fun n ->
-      let g = Generators.apollonian (Random.State.make [| n |]) n in
-      let r = Tester.Planarity_tester.run g ~eps:0.3 ~seed:1 in
-      row "%-12s %-6d %-7d %-9d %-10d %-11.1f %-14.1f\n" "apollonian" n
-        (Graph.m g) r.Tester.Planarity_tester.rounds
-        r.Tester.Planarity_tester.nominal_rounds
-        (float_of_int r.Tester.Planarity_tester.rounds /. log2 n)
-        (float_of_int r.Tester.Planarity_tester.nominal_rounds /. log2 n))
-    sizes;
-  List.iter
-    (fun n ->
-      let side = int_of_float (sqrt (float_of_int n)) in
-      let g = Generators.grid side side in
-      let r = Tester.Planarity_tester.run g ~eps:0.3 ~seed:1 in
-      row "%-12s %-6d %-7d %-9d %-10d %-11.1f %-14.1f\n" "grid"
-        (Graph.n g) (Graph.m g) r.Tester.Planarity_tester.rounds
-        r.Tester.Planarity_tester.nominal_rounds
-        (float_of_int r.Tester.Planarity_tester.rounds /. log2 (Graph.n g))
-        (float_of_int r.Tester.Planarity_tester.nominal_rounds /. log2 (Graph.n g)))
-    sizes
+    (fun (family, n, m, rounds, nominal) ->
+      row "%-12s %-6d %-7d %-9d %-10d %-11.1f %-14.1f\n" family n m rounds
+        nominal
+        (float_of_int rounds /. log2 n)
+        (float_of_int nominal /. log2 n))
+    results
 
 let e2_rounds_vs_eps () =
-  header "E2 — tester rounds vs eps (fixed n)"
-    "Theorem 1: poly(1/eps) dependence via t = O(log 1/eps) phases and 4^i diameters";
   let n = if quick then 256 else 512 in
   let g = Generators.apollonian (Random.State.make [| 77 |]) n in
+  let epss = [ 0.5; 0.4; 0.3; 0.2; 0.15; 0.1 ] in
+  let results =
+    parmap
+      (fun eps ->
+        let r = Tester.Planarity_tester.run g ~eps ~seed:1 in
+        let phases =
+          match r.Tester.Planarity_tester.stage1 with
+          | Some s1 -> List.length s1.Partition.Stage1.phases
+          | None -> 0
+        in
+        ( eps,
+          phases,
+          r.Tester.Planarity_tester.rounds,
+          r.Tester.Planarity_tester.nominal_rounds,
+          Partition.Stage1.phases_for ~eps ~alpha:3 ))
+      epss
+  in
+  emit "E2" ~title:"tester rounds vs eps (fixed n)"
+    ~claim:
+      "Theorem 1: poly(1/eps) dependence via t = O(log 1/eps) phases and 4^i \
+       diameters"
+    (J.Obj
+       [
+         ("n", J.Int n);
+         ( "rows",
+           J.List
+             (List.map
+                (fun (eps, phases, rounds, nominal, t_max) ->
+                  J.Obj
+                    [
+                      ("eps", J.Float eps);
+                      ("phases", J.Int phases);
+                      ("rounds", J.Int rounds);
+                      ("nominal", J.Int nominal);
+                      ("t_max", J.Int t_max);
+                    ])
+                results) );
+       ]);
   row "%-7s %-8s %-9s %-10s %-7s\n" "eps" "phases" "rounds" "nominal" "t_max";
   List.iter
-    (fun eps ->
-      let r = Tester.Planarity_tester.run g ~eps ~seed:1 in
-      let phases =
-        match r.Tester.Planarity_tester.stage1 with
-        | Some s1 -> List.length s1.Partition.Stage1.phases
-        | None -> 0
-      in
-      row "%-7.2f %-8d %-9d %-10d %-7d\n" eps phases
-        r.Tester.Planarity_tester.rounds
-        r.Tester.Planarity_tester.nominal_rounds
-        (Partition.Stage1.phases_for ~eps ~alpha:3))
-    [ 0.5; 0.4; 0.3; 0.2; 0.15; 0.1 ]
+    (fun (eps, phases, rounds, nominal, t_max) ->
+      row "%-7.2f %-8d %-9d %-10d %-7d\n" eps phases rounds nominal t_max)
+    results
 
 let e3_completeness () =
-  header "E3 — completeness (one-sided error)"
-    "Theorem 1: planar => every node outputs accept, always";
   let trials = if quick then 10 else 25 in
   let families =
     [
@@ -83,38 +211,53 @@ let e3_completeness () =
       ("cycle", fun _ -> Generators.cycle 200);
     ]
   in
+  let points =
+    List.concat_map
+      (fun (name, gen) -> List.init trials (fun i -> (name, gen, i + 1)))
+      families
+  in
+  let oks =
+    parmap
+      (fun (name, gen, seed) ->
+        let g = gen (Random.State.make [| seed; 13 |]) in
+        let ok =
+          (not (Traversal.is_connected g))
+          || Tester.Planarity_tester.accepts g ~eps:0.3 ~seed
+        in
+        (name, ok))
+      points
+  in
+  let results =
+    List.map
+      (fun (name, _) ->
+        let ok =
+          List.length (List.filter (fun (f, ok) -> f = name && ok) oks)
+        in
+        (name, ok))
+      families
+  in
+  emit "E3" ~title:"completeness (one-sided error)"
+    ~claim:"Theorem 1: planar => every node outputs accept, always"
+    (J.List
+       (List.map
+          (fun (name, ok) ->
+            J.Obj
+              [
+                ("family", J.String name);
+                ("trials", J.Int trials);
+                ("accepted", J.Int ok);
+              ])
+          results));
   row "%-14s %-8s %-9s\n" "family" "trials" "accepted";
   List.iter
-    (fun (name, gen) ->
-      let ok = ref 0 in
-      for seed = 1 to trials do
-        let g = gen (Random.State.make [| seed; 13 |]) in
-        if Traversal.is_connected g
-           && Tester.Planarity_tester.accepts g ~eps:0.3 ~seed
-        then incr ok
-        else if not (Traversal.is_connected g) then incr ok
-      done;
-      row "%-14s %-8d %-9d%s\n" name trials !ok
-        (if !ok = trials then "  (100%)" else "  *** VIOLATION ***"))
-    families
+    (fun (name, ok) ->
+      row "%-14s %-8d %-9d%s\n" name trials ok
+        (if ok = trials then "  (100%)" else "  *** VIOLATION ***"))
+    results
 
 let e4_soundness () =
-  header "E4 — soundness on certified eps-far inputs"
-    "Theorem 1: eps-far => some node rejects w.p. 1 - 1/poly(n)";
   let trials = if quick then 8 else 20 in
-  row "%-22s %-8s %-10s %-9s %-9s\n" "family" "trials" "cert. far" "eps used"
-    "rejected";
-  List.iter
-    (fun (name, gen, eps) ->
-      let rejected = ref 0 and farness = ref 1.0 in
-      for seed = 1 to trials do
-        let g : Graph.t = gen (Random.State.make [| seed; 29 |]) in
-        farness := min !farness (Planarity.Distance.eps_far_lower_bound g);
-        if not (Tester.Planarity_tester.accepts g ~eps ~seed) then
-          incr rejected
-      done;
-      row "%-22s %-8d %-10.3f %-9.2f %d/%d\n" name trials !farness eps
-        !rejected trials)
+  let families =
     [
       ( "far(n=150, 0.25)",
         (fun rng -> Generators.far_from_planar rng ~n:150 ~eps:0.25),
@@ -122,152 +265,389 @@ let e4_soundness () =
       ( "far(n=300, 0.15)",
         (fun rng -> Generators.far_from_planar rng ~n:300 ~eps:0.15),
         0.1 );
-      ("K33 x 20 necklace", (fun _ ->
-           Generators.connected_copies (Generators.complete_bipartite 3 3) 20), 0.05);
+      ( "K33 x 20 necklace",
+        (fun _ ->
+          Generators.connected_copies (Generators.complete_bipartite 3 3) 20),
+        0.05 );
       ("gnp(150, 8/n)", (fun rng -> Generators.gnp rng 150 (8.0 /. 150.0)), 0.15);
     ]
+  in
+  let points =
+    List.concat_map
+      (fun (name, gen, eps) ->
+        List.init trials (fun i -> (name, gen, eps, i + 1)))
+      families
+  in
+  let outcomes =
+    parmap
+      (fun (name, gen, eps, seed) ->
+        let g : Graph.t = gen (Random.State.make [| seed; 29 |]) in
+        let far = Planarity.Distance.eps_far_lower_bound g in
+        let rejected = not (Tester.Planarity_tester.accepts g ~eps ~seed) in
+        (name, far, rejected))
+      points
+  in
+  let results =
+    List.map
+      (fun (name, _, eps) ->
+        let mine = List.filter (fun (f, _, _) -> f = name) outcomes in
+        let farness =
+          List.fold_left (fun acc (_, far, _) -> min acc far) 1.0 mine
+        in
+        let rejected =
+          List.length (List.filter (fun (_, _, r) -> r) mine)
+        in
+        (name, farness, eps, rejected))
+      families
+  in
+  emit "E4" ~title:"soundness on certified eps-far inputs"
+    ~claim:"Theorem 1: eps-far => some node rejects w.p. 1 - 1/poly(n)"
+    (J.List
+       (List.map
+          (fun (name, farness, eps, rejected) ->
+            J.Obj
+              [
+                ("family", J.String name);
+                ("trials", J.Int trials);
+                ("certified_far", J.Float farness);
+                ("eps", J.Float eps);
+                ("rejected", J.Int rejected);
+              ])
+          results));
+  row "%-22s %-8s %-10s %-9s %-9s\n" "family" "trials" "cert. far" "eps used"
+    "rejected";
+  List.iter
+    (fun (name, farness, eps, rejected) ->
+      row "%-22s %-8d %-10.3f %-9.2f %d/%d\n" name trials farness eps rejected
+        trials)
+    results
 
 let e5_weight_decay () =
-  header "E5 — per-phase cut-weight decay"
-    "Claim 1: w(G_{i+1}) <= (1 - 1/(12 alpha)) w(G_i) = 0.9722 w(G_i)";
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 5 |]) n in
   let r = Partition.Stage1.run ~stop_when_met:false g ~eps:0.35 in
-  row "%-7s %-10s %-10s %-8s %-14s\n" "phase" "cut in" "cut out" "ratio"
-    "bound (35/36)";
   let live, idle =
     List.partition
       (fun (p : Partition.Stage1.phase_trace) ->
         p.Partition.Stage1.cut_before > 0)
       r.Partition.Stage1.phases
   in
+  let phase_row (p : Partition.Stage1.phase_trace) =
+    let ratio =
+      float_of_int p.Partition.Stage1.cut_after
+      /. float_of_int (max 1 p.Partition.Stage1.cut_before)
+    in
+    let ok =
+      float_of_int p.Partition.Stage1.cut_after
+      <= (35.0 /. 36.0) *. float_of_int p.Partition.Stage1.cut_before +. 1e-9
+    in
+    (p, ratio, ok)
+  in
+  let rows = List.map phase_row live in
+  emit "E5" ~title:"per-phase cut-weight decay"
+    ~claim:"Claim 1: w(G_{i+1}) <= (1 - 1/(12 alpha)) w(G_i) = 0.9722 w(G_i)"
+    (J.Obj
+       [
+         ("n", J.Int n);
+         ( "phases",
+           J.List
+             (List.map
+                (fun ((p : Partition.Stage1.phase_trace), ratio, ok) ->
+                  J.Obj
+                    [
+                      ("phase", J.Int p.Partition.Stage1.phase);
+                      ("cut_before", J.Int p.Partition.Stage1.cut_before);
+                      ("cut_after", J.Int p.Partition.Stage1.cut_after);
+                      ("ratio", J.Float ratio);
+                      ("ok", J.Bool ok);
+                    ])
+                rows) );
+         ("idle_phases", J.Int (List.length idle));
+       ]);
+  row "%-7s %-10s %-10s %-8s %-14s\n" "phase" "cut in" "cut out" "ratio"
+    "bound (35/36)";
   List.iter
-    (fun (p : Partition.Stage1.phase_trace) ->
+    (fun ((p : Partition.Stage1.phase_trace), ratio, ok) ->
       row "%-7d %-10d %-10d %-8.3f %-14s\n" p.Partition.Stage1.phase
-        p.Partition.Stage1.cut_before p.Partition.Stage1.cut_after
-        (float_of_int p.Partition.Stage1.cut_after
-        /. float_of_int (max 1 p.Partition.Stage1.cut_before))
-        (if
-           float_of_int p.Partition.Stage1.cut_after
-           <= (35.0 /. 36.0) *. float_of_int p.Partition.Stage1.cut_before +. 1e-9
-         then "ok"
-         else "*** VIOLATION ***"))
-    live;
+        p.Partition.Stage1.cut_before p.Partition.Stage1.cut_after ratio
+        (if ok then "ok" else "*** VIOLATION ***"))
+    rows;
   if idle <> [] then
     row "(+ %d further scheduled phases with an already-empty cut)\n"
       (List.length idle)
 
 let e6_diameter_growth () =
-  header "E6 — part diameters across phases"
-    "Claim 4: parts of P_i are connected with diameter <= 4^i";
   let side = if quick then 16 else 24 in
   let g = Generators.grid side side in
   let r = Partition.Stage1.run ~stop_when_met:false g ~eps:0.4 in
-  row "%-7s %-10s %-12s %-10s %-8s\n" "phase" "parts" "max diam" "4^i" "ok?";
   let shown = ref 0 in
+  let rows =
+    List.filter_map
+      (fun (p : Partition.Stage1.phase_trace) ->
+        if p.Partition.Stage1.parts > 1 || !shown < 1 then begin
+          if p.Partition.Stage1.parts = 1 then incr shown;
+          let bound = 4.0 ** float_of_int p.Partition.Stage1.phase in
+          Some (p, bound, float_of_int p.Partition.Stage1.max_diameter <= bound)
+        end
+        else None)
+      r.Partition.Stage1.phases
+  in
+  emit "E6" ~title:"part diameters across phases"
+    ~claim:"Claim 4: parts of P_i are connected with diameter <= 4^i"
+    (J.List
+       (List.map
+          (fun ((p : Partition.Stage1.phase_trace), bound, ok) ->
+            J.Obj
+              [
+                ("phase", J.Int p.Partition.Stage1.phase);
+                ("parts", J.Int p.Partition.Stage1.parts);
+                ("max_diameter", J.Int p.Partition.Stage1.max_diameter);
+                ("bound", J.Float bound);
+                ("ok", J.Bool ok);
+              ])
+          rows));
+  row "%-7s %-10s %-12s %-10s %-8s\n" "phase" "parts" "max diam" "4^i" "ok?";
   List.iter
-    (fun (p : Partition.Stage1.phase_trace) ->
-      if p.Partition.Stage1.parts > 1 || !shown < 1 then begin
-        if p.Partition.Stage1.parts = 1 then incr shown;
-        let bound = 4.0 ** float_of_int p.Partition.Stage1.phase in
-        row "%-7d %-10d %-12d %-10.0f %-8s\n" p.Partition.Stage1.phase
-          p.Partition.Stage1.parts p.Partition.Stage1.max_diameter bound
-          (if float_of_int p.Partition.Stage1.max_diameter <= bound then "ok"
-           else "*** VIOLATION ***")
-      end)
-    r.Partition.Stage1.phases;
+    (fun ((p : Partition.Stage1.phase_trace), bound, ok) ->
+      row "%-7d %-10d %-12d %-10.0f %-8s\n" p.Partition.Stage1.phase
+        p.Partition.Stage1.parts p.Partition.Stage1.max_diameter bound
+        (if ok then "ok" else "*** VIOLATION ***"))
+    rows;
   row "(remaining scheduled phases keep a single part; bound holds trivially)\n"
 
 let e7_cut_quality () =
-  header "E7 — final cut vs target"
-    "Claim 3 / Theorem 3: planar inputs always reach cut <= eps m / 2";
   let n = if quick then 400 else 1000 in
   let g = Generators.apollonian (Random.State.make [| 6 |]) n in
+  let results =
+    parmap
+      (fun eps ->
+        let r = Partition.Stage1.run g ~eps in
+        let cut = Partition.State.cut_edges r.Partition.Stage1.state in
+        let target = eps *. float_of_int (Graph.m g) /. 2.0 in
+        ( eps,
+          List.length r.Partition.Stage1.phases,
+          target,
+          cut,
+          float_of_int cut <= target ))
+      [ 0.5; 0.4; 0.3; 0.2; 0.1 ]
+  in
+  emit "E7" ~title:"final cut vs target"
+    ~claim:"Claim 3 / Theorem 3: planar inputs always reach cut <= eps m / 2"
+    (J.Obj
+       [
+         ("n", J.Int n);
+         ( "rows",
+           J.List
+             (List.map
+                (fun (eps, phases, target, cut, ok) ->
+                  J.Obj
+                    [
+                      ("eps", J.Float eps);
+                      ("phases", J.Int phases);
+                      ("target", J.Float target);
+                      ("cut", J.Int cut);
+                      ("ok", J.Bool ok);
+                    ])
+                results) );
+       ]);
   row "%-7s %-9s %-11s %-9s %-8s\n" "eps" "phases" "target" "cut" "ok?";
   List.iter
-    (fun eps ->
-      let r = Partition.Stage1.run g ~eps in
-      let cut = Partition.State.cut_edges r.Partition.Stage1.state in
-      let target = eps *. float_of_int (Graph.m g) /. 2.0 in
-      row "%-7.2f %-9d %-11.0f %-9d %-8s\n" eps
-        (List.length r.Partition.Stage1.phases)
-        target cut
-        (if float_of_int cut <= target then "ok" else "*** VIOLATION ***"))
-    [ 0.5; 0.4; 0.3; 0.2; 0.1 ]
+    (fun (eps, phases, target, cut, ok) ->
+      row "%-7.2f %-9d %-11.0f %-9d %-8s\n" eps phases target cut
+        (if ok then "ok" else "*** VIOLATION ***"))
+    results
 
 let e8_randomized_partition () =
-  header "E8 — randomized partition (Theorem 4)"
-    "O(poly(1/eps)(log(1/delta) + log* n)) rounds; cut <= eps n w.p. 1 - delta";
   let side = if quick then 14 else 20 in
   let g = Generators.grid side side in
   let trials = if quick then 8 else 20 in
-  let det = Partition.Stage1.run g ~eps:(2.0 *. 0.5 *. float_of_int (Graph.n g) /. float_of_int (Graph.m g)) in
-  row "deterministic baseline: rounds=%d cut=%d\n\n"
-    det.Partition.Stage1.rounds
-    (Partition.State.cut_edges det.Partition.Stage1.state);
+  let det =
+    Partition.Stage1.run g
+      ~eps:(2.0 *. 0.5 *. float_of_int (Graph.n g) /. float_of_int (Graph.m g))
+  in
+  let det_rounds = det.Partition.Stage1.rounds in
+  let det_cut = Partition.State.cut_edges det.Partition.Stage1.state in
+  let deltas = [ 0.5; 0.25; 0.1; 0.02 ] in
+  let points =
+    List.concat_map
+      (fun delta -> List.init trials (fun i -> (delta, i + 1)))
+      deltas
+  in
+  let outcomes =
+    parmap
+      (fun (delta, seed) ->
+        let r = Partition.Random_partition.run g ~eps:0.5 ~delta ~seed in
+        ( delta,
+          r.Partition.Random_partition.rounds,
+          r.Partition.Random_partition.cut,
+          float_of_int r.Partition.Random_partition.cut
+          <= 0.5 *. float_of_int (Graph.n g) ))
+      points
+  in
+  let results =
+    List.map
+      (fun delta ->
+        let mine = List.filter (fun (d, _, _, _) -> d = delta) outcomes in
+        let succ = List.length (List.filter (fun (_, _, _, ok) -> ok) mine) in
+        let rounds = List.fold_left (fun a (_, r, _, _) -> a + r) 0 mine in
+        let cut = List.fold_left (fun a (_, _, c, _) -> a + c) 0 mine in
+        (delta, succ, rounds / trials, cut / trials))
+      deltas
+  in
+  emit "E8" ~title:"randomized partition (Theorem 4)"
+    ~claim:
+      "O(poly(1/eps)(log(1/delta) + log* n)) rounds; cut <= eps n w.p. 1 - \
+       delta"
+    (J.Obj
+       [
+         ( "baseline",
+           J.Obj [ ("rounds", J.Int det_rounds); ("cut", J.Int det_cut) ] );
+         ( "rows",
+           J.List
+             (List.map
+                (fun (delta, succ, avg_rounds, avg_cut) ->
+                  J.Obj
+                    [
+                      ("delta", J.Float delta);
+                      ("trials", J.Int trials);
+                      ("success", J.Int succ);
+                      ("avg_rounds", J.Int avg_rounds);
+                      ("avg_cut", J.Int avg_cut);
+                    ])
+                results) );
+       ]);
+  row "deterministic baseline: rounds=%d cut=%d\n\n" det_rounds det_cut;
   row "%-8s %-8s %-10s %-12s %-12s\n" "delta" "trials" "success" "avg rounds"
     "avg cut";
   List.iter
-    (fun delta ->
-      let succ = ref 0 and rounds = ref 0 and cut = ref 0 in
-      for seed = 1 to trials do
-        let r = Partition.Random_partition.run g ~eps:0.5 ~delta ~seed in
-        rounds := !rounds + r.Partition.Random_partition.rounds;
-        cut := !cut + r.Partition.Random_partition.cut;
-        if float_of_int r.Partition.Random_partition.cut
-           <= 0.5 *. float_of_int (Graph.n g)
-        then incr succ
-      done;
-      row "%-8.2f %-8d %d/%-8d %-12d %-12d\n" delta trials !succ trials
-        (!rounds / trials) (!cut / trials))
-    [ 0.5; 0.25; 0.1; 0.02 ]
+    (fun (delta, succ, avg_rounds, avg_cut) ->
+      row "%-8.2f %-8d %d/%-8d %-12d %-12d\n" delta trials succ trials
+        avg_rounds avg_cut)
+    results
 
 let e9_spanner () =
-  header "E9 — spanners: Corollary 17 vs Elkin–Neiman baseline"
-    "Cor 17: (1 + O(eps)) n edges, poly(1/eps) stretch; EN: (2k-1)-spanner, O(n^{1+1/k}/delta) edges";
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 7 |]) n in
+  let ours =
+    List.map
+      (fun eps ->
+        let r = Tester.Spanner.build g ~eps in
+        ( eps,
+          Graph.m r.Tester.Spanner.spanner,
+          (1.0 +. eps) *. float_of_int n,
+          Tester.Spanner.measured_stretch g r.Tester.Spanner.spanner,
+          r.Tester.Spanner.stretch_bound ))
+      [ 0.5; 0.25; 0.1 ]
+  in
+  let en =
+    List.map
+      (fun k ->
+        let r = Tester.Elkin_neiman.build g ~k ~delta:0.25 ~seed:2 in
+        ( k,
+          r.Tester.Elkin_neiman.edges,
+          float_of_int n ** (1.0 +. (1.0 /. float_of_int k)) /. 0.25,
+          Tester.Spanner.measured_stretch g r.Tester.Elkin_neiman.spanner,
+          (2 * k) - 1 ))
+      [ 2; 3; 5; 8; 12; 20 ]
+  in
+  emit "E9" ~title:"spanners: Corollary 17 vs Elkin-Neiman baseline"
+    ~claim:
+      "Cor 17: (1 + O(eps)) n edges, poly(1/eps) stretch; EN: (2k-1)-spanner, \
+       O(n^{1+1/k}/delta) edges"
+    (J.Obj
+       [
+         ("n", J.Int n);
+         ("m", J.Int (Graph.m g));
+         ( "ours",
+           J.List
+             (List.map
+                (fun (eps, edges, bound, stretch, stretch_bound) ->
+                  J.Obj
+                    [
+                      ("eps", J.Float eps);
+                      ("edges", J.Int edges);
+                      ("size_bound", J.Float bound);
+                      ("stretch", J.Int stretch);
+                      ("stretch_bound", J.Int stretch_bound);
+                    ])
+                ours) );
+         ( "elkin_neiman",
+           J.List
+             (List.map
+                (fun (k, edges, bound, stretch, stretch_bound) ->
+                  J.Obj
+                    [
+                      ("k", J.Int k);
+                      ("edges", J.Int edges);
+                      ("size_bound", J.Float bound);
+                      ("stretch", J.Int stretch);
+                      ("stretch_bound", J.Int stretch_bound);
+                    ])
+                en) );
+       ]);
   row "input: apollonian n=%d m=%d\n\n" (Graph.n g) (Graph.m g);
   row "ours   %-7s %-8s %-12s %-14s %-14s\n" "eps" "edges" "(1+eps)n"
     "stretch (meas)" "stretch bound";
   List.iter
-    (fun eps ->
-      let r = Tester.Spanner.build g ~eps in
-      row "       %-7.2f %-8d %-12.0f %-14d %-14d\n" eps
-        (Graph.m r.Tester.Spanner.spanner)
-        ((1.0 +. eps) *. float_of_int n)
-        (Tester.Spanner.measured_stretch g r.Tester.Spanner.spanner)
-        r.Tester.Spanner.stretch_bound)
-    [ 0.5; 0.25; 0.1 ];
+    (fun (eps, edges, bound, stretch, stretch_bound) ->
+      row "       %-7.2f %-8d %-12.0f %-14d %-14d\n" eps edges bound stretch
+        stretch_bound)
+    ours;
   row "\nEN     %-7s %-8s %-12s %-14s %-14s\n" "k" "edges" "size bound"
     "stretch (meas)" "2k-1";
   List.iter
-    (fun k ->
-      let r = Tester.Elkin_neiman.build g ~k ~delta:0.25 ~seed:2 in
-      row "       %-7d %-8d %-12.0f %-14d %-14d\n" k
-        r.Tester.Elkin_neiman.edges
-        (float_of_int n ** (1.0 +. (1.0 /. float_of_int k)) /. 0.25)
-        (Tester.Spanner.measured_stretch g r.Tester.Elkin_neiman.spanner)
-        ((2 * k) - 1))
-    [ 2; 3; 5; 8; 12; 20 ]
+    (fun (k, edges, bound, stretch, stretch_bound) ->
+      row "       %-7d %-8d %-12.0f %-14d %-14d\n" k edges bound stretch
+        stretch_bound)
+    en
 
 let e10_lower_bound () =
-  header "E10 — the Omega(log n) lower-bound construction"
-    "Theorem 2 (Claims 11-12): constant-far graphs with girth Omega(log n) force Omega(log n) rounds";
-  let sizes = if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048 ] in
+  let sizes =
+    if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048 ]
+  in
+  let results =
+    parmap
+      (fun n ->
+        let rng = Random.State.make [| n; 41 |] in
+        let c =
+          Lowerbound.Construction.build rng ~n ~avg_degree:6.0
+            ~girth_factor:1.6
+        in
+        let g = c.Lowerbound.Construction.graph in
+        let rejected =
+          not (Tester.Planarity_tester.accepts g ~eps:0.1 ~seed:1)
+        in
+        (n, Graph.m g, c, rejected))
+      sizes
+  in
+  emit "E10" ~title:"the Omega(log n) lower-bound construction"
+    ~claim:
+      "Theorem 2 (Claims 11-12): constant-far graphs with girth Omega(log n) \
+       force Omega(log n) rounds"
+    (J.List
+       (List.map
+          (fun (n, m, c, rejected) ->
+            J.Obj
+              [
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("removed", J.Int c.Lowerbound.Construction.removed);
+                ( "girth",
+                  match c.Lowerbound.Construction.girth with
+                  | Some girth -> J.Int girth
+                  | None -> J.Null );
+                ("eps_far", J.Float c.Lowerbound.Construction.euler_far);
+                ( "blind_radius",
+                  J.Int (Lowerbound.Construction.indistinguishability_radius c)
+                );
+                ("rejected", J.Bool rejected);
+              ])
+          results));
   row "%-6s %-7s %-9s %-7s %-9s %-13s %-10s\n" "n" "m" "removed" "girth"
     "eps-far" "blind radius" "rejected?";
   List.iter
-    (fun n ->
-      let rng = Random.State.make [| n; 41 |] in
-      let c =
-        Lowerbound.Construction.build rng ~n ~avg_degree:6.0 ~girth_factor:1.6
-      in
-      let g = c.Lowerbound.Construction.graph in
-      let rejected =
-        not (Tester.Planarity_tester.accepts g ~eps:0.1 ~seed:1)
-      in
-      row "%-6d %-7d %-9d %-7s %-9.3f %-13d %-10b\n" n (Graph.m g)
+    (fun (n, m, c, rejected) ->
+      row "%-6d %-7d %-9d %-7s %-9.3f %-13d %-10b\n" n m
         c.Lowerbound.Construction.removed
         (match c.Lowerbound.Construction.girth with
         | Some girth -> string_of_int girth
@@ -275,13 +655,11 @@ let e10_lower_bound () =
         c.Lowerbound.Construction.euler_far
         (Lowerbound.Construction.indistinguishability_radius c)
         rejected)
-    sizes;
+    results;
   row "\n(blind radius r: any one-sided tester must accept if it runs < r rounds,\n";
   row " because every r-ball is a tree; the radius grows with log n.)\n"
 
 let e11_minor_free_testers () =
-  header "E11 — cycle-freeness and bipartiteness testers (minor-free promise)"
-    "Corollary 16: O(poly(1/eps) log n) deterministic / O(poly(1/eps)(log 1/delta + log* n)) randomized";
   let rng = Random.State.make [| 51 |] in
   let n = if quick then 150 else 400 in
   let cases =
@@ -292,36 +670,86 @@ let e11_minor_free_testers () =
       ("triangulation (far)", Generators.apollonian rng n, `Bip, false);
     ]
   in
-  row "%-26s %-14s %-8s %-9s %-9s %-9s\n" "input" "property" "expect"
-    "det" "rand" "rounds";
+  let results =
+    parmap
+      (fun (name, g, prop, expect) ->
+        let det =
+          match prop with
+          | `Cyc -> Tester.Minor_free_testers.test_cycle_freeness g ~eps:0.3
+          | `Bip -> Tester.Minor_free_testers.test_bipartiteness g ~eps:0.3
+        in
+        let rand =
+          let mode = Tester.Minor_free_testers.Randomized 0.1 in
+          match prop with
+          | `Cyc ->
+              Tester.Minor_free_testers.test_cycle_freeness ~mode g ~eps:0.3
+          | `Bip ->
+              Tester.Minor_free_testers.test_bipartiteness ~mode g ~eps:0.3
+        in
+        (name, prop, expect, det, rand))
+      cases
+  in
+  emit "E11" ~title:"cycle-freeness and bipartiteness testers (minor-free promise)"
+    ~claim:
+      "Corollary 16: O(poly(1/eps) log n) deterministic / \
+       O(poly(1/eps)(log 1/delta + log* n)) randomized"
+    (J.List
+       (List.map
+          (fun (name, prop, expect, det, rand) ->
+            J.Obj
+              [
+                ("input", J.String name);
+                ( "property",
+                  J.String
+                    (match prop with `Cyc -> "cycle-free" | `Bip -> "bipartite")
+                );
+                ("expect", J.Bool expect);
+                ("det", J.Bool det.Tester.Minor_free_testers.accepted);
+                ("rand", J.Bool rand.Tester.Minor_free_testers.accepted);
+                ("rounds", J.Int det.Tester.Minor_free_testers.rounds);
+              ])
+          results));
+  row "%-26s %-14s %-8s %-9s %-9s %-9s\n" "input" "property" "expect" "det"
+    "rand" "rounds";
   List.iter
-    (fun (name, g, prop, expect) ->
-      let det =
-        match prop with
-        | `Cyc -> Tester.Minor_free_testers.test_cycle_freeness g ~eps:0.3
-        | `Bip -> Tester.Minor_free_testers.test_bipartiteness g ~eps:0.3
-      in
-      let rand =
-        let mode = Tester.Minor_free_testers.Randomized 0.1 in
-        match prop with
-        | `Cyc -> Tester.Minor_free_testers.test_cycle_freeness ~mode g ~eps:0.3
-        | `Bip -> Tester.Minor_free_testers.test_bipartiteness ~mode g ~eps:0.3
-      in
+    (fun (name, prop, expect, det, rand) ->
       row "%-26s %-14s %-8b %-9b %-9b %-9d\n" name
         (match prop with `Cyc -> "cycle-free" | `Bip -> "bipartite")
         expect det.Tester.Minor_free_testers.accepted
         rand.Tester.Minor_free_testers.accepted
         det.Tester.Minor_free_testers.rounds)
-    cases
+    results
 
 let e12_emulation_cost () =
-  header "E12 — emulation cost accounting"
-    "Section 2.1.5: a super-round costs O(max part diameter) G-rounds; messages stay O(log n) bits";
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 9 |]) n in
   let r = Partition.Stage1.run g ~eps:0.3 in
   let st = r.Partition.Stage1.state in
   let stats = st.Partition.State.stats in
+  emit "E12" ~title:"emulation cost accounting"
+    ~claim:
+      "Section 2.1.5: a super-round costs O(max part diameter) G-rounds; \
+       messages stay O(log n) bits"
+    (J.Obj
+       [
+         ("n", J.Int (Graph.n g));
+         ("m", J.Int (Graph.m g));
+         ("phases", J.Int (List.length r.Partition.Stage1.phases));
+         ("stats", Congest.Telemetry.stats_json stats);
+         ("nominal", J.Int r.Partition.Stage1.nominal_rounds);
+         ( "phase_table",
+           J.List
+             (List.map
+                (fun (p : Partition.Stage1.phase_trace) ->
+                  J.Obj
+                    [
+                      ("phase", J.Int p.Partition.Stage1.phase);
+                      ("fd_super_rounds", J.Int p.Partition.Stage1.fd_super_rounds);
+                      ("max_diameter", J.Int p.Partition.Stage1.max_diameter);
+                      ("max_tree_depth", J.Int p.Partition.Stage1.max_tree_depth);
+                    ])
+                r.Partition.Stage1.phases) );
+       ]);
   row "n=%d m=%d  phases=%d\n" (Graph.n g) (Graph.m g)
     (List.length r.Partition.Stage1.phases);
   row "simulated rounds      : %d\n" stats.Congest.Stats.rounds;
@@ -341,66 +769,142 @@ let e12_emulation_cost () =
     r.Partition.Stage1.phases
 
 let e13_partition_alternatives () =
-  header "E13 — Stage I vs the exponential-shift partition (Section 1.1 remark)"
-    "replacing Stage I with the adapted Elkin-Neiman partition gives O(log^2 n poly(1/eps)) rounds";
-  let sizes = if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048 ] in
+  let sizes =
+    if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048 ]
+  in
+  let results =
+    parmap
+      (fun n ->
+        let g = Generators.apollonian (Random.State.make [| n; 3 |]) n in
+        let eps = 0.3 in
+        let s1 = Tester.Planarity_tester.run g ~eps ~seed:1 in
+        let s1_cut =
+          match s1.Tester.Planarity_tester.stage1 with
+          | Some r -> Partition.State.cut_edges r.Partition.Stage1.state
+          | None -> -1
+        in
+        let en_part = Partition.En_partition.run g ~eps ~seed:1 in
+        let en =
+          Tester.Planarity_tester.run
+            ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps
+            ~seed:1
+        in
+        let verdict r =
+          match r.Tester.Planarity_tester.verdict with
+          | Tester.Planarity_tester.Accept -> true
+          | _ -> false
+        in
+        ( n,
+          (s1.Tester.Planarity_tester.rounds, s1_cut, verdict s1),
+          ( en.Tester.Planarity_tester.rounds,
+            en_part.Partition.En_partition.cut,
+            verdict en,
+            en_part.Partition.En_partition.radius_bound ) ))
+      sizes
+  in
+  emit "E13" ~title:"Stage I vs the exponential-shift partition (Section 1.1 remark)"
+    ~claim:
+      "replacing Stage I with the adapted Elkin-Neiman partition gives \
+       O(log^2 n poly(1/eps)) rounds"
+    (J.List
+       (List.map
+          (fun (n, (s1r, s1c, s1ok), (enr, enc, enok, radius)) ->
+            J.Obj
+              [
+                ("n", J.Int n);
+                ( "stage1",
+                  J.Obj
+                    [
+                      ("rounds", J.Int s1r);
+                      ("cut", J.Int s1c);
+                      ("ok", J.Bool s1ok);
+                    ] );
+                ( "exp_shifts",
+                  J.Obj
+                    [
+                      ("rounds", J.Int enr);
+                      ("cut", J.Int enc);
+                      ("ok", J.Bool enok);
+                      ("radius_bound", J.Int radius);
+                    ] );
+              ])
+          results));
   row "%-6s | %-22s | %-26s\n" "" "Stage I (Theorem 1)" "exp. shifts (EN-style)";
   row "%-6s | %-9s %-6s %-5s | %-9s %-6s %-5s %-6s\n" "n" "rounds" "cut"
     "okay" "rounds" "cut" "okay" "R";
   List.iter
-    (fun n ->
-      let g = Generators.apollonian (Random.State.make [| n; 3 |]) n in
-      let eps = 0.3 in
-      let target = eps *. float_of_int (Graph.m g) in
-      let s1 = Tester.Planarity_tester.run g ~eps ~seed:1 in
-      let s1_cut =
-        match s1.Tester.Planarity_tester.stage1 with
-        | Some r -> Partition.State.cut_edges r.Partition.Stage1.state
-        | None -> -1
-      in
-      let en_part = Partition.En_partition.run g ~eps ~seed:1 in
-      let en =
-        Tester.Planarity_tester.run
-          ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps ~seed:1
-      in
-      let verdict r =
-        match r.Tester.Planarity_tester.verdict with
-        | Tester.Planarity_tester.Accept -> true
-        | _ -> false
-      in
-      row "%-6d | %-9d %-6d %-5b | %-9d %-6d %-5b %-6d\n" n
-        s1.Tester.Planarity_tester.rounds s1_cut (verdict s1)
-        en.Tester.Planarity_tester.rounds en_part.Partition.En_partition.cut
-        (verdict en) en_part.Partition.En_partition.radius_bound;
-      if (not (verdict s1)) || not (verdict en) then
-        row "        *** COMPLETENESS VIOLATION ***\n";
-      ignore target)
-    sizes
+    (fun (n, (s1r, s1c, s1ok), (enr, enc, enok, radius)) ->
+      row "%-6d | %-9d %-6d %-5b | %-9d %-6d %-5b %-6d\n" n s1r s1c s1ok enr
+        enc enok radius;
+      if (not s1ok) || not enok then
+        row "        *** COMPLETENESS VIOLATION ***\n")
+    results
 
 let e14_embedding_modes () =
-  header "E14 — what Ghaffari-Haeupler saves: oracle-charged vs collect-and-embed"
-    "GH embeds in O(D + min(log n, D)) rounds; shipping each part to its root costs Omega(m_j log n / B)";
   let sizes = if quick then [ 200; 400 ] else [ 200; 400; 800; 1600 ] in
-  row "%-6s %-24s %-24s\n" "" "oracle (GH cost)" "collect-and-embed";
-  row "%-6s %-11s %-12s %-11s %-12s\n" "n" "rounds" "charged" "rounds" "charged";
-  List.iter
-    (fun n ->
-      let g = Generators.apollonian (Random.State.make [| n; 7 |]) n in
-      let run mode =
-        let r = Tester.Planarity_tester.run ~embedding:mode g ~eps:0.3 ~seed:1 in
+  let points =
+    List.concat_map
+      (fun n -> [ (n, Tester.Stage2.Oracle); (n, Tester.Stage2.Collect) ])
+      sizes
+  in
+  let outcomes =
+    parmap
+      (fun (n, mode) ->
+        let g = Generators.apollonian (Random.State.make [| n; 7 |]) n in
+        let r =
+          Tester.Planarity_tester.run ~embedding:mode g ~eps:0.3 ~seed:1
+        in
         let st =
           match r.Tester.Planarity_tester.stage1 with
           | Some s1 -> s1.Partition.Stage1.state
           | None -> assert false
         in
-        ( r.Tester.Planarity_tester.rounds,
-          st.Partition.State.stats.Congest.Stats.charged_rounds )
-      in
-      let o_rounds, o_charged = run Tester.Stage2.Oracle in
-      let c_rounds, c_charged = run Tester.Stage2.Collect in
+        ( n,
+          mode,
+          r.Tester.Planarity_tester.rounds,
+          st.Partition.State.stats.Congest.Stats.charged_rounds ))
+      points
+  in
+  let results =
+    List.map
+      (fun n ->
+        let find mode =
+          let _, _, rounds, charged =
+            List.find (fun (n', m, _, _) -> n' = n && m = mode) outcomes
+          in
+          (rounds, charged)
+        in
+        (n, find Tester.Stage2.Oracle, find Tester.Stage2.Collect))
+      sizes
+  in
+  emit "E14" ~title:"what Ghaffari-Haeupler saves: oracle-charged vs collect-and-embed"
+    ~claim:
+      "GH embeds in O(D + min(log n, D)) rounds; shipping each part to its \
+       root costs Omega(m_j log n / B)"
+    (J.List
+       (List.map
+          (fun (n, (o_rounds, o_charged), (c_rounds, c_charged)) ->
+            J.Obj
+              [
+                ("n", J.Int n);
+                ( "oracle",
+                  J.Obj
+                    [ ("rounds", J.Int o_rounds); ("charged", J.Int o_charged) ]
+                );
+                ( "collect",
+                  J.Obj
+                    [ ("rounds", J.Int c_rounds); ("charged", J.Int c_charged) ]
+                );
+              ])
+          results));
+  row "%-6s %-24s %-24s\n" "" "oracle (GH cost)" "collect-and-embed";
+  row "%-6s %-11s %-12s %-11s %-12s\n" "n" "rounds" "charged" "rounds"
+    "charged";
+  List.iter
+    (fun (n, (o_rounds, o_charged), (c_rounds, c_charged)) ->
       row "%-6d %-11d %-12d %-11d %-12d\n" n o_rounds o_charged c_rounds
         c_charged)
-    sizes;
+    results;
   row "(the gap in charged rounds grows with part size: that gap is the\n";
   row " value of the Ghaffari-Haeupler distributed embedding algorithm.)\n"
 
@@ -409,12 +913,10 @@ let e14_embedding_modes () =
 (* ------------------------------------------------------------------ *)
 
 let a1_selection_rule () =
-  header "A1 — ablation: heaviest-edge vs random weighted selection"
-    "Sub-step 1 (deterministic, Claim 1 rate 1/36) vs Section 4 selection (Claim 14 rate 1/192)";
   let n = if quick then 300 else 600 in
   let g = Generators.apollonian (Random.State.make [| 61 |]) n in
   let det = Partition.Stage1.run g ~eps:0.4 in
-  let avg_ratio phases sel =
+  let avg_ratio phases =
     let rs =
       List.filter_map
         (fun (p : Partition.Stage1.phase_trace) ->
@@ -425,92 +927,156 @@ let a1_selection_rule () =
               /. float_of_int p.Partition.Stage1.cut_before))
         phases
     in
-    ignore sel;
     List.fold_left ( +. ) 0.0 rs /. float_of_int (max 1 (List.length rs))
   in
-  row "heaviest (Stage I)  : phases=%-3d avg per-phase cut ratio=%.3f\n"
-    (List.length det.Partition.Stage1.phases)
-    (avg_ratio det.Partition.Stage1.phases ());
+  let det_phases = List.length det.Partition.Stage1.phases in
+  let det_ratio = avg_ratio det.Partition.Stage1.phases in
   let trials = if quick then 3 else 6 in
-  let phases = ref 0 and ratio = ref 0.0 in
-  for seed = 1 to trials do
-    let r = Partition.Random_partition.run g ~eps:(0.4 *. float_of_int (Graph.m g) /. (2.0 *. float_of_int n)) ~delta:0.1 ~seed in
-    phases := !phases + r.Partition.Random_partition.phases;
-    ratio :=
-      !ratio
-      +. (float_of_int r.Partition.Random_partition.cut
+  let outcomes =
+    parmap
+      (fun seed ->
+        let r =
+          Partition.Random_partition.run g
+            ~eps:(0.4 *. float_of_int (Graph.m g) /. (2.0 *. float_of_int n))
+            ~delta:0.1 ~seed
+        in
+        ( r.Partition.Random_partition.phases,
+          (float_of_int r.Partition.Random_partition.cut
           /. float_of_int (Graph.m g))
-         ** (1.0 /. float_of_int (max 1 r.Partition.Random_partition.phases))
-  done;
-  row "random (Theorem 4)  : phases=%.1f avg per-phase cut ratio=%.3f (matched cut target, %d seeds)\n"
-    (float_of_int !phases /. float_of_int trials)
-    (!ratio /. float_of_int trials)
-    trials;
+          ** (1.0 /. float_of_int (max 1 r.Partition.Random_partition.phases))
+        ))
+      (List.init trials (fun i -> i + 1))
+  in
+  let rnd_phases = List.fold_left (fun a (p, _) -> a + p) 0 outcomes in
+  let rnd_ratio = List.fold_left (fun a (_, r) -> a +. r) 0.0 outcomes in
+  let rnd_phases = float_of_int rnd_phases /. float_of_int trials in
+  let rnd_ratio = rnd_ratio /. float_of_int trials in
+  emit "A1" ~title:"ablation: heaviest-edge vs random weighted selection"
+    ~claim:
+      "Sub-step 1 (deterministic, Claim 1 rate 1/36) vs Section 4 selection \
+       (Claim 14 rate 1/192)"
+    (J.Obj
+       [
+         ( "heaviest",
+           J.Obj
+             [ ("phases", J.Int det_phases); ("avg_ratio", J.Float det_ratio) ]
+         );
+         ( "random",
+           J.Obj
+             [
+               ("phases", J.Float rnd_phases);
+               ("avg_ratio", J.Float rnd_ratio);
+               ("trials", J.Int trials);
+             ] );
+       ]);
+  row "heaviest (Stage I)  : phases=%-3d avg per-phase cut ratio=%.3f\n"
+    det_phases det_ratio;
+  row
+    "random (Theorem 4)  : phases=%.1f avg per-phase cut ratio=%.3f (matched \
+     cut target, %d seeds)\n"
+    rnd_phases rnd_ratio trials;
   row "(heavier selections contract more weight per phase, as the constants\n";
   row " 1/(12 alpha) vs 1/(64 alpha) in Claims 1 and 14 predict.)\n"
 
 let a2_corner_keys () =
-  header "A2 — ablation: vertex-level labels vs corner keys (Definition 7)"
-    "Claim 10 as stated fails with vertex-level labels; the corner refinement repairs it";
   let trials = if quick then 40 else 150 in
-  let false_pos = ref 0 and total = ref 0 in
-  for seed = 1 to trials do
-    let rng = Random.State.make [| seed; 71 |] in
-    let g = Generators.apollonian rng (10 + Random.State.int rng 80) in
-    incr total;
-    if Tester.Violation.count_violating_vertex_labels g > 0 then incr false_pos
-  done;
+  let outcomes =
+    parmap
+      (fun seed ->
+        let rng = Random.State.make [| seed; 71 |] in
+        let g = Generators.apollonian rng (10 + Random.State.int rng 80) in
+        ( Tester.Violation.count_violating_vertex_labels g > 0,
+          Tester.Violation.count_violating g > 0 ))
+      (List.init trials (fun i -> i + 1))
+  in
+  let false_pos =
+    List.length (List.filter (fun (v, _) -> v) outcomes)
+  in
+  let corner = List.length (List.filter (fun (_, c) -> c) outcomes) in
+  let far =
+    Generators.far_from_planar (Random.State.make [| 72 |]) ~n:100 ~eps:0.25
+  in
+  let far_vertex = Tester.Violation.count_violating_vertex_labels far in
+  let far_corner = Tester.Violation.count_violating far in
+  let far_dist = Planarity.Distance.euler_lower_bound far in
+  emit "A2" ~title:"ablation: vertex-level labels vs corner keys (Definition 7)"
+    ~claim:
+      "Claim 10 as stated fails with vertex-level labels; the corner \
+       refinement repairs it"
+    (J.Obj
+       [
+         ("trials", J.Int trials);
+         ("vertex_label_false_positives", J.Int false_pos);
+         ("corner_key_false_positives", J.Int corner);
+         ( "far_input",
+           J.Obj
+             [
+               ("vertex", J.Int far_vertex);
+               ("corner", J.Int far_corner);
+               ("certified_distance", J.Int far_dist);
+             ] );
+       ]);
   row "planar triangulations with false 'violating edges':\n";
-  row "  vertex-level labels : %d / %d  (one-sidedness broken)\n" !false_pos
-    !total;
-  let corner = ref 0 in
-  for seed = 1 to trials do
-    let rng = Random.State.make [| seed; 71 |] in
-    let g = Generators.apollonian rng (10 + Random.State.int rng 80) in
-    if Tester.Violation.count_violating g > 0 then incr corner
-  done;
-  row "  corner keys         : %d / %d\n" !corner !total;
+  row "  vertex-level labels : %d / %d  (one-sidedness broken)\n" false_pos
+    trials;
+  row "  corner keys         : %d / %d\n" corner trials;
   row "on far graphs both detect plenty (n=100, eps=0.25):\n";
-  let g = Generators.far_from_planar (Random.State.make [| 72 |]) ~n:100 ~eps:0.25 in
-  row "  vertex-level=%d corner=%d (certified distance >= %d)\n"
-    (Tester.Violation.count_violating_vertex_labels g)
-    (Tester.Violation.count_violating g)
-    (Planarity.Distance.euler_lower_bound g)
+  row "  vertex-level=%d corner=%d (certified distance >= %d)\n" far_vertex
+    far_corner far_dist
 
 let a3_adaptive_schedule () =
-  header "A3 — ablation: adaptive early stop vs the full fixed schedule"
-    "stop_when_met skips provably idle phases; the worst-case analysis needs the full t = O(log 1/eps)";
   let n = if quick then 300 else 600 in
   let g = Generators.apollonian (Random.State.make [| 81 |]) n in
+  let results =
+    parmap
+      (fun eps ->
+        let a = Partition.Stage1.run g ~eps in
+        let f = Partition.Stage1.run ~stop_when_met:false g ~eps in
+        ( eps,
+          (List.length a.Partition.Stage1.phases, a.Partition.Stage1.rounds),
+          (List.length f.Partition.Stage1.phases, f.Partition.Stage1.rounds),
+          Partition.Stage1.phases_for ~eps ~alpha:3 ))
+      [ 0.5; 0.3 ]
+  in
+  emit "A3" ~title:"ablation: adaptive early stop vs the full fixed schedule"
+    ~claim:
+      "stop_when_met skips provably idle phases; the worst-case analysis \
+       needs the full t = O(log 1/eps)"
+    (J.List
+       (List.map
+          (fun (eps, (ap, ar), (fp, fr), t_max) ->
+            J.Obj
+              [
+                ("eps", J.Float eps);
+                ( "adaptive",
+                  J.Obj [ ("phases", J.Int ap); ("rounds", J.Int ar) ] );
+                ("full", J.Obj [ ("phases", J.Int fp); ("rounds", J.Int fr) ]);
+                ("t_max", J.Int t_max);
+              ])
+          results));
   row "%-7s %-18s %-18s %-7s\n" "eps" "adaptive (ph/rnds)" "full (ph/rnds)"
     "t_max";
   List.iter
-    (fun eps ->
-      let a = Partition.Stage1.run g ~eps in
-      let f = Partition.Stage1.run ~stop_when_met:false g ~eps in
-      row "%-7.2f %3d / %-12d %3d / %-12d %-7d\n" eps
-        (List.length a.Partition.Stage1.phases)
-        a.Partition.Stage1.rounds
-        (List.length f.Partition.Stage1.phases)
-        f.Partition.Stage1.rounds
-        (Partition.Stage1.phases_for ~eps ~alpha:3))
-    [ 0.5; 0.3 ]
+    (fun (eps, (ap, ar), (fp, fr), t_max) ->
+      row "%-7.2f %3d / %-12d %3d / %-12d %-7d\n" eps ap ar fp fr t_max)
+    results
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
 
 let bechamel_section () =
-  header "B — wall-clock micro-benchmarks (Bechamel)"
-    "simulator throughput; not a paper claim";
   let open Bechamel in
   let g_small = Generators.apollonian (Random.State.make [| 3 |]) 150 in
   let g_planarity = Generators.apollonian (Random.State.make [| 4 |]) 1000 in
-  let far = Generators.far_from_planar (Random.State.make [| 5 |]) ~n:150 ~eps:0.25 in
+  let far =
+    Generators.far_from_planar (Random.State.make [| 5 |]) ~n:150 ~eps:0.25
+  in
   let mk name f = Test.make ~name (Staged.stage f) in
   let tests =
     [
-      mk "lr_planarity_n1000" (fun () -> ignore (Planarity.Lr.is_planar g_planarity));
+      mk "lr_planarity_n1000" (fun () ->
+          ignore (Planarity.Lr.is_planar g_planarity));
       mk "lr_embed_n1000" (fun () -> ignore (Planarity.Lr.embed g_planarity));
       mk "stage1_n150" (fun () -> ignore (Partition.Stage1.run g_small ~eps:0.3));
       mk "full_tester_planar_n150" (fun () ->
@@ -525,7 +1091,11 @@ let bechamel_section () =
   in
   let grouped = Test.make_grouped ~name:"repro" tests in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) () in
+  let cfg =
+    Benchmark.cfg ~limit:20
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ()
+  in
   let raw = Benchmark.all cfg [ instance ] grouped in
   let results =
     Analyze.all
@@ -533,13 +1103,29 @@ let bechamel_section () =
       instance raw
   in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
+      rows
+  in
+  emit "B" ~title:"wall-clock micro-benchmarks (Bechamel)"
+    ~claim:"simulator throughput; not a paper claim"
+    (J.List
+       (List.map
+          (fun (name, est) ->
+            J.Obj [ ("name", J.String name); ("ns_per_run", J.Float est) ])
+          estimates));
   row "%-40s %-16s\n" "benchmark" "ns/run (ols)";
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some [ est ] -> row "%-40s %-16.0f\n" name est
       | _ -> row "%-40s (no estimate)\n" name)
-    (List.sort compare rows)
+    rows
 
 let () =
   e1_rounds_vs_n ();
@@ -560,4 +1146,28 @@ let () =
   a2_corner_keys ();
   a3_adaptive_schedule ();
   bechamel_section ();
+  (match !json_path with
+  | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("schema", J.String "bench.planarity/v1");
+            ("quick", J.Bool quick);
+            ("jobs", J.Int jobs);
+            ( "experiments",
+              J.List
+                (List.rev_map
+                   (fun (id, body) ->
+                     match body with
+                     | J.Obj fields -> J.Obj (("id", J.String id) :: fields)
+                     | other -> J.Obj [ ("id", J.String id); ("data", other) ])
+                   !sections) );
+          ]
+      in
+      (try J.write_file path doc
+       with Sys_error msg ->
+         Printf.eprintf "bench: cannot write %s: %s\n" path msg;
+         exit 1);
+      Printf.printf "\nwrote %s\n" path
+  | None -> ());
   Printf.printf "\nAll experiments completed.\n"

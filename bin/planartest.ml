@@ -48,30 +48,41 @@ let gen_cmd =
   in
   let run family n param seed =
     let rng = Random.State.make [| seed |] in
-    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
     let g =
-      match family with
-      | "grid" -> Generators.grid side side
-      | "torus" -> Generators.torus (max 3 side) (max 3 side)
-      | "cycle" -> Generators.cycle n
-      | "path" -> Generators.path n
-      | "tree" -> Generators.random_tree rng n
-      | "apollonian" -> Generators.apollonian rng n
-      | "planar" ->
-          let mmax = (3 * n) - 6 in
-          Generators.random_planar rng ~n
-            ~m:(max (n - 1) (int_of_float (param *. float_of_int mmax)))
-      | "far" -> Generators.far_from_planar rng ~n ~eps:param
-      | "gnp" -> Generators.gnp rng n (param /. float_of_int n)
-      | "complete" -> Generators.complete n
-      | "kbipartite" -> Generators.complete_bipartite (n / 2) (n - (n / 2))
-      | "petersen" -> Generators.petersen ()
-      | "hypercube" ->
-          Generators.hypercube
-            (int_of_float (log (float_of_int n) /. log 2.0))
-      | "k5necklace" -> Generators.k5_necklace (max 1 (n / 5))
-      | f -> failwith ("unknown family: " ^ f)
+      try
+        match family with
+        | "grid" ->
+            (* Exactly n vertices: factor n as rows * cols instead of the
+               old sqrt-and-round, which silently generated a different
+               size for non-squares. *)
+            let rows, cols = Generators.grid_dims n in
+            Generators.grid rows cols
+        | "torus" ->
+            let rows, cols = Generators.grid_dims ~min_side:3 n in
+            Generators.torus rows cols
+        | "cycle" -> Generators.cycle n
+        | "path" -> Generators.path n
+        | "tree" -> Generators.random_tree rng n
+        | "apollonian" -> Generators.apollonian rng n
+        | "planar" ->
+            let mmax = (3 * n) - 6 in
+            Generators.random_planar rng ~n
+              ~m:(max (n - 1) (int_of_float (param *. float_of_int mmax)))
+        | "far" -> Generators.far_from_planar rng ~n ~eps:param
+        | "gnp" -> Generators.gnp rng n (param /. float_of_int n)
+        | "complete" -> Generators.complete n
+        | "kbipartite" -> Generators.complete_bipartite (n / 2) (n - (n / 2))
+        | "petersen" -> Generators.petersen ()
+        | "hypercube" ->
+            Generators.hypercube
+              (int_of_float (log (float_of_int n) /. log 2.0))
+        | "k5necklace" -> Generators.k5_necklace (max 1 (n / 5))
+        | f -> failwith ("unknown family: " ^ f)
+      with Invalid_argument msg | Failure msg ->
+        Printf.eprintf "planartest gen: %s\n" msg;
+        exit 1
     in
+    Printf.eprintf "generated %s: n=%d m=%d\n" family (Graph.n g) (Graph.m g);
     print_string (Gio.to_string g)
   in
   Cmd.v
@@ -81,9 +92,22 @@ let gen_cmd =
 (* --- test ------------------------------------------------------------ *)
 
 let test_cmd =
-  let run path eps seed =
+  let stats_json_arg =
+    let doc =
+      "Write a machine-readable JSON report (verdict, rejections, round / \
+       message / bit totals, per-phase telemetry series) to $(docv)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH" ~doc)
+  in
+  let run path eps seed stats_json =
     let g = read_graph path in
-    let r = Tester.Planarity_tester.run g ~eps ~seed in
+    let telemetry =
+      Option.map (fun _ -> Congest.Telemetry.create ()) stats_json
+    in
+    let r = Tester.Planarity_tester.run ?telemetry g ~eps ~seed in
     (match r.Tester.Planarity_tester.verdict with
     | Tester.Planarity_tester.Accept -> print_endline "ACCEPT (all nodes)"
     | Tester.Planarity_tester.Reject l ->
@@ -98,11 +122,47 @@ let test_cmd =
       r.Tester.Planarity_tester.rounds r.Tester.Planarity_tester.nominal_rounds
       r.Tester.Planarity_tester.messages r.Tester.Planarity_tester.total_bits;
     Printf.printf "ground truth (LR)  : %s\n"
-      (if Planarity.Lr.is_planar g then "planar" else "non-planar")
+      (if Planarity.Lr.is_planar g then "planar" else "non-planar");
+    match (stats_json, telemetry) with
+    | Some out, Some tel ->
+        let module J = Congest.Telemetry.Json in
+        let verdict, rejections =
+          match r.Tester.Planarity_tester.verdict with
+          | Tester.Planarity_tester.Accept -> ("accept", [])
+          | Tester.Planarity_tester.Reject l -> ("reject", l)
+        in
+        let j =
+          J.Obj
+            [
+              ("schema", J.String "planartest.stats/v1");
+              ("graph", J.Obj [ ("n", J.Int (Graph.n g)); ("m", J.Int (Graph.m g)) ]);
+              ("eps", J.Float eps);
+              ("seed", J.Int seed);
+              ("verdict", J.String verdict);
+              ( "rejections",
+                J.List
+                  (List.map
+                     (fun (node, reason) ->
+                       J.Obj
+                         [ ("node", J.Int node); ("reason", J.String reason) ])
+                     rejections) );
+              ("rounds", J.Int r.Tester.Planarity_tester.rounds);
+              ("nominal_rounds", J.Int r.Tester.Planarity_tester.nominal_rounds);
+              ("messages", J.Int r.Tester.Planarity_tester.messages);
+              ("total_bits", J.Int r.Tester.Planarity_tester.total_bits);
+              ("telemetry", Congest.Telemetry.to_json tel);
+            ]
+        in
+        (try J.write_file out j
+         with Sys_error msg ->
+           Printf.eprintf "planartest test: cannot write stats: %s\n" msg;
+           exit 1);
+        Printf.eprintf "wrote %s\n" out
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
-    Term.(const run $ graph_arg $ eps_arg $ seed_arg)
+    Term.(const run $ graph_arg $ eps_arg $ seed_arg $ stats_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 
@@ -216,7 +276,10 @@ let info_cmd =
 
 let () =
   let doc = "distributed property testing of planarity (PODC 2018)" in
+  (* [n] is a single-character option, which cmdliner only accepts as
+     [-n]; keep the documented [--n N] spelling working too. *)
+  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group (Cmd.info "planartest" ~doc)
           [ gen_cmd; test_cmd; partition_cmd; spanner_cmd; witness_cmd; info_cmd ]))

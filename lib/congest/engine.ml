@@ -6,18 +6,125 @@ module type MESSAGE = sig
   val bits : t -> int
 end
 
+exception Stopped
+
 module Make (Msg : MESSAGE) = struct
-  type engine = {
-    graph : Graph.t;
-    estats : Stats.t;
-    reject_log : (int * string) list ref;
-    mutable current_round : int;
-    (* outgoing.(v) holds (dest, msg) queued by v this round *)
-    outgoing : (int * Msg.t) list array;
-    incoming : (int * Msg.t) list array;
+  (* Reusable message buffer: parallel arrays instead of lists so the
+     steady-state delivery path allocates nothing.  [ids] holds the
+     destination (outboxes) or sender (inboxes); [eids] holds the directed
+     edge id (outboxes only).  [msgs] is created from the first message
+     pushed, so no dummy [Msg.t] is ever needed. *)
+  type buf = {
+    mutable ids : int array;
+    mutable eids : int array;
+    mutable msgs : Msg.t array;
+    mutable len : int;
   }
 
-  type ctx = { id : int; crng : Random.State.t; eng : engine }
+  let fresh_buf () = { ids = [||]; eids = [||]; msgs = [||]; len = 0 }
+
+  let push b id eid msg =
+    let cap = Array.length b.ids in
+    if b.len = cap then begin
+      let ncap = max 4 (2 * cap) in
+      let nids = Array.make ncap 0 and neids = Array.make ncap 0 in
+      let nmsgs = Array.make ncap msg in
+      Array.blit b.ids 0 nids 0 b.len;
+      Array.blit b.eids 0 neids 0 b.len;
+      Array.blit b.msgs 0 nmsgs 0 b.len;
+      b.ids <- nids;
+      b.eids <- neids;
+      b.msgs <- nmsgs
+    end;
+    b.ids.(b.len) <- id;
+    b.eids.(b.len) <- eid;
+    b.msgs.(b.len) <- msg;
+    b.len <- b.len + 1
+
+  (* Preallocated per-graph delivery state, reusable across runs so that a
+     protocol built from many short engine runs (Stage I's primitives) does
+     not pay an O(n + m) allocation bill per run.  Single-domain, one run
+     at a time; a nested or cross-domain [run] on a busy pool silently
+     falls back to fresh allocation. *)
+  type pool = {
+    pgraph : Graph.t;
+    outbox : buf array;  (* per node, queued sends for this round *)
+    inbox : buf array;  (* per node, deliveries, reused across rounds *)
+    (* Per-directed-edge bit totals for the round being delivered.  The
+       directed edge u->v of undirected edge e=(a,b), a<b, has id [2e]
+       when u=a and [2e+1] when u=b.  Entries are reset through
+       [touched], so a round costs O(edges carrying traffic), not O(m). *)
+    edge_bits : int array;
+    touched : int array;  (* directed edge ids with traffic this round *)
+    mutable touched_len : int;
+    senders : int array;  (* nodes with a non-empty outbox, ascending *)
+    mutable senders_len : int;
+    queued : bool array;  (* membership bit for [senders] *)
+    receivers : int array;  (* nodes with a non-empty inbox *)
+    mutable receivers_len : int;
+    (* Worklist of nodes still suspended at a [sync]; ascending id order
+       (nodes only ever leave), so each round costs O(live + messages)
+       rather than O(n). *)
+    live : int array;
+    conts : ((int * Msg.t) list, unit) Effect.Deep.continuation option array;
+    mutable in_use : bool;
+  }
+
+  let pool g =
+    let n = Graph.n g in
+    {
+      pgraph = g;
+      outbox = Array.init n (fun _ -> fresh_buf ());
+      inbox = Array.init n (fun _ -> fresh_buf ());
+      edge_bits = Array.make (2 * Graph.m g) 0;
+      touched = Array.make (2 * Graph.m g) 0;
+      touched_len = 0;
+      senders = Array.make n 0;
+      senders_len = 0;
+      queued = Array.make n false;
+      receivers = Array.make n 0;
+      receivers_len = 0;
+      live = Array.make n 0;
+      conts = Array.make n None;
+      in_use = false;
+    }
+
+  (* Clear whatever the previous run left behind (undelivered final-round
+     sends, or mid-round state abandoned by an exception); cost is
+     proportional to the leftovers, not to n + m.  [conts] needs no sweep:
+     every exit path of [run] leaves it all-[None]. *)
+  let reset_pool p =
+    for i = 0 to p.senders_len - 1 do
+      let v = p.senders.(i) in
+      p.queued.(v) <- false;
+      p.outbox.(v).len <- 0
+    done;
+    p.senders_len <- 0;
+    for i = 0 to p.receivers_len - 1 do
+      p.inbox.(p.receivers.(i)).len <- 0
+    done;
+    p.receivers_len <- 0;
+    for i = 0 to p.touched_len - 1 do
+      p.edge_bits.(p.touched.(i)) <- 0
+    done;
+    p.touched_len <- 0
+
+  type engine = {
+    graph : Graph.t;
+    seed : int;
+    p : pool;
+    estats : Stats.t;
+    telemetry : Telemetry.t option;
+    mutable reject_log : (int * int * string) list;
+        (* (round, node, reason), reverse chronological *)
+    mutable current_round : int;
+  }
+
+  (* The per-node random state is created on first use: most node
+     programs are deterministic, and eagerly seeding n states dominated
+     the fixed cost of short engine runs.  Laziness does not change the
+     stream a program that does call {!rng} observes. *)
+  type ctx = { id : int; mutable crng : Random.State.t option; eng : engine }
 
   type _ Effect.t += Sync : (int * Msg.t) list Effect.t
 
@@ -26,20 +133,38 @@ module Make (Msg : MESSAGE) = struct
   let degree c = Graph.degree c.eng.graph c.id
   let neighbors c = Graph.neighbors c.eng.graph c.id
   let incident c = Graph.incident c.eng.graph c.id
-  let rng c = c.crng
   let round c = c.eng.current_round
   let stats c = c.eng.estats
 
+  let rng c =
+    match c.crng with
+    | Some r -> r
+    | None ->
+        let r = Random.State.make [| c.eng.seed; c.id; 0x5eed |] in
+        c.crng <- Some r;
+        r
+
   let send c ~dest msg =
-    if not (Graph.has_edge c.eng.graph c.id dest) then
-      invalid_arg
-        (Printf.sprintf "Engine.send: %d is not a neighbor of %d" dest c.id);
-    c.eng.outgoing.(c.id) <- (dest, msg) :: c.eng.outgoing.(c.id)
+    let p = c.eng.p in
+    let e =
+      try Graph.find_edge c.eng.graph c.id dest
+      with Not_found ->
+        invalid_arg
+          (Printf.sprintf "Engine.send: %d is not a neighbor of %d" dest c.id)
+    in
+    let de = (2 * e) + if c.id < dest then 0 else 1 in
+    (* Nodes only run one at a time and in ascending id order (both at
+       start-up and when resumed), so appending on first use keeps
+       [senders] sorted. *)
+    if not p.queued.(c.id) then begin
+      p.queued.(c.id) <- true;
+      p.senders.(p.senders_len) <- c.id;
+      p.senders_len <- p.senders_len + 1
+    end;
+    push p.outbox.(c.id) dest de msg
 
   let broadcast c msg =
-    Array.iter
-      (fun dest -> c.eng.outgoing.(c.id) <- (dest, msg) :: c.eng.outgoing.(c.id))
-      (neighbors c)
+    Array.iter (fun dest -> send c ~dest msg) (neighbors c)
 
   let sync _c = Effect.perform Sync
 
@@ -49,44 +174,72 @@ module Make (Msg : MESSAGE) = struct
     done
 
   let reject c reason =
-    c.eng.reject_log := (c.id, reason) :: !(c.eng.reject_log)
+    c.eng.reject_log <-
+      (c.eng.current_round, c.id, reason) :: c.eng.reject_log
 
   type 'o result = {
     outputs : 'o option array;
-    rejections : (int * string) list;
+    rejections : (int * int * string) list;
     stats : Stats.t;
     completed : bool;
   }
 
-  let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000) g
-      program =
+  let distinct_rejections l =
+    List.sort_uniq compare (List.map (fun (_, v, reason) -> (v, reason)) l)
+
+  let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000)
+      ?telemetry ?pool:opool g program =
     let n = Graph.n g in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
+    let p, owned =
+      match opool with
+      | Some p when p.pgraph == g && not p.in_use ->
+          reset_pool p;
+          (p, true)
+      | _ -> (pool g, false)
+    in
+    p.in_use <- true;
     let eng =
       {
         graph = g;
+        seed;
+        p;
         estats = Stats.create ~bandwidth:bw;
-        reject_log = ref [];
+        telemetry;
+        reject_log = [];
         current_round = 0;
-        outgoing = Array.make n [];
-        incoming = Array.make n [];
       }
     in
     let outputs = Array.make n None in
-    let conts :
-        ((int * Msg.t) list, unit) Effect.Deep.continuation option array =
-      Array.make n None
+    let conts = p.conts in
+    (* Every exit path must run this: a node suspended at [sync] when the
+       run ends (strict-mode overflow, node exception, [max_rounds]) is
+       discontinued with [Stopped] so its stack unwinds and finalizers
+       ([Fun.protect] etc.) run.  [Stopped] itself is swallowed by the
+       per-node handler; any exception a node raises while unwinding is
+       dropped here so every node still gets finalized.  Postcondition:
+       [conts] is all-[None], even if a node caught [Stopped] and tried to
+       sync again. *)
+    let finalize () =
+      for v = 0 to n - 1 do
+        match conts.(v) with
+        | None -> ()
+        | Some k ->
+            conts.(v) <- None;
+            (try Effect.Deep.discontinue k Stopped with _ -> ());
+            conts.(v) <- None
+      done
     in
     let start v =
-      let ctx = { id = v; crng = Random.State.make [| seed; v; 0x5eed |]; eng } in
+      let ctx = { id = v; crng = None; eng } in
       Effect.Deep.match_with
         (fun () -> outputs.(v) <- Some (program ctx))
         ()
         {
           retc = (fun () -> ());
-          exnc = (fun e -> raise e);
+          exnc = (fun e -> match e with Stopped -> () | e -> raise e);
           effc =
             (fun (type a) (eff : a Effect.t) ->
               match eff with
@@ -97,73 +250,134 @@ module Make (Msg : MESSAGE) = struct
               | _ -> None);
         }
     in
-    for v = 0 to n - 1 do
-      start v
-    done;
-    let any_live () = Array.exists Option.is_some conts in
-    let stop = ref false in
-    while (not !stop) && any_live () do
-      if eng.estats.Stats.rounds >= max_rounds then stop := true
-      else begin
-        eng.estats.rounds <- eng.estats.rounds + 1;
-        eng.current_round <- eng.current_round + 1;
-        (* Deliver: move outboxes to inboxes, accounting per directed
-           edge. *)
-        let max_frames = ref 1 in
-        for v = 0 to n - 1 do
-          match eng.outgoing.(v) with
-          | [] -> ()
-          | msgs ->
-              eng.outgoing.(v) <- [];
-              (* Per-destination bit totals for this source. *)
-              let per_dest = Hashtbl.create 8 in
-              List.iter
-                (fun (dest, msg) ->
-                  let b = Msg.bits msg in
-                  eng.estats.messages <- eng.estats.messages + 1;
-                  eng.estats.total_bits <- eng.estats.total_bits + b;
-                  Hashtbl.replace per_dest dest
-                    (b
-                    + Option.value ~default:0 (Hashtbl.find_opt per_dest dest));
-                  eng.incoming.(dest) <- (v, msg) :: eng.incoming.(dest))
-                (List.rev msgs);
-              Hashtbl.iter
-                (fun _ b ->
-                  if b > eng.estats.max_edge_bits then
-                    eng.estats.max_edge_bits <- b;
-                  if b > bw then begin
-                    if strict then
-                      failwith
-                        (Printf.sprintf
-                           "Engine: %d bits on one edge in one round exceeds \
-                            the %d-bit bandwidth (strict mode)"
-                           b bw);
-                    eng.estats.oversized <- eng.estats.oversized + 1;
-                    let frames = (b + bw - 1) / bw in
-                    if frames > !max_frames then max_frames := frames
-                  end)
-                per_dest
+    let live = p.live in
+    let live_len = ref 0 in
+    let completed = ref true in
+    let running = ref true in
+    let one_round () =
+      eng.estats.Stats.rounds <- eng.estats.Stats.rounds + 1;
+      eng.current_round <- eng.current_round + 1;
+      (* Deliver: drain outboxes into inboxes, summing bits per directed
+         edge.  Senders are processed in ascending id order and each
+         outbox in reverse send order, which makes every inbox buffer
+         sorted by sender with same-sender messages in the order the
+         pre-rewrite engine produced (stable sort over a prepend-built
+         list, i.e. reverse send order). *)
+      let round_bits = ref 0 and round_msgs = ref 0 in
+      for i = 0 to p.senders_len - 1 do
+        let v = p.senders.(i) in
+        p.queued.(v) <- false;
+        let ob = p.outbox.(v) in
+        for j = ob.len - 1 downto 0 do
+          let dest = ob.ids.(j) and de = ob.eids.(j) in
+          let msg = ob.msgs.(j) in
+          let b = Msg.bits msg in
+          eng.estats.messages <- eng.estats.messages + 1;
+          eng.estats.total_bits <- eng.estats.total_bits + b;
+          incr round_msgs;
+          round_bits := !round_bits + b;
+          if p.edge_bits.(de) = 0 then begin
+            p.touched.(p.touched_len) <- de;
+            p.touched_len <- p.touched_len + 1
+          end;
+          p.edge_bits.(de) <- p.edge_bits.(de) + b;
+          let ib = p.inbox.(dest) in
+          if ib.len = 0 then begin
+            p.receivers.(p.receivers_len) <- dest;
+            p.receivers_len <- p.receivers_len + 1
+          end;
+          push ib v 0 msg
         done;
-        eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
-        (* Resume every live node with its inbox. *)
-        for v = 0 to n - 1 do
-          match conts.(v) with
-          | None -> eng.incoming.(v) <- []
-          | Some k ->
-              conts.(v) <- None;
-              let inbox =
-                List.sort (fun (a, _) (b, _) -> compare a b) eng.incoming.(v)
-              in
-              eng.incoming.(v) <- [];
-              Effect.Deep.continue k inbox
-        done
-      end
-    done;
+        ob.len <- 0
+      done;
+      p.senders_len <- 0;
+      (* Charge bandwidth per directed edge. *)
+      let max_frames = ref 1 in
+      for i = 0 to p.touched_len - 1 do
+        let de = p.touched.(i) in
+        let b = p.edge_bits.(de) in
+        p.edge_bits.(de) <- 0;
+        if b > eng.estats.max_edge_bits then eng.estats.max_edge_bits <- b;
+        if b > bw then begin
+          if strict then
+            failwith
+              (Printf.sprintf
+                 "Engine: %d bits on one edge in one round exceeds the \
+                  %d-bit bandwidth (strict mode)"
+                 b bw);
+          eng.estats.oversized <- eng.estats.oversized + 1;
+          let frames = Stats.frames ~bandwidth:bw b in
+          if frames > !max_frames then max_frames := frames
+        end
+      done;
+      p.touched_len <- 0;
+      eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
+      (match eng.telemetry with
+      | Some tel ->
+          Telemetry.tick tel ~bits:!round_bits ~frames:!max_frames
+            ~messages:!round_msgs
+      | None -> ());
+      (* Resume the live nodes with their inboxes. *)
+      let kept = ref 0 in
+      for i = 0 to !live_len - 1 do
+        let v = live.(i) in
+        match conts.(v) with
+        | None -> ()
+        | Some k ->
+            conts.(v) <- None;
+            let ib = p.inbox.(v) in
+            let inbox =
+              if ib.len = 0 then []
+              else begin
+                let acc = ref [] in
+                for j = ib.len - 1 downto 0 do
+                  acc := (ib.ids.(j), ib.msgs.(j)) :: !acc
+                done;
+                ib.len <- 0;
+                !acc
+              end
+            in
+            Effect.Deep.continue k inbox;
+            (match conts.(v) with
+            | None -> ()
+            | Some _ ->
+                live.(!kept) <- v;
+                incr kept)
+      done;
+      live_len := !kept;
+      (* Inboxes of nodes that finished earlier were never consumed:
+         drop them so the buffers start the next round empty. *)
+      for i = 0 to p.receivers_len - 1 do
+        p.inbox.(p.receivers.(i)).len <- 0
+      done;
+      p.receivers_len <- 0
+    in
+    (try
+       for v = 0 to n - 1 do
+         start v;
+         match conts.(v) with
+         | None -> ()
+         | Some _ ->
+             live.(!live_len) <- v;
+             incr live_len
+       done;
+       while !running && !live_len > 0 do
+         if eng.estats.Stats.rounds >= max_rounds then begin
+           running := false;
+           completed := false;
+           finalize ()
+         end
+         else one_round ()
+       done;
+       if owned then p.in_use <- false
+     with e ->
+       finalize ();
+       if owned then p.in_use <- false;
+       raise e);
     {
       outputs;
-      rejections =
-        List.sort_uniq compare !(eng.reject_log);
+      rejections = List.rev eng.reject_log;
       stats = eng.estats;
-      completed = not !stop;
+      completed = !completed;
     }
 end

@@ -9,7 +9,13 @@
     Bandwidth is accounted per directed edge per round.  Rather than
     fragmenting payloads, the engine charges a round in which some edge
     carried [k] frames as [k] rounds in {!Stats.t.charged_rounds} — the cost
-    an actual CONGEST execution would pay by pipelining. *)
+    an actual CONGEST execution would pay by pipelining.
+
+    The delivery path is allocation-free in steady state: bit totals live
+    in a preallocated per-directed-edge counter array (reset through a
+    touched-edge worklist), messages move through per-node buffers reused
+    across rounds, and the engine keeps worklists of live nodes and active
+    senders so a round costs O(live nodes + messages), not O(n). *)
 
 module type MESSAGE = sig
   type t
@@ -17,6 +23,12 @@ module type MESSAGE = sig
   (** Size of the message on the wire, in bits. *)
   val bits : t -> int
 end
+
+(** Raised {e into} node programs still suspended at a [sync] when a run
+    ends early (strict-mode overflow, node exception, or [max_rounds]), so
+    their stacks unwind and finalizers run.  Node programs should let it
+    propagate. *)
+exception Stopped
 
 module Make (Msg : MESSAGE) : sig
   type ctx
@@ -45,7 +57,8 @@ module Make (Msg : MESSAGE) : sig
   val broadcast : ctx -> Msg.t -> unit
 
   (** Ends the node's round.  Returns the messages received this round as
-      [(sender, message)] pairs sorted by sender. *)
+      [(sender, message)] pairs sorted by sender; several messages from
+      the same sender arrive in reverse send order. *)
   val sync : ctx -> (int * Msg.t) list
 
   (** [idle ctx k] syncs [k] times, discarding inboxes. *)
@@ -63,12 +76,35 @@ module Make (Msg : MESSAGE) : sig
   type 'o result = {
     outputs : 'o option array;
         (** per node; [None] if the node did not finish before [max_rounds] *)
-    rejections : (int * string) list;  (** (node, reason), by node id *)
+    rejections : (int * int * string) list;
+        (** full log: [(round, node, reason)] in chronological order.  The
+            same node re-recording the same reason in a later round yields
+            a separate entry (use {!distinct_rejections} for display). *)
     stats : Stats.t;
     completed : bool;  (** all nodes ran to completion *)
   }
 
+  (** Deduplicated display view of a rejection log: distinct
+      [(node, reason)] pairs, sorted. *)
+  val distinct_rejections : (int * int * string) list -> (int * string) list
+
+  type pool
+  (** Preallocated delivery state (message buffers, per-edge bit counters,
+      worklists) for one graph, reusable across {!run} calls so protocols
+      built from many short runs avoid the O(n + m) per-run allocation
+      bill.  A pool is single-domain and serves one run at a time; passing
+      a busy pool (nested run) or one built for a different graph value
+      makes {!run} fall back to fresh allocation. *)
+
+  (** [pool g] preallocates run state for [g]. *)
+  val pool : Graphlib.Graph.t -> pool
+
   (** [run g program] executes [program] at every node of [g].
+
+      On every early exit — a strict-mode bandwidth failure, an exception
+      escaping a node program, or hitting [max_rounds] — all still-suspended
+      nodes are discontinued with {!Stopped} before [run] returns or
+      re-raises, so no live continuation (or its finalizers) is abandoned.
 
       @param seed     determinism seed for the per-node random states.
       @param bandwidth per-edge per-round bit budget
@@ -77,12 +113,18 @@ module Make (Msg : MESSAGE) : sig
              traffic exceeds [bandwidth], instead of charging extra rounds
              (default [false]).
       @param max_rounds safety limit; exceeding it stops the run with
-             [completed = false]. *)
+             [completed = false].
+      @param telemetry when given, one {!Telemetry.tick} is recorded per
+             simulated round (bits, frames, messages).
+      @param pool reuse preallocated delivery state (must come from
+             [pool g] on the same graph value). *)
   val run :
     ?seed:int ->
     ?bandwidth:int ->
     ?strict:bool ->
     ?max_rounds:int ->
+    ?telemetry:Telemetry.t ->
+    ?pool:pool ->
     Graphlib.Graph.t ->
     (ctx -> 'o) ->
     'o result

@@ -19,7 +19,12 @@ let create ~bandwidth =
     bandwidth;
   }
 
+let copy t = { t with rounds = t.rounds }
+
 let charge t k = t.charged_rounds <- t.charged_rounds + k
+
+let frames ~bandwidth bits =
+  if bits <= bandwidth then 1 else (bits + bandwidth - 1) / bandwidth
 
 let add_into acc s =
   acc.rounds <- acc.rounds + s.rounds;

@@ -18,8 +18,15 @@ type t = {
 
 val create : bandwidth:int -> t
 
+(** Independent snapshot of the counters. *)
+val copy : t -> t
+
 (** [charge t k] adds [k] rounds of substituted-subroutine cost. *)
 val charge : t -> int -> unit
+
+(** [frames ~bandwidth bits] is the number of [bandwidth]-bit frames needed
+    to carry [bits] on one edge in one round (at least 1). *)
+val frames : bandwidth:int -> int -> int
 
 (** [add_into acc s] accumulates the counters of [s] into [acc] (used when
     an algorithm is a sequence of engine runs). *)

@@ -1,0 +1,203 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec to_buffer buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then
+          (* Shortest representation that round-trips. *)
+          Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else Buffer.add_string buf "null"
+    | String s -> escape buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            to_buffer buf x)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            to_buffer buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    to_buffer buf j;
+    Buffer.contents buf
+
+  let write_file path j =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let buf = Buffer.create 4096 in
+        to_buffer buf j;
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf)
+end
+
+(* Growable int vector; the per-round series. *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+
+  let push v x =
+    let cap = Array.length v.a in
+    if v.len = cap then begin
+      let na = Array.make (max 16 (2 * cap)) 0 in
+      Array.blit v.a 0 na 0 v.len;
+      v.a <- na
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_json v =
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (Json.Int v.a.(i) :: acc)
+    in
+    Json.List (build (v.len - 1) [])
+end
+
+type phase_rec = {
+  label : string;
+  mutable rounds : int;
+  mutable frames : int;
+  mutable bits : int;
+  mutable messages : int;
+  bits_series : Ivec.t;
+  frames_series : Ivec.t;
+  msgs_series : Ivec.t;
+}
+
+type t = {
+  series : bool;
+  mutable cur : phase_rec;
+  mutable closed : phase_rec list;  (* reverse chronological *)
+}
+
+let fresh_phase label =
+  {
+    label;
+    rounds = 0;
+    frames = 0;
+    bits = 0;
+    messages = 0;
+    bits_series = Ivec.create ();
+    frames_series = Ivec.create ();
+    msgs_series = Ivec.create ();
+  }
+
+let create ?(series = true) () = { series; cur = fresh_phase "run"; closed = [] }
+
+let phase t label =
+  if t.cur.rounds > 0 then t.closed <- t.cur :: t.closed;
+  t.cur <- fresh_phase label
+
+let tick t ~bits ~frames ~messages =
+  let p = t.cur in
+  p.rounds <- p.rounds + 1;
+  p.frames <- p.frames + frames;
+  p.bits <- p.bits + bits;
+  p.messages <- p.messages + messages;
+  if t.series then begin
+    Ivec.push p.bits_series bits;
+    Ivec.push p.frames_series frames;
+    Ivec.push p.msgs_series messages
+  end
+
+type phase_view = {
+  label : string;
+  rounds : int;
+  frames : int;
+  bits : int;
+  messages : int;
+}
+
+let all_phases t =
+  List.rev (if t.cur.rounds > 0 then t.cur :: t.closed else t.closed)
+
+let phases t =
+  List.map
+    (fun (p : phase_rec) ->
+      {
+        label = p.label;
+        rounds = p.rounds;
+        frames = p.frames;
+        bits = p.bits;
+        messages = p.messages;
+      })
+    (all_phases t)
+
+let stats_json (s : Stats.t) =
+  Json.Obj
+    [
+      ("rounds", Json.Int s.Stats.rounds);
+      ("charged_rounds", Json.Int s.Stats.charged_rounds);
+      ("messages", Json.Int s.Stats.messages);
+      ("total_bits", Json.Int s.Stats.total_bits);
+      ("max_edge_bits", Json.Int s.Stats.max_edge_bits);
+      ("oversized", Json.Int s.Stats.oversized);
+      ("bandwidth", Json.Int s.Stats.bandwidth);
+    ]
+
+let to_json t =
+  let phase_json (p : phase_rec) =
+    let base =
+      [
+        ("label", Json.String p.label);
+        ("rounds", Json.Int p.rounds);
+        ("frames", Json.Int p.frames);
+        ("bits", Json.Int p.bits);
+        ("messages", Json.Int p.messages);
+      ]
+    in
+    let series =
+      if t.series then
+        [
+          ( "series",
+            Json.Obj
+              [
+                ("bits", Ivec.to_json p.bits_series);
+                ("frames", Ivec.to_json p.frames_series);
+                ("messages", Ivec.to_json p.msgs_series);
+              ] );
+        ]
+      else []
+    in
+    Json.Obj (base @ series)
+  in
+  Json.Obj [ ("phases", Json.List (List.map phase_json (all_phases t))) ]

@@ -1,0 +1,73 @@
+(** Machine-readable observability for engine runs.
+
+    A [Telemetry.t] attached to {!Engine.Make.run} (and threaded through
+    higher layers via [Partition.State]) records, for every simulated
+    round, the bits delivered, the frames charged on the most loaded
+    directed edge, and the number of messages.  Rounds are grouped into
+    named phases opened by {!phase}, so a caller such as
+    [Partition.Stage1] can label each partition phase and Stage II can
+    label its own work; the result is a per-phase round/bit/frame series
+    that serializes to JSON alongside the final {!Stats.t}.
+
+    Recording is allocation-light: each series is a growable [int] array,
+    amortized O(1) per round, and a [t] is single-run / single-domain
+    state (attach a fresh one per run when fanning runs across domains). *)
+
+(** Minimal JSON document type and printer (the toolchain has no JSON
+    library; this is the serialization used by [bench --json] and
+    [planartest --stats-json]). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** Compact rendering (no insignificant whitespace), RFC 8259 string
+      escaping; [Float] values that are not finite render as [null]. *)
+  val to_buffer : Buffer.t -> t -> unit
+
+  val to_string : t -> string
+
+  (** [write_file path j] writes [j] followed by a newline. *)
+  val write_file : string -> t -> unit
+end
+
+type t
+
+(** [create ()] starts with one implicit phase labelled ["run"].
+    [series:false] keeps only per-phase aggregates (constant memory). *)
+val create : ?series:bool -> unit -> t
+
+(** [phase t label] closes the current phase and opens a new one.  An
+    empty current phase (no rounds recorded) is dropped rather than
+    serialized. *)
+val phase : t -> string -> unit
+
+(** [tick t ~bits ~frames ~messages] records one simulated round:
+    [bits] delivered in total, [frames] charged for the most loaded
+    directed edge (>= 1), [messages] delivered.  Called by the engine. *)
+val tick : t -> bits:int -> frames:int -> messages:int -> unit
+
+type phase_view = {
+  label : string;
+  rounds : int;  (** simulated rounds recorded in this phase *)
+  frames : int;  (** sum of per-round frame charges (= charged rounds) *)
+  bits : int;
+  messages : int;
+}
+
+(** Phases in chronological order, empty phases dropped. *)
+val phases : t -> phase_view list
+
+(** JSON view of a {!Stats.t}. *)
+val stats_json : Stats.t -> Json.t
+
+(** Full JSON view: [{"phases": [{"label", "rounds", "frames", "bits",
+    "messages", "series"?: {"bits", "frames", "messages"}}]}].  The
+    ["series"] member is present iff the telemetry was created with
+    [series:true]; each series has one entry per recorded round. *)
+val to_json : t -> Json.t

@@ -40,6 +40,22 @@ let grid rows cols =
   done;
   Graph.make ~n:(rows * cols) !edges
 
+let grid_dims ?(min_side = 2) n =
+  if min_side < 1 then invalid_arg "Generators.grid_dims: min_side < 1";
+  let best = ref None in
+  let r = ref (int_of_float (sqrt (float_of_int n))) in
+  while !best = None && !r >= min_side do
+    if n mod !r = 0 then best := Some (!r, n / !r);
+    decr r
+  done;
+  match !best with
+  | Some rc -> rc
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Generators.grid_dims: %d is not a product r * c with r, c >= %d"
+           n min_side)
+
 let torus rows cols =
   if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
   let id i j = (i * cols) + j in

@@ -20,6 +20,14 @@ val complete_bipartite : int -> int -> Graph.t
 val grid : int -> int -> Graph.t
 (** [rows x cols] planar grid; vertex [(i, j)] is [i * cols + j]. *)
 
+val grid_dims : ?min_side:int -> int -> int * int
+(** [grid_dims ?min_side n] factors [n] as [(rows, cols)] with
+    [min_side <= rows <= cols] (default [min_side = 2]) and [rows] as
+    close to [sqrt n] as possible, so [grid rows cols] (or
+    [torus rows cols] with [~min_side:3]) has exactly [n] vertices.
+    Raises [Invalid_argument] when no such factorization exists (e.g.
+    [n] prime). *)
+
 val torus : int -> int -> Graph.t
 (** Toroidal grid (non-planar for [rows, cols >= 3]); requires
     [rows >= 3] and [cols >= 3] so wrap-around edges are simple. *)

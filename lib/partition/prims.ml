@@ -1,6 +1,6 @@
 open Graphlib
 
-module Eng = Congest.Engine.Make (Msg)
+module Eng = State.Eng
 
 let sync = Eng.sync
 let send = Eng.send
@@ -9,12 +9,17 @@ let rng = Eng.rng
 
 let run_program ?(seed = 0) (st : State.t) program =
   let res =
-    Eng.run ~seed st.State.graph
+    Eng.run ~seed ?telemetry:st.State.telemetry ~pool:st.State.pool
+      st.State.graph
       (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
   in
   if not res.Eng.completed then failwith "Prims: node program did not complete";
   Congest.Stats.add_into st.State.stats res.Eng.stats;
-  st.State.rejections <- res.Eng.rejections @ st.State.rejections
+  (* Keep every (round, node, reason) entry: identical rejections from
+     different rounds must not collapse (display paths dedup later). *)
+  st.State.rejections <-
+    List.map (fun (_, v, reason) -> (v, reason)) res.Eng.rejections
+    @ st.State.rejections
 
 let refresh_roots st =
   run_program st (fun ctx nd ->
@@ -23,14 +28,17 @@ let refresh_roots st =
         (Graph.incident st.State.graph nd.State.id);
       let inbox = Eng.sync ctx in
       let inc = Graph.incident st.State.graph nd.State.id in
+      (* Inbox senders arrive in ascending order, matching [inc]'s sort
+         order, so one pointer walks both in a single merged pass. *)
+      let port = ref 0 in
       List.iter
         (fun (from, msg) ->
           match msg with
           | Msg.Root r ->
-              (* Update the slot of this neighbor. *)
-              Array.iteri
-                (fun port (nbr, _) -> if nbr = from then nd.State.nbr_root.(port) <- r)
-                inc
+              while fst inc.(!port) <> from do
+                incr port
+              done;
+              nd.State.nbr_root.(!port) <- r
           | _ -> assert false)
         inbox)
 

@@ -15,7 +15,7 @@ module Eng : sig
 
   type 'o result = {
     outputs : 'o option array;
-    rejections : (int * string) list;
+    rejections : (int * int * string) list;  (** (round, node, reason) *)
     stats : Congest.Stats.t;
     completed : bool;
   }

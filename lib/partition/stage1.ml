@@ -23,13 +23,41 @@ let phases_for ~eps ~alpha =
   let t = log (eps /. 2.0) /. log rate in
   max 1 (int_of_float (ceil t))
 
-(* Exact maximum induced-subgraph diameter over the current parts. *)
+(* Exact maximum induced-subgraph diameter over the current parts: BFS
+   from every node, restricted to its part by comparing part roots.  The
+   stamp array makes the scratch state reusable across sources without
+   clearing, so the whole sweep allocates three arrays total instead of an
+   induced subgraph per part. *)
 let max_part_diameter st =
-  List.fold_left
-    (fun acc (_, members) ->
-      let sub, _ = Graph.induced st.State.graph members in
-      max acc (Traversal.diameter sub))
-    0 (State.parts st)
+  let g = st.State.graph in
+  let n = Graph.n g in
+  let dist = Array.make n 0 in
+  let stamp = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    let root = (State.node st src).State.part_root in
+    stamp.(src) <- src;
+    dist.(src) <- 0;
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      if dist.(u) > !best then best := dist.(u);
+      Array.iter
+        (fun v ->
+          if stamp.(v) <> src && (State.node st v).State.part_root = root
+          then begin
+            stamp.(v) <- src;
+            dist.(v) <- dist.(u) + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+        (Graph.neighbors g u)
+    done
+  done;
+  !best
 
 (* The fixed schedule of the paper for phase [i] (1-based): Theta (log n)
    super-rounds plus the merging sub-steps, each budgeted by the 4^(i-1)
@@ -42,10 +70,11 @@ let nominal_phase_rounds ~n ~phase =
   let merge_steps = (3 * (Merge.max_tree_height + 1)) + 12 in
   (fd + cv + merge_steps) * per_step
 
-let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true) g
-    ~eps =
+let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
+    ?telemetry g ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
   let st = State.create g in
+  st.State.telemetry <- telemetry;
   let n = Graph.n g and m = Graph.m g in
   let target = eps *. float_of_int m /. 2.0 in
   let t = phases_for ~eps ~alpha in
@@ -54,6 +83,10 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true) g
   let phase = ref 1 in
   let stop = ref false in
   while (not !stop) && !phase <= t do
+    Option.iter
+      (fun tel ->
+        Congest.Telemetry.phase tel (Printf.sprintf "stage1-phase-%d" !phase))
+      telemetry;
     let cut_before = State.cut_edges st in
     Prims.refresh_roots st;
     let budget = max 1 (State.max_depth st) in

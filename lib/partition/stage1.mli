@@ -43,11 +43,15 @@ val phases_for : eps:float -> alpha:int -> int
            to force the full schedule).
     @param measure_diameters compute each phase's exact maximum part
            diameter for the trace (default [true]; all-pairs BFS per part
-           — disable on large inputs, the trace then records [-1]). *)
+           — disable on large inputs, the trace then records [-1]).
+    @param telemetry record a per-round series for every engine run, with
+           one {!Congest.Telemetry} phase per partition phase
+           (["stage1-phase-<i>"]). *)
 val run :
   ?alpha:int ->
   ?stop_when_met:bool ->
   ?measure_diameters:bool ->
+  ?telemetry:Congest.Telemetry.t ->
   Graphlib.Graph.t ->
   eps:float ->
   result

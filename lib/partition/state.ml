@@ -1,5 +1,7 @@
 open Graphlib
 
+module Eng = Congest.Engine.Make (Msg)
+
 type node = {
   id : int;
   mutable part_root : int;
@@ -33,8 +35,10 @@ type t = {
   graph : Graph.t;
   nodes : node array;
   stats : Congest.Stats.t;
+  pool : Eng.pool;
   mutable rejections : (int * string) list;
   mutable nominal_rounds : int;
+  mutable telemetry : Congest.Telemetry.t option;
 }
 
 let create g =
@@ -73,8 +77,10 @@ let create g =
     nodes = Array.init (Graph.n g) make_node;
     stats =
       Congest.Stats.create ~bandwidth:(Congest.Bits.default_bandwidth (Graph.n g));
+    pool = Eng.pool g;
     rejections = [];
     nominal_rounds = 0;
+    telemetry = None;
   }
 
 let node st v = st.nodes.(v)

@@ -6,6 +6,10 @@
     (Lemma 6).  The forest-decomposition fields mirror the super-round
     emulation of Section 2.1.5 and are only meaningful at part roots. *)
 
+(** The simulator engine instance all partition/tester code shares (so one
+    preallocated {!Congest.Engine.Make.pool} serves every run). *)
+module Eng : module type of Congest.Engine.Make (Msg)
+
 type node = {
   id : int;
   mutable part_root : int;
@@ -55,12 +59,18 @@ type t = {
   graph : Graphlib.Graph.t;
   nodes : node array;
   stats : Congest.Stats.t;  (** accumulated over every engine run *)
+  pool : Eng.pool;
+      (** reusable engine delivery state — every {!Prims.run_program} over
+          [graph] draws on it instead of allocating per run *)
   mutable rejections : (int * string) list;
       (** one-sided-error evidence collected so far, newest first *)
   mutable nominal_rounds : int;
       (** rounds the paper's fixed 4^i / Theta (log n) schedule would use
           for the work simulated so far (the simulator itself runs each
           sub-step only for the true part depth, for feasibility) *)
+  mutable telemetry : Congest.Telemetry.t option;
+      (** when set, every engine run through {!Prims} records its
+          per-round series here (see {!Congest.Telemetry}) *)
 }
 
 (** Fresh state: singleton parts, every node the root of its own part. *)

@@ -13,15 +13,20 @@ type report = {
 }
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
-    ?(embedding = Stage2.Oracle) g ~eps =
+    ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry g
+    ~eps =
   let stage1, st =
     match partition with
     | Stage_one ->
-        let r = Partition.Stage1.run ~alpha g ~eps in
+        let r =
+          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry g ~eps
+        in
         (Some r, r.Partition.Stage1.state)
     | Exponential_shifts ->
         let r = Partition.En_partition.run ~seed g ~eps in
-        (None, r.Partition.En_partition.state)
+        let st = r.Partition.En_partition.state in
+        st.Partition.State.telemetry <- telemetry;
+        (None, st)
   in
   let partition_rejected =
     match stage1 with
@@ -29,7 +34,12 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     | None -> false
   in
   let stage2 =
-    if not partition_rejected then Some (Stage2.run ~embedding st ~eps ~seed)
+    if not partition_rejected then begin
+      Option.iter
+        (fun tel -> Congest.Telemetry.phase tel "stage2")
+        telemetry;
+      Some (Stage2.run ~embedding st ~eps ~seed)
+    end
     else None
   in
   let rejections = st.Partition.State.rejections in

@@ -29,12 +29,20 @@ type report = {
 
 (** [run ?seed ?alpha ?partition g ~eps] executes the tester on the
     simulator.  [seed] drives the randomized steps (Stage II's edge
-    sampling, and the shifts in [Exponential_shifts] mode). *)
+    sampling, and the shifts in [Exponential_shifts] mode).  [telemetry]
+    records per-round series, with one {!Congest.Telemetry} phase per
+    Stage I phase plus a ["stage2"] phase.  [measure_diameters] (default
+    [false]) fills the exact per-phase part diameters in the Stage I
+    trace — a centralized diagnostic the tester itself never consults,
+    and an all-pairs-BFS sweep per phase, so it is off unless asked
+    for. *)
 val run :
   ?seed:int ->
   ?alpha:int ->
   ?partition:partition_mode ->
   ?embedding:Stage2.embedding_mode ->
+  ?measure_diameters:bool ->
+  ?telemetry:Congest.Telemetry.t ->
   Graphlib.Graph.t ->
   eps:float ->
   report

@@ -108,14 +108,38 @@ let test_max_rounds_timeout () =
   check cb "not completed" false res.E.completed;
   check ci "stopped at limit" 5 res.E.stats.Congest.Stats.rounds
 
+let triple = Alcotest.triple ci ci Alcotest.string
+
 let test_rejection_log () =
   let g = Generators.path 3 in
   let res =
     E.run g (fun ctx -> if E.my_id ctx = 1 then E.reject ctx "bad")
   in
+  check (Alcotest.list triple) "rejections" [ (0, 1, "bad") ] res.E.rejections
+
+(* Regression: identical (node, reason) rejections recorded in different
+   rounds used to be collapsed by a [sort_uniq] — the full log must keep
+   them all, with the deduped view exposed separately. *)
+let test_rejection_log_not_collapsed () =
+  let g = Generators.path 3 in
+  let res =
+    E.run g (fun ctx ->
+        if E.my_id ctx = 1 then begin
+          E.reject ctx "dup";
+          ignore (E.sync ctx);
+          E.reject ctx "dup";
+          ignore (E.sync ctx);
+          E.reject ctx "other"
+        end)
+  in
+  check (Alcotest.list triple) "chronological full log"
+    [ (0, 1, "dup"); (1, 1, "dup"); (2, 1, "other") ]
+    res.E.rejections;
   check
     (Alcotest.list (Alcotest.pair ci Alcotest.string))
-    "rejections" [ (1, "bad") ] res.E.rejections
+    "deduped display view"
+    [ (1, "dup"); (1, "other") ]
+    (E.distinct_rejections res.E.rejections)
 
 let test_message_accounting () =
   let g = Generators.path 2 in
@@ -201,6 +225,220 @@ let test_strict_mode_ok_within_budget () =
         ignore (E.sync ctx))
   in
   check cb "completed" true res.E.completed
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle: every early exit must discontinue suspended nodes        *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: hitting [max_rounds] used to abandon every suspended
+   continuation without unwinding it; finalizers never ran. *)
+let test_finalizers_run_on_max_rounds () =
+  let g = Generators.path 3 in
+  let finalized = ref 0 in
+  let res =
+    E.run ~max_rounds:4 g (fun ctx ->
+        Fun.protect
+          ~finally:(fun () -> incr finalized)
+          (fun () ->
+            while true do
+              ignore (E.sync ctx)
+            done))
+  in
+  check cb "not completed" false res.E.completed;
+  check ci "stopped at limit" 4 res.E.stats.Congest.Stats.rounds;
+  check ci "every node finalized" 3 !finalized
+
+(* Regression: a strict-mode bandwidth failure used to leak every live
+   continuation of the aborted run. *)
+let test_finalizers_run_on_strict_failure () =
+  let g = Generators.path 2 in
+  let finalized = ref 0 in
+  (try
+     ignore
+       (E.run ~bandwidth:4 ~strict:true g (fun ctx ->
+            Fun.protect
+              ~finally:(fun () -> incr finalized)
+              (fun () ->
+                if E.my_id ctx = 0 then E.send ctx ~dest:1 (M.Int 100000);
+                ignore (E.sync ctx);
+                ignore (E.sync ctx))));
+     Alcotest.fail "expected strict-mode failure"
+   with Failure _ -> ());
+  check ci "every node finalized" 2 !finalized
+
+(* A node program raising mid-run also finalizes the other nodes. *)
+let test_finalizers_run_on_node_exception () =
+  let g = Generators.path 3 in
+  let finalized = ref 0 in
+  (try
+     ignore
+       (E.run g (fun ctx ->
+            Fun.protect
+              ~finally:(fun () -> incr finalized)
+              (fun () ->
+                ignore (E.sync ctx);
+                if E.my_id ctx = 0 then failwith "boom";
+                ignore (E.sync ctx);
+                ignore (E.sync ctx))));
+     Alcotest.fail "expected node failure"
+   with Failure msg -> check Alcotest.string "the node's exception" "boom" msg);
+  check ci "every node finalized" 3 !finalized
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth accounting, pinned                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* M.Int 1000 costs int_bits ~universe:1002 = 10 bits. *)
+let test_charged_rounds_pinned () =
+  let g = Generators.path 2 in
+  let res =
+    E.run ~bandwidth:8 g (fun ctx ->
+        if E.my_id ctx = 0 then
+          for _ = 1 to 5 do
+            E.send ctx ~dest:1 (M.Int 1000)
+          done;
+        ignore (E.sync ctx);
+        if E.my_id ctx = 0 then E.send ctx ~dest:1 (M.Int 1000);
+        ignore (E.sync ctx))
+  in
+  (* Round 1: 50 bits on one edge -> ceil(50/8) = 7 frames.
+     Round 2: 10 bits -> 2 frames.  charged = 7 + 2 = rounds + 7 extra. *)
+  check ci "rounds" 2 res.E.stats.Congest.Stats.rounds;
+  check ci "charged = rounds + extra frames" 9
+    res.E.stats.Congest.Stats.charged_rounds;
+  check ci "oversized (edge, round) pairs" 2
+    res.E.stats.Congest.Stats.oversized;
+  check ci "max edge bits" 50 res.E.stats.Congest.Stats.max_edge_bits
+
+let test_max_edge_bits_per_destination () =
+  (* A node sending 10 bits to each of 5 neighbors loads each directed
+     edge with 10 bits: per-edge maxima must not aggregate across
+     destinations. *)
+  let g = Generators.star 6 in
+  let res =
+    E.run ~bandwidth:64 g (fun ctx ->
+        if E.my_id ctx = 0 then E.broadcast ctx (M.Int 1000);
+        ignore (E.sync ctx))
+  in
+  check ci "max edge bits = one destination's load" 10
+    res.E.stats.Congest.Stats.max_edge_bits;
+  check ci "total bits = sum over destinations" 50
+    res.E.stats.Congest.Stats.total_bits;
+  (* Two messages to the same destination in one round do aggregate. *)
+  let res2 =
+    E.run ~bandwidth:64 g (fun ctx ->
+        if E.my_id ctx = 0 then begin
+          E.send ctx ~dest:1 (M.Int 1000);
+          E.send ctx ~dest:1 (M.Int 1000)
+        end;
+        ignore (E.sync ctx))
+  in
+  check ci "same-edge messages aggregate" 20
+    res2.E.stats.Congest.Stats.max_edge_bits
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the delivery path                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each node records every inbox it ever saw; two runs with the same seed
+   must produce structurally identical transcripts (senders sorted,
+   same-sender order preserved), including when the runs execute on
+   different domains, as under the parallel bench driver. *)
+let inbox_transcript seed =
+  let g = Generators.grid 5 5 in
+  let res =
+    E.run ~seed g (fun ctx ->
+        let log = ref [] in
+        let r = Random.State.int (E.rng ctx) 3 + 1 in
+        for _ = 1 to r do
+          E.broadcast ctx (M.Int (Random.State.int (E.rng ctx) 500));
+          log := E.sync ctx :: !log
+        done;
+        List.rev !log)
+  in
+  (res.E.outputs, res.E.stats.Congest.Stats.charged_rounds)
+
+let test_transcripts_identical () =
+  let a = inbox_transcript 11 and b = inbox_transcript 11 in
+  check cb "identical transcripts" true (a = b)
+
+let test_transcripts_identical_across_domains () =
+  let d1 = Domain.spawn (fun () -> inbox_transcript 11) in
+  let d2 = Domain.spawn (fun () -> inbox_transcript 11) in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  let c = inbox_transcript 11 in
+  check cb "domain runs agree" true (a = b);
+  check cb "domain run = in-process run" true (a = c)
+
+let test_inbox_sender_order_with_multisend () =
+  (* Node 0 sends twice to node 1; node 2 sends once.  The inbox must be
+     sorted by sender, with node 0's two messages in reverse send order
+     (the documented engine order). *)
+  let g = Generators.path 3 in
+  let res =
+    E.run g (fun ctx ->
+        (match E.my_id ctx with
+        | 0 ->
+            E.send ctx ~dest:1 (M.Int 7);
+            E.send ctx ~dest:1 (M.Int 8)
+        | 2 -> E.send ctx ~dest:1 (M.Int 9)
+        | _ -> ());
+        if E.my_id ctx = 1 then
+          E.sync ctx |> List.map (fun (s, M.Int v) -> (s, v))
+        else [])
+  in
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "sorted by sender, same-sender reverse send order"
+    [ (0, 8); (0, 7); (2, 9) ]
+    (Option.get res.E.outputs.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_series_matches_stats () =
+  let g = Generators.cycle 6 in
+  let tel = Congest.Telemetry.create () in
+  let res =
+    E.run ~telemetry:tel g (fun ctx ->
+        E.broadcast ctx (M.Int (E.my_id ctx));
+        ignore (E.sync ctx);
+        E.broadcast ctx (M.Int 1);
+        ignore (E.sync ctx))
+  in
+  let phases = Congest.Telemetry.phases tel in
+  check ci "one phase" 1 (List.length phases);
+  let p = List.hd phases in
+  check ci "rounds" res.E.stats.Congest.Stats.rounds p.Congest.Telemetry.rounds;
+  check ci "frames = charged rounds" res.E.stats.Congest.Stats.charged_rounds
+    p.Congest.Telemetry.frames;
+  check ci "bits" res.E.stats.Congest.Stats.total_bits p.Congest.Telemetry.bits;
+  check ci "messages" res.E.stats.Congest.Stats.messages
+    p.Congest.Telemetry.messages;
+  (* The JSON view is well-formed and mentions every phase. *)
+  let j = Congest.Telemetry.Json.to_string (Congest.Telemetry.to_json tel) in
+  check cb "json has phases" true
+    (String.length j > 0 && j.[0] = '{')
+
+let test_telemetry_phase_labels () =
+  let tel = Congest.Telemetry.create ~series:false () in
+  let g = Generators.path 4 in
+  let run_labelled label =
+    Congest.Telemetry.phase tel label;
+    ignore
+      (E.run ~telemetry:tel g (fun ctx ->
+           E.broadcast ctx (M.Int 1);
+           ignore (E.sync ctx)))
+  in
+  run_labelled "a";
+  run_labelled "b";
+  let labels =
+    List.map
+      (fun (p : Congest.Telemetry.phase_view) -> p.Congest.Telemetry.label)
+      (Congest.Telemetry.phases tel)
+  in
+  check (Alcotest.list Alcotest.string) "labels" [ "a"; "b" ] labels
 
 let test_stats_charge_and_merge () =
   let s1 = Congest.Stats.create ~bandwidth:32 in
@@ -305,6 +543,8 @@ let () =
             test_send_non_neighbor_rejected;
           Alcotest.test_case "max_rounds" `Quick test_max_rounds_timeout;
           Alcotest.test_case "rejection log" `Quick test_rejection_log;
+          Alcotest.test_case "rejection log keeps repeats" `Quick
+            test_rejection_log_not_collapsed;
           Alcotest.test_case "message accounting" `Quick
             test_message_accounting;
           Alcotest.test_case "bandwidth charging" `Quick
@@ -317,6 +557,37 @@ let () =
           Alcotest.test_case "strict mode within budget" `Quick
             test_strict_mode_ok_within_budget;
           q test_echo_qcheck;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "max_rounds finalizes continuations" `Quick
+            test_finalizers_run_on_max_rounds;
+          Alcotest.test_case "strict failure finalizes continuations" `Quick
+            test_finalizers_run_on_strict_failure;
+          Alcotest.test_case "node exception finalizes continuations" `Quick
+            test_finalizers_run_on_node_exception;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "charged rounds pinned" `Quick
+            test_charged_rounds_pinned;
+          Alcotest.test_case "max edge bits is per destination" `Quick
+            test_max_edge_bits_per_destination;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical transcripts" `Quick
+            test_transcripts_identical;
+          Alcotest.test_case "identical transcripts across domains" `Quick
+            test_transcripts_identical_across_domains;
+          Alcotest.test_case "inbox order with multi-send" `Quick
+            test_inbox_sender_order_with_multisend;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "series matches stats" `Quick
+            test_telemetry_series_matches_stats;
+          Alcotest.test_case "phase labels" `Quick test_telemetry_phase_labels;
         ] );
       ( "stats",
         [ Alcotest.test_case "charge and merge" `Quick test_stats_charge_and_merge ]

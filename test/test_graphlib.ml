@@ -252,6 +252,35 @@ let test_generator_sizes () =
   check ci "star m" 7 (Graph.m (Generators.star 8));
   check ci "binary tree m" 9 (Graph.m (Generators.binary_tree 10))
 
+let test_grid_dims () =
+  (* Exact products, rows as close to sqrt n as possible, rows <= cols. *)
+  let cp = Alcotest.(pair int int) in
+  check cp "12" (3, 4) (Generators.grid_dims 12);
+  check cp "16" (4, 4) (Generators.grid_dims 16);
+  check cp "18" (3, 6) (Generators.grid_dims 18);
+  check cp "100" (10, 10) (Generators.grid_dims 100);
+  (* min_side pushes past factorizations with a too-small side:
+     15 = 3 * 5 works at min_side 3 (torus), but 2 * 2 families don't. *)
+  check cp "15 min_side 3" (3, 5) (Generators.grid_dims ~min_side:3 15);
+  check cp "6 default" (2, 3) (Generators.grid_dims 6);
+  (try
+     ignore (Generators.grid_dims ~min_side:3 6);
+     Alcotest.fail "expected Invalid_argument (6 has no side >= 3)"
+   with Invalid_argument _ -> ());
+  (* Primes have no factorization with both sides >= 2. *)
+  (try
+     ignore (Generators.grid_dims 13);
+     Alcotest.fail "expected Invalid_argument (13 prime)"
+   with Invalid_argument _ -> ());
+  (* The generated graphs really have exactly n vertices. *)
+  List.iter
+    (fun n ->
+      let r, c = Generators.grid_dims n in
+      check ci "grid n" n (Graph.n (Generators.grid r c)))
+    [ 6; 12; 35; 144 ];
+  let r, c = Generators.grid_dims ~min_side:3 15 in
+  check ci "torus n" 15 (Graph.n (Generators.torus r c))
+
 let test_apollonian_maximal_planar () =
   let rng = Random.State.make [| 8 |] in
   let g = Generators.apollonian rng 50 in
@@ -431,6 +460,7 @@ let () =
       ( "generators",
         [
           Alcotest.test_case "sizes" `Quick test_generator_sizes;
+          Alcotest.test_case "grid_dims exact n" `Quick test_grid_dims;
           Alcotest.test_case "apollonian maximal planar" `Quick
             test_apollonian_maximal_planar;
           Alcotest.test_case "random tree" `Quick test_random_tree_is_tree;
