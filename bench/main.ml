@@ -5,27 +5,36 @@
    theorem or claim (see DESIGN.md's per-experiment index and EXPERIMENTS.md
    for paper-vs-measured).
 
-   Usage:  bench [--quick|-q] [--jobs N] [--json PATH]
+   Usage:  bench [--quick|-q] [--jobs N] [--domains D] [--no-timings]
+                 [--json PATH]
 
    Independent (family, n, eps, seed) points inside each experiment are
    fanned across [--jobs] domains (default: the recommended domain count);
    results are reassembled in input order, so the report is identical to a
-   serial run.  [--json PATH] additionally writes every experiment's data
-   as a machine-readable document (schema "bench.planarity/v1"). *)
+   serial run.  [--domains D] additionally shards node stepping *inside*
+   each tester/partition run across D engine domains — every statistic is
+   identical for any D, only wall-clock changes.  [--no-timings] skips the
+   serial Bechamel micro-benchmark section (for CI's quick runs).
+   [--json PATH] additionally writes every experiment's data as a
+   machine-readable document (schema "bench.planarity/v1"; '-' = stdout). *)
 
 open Graphlib
-module J = Congest.Telemetry.Json
+module J = Report.Json
 
 (* --- command line ---------------------------------------------------- *)
 
 let quick = ref false
 let jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
+let domains = ref 1
+let timings = ref true
 let json_path = ref None
 
 let () =
   let argv = Sys.argv in
   let usage () =
-    prerr_endline "usage: bench [--quick|-q] [--jobs N] [--json PATH]";
+    prerr_endline
+      "usage: bench [--quick|-q] [--jobs N] [--domains D] [--no-timings] \
+       [--json PATH]";
     exit 2
   in
   let rec parse i =
@@ -39,6 +48,14 @@ let () =
           | Some n when n >= 1 -> jobs := n
           | _ -> usage ());
           parse (i + 2)
+      | "--domains" when i + 1 < Array.length argv ->
+          (match int_of_string_opt argv.(i + 1) with
+          | Some n when n >= 1 -> domains := n
+          | _ -> usage ());
+          parse (i + 2)
+      | "--no-timings" ->
+          timings := false;
+          parse (i + 1)
       | "--json" when i + 1 < Array.length argv ->
           json_path := Some argv.(i + 1);
           parse (i + 2)
@@ -48,6 +65,8 @@ let () =
 
 let quick = !quick
 let jobs = !jobs
+let domains = !domains
+let timings = !timings
 
 (* --- parallel point driver ------------------------------------------- *)
 
@@ -121,19 +140,20 @@ let e1_rounds_vs_n () =
               let side = int_of_float (sqrt (float_of_int n)) in
               Generators.grid side side
         in
-        let r = Tester.Planarity_tester.run g ~eps:0.3 ~seed:1 in
+        let r = Tester.Planarity_tester.run ~domains g ~eps:0.3 ~seed:1 in
         ( family,
           Graph.n g,
           Graph.m g,
           r.Tester.Planarity_tester.rounds,
-          r.Tester.Planarity_tester.nominal_rounds ))
+          r.Tester.Planarity_tester.nominal_rounds,
+          r.Tester.Planarity_tester.fast_forwarded_rounds ))
       points
   in
   emit "E1" ~title:"tester rounds vs n (planar inputs)"
     ~claim:"Theorem 1: O(log n * poly(1/eps)) rounds"
     (J.List
        (List.map
-          (fun (family, n, m, rounds, nominal) ->
+          (fun (family, n, m, rounds, nominal, ff) ->
             J.Obj
               [
                 ("family", J.String family);
@@ -141,14 +161,15 @@ let e1_rounds_vs_n () =
                 ("m", J.Int m);
                 ("rounds", J.Int rounds);
                 ("nominal", J.Int nominal);
+                ("fast_forwarded_rounds", J.Int ff);
               ])
           results));
-  row "%-12s %-6s %-7s %-9s %-10s %-11s %-14s\n" "family" "n" "m" "rounds"
-    "nominal" "rounds/lg n" "nominal/lg n";
+  row "%-12s %-6s %-7s %-9s %-10s %-9s %-11s %-14s\n" "family" "n" "m"
+    "rounds" "nominal" "fast-fwd" "rounds/lg n" "nominal/lg n";
   List.iter
-    (fun (family, n, m, rounds, nominal) ->
-      row "%-12s %-6d %-7d %-9d %-10d %-11.1f %-14.1f\n" family n m rounds
-        nominal
+    (fun (family, n, m, rounds, nominal, ff) ->
+      row "%-12s %-6d %-7d %-9d %-10d %-9d %-11.1f %-14.1f\n" family n m
+        rounds nominal ff
         (float_of_int rounds /. log2 n)
         (float_of_int nominal /. log2 n))
     results
@@ -160,7 +181,7 @@ let e2_rounds_vs_eps () =
   let results =
     parmap
       (fun eps ->
-        let r = Tester.Planarity_tester.run g ~eps ~seed:1 in
+        let r = Tester.Planarity_tester.run ~domains g ~eps ~seed:1 in
         let phases =
           match r.Tester.Planarity_tester.stage1 with
           | Some s1 -> List.length s1.Partition.Stage1.phases
@@ -325,7 +346,7 @@ let e4_soundness () =
 let e5_weight_decay () =
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 5 |]) n in
-  let r = Partition.Stage1.run ~stop_when_met:false g ~eps:0.35 in
+  let r = Partition.Stage1.run ~stop_when_met:false ~domains g ~eps:0.35 in
   let live, idle =
     List.partition
       (fun (p : Partition.Stage1.phase_trace) ->
@@ -379,7 +400,7 @@ let e5_weight_decay () =
 let e6_diameter_growth () =
   let side = if quick then 16 else 24 in
   let g = Generators.grid side side in
-  let r = Partition.Stage1.run ~stop_when_met:false g ~eps:0.4 in
+  let r = Partition.Stage1.run ~stop_when_met:false ~domains g ~eps:0.4 in
   let shown = ref 0 in
   let rows =
     List.filter_map
@@ -421,7 +442,7 @@ let e7_cut_quality () =
   let results =
     parmap
       (fun eps ->
-        let r = Partition.Stage1.run g ~eps in
+        let r = Partition.Stage1.run ~domains g ~eps in
         let cut = Partition.State.cut_edges r.Partition.Stage1.state in
         let target = eps *. float_of_int (Graph.m g) /. 2.0 in
         ( eps,
@@ -462,7 +483,7 @@ let e8_randomized_partition () =
   let g = Generators.grid side side in
   let trials = if quick then 8 else 20 in
   let det =
-    Partition.Stage1.run g
+    Partition.Stage1.run ~domains g
       ~eps:(2.0 *. 0.5 *. float_of_int (Graph.n g) /. float_of_int (Graph.m g))
   in
   let det_rounds = det.Partition.Stage1.rounds in
@@ -723,7 +744,7 @@ let e11_minor_free_testers () =
 let e12_emulation_cost () =
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 9 |]) n in
-  let r = Partition.Stage1.run g ~eps:0.3 in
+  let r = Partition.Stage1.run ~domains g ~eps:0.3 in
   let st = r.Partition.Stage1.state in
   let stats = st.Partition.State.stats in
   emit "E12" ~title:"emulation cost accounting"
@@ -777,7 +798,7 @@ let e13_partition_alternatives () =
       (fun n ->
         let g = Generators.apollonian (Random.State.make [| n; 3 |]) n in
         let eps = 0.3 in
-        let s1 = Tester.Planarity_tester.run g ~eps ~seed:1 in
+        let s1 = Tester.Planarity_tester.run ~domains g ~eps ~seed:1 in
         let s1_cut =
           match s1.Tester.Planarity_tester.stage1 with
           | Some r -> Partition.State.cut_edges r.Partition.Stage1.state
@@ -786,8 +807,8 @@ let e13_partition_alternatives () =
         let en_part = Partition.En_partition.run g ~eps ~seed:1 in
         let en =
           Tester.Planarity_tester.run
-            ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps
-            ~seed:1
+            ~partition:Tester.Planarity_tester.Exponential_shifts ~domains g
+            ~eps ~seed:1
         in
         let verdict r =
           match r.Tester.Planarity_tester.verdict with
@@ -852,7 +873,8 @@ let e14_embedding_modes () =
       (fun (n, mode) ->
         let g = Generators.apollonian (Random.State.make [| n; 7 |]) n in
         let r =
-          Tester.Planarity_tester.run ~embedding:mode g ~eps:0.3 ~seed:1
+          Tester.Planarity_tester.run ~embedding:mode ~domains g ~eps:0.3
+            ~seed:1
         in
         let st =
           match r.Tester.Planarity_tester.stage1 with
@@ -915,7 +937,7 @@ let e14_embedding_modes () =
 let a1_selection_rule () =
   let n = if quick then 300 else 600 in
   let g = Generators.apollonian (Random.State.make [| 61 |]) n in
-  let det = Partition.Stage1.run g ~eps:0.4 in
+  let det = Partition.Stage1.run ~domains g ~eps:0.4 in
   let avg_ratio phases =
     let rs =
       List.filter_map
@@ -1024,27 +1046,57 @@ let a2_corner_keys () =
   row "  vertex-level=%d corner=%d (certified distance >= %d)\n" far_vertex
     far_corner far_dist
 
+(* Wall-clock one thunk, serially (never inside [parmap]: concurrent
+   workers would distort the clock). *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
 let a3_adaptive_schedule () =
   let n = if quick then 300 else 600 in
   let g = Generators.apollonian (Random.State.make [| 81 |]) n in
   let results =
-    parmap
+    (* Timed serially: the whole point of the slow/fast columns is the
+       wall-clock effect of quiescent-round fast-forwarding on the full
+       fixed schedule. *)
+    List.map
       (fun eps ->
-        let a = Partition.Stage1.run g ~eps in
-        let f = Partition.Stage1.run ~stop_when_met:false g ~eps in
+        let a = Partition.Stage1.run ~domains g ~eps in
+        let f_slow, slow_s =
+          time (fun () ->
+              Partition.Stage1.run ~stop_when_met:false ~domains
+                ~fast_forward:false g ~eps)
+        in
+        let f, fast_s =
+          time (fun () ->
+              Partition.Stage1.run ~stop_when_met:false ~domains g ~eps)
+        in
+        let stats r =
+          r.Partition.Stage1.state.Partition.State.stats
+        in
+        assert (Congest.Stats.(
+          (stats f_slow).rounds = (stats f).rounds
+          && (stats f_slow).charged_rounds = (stats f).charged_rounds
+          && (stats f_slow).messages = (stats f).messages
+          && (stats f_slow).total_bits = (stats f).total_bits));
         ( eps,
           (List.length a.Partition.Stage1.phases, a.Partition.Stage1.rounds),
           (List.length f.Partition.Stage1.phases, f.Partition.Stage1.rounds),
-          Partition.Stage1.phases_for ~eps ~alpha:3 ))
+          Partition.Stage1.phases_for ~eps ~alpha:3,
+          (stats f).Congest.Stats.fast_forwarded_rounds,
+          slow_s,
+          fast_s ))
       [ 0.5; 0.3 ]
   in
   emit "A3" ~title:"ablation: adaptive early stop vs the full fixed schedule"
     ~claim:
       "stop_when_met skips provably idle phases; the worst-case analysis \
-       needs the full t = O(log 1/eps)"
+       needs the full t = O(log 1/eps); fast-forward makes the idle tail \
+       O(1) per quiet span"
     (J.List
        (List.map
-          (fun (eps, (ap, ar), (fp, fr), t_max) ->
+          (fun (eps, (ap, ar), (fp, fr), t_max, ff, slow_s, fast_s) ->
             J.Obj
               [
                 ("eps", J.Float eps);
@@ -1052,14 +1104,95 @@ let a3_adaptive_schedule () =
                   J.Obj [ ("phases", J.Int ap); ("rounds", J.Int ar) ] );
                 ("full", J.Obj [ ("phases", J.Int fp); ("rounds", J.Int fr) ]);
                 ("t_max", J.Int t_max);
+                ("fast_forwarded_rounds", J.Int ff);
+                ("full_no_ff_seconds", J.Float slow_s);
+                ("full_ff_seconds", J.Float fast_s);
+                ("ff_speedup", J.Float (slow_s /. max 1e-9 fast_s));
               ])
           results));
-  row "%-7s %-18s %-18s %-7s\n" "eps" "adaptive (ph/rnds)" "full (ph/rnds)"
-    "t_max";
+  row "%-7s %-18s %-18s %-7s %-9s %-22s\n" "eps" "adaptive (ph/rnds)"
+    "full (ph/rnds)" "t_max" "fast-fwd" "full wall-clock (ff off/on)";
   List.iter
-    (fun (eps, (ap, ar), (fp, fr), t_max) ->
-      row "%-7.2f %3d / %-12d %3d / %-12d %-7d\n" eps ap ar fp fr t_max)
+    (fun (eps, (ap, ar), (fp, fr), t_max, ff, slow_s, fast_s) ->
+      row "%-7.2f %3d / %-12d %3d / %-12d %-7d %-9d %.3fs / %.3fs (%.1fx)\n"
+        eps ap ar fp fr t_max ff slow_s fast_s (slow_s /. max 1e-9 fast_s))
     results
+
+(* ------------------------------------------------------------------ *)
+(* Engine wall-clock: domain sharding and fast-forward (tentpole PR)    *)
+(* ------------------------------------------------------------------ *)
+
+let p1_engine_wallclock () =
+  let n = if quick then 512 else 2048 in
+  let g = Generators.apollonian (Random.State.make [| n |]) n in
+  (* Serial timing on purpose; [parmap] concurrency would distort it. *)
+  let baseline, base_s =
+    time (fun () ->
+        Tester.Planarity_tester.run ~domains:1 ~fast_forward:false g ~eps:0.3
+          ~seed:1)
+  in
+  let run_d d =
+    let r, s =
+      time (fun () ->
+          Tester.Planarity_tester.run ~domains:d g ~eps:0.3 ~seed:1)
+    in
+    (* The determinism contract, checked on the spot: every statistic is
+       independent of the domain count and of fast-forwarding. *)
+    assert (
+      r.Tester.Planarity_tester.rounds
+      = baseline.Tester.Planarity_tester.rounds
+      && r.Tester.Planarity_tester.messages
+         = baseline.Tester.Planarity_tester.messages
+      && r.Tester.Planarity_tester.total_bits
+         = baseline.Tester.Planarity_tester.total_bits);
+    (d, r, s)
+  in
+  let runs = List.map run_d [ 1; 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  emit "P1"
+    ~title:"engine wall-clock: E1 tester under --domains and fast-forward"
+    ~claim:
+      "identical stats for any domain count; wall-clock gains come from \
+       sharded stepping (needs real cores) and O(1) quiescent-round skips"
+    (J.Obj
+       [
+         ("family", J.String "apollonian");
+         ("n", J.Int n);
+         ("host_cores", J.Int cores);
+         ("baseline_no_ff_seconds", J.Float base_s);
+         ( "runs",
+           J.List
+             (List.map
+                (fun (d, r, s) ->
+                  J.Obj
+                    [
+                      ("domains", J.Int d);
+                      ("seconds", J.Float s);
+                      ("speedup_vs_no_ff", J.Float (base_s /. max 1e-9 s));
+                      ( "fast_forwarded_rounds",
+                        J.Int r.Tester.Planarity_tester.fast_forwarded_rounds
+                      );
+                      ("rounds", J.Int r.Tester.Planarity_tester.rounds);
+                    ])
+                runs) );
+       ]);
+  row "input: apollonian n=%d; host cores available: %d\n" n cores;
+  row "baseline (domains=1, fast-forward off): %.3fs\n\n" base_s;
+  row "%-9s %-10s %-18s %-12s\n" "domains" "seconds" "speedup vs no-ff"
+    "fast-fwd rounds";
+  List.iter
+    (fun (d, r, s) ->
+      row "%-9d %-10.3f %-18.2f %-12d\n" d s
+        (base_s /. max 1e-9 s)
+        r.Tester.Planarity_tester.fast_forwarded_rounds)
+    runs;
+  if cores < 4 then
+    row
+      "(host exposes %d core(s): domain sharding cannot yield wall-clock \
+       gains here;\n the speedups above come from quiescent-round \
+       fast-forwarding, which is\n exact — every statistic matches the \
+       baseline run.)\n"
+      cores
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                 *)
@@ -1145,29 +1278,23 @@ let () =
   a1_selection_rule ();
   a2_corner_keys ();
   a3_adaptive_schedule ();
-  bechamel_section ();
+  p1_engine_wallclock ();
+  if timings then bechamel_section ();
   (match !json_path with
   | Some path ->
-      let doc =
-        J.Obj
-          [
-            ("schema", J.String "bench.planarity/v1");
-            ("quick", J.Bool quick);
-            ("jobs", J.Int jobs);
-            ( "experiments",
-              J.List
-                (List.rev_map
-                   (fun (id, body) ->
-                     match body with
-                     | J.Obj fields -> J.Obj (("id", J.String id) :: fields)
-                     | other -> J.Obj [ ("id", J.String id); ("data", other) ])
-                   !sections) );
-          ]
+      let experiments =
+        List.rev_map
+          (fun (id, body) ->
+            match body with
+            | J.Obj fields -> J.Obj (("id", J.String id) :: fields)
+            | other -> J.Obj [ ("id", J.String id); ("data", other) ])
+          !sections
       in
-      (try J.write_file path doc
+      let doc = Report.bench_envelope ~quick ~jobs ~domains experiments in
+      (try Report.write path doc
        with Sys_error msg ->
          Printf.eprintf "bench: cannot write %s: %s\n" path msg;
          exit 1);
-      Printf.printf "\nwrote %s\n" path
+      if path <> "-" then Printf.printf "\nwrote %s\n" path
   | None -> ());
   Printf.printf "\nAll experiments completed.\n"

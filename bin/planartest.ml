@@ -95,74 +95,67 @@ let test_cmd =
   let stats_json_arg =
     let doc =
       "Write a machine-readable JSON report (verdict, rejections, round / \
-       message / bit totals, per-phase telemetry series) to $(docv)."
+       message / bit totals, per-phase telemetry series) to $(docv); '-' \
+       writes it to stdout (the human-readable summary then goes to \
+       stderr)."
     in
     Arg.(
       value
       & opt (some string) None
       & info [ "stats-json" ] ~docv:"PATH" ~doc)
   in
-  let run path eps seed stats_json =
+  let domains_arg =
+    let doc =
+      "Shard engine node stepping across $(docv) OCaml domains.  The \
+       verdict and every round/message/bit statistic are identical for \
+       any value; only wall-clock time changes."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let run path eps seed domains stats_json =
     let g = read_graph path in
     let telemetry =
       Option.map (fun _ -> Congest.Telemetry.create ()) stats_json
     in
-    let r = Tester.Planarity_tester.run ?telemetry g ~eps ~seed in
+    let r = Tester.Planarity_tester.run ?telemetry ~domains g ~eps ~seed in
+    (* With --stats-json -, stdout carries exactly the JSON document; the
+       human-readable summary moves to stderr. *)
+    let hum = if stats_json = Some "-" then stderr else stdout in
+    let human fmt = Printf.fprintf hum fmt in
     (match r.Tester.Planarity_tester.verdict with
-    | Tester.Planarity_tester.Accept -> print_endline "ACCEPT (all nodes)"
+    | Tester.Planarity_tester.Accept -> human "ACCEPT (all nodes)\n"
     | Tester.Planarity_tester.Reject l ->
-        Printf.printf "REJECT (%d nodes)\n" (List.length l);
+        human "REJECT (%d nodes)\n" (List.length l);
         List.iteri
           (fun i (node, reason) ->
-            if i < 5 then Printf.printf "  node %d: %s\n" node reason)
+            if i < 5 then human "  node %d: %s\n" node reason)
           l);
-    Printf.printf
-      "rounds (simulated) : %d\nrounds (nominal)   : %d\nmessages           \
-       : %d\ntotal bits         : %d\n"
+    human
+      "rounds (simulated) : %d\nrounds (nominal)   : %d\nrounds \
+       (fast-fwd)  : %d\nmessages           : %d\ntotal bits         : %d\n"
       r.Tester.Planarity_tester.rounds r.Tester.Planarity_tester.nominal_rounds
+      r.Tester.Planarity_tester.fast_forwarded_rounds
       r.Tester.Planarity_tester.messages r.Tester.Planarity_tester.total_bits;
-    Printf.printf "ground truth (LR)  : %s\n"
+    human "ground truth (LR)  : %s\n"
       (if Planarity.Lr.is_planar g then "planar" else "non-planar");
-    match (stats_json, telemetry) with
-    | Some out, Some tel ->
-        let module J = Congest.Telemetry.Json in
-        let verdict, rejections =
-          match r.Tester.Planarity_tester.verdict with
-          | Tester.Planarity_tester.Accept -> ("accept", [])
-          | Tester.Planarity_tester.Reject l -> ("reject", l)
-        in
+    match stats_json with
+    | Some out ->
         let j =
-          J.Obj
-            [
-              ("schema", J.String "planartest.stats/v1");
-              ("graph", J.Obj [ ("n", J.Int (Graph.n g)); ("m", J.Int (Graph.m g)) ]);
-              ("eps", J.Float eps);
-              ("seed", J.Int seed);
-              ("verdict", J.String verdict);
-              ( "rejections",
-                J.List
-                  (List.map
-                     (fun (node, reason) ->
-                       J.Obj
-                         [ ("node", J.Int node); ("reason", J.String reason) ])
-                     rejections) );
-              ("rounds", J.Int r.Tester.Planarity_tester.rounds);
-              ("nominal_rounds", J.Int r.Tester.Planarity_tester.nominal_rounds);
-              ("messages", J.Int r.Tester.Planarity_tester.messages);
-              ("total_bits", J.Int r.Tester.Planarity_tester.total_bits);
-              ("telemetry", Congest.Telemetry.to_json tel);
-            ]
+          Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps ~seed
+            ~domains ?telemetry r
         in
-        (try J.write_file out j
+        (try Report.write out j
          with Sys_error msg ->
            Printf.eprintf "planartest test: cannot write stats: %s\n" msg;
            exit 1);
-        Printf.eprintf "wrote %s\n" out
-    | _ -> ()
+        if out <> "-" then Printf.eprintf "wrote %s\n" out
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
-    Term.(const run $ graph_arg $ eps_arg $ seed_arg $ stats_json_arg)
+    Term.(
+      const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
+      $ stats_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

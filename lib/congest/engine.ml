@@ -8,6 +8,10 @@ end
 
 exception Stopped
 
+(* Breaks out of a shard's stepping loop after a node program raised; never
+   escapes this module. *)
+exception Shard_stop
+
 module Make (Msg : MESSAGE) = struct
   (* Reusable message buffer: parallel arrays instead of lists so the
      steady-state delivery path allocates nothing.  [ids] holds the
@@ -41,11 +45,39 @@ module Make (Msg : MESSAGE) = struct
     b.msgs.(b.len) <- msg;
     b.len <- b.len + 1
 
+  (* Per-domain stepping state.  During a round, each domain steps a
+     disjoint block of nodes; everything a node program can mutate that is
+     not indexed by its own id (the senders worklist, the rejection log, a
+     raised exception) lands in the stepping domain's arena and is merged
+     by the coordinating domain, in arena order, after the barrier.  Blocks
+     partition the node-id-sorted worklists into contiguous ascending
+     ranges, so concatenating arenas 0..D-1 reproduces exactly the order a
+     serial engine would have produced. *)
+  type arena = {
+    asenders : int array;  (* nodes with a non-empty outbox, ascending *)
+    mutable asenders_len : int;
+    mutable arejects : (int * int * string) list;  (* reverse chron. *)
+    mutable afailed : (int * exn) option;  (* lowest failing node in block *)
+    mutable astepped : int;  (* fibers resumed this phase *)
+    mutable akept : int;  (* nodes still live after this phase *)
+    mutable amin_wake : int;  (* min wake round over kept nodes *)
+  }
+
+  let fresh_arena n =
+    {
+      asenders = Array.make (max 1 n) 0;
+      asenders_len = 0;
+      arejects = [];
+      afailed = None;
+      astepped = 0;
+      akept = 0;
+      amin_wake = max_int;
+    }
+
   (* Preallocated per-graph delivery state, reusable across runs so that a
      protocol built from many short engine runs (Stage I's primitives) does
-     not pay an O(n + m) allocation bill per run.  Single-domain, one run
-     at a time; a nested or cross-domain [run] on a busy pool silently
-     falls back to fresh allocation. *)
+     not pay an O(n + m) allocation bill per run.  One run at a time; a
+     nested [run] on a busy pool silently falls back to fresh allocation. *)
   type pool = {
     pgraph : Graph.t;
     outbox : buf array;  (* per node, queued sends for this round *)
@@ -57,16 +89,19 @@ module Make (Msg : MESSAGE) = struct
     edge_bits : int array;
     touched : int array;  (* directed edge ids with traffic this round *)
     mutable touched_len : int;
-    senders : int array;  (* nodes with a non-empty outbox, ascending *)
-    mutable senders_len : int;
-    queued : bool array;  (* membership bit for [senders] *)
+    queued : bool array;  (* node already in some arena's senders list *)
     receivers : int array;  (* nodes with a non-empty inbox *)
     mutable receivers_len : int;
-    (* Worklist of nodes still suspended at a [sync]; ascending id order
+    (* Worklist of nodes still suspended at a [wait]; ascending id order
        (nodes only ever leave), so each round costs O(live + messages)
        rather than O(n). *)
     live : int array;
+    (* Absolute round at which a suspended node resumes even with an empty
+       inbox; written at suspension time, so no reset is needed. *)
+    wake : int array;
+    arena_of : int array;  (* node -> index of the arena stepping it *)
     conts : ((int * Msg.t) list, unit) Effect.Deep.continuation option array;
+    mutable arenas : arena array;  (* grown on demand to the run's D *)
     mutable in_use : bool;
   }
 
@@ -79,27 +114,43 @@ module Make (Msg : MESSAGE) = struct
       edge_bits = Array.make (2 * Graph.m g) 0;
       touched = Array.make (2 * Graph.m g) 0;
       touched_len = 0;
-      senders = Array.make n 0;
-      senders_len = 0;
       queued = Array.make n false;
       receivers = Array.make n 0;
       receivers_len = 0;
       live = Array.make n 0;
+      wake = Array.make n 0;
+      arena_of = Array.make n 0;
       conts = Array.make n None;
+      arenas = [| fresh_arena n |];
       in_use = false;
     }
+
+  let ensure_arenas p d =
+    let cur = Array.length p.arenas in
+    if cur < d then begin
+      let n = Array.length p.queued in
+      let na =
+        Array.init d (fun i -> if i < cur then p.arenas.(i) else fresh_arena n)
+      in
+      p.arenas <- na
+    end
 
   (* Clear whatever the previous run left behind (undelivered final-round
      sends, or mid-round state abandoned by an exception); cost is
      proportional to the leftovers, not to n + m.  [conts] needs no sweep:
      every exit path of [run] leaves it all-[None]. *)
   let reset_pool p =
-    for i = 0 to p.senders_len - 1 do
-      let v = p.senders.(i) in
-      p.queued.(v) <- false;
-      p.outbox.(v).len <- 0
-    done;
-    p.senders_len <- 0;
+    Array.iter
+      (fun a ->
+        for i = 0 to a.asenders_len - 1 do
+          let v = a.asenders.(i) in
+          p.queued.(v) <- false;
+          p.outbox.(v).len <- 0
+        done;
+        a.asenders_len <- 0;
+        a.arejects <- [];
+        a.afailed <- None)
+      p.arenas;
     for i = 0 to p.receivers_len - 1 do
       p.inbox.(p.receivers.(i)).len <- 0
     done;
@@ -115,6 +166,7 @@ module Make (Msg : MESSAGE) = struct
     p : pool;
     estats : Stats.t;
     telemetry : Telemetry.t option;
+    ff : bool;  (* park fibers across rounds + skip quiescent spans *)
     mutable reject_log : (int * int * string) list;
         (* (round, node, reason), reverse chronological *)
     mutable current_round : int;
@@ -126,7 +178,9 @@ module Make (Msg : MESSAGE) = struct
      stream a program that does call {!rng} observes. *)
   type ctx = { id : int; mutable crng : Random.State.t option; eng : engine }
 
-  type _ Effect.t += Sync : (int * Msg.t) list Effect.t
+  (* [Suspend k] parks the fiber until the first round with a non-empty
+     inbox, or unconditionally after [k] rounds (k >= 1). *)
+  type _ Effect.t += Suspend : int -> (int * Msg.t) list Effect.t
 
   let my_id c = c.id
   let n_nodes c = Graph.n c.eng.graph
@@ -153,29 +207,56 @@ module Make (Msg : MESSAGE) = struct
           (Printf.sprintf "Engine.send: %d is not a neighbor of %d" dest c.id)
     in
     let de = (2 * e) + if c.id < dest then 0 else 1 in
-    (* Nodes only run one at a time and in ascending id order (both at
-       start-up and when resumed), so appending on first use keeps
-       [senders] sorted. *)
+    (* Within one domain nodes run one at a time in ascending id order
+       (both at start-up and when resumed), so appending on first use
+       keeps each arena's senders list sorted. *)
     if not p.queued.(c.id) then begin
       p.queued.(c.id) <- true;
-      p.senders.(p.senders_len) <- c.id;
-      p.senders_len <- p.senders_len + 1
+      let a = p.arenas.(p.arena_of.(c.id)) in
+      a.asenders.(a.asenders_len) <- c.id;
+      a.asenders_len <- a.asenders_len + 1
     end;
     push p.outbox.(c.id) dest de msg
 
   let broadcast c msg =
     Array.iter (fun dest -> send c ~dest msg) (neighbors c)
 
-  let sync _c = Effect.perform Sync
+  (* With fast-forwarding off the engine reverts to legacy per-round
+     stepping — one suspension per round, every waiting fiber resumed
+     every round — which is the measurement baseline the optimisation is
+     compared against.  Observable behaviour is identical: a parked fiber
+     resumes on the first non-empty inbox or at the deadline, and so does
+     this loop. *)
+  let wait c k =
+    if k <= 0 then []
+    else if c.eng.ff then Effect.perform (Suspend k)
+    else begin
+      let deadline = c.eng.current_round + k in
+      let rec loop () =
+        let inbox = Effect.perform (Suspend 1) in
+        if inbox <> [] || c.eng.current_round >= deadline then inbox
+        else loop ()
+      in
+      loop ()
+    end
+
+  let sync c = wait c 1
 
   let idle c k =
-    for _ = 1 to k do
-      ignore (sync c)
-    done
+    let deadline = c.eng.current_round + k in
+    let rec loop () =
+      let left = deadline - c.eng.current_round in
+      if left > 0 then begin
+        ignore (wait c left);
+        loop ()
+      end
+    in
+    loop ()
 
   let reject c reason =
-    c.eng.reject_log <-
-      (c.eng.current_round, c.id, reason) :: c.eng.reject_log
+    let p = c.eng.p in
+    let a = p.arenas.(p.arena_of.(c.id)) in
+    a.arejects <- (c.eng.current_round, c.id, reason) :: a.arejects
 
   type 'o result = {
     outputs : 'o option array;
@@ -187,12 +268,120 @@ module Make (Msg : MESSAGE) = struct
   let distinct_rejections l =
     List.sort_uniq compare (List.map (fun (_, v, reason) -> (v, reason)) l)
 
+  (* Below this many live nodes, a round is stepped by the coordinating
+     domain alone: the work is too small to amortize a barrier. *)
+  let par_threshold = 16
+
+  (* Process-wide worker team, shared by every run of this engine
+     instance.  Protocols built from many short engine runs (Stage I
+     issues thousands) cannot afford a spawn/join per run, so workers are
+     spawned once, block between epochs, and are joined by an [at_exit]
+     hook.  Exactly one run drives the team at a time — [owner] is held
+     for the run's whole duration; a concurrent run that fails to get it
+     steps serially, which changes nothing observable (accounting is
+     invariant under the domain count). *)
+  type team = {
+    tm : Mutex.t;
+    tgo : Condition.t;
+    tdone : Condition.t;
+    mutable tsize : int;  (* workers spawned (= length of tdoms) *)
+    mutable tready : int;  (* workers that recorded their start epoch *)
+    mutable tepoch : int;
+    mutable tdone_count : int;
+    mutable twork : int -> unit;  (* set per epoch by the owning run *)
+    mutable tquit : bool;
+    mutable tdoms : unit Domain.t list;
+  }
+
+  let team_owner = Mutex.create ()
+  let the_team : team option ref = ref None  (* mutated under [team_owner] *)
+
+  let team_worker t d () =
+    Mutex.lock t.tm;
+    (* Record the epoch this worker starts at, and announce readiness:
+       [team_ensure] waits for it, so an epoch bumped after [team_ensure]
+       returns is guaranteed to be seen (and answered) by this worker. *)
+    let seen = ref t.tepoch in
+    t.tready <- t.tready + 1;
+    Condition.broadcast t.tdone;
+    Mutex.unlock t.tm;
+    let stop = ref false in
+    while not !stop do
+      Mutex.lock t.tm;
+      while t.tepoch = !seen && not t.tquit do
+        Condition.wait t.tgo t.tm
+      done;
+      if t.tquit then stop := true else seen := t.tepoch;
+      Mutex.unlock t.tm;
+      if not !stop then begin
+        t.twork d;
+        Mutex.lock t.tm;
+        t.tdone_count <- t.tdone_count + 1;
+        if t.tdone_count = t.tsize then Condition.broadcast t.tdone;
+        Mutex.unlock t.tm
+      end
+    done
+
+  let team_shutdown () =
+    match !the_team with
+    | None -> ()
+    | Some t ->
+        Mutex.lock t.tm;
+        t.tquit <- true;
+        Condition.broadcast t.tgo;
+        Mutex.unlock t.tm;
+        List.iter Domain.join t.tdoms;
+        the_team := None
+
+  (* Called with [team_owner] held and no epoch in flight.  Returns a
+     team with >= [nworkers] workers (indices 1..), growing or creating
+     it as needed, and only after every worker is ready to observe the
+     next epoch. *)
+  let team_ensure nworkers =
+    let t =
+      match !the_team with
+      | Some t -> t
+      | None ->
+          let t =
+            {
+              tm = Mutex.create ();
+              tgo = Condition.create ();
+              tdone = Condition.create ();
+              tsize = 0;
+              tready = 0;
+              tepoch = 0;
+              tdone_count = 0;
+              twork = ignore;
+              tquit = false;
+              tdoms = [];
+            }
+          in
+          the_team := Some t;
+          at_exit team_shutdown;
+          t
+    in
+    if t.tsize < nworkers then begin
+      let doms = ref [] in
+      for d = t.tsize + 1 to nworkers do
+        doms := Domain.spawn (team_worker t d) :: !doms
+      done;
+      Mutex.lock t.tm;
+      t.tdoms <- !doms @ t.tdoms;
+      t.tsize <- nworkers;
+      while t.tready < t.tsize do
+        Condition.wait t.tdone t.tm
+      done;
+      Mutex.unlock t.tm
+    end;
+    t
+
   let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000)
-      ?telemetry ?pool:opool g program =
+      ?telemetry ?(domains = 1) ?(fast_forward = true) ?pool:opool g program =
     let n = Graph.n g in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
+    let d_req = if domains < 1 then 1 else domains in
     let p, owned =
       match opool with
       | Some p when p.pgraph == g && not p.in_use ->
@@ -200,7 +389,9 @@ module Make (Msg : MESSAGE) = struct
           (p, true)
       | _ -> (pool g, false)
     in
+    ensure_arenas p d_req;
     p.in_use <- true;
+    let arenas = p.arenas in
     let eng =
       {
         graph = g;
@@ -208,20 +399,21 @@ module Make (Msg : MESSAGE) = struct
         p;
         estats = Stats.create ~bandwidth:bw;
         telemetry;
+        ff = fast_forward;
         reject_log = [];
         current_round = 0;
       }
     in
     let outputs = Array.make n None in
     let conts = p.conts in
-    (* Every exit path must run this: a node suspended at [sync] when the
+    (* Every exit path must run this: a node suspended at [wait] when the
        run ends (strict-mode overflow, node exception, [max_rounds]) is
        discontinued with [Stopped] so its stack unwinds and finalizers
        ([Fun.protect] etc.) run.  [Stopped] itself is swallowed by the
        per-node handler; any exception a node raises while unwinding is
        dropped here so every node still gets finalized.  Postcondition:
        [conts] is all-[None], even if a node caught [Stopped] and tried to
-       sync again. *)
+       wait again. *)
     let finalize () =
       for v = 0 to n - 1 do
         match conts.(v) with
@@ -243,54 +435,256 @@ module Make (Msg : MESSAGE) = struct
           effc =
             (fun (type a) (eff : a Effect.t) ->
               match eff with
-              | Sync ->
+              | Suspend k ->
                   Some
-                    (fun (k : (a, unit) Effect.Deep.continuation) ->
-                      conts.(v) <- Some k)
+                    (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                      p.wake.(v) <- eng.current_round + max 1 k;
+                      conts.(v) <- Some cont)
               | _ -> None);
         }
     in
     let live = p.live in
     let live_len = ref 0 in
+    let build_inbox ib =
+      if ib.len = 0 then []
+      else begin
+        let acc = ref [] in
+        for j = ib.len - 1 downto 0 do
+          acc := (ib.ids.(j), ib.msgs.(j)) :: !acc
+        done;
+        ib.len <- 0;
+        !acc
+      end
+    in
+    (* Run start-up for nodes [lo, hi) with arena [d].  On a node
+       exception, record the (lowest) failing node and stop this block —
+       exactly what a serial start loop does for its prefix. *)
+    let start_range d lo hi =
+      let a = arenas.(d) in
+      a.astepped <- 0;
+      a.afailed <- None;
+      try
+        for v = lo to hi - 1 do
+          p.arena_of.(v) <- d;
+          (try start v
+           with e ->
+             a.afailed <- Some (v, e);
+             raise Shard_stop);
+          a.astepped <- a.astepped + 1
+        done
+      with Shard_stop -> ()
+    in
+    (* Step the live-list slice [lo, hi) with arena [d]: resume each node
+       whose inbox is non-empty or whose wake round has arrived, and
+       compact the survivors to the front of the slice.  Nodes are visited
+       in ascending id order, so each arena's sends/rejects come out in
+       serial order for its block. *)
+    let step_range d lo hi =
+      let a = arenas.(d) in
+      a.astepped <- 0;
+      a.afailed <- None;
+      a.amin_wake <- max_int;
+      let kept = ref lo in
+      let keep v =
+        live.(!kept) <- v;
+        incr kept;
+        if p.wake.(v) < a.amin_wake then a.amin_wake <- p.wake.(v)
+      in
+      (try
+         for i = lo to hi - 1 do
+           let v = live.(i) in
+           let ib = p.inbox.(v) in
+           if ib.len > 0 || p.wake.(v) <= eng.current_round then begin
+             match conts.(v) with
+             | None -> ()
+             | Some k ->
+                 conts.(v) <- None;
+                 p.arena_of.(v) <- d;
+                 let inbox = build_inbox ib in
+                 a.astepped <- a.astepped + 1;
+                 (try Effect.Deep.continue k inbox
+                  with e ->
+                    a.afailed <- Some (v, e);
+                    raise Shard_stop);
+                 (match conts.(v) with None -> () | Some _ -> keep v)
+           end
+           else keep v
+         done
+       with Shard_stop -> ());
+      a.akept <- !kept - lo
+    in
+    (* Sharded phase execution over the process-wide team.  Each phase is
+       one epoch: the coordinator publishes the task under the team
+       mutex, takes block 0 itself, and waits for every worker.  The
+       mutex acquire/release pairs around each epoch establish the
+       happens-before edges that make every per-node write visible across
+       domains; there is no other cross-domain communication.  The team
+       is acquired lazily on the first round big enough to shard, held
+       for the rest of the run, and released on every exit path. *)
+    let nworkers = d_req - 1 in
+    let task_start = ref false in
+    let task_len = ref 0 in
+    let block d len =
+      (d * len / d_req, (d + 1) * len / d_req)
+    in
+    let exec d =
+      let len = !task_len in
+      let lo, hi = block d len in
+      if !task_start then start_range d lo hi else step_range d lo hi
+    in
+    (* Published to the team each epoch.  Workers beyond this run's
+       domain count no-op; an engine bug or OOM on a worker is recorded
+       in its arena rather than deadlocking the barrier (a real node
+       failure recorded by the shard takes precedence in
+       [check_failures]). *)
+    let work d =
+      if d < d_req then
+        try exec d
+        with e ->
+          if arenas.(d).afailed = None then
+            arenas.(d).afailed <- Some (max_int, e)
+    in
+    let my_team = ref None in
+    let acquire_team () =
+      match !my_team with
+      | Some t -> Some t
+      | None ->
+          (* Another run (a concurrent tester in a different domain) may
+             hold the team; stepping serially instead is observationally
+             identical. *)
+          if Mutex.try_lock team_owner then begin
+            let t = team_ensure nworkers in
+            my_team := Some t;
+            Some t
+          end
+          else None
+    in
+    let release_team () =
+      if !my_team <> None then begin
+        my_team := None;
+        Mutex.unlock team_owner
+      end
+    in
+    (* Execute one phase (start-up or a round's stepping) over [len]
+       items, sharded when worthwhile; returns the number of domains
+       used.  Accounting is invariant: the merge reads arenas 0..D-1 in
+       order, so any D (including the serial fallback, D = 1 with arena
+       0) yields byte-identical engine state. *)
+    let run_phase ~start len =
+      if nworkers > 0 && len >= par_threshold then begin
+        match acquire_team () with
+        | None ->
+            if start then start_range 0 0 len else step_range 0 0 len;
+            1
+        | Some t ->
+            task_start := start;
+            task_len := len;
+            Mutex.lock t.tm;
+            t.tdone_count <- 0;
+            t.twork <- work;
+            t.tepoch <- t.tepoch + 1;
+            Condition.broadcast t.tgo;
+            Mutex.unlock t.tm;
+            exec 0;
+            Mutex.lock t.tm;
+            while t.tdone_count < t.tsize do
+              Condition.wait t.tdone t.tm
+            done;
+            Mutex.unlock t.tm;
+            min d_req len
+      end
+      else begin
+        if start then start_range 0 0 len else step_range 0 0 len;
+        1
+      end
+    in
+    (* Post-phase merges, all on the coordinating domain. *)
+    let check_failures () =
+      let best = ref None in
+      for d = 0 to d_req - 1 do
+        match arenas.(d).afailed with
+        | None -> ()
+        | Some (v, _) as f -> (
+            match !best with
+            | Some (bv, _) when bv <= v -> ()
+            | _ -> best := f)
+      done;
+      match !best with Some (_, e) -> raise e | None -> ()
+    in
+    let merge_rejects () =
+      (* Arena d's list is reverse-chronological for its ascending block;
+         prepending blocks 0..D-1 in order leaves the highest block at the
+         head — the same reverse-chronological global log a serial round
+         produces. *)
+      for d = 0 to d_req - 1 do
+        let a = arenas.(d) in
+        match a.arejects with
+        | [] -> ()
+        | r ->
+            eng.reject_log <- r @ eng.reject_log;
+            a.arejects <- []
+      done
+    in
+    let total_stepped nd =
+      let s = ref 0 in
+      for d = 0 to nd - 1 do
+        s := !s + arenas.(d).astepped
+      done;
+      !s
+    in
+    let pending_sends () =
+      let s = ref 0 in
+      for d = 0 to d_req - 1 do
+        s := !s + arenas.(d).asenders_len
+      done;
+      !s
+    in
+    (* Earliest wake round over still-live nodes; [max_int] when dead.
+       Updated after every phase, it both gates fast-forward and bounds
+       how far it may jump. *)
+    let min_wake = ref max_int in
     let completed = ref true in
     let running = ref true in
     let one_round () =
       eng.estats.Stats.rounds <- eng.estats.Stats.rounds + 1;
       eng.current_round <- eng.current_round + 1;
-      (* Deliver: drain outboxes into inboxes, summing bits per directed
-         edge.  Senders are processed in ascending id order and each
-         outbox in reverse send order, which makes every inbox buffer
+      (* Deliver: drain arena senders (ascending blocks, each ascending)
+         into inboxes, summing bits per directed edge.  Each outbox is
+         drained in reverse send order, which makes every inbox buffer
          sorted by sender with same-sender messages in the order the
          pre-rewrite engine produced (stable sort over a prepend-built
          list, i.e. reverse send order). *)
       let round_bits = ref 0 and round_msgs = ref 0 in
-      for i = 0 to p.senders_len - 1 do
-        let v = p.senders.(i) in
-        p.queued.(v) <- false;
-        let ob = p.outbox.(v) in
-        for j = ob.len - 1 downto 0 do
-          let dest = ob.ids.(j) and de = ob.eids.(j) in
-          let msg = ob.msgs.(j) in
-          let b = Msg.bits msg in
-          eng.estats.messages <- eng.estats.messages + 1;
-          eng.estats.total_bits <- eng.estats.total_bits + b;
-          incr round_msgs;
-          round_bits := !round_bits + b;
-          if p.edge_bits.(de) = 0 then begin
-            p.touched.(p.touched_len) <- de;
-            p.touched_len <- p.touched_len + 1
-          end;
-          p.edge_bits.(de) <- p.edge_bits.(de) + b;
-          let ib = p.inbox.(dest) in
-          if ib.len = 0 then begin
-            p.receivers.(p.receivers_len) <- dest;
-            p.receivers_len <- p.receivers_len + 1
-          end;
-          push ib v 0 msg
+      for d = 0 to d_req - 1 do
+        let a = arenas.(d) in
+        for i = 0 to a.asenders_len - 1 do
+          let v = a.asenders.(i) in
+          p.queued.(v) <- false;
+          let ob = p.outbox.(v) in
+          for j = ob.len - 1 downto 0 do
+            let dest = ob.ids.(j) and de = ob.eids.(j) in
+            let msg = ob.msgs.(j) in
+            let b = Msg.bits msg in
+            eng.estats.messages <- eng.estats.messages + 1;
+            eng.estats.total_bits <- eng.estats.total_bits + b;
+            incr round_msgs;
+            round_bits := !round_bits + b;
+            if p.edge_bits.(de) = 0 then begin
+              p.touched.(p.touched_len) <- de;
+              p.touched_len <- p.touched_len + 1
+            end;
+            p.edge_bits.(de) <- p.edge_bits.(de) + b;
+            let ib = p.inbox.(dest) in
+            if ib.len = 0 then begin
+              p.receivers.(p.receivers_len) <- dest;
+              p.receivers_len <- p.receivers_len + 1
+            end;
+            push ib v 0 msg
+          done;
+          ob.len <- 0
         done;
-        ob.len <- 0
+        a.asenders_len <- 0
       done;
-      p.senders_len <- 0;
       (* Charge bandwidth per directed edge. *)
       let max_frames = ref 1 in
       for i = 0 to p.touched_len - 1 do
@@ -312,39 +706,30 @@ module Make (Msg : MESSAGE) = struct
       done;
       p.touched_len <- 0;
       eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
+      (* Step the live nodes (sharded when worthwhile). *)
+      let nd_used = run_phase ~start:false !live_len in
       (match eng.telemetry with
       | Some tel ->
-          Telemetry.tick tel ~bits:!round_bits ~frames:!max_frames
-            ~messages:!round_msgs
+          Telemetry.tick tel ~stepped:(total_stepped nd_used) ~domains:nd_used
+            ~bits:!round_bits ~frames:!max_frames ~messages:!round_msgs
       | None -> ());
-      (* Resume the live nodes with their inboxes. *)
-      let kept = ref 0 in
-      for i = 0 to !live_len - 1 do
-        let v = live.(i) in
-        match conts.(v) with
-        | None -> ()
-        | Some k ->
-            conts.(v) <- None;
-            let ib = p.inbox.(v) in
-            let inbox =
-              if ib.len = 0 then []
-              else begin
-                let acc = ref [] in
-                for j = ib.len - 1 downto 0 do
-                  acc := (ib.ids.(j), ib.msgs.(j)) :: !acc
-                done;
-                ib.len <- 0;
-                !acc
-              end
-            in
-            Effect.Deep.continue k inbox;
-            (match conts.(v) with
-            | None -> ()
-            | Some _ ->
-                live.(!kept) <- v;
-                incr kept)
+      check_failures ();
+      merge_rejects ();
+      (* Compact the surviving blocks into a prefix of [live] (ascending
+         blits over ascending blocks — plain memmove). *)
+      let dst = ref arenas.(0).akept in
+      if nd_used > 1 then
+        for d = 1 to nd_used - 1 do
+          let lo, _ = block d !live_len in
+          let a = arenas.(d) in
+          if a.akept > 0 && !dst <> lo then Array.blit live lo live !dst a.akept;
+          dst := !dst + a.akept
+        done;
+      live_len := !dst;
+      min_wake := max_int;
+      for d = 0 to nd_used - 1 do
+        if arenas.(d).amin_wake < !min_wake then min_wake := arenas.(d).amin_wake
       done;
-      live_len := !kept;
       (* Inboxes of nodes that finished earlier were never consumed:
          drop them so the buffers start the next round empty. *)
       for i = 0 to p.receivers_len - 1 do
@@ -352,14 +737,45 @@ module Make (Msg : MESSAGE) = struct
       done;
       p.receivers_len <- 0
     in
+    (* Quiescent-round fast-forward: with no frame in flight anywhere and
+       every live fiber parked on a wake round strictly in the future, the
+       next [min_wake - current_round - 1] rounds are provably empty —
+       deliver nothing, charge one frame, resume nobody.  Advance the
+       counters in O(1) instead of simulating them; the round in which the
+       earliest waiter expires is still simulated normally.  Nominal and
+       charged accounting are exactly what the stepped rounds would have
+       produced. *)
+    let maybe_fast_forward () =
+      if fast_forward && pending_sends () = 0 && !min_wake < max_int then begin
+        let delta = !min_wake - eng.current_round - 1 in
+        let budget = max_rounds - eng.estats.Stats.rounds in
+        let delta = if delta > budget then budget else delta in
+        if delta > 0 then begin
+          eng.estats.Stats.rounds <- eng.estats.Stats.rounds + delta;
+          eng.estats.Stats.charged_rounds <-
+            eng.estats.Stats.charged_rounds + delta;
+          eng.estats.Stats.fast_forwarded_rounds <-
+            eng.estats.Stats.fast_forwarded_rounds + delta;
+          eng.current_round <- eng.current_round + delta;
+          match eng.telemetry with
+          | Some tel -> Telemetry.fast_forward tel ~rounds:delta
+          | None -> ()
+        end
+      end
+    in
     (try
+       let (_ : int) = run_phase ~start:true n in
+       check_failures ();
+       merge_rejects ();
+       live_len := 0;
+       min_wake := max_int;
        for v = 0 to n - 1 do
-         start v;
          match conts.(v) with
          | None -> ()
          | Some _ ->
              live.(!live_len) <- v;
-             incr live_len
+             incr live_len;
+             if p.wake.(v) < !min_wake then min_wake := p.wake.(v)
        done;
        while !running && !live_len > 0 do
          if eng.estats.Stats.rounds >= max_rounds then begin
@@ -367,11 +783,21 @@ module Make (Msg : MESSAGE) = struct
            completed := false;
            finalize ()
          end
-         else one_round ()
+         else begin
+           maybe_fast_forward ();
+           if eng.estats.Stats.rounds >= max_rounds then begin
+             running := false;
+             completed := false;
+             finalize ()
+           end
+           else one_round ()
+         end
        done;
+       release_team ();
        if owned then p.in_use <- false
      with e ->
        finalize ();
+       release_team ();
        if owned then p.in_use <- false;
        raise e);
     {

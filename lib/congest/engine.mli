@@ -15,7 +15,55 @@
     in a preallocated per-directed-edge counter array (reset through a
     touched-edge worklist), messages move through per-node buffers reused
     across rounds, and the engine keeps worklists of live nodes and active
-    senders so a round costs O(live nodes + messages), not O(n). *)
+    senders so a round costs O(live nodes + messages), not O(n).
+
+    {1 Concurrency and determinism}
+
+    With [run ~domains:d] (d > 1), the stepping half of each round is
+    sharded across [d] OCaml domains; delivery, bandwidth charging and all
+    bookkeeping stay on the calling domain.  The contract:
+
+    - {b Sharding.}  The node-id-sorted live worklist is cut into [d]
+      contiguous blocks; domain [i] steps block [i] in ascending id order.
+      Rounds with fewer live nodes than a small threshold are stepped by
+      the calling domain alone (same code path, one block).
+    - {b Arenas.}  Any state a node program can mutate that is not indexed
+      by its own node id — the active-senders worklist, the rejection log,
+      an escaping exception — is written to the stepping domain's private
+      arena.  State indexed by node id (outboxes, inboxes, continuations,
+      wake rounds, outputs, RNG states) has a single writer per round
+      because blocks are disjoint.
+    - {b Barrier merge.}  After all blocks finish, the calling domain
+      merges arenas in index order 0..d-1.  Because blocks are contiguous
+      ascending id ranges, concatenating the arenas' sender lists yields
+      the exact globally-ascending sender order of the serial engine, so
+      inbox contents, per-edge bit totals, frame charges, the rejection
+      log, and the choice of which exception propagates (the lowest
+      failing node id) are all {e byte-identical for every d}, including
+      [d = 1].  Only wall-clock time and the telemetry utilization fields
+      ([parallel_rounds], [max_domains]) depend on [d].
+    - {b Synchronization.}  One mutex/condition barrier per phase; its
+      acquire/release pairs carry every cross-domain happens-before edge.
+      Node programs never need locks and must not touch shared mutable
+      state other than through this module's API.
+    - {b Worker team.}  Worker domains are spawned once per process (on
+      the first sharded round) and reused by every subsequent run —
+      protocols built from thousands of short runs never pay a
+      spawn/join per run.  A single run drives the team at a time; a
+      concurrent run that finds the team busy steps serially, which by
+      the merge argument above changes nothing observable.
+
+    {b Fast-forward.}  When a round ends with no frame in flight (no node
+    queued a send) and every live fiber is parked in a {!Make.wait} whose
+    wake round is strictly in the future, the intervening rounds are
+    provably empty: nothing to deliver, one frame charged, nobody resumed.
+    [run ~fast_forward:true] (the default) advances [rounds],
+    [charged_rounds] and the round counter over that span in O(1) instead
+    of simulating it, records the span in
+    {!Stats.t.fast_forwarded_rounds}, and emits the same per-round
+    telemetry the stepped rounds would have produced.  The round in which
+    the earliest waiter expires is always simulated normally, so nominal
+    and charged accounting are unchanged. *)
 
 module type MESSAGE = sig
   type t
@@ -61,7 +109,19 @@ module Make (Msg : MESSAGE) : sig
       the same sender arrive in reverse send order. *)
   val sync : ctx -> (int * Msg.t) list
 
-  (** [idle ctx k] syncs [k] times, discarding inboxes. *)
+  (** [wait ctx k] ends the node's round and parks it until the first
+      round in which its inbox is non-empty — returning that inbox, like
+      {!sync} — or unconditionally after [k] rounds, returning [[]].
+      [wait ctx 1] is exactly [sync ctx]; [k <= 0] returns [[]] without
+      ending the round.  Rounds spent parked cost the engine nothing per
+      parked node, and a round in which {e every} live node is parked with
+      no message in flight is fast-forwarded in O(1) (see the module
+      preamble), so protocols should prefer one [wait budget] over a
+      budget-length [sync] loop when they only react to arrivals. *)
+  val wait : ctx -> int -> (int * Msg.t) list
+
+  (** [idle ctx k] parks for exactly [k] rounds, discarding any arrivals
+      (equivalent to [k] ignored syncs, but fast-forwardable). *)
   val idle : ctx -> int -> unit
 
   (** Current round number (starts at 0, increments at each [sync]). *)
@@ -113,9 +173,26 @@ module Make (Msg : MESSAGE) : sig
              traffic exceeds [bandwidth], instead of charging extra rounds
              (default [false]).
       @param max_rounds safety limit; exceeding it stops the run with
-             [completed = false].
+             [completed = false].  Fast-forwarded spans are capped so the
+             run stops at exactly [max_rounds] simulated rounds.
       @param telemetry when given, one {!Telemetry.tick} is recorded per
-             simulated round (bits, frames, messages).
+             simulated round (bits, frames, messages, fibers stepped,
+             domains used); fast-forwarded rounds are recorded through
+             {!Telemetry.fast_forward}.
+      @param domains shard node stepping across this many OCaml domains
+             (default 1 = serial).  All accounting is byte-identical for
+             every value — see {e Concurrency and determinism} above.
+             Worker domains come from a process-wide team spawned lazily
+             on the first round large enough to shard; the team is
+             shared across runs (one run drives it at a time, concurrent
+             runs step serially) and joined at process exit.
+      @param fast_forward advance provably-quiescent round spans in O(1)
+             (default [true]).  [false] is the measurement baseline: it
+             also reverts {!wait} to legacy per-round stepping (every
+             waiting fiber resumed every round), reproducing the
+             pre-optimisation engine.  Accounting is identical either
+             way; only {!Stats.t.fast_forwarded_rounds} records that the
+             shortcut was taken.
       @param pool reuse preallocated delivery state (must come from
              [pool g] on the same graph value). *)
   val run :
@@ -124,6 +201,8 @@ module Make (Msg : MESSAGE) : sig
     ?strict:bool ->
     ?max_rounds:int ->
     ?telemetry:Telemetry.t ->
+    ?domains:int ->
+    ?fast_forward:bool ->
     ?pool:pool ->
     Graphlib.Graph.t ->
     (ctx -> 'o) ->

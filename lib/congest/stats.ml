@@ -5,6 +5,7 @@ type t = {
   mutable total_bits : int;
   mutable max_edge_bits : int;
   mutable oversized : int;
+  mutable fast_forwarded_rounds : int;
   bandwidth : int;
 }
 
@@ -16,6 +17,7 @@ let create ~bandwidth =
     total_bits = 0;
     max_edge_bits = 0;
     oversized = 0;
+    fast_forwarded_rounds = 0;
     bandwidth;
   }
 
@@ -32,11 +34,12 @@ let add_into acc s =
   acc.messages <- acc.messages + s.messages;
   acc.total_bits <- acc.total_bits + s.total_bits;
   acc.max_edge_bits <- max acc.max_edge_bits s.max_edge_bits;
-  acc.oversized <- acc.oversized + s.oversized
+  acc.oversized <- acc.oversized + s.oversized;
+  acc.fast_forwarded_rounds <- acc.fast_forwarded_rounds + s.fast_forwarded_rounds
 
 let pp fmt t =
   Format.fprintf fmt
     "rounds=%d charged=%d messages=%d bits=%d max-edge-bits=%d oversized=%d \
-     bandwidth=%d"
+     fast-forwarded=%d bandwidth=%d"
     t.rounds t.charged_rounds t.messages t.total_bits t.max_edge_bits
-    t.oversized t.bandwidth
+    t.oversized t.fast_forwarded_rounds t.bandwidth

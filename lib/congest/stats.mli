@@ -13,6 +13,10 @@ type t = {
   mutable total_bits : int;
   mutable max_edge_bits : int;  (** max bits on one edge in one round *)
   mutable oversized : int;  (** (round, edge) pairs exceeding bandwidth *)
+  mutable fast_forwarded_rounds : int;
+      (** of [rounds], how many were provably quiescent and advanced in O(1)
+          by the engine instead of being stepped; included in [rounds] and
+          [charged_rounds], so nominal accounting is unchanged *)
   bandwidth : int;
 }
 

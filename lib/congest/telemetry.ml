@@ -98,9 +98,14 @@ type phase_rec = {
   mutable frames : int;
   mutable bits : int;
   mutable messages : int;
+  mutable stepped : int;
+  mutable parallel_rounds : int;
+  mutable fast_forwarded : int;
+  mutable max_domains : int;
   bits_series : Ivec.t;
   frames_series : Ivec.t;
   msgs_series : Ivec.t;
+  stepped_series : Ivec.t;
 }
 
 type t = {
@@ -116,9 +121,14 @@ let fresh_phase label =
     frames = 0;
     bits = 0;
     messages = 0;
+    stepped = 0;
+    parallel_rounds = 0;
+    fast_forwarded = 0;
+    max_domains = 1;
     bits_series = Ivec.create ();
     frames_series = Ivec.create ();
     msgs_series = Ivec.create ();
+    stepped_series = Ivec.create ();
   }
 
 let create ?(series = true) () = { series; cur = fresh_phase "run"; closed = [] }
@@ -127,17 +137,32 @@ let phase t label =
   if t.cur.rounds > 0 then t.closed <- t.cur :: t.closed;
   t.cur <- fresh_phase label
 
-let tick t ~bits ~frames ~messages =
+let tick ?(stepped = 0) ?(domains = 1) t ~bits ~frames ~messages =
   let p = t.cur in
   p.rounds <- p.rounds + 1;
   p.frames <- p.frames + frames;
   p.bits <- p.bits + bits;
   p.messages <- p.messages + messages;
+  p.stepped <- p.stepped + stepped;
+  if domains > 1 then p.parallel_rounds <- p.parallel_rounds + 1;
+  if domains > p.max_domains then p.max_domains <- domains;
   if t.series then begin
     Ivec.push p.bits_series bits;
     Ivec.push p.frames_series frames;
-    Ivec.push p.msgs_series messages
+    Ivec.push p.msgs_series messages;
+    Ivec.push p.stepped_series stepped
   end
+
+let fast_forward t ~rounds =
+  let p = t.cur in
+  p.fast_forwarded <- p.fast_forwarded + rounds;
+  (* A fast-forwarded round is accounted exactly like the quiescent round
+     the engine proved it to be: zero bits, one frame, zero messages, zero
+     nodes stepped.  The per-phase aggregates and series therefore stay
+     byte-identical whether or not fast-forwarding fired. *)
+  for _ = 1 to rounds do
+    tick t ~bits:0 ~frames:1 ~messages:0
+  done
 
 type phase_view = {
   label : string;
@@ -145,6 +170,10 @@ type phase_view = {
   frames : int;
   bits : int;
   messages : int;
+  stepped : int;
+  parallel_rounds : int;
+  fast_forwarded : int;
+  max_domains : int;
 }
 
 let all_phases t =
@@ -159,6 +188,10 @@ let phases t =
         frames = p.frames;
         bits = p.bits;
         messages = p.messages;
+        stepped = p.stepped;
+        parallel_rounds = p.parallel_rounds;
+        fast_forwarded = p.fast_forwarded;
+        max_domains = p.max_domains;
       })
     (all_phases t)
 
@@ -171,6 +204,7 @@ let stats_json (s : Stats.t) =
       ("total_bits", Json.Int s.Stats.total_bits);
       ("max_edge_bits", Json.Int s.Stats.max_edge_bits);
       ("oversized", Json.Int s.Stats.oversized);
+      ("fast_forwarded_rounds", Json.Int s.Stats.fast_forwarded_rounds);
       ("bandwidth", Json.Int s.Stats.bandwidth);
     ]
 
@@ -183,6 +217,10 @@ let to_json t =
         ("frames", Json.Int p.frames);
         ("bits", Json.Int p.bits);
         ("messages", Json.Int p.messages);
+        ("stepped", Json.Int p.stepped);
+        ("parallel_rounds", Json.Int p.parallel_rounds);
+        ("fast_forwarded", Json.Int p.fast_forwarded);
+        ("max_domains", Json.Int p.max_domains);
       ]
     in
     let series =
@@ -194,6 +232,7 @@ let to_json t =
                 ("bits", Ivec.to_json p.bits_series);
                 ("frames", Ivec.to_json p.frames_series);
                 ("messages", Ivec.to_json p.msgs_series);
+                ("stepped", Ivec.to_json p.stepped_series);
               ] );
         ]
       else []

@@ -49,8 +49,21 @@ val phase : t -> string -> unit
 
 (** [tick t ~bits ~frames ~messages] records one simulated round:
     [bits] delivered in total, [frames] charged for the most loaded
-    directed edge (>= 1), [messages] delivered.  Called by the engine. *)
-val tick : t -> bits:int -> frames:int -> messages:int -> unit
+    directed edge (>= 1), [messages] delivered.  Called by the engine.
+    [stepped] is the number of node fibers actually resumed this round
+    (defaults to 0 for callers that do not track it); [domains] is the
+    number of domains that participated in stepping the round (1 when
+    the round ran serially). *)
+val tick :
+  ?stepped:int -> ?domains:int -> t -> bits:int -> frames:int -> messages:int -> unit
+
+(** [fast_forward t ~rounds] records [rounds] provably-quiescent rounds
+    that the engine advanced in O(1) instead of stepping.  Each is
+    accounted exactly like the empty round it replaces (0 bits, 1 frame,
+    0 messages, 0 stepped), so aggregates and series are byte-identical
+    whether or not fast-forwarding fired; the count is additionally
+    tracked in the phase's [fast_forwarded] field. *)
+val fast_forward : t -> rounds:int -> unit
 
 type phase_view = {
   label : string;
@@ -58,6 +71,10 @@ type phase_view = {
   frames : int;  (** sum of per-round frame charges (= charged rounds) *)
   bits : int;
   messages : int;
+  stepped : int;  (** total node fibers resumed across the phase *)
+  parallel_rounds : int;  (** rounds stepped by more than one domain *)
+  fast_forwarded : int;  (** of [rounds], how many were fast-forwarded *)
+  max_domains : int;  (** peak domains used on any round (>= 1) *)
 }
 
 (** Phases in chronological order, empty phases dropped. *)
@@ -67,7 +84,9 @@ val phases : t -> phase_view list
 val stats_json : Stats.t -> Json.t
 
 (** Full JSON view: [{"phases": [{"label", "rounds", "frames", "bits",
-    "messages", "series"?: {"bits", "frames", "messages"}}]}].  The
-    ["series"] member is present iff the telemetry was created with
-    [series:true]; each series has one entry per recorded round. *)
+    "messages", "stepped", "parallel_rounds", "fast_forwarded",
+    "max_domains", "series"?: {"bits", "frames", "messages",
+    "stepped"}}]}].  The ["series"] member is present iff the telemetry
+    was created with [series:true]; each series has one entry per
+    recorded round. *)
 val to_json : t -> Json.t

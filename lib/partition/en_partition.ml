@@ -63,22 +63,20 @@ let run ?(seed = 0) g ~eps =
           end
         in
         maybe_broadcast ();
-        for _ = 1 to 2 * radius_bound do
-          let inbox = Prims.sync ctx in
-          List.iter
-            (fun (from, msg) ->
-              match msg with
-              | Msg.Bdry (95, [ src; scaled ]) ->
-                  let x = float_of_int scaled /. float_of_int scale in
-                  if better x src then begin
-                    best_val.(v) <- x;
-                    best_src.(v) <- src;
-                    best_from.(v) <- from
-                  end
-              | _ -> assert false)
-            inbox;
-          maybe_broadcast ()
-        done);
+        Prims.wait_rounds ctx ~budget:(2 * radius_bound) (fun inbox ->
+            List.iter
+              (fun (from, msg) ->
+                match msg with
+                | Msg.Bdry (95, [ src; scaled ]) ->
+                    let x = float_of_int scaled /. float_of_int scale in
+                    if better x src then begin
+                      best_val.(v) <- x;
+                      best_src.(v) <- src;
+                      best_from.(v) <- from
+                    end
+                | _ -> assert false)
+              inbox;
+            maybe_broadcast ()));
     (* Install the partition: part root = cluster source, tree = the
        first-contact (best-delivery) edges; children via one more round. *)
     Array.iter

@@ -473,23 +473,19 @@ let contract st ~budget =
            forward_flip old_parent
          end
        end);
-      for _ = 1 to budget do
-        let inbox = Prims.sync ctx in
-        List.iter
-          (fun (from, msg) ->
-            match msg with
-            | Msg.Bdry (7004, []) ->
-                let old_parent = nd.State.parent in
-                nd.State.children <-
-                  List.filter (fun c -> c <> from) nd.State.children;
-                nd.State.parent <- from;
-                if old_parent >= 0 then begin
-                  nd.State.children <- old_parent :: nd.State.children;
-                  forward_flip old_parent
-                end
-            | _ -> assert false)
-          inbox
-      done);
+      Prims.wait_rounds ctx ~budget
+        (List.iter (fun (from, msg) ->
+             match msg with
+             | Msg.Bdry (7004, []) ->
+                 let old_parent = nd.State.parent in
+                 nd.State.children <-
+                   List.filter (fun c -> c <> from) nd.State.children;
+                 nd.State.parent <- from;
+                 if old_parent >= 0 then begin
+                   nd.State.children <- old_parent :: nd.State.children;
+                   forward_flip old_parent
+                 end
+             | _ -> assert false)));
   (* Attach: the parent-side endpoints adopt the charge nodes as children. *)
   Prims.run_program st (fun ctx nd ->
       (if nd.State.scratch = 1 && is_charge nd then

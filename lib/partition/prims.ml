@@ -3,14 +3,32 @@ open Graphlib
 module Eng = State.Eng
 
 let sync = Eng.sync
+let wait = Eng.wait
+let round = Eng.round
 let send = Eng.send
 let reject = Eng.reject
 let rng = Eng.rng
 
+(* Arrival-driven budget loop: call [on_inbox] for each non-empty inbox
+   until [budget] rounds have passed, parking the node in between (so the
+   engine can fast-forward network-wide quiet spans).  Observationally
+   identical to [budget] iterations of [sync] when the processing of an
+   empty inbox is a no-op — which is the only sound way to use it. *)
+let wait_rounds ctx ~budget on_inbox =
+  let deadline = Eng.round ctx + budget in
+  let rec pump () =
+    let left = deadline - Eng.round ctx in
+    if left > 0 then begin
+      (match Eng.wait ctx left with [] -> () | inbox -> on_inbox inbox);
+      pump ()
+    end
+  in
+  pump ()
+
 let run_program ?(seed = 0) (st : State.t) program =
   let res =
-    Eng.run ~seed ?telemetry:st.State.telemetry ~pool:st.State.pool
-      st.State.graph
+    Eng.run ~seed ?telemetry:st.State.telemetry ~domains:st.State.domains
+      ~fast_forward:st.State.fast_forward ~pool:st.State.pool st.State.graph
       (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
   in
   if not res.Eng.completed then failwith "Prims: node program did not complete";
@@ -55,22 +73,23 @@ let bcast st ~budget ~tag ~at_root ~on_receive =
              on_receive nd payload;
              relay payload
          | None -> ());
-      for _ = 1 to budget do
-        let inbox = Eng.sync ctx in
-        List.iter
-          (fun (from, msg) ->
-            match msg with
-            | Msg.Down (t, payload) ->
-                if t <> tag then
-                  failwith
-                    (Printf.sprintf "bcast: lockstep violation (tag %d vs %d)" t
-                       tag);
-                assert (from = nd.State.parent);
-                on_receive nd payload;
-                relay payload
-            | _ -> assert false)
-          inbox
-      done)
+      (* Wait out the budget instead of syncing [budget] times: the only
+         rounds that change anything are the ones a [Down] arrives in, so
+         the engine may park this node (and fast-forward whole-network
+         quiet spans) without altering the round schedule — every node
+         still finishes exactly at round [budget]. *)
+      wait_rounds ctx ~budget
+        (List.iter (fun (from, msg) ->
+             match msg with
+             | Msg.Down (t, payload) ->
+                 if t <> tag then
+                   failwith
+                     (Printf.sprintf "bcast: lockstep violation (tag %d vs %d)"
+                        t tag);
+                 assert (from = nd.State.parent);
+                 on_receive nd payload;
+                 relay payload
+             | _ -> assert false)))
 
 let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
   run_program st (fun ctx nd ->
@@ -86,24 +105,26 @@ let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
         end
       in
       maybe_send ();
-      for _ = 1 to budget do
-        let inbox = Eng.sync ctx in
-        List.iter
-          (fun (from, msg) ->
-            match msg with
-            | Msg.Up (t, payload) ->
-                if t <> tag then
-                  failwith
-                    (Printf.sprintf
-                       "converge: lockstep violation (tag %d vs %d)" t tag);
-                if not (List.mem from nd.State.children) then
-                  failwith "converge: message from non-child";
-                acc := combine !acc (decode payload);
-                decr pending
-            | _ -> assert false)
-          inbox;
-        maybe_send ()
-      done;
+      (* As in [bcast]: [maybe_send] can only newly fire on a round an
+         [Up] arrives (the initial call above covers leaves), so waiting
+         until the next arrival or the deadline preserves the message
+         schedule exactly. *)
+      wait_rounds ctx ~budget (fun inbox ->
+          List.iter
+            (fun (from, msg) ->
+              match msg with
+              | Msg.Up (t, payload) ->
+                  if t <> tag then
+                    failwith
+                      (Printf.sprintf
+                         "converge: lockstep violation (tag %d vs %d)" t tag);
+                  if not (List.mem from nd.State.children) then
+                    failwith "converge: message from non-child";
+                  acc := combine !acc (decode payload);
+                  decr pending
+              | _ -> assert false)
+            inbox;
+          maybe_send ());
       if not !sent then failwith "converge: budget too small for tree depth")
 
 let boundary st ~tag ~payload ~on_receive =

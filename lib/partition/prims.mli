@@ -77,6 +77,24 @@ val rng : Eng.ctx -> Random.State.t
 (** Node-level API usable inside [run_program]. *)
 val sync : Eng.ctx -> (int * Msg.t) list
 
+(** [wait ctx k]: park until the first arrival or for [k] rounds,
+    whichever comes first (see {!Congest.Engine.Make.wait}); prefer it
+    over a [k]-iteration [sync] loop so quiet spans can be
+    fast-forwarded. *)
+val wait : Eng.ctx -> int -> (int * Msg.t) list
+
+(** Current round number inside a run. *)
+val round : Eng.ctx -> int
+
+(** [wait_rounds ctx ~budget on_inbox] runs the node for exactly [budget]
+    further rounds, invoking [on_inbox] on every non-empty inbox and
+    parking it in between.  Drop-in replacement for a [budget]-iteration
+    [sync] loop whose empty-inbox iterations are no-ops: the node observes
+    the same arrivals in the same rounds and finishes in the same round,
+    but quiet spans become fast-forwardable. *)
+val wait_rounds :
+  Eng.ctx -> budget:int -> ((int * Msg.t) list -> unit) -> unit
+
 val send : Eng.ctx -> dest:int -> Msg.t -> unit
 
 val reject : Eng.ctx -> string -> unit

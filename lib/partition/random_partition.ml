@@ -66,24 +66,22 @@ let uniform_draw st ~budget ~trial ~seed =
         end
       in
       maybe_send ();
-      for _ = 1 to budget do
-        let inbox = Prims.sync ctx in
-        List.iter
-          (fun (_, msg) ->
-            match msg with
-            | Msg.Up (t, pl) when t = tag ->
-                let v =
-                  match pl with
-                  | [] -> None
-                  | [ u; v; tr; c ] -> Some (u, v, tr, c)
-                  | _ -> assert false
-                in
-                acc := merge !acc v;
-                decr pending
-            | _ -> assert false)
-          inbox;
-        maybe_send ()
-      done;
+      Prims.wait_rounds ctx ~budget (fun inbox ->
+          List.iter
+            (fun (_, msg) ->
+              match msg with
+              | Msg.Up (t, pl) when t = tag ->
+                  let v =
+                    match pl with
+                    | [] -> None
+                    | [ u; v; tr; c ] -> Some (u, v, tr, c)
+                    | _ -> assert false
+                  in
+                  acc := merge !acc v;
+                  decr pending
+              | _ -> assert false)
+            inbox;
+          maybe_send ());
       if not !sent then failwith "Random_partition: draw budget too small")
 
 (* Weighted-edge selection: [s] uniform draws per part, then the heaviest

@@ -71,10 +71,12 @@ let nominal_phase_rounds ~n ~phase =
   (fd + cv + merge_steps) * per_step
 
 let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
-    ?telemetry g ~eps =
+    ?telemetry ?(domains = 1) ?(fast_forward = true) g ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
   let st = State.create g in
   st.State.telemetry <- telemetry;
+  st.State.domains <- domains;
+  st.State.fast_forward <- fast_forward;
   let n = Graph.n g and m = Graph.m g in
   let target = eps *. float_of_int m /. 2.0 in
   let t = phases_for ~eps ~alpha in

@@ -46,12 +46,20 @@ val phases_for : eps:float -> alpha:int -> int
            — disable on large inputs, the trace then records [-1]).
     @param telemetry record a per-round series for every engine run, with
            one {!Congest.Telemetry} phase per partition phase
-           (["stage1-phase-<i>"]). *)
+           (["stage1-phase-<i>"]).
+    @param domains shard every engine run's node stepping across this many
+           OCaml domains (default 1; the result is identical for any
+           value — see {!Congest.Engine}).
+    @param fast_forward skip provably quiescent rounds in O(1) (default
+           [true]; accounting is identical either way — disable only to
+           measure the optimisation). *)
 val run :
   ?alpha:int ->
   ?stop_when_met:bool ->
   ?measure_diameters:bool ->
   ?telemetry:Congest.Telemetry.t ->
+  ?domains:int ->
+  ?fast_forward:bool ->
   Graphlib.Graph.t ->
   eps:float ->
   result

@@ -39,6 +39,8 @@ type t = {
   mutable rejections : (int * string) list;
   mutable nominal_rounds : int;
   mutable telemetry : Congest.Telemetry.t option;
+  mutable domains : int;
+  mutable fast_forward : bool;
 }
 
 let create g =
@@ -81,6 +83,8 @@ let create g =
     rejections = [];
     nominal_rounds = 0;
     telemetry = None;
+    domains = 1;
+    fast_forward = true;
   }
 
 let node st v = st.nodes.(v)

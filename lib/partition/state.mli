@@ -71,6 +71,14 @@ type t = {
   mutable telemetry : Congest.Telemetry.t option;
       (** when set, every engine run through {!Prims} records its
           per-round series here (see {!Congest.Telemetry}) *)
+  mutable domains : int;
+      (** OCaml domains every engine run through {!Prims} shards node
+          stepping across (default 1 = serial; accounting is identical
+          for any value — see {!Congest.Engine}) *)
+  mutable fast_forward : bool;
+      (** when [true] (the default) engine runs skip provably quiescent
+          rounds in O(1); disable only to measure the optimisation's
+          effect — accounting is identical either way *)
 }
 
 (** Fresh state: singleton parts, every node the root of its own part. *)

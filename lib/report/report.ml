@@ -1,0 +1,54 @@
+module Json = Congest.Telemetry.Json
+module PT = Tester.Planarity_tester
+
+let stats_schema = "planartest.stats/v1"
+let bench_schema = "bench.planarity/v1"
+
+let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry (r : PT.report) =
+  let verdict, rejections =
+    match r.PT.verdict with
+    | PT.Accept -> ("accept", [])
+    | PT.Reject l -> ("reject", l)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String stats_schema);
+      ("graph", Json.Obj [ ("n", Json.Int n); ("m", Json.Int m) ]);
+      ("eps", Json.Float eps);
+      ("seed", Json.Int seed);
+      ("domains", Json.Int domains);
+      ("verdict", Json.String verdict);
+      ( "rejections",
+        Json.List
+          (List.map
+             (fun (node, reason) ->
+               Json.Obj
+                 [ ("node", Json.Int node); ("reason", Json.String reason) ])
+             rejections) );
+      ("rounds", Json.Int r.PT.rounds);
+      ("nominal_rounds", Json.Int r.PT.nominal_rounds);
+      ("messages", Json.Int r.PT.messages);
+      ("total_bits", Json.Int r.PT.total_bits);
+      ("fast_forwarded_rounds", Json.Int r.PT.fast_forwarded_rounds);
+      ( "telemetry",
+        match telemetry with
+        | Some tel -> Congest.Telemetry.to_json tel
+        | None -> Json.Null );
+    ]
+
+let bench_envelope ~quick ~jobs ~domains experiments =
+  Json.Obj
+    [
+      ("schema", Json.String bench_schema);
+      ("quick", Json.Bool quick);
+      ("jobs", Json.Int jobs);
+      ("domains", Json.Int domains);
+      ("experiments", Json.List experiments);
+    ]
+
+let write path j =
+  if path = "-" then begin
+    print_string (Json.to_string j);
+    print_newline ()
+  end
+  else Json.write_file path j

@@ -1,0 +1,37 @@
+(** Machine-readable JSON reports shared by [planartest] and [bench].
+
+    Both tools emit versioned envelopes — {!stats_schema} for a single
+    tester run, {!bench_schema} for a benchmark sweep — that downstream
+    tooling parses; the schema test suite locks the key sets and value
+    types, so widen them here (and bump the version on breaking changes)
+    rather than inline in the binaries. *)
+
+module Json = Congest.Telemetry.Json
+
+(** ["planartest.stats/v1"] *)
+val stats_schema : string
+
+(** ["bench.planarity/v1"] *)
+val bench_schema : string
+
+(** [tester_stats ~n ~m ~eps ~seed ~domains ?telemetry report] is the
+    [planartest.stats/v1] document for one tester run.  The ["telemetry"]
+    member is [null] when no telemetry was recorded. *)
+val tester_stats :
+  n:int ->
+  m:int ->
+  eps:float ->
+  seed:int ->
+  domains:int ->
+  ?telemetry:Congest.Telemetry.t ->
+  Tester.Planarity_tester.report ->
+  Json.t
+
+(** [bench_envelope ~quick ~jobs ~domains experiments] is the
+    [bench.planarity/v1] document; [experiments] are the per-experiment
+    objects ([{"id", "title", "claim", "data"}]). *)
+val bench_envelope : quick:bool -> jobs:int -> domains:int -> Json.t list -> Json.t
+
+(** [write path j] writes [j] plus a trailing newline to [path], or to
+    stdout when [path] is ["-"]. *)
+val write : string -> Json.t -> unit

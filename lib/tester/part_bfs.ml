@@ -41,22 +41,18 @@ let build st =
          dist.(nd.S.id) <- 0;
          send_intra (M.Bdry (81, [ 0 ]))
        end);
-      for _ = 1 to budget do
-        let inbox = P.sync ctx in
-        List.iter
-          (fun (from, msg) ->
-            match msg with
-            | M.Bdry (81, [ d ]) ->
-                if nd.S.parent = -1 && not (S.is_root st nd.S.id) then begin
-                  nd.S.parent <- from;
-                  dist.(nd.S.id) <- d + 1;
-                  P.send ctx ~dest:from (M.Bdry (82, []));
-                  send_intra (M.Bdry (81, [ d + 1 ]))
-                end
-            | M.Bdry (82, []) -> nd.S.children <- from :: nd.S.children
-            | _ -> assert false)
-          inbox
-      done);
+      P.wait_rounds ctx ~budget
+        (List.iter (fun (from, msg) ->
+             match msg with
+             | M.Bdry (81, [ d ]) ->
+                 if nd.S.parent = -1 && not (S.is_root st nd.S.id) then begin
+                   nd.S.parent <- from;
+                   dist.(nd.S.id) <- d + 1;
+                   P.send ctx ~dest:from (M.Bdry (82, []));
+                   send_intra (M.Bdry (81, [ d + 1 ]))
+                 end
+             | M.Bdry (82, []) -> nd.S.children <- from :: nd.S.children
+             | _ -> assert false)));
   let nbr_level = Array.make n [] in
   P.run_program st (fun ctx nd ->
       iter_intra st nd (fun _ nbr ->

@@ -10,22 +10,26 @@ type report = {
   nominal_rounds : int;
   messages : int;
   total_bits : int;
+  fast_forwarded_rounds : int;
 }
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
-    ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry g
-    ~eps =
+    ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry
+    ?(domains = 1) ?(fast_forward = true) g ~eps =
   let stage1, st =
     match partition with
     | Stage_one ->
         let r =
-          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry g ~eps
+          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ~domains
+            ~fast_forward g ~eps
         in
         (Some r, r.Partition.Stage1.state)
     | Exponential_shifts ->
         let r = Partition.En_partition.run ~seed g ~eps in
         let st = r.Partition.En_partition.state in
         st.Partition.State.telemetry <- telemetry;
+        st.Partition.State.domains <- domains;
+        st.Partition.State.fast_forward <- fast_forward;
         (None, st)
   in
   let partition_rejected =
@@ -53,6 +57,8 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     nominal_rounds = st.Partition.State.nominal_rounds;
     messages = st.Partition.State.stats.Congest.Stats.messages;
     total_bits = st.Partition.State.stats.Congest.Stats.total_bits;
+    fast_forwarded_rounds =
+      st.Partition.State.stats.Congest.Stats.fast_forwarded_rounds;
   }
 
 let accepts ?seed ?partition g ~eps =

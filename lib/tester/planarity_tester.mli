@@ -25,6 +25,9 @@ type report = {
   nominal_rounds : int;  (** the paper's fixed-schedule round count *)
   messages : int;
   total_bits : int;
+  fast_forwarded_rounds : int;
+      (** of [rounds], how many the engine advanced in O(1) as provably
+          quiescent (included in [rounds]; see {!Congest.Engine}) *)
 }
 
 (** [run ?seed ?alpha ?partition g ~eps] executes the tester on the
@@ -35,7 +38,12 @@ type report = {
     [false]) fills the exact per-phase part diameters in the Stage I
     trace — a centralized diagnostic the tester itself never consults,
     and an all-pairs-BFS sweep per phase, so it is off unless asked
-    for. *)
+    for.  [domains] shards every engine run across that many OCaml
+    domains; the report is identical for any value (see
+    {!Congest.Engine}).  [fast_forward] (default [true]) lets the engine
+    skip provably quiescent rounds in O(1); accounting is identical
+    either way, so disabling it is only useful to measure the
+    optimisation. *)
 val run :
   ?seed:int ->
   ?alpha:int ->
@@ -43,6 +51,8 @@ val run :
   ?embedding:Stage2.embedding_mode ->
   ?measure_diameters:bool ->
   ?telemetry:Congest.Telemetry.t ->
+  ?domains:int ->
+  ?fast_forward:bool ->
   Graphlib.Graph.t ->
   eps:float ->
   report

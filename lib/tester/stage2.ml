@@ -218,18 +218,14 @@ let run ?(embedding = Oracle) st ~eps ~seed =
          label.(nd.S.id) <- [];
          send_child_labels []
        end);
-      for _ = 1 to budget do
-        let inbox = P.sync ctx in
-        List.iter
-          (fun (from, msg) ->
-            match msg with
-            | M.Down (85, lab) ->
-                assert (from = nd.S.parent);
-                label.(nd.S.id) <- lab;
-                send_child_labels lab
-            | _ -> assert false)
-          inbox
-      done);
+      P.wait_rounds ctx ~budget
+        (List.iter (fun (from, msg) ->
+             match msg with
+             | M.Down (85, lab) ->
+                 assert (from = nd.S.parent);
+                 label.(nd.S.id) <- lab;
+                 send_child_labels lab
+             | _ -> assert false)));
   (* Step 6: corner keys of incident non-tree edges; exchange across each
      edge so the assigned endpoint holds the sorted key pair. *)
   let inf = (2 * n) + 1 in

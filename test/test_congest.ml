@@ -494,6 +494,185 @@ let test_echo_qcheck =
       res.E.outputs.(0) = Some n)
 
 
+(* ------------------------------------------------------------------ *)
+(* wait / fast-forward                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tuple (s : Congest.Stats.t) =
+  Congest.Stats.
+    ( s.rounds,
+      s.charged_rounds,
+      s.messages,
+      s.total_bits,
+      s.max_edge_bits,
+      s.oversized )
+
+let test_wait_returns_on_arrival () =
+  (* A waiter wakes on the first round its inbox is non-empty, not at its
+     budget's expiry. *)
+  let g = Generators.path 2 in
+  let res =
+    E.run g (fun ctx ->
+        if E.my_id ctx = 0 then begin
+          E.idle ctx 5;
+          E.send ctx ~dest:1 (M.Int 42);
+          ignore (E.sync ctx);
+          0
+        end
+        else
+          match E.wait ctx 100 with [ (0, M.Int v) ] -> v | _ -> -1)
+  in
+  check cb "completed" true res.E.completed;
+  check (Alcotest.option ci) "woken by arrival" (Some 42) res.E.outputs.(1);
+  check ci "rounds follow the sender, not the wait budget" 6
+    res.E.stats.Congest.Stats.rounds
+
+let test_wait_timeout_empty () =
+  let g = Generators.path 3 in
+  let res =
+    E.run g (fun ctx ->
+        let inbox = E.wait ctx 9 in
+        (List.length inbox, E.round ctx))
+  in
+  check ci "rounds = budget" 9 res.E.stats.Congest.Stats.rounds;
+  Array.iter
+    (fun o ->
+      check
+        (Alcotest.option (Alcotest.pair ci ci))
+        "empty inbox at the deadline" (Some (0, 9)) o)
+    res.E.outputs
+
+let test_wait_zero_budget () =
+  (* [wait ctx 0] must not end the round. *)
+  let g = Generators.path 2 in
+  let res =
+    E.run g (fun ctx ->
+        let inbox = E.wait ctx 0 in
+        List.length inbox)
+  in
+  check ci "no round consumed" 0 res.E.stats.Congest.Stats.rounds;
+  Array.iter
+    (fun o -> check (Alcotest.option ci) "empty" (Some 0) o)
+    res.E.outputs
+
+let test_fast_forward_accounting () =
+  (* All nodes parked for 7 rounds with nothing in flight: the expiry
+     round is simulated, the 6 before it are fast-forwarded — and the
+     nominal accounting is identical with the optimisation disabled. *)
+  let g = Generators.path 3 in
+  let run ff =
+    E.run ~fast_forward:ff g (fun ctx ->
+        E.idle ctx 7;
+        E.round ctx)
+  in
+  let on = run true and off = run false in
+  check ci "rounds (ff on)" 7 on.E.stats.Congest.Stats.rounds;
+  check ci "all but the expiry round skipped" 6
+    on.E.stats.Congest.Stats.fast_forwarded_rounds;
+  check ci "rounds (ff off)" 7 off.E.stats.Congest.Stats.rounds;
+  check ci "nothing skipped with ff off" 0
+    off.E.stats.Congest.Stats.fast_forwarded_rounds;
+  check cb "stats otherwise identical" true
+    (stats_tuple on.E.stats = stats_tuple off.E.stats);
+  Array.iter
+    (fun o -> check (Alcotest.option ci) "round counter" (Some 7) o)
+    on.E.outputs
+
+let test_fast_forward_capped_by_max_rounds () =
+  let g = Generators.path 2 in
+  let res = E.run ~max_rounds:12 g (fun ctx -> E.idle ctx 1000) in
+  check cb "not completed" false res.E.completed;
+  check ci "stopped exactly at the limit" 12 res.E.stats.Congest.Stats.rounds
+
+(* A messaging protocol with staggered waits: the hub pings every leaf
+   after a long pause, leaves wake on arrival and echo back.  Nominal
+   accounting, outputs and the rejection log must be byte-identical with
+   fast-forward on and off. *)
+let ping_echo ff =
+  let g = Generators.star 8 in
+  E.run ~fast_forward:ff g (fun ctx ->
+      if E.my_id ctx = 0 then begin
+        E.idle ctx 20;
+        E.broadcast ctx (M.Int 5);
+        let echoes = E.wait ctx 50 in
+        List.fold_left (fun acc (_, M.Int v) -> acc + v) 0 echoes
+      end
+      else
+        match E.wait ctx 100 with
+        | [ (0, M.Int v) ] ->
+            if E.my_id ctx = 3 then E.reject ctx "three";
+            E.send ctx ~dest:0 (M.Int (v * 2));
+            ignore (E.wait ctx 1);
+            v
+        | _ -> -1)
+
+let test_fast_forward_stats_identical_with_traffic () =
+  let on = ping_echo true and off = ping_echo false in
+  check cb "fast-forward fired" true
+    (on.E.stats.Congest.Stats.fast_forwarded_rounds > 0);
+  check cb "stats identical" true
+    (stats_tuple on.E.stats = stats_tuple off.E.stats);
+  check cb "outputs identical" true (on.E.outputs = off.E.outputs);
+  check cb "rejection logs identical" true
+    (on.E.rejections = off.E.rejections);
+  check (Alcotest.option ci) "hub summed doubled pings" (Some 70)
+    on.E.outputs.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded stepping: accounting is invariant in [domains]              *)
+(* ------------------------------------------------------------------ *)
+
+(* 25 live nodes exceeds the engine's sharding threshold, so d > 1 runs
+   genuinely cut the worklist into blocks.  Everything observable —
+   inbox transcripts, outputs, stats, the rejection log — must match the
+   serial run exactly. *)
+let sharded_run d =
+  let g = Generators.grid 5 5 in
+  let res =
+    E.run ~seed:7 ~domains:d g (fun ctx ->
+        let log = ref [] in
+        let r = Random.State.int (E.rng ctx) 3 + 2 in
+        for i = 1 to r do
+          E.broadcast ctx (M.Int ((100 * E.my_id ctx) + i));
+          log := E.sync ctx :: !log
+        done;
+        if Random.State.int (E.rng ctx) 5 = 0 then E.reject ctx "sampled";
+        ignore (E.wait ctx (1 + (E.my_id ctx mod 4)));
+        List.rev !log)
+  in
+  (res.E.outputs, stats_tuple res.E.stats, res.E.rejections)
+
+let test_sharded_accounting_invariant () =
+  let serial = sharded_run 1 in
+  List.iter
+    (fun d ->
+      check cb
+        (Printf.sprintf "domains=%d identical to serial" d)
+        true
+        (sharded_run d = serial))
+    [ 2; 3; 4 ]
+
+let test_sharded_exception_choice () =
+  (* Several nodes fail in the same round across different blocks: the
+     propagated exception must be the lowest failing node's, for any
+     domain count. *)
+  let g = Generators.grid 5 5 in
+  List.iter
+    (fun d ->
+      try
+        ignore
+          (E.run ~domains:d g (fun ctx ->
+               ignore (E.sync ctx);
+               if E.my_id ctx mod 7 = 3 then
+                 failwith (string_of_int (E.my_id ctx));
+               ignore (E.sync ctx)));
+        Alcotest.fail "expected node failure"
+      with Failure msg ->
+        check Alcotest.string
+          (Printf.sprintf "lowest failing node wins (domains=%d)" d)
+          "3" msg)
+    [ 1; 2; 4 ]
+
 (* Appended: classic protocols on the engine. *)
 let test_protocols_bfs () =
   let g = Generators.grid 5 6 in
@@ -582,6 +761,28 @@ let () =
             test_transcripts_identical_across_domains;
           Alcotest.test_case "inbox order with multi-send" `Quick
             test_inbox_sender_order_with_multisend;
+        ] );
+      ( "wait-fast-forward",
+        [
+          Alcotest.test_case "wait wakes on arrival" `Quick
+            test_wait_returns_on_arrival;
+          Alcotest.test_case "wait times out empty" `Quick
+            test_wait_timeout_empty;
+          Alcotest.test_case "wait with zero budget" `Quick
+            test_wait_zero_budget;
+          Alcotest.test_case "fast-forward accounting" `Quick
+            test_fast_forward_accounting;
+          Alcotest.test_case "fast-forward capped by max_rounds" `Quick
+            test_fast_forward_capped_by_max_rounds;
+          Alcotest.test_case "stats identical with traffic" `Quick
+            test_fast_forward_stats_identical_with_traffic;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "accounting invariant in domains" `Quick
+            test_sharded_accounting_invariant;
+          Alcotest.test_case "lowest failing node wins" `Quick
+            test_sharded_exception_choice;
         ] );
       ( "telemetry",
         [

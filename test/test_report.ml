@@ -1,0 +1,205 @@
+(* Golden tests for the machine-readable report schemas.
+
+   The JSON emitted under ["planartest.stats/v1"] and
+   ["bench.planarity/v1"] is consumed by external tooling (CI artifact
+   diffing, plotting scripts), so the key set, key order and value types
+   are a contract: any change here must bump the schema tag. *)
+
+open Graphlib
+module J = Report.Json
+module PT = Tester.Planarity_tester
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let kt = Alcotest.(list (pair string string))
+
+let tag = function
+  | J.Null -> "null"
+  | J.Bool _ -> "bool"
+  | J.Int _ -> "int"
+  | J.Float _ -> "float"
+  | J.String _ -> "string"
+  | J.List _ -> "list"
+  | J.Obj _ -> "obj"
+
+let keys_and_tags = function
+  | J.Obj fields -> List.map (fun (k, v) -> (k, tag v)) fields
+  | j -> Alcotest.failf "expected an object, got %s" (tag j)
+
+let field j k =
+  match j with
+  | J.Obj fields -> List.assoc k fields
+  | _ -> Alcotest.fail "expected an object"
+
+(* A real report, from an actual tester run. *)
+let small_report =
+  lazy
+    (let g = Generators.apollonian (Random.State.make [| 3 |]) 48 in
+     (g, PT.run ~seed:1 g ~eps:0.3))
+
+(* A synthetic rejecting report, so the rejections row schema is pinned
+   without hunting for a rejecting input. *)
+let rejecting_report =
+  {
+    PT.verdict = PT.Reject [ (3, "euler bound"); (7, "violations") ];
+    stage1 = None;
+    stage2 = None;
+    rounds = 10;
+    nominal_rounds = 12;
+    messages = 5;
+    total_bits = 40;
+    fast_forwarded_rounds = 2;
+  }
+
+let stats_keys =
+  [
+    ("schema", "string");
+    ("graph", "obj");
+    ("eps", "float");
+    ("seed", "int");
+    ("domains", "int");
+    ("verdict", "string");
+    ("rejections", "list");
+    ("rounds", "int");
+    ("nominal_rounds", "int");
+    ("messages", "int");
+    ("total_bits", "int");
+    ("fast_forwarded_rounds", "int");
+    ("telemetry", "null");
+  ]
+
+let test_stats_schema () =
+  let g, r = Lazy.force small_report in
+  let j =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 r
+  in
+  check kt "key set, order and types" stats_keys (keys_and_tags j);
+  check Alcotest.string "schema tag" "planartest.stats/v1"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  check kt "graph sub-object" [ ("n", "int"); ("m", "int") ]
+    (keys_and_tags (field j "graph"));
+  check Alcotest.string "verdict" "accept"
+    (match field j "verdict" with J.String s -> s | _ -> "?")
+
+let test_stats_schema_with_telemetry () =
+  (* With telemetry attached, the [telemetry] slot becomes an object but
+     no key appears or moves. *)
+  let tel = Congest.Telemetry.create () in
+  let g = Generators.grid 5 5 in
+  let r = PT.run ~seed:1 ~telemetry:tel g ~eps:0.3 in
+  let j =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:2 ~telemetry:tel r
+  in
+  let expect =
+    List.map
+      (fun (k, t) -> if k = "telemetry" then (k, "obj") else (k, t))
+      stats_keys
+  in
+  check kt "same keys, telemetry now an object" expect (keys_and_tags j)
+
+let test_stats_rejections_rows () =
+  let j =
+    Report.tester_stats ~n:9 ~m:20 ~eps:0.1 ~seed:0 ~domains:1
+      rejecting_report
+  in
+  check Alcotest.string "verdict" "reject"
+    (match field j "verdict" with J.String s -> s | _ -> "?");
+  match field j "rejections" with
+  | J.List rows ->
+      check ci "row per distinct rejection" 2 (List.length rows);
+      List.iter
+        (fun row ->
+          check kt "row schema" [ ("node", "int"); ("reason", "string") ]
+            (keys_and_tags row))
+        rows
+  | _ -> Alcotest.fail "rejections must be a list"
+
+let test_bench_schema () =
+  let experiments =
+    [ J.Obj [ ("id", J.String "E1"); ("rows", J.List []) ] ]
+  in
+  let j = Report.bench_envelope ~quick:true ~jobs:2 ~domains:4 experiments in
+  check kt "envelope keys and types"
+    [
+      ("schema", "string");
+      ("quick", "bool");
+      ("jobs", "int");
+      ("domains", "int");
+      ("experiments", "list");
+    ]
+    (keys_and_tags j);
+  check Alcotest.string "schema tag" "bench.planarity/v1"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  check ci "domains recorded" 4
+    (match field j "domains" with J.Int d -> d | _ -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Report.write: file vs the "-" stdout convention                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample = J.Obj [ ("a", J.Int 1); ("b", J.List [ J.Null; J.Bool true ]) ]
+
+let test_write_file () =
+  let path = Filename.temp_file "report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Report.write path sample;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check cb "file holds the rendering" true
+        (String.trim s = J.to_string sample))
+
+let test_write_dash_goes_to_stdout () =
+  (* Swap stdout's fd for a temp file around the call; "-" must print the
+     document there (and not create a file named "-"). *)
+  let path = Filename.temp_file "report" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let saved = Unix.dup Unix.stdout in
+      flush stdout;
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      Fun.protect
+        ~finally:(fun () ->
+          flush stdout;
+          Unix.dup2 saved Unix.stdout;
+          Unix.close saved)
+        (fun () ->
+          Report.write "-" sample;
+          flush stdout);
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.string "stdout got the document, newline-terminated"
+        (J.to_string sample ^ "\n")
+        s;
+      check cb "no file named -" false (Sys.file_exists "-"))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "planartest.stats/v1" `Quick test_stats_schema;
+          Alcotest.test_case "stats with telemetry" `Quick
+            test_stats_schema_with_telemetry;
+          Alcotest.test_case "rejection rows" `Quick
+            test_stats_rejections_rows;
+          Alcotest.test_case "bench.planarity/v1" `Quick test_bench_schema;
+        ] );
+      ( "write",
+        [
+          Alcotest.test_case "to file" `Quick test_write_file;
+          Alcotest.test_case "dash writes stdout" `Quick
+            test_write_dash_goes_to_stdout;
+        ] );
+    ]

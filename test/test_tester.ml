@@ -144,6 +144,72 @@ let test_full_tester_rejects_far () =
       Generators.complete 6;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Engine-parameter invariance (PR 2 regression)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything observable about a run except the engine-internal state
+   handle: verdict (hence the accept/reject transcript), all round and
+   bandwidth accounting, and both stages' traces. *)
+let report_fp (r : Tester.Planarity_tester.report) =
+  ( r.Tester.Planarity_tester.verdict,
+    r.Tester.Planarity_tester.rounds,
+    r.Tester.Planarity_tester.nominal_rounds,
+    r.Tester.Planarity_tester.messages,
+    r.Tester.Planarity_tester.total_bits,
+    r.Tester.Planarity_tester.fast_forwarded_rounds,
+    Option.map
+      (fun (s1 : Partition.Stage1.result) ->
+        (s1.Partition.Stage1.rejected, s1.Partition.Stage1.phases,
+         s1.Partition.Stage1.rounds, s1.Partition.Stage1.nominal_rounds))
+      r.Tester.Planarity_tester.stage1,
+    r.Tester.Planarity_tester.stage2 )
+
+(* The tester's report must be identical for every engine domain count
+   and with fast-forwarding on or off — the paper-level contract behind
+   the parallel engine (see Congest.Engine). *)
+let assert_engine_invariant name g ~eps ~expect_accept =
+  let run ~domains ~fast_forward =
+    Tester.Planarity_tester.run ~seed:2 ~domains ~fast_forward g ~eps
+  in
+  let serial = run ~domains:1 ~fast_forward:true in
+  (match serial.Tester.Planarity_tester.verdict with
+  | Tester.Planarity_tester.Accept ->
+      check cb (name ^ ": accepts") true expect_accept
+  | Tester.Planarity_tester.Reject _ ->
+      check cb (name ^ ": rejects") false expect_accept);
+  let fp = report_fp serial in
+  List.iter
+    (fun d ->
+      check cb
+        (Printf.sprintf "%s: domains=%d report identical" name d)
+        true
+        (report_fp (run ~domains:d ~fast_forward:true) = fp))
+    [ 2; 4 ];
+  (* [fast_forwarded_rounds] is the one field allowed to differ: it
+     records whether the shortcut was taken, and with the optimisation
+     off it is 0 by construction. *)
+  let zero_ff (v, r, nr, m, b, _ff, s1, s2) = (v, r, nr, m, b, 0, s1, s2) in
+  let off = run ~domains:1 ~fast_forward:false in
+  check ci (name ^ ": ff off skips nothing") 0
+    off.Tester.Planarity_tester.fast_forwarded_rounds;
+  check cb (name ^ ": fast-forward off report identical") true
+    (zero_ff (report_fp off) = zero_ff fp)
+
+let test_domains_invariant_apollonian () =
+  assert_engine_invariant "apollonian"
+    (Generators.apollonian (Random.State.make [| 5 |]) 96)
+    ~eps:0.25 ~expect_accept:true
+
+let test_domains_invariant_grid () =
+  assert_engine_invariant "grid" (Generators.grid 8 8) ~eps:0.25
+    ~expect_accept:true
+
+let test_domains_invariant_far () =
+  assert_engine_invariant "far-from-planar"
+    (Generators.far_from_planar (Random.State.make [| 6 |]) ~n:80 ~eps:0.25)
+    ~eps:0.15 ~expect_accept:false
+
 let test_tester_k5_euler_reject () =
   (* K5 merges into a single part with m = 10 > 3n - 6 = 9: the Euler check
      inside stage II must fire. *)
@@ -465,6 +531,15 @@ let () =
           Alcotest.test_case "part counts" `Quick test_stage2_part_counts;
           q test_completeness_qcheck;
           q test_soundness_qcheck;
+        ] );
+      ( "engine-invariance",
+        [
+          Alcotest.test_case "apollonian, domains 1/2/4 + ff off" `Quick
+            test_domains_invariant_apollonian;
+          Alcotest.test_case "grid, domains 1/2/4 + ff off" `Quick
+            test_domains_invariant_grid;
+          Alcotest.test_case "far graph, domains 1/2/4 + ff off" `Quick
+            test_domains_invariant_far;
         ] );
       ( "exp-shift-mode",
         [
