@@ -1,0 +1,28 @@
+module M = struct
+  type t = Int of int
+  let bits (Int v) = 1 + abs v
+end
+
+module E = Congest.Engine.Make (M)
+
+let () =
+  let g = Graphlib.Generators.cycle 20 in
+  let prog ctx =
+    E.broadcast ctx (M.Int 1);
+    ignore (E.sync ctx);
+    ignore (E.sync ctx);
+    E.my_id ctx
+  in
+  let run d =
+    let res = E.run ~domains:d g prog in
+    let missing =
+      Array.to_list res.E.outputs
+      |> List.mapi (fun i o -> (i, o))
+      |> List.filter (fun (_, o) -> o = None)
+      |> List.map fst
+    in
+    Printf.printf "domains=%2d completed=%b rounds=%d missing-outputs=[%s]\n"
+      d res.E.completed res.E.stats.Congest.Stats.rounds
+      (String.concat ";" (List.map string_of_int missing))
+  in
+  run 1; run 4; run 24
