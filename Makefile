@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench fuzz ci clean
 
 all: build
 
@@ -10,6 +10,19 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Property-based / fuzz suite (qcheck with shrinking): the Stage I
+# differential against the centralized reference, the one-sided-error
+# invariant under fault injection, the domains x fast-forward x fault-seed
+# accounting invariant, and the Bits fragmentation fuzz.  QCHECK_SEED pins
+# the random state (CI sets it per matrix leg); PROP_DOMAINS caps the
+# domain sweep (default 4).  On failure qcheck prints the shrunk
+# counterexample — paste it into a regression test.
+#   make fuzz                           # fresh random seed
+#   make fuzz QCHECK_SEED=1234          # reproduce a CI leg
+fuzz: build
+	env $(if $(QCHECK_SEED),QCHECK_SEED=$(QCHECK_SEED)) \
+	  ./_build/default/test/test_prop.exe
 
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the

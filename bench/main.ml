@@ -6,7 +6,7 @@
    for paper-vs-measured).
 
    Usage:  bench [--quick|-q] [--jobs N] [--domains D] [--no-timings]
-                 [--json PATH]
+                 [--json PATH] [--faults SPEC]
 
    Independent (family, n, eps, seed) points inside each experiment are
    fanned across [--jobs] domains (default: the recommended domain count);
@@ -16,7 +16,10 @@
    identical for any D, only wall-clock changes.  [--no-timings] skips the
    serial Bechamel micro-benchmark section (for CI's quick runs).
    [--json PATH] additionally writes every experiment's data as a
-   machine-readable document (schema "bench.planarity/v1"; '-' = stdout). *)
+   machine-readable document (schema "bench.planarity/v1"; '-' = stdout).
+   [--faults SPEC] adds one extra user-chosen fault policy row to the R1
+   verdict-stability experiment (see Congest.Faults.of_spec for the SPEC
+   grammar); the built-in drop-probability sweep always runs. *)
 
 open Graphlib
 module J = Report.Json
@@ -28,13 +31,14 @@ let jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
 let domains = ref 1
 let timings = ref true
 let json_path = ref None
+let faults_spec = ref None
 
 let () =
   let argv = Sys.argv in
   let usage () =
     prerr_endline
       "usage: bench [--quick|-q] [--jobs N] [--domains D] [--no-timings] \
-       [--json PATH]";
+       [--json PATH] [--faults SPEC]";
     exit 2
   in
   let rec parse i =
@@ -59,6 +63,13 @@ let () =
       | "--json" when i + 1 < Array.length argv ->
           json_path := Some argv.(i + 1);
           parse (i + 2)
+      | "--faults" when i + 1 < Array.length argv ->
+          (match Congest.Faults.of_spec argv.(i + 1) with
+          | Ok p -> faults_spec := Some p
+          | Error msg ->
+              Printf.eprintf "bench: --faults: %s\n" msg;
+              exit 2);
+          parse (i + 2)
       | _ -> usage ()
   in
   parse 1
@@ -67,6 +78,7 @@ let quick = !quick
 let jobs = !jobs
 let domains = !domains
 let timings = !timings
+let faults_spec = !faults_spec
 
 (* --- parallel point driver ------------------------------------------- *)
 
@@ -1195,6 +1207,144 @@ let p1_engine_wallclock () =
       cores
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: verdict stability (tentpole PR)                     *)
+(* ------------------------------------------------------------------ *)
+
+let r1_fault_stability () =
+  let n = if quick then 96 else 200 in
+  let trials = if quick then 3 else 5 in
+  let drops = if quick then [ 0.0; 0.01; 0.05; 0.2 ] else [ 0.0; 0.002; 0.01; 0.05; 0.2 ] in
+  let families =
+    [
+      ( "apollonian (planar)",
+        (fun seed -> Generators.apollonian (Random.State.make [| seed; 91 |]) n),
+        true );
+      ( "far-from-planar",
+        (fun seed ->
+          Generators.far_from_planar
+            (Random.State.make [| seed; 92 |])
+            ~n ~eps:0.25),
+        false );
+    ]
+  in
+  (* The built-in sweep varies only the drop probability; [--faults SPEC]
+     appends one user-chosen policy column (label = its canonical spec). *)
+  let policies =
+    List.map
+      (fun drop ->
+        ( Printf.sprintf "drop=%.3f" drop,
+          (fun seed ->
+            if drop = 0.0 then None
+            else Some (Congest.Faults.make ~seed ~drop ())) ))
+      drops
+    @
+    match faults_spec with
+    | None -> []
+    | Some p ->
+        [
+          ( Congest.Faults.to_spec p,
+            fun seed -> Some { p with Congest.Faults.seed } );
+        ]
+  in
+  let points =
+    List.concat_map
+      (fun (fname, gen, planar) ->
+        List.concat_map
+          (fun (pname, pol) ->
+            List.init trials (fun i -> (fname, gen, planar, pname, pol, i + 1)))
+          policies)
+      families
+  in
+  let outcomes =
+    parmap
+      (fun (fname, gen, planar, pname, pol, seed) ->
+        let g = gen seed in
+        let r =
+          Tester.Planarity_tester.run ~domains ?faults:(pol seed) g
+            ~eps:(if planar then 0.3 else 0.15)
+            ~seed
+        in
+        let verdict =
+          match r.Tester.Planarity_tester.verdict with
+          | Tester.Planarity_tester.Accept -> `Accept
+          | Tester.Planarity_tester.Reject _ -> `Reject
+          | Tester.Planarity_tester.Degraded _ -> `Degraded
+        in
+        (* The invariant under test: faults must never manufacture
+           rejection evidence on a planar input (one-sided error is
+           preserved by construction — Reject downgrades to Degraded
+           whenever a fault fired). *)
+        if planar && verdict = `Reject then
+          failwith
+            (Printf.sprintf
+               "R1 VIOLATION: planar input rejected under faults (%s, %s, \
+                seed %d)"
+               fname pname seed);
+        (fname, pname, verdict, r.Tester.Planarity_tester.dropped))
+      points
+  in
+  let results =
+    List.concat_map
+      (fun (fname, _, planar) ->
+        List.map
+          (fun (pname, _) ->
+            let mine =
+              List.filter (fun (f, p, _, _) -> f = fname && p = pname) outcomes
+            in
+            let count v =
+              List.length (List.filter (fun (_, _, v', _) -> v' = v) mine)
+            in
+            let dropped =
+              List.fold_left (fun a (_, _, _, d) -> a + d) 0 mine
+            in
+            ( fname,
+              planar,
+              pname,
+              count `Accept,
+              count `Degraded,
+              count `Reject,
+              dropped / max 1 (List.length mine) ))
+          policies)
+      families
+  in
+  emit "R1" ~title:"verdict stability vs fault rate"
+    ~claim:
+      "one-sided error survives benign faults: a planar input accepts or \
+       degrades, never rejects; an eps-far input's rejection evidence \
+       degrades to an explicit 'no verdict' once faults interfere"
+    (J.Obj
+       [
+         ("n", J.Int n);
+         ("trials", J.Int trials);
+         ( "rows",
+           J.List
+             (List.map
+                (fun (fname, planar, pname, acc, degr, rej, avg_dropped) ->
+                  J.Obj
+                    [
+                      ("family", J.String fname);
+                      ("planar", J.Bool planar);
+                      ("policy", J.String pname);
+                      ("accept", J.Int acc);
+                      ("degraded", J.Int degr);
+                      ("reject", J.Int rej);
+                      ("avg_dropped", J.Int avg_dropped);
+                      ("one_sided_ok", J.Bool (not (planar && rej > 0)));
+                    ])
+                results) );
+       ]);
+  row "n=%d, %d fault seeds per point; verdict counts per policy\n\n" n trials;
+  row "%-22s %-22s %-8s %-10s %-8s %-12s\n" "family" "policy" "accept"
+    "degraded" "reject" "avg dropped";
+  List.iter
+    (fun (fname, planar, pname, acc, degr, rej, avg_dropped) ->
+      row "%-22s %-22s %-8d %-10d %-8d %-12d%s\n" fname pname acc degr rej
+        avg_dropped
+        (if planar && rej > 0 then "  *** ONE-SIDED ERROR VIOLATION ***"
+         else ""))
+    results
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1279,6 +1429,7 @@ let () =
   a2_corner_keys ();
   a3_adaptive_schedule ();
   p1_engine_wallclock ();
+  r1_fault_stability ();
   if timings then bechamel_section ();
   (match !json_path with
   | Some path ->

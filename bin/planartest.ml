@@ -112,12 +112,36 @@ let test_cmd =
     in
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
   in
-  let run path eps seed domains stats_json =
+  let faults_arg =
+    let doc =
+      "Inject a deterministic fault schedule into every engine run.  \
+       $(docv) is a comma-separated key=value list: drop, dup, delay, \
+       trunc (probabilities), maxdelay (rounds), seed (fault PRNG seed), \
+       and crash=NODE@FROM or crash=NODE@FROM-UNTIL (repeatable).  \
+       Example: 'drop=0.05,delay=0.02,seed=7,crash=3@10-20'.  With faults \
+       active the verdict may be DEGRADED; a planar input never flips to \
+       REJECT (one-sided error is preserved by construction)."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let run path eps seed domains stats_json faults_spec =
     let g = read_graph path in
+    let faults =
+      match faults_spec with
+      | None -> None
+      | Some spec -> (
+          match Congest.Faults.of_spec spec with
+          | Ok p -> Some p
+          | Error msg ->
+              Printf.eprintf "planartest test: %s\n" msg;
+              exit 2)
+    in
     let telemetry =
       Option.map (fun _ -> Congest.Telemetry.create ()) stats_json
     in
-    let r = Tester.Planarity_tester.run ?telemetry ~domains g ~eps ~seed in
+    let r =
+      Tester.Planarity_tester.run ?telemetry ~domains ?faults g ~eps ~seed
+    in
     (* With --stats-json -, stdout carries exactly the JSON document; the
        human-readable summary moves to stderr. *)
     let hum = if stats_json = Some "-" then stderr else stdout in
@@ -129,20 +153,29 @@ let test_cmd =
         List.iteri
           (fun i (node, reason) ->
             if i < 5 then human "  node %d: %s\n" node reason)
-          l);
+          l
+    | Tester.Planarity_tester.Degraded msg ->
+        human "DEGRADED (no trustworthy verdict under faults)\n  %s\n" msg);
     human
       "rounds (simulated) : %d\nrounds (nominal)   : %d\nrounds \
        (fast-fwd)  : %d\nmessages           : %d\ntotal bits         : %d\n"
       r.Tester.Planarity_tester.rounds r.Tester.Planarity_tester.nominal_rounds
       r.Tester.Planarity_tester.fast_forwarded_rounds
       r.Tester.Planarity_tester.messages r.Tester.Planarity_tester.total_bits;
+    if faults <> None then
+      human
+        "faults             : dropped=%d duplicated=%d delayed=%d \
+         crashed=%d\n"
+        r.Tester.Planarity_tester.dropped r.Tester.Planarity_tester.duplicated
+        r.Tester.Planarity_tester.delayed
+        r.Tester.Planarity_tester.crashed_nodes;
     human "ground truth (LR)  : %s\n"
       (if Planarity.Lr.is_planar g then "planar" else "non-planar");
     match stats_json with
     | Some out ->
         let j =
           Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps ~seed
-            ~domains ?telemetry r
+            ~domains ?telemetry ?faults r
         in
         (try Report.write out j
          with Sys_error msg ->
@@ -155,7 +188,7 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg)
+      $ stats_json_arg $ faults_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

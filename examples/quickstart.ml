@@ -13,6 +13,9 @@ let describe name g eps =
     | Tester.Planarity_tester.Accept -> "every node accepted"
     | Tester.Planarity_tester.Reject rejecting ->
         Printf.sprintf "%d node(s) rejected" (List.length rejecting)
+    | Tester.Planarity_tester.Degraded msg ->
+        (* Only reachable with a --faults-style policy; none is used here. *)
+        Printf.sprintf "degraded: %s" msg
   in
   Printf.printf "%s: n=%d, m=%d, eps=%.2f\n" name (Graph.n g) (Graph.m g) eps;
   Printf.printf "  distributed tester : %s\n" verdict;

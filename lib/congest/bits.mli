@@ -10,3 +10,42 @@ val id_bits : int -> int
 (** [default_bandwidth n] is the per-edge per-round budget used when the
     caller does not pass one: [Theta (log n)]. *)
 val default_bandwidth : int -> int
+
+(** {1 Framing / fragmentation}
+
+    A payload larger than the per-round bandwidth must cross an edge as a
+    sequence of frames, one per round.  Each frame carries a
+    {!header_bits}-bit header (sequence number + frame count, 16 bits
+    each) plus a payload chunk sized so that {!frame_bits} never exceeds
+    the bandwidth — the engine therefore never flags a well-formed frame
+    as oversized, and fault-layer truncation of a frame surfaces as a
+    {e missing} frame ({!reassemble} returns [None]), never as silent
+    payload corruption. *)
+
+type frame = {
+  seq : int;  (** 0-based position of this frame in the sequence *)
+  total : int;  (** number of frames the payload was split into *)
+  payload : string;  (** this frame's chunk of the payload bytes *)
+}
+
+(** Fixed per-frame header cost: 32 bits (16-bit [seq], 16-bit [total]). *)
+val header_bits : int
+
+(** Wire cost of one frame: [header_bits + 8 * length payload]. *)
+val frame_bits : frame -> int
+
+(** [fragment ~bandwidth s] splits [s] into frames whose {!frame_bits}
+    each fit in [bandwidth].  The empty string yields one empty frame, so
+    every payload round-trips.  @raise Invalid_argument if [bandwidth <
+    header_bits + 8] (no room for a single payload byte) or the payload
+    needs [>= 2^16] frames (the header's [total] field would overflow). *)
+val fragment : bandwidth:int -> string -> frame list
+
+(** [reassemble frames] restores the original payload from a permutation
+    of [fragment]'s output, or returns [None] if the frame set is not
+    exactly that: a missing or duplicated sequence number, inconsistent
+    [total] fields, a [total] that does not match the frame count, or a
+    non-final frame shorter than the final one allows.  Lossy delivery
+    (drop / truncation) therefore yields [None] — detectable silence —
+    never a wrong payload. *)
+val reassemble : frame list -> string option

@@ -58,8 +58,11 @@ module Make (Msg : MESSAGE) = struct
     mutable asenders_len : int;
     mutable arejects : (int * int * string) list;  (* reverse chron. *)
     mutable afailed : (int * exn) option;  (* lowest failing node in block *)
+    mutable afails : (int * int * exn) list;
+        (* all failing nodes in block ([`Record] mode), reverse chron. *)
     mutable astepped : int;  (* fibers resumed this phase *)
     mutable akept : int;  (* nodes still live after this phase *)
+    mutable aculled : int;  (* crash-stopped nodes dropped this phase *)
     mutable amin_wake : int;  (* min wake round over kept nodes *)
   }
 
@@ -69,8 +72,10 @@ module Make (Msg : MESSAGE) = struct
       asenders_len = 0;
       arejects = [];
       afailed = None;
+      afails = [];
       astepped = 0;
       akept = 0;
+      aculled = 0;
       amin_wake = max_int;
     }
 
@@ -149,7 +154,8 @@ module Make (Msg : MESSAGE) = struct
         done;
         a.asenders_len <- 0;
         a.arejects <- [];
-        a.afailed <- None)
+        a.afailed <- None;
+        a.afails <- [])
       p.arenas;
     for i = 0 to p.receivers_len - 1 do
       p.inbox.(p.receivers.(i)).len <- 0
@@ -169,6 +175,8 @@ module Make (Msg : MESSAGE) = struct
     ff : bool;  (* park fibers across rounds + skip quiescent spans *)
     mutable reject_log : (int * int * string) list;
         (* (round, node, reason), reverse chronological *)
+    mutable fail_log : (int * int * exn) list;
+        (* (round, node, exn) in [`Record] mode, reverse chronological *)
     mutable current_round : int;
   }
 
@@ -261,6 +269,9 @@ module Make (Msg : MESSAGE) = struct
   type 'o result = {
     outputs : 'o option array;
     rejections : (int * int * string) list;
+    failures : (int * int * exn) list;
+        (* (round, node, exn), chronological; non-empty only in [`Record]
+           mode — see [?on_error] *)
     stats : Stats.t;
     completed : bool;
   }
@@ -376,12 +387,31 @@ module Make (Msg : MESSAGE) = struct
     t
 
   let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000)
-      ?telemetry ?(domains = 1) ?(fast_forward = true) ?pool:opool g program =
+      ?telemetry ?(domains = 1) ?(fast_forward = true) ?faults
+      ?(on_error = `Propagate) ?pool:opool g program =
     let n = Graph.n g in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
     let d_req = if domains < 1 then 1 else domains in
+    let record_errors = on_error = `Record in
+    (* Fault layer.  All decisions happen during delivery — the serial,
+       deterministically ordered half of a round — so the injected
+       schedule is a pure function of (policy, directed edge, round,
+       per-edge message index): byte-identical for any domain count and
+       for fast-forward on/off. *)
+    let fpol =
+      match faults with Some f when not (Faults.is_none f) -> Some f | _ -> None
+    in
+    let crash_from, crash_until =
+      match fpol with
+      | Some f -> (
+          match Faults.crash_schedule f ~n with
+          | Some (cf, cu) -> (cf, cu)
+          | None -> ([||], [||]))
+      | None -> ([||], [||])
+    in
+    let has_crash = Array.length crash_from > 0 in
     let p, owned =
       match opool with
       | Some p when p.pgraph == g && not p.in_use ->
@@ -401,8 +431,57 @@ module Make (Msg : MESSAGE) = struct
         telemetry;
         ff = fast_forward;
         reject_log = [];
+        fail_log = [];
         current_round = 0;
       }
+    in
+    (* Is node [v] down at the round currently being processed?  Reads
+       only immutable schedule arrays and [current_round] (stable during
+       a phase), so it is safe from worker domains. *)
+    let is_crashed v =
+      has_crash
+      && crash_from.(v) <= eng.current_round
+      && eng.current_round < crash_until.(v)
+    in
+    (* Crash-start events, sorted by round, for honest [crashed_nodes]
+       accounting (an event only counts if the node is still running when
+       the crash takes effect). *)
+    let crash_starts =
+      if not has_crash then [||]
+      else begin
+        let l = ref [] in
+        for v = 0 to n - 1 do
+          if crash_from.(v) <> max_int then l := (crash_from.(v), v) :: !l
+        done;
+        let a = Array.of_list !l in
+        Array.sort compare a;
+        a
+      end
+    in
+    let crash_start_i = ref 0 in
+    (* Messages the fault layer deferred: (due round, sequence, sender,
+       dest, directed edge, payload).  Run-local; anything still queued
+       when the run ends is lost, like any other in-flight frame. *)
+    let dq : (int * int * int * int * int * Msg.t) list ref = ref [] in
+    let dq_min = ref max_int in
+    let fseq = ref 0 in
+    (* Per-directed-edge message index for the round being delivered (the
+       [k] of [Faults.draw]); reset through [fidx_touched].  Allocated
+       only for faulted runs — those are O(m) per round anyway. *)
+    let fidx, fidx_touched =
+      match fpol with
+      | Some _ -> (Array.make (2 * Graph.m g) 0, Array.make (2 * Graph.m g) 0)
+      | None -> ([||], [||])
+    in
+    let fidx_len = ref 0 in
+    let next_k de =
+      let k = fidx.(de) in
+      if k = 0 then begin
+        fidx_touched.(!fidx_len) <- de;
+        incr fidx_len
+      end;
+      fidx.(de) <- k + 1;
+      k
     in
     let outputs = Array.make n None in
     let conts = p.conts in
@@ -457,19 +536,27 @@ module Make (Msg : MESSAGE) = struct
       end
     in
     (* Run start-up for nodes [lo, hi) with arena [d].  On a node
-       exception, record the (lowest) failing node and stop this block —
-       exactly what a serial start loop does for its prefix. *)
+       exception: in [`Propagate] mode, record the (lowest) failing node
+       and stop this block — exactly what a serial start loop does for
+       its prefix; in [`Record] mode, log the failure, let the node die
+       and keep stepping the block, so every failing node is observed
+       regardless of the domain count. *)
     let start_range d lo hi =
       let a = arenas.(d) in
       a.astepped <- 0;
       a.afailed <- None;
+      a.afails <- [];
       try
         for v = lo to hi - 1 do
           p.arena_of.(v) <- d;
           (try start v
            with e ->
-             a.afailed <- Some (v, e);
-             raise Shard_stop);
+             if record_errors then
+               a.afails <- (eng.current_round, v, e) :: a.afails
+             else begin
+               a.afailed <- Some (v, e);
+               raise Shard_stop
+             end);
           a.astepped <- a.astepped + 1
         done
       with Shard_stop -> ()
@@ -483,6 +570,8 @@ module Make (Msg : MESSAGE) = struct
       let a = arenas.(d) in
       a.astepped <- 0;
       a.afailed <- None;
+      a.afails <- [];
+      a.aculled <- 0;
       a.amin_wake <- max_int;
       let kept = ref lo in
       let keep v =
@@ -490,25 +579,48 @@ module Make (Msg : MESSAGE) = struct
         incr kept;
         if p.wake.(v) < a.amin_wake then a.amin_wake <- p.wake.(v)
       in
+      (* A crashed node is frozen: not resumed even when its wake round
+         has passed, so it observes nothing until recovery.  Its earliest
+         possible resume round is max(wake, recovery), which is what
+         bounds fast-forward.  A crash-stopped node (no recovery) can
+         never resume — cull it from the live list so the run can still
+         terminate; its fiber is discontinued by [finalize]. *)
+      let keep_crashed v =
+        live.(!kept) <- v;
+        incr kept;
+        let w = p.wake.(v) in
+        let w = if w < crash_until.(v) then crash_until.(v) else w in
+        if w < a.amin_wake then a.amin_wake <- w
+      in
       (try
          for i = lo to hi - 1 do
            let v = live.(i) in
-           let ib = p.inbox.(v) in
-           if ib.len > 0 || p.wake.(v) <= eng.current_round then begin
-             match conts.(v) with
-             | None -> ()
-             | Some k ->
-                 conts.(v) <- None;
-                 p.arena_of.(v) <- d;
-                 let inbox = build_inbox ib in
-                 a.astepped <- a.astepped + 1;
-                 (try Effect.Deep.continue k inbox
-                  with e ->
-                    a.afailed <- Some (v, e);
-                    raise Shard_stop);
-                 (match conts.(v) with None -> () | Some _ -> keep v)
+           if is_crashed v then begin
+             if crash_until.(v) = max_int then a.aculled <- a.aculled + 1
+             else keep_crashed v
            end
-           else keep v
+           else begin
+             let ib = p.inbox.(v) in
+             if ib.len > 0 || p.wake.(v) <= eng.current_round then begin
+               match conts.(v) with
+               | None -> ()
+               | Some k ->
+                   conts.(v) <- None;
+                   p.arena_of.(v) <- d;
+                   let inbox = build_inbox ib in
+                   a.astepped <- a.astepped + 1;
+                   (try Effect.Deep.continue k inbox
+                    with e ->
+                      if record_errors then
+                        a.afails <- (eng.current_round, v, e) :: a.afails
+                      else begin
+                        a.afailed <- Some (v, e);
+                        raise Shard_stop
+                      end);
+                   (match conts.(v) with None -> () | Some _ -> keep v)
+             end
+             else keep v
+           end
          done
        with Shard_stop -> ());
       a.akept <- !kept - lo
@@ -611,6 +723,17 @@ module Make (Msg : MESSAGE) = struct
       done;
       match !best with Some (_, e) -> raise e | None -> ()
     in
+    let merge_failures () =
+      if record_errors then
+        for d = 0 to d_req - 1 do
+          let a = arenas.(d) in
+          match a.afails with
+          | [] -> ()
+          | f ->
+              eng.fail_log <- f @ eng.fail_log;
+              a.afails <- []
+        done
+    in
     let merge_rejects () =
       (* Arena d's list is reverse-chronological for its ascending block;
          prepending blocks 0..D-1 in order leaves the highest block at the
@@ -644,27 +767,75 @@ module Make (Msg : MESSAGE) = struct
        how far it may jump. *)
     let min_wake = ref max_int in
     let completed = ref true in
+    let culled = ref 0 in
     let running = ref true in
     let one_round () =
       eng.estats.Stats.rounds <- eng.estats.Stats.rounds + 1;
       eng.current_round <- eng.current_round + 1;
+      let round_bits = ref 0 and round_msgs = ref 0 in
+      let round_dropped = ref 0
+      and round_duplicated = ref 0
+      and round_delayed = ref 0
+      and round_crashed = ref 0 in
+      (* Crash events taking effect now (or during a span the engine
+         fast-forwarded over — node state cannot have changed since, so
+         the count is identical whether or not the span was skipped). *)
+      if has_crash then
+        while
+          !crash_start_i < Array.length crash_starts
+          && fst crash_starts.(!crash_start_i) <= eng.current_round
+        do
+          let _, v = crash_starts.(!crash_start_i) in
+          if conts.(v) <> None then begin
+            eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
+            incr round_crashed
+          end;
+          incr crash_start_i
+        done;
       (* Deliver: drain arena senders (ascending blocks, each ascending)
          into inboxes, summing bits per directed edge.  Each outbox is
          drained in reverse send order, which makes every inbox buffer
          sorted by sender with same-sender messages in the order the
          pre-rewrite engine produced (stable sort over a prepend-built
          list, i.e. reverse send order). *)
-      let round_bits = ref 0 and round_msgs = ref 0 in
-      for d = 0 to d_req - 1 do
-        let a = arenas.(d) in
-        for i = 0 to a.asenders_len - 1 do
-          let v = a.asenders.(i) in
-          p.queued.(v) <- false;
-          let ob = p.outbox.(v) in
-          for j = ob.len - 1 downto 0 do
-            let dest = ob.ids.(j) and de = ob.eids.(j) in
-            let msg = ob.msgs.(j) in
-            let b = Msg.bits msg in
+      (match fpol with
+      | None ->
+          for d = 0 to d_req - 1 do
+            let a = arenas.(d) in
+            for i = 0 to a.asenders_len - 1 do
+              let v = a.asenders.(i) in
+              p.queued.(v) <- false;
+              let ob = p.outbox.(v) in
+              for j = ob.len - 1 downto 0 do
+                let dest = ob.ids.(j) and de = ob.eids.(j) in
+                let msg = ob.msgs.(j) in
+                let b = Msg.bits msg in
+                eng.estats.messages <- eng.estats.messages + 1;
+                eng.estats.total_bits <- eng.estats.total_bits + b;
+                incr round_msgs;
+                round_bits := !round_bits + b;
+                if p.edge_bits.(de) = 0 then begin
+                  p.touched.(p.touched_len) <- de;
+                  p.touched_len <- p.touched_len + 1
+                end;
+                p.edge_bits.(de) <- p.edge_bits.(de) + b;
+                let ib = p.inbox.(dest) in
+                if ib.len = 0 then begin
+                  p.receivers.(p.receivers_len) <- dest;
+                  p.receivers_len <- p.receivers_len + 1
+                end;
+                push ib v 0 msg
+              done;
+              ob.len <- 0
+            done;
+            a.asenders_len <- 0
+          done
+      | Some fp ->
+          (* Fault-aware delivery.  Decisions are per message, drawn from
+             the splittable PRNG keyed by (edge, round, per-edge index);
+             the iteration order below is the deterministic serial order,
+             so the schedule is invariant under the domain count. *)
+          let charge_wire de b =
             eng.estats.messages <- eng.estats.messages + 1;
             eng.estats.total_bits <- eng.estats.total_bits + b;
             incr round_msgs;
@@ -673,18 +844,106 @@ module Make (Msg : MESSAGE) = struct
               p.touched.(p.touched_len) <- de;
               p.touched_len <- p.touched_len + 1
             end;
-            p.edge_bits.(de) <- p.edge_bits.(de) + b;
-            let ib = p.inbox.(dest) in
-            if ib.len = 0 then begin
-              p.receivers.(p.receivers_len) <- dest;
-              p.receivers_len <- p.receivers_len + 1
-            end;
-            push ib v 0 msg
+            p.edge_bits.(de) <- p.edge_bits.(de) + b
+          in
+          let drop_one () =
+            eng.estats.dropped <- eng.estats.dropped + 1;
+            incr round_dropped
+          in
+          let deliver sender dest msg =
+            (* A message reaching a node that is down is lost — the
+               CONGEST-faithful model is silence, never an error. *)
+            if is_crashed dest then drop_one ()
+            else begin
+              let ib = p.inbox.(dest) in
+              if ib.len = 0 then begin
+                p.receivers.(p.receivers_len) <- dest;
+                p.receivers_len <- p.receivers_len + 1
+              end;
+              push ib sender 0 msg
+            end
+          in
+          (* Deferred messages due this round arrive first, in original
+             send order, then fresh sends — so under delays an inbox is
+             no longer guaranteed to be sorted by sender.  Bits are
+             charged at the round the frame actually occupies. *)
+          if !dq_min <= eng.current_round then begin
+            let due, future =
+              List.partition
+                (fun (r, _, _, _, _, _) -> r <= eng.current_round)
+                !dq
+            in
+            dq := future;
+            dq_min :=
+              List.fold_left
+                (fun m (r, _, _, _, _, _) -> min m r)
+                max_int future;
+            let due =
+              List.sort
+                (fun (_, s1, _, _, _, _) (_, s2, _, _, _, _) ->
+                  compare s1 s2)
+                due
+            in
+            List.iter
+              (fun (_, _, sender, dest, de, msg) ->
+                charge_wire de (Msg.bits msg);
+                deliver sender dest msg)
+              due
+          end;
+          for d = 0 to d_req - 1 do
+            let a = arenas.(d) in
+            for i = 0 to a.asenders_len - 1 do
+              let v = a.asenders.(i) in
+              p.queued.(v) <- false;
+              let ob = p.outbox.(v) in
+              for j = ob.len - 1 downto 0 do
+                let dest = ob.ids.(j) and de = ob.eids.(j) in
+                let msg = ob.msgs.(j) in
+                let b = Msg.bits msg in
+                if is_crashed v then
+                  (* The sender went down with this frame still queued:
+                     nothing ever reaches the wire. *)
+                  drop_one ()
+                else
+                  match
+                    Faults.draw fp ~edge:de ~round:eng.current_round
+                      ~k:(next_k de)
+                  with
+                  | Faults.Deliver ->
+                      charge_wire de b;
+                      deliver v dest msg
+                  | Faults.Drop ->
+                      charge_wire de b;
+                      drop_one ()
+                  | Faults.Truncate ->
+                      (* A truncated frame occupies at most one full
+                         bandwidth slot on the wire and is undecodable at
+                         the receiver: silence, never corruption. *)
+                      charge_wire de (if b < bw then b else bw);
+                      drop_one ()
+                  | Faults.Duplicate ->
+                      charge_wire de b;
+                      charge_wire de b;
+                      eng.estats.duplicated <- eng.estats.duplicated + 1;
+                      incr round_duplicated;
+                      deliver v dest msg;
+                      deliver v dest msg
+                  | Faults.Delay dl ->
+                      eng.estats.delayed <- eng.estats.delayed + 1;
+                      incr round_delayed;
+                      let due = eng.current_round + dl in
+                      dq := (due, !fseq, v, dest, de, msg) :: !dq;
+                      incr fseq;
+                      if due < !dq_min then dq_min := due
+              done;
+              ob.len <- 0
+            done;
+            a.asenders_len <- 0
           done;
-          ob.len <- 0
-        done;
-        a.asenders_len <- 0
-      done;
+          for i = 0 to !fidx_len - 1 do
+            fidx.(fidx_touched.(i)) <- 0
+          done;
+          fidx_len := 0);
       (* Charge bandwidth per directed edge. *)
       let max_frames = ref 1 in
       for i = 0 to p.touched_len - 1 do
@@ -711,10 +970,17 @@ module Make (Msg : MESSAGE) = struct
       (match eng.telemetry with
       | Some tel ->
           Telemetry.tick tel ~stepped:(total_stepped nd_used) ~domains:nd_used
-            ~bits:!round_bits ~frames:!max_frames ~messages:!round_msgs
+            ~dropped:!round_dropped ~duplicated:!round_duplicated
+            ~delayed:!round_delayed ~crashed:!round_crashed ~bits:!round_bits
+            ~frames:!max_frames ~messages:!round_msgs
       | None -> ());
       check_failures ();
+      merge_failures ();
       merge_rejects ();
+      if has_crash then
+        for d = 0 to nd_used - 1 do
+          culled := !culled + arenas.(d).aculled
+        done;
       (* Compact the surviving blocks into a prefix of [live] (ascending
          blits over ascending blocks — plain memmove). *)
       let dst = ref arenas.(0).akept in
@@ -746,8 +1012,15 @@ module Make (Msg : MESSAGE) = struct
        charged accounting are exactly what the stepped rounds would have
        produced. *)
     let maybe_fast_forward () =
-      if fast_forward && pending_sends () = 0 && !min_wake < max_int then begin
-        let delta = !min_wake - eng.current_round - 1 in
+      (* Under faults, a deferred message's due round bounds the skip just
+         like the earliest waiter does: the round a delayed frame lands in
+         must be simulated.  (Crash windows need no extra cap: a frozen
+         node's effective wake already accounts for its recovery, and
+         crash events landing in a skipped quiescent span are observably
+         identical to the unskipped execution.) *)
+      let wake_target = if !dq_min < !min_wake then !dq_min else !min_wake in
+      if fast_forward && pending_sends () = 0 && wake_target < max_int then begin
+        let delta = wake_target - eng.current_round - 1 in
         let budget = max_rounds - eng.estats.Stats.rounds in
         let delta = if delta > budget then budget else delta in
         if delta > 0 then begin
@@ -766,6 +1039,7 @@ module Make (Msg : MESSAGE) = struct
     (try
        let (_ : int) = run_phase ~start:true n in
        check_failures ();
+       merge_failures ();
        merge_rejects ();
        live_len := 0;
        min_wake := max_int;
@@ -780,19 +1054,36 @@ module Make (Msg : MESSAGE) = struct
        while !running && !live_len > 0 do
          if eng.estats.Stats.rounds >= max_rounds then begin
            running := false;
-           completed := false;
-           finalize ()
+           completed := false
          end
          else begin
            maybe_fast_forward ();
            if eng.estats.Stats.rounds >= max_rounds then begin
              running := false;
-             completed := false;
-             finalize ()
+             completed := false
            end
            else one_round ()
          end
        done;
+       (* Crash events inside a span the final fast-forward jumped over
+          were never seen by [one_round]; count them now (before
+          [finalize] kills the fibers the liveness check reads) so the
+          tally matches a round-by-round execution. *)
+       if has_crash then
+         while
+           !crash_start_i < Array.length crash_starts
+           && fst crash_starts.(!crash_start_i) <= eng.current_round
+         do
+           let _, v = crash_starts.(!crash_start_i) in
+           if conts.(v) <> None then
+             eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
+           incr crash_start_i
+         done;
+       (* Every fiber still parked — a node suspended when [max_rounds]
+          hit, or a crash-stopped node culled from the live list — is
+          discontinued here so finalizers run (a no-op on a clean exit:
+          [conts] is already all-[None]). *)
+       finalize ();
        release_team ();
        if owned then p.in_use <- false
      with e ->
@@ -800,9 +1091,11 @@ module Make (Msg : MESSAGE) = struct
        release_team ();
        if owned then p.in_use <- false;
        raise e);
+    if !culled > 0 || eng.fail_log <> [] then completed := false;
     {
       outputs;
       rejections = List.rev eng.reject_log;
+      failures = List.rev eng.fail_log;
       stats = eng.estats;
       completed = !completed;
     }

@@ -63,7 +63,24 @@
     {!Stats.t.fast_forwarded_rounds}, and emits the same per-round
     telemetry the stepped rounds would have produced.  The round in which
     the earliest waiter expires is always simulated normally, so nominal
-    and charged accounting are unchanged. *)
+    and charged accounting are unchanged.
+
+    {b Fault injection.}  [run ?faults] consults a {!Faults.policy} at
+    delivery time — the serial, deterministically ordered half of a round
+    — to drop, duplicate, delay or truncate individual messages and to
+    crash-stop / crash-recover nodes at scheduled rounds.  Because every
+    decision is a pure function of [(policy, directed edge, round,
+    per-edge message index)], the injected schedule inherits the full
+    determinism contract: byte-identical [Stats] / [Telemetry] / outputs
+    for every [?domains] count and for [fast_forward] on/off.  Protocols
+    observe faults only as silence (lost or late messages, unresponsive
+    neighbors), which is the CONGEST-faithful model; every fault is
+    charged in {!Stats.t.dropped} / [duplicated] / [delayed] /
+    [crashed_nodes].  Two visible semantic changes under an active
+    policy: an inbox is no longer guaranteed sorted by sender (a delayed
+    message arrives before the round's fresh ones), and a run containing
+    a crash-stopped node returns [completed = false] (the node cannot
+    produce an output). *)
 
 module type MESSAGE = sig
   type t
@@ -140,8 +157,15 @@ module Make (Msg : MESSAGE) : sig
         (** full log: [(round, node, reason)] in chronological order.  The
             same node re-recording the same reason in a later round yields
             a separate entry (use {!distinct_rejections} for display). *)
+    failures : (int * int * exn) list;
+        (** [(round, node, exn)] for every node program that raised, in
+            chronological order — non-empty only with [~on_error:`Record]
+            (the default [`Propagate] re-raises instead).  The set of
+            recorded failures is independent of the [?domains] count. *)
     stats : Stats.t;
-    completed : bool;  (** all nodes ran to completion *)
+    completed : bool;
+        (** all nodes ran to completion (false when [max_rounds] hit, a
+            node crash-stopped, or a failure was recorded) *)
   }
 
   (** Deduplicated display view of a rejection log: distinct
@@ -193,6 +217,19 @@ module Make (Msg : MESSAGE) : sig
              pre-optimisation engine.  Accounting is identical either
              way; only {!Stats.t.fast_forwarded_rounds} records that the
              shortcut was taken.
+      @param faults inject deterministic message/node faults drawn from
+             the policy's splittable PRNG (default: none).  See
+             {e Fault injection} in the module preamble.  Passing
+             {!Faults.none} is byte-identical to omitting the argument.
+      @param on_error what to do when a node program raises.
+             [`Propagate] (the default) discontinues every other node and
+             re-raises the exception of the lowest failing node id —
+             historical behavior.  [`Record] contains the failure: the
+             node dies (its output stays [None]), the round keeps
+             stepping, and {e all} failing nodes are reported in
+             [result.failures] — the recorded set is the same for every
+             [?domains] count, closing the only-one-exception-observable
+             gap of [`Propagate].
       @param pool reuse preallocated delivery state (must come from
              [pool g] on the same graph value). *)
   val run :
@@ -203,6 +240,8 @@ module Make (Msg : MESSAGE) : sig
     ?telemetry:Telemetry.t ->
     ?domains:int ->
     ?fast_forward:bool ->
+    ?faults:Faults.policy ->
+    ?on_error:[ `Propagate | `Record ] ->
     ?pool:pool ->
     Graphlib.Graph.t ->
     (ctx -> 'o) ->

@@ -1,0 +1,240 @@
+type crash = { node : int; from_round : int; until_round : int }
+
+type policy = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  truncate : float;
+  crashes : crash list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    max_delay = 3;
+    truncate = 0.0;
+    crashes = [];
+  }
+
+let is_none p =
+  p.drop = 0.0 && p.duplicate = 0.0 && p.delay = 0.0 && p.truncate = 0.0
+  && p.crashes = []
+
+let active = function None -> false | Some p -> not (is_none p)
+
+let make ?(seed = 0) ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0)
+    ?(max_delay = 3) ?(truncate = 0.0) ?(crashes = []) () =
+  let prob name x =
+    if not (x >= 0.0 && x <= 1.0) then
+      invalid_arg (Printf.sprintf "Faults.make: %s must be in [0,1]" name)
+  in
+  prob "drop" drop;
+  prob "duplicate" duplicate;
+  prob "delay" delay;
+  prob "truncate" truncate;
+  if drop +. duplicate +. delay +. truncate > 1.0 then
+    invalid_arg "Faults.make: probabilities must sum to <= 1";
+  if max_delay < 1 then invalid_arg "Faults.make: max_delay must be >= 1";
+  List.iter
+    (fun c ->
+      if c.node < 0 then invalid_arg "Faults.make: crash node must be >= 0";
+      if c.until_round <> max_int && c.until_round <= c.from_round then
+        invalid_arg "Faults.make: crash recovery must come after the crash")
+    crashes;
+  (* Crash rounds start at 1: round 0 is [Ctx.start], before any delivery,
+     and a node "crashed at round 0" is better modelled by removing it from
+     the input graph. *)
+  let crashes =
+    List.map (fun c -> { c with from_round = max 1 c.from_round }) crashes
+  in
+  { seed; drop; duplicate; delay; max_delay; truncate; crashes }
+
+(* ------------------------------------------------------------------ *)
+(* SPEC parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_spec s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let fields =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  let float_of name v =
+    match float_of_string_opt v with
+    | Some x when x >= 0.0 && x <= 1.0 -> Ok x
+    | _ -> err "faults: %s wants a probability in [0,1], got %S" name v
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> err "faults: expected key=value, got %S" f
+        | Some i -> (
+            let key = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            let prob set =
+              match float_of key v with
+              | Ok x -> go (set acc x) rest
+              | Error _ as e -> e
+            in
+            match key with
+            | "drop" -> prob (fun p x -> { p with drop = x })
+            | "dup" -> prob (fun p x -> { p with duplicate = x })
+            | "delay" -> prob (fun p x -> { p with delay = x })
+            | "trunc" -> prob (fun p x -> { p with truncate = x })
+            | "maxdelay" -> (
+                match int_of_string_opt v with
+                | Some d when d >= 1 -> go { acc with max_delay = d } rest
+                | _ -> err "faults: maxdelay wants a positive int, got %S" v)
+            | "seed" -> (
+                match int_of_string_opt v with
+                | Some sd -> go { acc with seed = sd } rest
+                | None -> err "faults: seed wants an int, got %S" v)
+            | "crash" -> (
+                (* NODE@FROM or NODE@FROM-UNTIL *)
+                match String.index_opt v '@' with
+                | None -> err "faults: crash wants NODE@FROM[-UNTIL], got %S" v
+                | Some j -> (
+                    let node = String.sub v 0 j in
+                    let when_ =
+                      String.sub v (j + 1) (String.length v - j - 1)
+                    in
+                    let from_s, until_s =
+                      match String.index_opt when_ '-' with
+                      | None -> (when_, None)
+                      | Some k ->
+                          ( String.sub when_ 0 k,
+                            Some
+                              (String.sub when_ (k + 1)
+                                 (String.length when_ - k - 1)) )
+                    in
+                    match
+                      ( int_of_string_opt node,
+                        int_of_string_opt from_s,
+                        Option.map int_of_string_opt until_s )
+                    with
+                    | Some node, Some from_round, (None | Some (Some _)) ->
+                        let until_round =
+                          match until_s with
+                          | None -> max_int
+                          | Some u -> int_of_string u
+                        in
+                        if node < 0 then
+                          err "faults: crash node must be >= 0, got %d" node
+                        else if until_round <> max_int && until_round <= from_round
+                        then
+                          err
+                            "faults: crash recovery round must exceed the \
+                             crash round in %S"
+                            v
+                        else
+                          go
+                            {
+                              acc with
+                              crashes =
+                                acc.crashes @ [ { node; from_round; until_round } ];
+                            }
+                            rest
+                    | _ -> err "faults: crash wants NODE@FROM[-UNTIL], got %S" v)
+                )
+            | _ -> err "faults: unknown key %S" key))
+  in
+  match go none fields with
+  | Error _ as e -> e
+  | Ok p -> (
+      try
+        Ok
+          (make ~seed:p.seed ~drop:p.drop ~duplicate:p.duplicate ~delay:p.delay
+             ~max_delay:p.max_delay ~truncate:p.truncate ~crashes:p.crashes ())
+      with Invalid_argument m -> Error m)
+
+let to_spec p =
+  let b = Buffer.create 64 in
+  let sep () = if Buffer.length b > 0 then Buffer.add_char b ',' in
+  let fprob k x =
+    if x <> 0.0 then (
+      sep ();
+      Buffer.add_string b (Printf.sprintf "%s=%g" k x))
+  in
+  fprob "drop" p.drop;
+  fprob "dup" p.duplicate;
+  fprob "delay" p.delay;
+  fprob "trunc" p.truncate;
+  if p.delay <> 0.0 && p.max_delay <> none.max_delay then (
+    sep ();
+    Buffer.add_string b (Printf.sprintf "maxdelay=%d" p.max_delay));
+  if p.seed <> 0 then (
+    sep ();
+    Buffer.add_string b (Printf.sprintf "seed=%d" p.seed));
+  List.iter
+    (fun c ->
+      sep ();
+      if c.until_round = max_int then
+        Buffer.add_string b (Printf.sprintf "crash=%d@%d" c.node c.from_round)
+      else
+        Buffer.add_string b
+          (Printf.sprintf "crash=%d@%d-%d" c.node c.from_round c.until_round))
+    p.crashes;
+  if Buffer.length b = 0 then "none" else Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Splittable PRNG                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64 finalizer: each message's stream position is the hash of
+   (seed, edge, round, k), so the draw for a given message is a pure
+   function of its identity — no shared mutable generator state, hence no
+   dependence on domain count or scheduling order. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let hash4 a b c d =
+  let open Int64 in
+  let h = mix64 (add (of_int a) golden) in
+  let h = mix64 (add (logxor h (of_int b)) golden) in
+  let h = mix64 (add (logxor h (of_int c)) golden) in
+  mix64 (add (logxor h (of_int d)) golden)
+
+(* Uniform in [0,1) from the top 53 bits. *)
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+type outcome = Deliver | Drop | Duplicate | Delay of int | Truncate
+
+let draw p ~edge ~round ~k =
+  let h = hash4 p.seed edge round k in
+  let u = u01 h in
+  if u < p.drop then Drop
+  else if u < p.drop +. p.duplicate then Duplicate
+  else if u < p.drop +. p.duplicate +. p.delay then
+    (* A second independent draw picks the lateness in 1..max_delay. *)
+    let h2 = mix64 (Int64.add h golden) in
+    Delay (1 + Int64.to_int (Int64.rem (Int64.shift_right_logical h2 1)
+                               (Int64.of_int p.max_delay)))
+  else if u < p.drop +. p.duplicate +. p.delay +. p.truncate then Truncate
+  else Deliver
+
+let crash_schedule p ~n =
+  let relevant = List.filter (fun c -> c.node < n) p.crashes in
+  if relevant = [] then None
+  else begin
+    let from = Array.make n max_int in
+    let until = Array.make n max_int in
+    List.iter
+      (fun c ->
+        from.(c.node) <- c.from_round;
+        until.(c.node) <- c.until_round)
+      relevant;
+    Some (from, until)
+  end
+
+exception Degraded of string

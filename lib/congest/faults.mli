@@ -1,0 +1,98 @@
+(** Deterministic, seeded fault injection for the CONGEST engine.
+
+    A {!policy} describes benign network misbehaviour — message drops,
+    duplications, bounded delays, truncations — plus a schedule of node
+    crash-stop / crash-recover events.  The engine consults the policy at
+    {e delivery} time (the serial, deterministically ordered half of a
+    round), so the injected fault schedule is a pure function of
+    [(policy, directed edge, round, per-edge message index)] and is
+    byte-identical for every [?domains] count and for [fast_forward]
+    on/off, extending the PR 2 determinism contract.
+
+    Protocols are never told about faults: a dropped or truncated message
+    is silence, a crashed node simply stops participating — the
+    CONGEST-faithful model.  Every injected fault is charged honestly in
+    {!Stats} ([dropped] / [duplicated] / [delayed] / [crashed_nodes]) and
+    {!Telemetry}. *)
+
+type crash = {
+  node : int;  (** node id to crash *)
+  from_round : int;  (** first round (1-based) the node is down; clamped to >= 1 *)
+  until_round : int;
+      (** first round the node is back up; [max_int] = crash-stop forever *)
+}
+
+type policy = {
+  seed : int;  (** root seed of the splittable fault PRNG *)
+  drop : float;  (** per-message drop probability *)
+  duplicate : float;  (** per-message duplication probability *)
+  delay : float;  (** per-message delay probability *)
+  max_delay : int;  (** delayed messages arrive 1..max_delay rounds late *)
+  truncate : float;
+      (** per-message truncation probability; a truncated message is
+          charged on the wire but never delivered (surfaces as silence,
+          counted under [dropped] — never as silent corruption) *)
+  crashes : crash list;
+}
+
+val none : policy
+(** The identity policy: nothing ever fires.  Running with [~faults:none]
+    is byte-identical to running without [?faults]. *)
+
+val is_none : policy -> bool
+(** [true] iff no fault of any kind can ever fire under this policy. *)
+
+val active : policy option -> bool
+(** [active f] is [true] iff [f] is [Some p] with [not (is_none p)]. *)
+
+val make :
+  ?seed:int ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay:float ->
+  ?max_delay:int ->
+  ?truncate:float ->
+  ?crashes:crash list ->
+  unit ->
+  policy
+(** Build a policy; probabilities are validated to lie in [[0, 1]] with
+    [drop +. duplicate +. delay +. truncate <= 1.0], [max_delay >= 1].
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val of_spec : string -> (policy, string) result
+(** Parse a command-line fault SPEC: comma-separated [key=value] fields.
+
+    Keys: [drop], [dup], [delay], [trunc] (probabilities in [[0,1]]);
+    [maxdelay] (positive int, default 3); [seed] (int, default 0);
+    [crash=NODE\@FROM] (crash-stop) or [crash=NODE\@FROM-UNTIL]
+    (crash-recover at round UNTIL); [crash] may repeat.
+
+    Example: ["drop=0.1,dup=0.02,delay=0.05,maxdelay=4,seed=7,crash=3\@10-20"]. *)
+
+val to_spec : policy -> string
+(** Render a policy back into a canonical SPEC string ([of_spec]-parsable). *)
+
+type outcome =
+  | Deliver
+  | Drop
+  | Duplicate
+  | Delay of int  (** deliver this many rounds late (>= 1) *)
+  | Truncate
+
+val draw : policy -> edge:int -> round:int -> k:int -> outcome
+(** The fault decision for the [k]-th message carried by directed edge
+    [edge] during round [round].  Pure: depends only on the arguments and
+    [policy] — independent of domain count, scheduling and fast-forward. *)
+
+val crash_schedule : policy -> n:int -> (int array * int array) option
+(** [crash_schedule p ~n] precomputes per-node crash windows for an
+    [n]-node graph: [Some (from, until)] where node [v] is down during
+    rounds [from.(v) <= r < until.(v)] ([from.(v) = max_int] if [v] never
+    crashes).  [None] when the policy schedules no crash on any node in
+    range.  Later [crashes] entries for the same node win. *)
+
+exception Degraded of string
+(** Raised (by higher layers, e.g. [Partition.Prims]) when a protocol run
+    under an active fault policy could not produce a trustworthy result.
+    The planarity tester converts it into an explicit [Degraded] verdict —
+    never a silent flip to [Reject]. *)

@@ -17,6 +17,13 @@ type t = {
       (** of [rounds], how many were provably quiescent and advanced in O(1)
           by the engine instead of being stepped; included in [rounds] and
           [charged_rounds], so nominal accounting is unchanged *)
+  mutable dropped : int;
+      (** messages the fault layer destroyed (drops, truncations, and
+          deliveries to/from a crashed node); still charged on the wire *)
+  mutable duplicated : int;  (** extra copies injected by the fault layer *)
+  mutable delayed : int;  (** messages the fault layer deferred by >= 1 round *)
+  mutable crashed_nodes : int;
+      (** crash events that actually took effect during the run *)
   bandwidth : int;
 }
 
@@ -35,5 +42,9 @@ val frames : bandwidth:int -> int -> int
 (** [add_into acc s] accumulates the counters of [s] into [acc] (used when
     an algorithm is a sequence of engine runs). *)
 val add_into : t -> t -> unit
+
+(** [faults_fired t] is [true] iff any fault-layer counter is non-zero —
+    i.e. the run's outcome may have been influenced by injected faults. *)
+val faults_fired : t -> bool
 
 val pp : Format.formatter -> t -> unit

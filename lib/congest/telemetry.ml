@@ -102,6 +102,10 @@ type phase_rec = {
   mutable parallel_rounds : int;
   mutable fast_forwarded : int;
   mutable max_domains : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable crashed : int;
   bits_series : Ivec.t;
   frames_series : Ivec.t;
   msgs_series : Ivec.t;
@@ -125,6 +129,10 @@ let fresh_phase label =
     parallel_rounds = 0;
     fast_forwarded = 0;
     max_domains = 1;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    crashed = 0;
     bits_series = Ivec.create ();
     frames_series = Ivec.create ();
     msgs_series = Ivec.create ();
@@ -137,13 +145,18 @@ let phase t label =
   if t.cur.rounds > 0 then t.closed <- t.cur :: t.closed;
   t.cur <- fresh_phase label
 
-let tick ?(stepped = 0) ?(domains = 1) t ~bits ~frames ~messages =
+let tick ?(stepped = 0) ?(domains = 1) ?(dropped = 0) ?(duplicated = 0)
+    ?(delayed = 0) ?(crashed = 0) t ~bits ~frames ~messages =
   let p = t.cur in
   p.rounds <- p.rounds + 1;
   p.frames <- p.frames + frames;
   p.bits <- p.bits + bits;
   p.messages <- p.messages + messages;
   p.stepped <- p.stepped + stepped;
+  p.dropped <- p.dropped + dropped;
+  p.duplicated <- p.duplicated + duplicated;
+  p.delayed <- p.delayed + delayed;
+  p.crashed <- p.crashed + crashed;
   if domains > 1 then p.parallel_rounds <- p.parallel_rounds + 1;
   if domains > p.max_domains then p.max_domains <- domains;
   if t.series then begin
@@ -174,6 +187,10 @@ type phase_view = {
   parallel_rounds : int;
   fast_forwarded : int;
   max_domains : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed : int;
 }
 
 let all_phases t =
@@ -192,6 +209,10 @@ let phases t =
         parallel_rounds = p.parallel_rounds;
         fast_forwarded = p.fast_forwarded;
         max_domains = p.max_domains;
+        dropped = p.dropped;
+        duplicated = p.duplicated;
+        delayed = p.delayed;
+        crashed = p.crashed;
       })
     (all_phases t)
 
@@ -205,6 +226,10 @@ let stats_json (s : Stats.t) =
       ("max_edge_bits", Json.Int s.Stats.max_edge_bits);
       ("oversized", Json.Int s.Stats.oversized);
       ("fast_forwarded_rounds", Json.Int s.Stats.fast_forwarded_rounds);
+      ("dropped", Json.Int s.Stats.dropped);
+      ("duplicated", Json.Int s.Stats.duplicated);
+      ("delayed", Json.Int s.Stats.delayed);
+      ("crashed_nodes", Json.Int s.Stats.crashed_nodes);
       ("bandwidth", Json.Int s.Stats.bandwidth);
     ]
 
@@ -221,6 +246,10 @@ let to_json t =
         ("parallel_rounds", Json.Int p.parallel_rounds);
         ("fast_forwarded", Json.Int p.fast_forwarded);
         ("max_domains", Json.Int p.max_domains);
+        ("dropped", Json.Int p.dropped);
+        ("duplicated", Json.Int p.duplicated);
+        ("delayed", Json.Int p.delayed);
+        ("crashed", Json.Int p.crashed);
       ]
     in
     let series =

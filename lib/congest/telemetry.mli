@@ -53,9 +53,21 @@ val phase : t -> string -> unit
     [stepped] is the number of node fibers actually resumed this round
     (defaults to 0 for callers that do not track it); [domains] is the
     number of domains that participated in stepping the round (1 when
-    the round ran serially). *)
+    the round ran serially).  [dropped] / [duplicated] / [delayed] /
+    [crashed] record fault-layer events charged to this round (all
+    default to 0; see {!Faults}). *)
 val tick :
-  ?stepped:int -> ?domains:int -> t -> bits:int -> frames:int -> messages:int -> unit
+  ?stepped:int ->
+  ?domains:int ->
+  ?dropped:int ->
+  ?duplicated:int ->
+  ?delayed:int ->
+  ?crashed:int ->
+  t ->
+  bits:int ->
+  frames:int ->
+  messages:int ->
+  unit
 
 (** [fast_forward t ~rounds] records [rounds] provably-quiescent rounds
     that the engine advanced in O(1) instead of stepping.  Each is
@@ -75,6 +87,10 @@ type phase_view = {
   parallel_rounds : int;  (** rounds stepped by more than one domain *)
   fast_forwarded : int;  (** of [rounds], how many were fast-forwarded *)
   max_domains : int;  (** peak domains used on any round (>= 1) *)
+  dropped : int;  (** fault layer: messages destroyed in this phase *)
+  duplicated : int;  (** fault layer: extra copies injected *)
+  delayed : int;  (** fault layer: messages deferred by >= 1 round *)
+  crashed : int;  (** fault layer: crash events taking effect *)
 }
 
 (** Phases in chronological order, empty phases dropped. *)
@@ -85,8 +101,8 @@ val stats_json : Stats.t -> Json.t
 
 (** Full JSON view: [{"phases": [{"label", "rounds", "frames", "bits",
     "messages", "stepped", "parallel_rounds", "fast_forwarded",
-    "max_domains", "series"?: {"bits", "frames", "messages",
-    "stepped"}}]}].  The ["series"] member is present iff the telemetry
-    was created with [series:true]; each series has one entry per
-    recorded round. *)
+    "max_domains", "dropped", "duplicated", "delayed", "crashed",
+    "series"?: {"bits", "frames", "messages", "stepped"}}]}].  The
+    ["series"] member is present iff the telemetry was created with
+    [series:true]; each series has one entry per recorded round. *)
 val to_json : t -> Json.t

@@ -28,11 +28,20 @@ let wait_rounds ctx ~budget on_inbox =
 let run_program ?(seed = 0) (st : State.t) program =
   let res =
     Eng.run ~seed ?telemetry:st.State.telemetry ~domains:st.State.domains
-      ~fast_forward:st.State.fast_forward ~pool:st.State.pool st.State.graph
+      ~fast_forward:st.State.fast_forward ?faults:st.State.faults
+      ~pool:st.State.pool st.State.graph
       (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
   in
-  if not res.Eng.completed then failwith "Prims: node program did not complete";
+  (* Charge before judging completion: a degraded run's rounds and fault
+     counters must still land in [st.stats] so higher layers can report
+     honestly what happened on the wire. *)
   Congest.Stats.add_into st.State.stats res.Eng.stats;
+  if not res.Eng.completed then
+    if Congest.Faults.active st.State.faults then
+      raise
+        (Congest.Faults.Degraded
+           "Prims: node program did not complete under fault injection")
+    else failwith "Prims: node program did not complete";
   (* Keep every (round, node, reason) entry: identical rejections from
      different rounds must not collapse (display paths dedup later). *)
   st.State.rejections <-

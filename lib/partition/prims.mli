@@ -16,6 +16,7 @@ module Eng : sig
   type 'o result = {
     outputs : 'o option array;
     rejections : (int * int * string) list;  (** (round, node, reason) *)
+    failures : (int * int * exn) list;  (** (round, node, exn) *)
     stats : Congest.Stats.t;
     completed : bool;
   }
@@ -67,7 +68,10 @@ val boundary :
 (** [run_program st program] escape hatch: run an arbitrary node program
     over the state's graph, accumulating stats.  [program] receives the
     engine context and this node's state.  [seed] feeds the per-node
-    random states. *)
+    random states.  When [st.faults] is an active policy the engine
+    injects its fault schedule; a run that cannot complete under it (a
+    crash-stopped node, or [max_rounds]) raises
+    {!Congest.Faults.Degraded} after still accumulating the run's stats. *)
 val run_program :
   ?seed:int -> State.t -> (Eng.ctx -> State.node -> unit) -> unit
 

@@ -16,6 +16,7 @@ type result = {
   phases : phase_trace list;
   rounds : int;
   nominal_rounds : int;
+  degraded : string option;
 }
 
 let phases_for ~eps ~alpha =
@@ -71,12 +72,14 @@ let nominal_phase_rounds ~n ~phase =
   (fd + cv + merge_steps) * per_step
 
 let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
-    ?telemetry ?(domains = 1) ?(fast_forward = true) g ~eps =
+    ?telemetry ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
   let st = State.create g in
   st.State.telemetry <- telemetry;
   st.State.domains <- domains;
   st.State.fast_forward <- fast_forward;
+  st.State.faults <- faults;
+  let faults_active = Congest.Faults.active faults in
   let n = Graph.n g and m = Graph.m g in
   let target = eps *. float_of_int m /. 2.0 in
   let t = phases_for ~eps ~alpha in
@@ -84,42 +87,54 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
   let phases = ref [] in
   let phase = ref 1 in
   let stop = ref false in
-  while (not !stop) && !phase <= t do
-    Option.iter
-      (fun tel ->
-        Congest.Telemetry.phase tel (Printf.sprintf "stage1-phase-%d" !phase))
-      telemetry;
-    let cut_before = State.cut_edges st in
-    Prims.refresh_roots st;
-    let budget = max 1 (State.max_depth st) in
-    let fd_super_rounds =
-      Forest_decomp.run st ~alpha ~super_rounds:sr ~budget
-    in
-    st.State.nominal_rounds <-
-      st.State.nominal_rounds + nominal_phase_rounds ~n ~phase:!phase;
-    if st.State.rejections <> [] then stop := true
-    else begin
-      Merge.run st ~budget;
-      let cut_after = State.cut_edges st in
-      phases :=
-        {
-          phase = !phase;
-          cut_before;
-          cut_after;
-          max_diameter = (if measure_diameters then max_part_diameter st else -1);
-          max_tree_depth = State.max_depth st;
-          parts = List.length (State.parts st);
-          fd_super_rounds;
-        }
-        :: !phases;
-      if stop_when_met && float_of_int cut_after <= target then stop := true;
-      incr phase
-    end
-  done;
+  let degraded = ref None in
+  (try
+     while (not !stop) && !phase <= t do
+       Option.iter
+         (fun tel ->
+           Congest.Telemetry.phase tel (Printf.sprintf "stage1-phase-%d" !phase))
+         telemetry;
+       let cut_before = State.cut_edges st in
+       Prims.refresh_roots st;
+       let budget = max 1 (State.max_depth st) in
+       let fd_super_rounds =
+         Forest_decomp.run st ~alpha ~super_rounds:sr ~budget
+       in
+       st.State.nominal_rounds <-
+         st.State.nominal_rounds + nominal_phase_rounds ~n ~phase:!phase;
+       if st.State.rejections <> [] then stop := true
+       else begin
+         Merge.run st ~budget;
+         let cut_after = State.cut_edges st in
+         phases :=
+           {
+             phase = !phase;
+             cut_before;
+             cut_after;
+             max_diameter = (if measure_diameters then max_part_diameter st else -1);
+             max_tree_depth = State.max_depth st;
+             parts = List.length (State.parts st);
+             fd_super_rounds;
+           }
+           :: !phases;
+         if stop_when_met && float_of_int cut_after <= target then stop := true;
+         incr phase
+       end
+     done
+   with
+  | Congest.Faults.Degraded msg -> degraded := Some msg
+  | e when faults_active ->
+      (* Under an active fault policy the emulation's lockstep assumptions
+         no longer hold: a dropped or duplicated tree message surfaces as a
+         protocol-level failure ([failwith]/[assert]) somewhere inside a
+         primitive.  That is a degraded execution, never a verdict. *)
+      degraded :=
+        Some ("Stage I interrupted under faults: " ^ Printexc.to_string e));
   {
     state = st;
     rejected = st.State.rejections;
     phases = List.rev !phases;
     rounds = st.State.stats.Congest.Stats.rounds;
     nominal_rounds = st.State.nominal_rounds;
+    degraded = !degraded;
   }

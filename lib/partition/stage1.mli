@@ -27,6 +27,11 @@ type result = {
   nominal_rounds : int;
       (** rounds of the paper's fixed schedule ([Theta (log n)] super-rounds
           per phase, each budgeted by the [4^i] diameter bound) *)
+  degraded : string option;
+      (** [Some reason] when an active fault policy prevented the emulation
+          from completing (crash-stopped node, broken lockstep assumption);
+          the partial [state]/[phases] describe the work done before the
+          breakdown, and [rejected] must not be trusted as evidence *)
 }
 
 (** Maximum number of phases for a distance parameter [eps]:
@@ -52,7 +57,11 @@ val phases_for : eps:float -> alpha:int -> int
            value — see {!Congest.Engine}).
     @param fast_forward skip provably quiescent rounds in O(1) (default
            [true]; accounting is identical either way — disable only to
-           measure the optimisation). *)
+           measure the optimisation).
+    @param faults inject a deterministic fault schedule into every engine
+           run (see {!Congest.Faults}).  A fault-broken execution returns
+           with [degraded = Some _] instead of raising; rejections found
+           under faults are not trustworthy evidence. *)
 val run :
   ?alpha:int ->
   ?stop_when_met:bool ->
@@ -60,6 +69,7 @@ val run :
   ?telemetry:Congest.Telemetry.t ->
   ?domains:int ->
   ?fast_forward:bool ->
+  ?faults:Congest.Faults.policy ->
   Graphlib.Graph.t ->
   eps:float ->
   result

@@ -41,6 +41,7 @@ type t = {
   mutable telemetry : Congest.Telemetry.t option;
   mutable domains : int;
   mutable fast_forward : bool;
+  mutable faults : Congest.Faults.policy option;
 }
 
 let create g =
@@ -85,6 +86,7 @@ let create g =
     telemetry = None;
     domains = 1;
     fast_forward = true;
+    faults = None;
   }
 
 let node st v = st.nodes.(v)

@@ -79,6 +79,11 @@ type t = {
       (** when [true] (the default) engine runs skip provably quiescent
           rounds in O(1); disable only to measure the optimisation's
           effect — accounting is identical either way *)
+  mutable faults : Congest.Faults.policy option;
+      (** when set to an active policy, every engine run through {!Prims}
+          injects the deterministic fault schedule it describes; a run
+          that cannot complete under it raises {!Congest.Faults.Degraded}
+          rather than failing silently *)
 }
 
 (** Fresh state: singleton parts, every node the root of its own part. *)

@@ -2,17 +2,25 @@ module Json = Congest.Telemetry.Json
 module PT = Tester.Planarity_tester
 
 let stats_schema = "planartest.stats/v1"
+let stats_schema_v2 = "planartest.stats/v2"
 let bench_schema = "bench.planarity/v1"
 
-let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry (r : PT.report) =
-  let verdict, rejections =
+let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults (r : PT.report) =
+  let verdict, rejections, degraded_reason =
     match r.PT.verdict with
-    | PT.Accept -> ("accept", [])
-    | PT.Reject l -> ("reject", l)
+    | PT.Accept -> ("accept", [], None)
+    | PT.Reject l -> ("reject", l, None)
+    | PT.Degraded msg -> ("degraded", [], Some msg)
   in
-  Json.Obj
+  (* v1, byte-compatible with the pre-faults emitter, is produced whenever
+     no fault policy is supplied.  A [Degraded] verdict can only arise
+     under a policy, so v1 documents keep their two-value verdict. *)
+  let base =
     [
-      ("schema", Json.String stats_schema);
+      ( "schema",
+        Json.String
+          (match faults with None -> stats_schema | Some _ -> stats_schema_v2)
+      );
       ("graph", Json.Obj [ ("n", Json.Int n); ("m", Json.Int m) ]);
       ("eps", Json.Float eps);
       ("seed", Json.Int seed);
@@ -30,11 +38,38 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry (r : PT.report) =
       ("messages", Json.Int r.PT.messages);
       ("total_bits", Json.Int r.PT.total_bits);
       ("fast_forwarded_rounds", Json.Int r.PT.fast_forwarded_rounds);
+    ]
+  in
+  let faults_block =
+    match faults with
+    | None -> []
+    | Some p ->
+        [
+          ( "faults",
+            Json.Obj
+              [
+                ("spec", Json.String (Congest.Faults.to_spec p));
+                ("seed", Json.Int p.Congest.Faults.seed);
+                ("dropped", Json.Int r.PT.dropped);
+                ("duplicated", Json.Int r.PT.duplicated);
+                ("delayed", Json.Int r.PT.delayed);
+                ("crashed_nodes", Json.Int r.PT.crashed_nodes);
+                ( "degraded_reason",
+                  match degraded_reason with
+                  | Some msg -> Json.String msg
+                  | None -> Json.Null );
+              ] );
+        ]
+  in
+  let telemetry_slot =
+    [
       ( "telemetry",
         match telemetry with
         | Some tel -> Congest.Telemetry.to_json tel
         | None -> Json.Null );
     ]
+  in
+  Json.Obj (base @ faults_block @ telemetry_slot)
 
 let bench_envelope ~quick ~jobs ~domains experiments =
   Json.Obj

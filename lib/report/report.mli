@@ -11,12 +11,27 @@ module Json = Congest.Telemetry.Json
 (** ["planartest.stats/v1"] *)
 val stats_schema : string
 
+(** ["planartest.stats/v2"] *)
+val stats_schema_v2 : string
+
 (** ["bench.planarity/v1"] *)
 val bench_schema : string
 
-(** [tester_stats ~n ~m ~eps ~seed ~domains ?telemetry report] is the
-    [planartest.stats/v1] document for one tester run.  The ["telemetry"]
-    member is [null] when no telemetry was recorded. *)
+(** [tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults report] is
+    the stats document for one tester run.  The ["telemetry"] member is
+    [null] when no telemetry was recorded.
+
+    {b v1 → v2 compatibility.}  Without [?faults] the emitted document is
+    the unchanged [planartest.stats/v1] — same keys, same order, same
+    types, two-value ["verdict"] ([accept] / [reject]).  With [?faults]
+    the schema tag becomes [planartest.stats/v2], which is v1 plus one
+    additional ["faults"] object (keys [spec], [seed], [dropped],
+    [duplicated], [delayed], [crashed_nodes], [degraded_reason]) inserted
+    before ["telemetry"], and the ["verdict"] member may additionally be
+    ["degraded"] (in which case ["rejections"] is empty and
+    [faults.degraded_reason] is a string instead of [null]).  A v1
+    consumer that ignores unknown keys reads every v1 field of a v2
+    document unchanged. *)
 val tester_stats :
   n:int ->
   m:int ->
@@ -24,6 +39,7 @@ val tester_stats :
   seed:int ->
   domains:int ->
   ?telemetry:Congest.Telemetry.t ->
+  ?faults:Congest.Faults.policy ->
   Tester.Planarity_tester.report ->
   Json.t
 

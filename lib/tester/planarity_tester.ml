@@ -1,4 +1,4 @@
-type verdict = Accept | Reject of (int * string) list
+type verdict = Accept | Reject of (int * string) list | Degraded of string
 
 type partition_mode = Stage_one | Exponential_shifts
 
@@ -11,17 +11,22 @@ type report = {
   messages : int;
   total_bits : int;
   fast_forwarded_rounds : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed_nodes : int;
 }
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry
-    ?(domains = 1) ?(fast_forward = true) g ~eps =
+    ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
+  let faults_active = Congest.Faults.active faults in
   let stage1, st =
     match partition with
     | Stage_one ->
         let r =
           Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ~domains
-            ~fast_forward g ~eps
+            ~fast_forward ?faults g ~eps
         in
         (Some r, r.Partition.Stage1.state)
     | Exponential_shifts ->
@@ -30,38 +35,82 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
         st.Partition.State.telemetry <- telemetry;
         st.Partition.State.domains <- domains;
         st.Partition.State.fast_forward <- fast_forward;
+        (* Like telemetry/domains, faults apply to the engine runs issued
+           from here on (Stage II); the centralized En clustering above
+           already ran. *)
+        st.Partition.State.faults <- faults;
         (None, st)
   in
+  let degraded = ref None in
+  (match stage1 with
+  | Some r -> degraded := r.Partition.Stage1.degraded
+  | None -> ());
   let partition_rejected =
     match stage1 with
     | Some r -> r.Partition.Stage1.rejected <> []
     | None -> false
   in
+  (* Under an active policy, a fault can corrupt the partition state in
+     ways Stage II would misread as planarity violations; verify the
+     state centrally and degrade loudly instead of testing on garbage. *)
+  if !degraded = None && faults_active && not partition_rejected then (
+    try Partition.State.check_invariants st
+    with Failure msg ->
+      degraded := Some (Printf.sprintf "partition state corrupted: %s" msg));
   let stage2 =
-    if not partition_rejected then begin
+    if !degraded = None && not partition_rejected then begin
       Option.iter
         (fun tel -> Congest.Telemetry.phase tel "stage2")
         telemetry;
-      Some (Stage2.run ~embedding st ~eps ~seed)
+      try Some (Stage2.run ~embedding st ~eps ~seed) with
+      | Congest.Faults.Degraded msg ->
+          degraded := Some msg;
+          None
+      | e when faults_active ->
+          degraded :=
+            Some ("Stage II interrupted under faults: " ^ Printexc.to_string e);
+          None
     end
     else None
   in
+  let stats = st.Partition.State.stats in
   let rejections = st.Partition.State.rejections in
+  let verdict =
+    match !degraded with
+    | Some msg -> Degraded msg
+    | None ->
+        if rejections = [] then Accept
+        else if faults_active && Congest.Stats.faults_fired stats then
+          (* One-sided error by construction: rejection evidence gathered
+             while the fault layer was interfering could be an artifact of
+             a lost or duplicated message, so it is not trustworthy.  A
+             planar input therefore never outputs [Reject] under faults —
+             it accepts, or degrades explicitly. *)
+          Degraded
+            (Printf.sprintf
+               "rejection evidence found while faults were active (%d \
+                dropped, %d duplicated, %d delayed, %d crashed) — not \
+                trustworthy"
+               stats.Congest.Stats.dropped stats.Congest.Stats.duplicated
+               stats.Congest.Stats.delayed stats.Congest.Stats.crashed_nodes)
+        else Reject (List.sort_uniq compare rejections)
+  in
   {
-    verdict =
-      (if rejections = [] then Accept
-       else Reject (List.sort_uniq compare rejections));
+    verdict;
     stage1;
     stage2;
-    rounds = st.Partition.State.stats.Congest.Stats.rounds;
+    rounds = stats.Congest.Stats.rounds;
     nominal_rounds = st.Partition.State.nominal_rounds;
-    messages = st.Partition.State.stats.Congest.Stats.messages;
-    total_bits = st.Partition.State.stats.Congest.Stats.total_bits;
-    fast_forwarded_rounds =
-      st.Partition.State.stats.Congest.Stats.fast_forwarded_rounds;
+    messages = stats.Congest.Stats.messages;
+    total_bits = stats.Congest.Stats.total_bits;
+    fast_forwarded_rounds = stats.Congest.Stats.fast_forwarded_rounds;
+    dropped = stats.Congest.Stats.dropped;
+    duplicated = stats.Congest.Stats.duplicated;
+    delayed = stats.Congest.Stats.delayed;
+    crashed_nodes = stats.Congest.Stats.crashed_nodes;
   }
 
 let accepts ?seed ?partition g ~eps =
   match (run ?seed ?partition g ~eps).verdict with
   | Accept -> true
-  | Reject _ -> false
+  | Reject _ | Degraded _ -> false

@@ -6,7 +6,16 @@
     [eps]-far from planar (more than [eps * m] edge deletions needed), some
     node rejects with probability [1 - 1/poly n]. *)
 
-type verdict = Accept | Reject of (int * string) list
+type verdict =
+  | Accept
+  | Reject of (int * string) list
+  | Degraded of string
+      (** an active fault policy (see {!Congest.Faults}) prevented a
+          trustworthy verdict: a crash-stopped node, a broken lockstep
+          assumption, a corrupted partition state, or rejection evidence
+          gathered while faults were interfering.  The one-sided-error
+          guarantee is preserved by construction: a planar input under
+          faults accepts or degrades — it never flips to [Reject]. *)
 
 (** Which partitioning algorithm feeds Stage II.  [Stage_one] is the
     paper's deterministic Stage I (Theorem 1); [Exponential_shifts] is the
@@ -28,6 +37,10 @@ type report = {
   fast_forwarded_rounds : int;
       (** of [rounds], how many the engine advanced in O(1) as provably
           quiescent (included in [rounds]; see {!Congest.Engine}) *)
+  dropped : int;  (** fault layer: messages destroyed (0 without faults) *)
+  duplicated : int;  (** fault layer: extra copies injected *)
+  delayed : int;  (** fault layer: messages deferred by >= 1 round *)
+  crashed_nodes : int;  (** fault layer: crash events that took effect *)
 }
 
 (** [run ?seed ?alpha ?partition g ~eps] executes the tester on the
@@ -43,7 +56,12 @@ type report = {
     {!Congest.Engine}).  [fast_forward] (default [true]) lets the engine
     skip provably quiescent rounds in O(1); accounting is identical
     either way, so disabling it is only useful to measure the
-    optimisation. *)
+    optimisation.  [faults] injects a deterministic fault schedule into
+    every engine run (in [Exponential_shifts] mode the centralized
+    clustering itself is unaffected, like telemetry): the verdict is then
+    [Accept], [Degraded] — or [Reject] only when no fault actually fired,
+    so the report is identical for any [domains] and [fast_forward]
+    setting, faults included. *)
 val run :
   ?seed:int ->
   ?alpha:int ->
@@ -53,6 +71,7 @@ val run :
   ?telemetry:Congest.Telemetry.t ->
   ?domains:int ->
   ?fast_forward:bool ->
+  ?faults:Congest.Faults.policy ->
   Graphlib.Graph.t ->
   eps:float ->
   report

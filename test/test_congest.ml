@@ -673,6 +673,236 @@ let test_sharded_exception_choice () =
           "3" msg)
     [ 1; 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let neighbor_sum_protocol ctx =
+  E.broadcast ctx (M.Int (E.my_id ctx));
+  List.fold_left (fun acc (_, M.Int v) -> acc + v) 0 (E.sync ctx)
+
+let stats_tuple (s : Congest.Stats.t) =
+  Congest.Stats.
+    ( (s.rounds, s.charged_rounds, s.messages, s.total_bits, s.max_edge_bits),
+      (s.dropped, s.duplicated, s.delayed, s.crashed_nodes),
+      s.fast_forwarded_rounds )
+
+let test_faults_none_identity () =
+  (* ~faults:Faults.none must be byte-identical to no ?faults at all. *)
+  let g = Generators.grid 4 4 in
+  let plain = E.run g neighbor_sum_protocol in
+  let withnone = E.run ~faults:Congest.Faults.none g neighbor_sum_protocol in
+  check cb "outputs equal" true (plain.E.outputs = withnone.E.outputs);
+  check cb "stats equal" true
+    (stats_tuple plain.E.stats = stats_tuple withnone.E.stats);
+  check ci "nothing dropped" 0 withnone.E.stats.Congest.Stats.dropped
+
+let test_faults_drop_all () =
+  (* drop=1.0: every message is destroyed but still charged on the wire;
+     protocols see pure silence. *)
+  let g = Generators.cycle 5 in
+  let faults = Congest.Faults.make ~drop:1.0 () in
+  let res = E.run ~faults g neighbor_sum_protocol in
+  check cb "completed" true res.E.completed;
+  Array.iter
+    (fun o -> check (Alcotest.option ci) "silence everywhere" (Some 0) o)
+    res.E.outputs;
+  check ci "all 10 directed messages dropped" 10
+    res.E.stats.Congest.Stats.dropped;
+  check ci "dropped messages still charged" 10
+    res.E.stats.Congest.Stats.messages;
+  check cb "bits charged" true (res.E.stats.Congest.Stats.total_bits > 0)
+
+let test_faults_duplicate_all () =
+  let g = Generators.cycle 4 in
+  let faults = Congest.Faults.make ~duplicate:1.0 () in
+  let res = E.run ~faults g neighbor_sum_protocol in
+  check cb "completed" true res.E.completed;
+  Array.iteri
+    (fun v o ->
+      let expect = 2 * (((v + 1) mod 4) + ((v + 3) mod 4)) in
+      check (Alcotest.option ci) "every message received twice" (Some expect) o)
+    res.E.outputs;
+  check ci "8 duplications" 8 res.E.stats.Congest.Stats.duplicated;
+  check ci "both copies charged" 16 res.E.stats.Congest.Stats.messages
+
+let test_faults_delay_arrival () =
+  (* delay=1.0, max_delay=1: every message lands exactly one round late. *)
+  let g = Generators.path 2 in
+  let faults = Congest.Faults.make ~delay:1.0 ~max_delay:1 () in
+  let res =
+    E.run ~faults g (fun ctx ->
+        if E.my_id ctx = 0 then begin
+          E.broadcast ctx (M.Int 7);
+          ignore (E.sync ctx);
+          ignore (E.sync ctx);
+          -1
+        end
+        else
+          let r1 = List.length (E.sync ctx) in
+          let r2 = List.length (E.sync ctx) in
+          (10 * r1) + r2)
+  in
+  check cb "completed" true res.E.completed;
+  check (Alcotest.option ci) "empty round 1, arrival in round 2" (Some 1)
+    res.E.outputs.(1);
+  check ci "one delayed message" 1 res.E.stats.Congest.Stats.delayed
+
+let test_faults_crash_stop () =
+  (* A node crash-stopped from round 1 never completes: the run ends with
+     completed=false, the crash is counted, and neighbors see silence. *)
+  let g = Generators.path 3 in
+  let faults =
+    Congest.Faults.make
+      ~crashes:
+        [ { Congest.Faults.node = 1; from_round = 1; until_round = max_int } ]
+      ()
+  in
+  let res = E.run ~faults g neighbor_sum_protocol in
+  check cb "not completed" false res.E.completed;
+  check ci "one crash event" 1 res.E.stats.Congest.Stats.crashed_nodes;
+  check (Alcotest.option ci) "crashed node has no output" None res.E.outputs.(1);
+  check (Alcotest.option ci) "neighbor heard silence" (Some 0) res.E.outputs.(0);
+  check (Alcotest.option ci) "other neighbor too" (Some 0) res.E.outputs.(2)
+
+let test_faults_crash_recover () =
+  (* Crash-recover: node 1 is down for rounds 1-2 and back at round 3; a
+     message sent while it was down is dropped, one sent after recovery
+     arrives. *)
+  let g = Generators.path 2 in
+  let faults =
+    Congest.Faults.make
+      ~crashes:[ { Congest.Faults.node = 1; from_round = 1; until_round = 3 } ]
+      ()
+  in
+  let res =
+    E.run ~faults g (fun ctx ->
+        if E.my_id ctx = 0 then begin
+          (* round 1: node 1 is down; rounds 3: it is back *)
+          E.broadcast ctx (M.Int 1);
+          ignore (E.sync ctx);
+          ignore (E.sync ctx);
+          E.broadcast ctx (M.Int 2);
+          ignore (E.sync ctx);
+          -1
+        end
+        else
+          (* node 1 sleeps through its crash window, then listens *)
+          List.fold_left
+            (fun acc (_, M.Int v) -> acc + v)
+            0
+            (E.sync ctx @ E.sync ctx @ E.sync ctx))
+  in
+  check cb "completed" true res.E.completed;
+  check ci "crash-recover counted once" 1
+    res.E.stats.Congest.Stats.crashed_nodes;
+  check (Alcotest.option ci) "only the post-recovery message arrived" (Some 2)
+    res.E.outputs.(1);
+  check ci "the in-window message was dropped" 1
+    res.E.stats.Congest.Stats.dropped
+
+let test_faults_deterministic_and_invariant () =
+  (* A mixed policy: the full result (outputs + every stat) is a pure
+     function of the policy, independent of domains and fast-forward. *)
+  let g = Generators.grid 4 5 in
+  let faults =
+    Congest.Faults.make ~seed:11 ~drop:0.2 ~duplicate:0.1 ~delay:0.15
+      ~max_delay:3 ~truncate:0.05 ()
+  in
+  let run ~domains ~fast_forward =
+    let res =
+      E.run ~faults ~domains ~fast_forward g (fun ctx ->
+          let acc = ref 0 in
+          for _ = 1 to 4 do
+            E.broadcast ctx (M.Int (E.my_id ctx));
+            List.iter (fun (_, M.Int v) -> acc := !acc + v) (E.sync ctx)
+          done;
+          !acc)
+    in
+    let (a, faults, _ff) = stats_tuple res.E.stats in
+    (res.E.outputs, a, faults)
+  in
+  let base = run ~domains:1 ~fast_forward:true in
+  check cb "policy actually fired" true
+    (let _, _, (d, _, _, _) = base in
+     d > 0);
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun fast_forward ->
+          check cb
+            (Printf.sprintf "identical at domains=%d ff=%b" domains
+               fast_forward)
+            true
+            (run ~domains ~fast_forward = base))
+        [ true; false ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* on_error:`Record — all per-node exceptions, not just one            *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_mode_collects_all_failures () =
+  (* Several nodes fail in the same round across different shard blocks.
+     `Propagate keeps the historical lowest-node-wins exception (see
+     test_sharded_exception_choice); `Record must log every failure,
+     identically for any domain count. *)
+  let g = Generators.grid 5 5 in
+  let program ctx =
+    ignore (E.sync ctx);
+    if E.my_id ctx mod 7 = 3 then failwith (string_of_int (E.my_id ctx));
+    ignore (E.sync ctx)
+  in
+  let failing = [ 3; 10; 17; 24 ] in
+  let run d =
+    let res = E.run ~domains:d ~on_error:`Record g program in
+    check cb
+      (Printf.sprintf "not completed (domains=%d)" d)
+      false res.E.completed;
+    List.map
+      (fun (round, node, e) ->
+        (round, node, match e with Failure m -> m | e -> Printexc.to_string e))
+      res.E.failures
+  in
+  let serial = run 1 in
+  check
+    (Alcotest.list triple)
+    "all four failures recorded, chronological"
+    (List.map (fun v -> (1, v, string_of_int v)) failing)
+    serial;
+  List.iter
+    (fun d ->
+      check
+        (Alcotest.list triple)
+        (Printf.sprintf "identical failure log (domains=%d)" d)
+        serial (run d))
+    [ 2; 4 ]
+
+let test_record_mode_survivors_complete () =
+  (* In record mode the healthy nodes keep running to completion. *)
+  let g = Generators.cycle 6 in
+  let res =
+    E.run ~on_error:`Record g (fun ctx ->
+        if E.my_id ctx = 2 then failwith "boom";
+        neighbor_sum_protocol ctx)
+  in
+  check cb "run flagged incomplete" false res.E.completed;
+  check ci "one failure" 1 (List.length res.E.failures);
+  check (Alcotest.option ci) "failed node has no output" None res.E.outputs.(2);
+  (* node 0's neighbors are 1 and 5, both healthy *)
+  check (Alcotest.option ci) "healthy node finished" (Some 6) res.E.outputs.(0)
+
+let test_propagate_default_unchanged () =
+  (* Without ?on_error the engine still raises the (lowest-node) failure. *)
+  let g = Generators.path 3 in
+  try
+    ignore
+      (E.run g (fun ctx ->
+           ignore (E.sync ctx);
+           failwith (string_of_int (E.my_id ctx))));
+    Alcotest.fail "expected propagation"
+  with Failure msg -> check Alcotest.string "lowest node propagates" "0" msg
+
 (* Appended: classic protocols on the engine. *)
 let test_protocols_bfs () =
   let g = Generators.grid 5 6 in
@@ -783,6 +1013,30 @@ let () =
             test_sharded_accounting_invariant;
           Alcotest.test_case "lowest failing node wins" `Quick
             test_sharded_exception_choice;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "Faults.none is the identity" `Quick
+            test_faults_none_identity;
+          Alcotest.test_case "drop-all is charged silence" `Quick
+            test_faults_drop_all;
+          Alcotest.test_case "duplicate-all doubles delivery" `Quick
+            test_faults_duplicate_all;
+          Alcotest.test_case "delay lands one round late" `Quick
+            test_faults_delay_arrival;
+          Alcotest.test_case "crash-stop" `Quick test_faults_crash_stop;
+          Alcotest.test_case "crash-recover" `Quick test_faults_crash_recover;
+          Alcotest.test_case "deterministic + domain/ff invariant" `Quick
+            test_faults_deterministic_and_invariant;
+        ] );
+      ( "record-errors",
+        [
+          Alcotest.test_case "all failures recorded across shards" `Quick
+            test_record_mode_collects_all_failures;
+          Alcotest.test_case "survivors complete" `Quick
+            test_record_mode_survivors_complete;
+          Alcotest.test_case "propagate default unchanged" `Quick
+            test_propagate_default_unchanged;
         ] );
       ( "telemetry",
         [

@@ -50,6 +50,10 @@ let rejecting_report =
     messages = 5;
     total_bits = 40;
     fast_forwarded_rounds = 2;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    crashed_nodes = 0;
   }
 
 let stats_keys =
@@ -116,6 +120,81 @@ let test_stats_rejections_rows () =
             (keys_and_tags row))
         rows
   | _ -> Alcotest.fail "rejections must be a list"
+
+(* ------------------------------------------------------------------ *)
+(* planartest.stats/v2: v1 plus one "faults" object before "telemetry" *)
+(* ------------------------------------------------------------------ *)
+
+let faults_keys =
+  [
+    ("spec", "string");
+    ("seed", "int");
+    ("dropped", "int");
+    ("duplicated", "int");
+    ("delayed", "int");
+    ("crashed_nodes", "int");
+    ("degraded_reason", "null");
+  ]
+
+(* The v2 key list is the v1 list with "faults" spliced in before
+   "telemetry" — nothing else moves, so a v1 consumer that ignores
+   unknown keys still parses every v1 field of a v2 document. *)
+let stats_keys_v2 =
+  List.concat_map
+    (fun (k, t) ->
+      if k = "telemetry" then [ ("faults", "obj"); (k, t) ] else [ (k, t) ])
+    stats_keys
+
+let test_stats_schema_v2 () =
+  let g, r = Lazy.force small_report in
+  let faults = Congest.Faults.make ~seed:7 ~drop:0.05 () in
+  let j =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 ~faults r
+  in
+  check kt "v2 = v1 + faults before telemetry" stats_keys_v2 (keys_and_tags j);
+  check Alcotest.string "schema tag bumped" "planartest.stats/v2"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  check kt "faults sub-object" faults_keys (keys_and_tags (field j "faults"));
+  check Alcotest.string "spec round-trips" (Congest.Faults.to_spec faults)
+    (match field (field j "faults") "spec" with J.String s -> s | _ -> "?")
+
+let test_stats_schema_v2_degraded () =
+  (* A synthetic degraded report pins the third verdict value and the
+     degraded_reason string without needing a fault schedule that
+     actually bites this particular graph. *)
+  let r =
+    {
+      rejecting_report with
+      PT.verdict = PT.Degraded "12 dropped";
+      dropped = 12;
+    }
+  in
+  let faults = Congest.Faults.make ~seed:3 ~drop:0.5 () in
+  let j = Report.tester_stats ~n:9 ~m:20 ~eps:0.1 ~seed:0 ~domains:2 ~faults r in
+  check Alcotest.string "verdict" "degraded"
+    (match field j "verdict" with J.String s -> s | _ -> "?");
+  (match field j "rejections" with
+  | J.List [] -> ()
+  | _ -> Alcotest.fail "degraded reports carry no rejection rows");
+  let fb = field j "faults" in
+  check Alcotest.string "degraded_reason surfaces" "12 dropped"
+    (match field fb "degraded_reason" with J.String s -> s | _ -> "?");
+  check ci "fault counters surface" 12
+    (match field fb "dropped" with J.Int d -> d | _ -> -1);
+  check ci "fault seed surfaces" 3
+    (match field fb "seed" with J.Int s -> s | _ -> -1)
+
+let test_stats_v1_unchanged_without_faults () =
+  (* The exact bytes of a v1 document must be unaffected by this PR:
+     omitting [?faults] still emits schema v1 with the v1 key set. *)
+  let j =
+    Report.tester_stats ~n:9 ~m:20 ~eps:0.1 ~seed:0 ~domains:1
+      rejecting_report
+  in
+  check kt "no faults => v1 key set" stats_keys (keys_and_tags j);
+  check Alcotest.string "no faults => v1 tag" "planartest.stats/v1"
+    (match field j "schema" with J.String s -> s | _ -> "?")
 
 let test_bench_schema () =
   let experiments =
@@ -194,6 +273,11 @@ let () =
             test_stats_schema_with_telemetry;
           Alcotest.test_case "rejection rows" `Quick
             test_stats_rejections_rows;
+          Alcotest.test_case "planartest.stats/v2" `Quick test_stats_schema_v2;
+          Alcotest.test_case "v2 degraded verdict" `Quick
+            test_stats_schema_v2_degraded;
+          Alcotest.test_case "v1 unchanged without faults" `Quick
+            test_stats_v1_unchanged_without_faults;
           Alcotest.test_case "bench.planarity/v1" `Quick test_bench_schema;
         ] );
       ( "write",

@@ -177,7 +177,9 @@ let assert_engine_invariant name g ~eps ~expect_accept =
   | Tester.Planarity_tester.Accept ->
       check cb (name ^ ": accepts") true expect_accept
   | Tester.Planarity_tester.Reject _ ->
-      check cb (name ^ ": rejects") false expect_accept);
+      check cb (name ^ ": rejects") false expect_accept
+  | Tester.Planarity_tester.Degraded msg ->
+      Alcotest.fail (name ^ ": degraded without faults: " ^ msg));
   let fp = report_fp serial in
   List.iter
     (fun d ->
@@ -217,6 +219,8 @@ let test_tester_k5_euler_reject () =
   match r.Tester.Planarity_tester.verdict with
   | Tester.Planarity_tester.Accept -> Alcotest.fail "K5 accepted"
   | Tester.Planarity_tester.Reject _ -> ()
+  | Tester.Planarity_tester.Degraded msg ->
+      Alcotest.fail ("K5 degraded without faults: " ^ msg)
 
 let test_tester_report_fields () =
   let g = Generators.grid 6 6 in
@@ -469,7 +473,9 @@ let test_collect_mode () =
   (match r.Tester.Planarity_tester.verdict with
   | Tester.Planarity_tester.Accept -> ()
   | Tester.Planarity_tester.Reject _ ->
-      Alcotest.fail "collect mode broke completeness");
+      Alcotest.fail "collect mode broke completeness"
+  | Tester.Planarity_tester.Degraded msg ->
+      Alcotest.fail ("collect mode degraded without faults: " ^ msg));
   let far_g =
     Generators.far_from_planar (Random.State.make [| 64 |]) ~n:120 ~eps:0.25
   in
@@ -480,7 +486,8 @@ let test_collect_mode () =
          .Tester.Planarity_tester.verdict
      with
     | Tester.Planarity_tester.Accept -> true
-    | Tester.Planarity_tester.Reject _ -> false)
+    | Tester.Planarity_tester.Reject _ | Tester.Planarity_tester.Degraded _ ->
+        false)
 
 let test_en_mode_completeness () =
   (* Exponential-shift partition mode keeps the verdict one-sided. *)
