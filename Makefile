@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz ci clean
+.PHONY: all build test bench fuzz trace ci clean
 
 all: build
 
@@ -24,12 +24,43 @@ fuzz: build
 	env $(if $(QCHECK_SEED),QCHECK_SEED=$(QCHECK_SEED)) \
 	  ./_build/default/test/test_prop.exe
 
+# End-to-end tracing check (also a CI leg): record the same tester run
+# under --domains 1, --domains 4 and --no-fast-forward, assert with
+# `planartrace diff` that the simulated accounting is byte-identical in
+# all three traces (only host metrics may differ), and validate the
+# Perfetto export round-trip — the export is a pure function of the
+# .ctrace bytes, so exporting the golden trace twice must be
+# byte-identical.  TRACE_DIR (default /tmp/planartrace) keeps the
+# artifacts for upload on CI failure.
+TRACE_DIR ?= /tmp/planartrace
+trace: build
+	mkdir -p $(TRACE_DIR)
+	./_build/default/bin/planartest.exe gen --family grid --n 256 \
+	  > $(TRACE_DIR)/input.txt
+	./_build/default/bin/planartest.exe test $(TRACE_DIR)/input.txt \
+	  --eps 0.3 --domains 1 --trace $(TRACE_DIR)/d1.ctrace \
+	  --stats-json $(TRACE_DIR)/d1.stats.json
+	./_build/default/bin/planartest.exe test $(TRACE_DIR)/input.txt \
+	  --eps 0.3 --domains 4 --trace $(TRACE_DIR)/d4.ctrace
+	./_build/default/bin/planartest.exe test $(TRACE_DIR)/input.txt \
+	  --eps 0.3 --no-fast-forward --trace $(TRACE_DIR)/noff.ctrace
+	./_build/default/bin/planartrace.exe info $(TRACE_DIR)/d1.ctrace
+	./_build/default/bin/planartrace.exe diff $(TRACE_DIR)/d1.ctrace \
+	  $(TRACE_DIR)/d4.ctrace
+	./_build/default/bin/planartrace.exe diff $(TRACE_DIR)/d1.ctrace \
+	  $(TRACE_DIR)/noff.ctrace
+	./_build/default/bin/planartrace.exe export $(TRACE_DIR)/d1.ctrace \
+	  -o $(TRACE_DIR)/d1.perfetto.json
+	./_build/default/bin/planartrace.exe export $(TRACE_DIR)/d1.ctrace \
+	  -o $(TRACE_DIR)/d1.perfetto.json.again
+	cmp $(TRACE_DIR)/d1.perfetto.json $(TRACE_DIR)/d1.perfetto.json.again
+
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test
+ci: build test trace
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

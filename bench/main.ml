@@ -6,7 +6,7 @@
    for paper-vs-measured).
 
    Usage:  bench [--quick|-q] [--jobs N] [--domains D] [--no-timings]
-                 [--json PATH] [--faults SPEC]
+                 [--json PATH] [--faults SPEC] [--trace PATH]
 
    Independent (family, n, eps, seed) points inside each experiment are
    fanned across [--jobs] domains (default: the recommended domain count);
@@ -14,7 +14,11 @@
    serial run.  [--domains D] additionally shards node stepping *inside*
    each tester/partition run across D engine domains — every statistic is
    identical for any D, only wall-clock changes.  [--no-timings] skips the
-   serial Bechamel micro-benchmark section (for CI's quick runs).
+   serial Bechamel micro-benchmark section and suppresses every printed
+   wall-clock column (A3's ff off/on set included): the remaining output
+   depends only on simulated accounting, so it is stable for CI diffing.
+   [--trace PATH] records a Congest.Trace of P1's sharded tester run and
+   writes it as a binary .ctrace file for the planartrace analyzer.
    [--json PATH] additionally writes every experiment's data as a
    machine-readable document (schema "bench.planarity/v1"; '-' = stdout).
    [--faults SPEC] adds one extra user-chosen fault policy row to the R1
@@ -32,13 +36,14 @@ let domains = ref 1
 let timings = ref true
 let json_path = ref None
 let faults_spec = ref None
+let trace_path = ref None
 
 let () =
   let argv = Sys.argv in
   let usage () =
     prerr_endline
       "usage: bench [--quick|-q] [--jobs N] [--domains D] [--no-timings] \
-       [--json PATH] [--faults SPEC]";
+       [--json PATH] [--faults SPEC] [--trace PATH]";
     exit 2
   in
   let rec parse i =
@@ -63,6 +68,9 @@ let () =
       | "--json" when i + 1 < Array.length argv ->
           json_path := Some argv.(i + 1);
           parse (i + 2)
+      | "--trace" when i + 1 < Array.length argv ->
+          trace_path := Some argv.(i + 1);
+          parse (i + 2)
       | "--faults" when i + 1 < Array.length argv ->
           (match Congest.Faults.of_spec argv.(i + 1) with
           | Ok p -> faults_spec := Some p
@@ -79,6 +87,7 @@ let jobs = !jobs
 let domains = !domains
 let timings = !timings
 let faults_spec = !faults_spec
+let trace_path = !trace_path
 
 (* --- parallel point driver ------------------------------------------- *)
 
@@ -1122,12 +1131,21 @@ let a3_adaptive_schedule () =
                 ("ff_speedup", J.Float (slow_s /. max 1e-9 fast_s));
               ])
           results));
-  row "%-7s %-18s %-18s %-7s %-9s %-22s\n" "eps" "adaptive (ph/rnds)"
-    "full (ph/rnds)" "t_max" "fast-fwd" "full wall-clock (ff off/on)";
+  (* The wall-clock column set rides on the same [--no-timings] switch as
+     the Bechamel section: with it off, every printed cell is a pure
+     function of simulated accounting. *)
+  if timings then
+    row "%-7s %-18s %-18s %-7s %-9s %-22s\n" "eps" "adaptive (ph/rnds)"
+      "full (ph/rnds)" "t_max" "fast-fwd" "full wall-clock (ff off/on)"
+  else
+    row "%-7s %-18s %-18s %-7s %-9s\n" "eps" "adaptive (ph/rnds)"
+      "full (ph/rnds)" "t_max" "fast-fwd";
   List.iter
     (fun (eps, (ap, ar), (fp, fr), t_max, ff, slow_s, fast_s) ->
-      row "%-7.2f %3d / %-12d %3d / %-12d %-7d %-9d %.3fs / %.3fs (%.1fx)\n"
-        eps ap ar fp fr t_max ff slow_s fast_s (slow_s /. max 1e-9 fast_s))
+      if timings then
+        row "%-7.2f %3d / %-12d %3d / %-12d %-7d %-9d %.3fs / %.3fs (%.1fx)\n"
+          eps ap ar fp fr t_max ff slow_s fast_s (slow_s /. max 1e-9 fast_s)
+      else row "%-7.2f %3d / %-12d %3d / %-12d %-7d %-9d\n" eps ap ar fp fr t_max ff)
     results
 
 (* ------------------------------------------------------------------ *)
@@ -1189,15 +1207,37 @@ let p1_engine_wallclock () =
                 runs) );
        ]);
   row "input: apollonian n=%d; host cores available: %d\n" n cores;
-  row "baseline (domains=1, fast-forward off): %.3fs\n\n" base_s;
-  row "%-9s %-10s %-18s %-12s\n" "domains" "seconds" "speedup vs no-ff"
-    "fast-fwd rounds";
-  List.iter
-    (fun (d, r, s) ->
-      row "%-9d %-10.3f %-18.2f %-12d\n" d s
-        (base_s /. max 1e-9 s)
-        r.Tester.Planarity_tester.fast_forwarded_rounds)
-    runs;
+  if timings then begin
+    row "baseline (domains=1, fast-forward off): %.3fs\n\n" base_s;
+    row "%-9s %-10s %-18s %-12s\n" "domains" "seconds" "speedup vs no-ff"
+      "fast-fwd rounds";
+    List.iter
+      (fun (d, r, s) ->
+        row "%-9d %-10.3f %-18.2f %-12d\n" d s
+          (base_s /. max 1e-9 s)
+          r.Tester.Planarity_tester.fast_forwarded_rounds)
+      runs
+  end
+  else begin
+    row "%-9s %-12s\n" "domains" "fast-fwd rounds";
+    List.iter
+      (fun (d, r, _) ->
+        row "%-9d %-12d\n" d r.Tester.Planarity_tester.fast_forwarded_rounds)
+      runs
+  end;
+  (match trace_path with
+  | Some path ->
+      (* One extra traced run of the same point: the recording hooks stay
+         out of the timed runs above, so [--trace] cannot distort them. *)
+      let tr = Congest.Trace.create () in
+      ignore (Tester.Planarity_tester.run ~domains ~trace:tr g ~eps:0.3 ~seed:1);
+      Congest.Trace.finish tr;
+      (try Report.Ctrace.write path tr
+       with Sys_error msg ->
+         Printf.eprintf "bench: cannot write trace %s: %s\n" path msg;
+         exit 1);
+      row "trace written to %s (planartrace info/edges/phases/export)\n" path
+  | None -> ());
   if cores < 4 then
     row
       "(host exposes %d core(s): domain sharding cannot yield wall-clock \

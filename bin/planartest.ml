@@ -124,7 +124,7 @@ let test_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run path eps seed domains stats_json faults_spec =
+  let run path eps seed domains stats_json faults_spec trace_out no_ff =
     let g = read_graph path in
     let faults =
       match faults_spec with
@@ -139,9 +139,21 @@ let test_cmd =
     let telemetry =
       Option.map (fun _ -> Congest.Telemetry.create ()) stats_json
     in
+    let trace = Option.map (fun _ -> Congest.Trace.create ()) trace_out in
     let r =
-      Tester.Planarity_tester.run ?telemetry ~domains ?faults g ~eps ~seed
+      Tester.Planarity_tester.run ?telemetry ?trace ~domains
+        ~fast_forward:(not no_ff) ?faults g ~eps ~seed
     in
+    Option.iter Congest.Trace.finish trace;
+    (match (trace_out, trace) with
+    | Some path, Some tr -> (
+        try
+          Report.Ctrace.write path tr;
+          Printf.eprintf "wrote %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "planartest test: cannot write trace: %s\n" msg;
+          exit 1)
+    | _ -> ());
     (* With --stats-json -, stdout carries exactly the JSON document; the
        human-readable summary moves to stderr. *)
     let hum = if stats_json = Some "-" then stderr else stdout in
@@ -175,7 +187,7 @@ let test_cmd =
     | Some out ->
         let j =
           Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps ~seed
-            ~domains ?telemetry ?faults r
+            ~domains ?telemetry ?faults ?host:trace r
         in
         (try Report.write out j
          with Sys_error msg ->
@@ -184,11 +196,30 @@ let test_cmd =
         if out <> "-" then Printf.eprintf "wrote %s\n" out
     | None -> ()
   in
+  let trace_arg =
+    let doc =
+      "Record an event-level trace (message deliveries, fault firings, \
+       fiber resume/park, fast-forward spans, domain-shard boundaries) \
+       and write it as a binary .ctrace file to $(docv).  Analyze or \
+       export it with $(b,planartrace).  Also switches --stats-json to \
+       the planartest.stats/v3 schema, whose 'host' block carries \
+       per-phase wall-clock / GC / load-imbalance profiles."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let no_ff_arg =
+    let doc =
+      "Disable the engine's quiescent-round fast-forward (the measurement \
+       baseline).  The verdict and all round/message/bit accounting are \
+       identical either way — compare with $(b,planartrace diff)."
+    in
+    Arg.(value & flag & info [ "no-fast-forward" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg $ faults_arg)
+      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

@@ -1,0 +1,370 @@
+(* planartrace — analyzer for .ctrace files recorded by `planartest test
+   --trace` / `bench --trace`.
+
+     planartrace info run.ctrace
+     planartrace edges run.ctrace --top 10
+     planartrace phases run.ctrace
+     planartrace imbalance run.ctrace
+     planartrace faults run.ctrace
+     planartrace export run.ctrace -o run.json
+     planartrace diff a.ctrace b.ctrace *)
+
+open Cmdliner
+module Trace = Congest.Trace
+module Ctrace = Report.Ctrace
+
+let load path =
+  try Ctrace.read path
+  with
+  | Failure msg ->
+      Printf.eprintf "planartrace: %s: %s\n" path msg;
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "planartrace: %s\n" msg;
+      exit 2
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"Input .ctrace file.")
+
+(* An analysis over ring events is only complete when the ring never
+   overflowed and nothing was sampled out; say so instead of silently
+   presenting a partial profile as the whole run. *)
+let coverage_warning (v : Ctrace.view) =
+  let t = v.Ctrace.totals in
+  if t.Trace.overwritten > 0 then
+    Printf.printf
+      "WARNING: ring overflowed — %d of %d events evicted; per-event \
+       profiles below cover only the surviving suffix (aggregates are \
+       exact).\n"
+      t.Trace.overwritten t.Trace.recorded;
+  if t.Trace.sampled_out > 0 then
+    Printf.printf
+      "WARNING: sampling skipped %d events; per-event profiles below are \
+       a sample (aggregates are exact).\n"
+      t.Trace.sampled_out
+
+let fault_name = function
+  | Trace.Drop -> "drop"
+  | Trace.Duplicate -> "duplicate"
+  | Trace.Delay -> "delay"
+  | Trace.Truncate -> "truncate"
+  | Trace.Crash -> "crash"
+  | Trace.Down_drop -> "down-drop"
+
+(* --- info -------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let v = load path in
+    let t = v.Ctrace.totals in
+    Printf.printf "format          : ctrace v%d\n" v.Ctrace.version;
+    if v.Ctrace.n >= 0 then
+      Printf.printf "graph           : n=%d m=%d bandwidth=%d\n" v.Ctrace.n
+        v.Ctrace.m v.Ctrace.bandwidth
+    else Printf.printf "graph           : (no engine run recorded)\n";
+    Printf.printf
+      "config          : capacity=%d sample: messages=1/%d fibers=1/%d \
+       spans=1/%d\n"
+      v.Ctrace.config.Trace.capacity v.Ctrace.config.Trace.sample_messages
+      v.Ctrace.config.Trace.sample_fibers v.Ctrace.config.Trace.sample_spans;
+    Printf.printf "rounds          : %d (%d fast-forwarded)\n" t.Trace.rounds
+      t.Trace.fast_forwarded;
+    Printf.printf "frames          : %d\n" t.Trace.frames;
+    Printf.printf "bits            : %d\n" t.Trace.bits;
+    Printf.printf "messages        : %d\n" t.Trace.messages;
+    if t.Trace.dropped + t.Trace.duplicated + t.Trace.delayed + t.Trace.crashed
+       > 0
+    then
+      Printf.printf
+        "faults          : dropped=%d duplicated=%d delayed=%d crashed=%d\n"
+        t.Trace.dropped t.Trace.duplicated t.Trace.delayed t.Trace.crashed;
+    Printf.printf "events          : %d recorded, %d surviving in ring, %d \
+                   overwritten, %d sampled out\n"
+      t.Trace.recorded
+      (Array.length v.Ctrace.events)
+      t.Trace.overwritten t.Trace.sampled_out;
+    Printf.printf "phases          : %d\n" (List.length v.Ctrace.sim_phases)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Header, totals and ring health of a trace")
+    Term.(const run $ trace_arg)
+
+(* --- edges ------------------------------------------------------------- *)
+
+let edges_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Show the $(docv) hottest edges.")
+  in
+  let run path top =
+    let v = load path in
+    coverage_warning v;
+    let bw = max 1 v.Ctrace.bandwidth in
+    (* frames per edge need per-(edge, round) bit totals first: several
+       messages share a frame until the B-bit budget is exceeded. *)
+    let per_round : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let msgs : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (function
+        | Trace.Message { round; sender; dest; edge; bits; _ } ->
+            let key = (edge, round) in
+            Hashtbl.replace per_round key
+              (bits + Option.value ~default:0 (Hashtbl.find_opt per_round key));
+            let m, b, s, d =
+              Option.value ~default:(0, 0, sender, dest)
+                (Hashtbl.find_opt msgs edge)
+            in
+            Hashtbl.replace msgs edge (m + 1, b + bits, s, d)
+        | _ -> ())
+      v.Ctrace.events;
+    let frames : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun (edge, _) bits ->
+        let f = (bits + bw - 1) / bw in
+        Hashtbl.replace frames edge
+          (f + Option.value ~default:0 (Hashtbl.find_opt frames edge)))
+      per_round;
+    let rows =
+      Hashtbl.fold
+        (fun edge (m, b, s, d) acc ->
+          (Option.value ~default:0 (Hashtbl.find_opt frames edge), b, m, edge,
+           s, d)
+          :: acc)
+        msgs []
+    in
+    let rows = List.sort (fun a b -> compare b a) rows in
+    Printf.printf "%-8s %-12s %8s %10s %10s\n" "edge" "direction" "frames"
+      "bits" "messages";
+    List.iteri
+      (fun i (f, b, m, edge, s, d) ->
+        if i < top then
+          Printf.printf "%-8d %5d->%-5d %8d %10d %10d\n" edge s d f b m)
+      rows;
+    if rows = [] then print_endline "(no message events in ring)"
+  in
+  Cmd.v
+    (Cmd.info "edges"
+       ~doc:"Top-k hottest directed edges by charged frames")
+    Term.(const run $ trace_arg $ top_arg)
+
+(* --- phases ------------------------------------------------------------ *)
+
+let phases_cmd =
+  let run path =
+    let v = load path in
+    let phases = v.Ctrace.sim_phases in
+    let width = 32 in
+    let max_frames =
+      List.fold_left (fun a (p : Trace.sim_phase) -> max a p.Trace.frames) 1
+        phases
+    in
+    Printf.printf "%-18s %8s %8s %10s %10s %8s  %s\n" "phase" "rounds"
+      "frames" "bits" "messages" "ff" "load";
+    List.iter
+      (fun (p : Trace.sim_phase) ->
+        let bar = p.Trace.frames * width / max_frames in
+        Printf.printf "%-18s %8d %8d %10d %10d %8d  %s\n" p.Trace.label
+          p.Trace.rounds p.Trace.frames p.Trace.bits p.Trace.messages
+          p.Trace.fast_forwarded
+          (String.make bar '#'))
+      phases;
+    if phases = [] then print_endline "(no phases recorded)"
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Per-phase round/frame heatmap")
+    Term.(const run $ trace_arg)
+
+(* --- imbalance --------------------------------------------------------- *)
+
+let imbalance_cmd =
+  let run path =
+    let v = load path in
+    Printf.printf "%-18s %8s %10s %10s %8s %10s %12s\n" "phase" "wall_s"
+      "stepped" "par_rnds" "domains" "imbalance" "minor_words";
+    List.iter
+      (fun (p : Trace.host_phase) ->
+        (* Imbalance of the sharded rounds: most-loaded-domain work over
+           ideal (stepped / domains); 1.00 = perfectly even. *)
+        let imb =
+          if p.Trace.par_rounds = 0 || p.Trace.stepped = 0 then Float.nan
+          else
+            float_of_int (p.Trace.max_stepped * p.Trace.max_domains)
+            /. float_of_int p.Trace.stepped
+        in
+        Printf.printf "%-18s %8.4f %10d %10d %8d %10s %12.0f\n" p.Trace.label
+          p.Trace.wall_s p.Trace.stepped p.Trace.par_rounds
+          p.Trace.max_domains
+          (if Float.is_nan imb then "-" else Printf.sprintf "%.2f" imb)
+          p.Trace.minor_words)
+      v.Ctrace.host_phases;
+    if v.Ctrace.host_phases = [] then print_endline "(no host profile)"
+  in
+  Cmd.v
+    (Cmd.info "imbalance"
+       ~doc:"Per-phase host profile: wall-clock, GC, shard load imbalance")
+    Term.(const run $ trace_arg)
+
+(* --- faults ------------------------------------------------------------ *)
+
+let faults_cmd =
+  let run path =
+    let v = load path in
+    coverage_warning v;
+    let any = ref false in
+    Array.iter
+      (function
+        | Trace.Fault { round; kind; sender; dest; edge; info } ->
+            any := true;
+            (match kind with
+            | Trace.Crash ->
+                Printf.printf "round %-8d crash      node %d %s\n" round
+                  sender
+                  (if info < 0 then "(never recovers)"
+                   else Printf.sprintf "(recovers after %d rounds)" info)
+            | k ->
+                Printf.printf "round %-8d %-10s %d->%d edge %d%s\n" round
+                  (fault_name k) sender dest edge
+                  (match k with
+                  | Trace.Delay -> Printf.sprintf " (+%d rounds)" info
+                  | _ -> ""))
+        | _ -> ())
+      v.Ctrace.events;
+    if not !any then print_endline "(no fault events in ring)"
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Chronological fault-event timeline")
+    Term.(const run $ trace_arg)
+
+(* --- export ------------------------------------------------------------ *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Output JSON path ('-' = stdout).")
+  in
+  let run path out =
+    let v = load path in
+    (try Report.Perfetto.write out v
+     with Sys_error msg ->
+       Printf.eprintf "planartrace export: %s\n" msg;
+       exit 1);
+    if out <> "-" then Printf.eprintf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export as Chrome/Perfetto trace_event JSON")
+    Term.(const run $ trace_arg $ out_arg)
+
+(* --- diff -------------------------------------------------------------- *)
+
+let diff_cmd =
+  let trace_b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TRACE2" ~doc:"Second .ctrace file.")
+  in
+  let run path_a path_b =
+    let a = load path_a and b = load path_b in
+    let bad = ref 0 in
+    let check name va vb =
+      if va <> vb then begin
+        incr bad;
+        Printf.printf "SIM MISMATCH %-28s %d vs %d\n" name va vb
+      end
+    in
+    let ta = a.Ctrace.totals and tb = b.Ctrace.totals in
+    check "graph.n" a.Ctrace.n b.Ctrace.n;
+    check "graph.m" a.Ctrace.m b.Ctrace.m;
+    check "graph.bandwidth" a.Ctrace.bandwidth b.Ctrace.bandwidth;
+    check "totals.rounds" ta.Trace.rounds tb.Trace.rounds;
+    check "totals.frames" ta.Trace.frames tb.Trace.frames;
+    check "totals.bits" ta.Trace.bits tb.Trace.bits;
+    check "totals.messages" ta.Trace.messages tb.Trace.messages;
+    check "totals.dropped" ta.Trace.dropped tb.Trace.dropped;
+    check "totals.duplicated" ta.Trace.duplicated tb.Trace.duplicated;
+    check "totals.delayed" ta.Trace.delayed tb.Trace.delayed;
+    check "totals.crashed" ta.Trace.crashed tb.Trace.crashed;
+    (* Per-phase simulated accounting, the fine-grained anchor.  A trace
+       with fast-forward off legitimately has fast_forwarded = 0, so ff
+       counts are reported but not failed on; every other sim field must
+       match exactly. *)
+    let pa = a.Ctrace.sim_phases and pb = b.Ctrace.sim_phases in
+    if List.length pa <> List.length pb then begin
+      incr bad;
+      Printf.printf "SIM MISMATCH phase count: %d vs %d\n" (List.length pa)
+        (List.length pb)
+    end
+    else
+      List.iter2
+        (fun (x : Trace.sim_phase) (y : Trace.sim_phase) ->
+          if x.Trace.label <> y.Trace.label then begin
+            incr bad;
+            Printf.printf "SIM MISMATCH phase label: %s vs %s\n" x.Trace.label
+              y.Trace.label
+          end
+          else begin
+            let f name vx vy = check (x.Trace.label ^ "." ^ name) vx vy in
+            f "rounds" x.Trace.rounds y.Trace.rounds;
+            f "bits" x.Trace.bits y.Trace.bits;
+            f "frames" x.Trace.frames y.Trace.frames;
+            f "messages" x.Trace.messages y.Trace.messages
+          end)
+        pa pb;
+    if ta.Trace.fast_forwarded <> tb.Trace.fast_forwarded then
+      Printf.printf
+        "note: fast_forwarded differs (%d vs %d) — accounting above is \
+         identical regardless\n"
+        ta.Trace.fast_forwarded tb.Trace.fast_forwarded;
+    (* Host metrics are expected to differ — report, never fail. *)
+    let wall (v : Ctrace.view) =
+      List.fold_left
+        (fun acc (p : Trace.host_phase) -> acc +. p.Trace.wall_s)
+        0.0 v.Ctrace.host_phases
+    in
+    let par (v : Ctrace.view) =
+      List.fold_left
+        (fun acc (p : Trace.host_phase) -> acc + p.Trace.par_rounds)
+        0 v.Ctrace.host_phases
+    in
+    let doms (v : Ctrace.view) =
+      List.fold_left
+        (fun acc (p : Trace.host_phase) -> max acc p.Trace.max_domains)
+        1 v.Ctrace.host_phases
+    in
+    Printf.printf
+      "host: wall %.4fs vs %.4fs | sharded rounds %d vs %d | max domains %d \
+       vs %d\n"
+      (wall a) (wall b) (par a) (par b) (doms a) (doms b);
+    if !bad = 0 then begin
+      print_endline "simulated accounting identical";
+      exit 0
+    end
+    else begin
+      Printf.printf "%d simulated-accounting mismatches\n" !bad;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Assert two traces' simulated accounting is identical (host \
+          metrics may differ)")
+    Term.(const run $ trace_arg $ trace_b_arg)
+
+let () =
+  let doc = "analyze .ctrace recordings of the CONGEST planarity tester" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "planartrace" ~doc)
+          [
+            info_cmd; edges_cmd; phases_cmd; imbalance_cmd; faults_cmd;
+            export_cmd; diff_cmd;
+          ]))

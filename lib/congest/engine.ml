@@ -387,12 +387,15 @@ module Make (Msg : MESSAGE) = struct
     t
 
   let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000)
-      ?telemetry ?(domains = 1) ?(fast_forward = true) ?faults
+      ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults
       ?(on_error = `Propagate) ?pool:opool g program =
     let n = Graph.n g in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
+    (match trace with
+    | Some tr -> Trace.set_meta tr ~n ~m:(Graph.m g) ~bandwidth:bw
+    | None -> ());
     let d_req = if domains < 1 then 1 else domains in
     let record_errors = on_error = `Record in
     (* Fault layer.  All decisions happen during delivery — the serial,
@@ -459,10 +462,11 @@ module Make (Msg : MESSAGE) = struct
       end
     in
     let crash_start_i = ref 0 in
-    (* Messages the fault layer deferred: (due round, sequence, sender,
-       dest, directed edge, payload).  Run-local; anything still queued
-       when the run ends is lost, like any other in-flight frame. *)
-    let dq : (int * int * int * int * int * Msg.t) list ref = ref [] in
+    (* Messages the fault layer deferred: (due round, sequence, send
+       round, sender, dest, directed edge, payload).  Run-local; anything
+       still queued when the run ends is lost, like any other in-flight
+       frame. *)
+    let dq : (int * int * int * int * int * int * Msg.t) list ref = ref [] in
     let dq_min = ref max_int in
     let fseq = ref 0 in
     (* Per-directed-edge message index for the round being delivered (the
@@ -769,6 +773,41 @@ module Make (Msg : MESSAGE) = struct
     let completed = ref true in
     let culled = ref 0 in
     let running = ref true in
+    (* Fiber resume/park trace events are predicted on the coordinating
+       domain, never recorded from workers: before a step phase, scan the
+       live worklist with the exact resume predicate [step_range] uses
+       (ascending id order — the serial order); after the barrier, a
+       candidate whose continuation survived parked again.  This keeps the
+       fiber event stream byte-identical for every domain count. *)
+    let fiber_scratch = ref [||] in
+    let trace_prescan tr =
+      if Array.length !fiber_scratch = 0 then
+        fiber_scratch := Array.make (max 1 n) 0;
+      let sc = !fiber_scratch in
+      let cnt = ref 0 in
+      for i = 0 to !live_len - 1 do
+        let v = live.(i) in
+        if
+          (not (is_crashed v))
+          && conts.(v) <> None
+          && (p.inbox.(v).len > 0 || p.wake.(v) <= eng.current_round)
+        then begin
+          Trace.fiber_resume tr ~round:eng.current_round ~node:v;
+          sc.(!cnt) <- v;
+          incr cnt
+        end
+      done;
+      !cnt
+    in
+    let trace_postscan tr cnt =
+      let sc = !fiber_scratch in
+      for i = 0 to cnt - 1 do
+        let v = sc.(i) in
+        if conts.(v) <> None then
+          Trace.fiber_park tr ~round:eng.current_round ~node:v
+            ~wake:p.wake.(v)
+      done
+    in
     let one_round () =
       eng.estats.Stats.rounds <- eng.estats.Stats.rounds + 1;
       eng.current_round <- eng.current_round + 1;
@@ -785,10 +824,17 @@ module Make (Msg : MESSAGE) = struct
           !crash_start_i < Array.length crash_starts
           && fst crash_starts.(!crash_start_i) <= eng.current_round
         do
-          let _, v = crash_starts.(!crash_start_i) in
+          let r, v = crash_starts.(!crash_start_i) in
           if conts.(v) <> None then begin
             eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
-            incr round_crashed
+            incr round_crashed;
+            match trace with
+            | Some tr ->
+                Trace.fault tr ~round:r ~kind:Trace.Crash ~sender:v ~dest:v
+                  ~edge:(-1)
+                  ~info:(if crash_until.(v) = max_int then -1
+                         else crash_until.(v) - r)
+            | None -> ()
           end;
           incr crash_start_i
         done;
@@ -824,7 +870,13 @@ module Make (Msg : MESSAGE) = struct
                   p.receivers.(p.receivers_len) <- dest;
                   p.receivers_len <- p.receivers_len + 1
                 end;
-                push ib v 0 msg
+                push ib v 0 msg;
+                (match trace with
+                | Some tr ->
+                    Trace.message tr ~round:eng.current_round
+                      ~sent:(eng.current_round - 1) ~sender:v ~dest ~edge:de
+                      ~bits:b
+                | None -> ())
               done;
               ob.len <- 0
             done;
@@ -850,17 +902,32 @@ module Make (Msg : MESSAGE) = struct
             eng.estats.dropped <- eng.estats.dropped + 1;
             incr round_dropped
           in
-          let deliver sender dest msg =
+          let trace_fault kind ~sender ~dest ~de ~info =
+            match trace with
+            | Some tr ->
+                Trace.fault tr ~round:eng.current_round ~kind ~sender ~dest
+                  ~edge:de ~info
+            | None -> ()
+          in
+          let deliver ~sent ~de ~bits sender dest msg =
             (* A message reaching a node that is down is lost — the
                CONGEST-faithful model is silence, never an error. *)
-            if is_crashed dest then drop_one ()
+            if is_crashed dest then begin
+              drop_one ();
+              trace_fault Trace.Down_drop ~sender ~dest ~de ~info:0
+            end
             else begin
               let ib = p.inbox.(dest) in
               if ib.len = 0 then begin
                 p.receivers.(p.receivers_len) <- dest;
                 p.receivers_len <- p.receivers_len + 1
               end;
-              push ib sender 0 msg
+              push ib sender 0 msg;
+              match trace with
+              | Some tr ->
+                  Trace.message tr ~round:eng.current_round ~sent ~sender ~dest
+                    ~edge:de ~bits
+              | None -> ()
             end
           in
           (* Deferred messages due this round arrive first, in original
@@ -870,24 +937,25 @@ module Make (Msg : MESSAGE) = struct
           if !dq_min <= eng.current_round then begin
             let due, future =
               List.partition
-                (fun (r, _, _, _, _, _) -> r <= eng.current_round)
+                (fun (r, _, _, _, _, _, _) -> r <= eng.current_round)
                 !dq
             in
             dq := future;
             dq_min :=
               List.fold_left
-                (fun m (r, _, _, _, _, _) -> min m r)
+                (fun m (r, _, _, _, _, _, _) -> min m r)
                 max_int future;
             let due =
               List.sort
-                (fun (_, s1, _, _, _, _) (_, s2, _, _, _, _) ->
+                (fun (_, s1, _, _, _, _, _) (_, s2, _, _, _, _, _) ->
                   compare s1 s2)
                 due
             in
             List.iter
-              (fun (_, _, sender, dest, de, msg) ->
-                charge_wire de (Msg.bits msg);
-                deliver sender dest msg)
+              (fun (_, _, sent, sender, dest, de, msg) ->
+                let b = Msg.bits msg in
+                charge_wire de b;
+                deliver ~sent ~de ~bits:b sender dest msg)
               due
           end;
           for d = 0 to d_req - 1 do
@@ -900,10 +968,13 @@ module Make (Msg : MESSAGE) = struct
                 let dest = ob.ids.(j) and de = ob.eids.(j) in
                 let msg = ob.msgs.(j) in
                 let b = Msg.bits msg in
-                if is_crashed v then
+                let sent = eng.current_round - 1 in
+                if is_crashed v then begin
                   (* The sender went down with this frame still queued:
                      nothing ever reaches the wire. *)
-                  drop_one ()
+                  drop_one ();
+                  trace_fault Trace.Down_drop ~sender:v ~dest ~de ~info:0
+                end
                 else
                   match
                     Faults.draw fp ~edge:de ~round:eng.current_round
@@ -911,28 +982,32 @@ module Make (Msg : MESSAGE) = struct
                   with
                   | Faults.Deliver ->
                       charge_wire de b;
-                      deliver v dest msg
+                      deliver ~sent ~de ~bits:b v dest msg
                   | Faults.Drop ->
                       charge_wire de b;
-                      drop_one ()
+                      drop_one ();
+                      trace_fault Trace.Drop ~sender:v ~dest ~de ~info:0
                   | Faults.Truncate ->
                       (* A truncated frame occupies at most one full
                          bandwidth slot on the wire and is undecodable at
                          the receiver: silence, never corruption. *)
                       charge_wire de (if b < bw then b else bw);
-                      drop_one ()
+                      drop_one ();
+                      trace_fault Trace.Truncate ~sender:v ~dest ~de ~info:b
                   | Faults.Duplicate ->
                       charge_wire de b;
                       charge_wire de b;
                       eng.estats.duplicated <- eng.estats.duplicated + 1;
                       incr round_duplicated;
-                      deliver v dest msg;
-                      deliver v dest msg
+                      trace_fault Trace.Duplicate ~sender:v ~dest ~de ~info:0;
+                      deliver ~sent ~de ~bits:b v dest msg;
+                      deliver ~sent ~de ~bits:b v dest msg
                   | Faults.Delay dl ->
                       eng.estats.delayed <- eng.estats.delayed + 1;
                       incr round_delayed;
+                      trace_fault Trace.Delay ~sender:v ~dest ~de ~info:dl;
                       let due = eng.current_round + dl in
-                      dq := (due, !fseq, v, dest, de, msg) :: !dq;
+                      dq := (due, !fseq, sent, v, dest, de, msg) :: !dq;
                       incr fseq;
                       if due < !dq_min then dq_min := due
               done;
@@ -966,6 +1041,9 @@ module Make (Msg : MESSAGE) = struct
       p.touched_len <- 0;
       eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
       (* Step the live nodes (sharded when worthwhile). *)
+      let fib_cnt =
+        match trace with Some tr -> trace_prescan tr | None -> 0
+      in
       let nd_used = run_phase ~start:false !live_len in
       (match eng.telemetry with
       | Some tel ->
@@ -973,6 +1051,21 @@ module Make (Msg : MESSAGE) = struct
             ~dropped:!round_dropped ~duplicated:!round_duplicated
             ~delayed:!round_delayed ~crashed:!round_crashed ~bits:!round_bits
             ~frames:!max_frames ~messages:!round_msgs
+      | None -> ());
+      (match trace with
+      | Some tr ->
+          trace_postscan tr fib_cnt;
+          let stepped = total_stepped nd_used in
+          Trace.round_tick tr ~round:eng.current_round ~bits:!round_bits
+            ~frames:!max_frames ~messages:!round_msgs ~stepped;
+          if nd_used > 1 then begin
+            let mx = ref 0 in
+            for d = 0 to nd_used - 1 do
+              if arenas.(d).astepped > !mx then mx := arenas.(d).astepped
+            done;
+            Trace.shard tr ~round:eng.current_round ~domains:nd_used
+              ~max_stepped:!mx ~stepped
+          end
       | None -> ());
       check_failures ();
       merge_failures ();
@@ -1030,8 +1123,13 @@ module Make (Msg : MESSAGE) = struct
           eng.estats.Stats.fast_forwarded_rounds <-
             eng.estats.Stats.fast_forwarded_rounds + delta;
           eng.current_round <- eng.current_round + delta;
-          match eng.telemetry with
+          (match eng.telemetry with
           | Some tel -> Telemetry.fast_forward tel ~rounds:delta
+          | None -> ());
+          match trace with
+          | Some tr ->
+              Trace.fast_forward tr ~round:(eng.current_round - delta)
+                ~rounds:delta
           | None -> ()
         end
       end
@@ -1051,6 +1149,13 @@ module Make (Msg : MESSAGE) = struct
              incr live_len;
              if p.wake.(v) < !min_wake then min_wake := p.wake.(v)
        done;
+       (match trace with
+       | Some tr ->
+           for i = 0 to !live_len - 1 do
+             let v = live.(i) in
+             Trace.fiber_park tr ~round:0 ~node:v ~wake:p.wake.(v)
+           done
+       | None -> ());
        while !running && !live_len > 0 do
          if eng.estats.Stats.rounds >= max_rounds then begin
            running := false;
@@ -1074,9 +1179,17 @@ module Make (Msg : MESSAGE) = struct
            !crash_start_i < Array.length crash_starts
            && fst crash_starts.(!crash_start_i) <= eng.current_round
          do
-           let _, v = crash_starts.(!crash_start_i) in
-           if conts.(v) <> None then
+           let r, v = crash_starts.(!crash_start_i) in
+           if conts.(v) <> None then begin
              eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
+             match trace with
+             | Some tr ->
+                 Trace.fault tr ~round:r ~kind:Trace.Crash ~sender:v ~dest:v
+                   ~edge:(-1)
+                   ~info:(if crash_until.(v) = max_int then -1
+                          else crash_until.(v) - r)
+             | None -> ()
+           end;
            incr crash_start_i
          done;
        (* Every fiber still parked — a node suspended when [max_rounds]
@@ -1085,11 +1198,17 @@ module Make (Msg : MESSAGE) = struct
           [conts] is already all-[None]). *)
        finalize ();
        release_team ();
-       if owned then p.in_use <- false
+       if owned then p.in_use <- false;
+       match trace with
+       | Some tr -> Trace.run_end tr ~rounds:eng.current_round
+       | None -> ()
      with e ->
        finalize ();
        release_team ();
        if owned then p.in_use <- false;
+       (match trace with
+       | Some tr -> Trace.run_end tr ~rounds:eng.current_round
+       | None -> ());
        raise e);
     if !culled > 0 || eng.fail_log <> [] then completed := false;
     {

@@ -203,6 +203,18 @@ module Make (Msg : MESSAGE) : sig
              simulated round (bits, frames, messages, fibers stepped,
              domains used); fast-forwarded rounds are recorded through
              {!Telemetry.fast_forward}.
+      @param trace when given, typed per-event records (message
+             deliveries, fault firings, fiber resume/park, fast-forward
+             spans, per-round accounting, domain-shard boundaries) are
+             appended to the {!Trace.t} ring.  Simulated-event categories
+             are recorded from the serial half of a round in deterministic
+             order — byte-identical for every [?domains] count; host-side
+             categories (shard boundaries) reflect the actual execution.
+             Fiber resume/park events are predicted on the coordinating
+             domain from the same resume predicate the stepper uses, so
+             they too are domain-count invariant.  Tracing is independent
+             of [?telemetry]; with the argument omitted the engine's hot
+             path pays a single branch per event site.
       @param domains shard node stepping across this many OCaml domains
              (default 1 = serial).  All accounting is byte-identical for
              every value — see {e Concurrency and determinism} above.
@@ -238,6 +250,7 @@ module Make (Msg : MESSAGE) : sig
     ?strict:bool ->
     ?max_rounds:int ->
     ?telemetry:Telemetry.t ->
+    ?trace:Trace.t ->
     ?domains:int ->
     ?fast_forward:bool ->
     ?faults:Faults.policy ->

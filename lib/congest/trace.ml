@@ -1,0 +1,424 @@
+type config = {
+  capacity : int;
+  sample_messages : int;
+  sample_fibers : int;
+  sample_spans : int;
+}
+
+let default_config =
+  { capacity = 65536; sample_messages = 1; sample_fibers = 1; sample_spans = 1 }
+
+type fault_kind = Drop | Duplicate | Delay | Truncate | Crash | Down_drop
+
+type event =
+  | Round of { round : int; bits : int; frames : int; messages : int;
+               stepped : int }
+  | Message of { round : int; sent : int; sender : int; dest : int;
+                 edge : int; bits : int }
+  | Fault of { round : int; kind : fault_kind; sender : int; dest : int;
+               edge : int; info : int }
+  | Resume of { round : int; node : int }
+  | Park of { round : int; node : int; wake : int }
+  | Phase_open of { round : int; label : string }
+  | Phase_close of { round : int; label : string }
+  | Span_open of { round : int; label : string }
+  | Span_close of { round : int; label : string }
+  | Fast_forward of { round : int; rounds : int }
+  | Shard of { round : int; domains : int; max_stepped : int;
+               stepped : int }
+
+type totals = {
+  rounds : int;
+  frames : int;
+  bits : int;
+  messages : int;
+  fast_forwarded : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed : int;
+  recorded : int;
+  overwritten : int;
+  sampled_out : int;
+}
+
+type sim_phase = {
+  label : string;
+  rounds : int;
+  bits : int;
+  frames : int;
+  messages : int;
+  fast_forwarded : int;
+}
+
+type host_phase = {
+  label : string;
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  par_rounds : int;
+  stepped : int;
+  max_stepped : int;
+  max_domains : int;
+}
+
+(* Event slot layout: [kind; time; a; b; c; d; e].  Kind codes are the
+   constructor order of [event]; fault kind codes the order of
+   [fault_kind].  The same codes are the wire format of [Report.Ctrace]. *)
+let slot = 7
+
+type t = {
+  cfg : config;
+  ev : int array;  (* ring, cfg.capacity * slot ints *)
+  mutable written : int;  (* events ever pushed (ring index = mod cap) *)
+  (* Label intern table: spans/phases carry an id, not a string. *)
+  labels : (string, int) Hashtbl.t;
+  mutable label_names : string array;
+  mutable label_count : int;
+  mutable base : int;  (* absolute round at which the current run starts *)
+  mutable meta : (int * int * int) option;
+  (* Exact aggregates (never sampled, never evicted): *)
+  mutable t_rounds : int;
+  mutable t_frames : int;
+  mutable t_bits : int;
+  mutable t_messages : int;
+  mutable t_ff : int;
+  mutable t_dropped : int;
+  mutable t_duplicated : int;
+  mutable t_delayed : int;
+  mutable t_crashed : int;
+  mutable t_sampled_out : int;
+  mutable msg_seen : int;
+  mutable span_seen : int;
+  (* Current phase, sim side: *)
+  mutable p_label : int;
+  mutable p_rounds : int;
+  mutable p_bits : int;
+  mutable p_frames : int;
+  mutable p_messages : int;
+  mutable p_ff : int;
+  (* Current phase, host side: *)
+  mutable p_wall0 : float;
+  mutable p_gc0 : Gc.stat;
+  mutable p_par_rounds : int;
+  mutable p_stepped : int;
+  mutable p_max_stepped : int;
+  mutable p_max_domains : int;
+  mutable sim_closed : sim_phase list;  (* reverse chronological *)
+  mutable host_closed : host_phase list;
+  mutable finished : bool;
+}
+
+let intern t s =
+  match Hashtbl.find_opt t.labels s with
+  | Some id -> id
+  | None ->
+      let id = t.label_count in
+      if id = Array.length t.label_names then begin
+        let na = Array.make (max 8 (2 * id)) "" in
+        Array.blit t.label_names 0 na 0 id;
+        t.label_names <- na
+      end;
+      t.label_names.(id) <- s;
+      t.label_count <- id + 1;
+      Hashtbl.add t.labels s id;
+      id
+
+let create ?(config = default_config) () =
+  let cfg =
+    {
+      capacity = max 1 config.capacity;
+      sample_messages = max 1 config.sample_messages;
+      sample_fibers = max 1 config.sample_fibers;
+      sample_spans = max 1 config.sample_spans;
+    }
+  in
+  let t =
+    {
+      cfg;
+      ev = Array.make (cfg.capacity * slot) 0;
+      written = 0;
+      labels = Hashtbl.create 16;
+      label_names = Array.make 8 "";
+      label_count = 0;
+      base = 0;
+      meta = None;
+      t_rounds = 0;
+      t_frames = 0;
+      t_bits = 0;
+      t_messages = 0;
+      t_ff = 0;
+      t_dropped = 0;
+      t_duplicated = 0;
+      t_delayed = 0;
+      t_crashed = 0;
+      t_sampled_out = 0;
+      msg_seen = 0;
+      span_seen = 0;
+      p_label = 0;
+      p_rounds = 0;
+      p_bits = 0;
+      p_frames = 0;
+      p_messages = 0;
+      p_ff = 0;
+      p_wall0 = Unix.gettimeofday ();
+      p_gc0 = Gc.quick_stat ();
+      p_par_rounds = 0;
+      p_stepped = 0;
+      p_max_stepped = 0;
+      p_max_domains = 1;
+      sim_closed = [];
+      host_closed = [];
+      finished = false;
+    }
+  in
+  t.p_label <- intern t "run";
+  t
+
+let config t = t.cfg
+
+let push t kind time a b c d e =
+  let i = t.written mod t.cfg.capacity * slot in
+  t.ev.(i) <- kind;
+  t.ev.(i + 1) <- time;
+  t.ev.(i + 2) <- a;
+  t.ev.(i + 3) <- b;
+  t.ev.(i + 4) <- c;
+  t.ev.(i + 5) <- d;
+  t.ev.(i + 6) <- e;
+  t.written <- t.written + 1
+
+let set_meta t ~n ~m ~bandwidth =
+  if t.meta = None then t.meta <- Some (n, m, bandwidth)
+
+let meta t = t.meta
+
+let round_tick t ~round ~bits ~frames ~messages ~stepped =
+  t.t_rounds <- t.t_rounds + 1;
+  t.t_frames <- t.t_frames + frames;
+  t.t_bits <- t.t_bits + bits;
+  t.t_messages <- t.t_messages + messages;
+  t.p_rounds <- t.p_rounds + 1;
+  t.p_bits <- t.p_bits + bits;
+  t.p_frames <- t.p_frames + frames;
+  t.p_messages <- t.p_messages + messages;
+  t.p_stepped <- t.p_stepped + stepped;
+  push t 0 (t.base + round) bits frames messages stepped 0
+
+let message t ~round ~sent ~sender ~dest ~edge ~bits =
+  let k = t.msg_seen in
+  t.msg_seen <- k + 1;
+  if k mod t.cfg.sample_messages = 0 then
+    push t 1 (t.base + round) (t.base + sent) sender dest edge bits
+  else t.t_sampled_out <- t.t_sampled_out + 1
+
+let fault_code = function
+  | Drop -> 0
+  | Duplicate -> 1
+  | Delay -> 2
+  | Truncate -> 3
+  | Crash -> 4
+  | Down_drop -> 5
+
+let fault_of_code = function
+  | 0 -> Drop
+  | 1 -> Duplicate
+  | 2 -> Delay
+  | 3 -> Truncate
+  | 4 -> Crash
+  | _ -> Down_drop
+
+let fault t ~round ~kind ~sender ~dest ~edge ~info =
+  (match kind with
+  | Drop | Truncate | Down_drop -> t.t_dropped <- t.t_dropped + 1
+  | Duplicate -> t.t_duplicated <- t.t_duplicated + 1
+  | Delay -> t.t_delayed <- t.t_delayed + 1
+  | Crash -> t.t_crashed <- t.t_crashed + 1);
+  push t 2 (t.base + round) (fault_code kind) sender dest edge info
+
+let want_fiber t node = node mod t.cfg.sample_fibers = 0
+
+let fiber_resume t ~round ~node =
+  if want_fiber t node then push t 3 (t.base + round) node 0 0 0 0
+  else t.t_sampled_out <- t.t_sampled_out + 1
+
+let fiber_park t ~round ~node ~wake =
+  if want_fiber t node then push t 4 (t.base + round) node (t.base + wake) 0 0 0
+  else t.t_sampled_out <- t.t_sampled_out + 1
+
+let shard t ~round ~domains ~max_stepped ~stepped =
+  t.p_par_rounds <- t.p_par_rounds + 1;
+  t.p_max_stepped <- t.p_max_stepped + max_stepped;
+  if domains > t.p_max_domains then t.p_max_domains <- domains;
+  push t 10 (t.base + round) domains max_stepped stepped 0 0
+
+let fast_forward t ~round ~rounds =
+  t.t_rounds <- t.t_rounds + rounds;
+  t.t_frames <- t.t_frames + rounds;
+  t.t_ff <- t.t_ff + rounds;
+  t.p_rounds <- t.p_rounds + rounds;
+  t.p_frames <- t.p_frames + rounds;
+  t.p_ff <- t.p_ff + rounds;
+  push t 9 (t.base + round) rounds 0 0 0 0
+
+let run_end t ~rounds = t.base <- t.base + rounds
+
+(* Closing a phase captures the host-side deltas.  A phase with no
+   simulated rounds is dropped — both views, so they stay aligned —
+   mirroring [Telemetry.phase]. *)
+let close_phase t =
+  let wall = Unix.gettimeofday () in
+  let gc = Gc.quick_stat () in
+  if t.p_rounds > 0 then begin
+    let label = t.label_names.(t.p_label) in
+    push t 6 t.base t.p_label 0 0 0 0;
+    t.sim_closed <-
+      {
+        label;
+        rounds = t.p_rounds;
+        bits = t.p_bits;
+        frames = t.p_frames;
+        messages = t.p_messages;
+        fast_forwarded = t.p_ff;
+      }
+      :: t.sim_closed;
+    t.host_closed <-
+      {
+        label;
+        wall_s = wall -. t.p_wall0;
+        minor_words = gc.Gc.minor_words -. t.p_gc0.Gc.minor_words;
+        major_words = gc.Gc.major_words -. t.p_gc0.Gc.major_words;
+        minor_collections =
+          gc.Gc.minor_collections - t.p_gc0.Gc.minor_collections;
+        major_collections =
+          gc.Gc.major_collections - t.p_gc0.Gc.major_collections;
+        par_rounds = t.p_par_rounds;
+        stepped = t.p_stepped;
+        max_stepped = t.p_max_stepped;
+        max_domains = t.p_max_domains;
+      }
+      :: t.host_closed
+  end;
+  t.p_rounds <- 0;
+  t.p_bits <- 0;
+  t.p_frames <- 0;
+  t.p_messages <- 0;
+  t.p_ff <- 0;
+  t.p_wall0 <- wall;
+  t.p_gc0 <- gc;
+  t.p_par_rounds <- 0;
+  t.p_stepped <- 0;
+  t.p_max_stepped <- 0;
+  t.p_max_domains <- 1
+
+let phase t label =
+  close_phase t;
+  t.p_label <- intern t label;
+  t.finished <- false;
+  push t 5 t.base t.p_label 0 0 0 0
+
+let span t label f =
+  let k = t.span_seen in
+  t.span_seen <- k + 1;
+  if k mod t.cfg.sample_spans = 0 then begin
+    let id = intern t label in
+    push t 7 t.base id 0 0 0 0;
+    Fun.protect ~finally:(fun () -> push t 8 t.base id 0 0 0 0) f
+  end
+  else begin
+    t.t_sampled_out <- t.t_sampled_out + 2;
+    f ()
+  end
+
+let finish t =
+  if not t.finished then begin
+    close_phase t;
+    t.finished <- true
+  end
+
+let totals t =
+  {
+    rounds = t.t_rounds;
+    frames = t.t_frames;
+    bits = t.t_bits;
+    messages = t.t_messages;
+    fast_forwarded = t.t_ff;
+    dropped = t.t_dropped;
+    duplicated = t.t_duplicated;
+    delayed = t.t_delayed;
+    crashed = t.t_crashed;
+    recorded = t.written;
+    overwritten = max 0 (t.written - t.cfg.capacity);
+    sampled_out = t.t_sampled_out;
+  }
+
+let with_open_phase t view closed =
+  if t.p_rounds > 0 then List.rev (view :: closed) else List.rev closed
+
+let sim_phases t =
+  with_open_phase t
+    {
+      label = t.label_names.(t.p_label);
+      rounds = t.p_rounds;
+      bits = t.p_bits;
+      frames = t.p_frames;
+      messages = t.p_messages;
+      fast_forwarded = t.p_ff;
+    }
+    t.sim_closed
+
+let host_phases t =
+  with_open_phase t
+    {
+      label = t.label_names.(t.p_label);
+      wall_s = Unix.gettimeofday () -. t.p_wall0;
+      minor_words =
+        (Gc.quick_stat ()).Gc.minor_words -. t.p_gc0.Gc.minor_words;
+      major_words =
+        (Gc.quick_stat ()).Gc.major_words -. t.p_gc0.Gc.major_words;
+      minor_collections =
+        (Gc.quick_stat ()).Gc.minor_collections
+        - t.p_gc0.Gc.minor_collections;
+      major_collections =
+        (Gc.quick_stat ()).Gc.major_collections
+        - t.p_gc0.Gc.major_collections;
+      par_rounds = t.p_par_rounds;
+      stepped = t.p_stepped;
+      max_stepped = t.p_max_stepped;
+      max_domains = t.p_max_domains;
+    }
+    t.host_closed
+
+let decode t i =
+  let i = i mod t.cfg.capacity * slot in
+  let time = t.ev.(i + 1)
+  and a = t.ev.(i + 2)
+  and b = t.ev.(i + 3)
+  and c = t.ev.(i + 4)
+  and d = t.ev.(i + 5)
+  and e = t.ev.(i + 6) in
+  match t.ev.(i) with
+  | 0 -> Round { round = time; bits = a; frames = b; messages = c; stepped = d }
+  | 1 ->
+      Message { round = time; sent = a; sender = b; dest = c; edge = d;
+                bits = e }
+  | 2 ->
+      Fault { round = time; kind = fault_of_code a; sender = b; dest = c;
+              edge = d; info = e }
+  | 3 -> Resume { round = time; node = a }
+  | 4 -> Park { round = time; node = a; wake = b }
+  | 5 -> Phase_open { round = time; label = t.label_names.(a) }
+  | 6 -> Phase_close { round = time; label = t.label_names.(a) }
+  | 7 -> Span_open { round = time; label = t.label_names.(a) }
+  | 8 -> Span_close { round = time; label = t.label_names.(a) }
+  | 9 -> Fast_forward { round = time; rounds = a }
+  | 10 -> Shard { round = time; domains = a; max_stepped = b; stepped = c }
+  | k -> invalid_arg (Printf.sprintf "Trace.decode: bad kind %d" k)
+
+let iter_events t f =
+  let first = max 0 (t.written - t.cfg.capacity) in
+  for i = first to t.written - 1 do
+    f (decode t i)
+  done

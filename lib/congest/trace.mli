@@ -1,0 +1,204 @@
+(** Event-level tracing of engine runs.
+
+    A [Trace.t] attached to {!Engine.Make.run} records a bounded,
+    allocation-light ring buffer of typed events: message send/deliver
+    pairs, fault-layer firings, fiber resume/park transitions, phase and
+    span open/close markers, fast-forwarded quiescent spans, and
+    domain-shard round boundaries.  Where {!Telemetry} aggregates a
+    per-phase series, a trace answers {e which edge} and {e which round}:
+    it is the instrument behind the [.ctrace] format, the Perfetto
+    export, and the [planartrace] analyzer.
+
+    {1 Time base}
+
+    Event timestamps are {e absolute simulated rounds}: the engine's
+    per-run round counter plus the rounds of every earlier run recorded
+    into the same trace, so a protocol built from many short engine runs
+    (Stage I) gets one continuous timeline.
+
+    {1 Determinism}
+
+    Every simulated-event category (rounds, messages, faults, fibers,
+    phases, spans, fast-forward) is recorded from the serial half of a
+    round on the coordinating domain, in the deterministic order the
+    engine contract fixes — the simulated event stream is byte-identical
+    for every [?domains] count.  Host-side categories (domain-shard
+    boundaries, wall-clock/GC phase profiles) measure the actual
+    execution and legitimately differ between runs; they are kept in
+    separate event kinds and separate aggregates so analyzers can assert
+    "simulated accounting identical, host metrics differ"
+    ([planartrace diff]).
+
+    {1 Cost}
+
+    Recording is allocation-free in steady state: events are fixed-width
+    slots in a preallocated ring (oldest overwritten when full, with the
+    overwrite count kept honestly in {!totals}), and per-category
+    sampling keeps full-size runs cheap.  Aggregates ({!totals},
+    {!sim_phases}, {!host_phases}) are exact regardless of ring overflow
+    or sampling.  A [t] is single-run / single-domain state, like
+    {!Telemetry.t}. *)
+
+type t
+
+type config = {
+  capacity : int;  (** ring capacity in events (>= 1) *)
+  sample_messages : int;
+      (** record every [k]-th message send/deliver pair (1 = all) *)
+  sample_fibers : int;
+      (** record resume/park for nodes with [id mod k = 0] (1 = all) *)
+  sample_spans : int;  (** record every [k]-th {!span} pair (1 = all) *)
+}
+
+(** 65536 events, every message, every fiber, every span. *)
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** Kind of fault-layer event (see {!Faults}). *)
+type fault_kind =
+  | Drop
+  | Duplicate
+  | Delay  (** [info] = deferral in rounds *)
+  | Truncate
+  | Crash  (** a crash event took effect at a running node *)
+  | Down_drop  (** a message lost because an endpoint was down *)
+
+(** Decoded trace event.  [round] is the absolute simulated round. *)
+type event =
+  | Round of { round : int; bits : int; frames : int; messages : int;
+               stepped : int }
+      (** one simulated round's accounting (always recorded) *)
+  | Message of { round : int; sent : int; sender : int; dest : int;
+                 edge : int; bits : int }
+      (** a frame sent at round [sent] and delivered at [round];
+          [edge] is the directed edge id *)
+  | Fault of { round : int; kind : fault_kind; sender : int; dest : int;
+               edge : int; info : int }
+  | Resume of { round : int; node : int }
+      (** a parked fiber resumed this round *)
+  | Park of { round : int; node : int; wake : int }
+      (** a fiber parked until round [wake] (or an earlier arrival) *)
+  | Phase_open of { round : int; label : string }
+  | Phase_close of { round : int; label : string }
+  | Span_open of { round : int; label : string }
+  | Span_close of { round : int; label : string }
+  | Fast_forward of { round : int; rounds : int }
+      (** [rounds] provably-quiescent rounds skipped starting after
+          [round] *)
+  | Shard of { round : int; domains : int; max_stepped : int;
+               stepped : int }
+      (** {b host-side}: the round's stepping was sharded across
+          [domains] domains; the most loaded one resumed [max_stepped]
+          of the [stepped] fibers *)
+
+(** Exact whole-trace counters, immune to ring overflow and sampling. *)
+type totals = {
+  rounds : int;  (** simulated rounds (fast-forwarded spans included) *)
+  frames : int;  (** charged frames (= charged rounds) *)
+  bits : int;
+  messages : int;
+  fast_forwarded : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed : int;
+  recorded : int;  (** events written to the ring *)
+  overwritten : int;  (** of [recorded], how many the ring evicted *)
+  sampled_out : int;  (** events skipped by per-category sampling *)
+}
+
+(** Exact per-phase simulated accounting (the [planartrace diff]
+    anchor); empty phases are dropped, mirroring {!Telemetry.phase}. *)
+type sim_phase = {
+  label : string;
+  rounds : int;
+  bits : int;
+  frames : int;
+  messages : int;
+  fast_forwarded : int;
+}
+
+(** Host-side profile of one phase: wall-clock and GC deltas between the
+    phase's open and close, plus domain-shard load data.  Never mixed
+    into simulated accounting. *)
+type host_phase = {
+  label : string;
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  par_rounds : int;  (** rounds whose stepping was sharded *)
+  stepped : int;  (** fibers resumed across the phase *)
+  max_stepped : int;
+      (** sum over sharded rounds of the most loaded domain's fiber
+          count — [max_stepped * domains / stepped] ~ load imbalance *)
+  max_domains : int;
+}
+
+(** {1 Recording — engine-side hooks} *)
+
+(** [set_meta t ~n ~m ~bandwidth] records the graph shape and bandwidth;
+    first call wins (all runs of one trace share a graph). *)
+val set_meta : t -> n:int -> m:int -> bandwidth:int -> unit
+
+(** [(n, m, bandwidth)] when a run has been recorded. *)
+val meta : t -> (int * int * int) option
+
+val round_tick :
+  t -> round:int -> bits:int -> frames:int -> messages:int -> stepped:int ->
+  unit
+
+val message :
+  t -> round:int -> sent:int -> sender:int -> dest:int -> edge:int ->
+  bits:int -> unit
+
+val fault :
+  t -> round:int -> kind:fault_kind -> sender:int -> dest:int -> edge:int ->
+  info:int -> unit
+
+(** [want_fiber t node] pre-checks the fiber sampling gate so the engine
+    can skip building its resume-candidate scratch for sampled-out
+    nodes. *)
+val want_fiber : t -> int -> bool
+
+val fiber_resume : t -> round:int -> node:int -> unit
+val fiber_park : t -> round:int -> node:int -> wake:int -> unit
+val shard : t -> round:int -> domains:int -> max_stepped:int -> stepped:int -> unit
+val fast_forward : t -> round:int -> rounds:int -> unit
+
+(** [run_end t ~rounds] closes one engine run: the next run's round 0 is
+    this trace's absolute round [base + rounds]. *)
+val run_end : t -> rounds:int -> unit
+
+(** {1 Recording — protocol-side labels} *)
+
+(** [phase t label] closes the current phase (initially an implicit
+    ["run"]) and opens a new one, capturing host wall-clock/GC deltas
+    for the closed phase. *)
+val phase : t -> string -> unit
+
+(** [span t label f] wraps [f ()] in a span open/close event pair
+    (sampled per {!config.sample_spans}); the span label is interned
+    once.  [f]'s result (or exception) passes through. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** [finish t] closes the current phase; call once after the last run.
+    Idempotent. *)
+val finish : t -> unit
+
+(** {1 Reading} *)
+
+val totals : t -> totals
+
+(** Chronological; exact even when the ring overflowed. *)
+val sim_phases : t -> sim_phase list
+
+(** Chronological, aligned 1:1 with {!sim_phases}. *)
+val host_phases : t -> host_phase list
+
+(** Surviving ring events, oldest first. *)
+val iter_events : t -> (event -> unit) -> unit

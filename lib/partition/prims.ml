@@ -25,11 +25,19 @@ let wait_rounds ctx ~budget on_inbox =
   in
   pump ()
 
+(* [traced st label f] wraps one primitive's engine run in a trace span
+   when the state carries a trace; spans nest under the current trace
+   phase and cost nothing when tracing is off. *)
+let traced (st : State.t) label f =
+  match st.State.trace with
+  | Some tr -> Congest.Trace.span tr label f
+  | None -> f ()
+
 let run_program ?(seed = 0) (st : State.t) program =
   let res =
-    Eng.run ~seed ?telemetry:st.State.telemetry ~domains:st.State.domains
-      ~fast_forward:st.State.fast_forward ?faults:st.State.faults
-      ~pool:st.State.pool st.State.graph
+    Eng.run ~seed ?telemetry:st.State.telemetry ?trace:st.State.trace
+      ~domains:st.State.domains ~fast_forward:st.State.fast_forward
+      ?faults:st.State.faults ~pool:st.State.pool st.State.graph
       (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
   in
   (* Charge before judging completion: a degraded run's rounds and fault
@@ -49,6 +57,7 @@ let run_program ?(seed = 0) (st : State.t) program =
     @ st.State.rejections
 
 let refresh_roots st =
+  traced st "refresh_roots" @@ fun () ->
   run_program st (fun ctx nd ->
       Array.iter
         (fun (nbr, _) -> Eng.send ctx ~dest:nbr (Msg.Root nd.State.part_root))
@@ -70,6 +79,7 @@ let refresh_roots st =
         inbox)
 
 let bcast st ~budget ~tag ~at_root ~on_receive =
+  traced st "bcast" @@ fun () ->
   run_program st (fun ctx nd ->
       let relay payload =
         List.iter
@@ -101,6 +111,7 @@ let bcast st ~budget ~tag ~at_root ~on_receive =
              | _ -> assert false)))
 
 let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
+  traced st "converge" @@ fun () ->
   run_program st (fun ctx nd ->
       let pending = ref (List.length nd.State.children) in
       let acc = ref (init nd) in
@@ -137,6 +148,7 @@ let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
       if not !sent then failwith "converge: budget too small for tree depth")
 
 let boundary st ~tag ~payload ~on_receive =
+  traced st "boundary" @@ fun () ->
   run_program st (fun ctx nd ->
       let inc = Graph.incident st.State.graph nd.State.id in
       Array.iteri

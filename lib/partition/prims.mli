@@ -8,7 +8,10 @@
     budget by the true maximum part depth and account the nominal schedule
     separately).
 
-    Round statistics accumulate into [st.stats]. *)
+    Round statistics accumulate into [st.stats].  When [st.trace] is set,
+    each primitive wraps its engine run in a {!Congest.Trace.span} named
+    after itself ("refresh_roots", "bcast", "converge", "boundary"), and
+    the run's events land on the trace's continuous timeline. *)
 
 module Eng : sig
   type ctx

@@ -72,10 +72,11 @@ let nominal_phase_rounds ~n ~phase =
   (fd + cv + merge_steps) * per_step
 
 let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
-    ?telemetry ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
+    ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
   let st = State.create g in
   st.State.telemetry <- telemetry;
+  st.State.trace <- trace;
   st.State.domains <- domains;
   st.State.fast_forward <- fast_forward;
   st.State.faults <- faults;
@@ -90,10 +91,11 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
   let degraded = ref None in
   (try
      while (not !stop) && !phase <= t do
+       let phase_label = Printf.sprintf "stage1-phase-%d" !phase in
        Option.iter
-         (fun tel ->
-           Congest.Telemetry.phase tel (Printf.sprintf "stage1-phase-%d" !phase))
+         (fun tel -> Congest.Telemetry.phase tel phase_label)
          telemetry;
+       Option.iter (fun tr -> Congest.Trace.phase tr phase_label) trace;
        let cut_before = State.cut_edges st in
        Prims.refresh_roots st;
        let budget = max 1 (State.max_depth st) in

@@ -52,6 +52,10 @@ val phases_for : eps:float -> alpha:int -> int
     @param telemetry record a per-round series for every engine run, with
            one {!Congest.Telemetry} phase per partition phase
            (["stage1-phase-<i>"]).
+    @param trace record typed per-event data for every engine run (see
+           {!Congest.Trace}), with one trace phase per partition phase
+           (same ["stage1-phase-<i>"] labels as telemetry) and one span
+           per primitive.
     @param domains shard every engine run's node stepping across this many
            OCaml domains (default 1; the result is identical for any
            value — see {!Congest.Engine}).
@@ -67,6 +71,7 @@ val run :
   ?stop_when_met:bool ->
   ?measure_diameters:bool ->
   ?telemetry:Congest.Telemetry.t ->
+  ?trace:Congest.Trace.t ->
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->

@@ -39,6 +39,7 @@ type t = {
   mutable rejections : (int * string) list;
   mutable nominal_rounds : int;
   mutable telemetry : Congest.Telemetry.t option;
+  mutable trace : Congest.Trace.t option;
   mutable domains : int;
   mutable fast_forward : bool;
   mutable faults : Congest.Faults.policy option;
@@ -84,6 +85,7 @@ let create g =
     rejections = [];
     nominal_rounds = 0;
     telemetry = None;
+    trace = None;
     domains = 1;
     fast_forward = true;
     faults = None;

@@ -71,6 +71,11 @@ type t = {
   mutable telemetry : Congest.Telemetry.t option;
       (** when set, every engine run through {!Prims} records its
           per-round series here (see {!Congest.Telemetry}) *)
+  mutable trace : Congest.Trace.t option;
+      (** when set, every engine run through {!Prims} appends its typed
+          event records here on one continuous absolute-round timeline
+          (see {!Congest.Trace}), and each primitive wraps itself in a
+          labelled span *)
   mutable domains : int;
       (** OCaml domains every engine run through {!Prims} shards node
           stepping across (default 1 = serial; accounting is identical

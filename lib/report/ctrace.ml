@@ -1,0 +1,349 @@
+module Trace = Congest.Trace
+
+let magic = "CTRACE01"
+let version = 1
+
+type view = {
+  version : int;
+  n : int;
+  m : int;
+  bandwidth : int;
+  config : Trace.config;
+  totals : Trace.totals;
+  sim_phases : Trace.sim_phase list;
+  host_phases : Trace.host_phase list;
+  events : Trace.event array;
+}
+
+(* Wire codes mirror the constructor order of [Trace.event] and
+   [Trace.fault_kind]; they are part of the format and never renumbered. *)
+let fault_code = function
+  | Trace.Drop -> 0
+  | Trace.Duplicate -> 1
+  | Trace.Delay -> 2
+  | Trace.Truncate -> 3
+  | Trace.Crash -> 4
+  | Trace.Down_drop -> 5
+
+let fault_of_code = function
+  | 0 -> Trace.Drop
+  | 1 -> Trace.Duplicate
+  | 2 -> Trace.Delay
+  | 3 -> Trace.Truncate
+  | 4 -> Trace.Crash
+  | 5 -> Trace.Down_drop
+  | k -> failwith (Printf.sprintf "Ctrace: bad fault kind code %d" k)
+
+(* {1 Encoding} *)
+
+let put_int b x = Buffer.add_int64_le b (Int64.of_int x)
+let put_float b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let put_string b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let encode t =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  put_int b version;
+  let n, m, bw = match Trace.meta t with Some x -> x | None -> (-1, -1, -1) in
+  put_int b n;
+  put_int b m;
+  put_int b bw;
+  let cfg = Trace.config t in
+  put_int b cfg.Trace.capacity;
+  put_int b cfg.Trace.sample_messages;
+  put_int b cfg.Trace.sample_fibers;
+  put_int b cfg.Trace.sample_spans;
+  let tot = Trace.totals t in
+  put_int b tot.Trace.rounds;
+  put_int b tot.Trace.frames;
+  put_int b tot.Trace.bits;
+  put_int b tot.Trace.messages;
+  put_int b tot.Trace.fast_forwarded;
+  put_int b tot.Trace.dropped;
+  put_int b tot.Trace.duplicated;
+  put_int b tot.Trace.delayed;
+  put_int b tot.Trace.crashed;
+  put_int b tot.Trace.recorded;
+  put_int b tot.Trace.overwritten;
+  put_int b tot.Trace.sampled_out;
+  (* Intern every label (phase aggregates + labelled ring events) into one
+     string table, written before everything that references it. *)
+  let tbl = Hashtbl.create 16 in
+  let names = ref [] in
+  let count = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt tbl s with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add tbl s i;
+        names := s :: !names;
+        i
+  in
+  let sim = Trace.sim_phases t and host = Trace.host_phases t in
+  List.iter (fun (p : Trace.sim_phase) -> ignore (intern p.Trace.label)) sim;
+  List.iter (fun (p : Trace.host_phase) -> ignore (intern p.Trace.label)) host;
+  let n_events = ref 0 in
+  Trace.iter_events t (fun ev ->
+      incr n_events;
+      match ev with
+      | Trace.Phase_open { label; _ }
+      | Trace.Phase_close { label; _ }
+      | Trace.Span_open { label; _ }
+      | Trace.Span_close { label; _ } ->
+          ignore (intern label)
+      | _ -> ());
+  put_int b !count;
+  List.iter (put_string b) (List.rev !names);
+  put_int b (List.length sim);
+  List.iter
+    (fun (p : Trace.sim_phase) ->
+      put_int b (intern p.Trace.label);
+      put_int b p.Trace.rounds;
+      put_int b p.Trace.bits;
+      put_int b p.Trace.frames;
+      put_int b p.Trace.messages;
+      put_int b p.Trace.fast_forwarded)
+    sim;
+  put_int b (List.length host);
+  List.iter
+    (fun (p : Trace.host_phase) ->
+      put_int b (intern p.Trace.label);
+      put_float b p.Trace.wall_s;
+      put_float b p.Trace.minor_words;
+      put_float b p.Trace.major_words;
+      put_int b p.Trace.minor_collections;
+      put_int b p.Trace.major_collections;
+      put_int b p.Trace.par_rounds;
+      put_int b p.Trace.stepped;
+      put_int b p.Trace.max_stepped;
+      put_int b p.Trace.max_domains)
+    host;
+  put_int b !n_events;
+  let slot k t0 a b' c d e =
+    put_int b k;
+    put_int b t0;
+    put_int b a;
+    put_int b b';
+    put_int b c;
+    put_int b d;
+    put_int b e
+  in
+  Trace.iter_events t (fun ev ->
+      match ev with
+      | Trace.Round { round; bits; frames; messages; stepped } ->
+          slot 0 round bits frames messages stepped 0
+      | Trace.Message { round; sent; sender; dest; edge; bits } ->
+          slot 1 round sent sender dest edge bits
+      | Trace.Fault { round; kind; sender; dest; edge; info } ->
+          slot 2 round (fault_code kind) sender dest edge info
+      | Trace.Resume { round; node } -> slot 3 round node 0 0 0 0
+      | Trace.Park { round; node; wake } -> slot 4 round node wake 0 0 0
+      | Trace.Phase_open { round; label } ->
+          slot 5 round (intern label) 0 0 0 0
+      | Trace.Phase_close { round; label } ->
+          slot 6 round (intern label) 0 0 0 0
+      | Trace.Span_open { round; label } -> slot 7 round (intern label) 0 0 0 0
+      | Trace.Span_close { round; label } ->
+          slot 8 round (intern label) 0 0 0 0
+      | Trace.Fast_forward { round; rounds } -> slot 9 round rounds 0 0 0 0
+      | Trace.Shard { round; domains; max_stepped; stepped } ->
+          slot 10 round domains max_stepped stepped 0 0);
+  Buffer.contents b
+
+(* {1 Decoding} *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need cur k what =
+  if cur.pos + k > String.length cur.data then
+    failwith (Printf.sprintf "Ctrace: truncated file (reading %s)" what)
+
+let get_int cur what =
+  need cur 8 what;
+  let v = Int64.to_int (String.get_int64_le cur.data cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_float cur what =
+  need cur 8 what;
+  let v = Int64.float_of_bits (String.get_int64_le cur.data cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_string cur what =
+  let len = get_int cur what in
+  if len < 0 then failwith (Printf.sprintf "Ctrace: bad %s length" what);
+  need cur len what;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let decode data =
+  if String.length data < String.length magic
+     || String.sub data 0 (String.length magic) <> magic
+  then failwith "Ctrace: bad magic (not a .ctrace file)";
+  let cur = { data; pos = String.length magic } in
+  let v = get_int cur "version" in
+  if v <> version then
+    failwith
+      (Printf.sprintf "Ctrace: unknown format version %d (this build reads %d)"
+         v version);
+  (* Record literals and [Array.init]/[List.init] evaluate their parts in
+     unspecified order, so every multi-field read below is sequenced with
+     explicit [let]s / loops. *)
+  let n = get_int cur "n" in
+  let m = get_int cur "m" in
+  let bandwidth = get_int cur "bandwidth" in
+  let capacity = get_int cur "capacity" in
+  let sample_messages = get_int cur "sample_messages" in
+  let sample_fibers = get_int cur "sample_fibers" in
+  let sample_spans = get_int cur "sample_spans" in
+  let config = { Trace.capacity; sample_messages; sample_fibers; sample_spans }
+  in
+  let rounds = get_int cur "totals.rounds" in
+  let frames = get_int cur "totals.frames" in
+  let bits = get_int cur "totals.bits" in
+  let messages = get_int cur "totals.messages" in
+  let fast_forwarded = get_int cur "totals.fast_forwarded" in
+  let dropped = get_int cur "totals.dropped" in
+  let duplicated = get_int cur "totals.duplicated" in
+  let delayed = get_int cur "totals.delayed" in
+  let crashed = get_int cur "totals.crashed" in
+  let recorded = get_int cur "totals.recorded" in
+  let overwritten = get_int cur "totals.overwritten" in
+  let sampled_out = get_int cur "totals.sampled_out" in
+  let totals =
+    {
+      Trace.rounds;
+      frames;
+      bits;
+      messages;
+      fast_forwarded;
+      dropped;
+      duplicated;
+      delayed;
+      crashed;
+      recorded;
+      overwritten;
+      sampled_out;
+    }
+  in
+  let read_list n f =
+    let rec go i acc = if i = n then List.rev acc else go (i + 1) (f () :: acc)
+    in
+    go 0 []
+  in
+  let n_labels = get_int cur "label count" in
+  let labels =
+    Array.of_list (read_list n_labels (fun () -> get_string cur "label"))
+  in
+  let label i =
+    if i < 0 || i >= n_labels then
+      failwith (Printf.sprintf "Ctrace: label id %d out of range" i)
+    else labels.(i)
+  in
+  let n_sim = get_int cur "sim phase count" in
+  let sim_phases =
+    read_list n_sim (fun () ->
+        let l = label (get_int cur "sim phase label") in
+        let rounds = get_int cur "sim phase rounds" in
+        let bits = get_int cur "sim phase bits" in
+        let frames = get_int cur "sim phase frames" in
+        let messages = get_int cur "sim phase messages" in
+        let ff = get_int cur "sim phase ff" in
+        {
+          Trace.label = l;
+          rounds;
+          bits;
+          frames;
+          messages;
+          fast_forwarded = ff;
+        })
+  in
+  let n_host = get_int cur "host phase count" in
+  let host_phases =
+    read_list n_host (fun () ->
+        let l = label (get_int cur "host phase label") in
+        let wall_s = get_float cur "host phase wall" in
+        let minor_words = get_float cur "host phase minor_words" in
+        let major_words = get_float cur "host phase major_words" in
+        let minor_collections = get_int cur "host phase minor_collections" in
+        let major_collections = get_int cur "host phase major_collections" in
+        let par_rounds = get_int cur "host phase par_rounds" in
+        let stepped = get_int cur "host phase stepped" in
+        let max_stepped = get_int cur "host phase max_stepped" in
+        let max_domains = get_int cur "host phase max_domains" in
+        {
+          Trace.label = l;
+          wall_s;
+          minor_words;
+          major_words;
+          minor_collections;
+          major_collections;
+          par_rounds;
+          stepped;
+          max_stepped;
+          max_domains;
+        })
+  in
+  let n_events = get_int cur "event count" in
+  let events =
+    Array.of_list
+      (read_list n_events (fun () ->
+        let kind = get_int cur "event kind" in
+        let t0 = get_int cur "event time" in
+        let a = get_int cur "event a" in
+        let b = get_int cur "event b" in
+        let c = get_int cur "event c" in
+        let d = get_int cur "event d" in
+        let e = get_int cur "event e" in
+        match kind with
+        | 0 ->
+            Trace.Round
+              { round = t0; bits = a; frames = b; messages = c; stepped = d }
+        | 1 ->
+            Trace.Message
+              { round = t0; sent = a; sender = b; dest = c; edge = d;
+                bits = e }
+        | 2 ->
+            Trace.Fault
+              { round = t0; kind = fault_of_code a; sender = b; dest = c;
+                edge = d; info = e }
+        | 3 -> Trace.Resume { round = t0; node = a }
+        | 4 -> Trace.Park { round = t0; node = a; wake = b }
+        | 5 -> Trace.Phase_open { round = t0; label = label a }
+        | 6 -> Trace.Phase_close { round = t0; label = label a }
+        | 7 -> Trace.Span_open { round = t0; label = label a }
+        | 8 -> Trace.Span_close { round = t0; label = label a }
+        | 9 -> Trace.Fast_forward { round = t0; rounds = a }
+        | 10 ->
+            Trace.Shard
+              { round = t0; domains = a; max_stepped = b; stepped = c }
+        | k -> failwith (Printf.sprintf "Ctrace: bad event kind %d" k)))
+  in
+  if cur.pos <> String.length data then
+    failwith "Ctrace: trailing bytes after event stream";
+  { version = v; n; m; bandwidth; config; totals; sim_phases; host_phases;
+    events }
+
+let write path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let read path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data
+
+let of_trace t = decode (encode t)

@@ -1,0 +1,39 @@
+(** Compact binary serialization of {!Congest.Trace} recordings.
+
+    A [.ctrace] file is a versioned snapshot of everything a trace knows:
+    graph meta, recording config, exact aggregates ({!Congest.Trace.totals},
+    per-phase sim/host profiles) and the surviving ring events.  All
+    integers are little-endian 64-bit; floats are IEEE-754 bit patterns in
+    the same slots; labels are interned in one string table.  The format is
+    self-contained — a reader needs no access to the graph. *)
+
+(** Format magic ["CTRACE01"] (8 bytes, version in the suffix). *)
+val magic : string
+
+val version : int
+
+(** Everything read back from a [.ctrace] file.  [n]/[m]/[bandwidth] are
+    [-1] when the trace never saw an engine run. *)
+type view = {
+  version : int;
+  n : int;
+  m : int;
+  bandwidth : int;
+  config : Congest.Trace.config;
+  totals : Congest.Trace.totals;
+  sim_phases : Congest.Trace.sim_phase list;
+  host_phases : Congest.Trace.host_phase list;
+  events : Congest.Trace.event array;  (** surviving ring, oldest first *)
+}
+
+(** [write path t] snapshots [t] to [path].  Call {!Congest.Trace.finish}
+    first so the last phase's host profile is closed. *)
+val write : string -> Congest.Trace.t -> unit
+
+(** [read path] parses a [.ctrace] file.  Raises [Failure] with a clear
+    message on a bad magic, an unknown version, or a truncated file. *)
+val read : string -> view
+
+(** [of_trace t] is the view [write]-then-[read] would produce, without
+    touching the filesystem. *)
+val of_trace : Congest.Trace.t -> view

@@ -1,0 +1,181 @@
+module Trace = Congest.Trace
+module Json = Congest.Telemetry.Json
+
+let ev fields = Json.Obj fields
+
+let meta_event ~pid ~name what =
+  ev
+    [
+      ("name", Json.String what);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let common ~name ~cat ~ph ~ts ~pid ~tid rest =
+  ("name", Json.String name)
+  :: ("cat", Json.String cat)
+  :: ("ph", Json.String ph)
+  :: ("ts", Json.Int ts)
+  :: ("pid", Json.Int pid)
+  :: ("tid", Json.Int tid)
+  :: rest
+
+let fault_name = function
+  | Trace.Drop -> "drop"
+  | Trace.Duplicate -> "duplicate"
+  | Trace.Delay -> "delay"
+  | Trace.Truncate -> "truncate"
+  | Trace.Crash -> "crash"
+  | Trace.Down_drop -> "down-drop"
+
+let of_view (v : Ctrace.view) =
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  emit (meta_event ~pid:0 ~name:"simulation" "process_name");
+  emit (meta_event ~pid:1 ~name:"network" "process_name");
+  emit (meta_event ~pid:2 ~name:"fibers" "process_name");
+  emit (meta_event ~pid:3 ~name:"host" "process_name");
+  let flow_id = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Trace.Round { round; bits; frames; messages; stepped } ->
+          emit
+            (ev
+               (common ~name:"round" ~cat:"sim" ~ph:"C" ~ts:round ~pid:0
+                  ~tid:0
+                  [
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("bits", Json.Int bits);
+                          ("frames", Json.Int frames);
+                          ("messages", Json.Int messages);
+                          ("stepped", Json.Int stepped);
+                        ] );
+                  ]))
+      | Trace.Message { round; sent; sender; dest; edge; bits } ->
+          let id = !flow_id in
+          incr flow_id;
+          let dur = max 1 (round - sent) in
+          emit
+            (ev
+               (common
+                  ~name:(Printf.sprintf "edge-%d" edge)
+                  ~cat:"message" ~ph:"X" ~ts:sent ~pid:1 ~tid:sender
+                  [
+                    ("dur", Json.Int dur);
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("dest", Json.Int dest);
+                          ("bits", Json.Int bits);
+                          ("delivered", Json.Int round);
+                        ] );
+                  ]));
+          emit
+            (ev
+               (common ~name:"msg" ~cat:"message" ~ph:"s" ~ts:sent ~pid:1
+                  ~tid:sender
+                  [ ("id", Json.Int id) ]));
+          emit
+            (ev
+               (common ~name:"msg" ~cat:"message" ~ph:"f" ~ts:round ~pid:1
+                  ~tid:dest
+                  [ ("id", Json.Int id); ("bp", Json.String "e") ]))
+      | Trace.Fault { round; kind; sender; dest; edge; info } ->
+          emit
+            (ev
+               (common ~name:(fault_name kind) ~cat:"fault" ~ph:"i" ~ts:round
+                  ~pid:1 ~tid:sender
+                  [
+                    ("s", Json.String "t");
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("dest", Json.Int dest);
+                          ("edge", Json.Int edge);
+                          ("info", Json.Int info);
+                        ] );
+                  ]))
+      | Trace.Resume { round; node } ->
+          emit
+            (ev
+               (common ~name:"resume" ~cat:"fiber" ~ph:"i" ~ts:round ~pid:2
+                  ~tid:node
+                  [ ("s", Json.String "t") ]))
+      | Trace.Park { round; node; wake } ->
+          emit
+            (ev
+               (common ~name:"parked" ~cat:"fiber" ~ph:"X" ~ts:round ~pid:2
+                  ~tid:node
+                  [
+                    ("dur", Json.Int (max 1 (wake - round)));
+                    ("args", Json.Obj [ ("wake", Json.Int wake) ]);
+                  ]))
+      | Trace.Phase_open { round; label } ->
+          emit
+            (ev (common ~name:label ~cat:"phase" ~ph:"B" ~ts:round ~pid:0
+                   ~tid:0 []))
+      | Trace.Phase_close { round; label } ->
+          emit
+            (ev (common ~name:label ~cat:"phase" ~ph:"E" ~ts:round ~pid:0
+                   ~tid:0 []))
+      | Trace.Span_open { round; label } ->
+          emit
+            (ev (common ~name:label ~cat:"span" ~ph:"B" ~ts:round ~pid:0
+                   ~tid:1 []))
+      | Trace.Span_close { round; label } ->
+          emit
+            (ev (common ~name:label ~cat:"span" ~ph:"E" ~ts:round ~pid:0
+                   ~tid:1 []))
+      | Trace.Fast_forward { round; rounds } ->
+          emit
+            (ev
+               (common ~name:"fast-forward" ~cat:"sim" ~ph:"X" ~ts:round
+                  ~pid:0 ~tid:0
+                  [
+                    ("dur", Json.Int rounds);
+                    ("args", Json.Obj [ ("rounds", Json.Int rounds) ]);
+                  ]))
+      | Trace.Shard { round; domains; max_stepped; stepped } ->
+          emit
+            (ev
+               (common ~name:"shard" ~cat:"host" ~ph:"C" ~ts:round ~pid:3
+                  ~tid:0
+                  [
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("domains", Json.Int domains);
+                          ("max_stepped", Json.Int max_stepped);
+                          ("stepped", Json.Int stepped);
+                        ] );
+                  ])))
+    v.Ctrace.events;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !out));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("format", Json.String "planartrace/perfetto");
+            ("n", Json.Int v.Ctrace.n);
+            ("m", Json.Int v.Ctrace.m);
+            ("bandwidth", Json.Int v.Ctrace.bandwidth);
+            ("recorded", Json.Int v.Ctrace.totals.Trace.recorded);
+            ("overwritten", Json.Int v.Ctrace.totals.Trace.overwritten);
+            ("sampled_out", Json.Int v.Ctrace.totals.Trace.sampled_out);
+          ] );
+    ]
+
+let write path view =
+  let j = of_view view in
+  if path = "-" then begin
+    print_string (Json.to_string j);
+    print_newline ()
+  end
+  else Json.write_file path j

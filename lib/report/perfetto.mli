@@ -1,0 +1,24 @@
+(** Chrome/Perfetto [trace_event] JSON export of a {!Ctrace.view}.
+
+    The emitted document is the standard JSON Object Format
+    ([{"traceEvents": [...], ...}]) readable by [chrome://tracing] and
+    [ui.perfetto.dev].  One simulated round maps to one microsecond of
+    trace time.  Track layout:
+
+    - pid 0 "simulation": phase duration spans (tid 0) and primitive
+      span pairs (tid 1), fast-forward spans, and per-round counter
+      series (bits / frames / messages / stepped);
+    - pid 1 "network": per-sender message slices with flow arrows from
+      send to delivery (so convergecast causality renders as arrows),
+      and fault instants;
+    - pid 2 "fibers": per-node park slices and resume instants;
+    - pid 3 "host": domain-shard counter series (domains, max_stepped) —
+      host-side data, clearly separated from simulated tracks.
+
+    The export is a pure function of the view: byte-identical JSON for
+    byte-identical [.ctrace] input. *)
+
+val of_view : Ctrace.view -> Congest.Telemetry.Json.t
+
+(** [write path view] writes {!of_view} to [path] ([-] = stdout). *)
+val write : string -> Ctrace.view -> unit

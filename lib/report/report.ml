@@ -1,11 +1,62 @@
 module Json = Congest.Telemetry.Json
+module Ctrace = Ctrace
+module Perfetto = Perfetto
 module PT = Tester.Planarity_tester
 
 let stats_schema = "planartest.stats/v1"
 let stats_schema_v2 = "planartest.stats/v2"
+let stats_schema_v3 = "planartest.stats/v3"
 let bench_schema = "bench.planarity/v1"
 
-let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults (r : PT.report) =
+let known_schemas =
+  [ stats_schema; stats_schema_v2; stats_schema_v3; bench_schema ]
+
+let check_schema j =
+  match j with
+  | Json.Obj members -> (
+      match List.assoc_opt "schema" members with
+      | Some (Json.String s) when List.mem s known_schemas -> Ok s
+      | Some (Json.String s) ->
+          Error
+            (Printf.sprintf
+               "unknown schema version %S (this build knows: %s)" s
+               (String.concat ", " known_schemas))
+      | Some _ -> Error "\"schema\" member is not a string"
+      | None -> Error "document has no \"schema\" member")
+  | _ -> Error "document is not a JSON object"
+
+let host_block (tr : Congest.Trace.t) =
+  let tot = Congest.Trace.totals tr in
+  let phase_json (p : Congest.Trace.host_phase) =
+    Json.Obj
+      [
+        ("label", Json.String p.Congest.Trace.label);
+        ("wall_s", Json.Float p.Congest.Trace.wall_s);
+        ("minor_words", Json.Float p.Congest.Trace.minor_words);
+        ("major_words", Json.Float p.Congest.Trace.major_words);
+        ("minor_collections", Json.Int p.Congest.Trace.minor_collections);
+        ("major_collections", Json.Int p.Congest.Trace.major_collections);
+        ("par_rounds", Json.Int p.Congest.Trace.par_rounds);
+        ("stepped", Json.Int p.Congest.Trace.stepped);
+        ("max_stepped", Json.Int p.Congest.Trace.max_stepped);
+        ("max_domains", Json.Int p.Congest.Trace.max_domains);
+      ]
+  in
+  Json.Obj
+    [
+      ( "phases",
+        Json.List (List.map phase_json (Congest.Trace.host_phases tr)) );
+      ( "trace",
+        Json.Obj
+          [
+            ("recorded", Json.Int tot.Congest.Trace.recorded);
+            ("overwritten", Json.Int tot.Congest.Trace.overwritten);
+            ("sampled_out", Json.Int tot.Congest.Trace.sampled_out);
+          ] );
+    ]
+
+let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
+    (r : PT.report) =
   let verdict, rejections, degraded_reason =
     match r.PT.verdict with
     | PT.Accept -> ("accept", [], None)
@@ -14,13 +65,17 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults (r : PT.report) =
   in
   (* v1, byte-compatible with the pre-faults emitter, is produced whenever
      no fault policy is supplied.  A [Degraded] verdict can only arise
-     under a policy, so v1 documents keep their two-value verdict. *)
+     under a policy, so v1 documents keep their two-value verdict.  The
+     host profiling block bumps to v3; with profiling off the v1/v2
+     output is byte-identical to earlier builds. *)
   let base =
     [
       ( "schema",
         Json.String
-          (match faults with None -> stats_schema | Some _ -> stats_schema_v2)
-      );
+          (match (host, faults) with
+          | Some _, _ -> stats_schema_v3
+          | None, None -> stats_schema
+          | None, Some _ -> stats_schema_v2) );
       ("graph", Json.Obj [ ("n", Json.Int n); ("m", Json.Int m) ]);
       ("eps", Json.Float eps);
       ("seed", Json.Int seed);
@@ -61,6 +116,9 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults (r : PT.report) =
               ] );
         ]
   in
+  let host_slot =
+    match host with None -> [] | Some tr -> [ ("host", host_block tr) ]
+  in
   let telemetry_slot =
     [
       ( "telemetry",
@@ -69,7 +127,7 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults (r : PT.report) =
         | None -> Json.Null );
     ]
   in
-  Json.Obj (base @ faults_block @ telemetry_slot)
+  Json.Obj (base @ faults_block @ host_slot @ telemetry_slot)
 
 let bench_envelope ~quick ~jobs ~domains experiments =
   Json.Obj

@@ -8,14 +8,34 @@
 
 module Json = Congest.Telemetry.Json
 
+(** Binary [.ctrace] serialization of {!Congest.Trace} recordings. *)
+module Ctrace = Ctrace
+
+(** Chrome/Perfetto [trace_event] JSON export of a {!Ctrace.view}. *)
+module Perfetto = Perfetto
+
 (** ["planartest.stats/v1"] *)
 val stats_schema : string
 
 (** ["planartest.stats/v2"] *)
 val stats_schema_v2 : string
 
+(** ["planartest.stats/v3"] *)
+val stats_schema_v3 : string
+
 (** ["bench.planarity/v1"] *)
 val bench_schema : string
+
+(** Every schema tag this build can emit or validate. *)
+val known_schemas : string list
+
+(** [check_schema j] validates a document's ["schema"] member against
+    {!known_schemas}: [Ok tag] when recognized, [Error reason] when the
+    member is missing, not a string, or an unknown version.  Golden
+    comparisons must call this before comparing key sets, so a document
+    from a newer (or corrupted) producer fails loudly instead of being
+    silently diffed field-by-field. *)
+val check_schema : Json.t -> (string, string) result
 
 (** [tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults report] is
     the stats document for one tester run.  The ["telemetry"] member is
@@ -31,7 +51,14 @@ val bench_schema : string
     ["degraded"] (in which case ["rejections"] is empty and
     [faults.degraded_reason] is a string instead of [null]).  A v1
     consumer that ignores unknown keys reads every v1 field of a v2
-    document unchanged. *)
+    document unchanged.
+
+    {b v2 → v3.}  With [?host] (a finished {!Congest.Trace.t}) the schema
+    tag becomes [planartest.stats/v3]: v2 plus one ["host"] object
+    (per-phase wall-clock/GC/shard profiles under [phases], ring health
+    under [trace]) inserted before ["telemetry"].  Host profiling data
+    never contaminates the simulated accounting fields; with [?host]
+    omitted the v1/v2 output is byte-identical to earlier builds. *)
 val tester_stats :
   n:int ->
   m:int ->
@@ -40,6 +67,7 @@ val tester_stats :
   domains:int ->
   ?telemetry:Congest.Telemetry.t ->
   ?faults:Congest.Faults.policy ->
+  ?host:Congest.Trace.t ->
   Tester.Planarity_tester.report ->
   Json.t
 

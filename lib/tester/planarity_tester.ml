@@ -19,20 +19,21 @@ type report = {
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry
-    ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
+    ?trace ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
   let faults_active = Congest.Faults.active faults in
   let stage1, st =
     match partition with
     | Stage_one ->
         let r =
-          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ~domains
-            ~fast_forward ?faults g ~eps
+          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+            ~domains ~fast_forward ?faults g ~eps
         in
         (Some r, r.Partition.Stage1.state)
     | Exponential_shifts ->
         let r = Partition.En_partition.run ~seed g ~eps in
         let st = r.Partition.En_partition.state in
         st.Partition.State.telemetry <- telemetry;
+        st.Partition.State.trace <- trace;
         st.Partition.State.domains <- domains;
         st.Partition.State.fast_forward <- fast_forward;
         (* Like telemetry/domains, faults apply to the engine runs issued
@@ -62,6 +63,7 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
       Option.iter
         (fun tel -> Congest.Telemetry.phase tel "stage2")
         telemetry;
+      Option.iter (fun tr -> Congest.Trace.phase tr "stage2") trace;
       try Some (Stage2.run ~embedding st ~eps ~seed) with
       | Congest.Faults.Degraded msg ->
           degraded := Some msg;

@@ -47,7 +47,10 @@ type report = {
     simulator.  [seed] drives the randomized steps (Stage II's edge
     sampling, and the shifts in [Exponential_shifts] mode).  [telemetry]
     records per-round series, with one {!Congest.Telemetry} phase per
-    Stage I phase plus a ["stage2"] phase.  [measure_diameters] (default
+    Stage I phase plus a ["stage2"] phase.  [trace] records typed
+    per-event data (see {!Congest.Trace}) with the same phase labels; in
+    [Exponential_shifts] mode it covers the engine runs issued from
+    Stage II on, like telemetry.  [measure_diameters] (default
     [false]) fills the exact per-phase part diameters in the Stage I
     trace — a centralized diagnostic the tester itself never consults,
     and an all-pairs-BFS sweep per phase, so it is off unless asked
@@ -69,6 +72,7 @@ val run :
   ?embedding:Stage2.embedding_mode ->
   ?measure_diameters:bool ->
   ?telemetry:Congest.Telemetry.t ->
+  ?trace:Congest.Trace.t ->
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->

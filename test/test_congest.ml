@@ -440,6 +440,133 @@ let test_telemetry_phase_labels () =
   in
   check (Alcotest.list Alcotest.string) "labels" [ "a"; "b" ] labels
 
+let test_telemetry_empty_phases_with_ff () =
+  (* Empty phases are dropped even when they sit between fast-forwarded
+     spans — and a phase whose only content is a fast-forwarded span is
+     NOT empty: each skipped round is accounted like the quiescent round
+     it replaces. *)
+  let tel = Congest.Telemetry.create () in
+  Congest.Telemetry.phase tel "empty-head";
+  Congest.Telemetry.phase tel "ff-only";
+  Congest.Telemetry.fast_forward tel ~rounds:5;
+  Congest.Telemetry.phase tel "empty-mid";
+  Congest.Telemetry.phase tel "ticked";
+  Congest.Telemetry.tick tel ~bits:8 ~frames:1 ~messages:1;
+  Congest.Telemetry.phase tel "empty-tail";
+  let phases = Congest.Telemetry.phases tel in
+  check
+    (Alcotest.list Alcotest.string)
+    "only round-recording phases survive"
+    [ "ff-only"; "ticked" ]
+    (List.map
+       (fun (p : Congest.Telemetry.phase_view) -> p.Congest.Telemetry.label)
+       phases);
+  let ff = List.hd phases in
+  check ci "ff span counts as rounds" 5 ff.Congest.Telemetry.rounds;
+  check ci "ff rounds tracked separately" 5 ff.Congest.Telemetry.fast_forwarded;
+  check ci "one frame per quiescent round" 5 ff.Congest.Telemetry.frames;
+  check ci "a quiescent round carries no bits" 0 ff.Congest.Telemetry.bits
+
+(* Per-phase series lengths from the JSON view (phase_view exposes only
+   aggregates). *)
+let series_lengths tel =
+  let module J = Congest.Telemetry.Json in
+  let field k = function
+    | J.Obj fields -> List.assoc k fields
+    | _ -> Alcotest.fail "expected an object"
+  in
+  match field "phases" (Congest.Telemetry.to_json tel) with
+  | J.List ps ->
+      List.map
+        (fun p ->
+          let rounds =
+            match field "rounds" p with J.Int r -> r | _ -> -1
+          in
+          let len k =
+            match field k (field "series" p) with
+            | J.List l -> List.length l
+            | _ -> -1
+          in
+          (rounds, len "bits", len "frames", len "messages", len "stepped"))
+        ps
+  | _ -> Alcotest.fail "phases must be a list"
+
+let test_telemetry_series_length_domains_ff () =
+  (* Every series has exactly one entry per recorded round — including
+     the fast-forwarded ones — for every domain count, and the series
+     themselves are identical across all four configurations. *)
+  let star_ping ~domains ~fast_forward tel =
+    ignore
+      (E.run ~telemetry:tel ~domains ~fast_forward (Generators.star 29)
+         (fun ctx ->
+           if E.my_id ctx = 0 then begin
+             E.idle ctx 12;
+             E.broadcast ctx (M.Int 5);
+             ignore (E.wait ctx 30)
+           end
+           else
+             match E.wait ctx 60 with
+             | (0, M.Int v) :: _ ->
+                 E.send ctx ~dest:0 (M.Int (v * 2));
+                 ignore (E.wait ctx 1)
+             | _ -> ()))
+  in
+  let module J = Congest.Telemetry.Json in
+  (* Two projections of the JSON view: [drop] removes the members that
+     legitimately vary with the domain count (parallel_rounds,
+     max_domains — host facts); fast-forwarding additionally changes
+     which fibers get stepped (a proven-quiescent round steps none), so
+     the cross-ff comparison also drops stepped and fast_forwarded. *)
+  let project drop tel =
+    let keep = function
+      | J.Obj fields ->
+          J.Obj
+            (List.map
+               (fun (k, v) ->
+                 if List.mem k drop then (k, J.Null)
+                 else if k = "series" then
+                   match v with
+                   | J.Obj series ->
+                       ( k,
+                         J.Obj
+                           (List.filter
+                              (fun (sk, _) -> not (List.mem sk drop))
+                              series) )
+                   | v -> (k, v)
+                 else (k, v))
+               fields)
+      | p -> p
+    in
+    match Congest.Telemetry.to_json tel with
+    | J.Obj [ ("phases", J.List ps) ] ->
+        J.to_string (J.List (List.map keep ps))
+    | j -> J.to_string j
+  in
+  let host_only = [ "parallel_rounds"; "max_domains" ] in
+  let views =
+    List.map
+      (fun (domains, fast_forward) ->
+        let tel = Congest.Telemetry.create () in
+        star_ping ~domains ~fast_forward tel;
+        List.iter
+          (fun (rounds, b, f, m, s) ->
+            check ci "bits series length = rounds" rounds b;
+            check ci "frames series length = rounds" rounds f;
+            check ci "messages series length = rounds" rounds m;
+            check ci "stepped series length = rounds" rounds s)
+          (series_lengths tel);
+        ( project host_only tel,
+          project (host_only @ [ "stepped"; "fast_forwarded" ]) tel ))
+      [ (1, true); (1, false); (3, true); (3, false) ]
+  in
+  match views with
+  | [ (d1_on, bfm_on); (d1_off, bfm_off); (d3_on, _); (d3_off, _) ] ->
+      check cb "identical across domains (ff on)" true (d1_on = d3_on);
+      check cb "identical across domains (ff off)" true (d1_off = d3_off);
+      check cb "bits/frames/messages identical across fast-forward" true
+        (bfm_on = bfm_off)
+  | _ -> assert false
+
 let test_stats_charge_and_merge () =
   let s1 = Congest.Stats.create ~bandwidth:32 in
   let s2 = Congest.Stats.create ~bandwidth:32 in
@@ -1043,6 +1170,10 @@ let () =
           Alcotest.test_case "series matches stats" `Quick
             test_telemetry_series_matches_stats;
           Alcotest.test_case "phase labels" `Quick test_telemetry_phase_labels;
+          Alcotest.test_case "empty phases interleaved with fast-forward"
+            `Quick test_telemetry_empty_phases_with_ff;
+          Alcotest.test_case "series length across domains and fast-forward"
+            `Quick test_telemetry_series_length_domains_ff;
         ] );
       ( "stats",
         [ Alcotest.test_case "charge and merge" `Quick test_stats_charge_and_merge ]

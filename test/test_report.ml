@@ -196,6 +196,117 @@ let test_stats_v1_unchanged_without_faults () =
   check Alcotest.string "no faults => v1 tag" "planartest.stats/v1"
     (match field j "schema" with J.String s -> s | _ -> "?")
 
+(* ------------------------------------------------------------------ *)
+(* planartest.stats/v3: v2 plus one "host" object before "telemetry"   *)
+(* ------------------------------------------------------------------ *)
+
+(* v3 = v2 + "host" before "telemetry"; "faults" may be absent when the
+   run had no fault policy, so the splice happens on the v1 list too. *)
+let splice_host keys =
+  List.concat_map
+    (fun (k, t) ->
+      if k = "telemetry" then [ ("host", "obj"); (k, t) ] else [ (k, t) ])
+    keys
+
+let test_stats_schema_v3 () =
+  let g = Generators.grid 5 5 in
+  let tr = Congest.Trace.create () in
+  let r = PT.run ~seed:1 ~trace:tr g ~eps:0.3 in
+  Congest.Trace.finish tr;
+  let j =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 ~host:tr r
+  in
+  check kt "v3 = v1 + host before telemetry" (splice_host stats_keys)
+    (keys_and_tags j);
+  check Alcotest.string "schema tag bumped" "planartest.stats/v3"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  let host = field j "host" in
+  check kt "host sub-object" [ ("phases", "list"); ("trace", "obj") ]
+    (keys_and_tags host);
+  check kt "ring-health sub-object"
+    [ ("recorded", "int"); ("overwritten", "int"); ("sampled_out", "int") ]
+    (keys_and_tags (field host "trace"));
+  (match field host "phases" with
+  | J.List (p :: _) ->
+      check kt "host phase row schema"
+        [
+          ("label", "string");
+          ("wall_s", "float");
+          ("minor_words", "float");
+          ("major_words", "float");
+          ("minor_collections", "int");
+          ("major_collections", "int");
+          ("par_rounds", "int");
+          ("stepped", "int");
+          ("max_stepped", "int");
+          ("max_domains", "int");
+        ]
+        (keys_and_tags p)
+  | _ -> Alcotest.fail "a traced run must record at least one host phase");
+  (* And with faults too: host still lands between faults and telemetry. *)
+  let faults = Congest.Faults.make ~seed:7 ~drop:0.05 () in
+  let j2 =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 ~faults ~host:tr r
+  in
+  check kt "v3 over v2 key order" (splice_host stats_keys_v2) (keys_and_tags j2)
+
+let test_stats_v2_unchanged_without_host () =
+  (* The exact v1/v2 documents must be unaffected by the tracing PR:
+     omitting [?host] keeps the old tag and key set. *)
+  let faults = Congest.Faults.make ~seed:7 ~drop:0.05 () in
+  let j =
+    Report.tester_stats ~n:9 ~m:20 ~eps:0.1 ~seed:0 ~domains:1 ~faults
+      rejecting_report
+  in
+  check kt "no host => v2 key set" stats_keys_v2 (keys_and_tags j);
+  check Alcotest.string "no host => v2 tag" "planartest.stats/v2"
+    (match field j "schema" with J.String s -> s | _ -> "?")
+
+(* ------------------------------------------------------------------ *)
+(* check_schema: goldens must reject unknown versions loudly           *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_schema () =
+  let doc tag = J.Obj [ ("schema", J.String tag); ("x", J.Int 1) ] in
+  List.iter
+    (fun tag ->
+      match Report.check_schema (doc tag) with
+      | Ok t -> check Alcotest.string "tag echoed" tag t
+      | Error e -> Alcotest.failf "known schema %s rejected: %s" tag e)
+    Report.known_schemas;
+  (* The regression this guards: an unknown version used to fall through
+     to the field-by-field golden diff and "pass" whenever the keys
+     happened to match.  It must fail, and the message must name both the
+     offending tag and the versions this build knows. *)
+  (match Report.check_schema (doc "planartest.stats/v99") with
+  | Ok _ -> Alcotest.fail "unknown schema version accepted"
+  | Error e ->
+      check cb "message names the bad tag" true
+        (let sub = "planartest.stats/v99" in
+         let rec has i =
+           i + String.length sub <= String.length e
+           && (String.sub e i (String.length sub) = sub || has (i + 1))
+         in
+         has 0);
+      check cb "message lists known versions" true
+        (let sub = Report.stats_schema in
+         let rec has i =
+           i + String.length sub <= String.length e
+           && (String.sub e i (String.length sub) = sub || has (i + 1))
+         in
+         has 0));
+  (match Report.check_schema (J.Obj [ ("schema", J.Int 3) ]) with
+  | Ok _ -> Alcotest.fail "non-string schema accepted"
+  | Error _ -> ());
+  (match Report.check_schema (J.Obj [ ("x", J.Int 1) ]) with
+  | Ok _ -> Alcotest.fail "missing schema member accepted"
+  | Error _ -> ());
+  match Report.check_schema (J.List []) with
+  | Ok _ -> Alcotest.fail "non-object document accepted"
+  | Error _ -> ()
+
 let test_bench_schema () =
   let experiments =
     [ J.Obj [ ("id", J.String "E1"); ("rows", J.List []) ] ]
@@ -278,6 +389,11 @@ let () =
             test_stats_schema_v2_degraded;
           Alcotest.test_case "v1 unchanged without faults" `Quick
             test_stats_v1_unchanged_without_faults;
+          Alcotest.test_case "planartest.stats/v3" `Quick test_stats_schema_v3;
+          Alcotest.test_case "v2 unchanged without host" `Quick
+            test_stats_v2_unchanged_without_host;
+          Alcotest.test_case "check_schema rejects unknown versions" `Quick
+            test_check_schema;
           Alcotest.test_case "bench.planarity/v1" `Quick test_bench_schema;
         ] );
       ( "write",

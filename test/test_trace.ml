@@ -1,0 +1,431 @@
+(* The tracing subsystem: Congest.Trace ring semantics, engine-recorded
+   event streams, the determinism contract (simulated accounting and
+   events are byte-identical for any domain count, and invariant under
+   fast-forwarding), and the Report.Ctrace / Report.Perfetto exporters. *)
+
+open Graphlib
+module T = Congest.Trace
+module J = Report.Json
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+module M = struct
+  type t = Int of int
+
+  let bits (Int v) = Congest.Bits.int_bits ~universe:(abs v + 2)
+end
+
+module E = Congest.Engine.Make (M)
+
+let events t =
+  let acc = ref [] in
+  T.iter_events t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer and sampling                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_overflow () =
+  let tr =
+    T.create
+      ~config:{ T.default_config with T.capacity = 8 }
+      ()
+  in
+  for r = 0 to 19 do
+    T.round_tick tr ~round:r ~bits:r ~frames:1 ~messages:0 ~stepped:0
+  done;
+  let tot = T.totals tr in
+  check ci "every push counted" 20 tot.T.recorded;
+  check ci "evictions counted honestly" 12 tot.T.overwritten;
+  (* Aggregates are exact despite the evictions... *)
+  check ci "total rounds exact" 20 tot.T.rounds;
+  check ci "total bits exact" (19 * 20 / 2) tot.T.bits;
+  (* ...while the ring holds only the newest [capacity] events. *)
+  let evs = events tr in
+  check ci "ring holds capacity events" 8 (List.length evs);
+  (match List.hd evs with
+  | T.Round { round; _ } -> check ci "oldest survivor" 12 round
+  | _ -> Alcotest.fail "expected a Round event");
+  match List.rev evs with
+  | T.Round { round; _ } :: _ -> check ci "newest survivor" 19 round
+  | _ -> Alcotest.fail "expected a Round event"
+
+let test_sampling () =
+  let tr =
+    T.create
+      ~config:
+        {
+          T.capacity = 256;
+          sample_messages = 2;
+          sample_fibers = 2;
+          sample_spans = 2;
+        }
+      ()
+  in
+  for i = 0 to 4 do
+    T.message tr ~round:1 ~sent:0 ~sender:i ~dest:0 ~edge:i ~bits:8
+  done;
+  let msgs =
+    List.filter (function T.Message _ -> true | _ -> false) (events tr)
+  in
+  check ci "every 2nd message survives" 3 (List.length msgs);
+  check ci "the rest counted as sampled out" 2 (T.totals tr).T.sampled_out;
+  (* Fiber sampling keys on the node id, so one node's lifecycle is
+     either fully present or fully absent. *)
+  check cb "even node sampled in" true (T.want_fiber tr 0);
+  check cb "odd node sampled out" false (T.want_fiber tr 1);
+  T.fiber_resume tr ~round:1 ~node:1;
+  check cb "no event for a sampled-out fiber" true
+    (not
+       (List.exists (function T.Resume _ -> true | _ -> false) (events tr)));
+  (* Span sampling drops whole open/close pairs; the body still runs. *)
+  let ran = ref 0 in
+  T.span tr "s" (fun () -> incr ran);
+  T.span tr "s" (fun () -> incr ran);
+  check ci "both span bodies ran" 2 !ran;
+  check ci "one open/close pair survives" 2
+    (List.length
+       (List.filter
+          (function T.Span_open _ | T.Span_close _ -> true | _ -> false)
+          (events tr)))
+
+let test_phases_and_spans () =
+  let tr = T.create () in
+  (* The implicit "run" phase records nothing, so it is dropped. *)
+  T.phase tr "a";
+  T.round_tick tr ~round:0 ~bits:4 ~frames:1 ~messages:1 ~stepped:2;
+  T.span tr "inner" (fun () -> ());
+  T.phase tr "b";
+  (* "b" stays empty: dropped from both views, keeping them aligned. *)
+  T.finish tr;
+  check
+    (Alcotest.list Alcotest.string)
+    "empty phases dropped (sim view)" [ "a" ]
+    (List.map (fun (p : T.sim_phase) -> p.T.label) (T.sim_phases tr));
+  check
+    (Alcotest.list Alcotest.string)
+    "empty phases dropped (host view)" [ "a" ]
+    (List.map (fun (p : T.host_phase) -> p.T.label) (T.host_phases tr));
+  let labels =
+    List.filter_map
+      (function
+        | T.Phase_open { label; _ } -> Some ("open:" ^ label)
+        | T.Phase_close { label; _ } -> Some ("close:" ^ label)
+        | T.Span_open { label; _ } -> Some ("span:" ^ label)
+        | _ -> None)
+      (events tr)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "marker order" [ "open:a"; "span:inner"; "close:a"; "open:b" ] labels;
+  (* "a" closes when "b" opens; "b" never records a round, so [finish]
+     emits no further close marker.  Idempotence: *)
+  T.finish tr;
+  check ci "finish is idempotent" 1
+    (List.length (T.sim_phases tr))
+
+(* ------------------------------------------------------------------ *)
+(* Engine recording                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Staggered ping/echo over a star: exercises parking, waking, traffic
+   and a quiescent span the engine can fast-forward. *)
+let star_run ?faults ?(domains = 1) ?(fast_forward = true) ~trace () =
+  E.run ?faults ~trace ~domains ~fast_forward (Generators.star 29)
+    (fun ctx ->
+      if E.my_id ctx = 0 then begin
+        E.idle ctx 12;
+        E.broadcast ctx (M.Int 5);
+        let echoes = E.wait ctx 30 in
+        List.length echoes
+      end
+      else
+        match E.wait ctx 60 with
+        | (0, M.Int v) :: _ ->
+            E.send ctx ~dest:0 (M.Int (v * 2));
+            ignore (E.wait ctx 1);
+            v
+        | _ -> -1)
+
+let test_engine_records () =
+  let tr = T.create () in
+  let res = star_run ~trace:tr () in
+  T.finish tr;
+  let tot = T.totals tr in
+  (match T.meta tr with
+  | Some (n, m, bw) ->
+      check ci "meta n" 29 n;
+      check ci "meta m" 28 m;
+      check cb "bandwidth positive" true (bw > 0)
+  | None -> Alcotest.fail "meta not recorded");
+  check ci "rounds match stats" res.E.stats.Congest.Stats.rounds tot.T.rounds;
+  check ci "frames match charged rounds"
+    res.E.stats.Congest.Stats.charged_rounds tot.T.frames;
+  check ci "bits match stats" res.E.stats.Congest.Stats.total_bits tot.T.bits;
+  check ci "messages match stats" res.E.stats.Congest.Stats.messages
+    tot.T.messages;
+  check ci "fast-forward matches stats"
+    res.E.stats.Congest.Stats.fast_forwarded_rounds tot.T.fast_forwarded;
+  let has p = List.exists p (events tr) in
+  check cb "round events" true (has (function T.Round _ -> true | _ -> false));
+  check cb "message events" true
+    (has (function T.Message _ -> true | _ -> false));
+  check cb "park events" true (has (function T.Park _ -> true | _ -> false));
+  check cb "resume events" true
+    (has (function T.Resume _ -> true | _ -> false));
+  check cb "fast-forward events" true
+    (has (function T.Fast_forward _ -> true | _ -> false));
+  (* Every delivery happens strictly after its send on the timeline. *)
+  T.iter_events tr (function
+    | T.Message { round; sent; _ } ->
+        check cb "sent before delivered" true (sent < round)
+    | _ -> ())
+
+let test_engine_records_faults () =
+  let tr = T.create () in
+  let faults = Congest.Faults.make ~seed:5 ~drop:0.3 () in
+  ignore (star_run ~faults ~trace:tr ());
+  T.finish tr;
+  let tot = T.totals tr in
+  check cb "drops fired" true (tot.T.dropped > 0);
+  (* Fault events are never sampled or lost below ring capacity, so the
+     stream count equals the exact aggregate. *)
+  let drop_events =
+    List.filter
+      (function T.Fault { kind = T.Drop; _ } -> true | _ -> false)
+      (events tr)
+  in
+  check ci "one Drop event per dropped message" tot.T.dropped
+    (List.length drop_events)
+
+(* The determinism contract, at the event level: strip the host-side
+   Shard events and the stream is identical for any domain count. *)
+let sim_events tr =
+  List.filter (function T.Shard _ -> true | _ -> false) (events tr)
+  |> fun shards ->
+  ( List.filter (function T.Shard _ -> false | _ -> true) (events tr),
+    List.length shards )
+
+let sim_totals (t : T.totals) =
+  (t.T.rounds, t.T.frames, t.T.bits, t.T.messages, t.T.fast_forwarded,
+   t.T.dropped, t.T.duplicated, t.T.delayed, t.T.crashed)
+
+let test_domain_count_invariance () =
+  let run domains =
+    let tr = T.create () in
+    let faults = Congest.Faults.make ~seed:2 ~drop:0.15 () in
+    ignore (star_run ~faults ~domains ~trace:tr ());
+    T.finish tr;
+    tr
+  in
+  let t1 = run 1 and t3 = run 3 in
+  check cb "sim totals identical" true
+    (sim_totals (T.totals t1) = sim_totals (T.totals t3));
+  check cb "sim phases identical" true (T.sim_phases t1 = T.sim_phases t3);
+  let ev1, shards1 = sim_events t1 in
+  let ev3, shards3 = sim_events t3 in
+  check ci "serial run never shards" 0 shards1;
+  check cb "sharded run shards" true (shards3 > 0);
+  check cb "simulated event stream identical" true (ev1 = ev3)
+
+let test_fast_forward_invariance () =
+  let run fast_forward =
+    let tr = T.create () in
+    ignore (star_run ~fast_forward ~trace:tr ());
+    T.finish tr;
+    tr
+  in
+  let t_on = run true and t_off = run false in
+  let on = T.totals t_on and off = T.totals t_off in
+  check cb "ff actually fired" true (on.T.fast_forwarded > 0);
+  check ci "ff off records none" 0 off.T.fast_forwarded;
+  check cb "accounting otherwise identical" true
+    ( on.T.rounds = off.T.rounds && on.T.frames = off.T.frames
+    && on.T.bits = off.T.bits
+    && on.T.messages = off.T.messages );
+  List.iter2
+    (fun (a : T.sim_phase) (b : T.sim_phase) ->
+      check cb "per-phase accounting identical" true
+        ( a.T.label = b.T.label && a.T.rounds = b.T.rounds
+        && a.T.bits = b.T.bits && a.T.frames = b.T.frames
+        && a.T.messages = b.T.messages ))
+    (T.sim_phases t_on) (T.sim_phases t_off)
+
+(* Full stack: the tester threads span/phase labels down through
+   Partition.Stage1 and Prims, and the contract survives the trip. *)
+let test_tester_trace_determinism () =
+  let g = Generators.apollonian (Random.State.make [| 3 |]) 40 in
+  let run domains =
+    let tr = T.create () in
+    ignore
+      (Tester.Planarity_tester.run ~domains ~trace:tr ~seed:1 g ~eps:0.3);
+    T.finish tr;
+    tr
+  in
+  let t1 = run 1 and t2 = run 2 in
+  check cb "sim totals identical across domains" true
+    (sim_totals (T.totals t1) = sim_totals (T.totals t2));
+  check cb "sim phases identical across domains" true
+    (T.sim_phases t1 = T.sim_phases t2);
+  let labels = List.map (fun (p : T.sim_phase) -> p.T.label) (T.sim_phases t1) in
+  check cb "stage1 phases labelled" true
+    (List.exists
+       (fun l -> String.length l >= 12 && String.sub l 0 12 = "stage1-phase")
+       labels);
+  check cb "stage2 labelled" true (List.mem "stage2" labels);
+  check cb "primitive spans recorded" true
+    (List.exists
+       (function
+         | T.Span_open { label = "bcast" | "converge" | "boundary"
+                               | "refresh-roots"; _ } -> true
+         | _ -> false)
+       (events t1))
+
+(* ------------------------------------------------------------------ *)
+(* Ctrace: binary round-trip                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_tmp f =
+  let path = Filename.temp_file "trace" ".ctrace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let traced_run () =
+  let tr = T.create () in
+  let faults = Congest.Faults.make ~seed:9 ~drop:0.1 ~duplicate:0.1 () in
+  ignore (star_run ~faults ~domains:2 ~trace:tr ());
+  T.finish tr;
+  tr
+
+let test_ctrace_roundtrip () =
+  let tr = traced_run () in
+  with_tmp (fun path ->
+      Report.Ctrace.write path tr;
+      let v = Report.Ctrace.read path in
+      check ci "version" Report.Ctrace.version v.Report.Ctrace.version;
+      check ci "n" 29 v.Report.Ctrace.n;
+      check ci "m" 28 v.Report.Ctrace.m;
+      check cb "totals survive" true (v.Report.Ctrace.totals = T.totals tr);
+      check cb "config survives" true (v.Report.Ctrace.config = T.config tr);
+      check cb "sim phases survive" true
+        (v.Report.Ctrace.sim_phases = T.sim_phases tr);
+      check cb "host phases survive" true
+        (v.Report.Ctrace.host_phases = T.host_phases tr);
+      check cb "events survive, oldest first" true
+        (Array.to_list v.Report.Ctrace.events = events tr);
+      (* of_trace is the same view without the filesystem. *)
+      check cb "of_trace = write;read" true (Report.Ctrace.of_trace tr = v);
+      (* Serialization is a pure function of the trace: write twice,
+         byte-identical files. *)
+      let bytes1 = read_file path in
+      Report.Ctrace.write path tr;
+      check cb "deterministic bytes" true (read_file path = bytes1))
+
+let test_ctrace_bad_input () =
+  let expect_failure name f =
+    match f () with
+    | (_ : Report.Ctrace.view) -> Alcotest.failf "%s: accepted" name
+    | exception Failure msg ->
+        check cb (name ^ ": message is specific") true
+          (String.length msg > 10)
+  in
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTATRACEFILE AT ALL";
+      close_out oc;
+      expect_failure "bad magic" (fun () -> Report.Ctrace.read path));
+  with_tmp (fun path ->
+      let tr = traced_run () in
+      Report.Ctrace.write path tr;
+      let bytes = read_file path in
+      (* Bump the version field (first int64 after the 8-byte magic). *)
+      let patched = Bytes.of_string bytes in
+      Bytes.set patched 8 '\x63';
+      let oc = open_out_bin path in
+      output_bytes oc patched;
+      close_out oc;
+      expect_failure "unknown version" (fun () -> Report.Ctrace.read path);
+      (* Truncate mid-stream. *)
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 (String.length bytes / 2));
+      close_out oc;
+      expect_failure "truncated" (fun () -> Report.Ctrace.read path))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_perfetto_export () =
+  let tr = traced_run () in
+  let v = Report.Ctrace.of_trace tr in
+  let j = Report.Perfetto.of_view v in
+  let field k = function
+    | J.Obj fields -> List.assoc k fields
+    | _ -> Alcotest.fail "expected an object"
+  in
+  let evs =
+    match field "traceEvents" j with
+    | J.List l -> l
+    | _ -> Alcotest.fail "traceEvents must be a list"
+  in
+  check cb "events exported" true (List.length evs > 0);
+  (* Every row is a trace_event object with a phase tag; duration and
+     complete events must carry timestamps. *)
+  List.iter
+    (fun e ->
+      match field "ph" e with
+      | J.String ph ->
+          check cb "known phase tag" true
+            (List.mem ph [ "B"; "E"; "X"; "i"; "s"; "f"; "C"; "M" ]);
+          if ph <> "M" then (
+            match field "ts" e with
+            | J.Int ts -> check cb "timestamp non-negative" true (ts >= 0)
+            | _ -> Alcotest.fail "ts must be an int")
+      | _ -> Alcotest.fail "ph must be a string")
+    evs;
+  (match field "otherData" j with
+  | J.Obj _ -> ()
+  | _ -> Alcotest.fail "otherData must be an object");
+  (* The export is a pure function of the view. *)
+  check cb "deterministic" true
+    (J.to_string j = J.to_string (Report.Perfetto.of_view v))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "overflow keeps exact aggregates" `Quick
+            test_ring_overflow;
+          Alcotest.test_case "per-category sampling" `Quick test_sampling;
+          Alcotest.test_case "phases and spans" `Quick test_phases_and_spans;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "records a run" `Quick test_engine_records;
+          Alcotest.test_case "records faults exactly" `Quick
+            test_engine_records_faults;
+          Alcotest.test_case "invariant in domain count" `Quick
+            test_domain_count_invariance;
+          Alcotest.test_case "invariant under fast-forward" `Quick
+            test_fast_forward_invariance;
+          Alcotest.test_case "tester threads labels; deterministic" `Quick
+            test_tester_trace_determinism;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "ctrace round-trip" `Quick test_ctrace_roundtrip;
+          Alcotest.test_case "ctrace rejects bad input" `Quick
+            test_ctrace_bad_input;
+          Alcotest.test_case "perfetto trace_event document" `Quick
+            test_perfetto_export;
+        ] );
+    ]
