@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz trace ci clean
+.PHONY: all build test bench fuzz trace monitor monitor-baseline ci clean
 
 all: build
 
@@ -55,12 +55,39 @@ trace: build
 	  -o $(TRACE_DIR)/d1.perfetto.json.again
 	cmp $(TRACE_DIR)/d1.perfetto.json $(TRACE_DIR)/d1.perfetto.json.again
 
+# Metrics regression gate (also a CI leg): take a fresh stable-only
+# metrics/v1 snapshot of planarmon's default workload (grid n=512,
+# eps=0.2, seed=0) and compare it field-by-field against the committed
+# baseline.  The stable projection is machine-independent by contract —
+# no wall clock, no GC, byte-identical across --domains and
+# fast-forward — so the compare is exact and portable.  Exit 1 means
+# the simulated behaviour changed: either a regression crept into the
+# engine/tester, or the change is intentional and the baseline must be
+# refreshed deliberately with
+#   make monitor-baseline
+# and the refreshed MONITOR_baseline.json committed alongside the
+# change that explains it (see EXPERIMENTS.md).  MONITOR_DIR keeps the
+# candidate snapshot and OpenMetrics text for upload on CI failure.
+MONITOR_DIR ?= /tmp/planarmon
+monitor: build
+	mkdir -p $(MONITOR_DIR)
+	./_build/default/bin/planarmon.exe snapshot --stable-only \
+	  --json $(MONITOR_DIR)/current.json \
+	  --openmetrics $(MONITOR_DIR)/current.om
+	./_build/default/bin/planarmon.exe compare MONITOR_baseline.json \
+	  $(MONITOR_DIR)/current.json > $(MONITOR_DIR)/compare.txt 2>&1; \
+	  code=$$?; cat $(MONITOR_DIR)/compare.txt; exit $$code
+
+monitor-baseline: build
+	./_build/default/bin/planarmon.exe snapshot --stable-only \
+	  --json MONITOR_baseline.json --openmetrics /dev/null
+
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace
+ci: build test trace monitor
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -37,13 +37,22 @@ let timings = ref true
 let json_path = ref None
 let faults_spec = ref None
 let trace_path = ref None
+let only = ref None
+let log_level = ref "info"
+let log_json = ref None
+
+(* Every experiment id `--only` accepts, in run order. *)
+let known_ids =
+  [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "B" ]
 
 let () =
   let argv = Sys.argv in
   let usage () =
     prerr_endline
       "usage: bench [--quick|-q] [--jobs N] [--domains D] [--no-timings] \
-       [--json PATH] [--faults SPEC] [--trace PATH]";
+       [--json PATH] [--faults SPEC] [--trace PATH] [--only IDS] \
+       [--log-level LEVEL] [--log-json PATH]";
     exit 2
   in
   let rec parse i =
@@ -78,9 +87,46 @@ let () =
               Printf.eprintf "bench: --faults: %s\n" msg;
               exit 2);
           parse (i + 2)
+      | "--only" when i + 1 < Array.length argv ->
+          let ids =
+            String.split_on_char ',' argv.(i + 1)
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map String.uppercase_ascii
+          in
+          List.iter
+            (fun id ->
+              if not (List.mem id known_ids) then begin
+                Printf.eprintf "bench: --only: unknown experiment %S (known: %s)\n"
+                  id (String.concat "," known_ids);
+                exit 2
+              end)
+            ids;
+          if ids = [] then usage ();
+          only := Some ids;
+          parse (i + 2)
+      | "--log-level" when i + 1 < Array.length argv ->
+          log_level := argv.(i + 1);
+          parse (i + 2)
+      | "--log-json" when i + 1 < Array.length argv ->
+          log_json := Some argv.(i + 1);
+          parse (i + 2)
       | _ -> usage ()
   in
-  parse 1
+  parse 1;
+  (match Obs.Log.level_of_string !log_level with
+  | Ok l -> Obs.Log.set_level l
+  | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      exit 2);
+  match !log_json with
+  | None -> ()
+  | Some path -> (
+      match Obs.Log.set_json path with
+      | Ok () -> at_exit Obs.Log.close_json
+      | Error msg ->
+          Printf.eprintf "bench: cannot open --log-json %s: %s\n" path msg;
+          exit 2)
 
 let quick = !quick
 let jobs = !jobs
@@ -88,6 +134,14 @@ let domains = !domains
 let timings = !timings
 let faults_spec = !faults_spec
 let trace_path = !trace_path
+let only = !only
+
+let want id = match only with None -> true | Some ids -> List.mem id ids
+
+(* With --json -, stdout carries exactly the JSON document and the
+   human-readable report moves to stderr (mirroring planartest
+   --stats-json -). *)
+let report_oc = if !json_path = Some "-" then stderr else stdout
 
 (* --- parallel point driver ------------------------------------------- *)
 
@@ -123,12 +177,12 @@ let parmap f xs =
 (* --- report helpers --------------------------------------------------- *)
 
 let header title claim =
-  Printf.printf "\n================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "paper: %s\n" claim;
-  Printf.printf "================================================================\n"
+  Printf.fprintf report_oc "\n================================================================\n";
+  Printf.fprintf report_oc "%s\n" title;
+  Printf.fprintf report_oc "paper: %s\n" claim;
+  Printf.fprintf report_oc "================================================================\n"
 
-let row fmt = Printf.printf fmt
+let row fmt = Printf.fprintf report_oc fmt
 
 let log2 x = log (float_of_int (max x 2)) /. log 2.0
 
@@ -1234,7 +1288,7 @@ let p1_engine_wallclock () =
       Congest.Trace.finish tr;
       (try Report.Ctrace.write path tr
        with Sys_error msg ->
-         Printf.eprintf "bench: cannot write trace %s: %s\n" path msg;
+         Obs.Log.errorf "bench: cannot write trace %s: %s" path msg;
          exit 1);
       row "trace written to %s (planartrace info/edges/phases/export)\n" path
   | None -> ());
@@ -1451,26 +1505,26 @@ let bechamel_section () =
     rows
 
 let () =
-  e1_rounds_vs_n ();
-  e2_rounds_vs_eps ();
-  e3_completeness ();
-  e4_soundness ();
-  e5_weight_decay ();
-  e6_diameter_growth ();
-  e7_cut_quality ();
-  e8_randomized_partition ();
-  e9_spanner ();
-  e10_lower_bound ();
-  e11_minor_free_testers ();
-  e12_emulation_cost ();
-  e13_partition_alternatives ();
-  e14_embedding_modes ();
-  a1_selection_rule ();
-  a2_corner_keys ();
-  a3_adaptive_schedule ();
-  p1_engine_wallclock ();
-  r1_fault_stability ();
-  if timings then bechamel_section ();
+  if want "E1" then e1_rounds_vs_n ();
+  if want "E2" then e2_rounds_vs_eps ();
+  if want "E3" then e3_completeness ();
+  if want "E4" then e4_soundness ();
+  if want "E5" then e5_weight_decay ();
+  if want "E6" then e6_diameter_growth ();
+  if want "E7" then e7_cut_quality ();
+  if want "E8" then e8_randomized_partition ();
+  if want "E9" then e9_spanner ();
+  if want "E10" then e10_lower_bound ();
+  if want "E11" then e11_minor_free_testers ();
+  if want "E12" then e12_emulation_cost ();
+  if want "E13" then e13_partition_alternatives ();
+  if want "E14" then e14_embedding_modes ();
+  if want "A1" then a1_selection_rule ();
+  if want "A2" then a2_corner_keys ();
+  if want "A3" then a3_adaptive_schedule ();
+  if want "P1" then p1_engine_wallclock ();
+  if want "R1" then r1_fault_stability ();
+  if timings && want "B" then bechamel_section ();
   (match !json_path with
   | Some path ->
       let experiments =
@@ -1484,8 +1538,8 @@ let () =
       let doc = Report.bench_envelope ~quick ~jobs ~domains experiments in
       (try Report.write path doc
        with Sys_error msg ->
-         Printf.eprintf "bench: cannot write %s: %s\n" path msg;
+         Obs.Log.errorf "bench: cannot write %s: %s" path msg;
          exit 1);
-      if path <> "-" then Printf.printf "\nwrote %s\n" path
+      if path <> "-" then Printf.fprintf report_oc "\nwrote %s\n" path
   | None -> ());
-  Printf.printf "\nAll experiments completed.\n"
+  Printf.fprintf report_oc "\nAll experiments completed.\n"

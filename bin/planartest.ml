@@ -13,6 +13,37 @@ open Graphlib
 let read_graph path =
   match path with "-" -> Gio.of_channel stdin | p -> Gio.load p
 
+(* Structured logging (Obs.Log).  The CLI defaults to info so progress
+   messages ("wrote …") stay visible; --log-level debug opens up engine
+   internals and --log-json captures the same records as JSONL. *)
+
+let log_level_arg =
+  let doc = "Log verbosity: error, warn, info or debug." in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_json_arg =
+  let doc =
+    "Also emit every log record as one JSON object per line to $(docv) \
+     ('-' for stderr).  Records carry a timestamp, level, run id, phase \
+     and node context."
+  in
+  Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"PATH" ~doc)
+
+let setup_logs level json =
+  (match Obs.Log.level_of_string level with
+  | Ok l -> Obs.Log.set_level l
+  | Error msg ->
+      Printf.eprintf "planartest: %s\n" msg;
+      exit 2);
+  match json with
+  | None -> ()
+  | Some path -> (
+      match Obs.Log.set_json path with
+      | Ok () -> at_exit Obs.Log.close_json
+      | Error msg ->
+          Printf.eprintf "planartest: cannot open --log-json %s: %s\n" path msg;
+          exit 2)
+
 let graph_arg =
   let doc = "Input graph file (edge list; '-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
@@ -46,7 +77,8 @@ let gen_cmd =
             "Family parameter: eps for 'far', p*n for 'gnp', edge fraction \
              for 'planar'.")
   in
-  let run family n param seed =
+  let run family n param seed log_level log_json =
+    setup_logs log_level log_json;
     let rng = Random.State.make [| seed |] in
     let g =
       try
@@ -79,15 +111,19 @@ let gen_cmd =
         | "k5necklace" -> Generators.k5_necklace (max 1 (n / 5))
         | f -> failwith ("unknown family: " ^ f)
       with Invalid_argument msg | Failure msg ->
-        Printf.eprintf "planartest gen: %s\n" msg;
+        Obs.Log.errorf "planartest gen: %s" msg;
         exit 1
     in
-    Printf.eprintf "generated %s: n=%d m=%d\n" family (Graph.n g) (Graph.m g);
+    Obs.Log.infof
+      ~fields:[ ("n", Obs.Log.I (Graph.n g)); ("m", Obs.Log.I (Graph.m g)) ]
+      "generated %s" family;
     print_string (Gio.to_string g)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a graph from a synthetic family")
-    Term.(const run $ family $ n_arg $ extra $ seed_arg)
+    Term.(
+      const run $ family $ n_arg $ extra $ seed_arg $ log_level_arg
+      $ log_json_arg)
 
 (* --- test ------------------------------------------------------------ *)
 
@@ -124,7 +160,12 @@ let test_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run path eps seed domains stats_json faults_spec trace_out no_ff =
+  let run path eps seed domains stats_json faults_spec trace_out no_ff
+      log_level log_json =
+    setup_logs log_level log_json;
+    Obs.Log.set_context
+      ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
+      ();
     let g = read_graph path in
     let faults =
       match faults_spec with
@@ -133,7 +174,7 @@ let test_cmd =
           match Congest.Faults.of_spec spec with
           | Ok p -> Some p
           | Error msg ->
-              Printf.eprintf "planartest test: %s\n" msg;
+              Obs.Log.errorf "planartest test: %s" msg;
               exit 2)
     in
     let telemetry =
@@ -149,9 +190,9 @@ let test_cmd =
     | Some path, Some tr -> (
         try
           Report.Ctrace.write path tr;
-          Printf.eprintf "wrote %s\n" path
+          Obs.Log.infof "wrote %s" path
         with Sys_error msg ->
-          Printf.eprintf "planartest test: cannot write trace: %s\n" msg;
+          Obs.Log.errorf "planartest test: cannot write trace: %s" msg;
           exit 1)
     | _ -> ());
     (* With --stats-json -, stdout carries exactly the JSON document; the
@@ -191,9 +232,9 @@ let test_cmd =
         in
         (try Report.write out j
          with Sys_error msg ->
-           Printf.eprintf "planartest test: cannot write stats: %s\n" msg;
+           Obs.Log.errorf "planartest test: cannot write stats: %s" msg;
            exit 1);
-        if out <> "-" then Printf.eprintf "wrote %s\n" out
+        if out <> "-" then Obs.Log.infof "wrote %s" out
     | None -> ()
   in
   let trace_arg =
@@ -219,7 +260,8 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg)
+      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ log_level_arg
+      $ log_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

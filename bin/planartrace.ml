@@ -22,6 +22,10 @@ let load path =
   | Sys_error msg ->
       Printf.eprintf "planartrace: %s\n" msg;
       exit 2
+  | End_of_file | Invalid_argument _ ->
+      Printf.eprintf "planartrace: %s: corrupt or truncated .ctrace file\n"
+        path;
+      exit 2
 
 let trace_arg =
   Arg.(
@@ -360,11 +364,22 @@ let diff_cmd =
 
 let () =
   let doc = "analyze .ctrace recordings of the CONGEST planarity tester" in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "planartrace" ~doc)
-          [
-            info_cmd; edges_cmd; phases_cmd; imbalance_cmd; faults_cmd;
-            export_cmd; diff_cmd;
-          ]))
+  let code =
+    try
+      Cmd.eval
+        (Cmd.group
+           (Cmd.info "planartrace" ~doc)
+           [
+             info_cmd; edges_cmd; phases_cmd; imbalance_cmd; faults_cmd;
+             export_cmd; diff_cmd;
+           ])
+    with Failure msg | Sys_error msg ->
+      (* A subcommand body leaked an exception: that is a bad-input
+         problem, not a crash — report it and use the usage exit code. *)
+      Printf.eprintf "planartrace: %s\n" msg;
+      2
+  in
+  (* cmdliner reports parse errors (unknown subcommand, bad option) with
+     its own cli_error code 124; this tool's documented contract is
+     "usage errors exit 2". *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

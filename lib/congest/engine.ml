@@ -12,6 +12,61 @@ exception Stopped
    escapes this module. *)
 exception Shard_stop
 
+(* Run-level metrics, recorded once per [run] from the coordinator after
+   the last round — never on the per-round hot path.  Everything marked
+   stable is a pure function of (program, graph, seed, faults): the same
+   numbers for any [?domains] and for fast-forward on/off, per the PR 2
+   determinism contract.  Registration is idempotent, so every
+   [Make] instantiation shares the same families. *)
+let m_runs =
+  Obs.Metrics.counter ~help:"Engine runs completed" "congest_runs"
+
+let m_incomplete_runs =
+  Obs.Metrics.counter
+    ~help:"Engine runs that stopped early (max_rounds, crash culls or \
+           recorded node failures)"
+    "congest_incomplete_runs"
+
+let m_rounds =
+  Obs.Metrics.counter ~help:"Simulated rounds executed" "congest_rounds"
+
+let m_charged_rounds =
+  Obs.Metrics.counter
+    ~help:"Rounds charged to the CONGEST budget (incl. fragmentation frames)"
+    "congest_charged_rounds"
+
+let m_messages =
+  Obs.Metrics.counter ~help:"Messages delivered" "congest_messages"
+
+let m_bits = Obs.Metrics.counter ~help:"Total bits delivered" "congest_bits"
+
+let m_oversized =
+  Obs.Metrics.counter
+    ~help:"Edge-rounds exceeding the bandwidth (fragmented into frames)"
+    "congest_oversized_edges"
+
+let m_ff_rounds =
+  (* Not stable: the whole point of this counter is to differ between
+     fast-forward on and off (it counts the skipped spans), so it cannot
+     be part of the ff-invariant projection. *)
+  Obs.Metrics.counter ~stable:false
+    ~help:"Quiescent rounds skipped by fast-forward (subset of congest_rounds)"
+    "congest_fast_forwarded_rounds"
+
+let m_faults =
+  Obs.Metrics.counter ~label_names:[ "kind" ]
+    ~help:"Fault-injection firings by kind" "congest_faults"
+
+let m_crashed =
+  Obs.Metrics.counter ~help:"Crash-stop events charged to nodes"
+    "congest_crashed_nodes"
+
+let m_run_wall =
+  Obs.Metrics.counter ~stable:false ~label_names:[ "domains" ]
+    ~help:"Host wall clock spent inside Engine.run, microseconds, by \
+           requested domain count"
+    "congest_run_wall_us"
+
 module Make (Msg : MESSAGE) = struct
   (* Reusable message buffer: parallel arrays instead of lists so the
      steady-state delivery path allocates nothing.  [ids] holds the
@@ -390,6 +445,7 @@ module Make (Msg : MESSAGE) = struct
       ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults
       ?(on_error = `Propagate) ?pool:opool g program =
     let n = Graph.n g in
+    let m_t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
@@ -734,6 +790,14 @@ module Make (Msg : MESSAGE) = struct
           match a.afails with
           | [] -> ()
           | f ->
+              if Obs.Log.would_log Obs.Log.Debug then
+                List.iter
+                  (fun (r, v, e) ->
+                    Obs.Log.debugf ~node:v
+                      ~fields:[ ("round", Obs.Log.I r) ]
+                      "node program raised (recorded): %s"
+                      (Printexc.to_string e))
+                  (List.rev f);
               eng.fail_log <- f @ eng.fail_log;
               a.afails <- []
         done
@@ -1027,12 +1091,19 @@ module Make (Msg : MESSAGE) = struct
         p.edge_bits.(de) <- 0;
         if b > eng.estats.max_edge_bits then eng.estats.max_edge_bits <- b;
         if b > bw then begin
-          if strict then
+          if strict then begin
+            Obs.Log.warnf
+              ~fields:
+                [ ("round", Obs.Log.I eng.current_round);
+                  ("edge", Obs.Log.I de); ("bits", Obs.Log.I b);
+                  ("bandwidth", Obs.Log.I bw) ]
+              "bandwidth exceeded in strict mode";
             failwith
               (Printf.sprintf
                  "Engine: %d bits on one edge in one round exceeds the \
                   %d-bit bandwidth (strict mode)"
-                 b bw);
+                 b bw)
+          end;
           eng.estats.oversized <- eng.estats.oversized + 1;
           let frames = Stats.frames ~bandwidth:bw b in
           if frames > !max_frames then max_frames := frames
@@ -1211,6 +1282,25 @@ module Make (Msg : MESSAGE) = struct
        | None -> ());
        raise e);
     if !culled > 0 || eng.fail_log <> [] then completed := false;
+    if Obs.Metrics.enabled () then begin
+      let s = eng.estats in
+      Obs.Metrics.inc m_runs;
+      if not !completed then Obs.Metrics.inc m_incomplete_runs;
+      Obs.Metrics.inc ~by:s.Stats.rounds m_rounds;
+      Obs.Metrics.inc ~by:s.Stats.charged_rounds m_charged_rounds;
+      Obs.Metrics.inc ~by:s.Stats.messages m_messages;
+      Obs.Metrics.inc ~by:s.Stats.total_bits m_bits;
+      Obs.Metrics.inc ~by:s.Stats.oversized m_oversized;
+      Obs.Metrics.inc ~by:s.Stats.fast_forwarded_rounds m_ff_rounds;
+      Obs.Metrics.inc ~labels:[ "dropped" ] ~by:s.Stats.dropped m_faults;
+      Obs.Metrics.inc ~labels:[ "duplicated" ] ~by:s.Stats.duplicated m_faults;
+      Obs.Metrics.inc ~labels:[ "delayed" ] ~by:s.Stats.delayed m_faults;
+      Obs.Metrics.inc ~by:s.Stats.crashed_nodes m_crashed;
+      let dt_us =
+        int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6) |> max 0
+      in
+      Obs.Metrics.inc ~labels:[ string_of_int d_req ] ~by:dt_us m_run_wall
+    end;
     {
       outputs;
       rejections = List.rev eng.reject_log;

@@ -1,0 +1,180 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let string_of_level = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ ->
+    Result.Error
+      (Printf.sprintf "unknown log level %S (expected error|warn|info|debug)" s)
+
+type field_value = S of string | I of int | F of float | B of bool
+type field = string * field_value
+
+type state = {
+  mutable lvl : level;
+  mutable json : out_channel option;
+  mutable json_is_stderr : bool;
+  mutable run_id : string;
+  mutable phase : string;
+  mutex : Mutex.t;
+}
+
+let st = {
+  lvl = Warn;
+  json = None;
+  json_is_stderr = false;
+  run_id = "";
+  phase = "";
+  mutex = Mutex.create ();
+}
+
+let set_level l = st.lvl <- l
+let level () = st.lvl
+let would_log l = severity l <= severity st.lvl
+
+let close_json () =
+  Mutex.lock st.mutex;
+  (match st.json with
+   | Some oc when not st.json_is_stderr -> (try close_out oc with Sys_error _ -> ())
+   | Some oc -> (try flush oc with Sys_error _ -> ())
+   | None -> ());
+  st.json <- None;
+  st.json_is_stderr <- false;
+  Mutex.unlock st.mutex
+
+let set_json path =
+  close_json ();
+  Mutex.lock st.mutex;
+  let r =
+    if path = "-" then begin
+      st.json <- Some stderr;
+      st.json_is_stderr <- true;
+      Ok ()
+    end else
+      match open_out path with
+      | oc -> st.json <- Some oc; Ok ()
+      | exception Sys_error msg -> Result.Error msg
+  in
+  Mutex.unlock st.mutex;
+  r
+
+let set_context ?run_id ?phase () =
+  Mutex.lock st.mutex;
+  (match run_id with Some r -> st.run_id <- r | None -> ());
+  (match phase with Some p -> st.phase <- p | None -> ());
+  Mutex.unlock st.mutex
+
+(* Minimal RFC 8259 string escaping; obs cannot depend on
+   Congest.Telemetry.Json (congest depends on obs). *)
+let json_escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_field_value b = function
+  | S s -> json_escape b s
+  | I i -> Buffer.add_string b (string_of_int i)
+  | F f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | B v -> Buffer.add_string b (if v then "true" else "false")
+
+let human_field_value = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+  | B v -> string_of_bool v
+
+let emit lvl node fields msg =
+  Mutex.lock st.mutex;
+  (* Human line on stderr. *)
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "[%s] %s" (string_of_level lvl) msg);
+  let human_extras =
+    (match node with Some n -> [ ("node", I n) ] | None -> []) @ fields
+  in
+  if human_extras <> [] then begin
+    Buffer.add_string b " (";
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_string b ", ";
+         Buffer.add_string b k;
+         Buffer.add_char b '=';
+         Buffer.add_string b (human_field_value v))
+      human_extras;
+    Buffer.add_char b ')'
+  end;
+  Printf.eprintf "%s\n%!" (Buffer.contents b);
+  (* JSONL record. *)
+  (match st.json with
+   | None -> ()
+   | Some oc ->
+     let b = Buffer.create 256 in
+     Buffer.add_string b "{\"ts\":";
+     Buffer.add_string b (Printf.sprintf "%.6f" (Unix.gettimeofday ()));
+     Buffer.add_string b ",\"level\":";
+     json_escape b (string_of_level lvl);
+     if st.run_id <> "" then begin
+       Buffer.add_string b ",\"run\":";
+       json_escape b st.run_id
+     end;
+     if st.phase <> "" then begin
+       Buffer.add_string b ",\"phase\":";
+       json_escape b st.phase
+     end;
+     (match node with
+      | Some n -> Buffer.add_string b (Printf.sprintf ",\"node\":%d" n)
+      | None -> ());
+     Buffer.add_string b ",\"msg\":";
+     json_escape b msg;
+     if fields <> [] then begin
+       Buffer.add_string b ",\"fields\":{";
+       List.iteri
+         (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            json_escape b k;
+            Buffer.add_char b ':';
+            add_field_value b v)
+         fields;
+       Buffer.add_char b '}'
+     end;
+     Buffer.add_string b "}\n";
+     output_string oc (Buffer.contents b);
+     flush oc);
+  Mutex.unlock st.mutex
+
+let log lvl ?node ?(fields = []) msg =
+  if would_log lvl then emit lvl node fields msg
+
+let error ?node ?fields msg = log Error ?node ?fields msg
+let warn ?node ?fields msg = log Warn ?node ?fields msg
+let info ?node ?fields msg = log Info ?node ?fields msg
+let debug ?node ?fields msg = log Debug ?node ?fields msg
+
+let errorf ?node ?fields fmt = Printf.ksprintf (error ?node ?fields) fmt
+let warnf ?node ?fields fmt = Printf.ksprintf (warn ?node ?fields) fmt
+let infof ?node ?fields fmt = Printf.ksprintf (info ?node ?fields) fmt
+let debugf ?node ?fields fmt = Printf.ksprintf (debug ?node ?fields) fmt

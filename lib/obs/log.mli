@@ -1,0 +1,61 @@
+(** Leveled structured logging.
+
+    Two sinks, independently switchable:
+
+    - a human line on [stderr] for every record at or above the
+      current level (default {!Warn}), formatted
+      [ [level] message (key=value, ...) ];
+    - an optional JSONL stream ({!set_json}) carrying the same records
+      plus timestamp, run id, phase and node context — one JSON object
+      per line, safe to tail and to parse with [Report.Json_parse].
+
+    The level gate applies to both sinks.  [Error] records are never
+    suppressed.  All writes are mutex-serialised, so logging from
+    worker domains is safe (the engine only logs from the
+    coordinator, but tools need not care). *)
+
+type level = Error | Warn | Info | Debug
+
+val level_of_string : string -> (level, string) result
+(** Accepts ["error"|"warn"|"warning"|"info"|"debug"] (case-insensitive). *)
+
+val string_of_level : level -> string
+
+val set_level : level -> unit
+val level : unit -> level
+
+val would_log : level -> bool
+(** True when a record at this level would reach at least one sink —
+    use to skip expensive message construction. *)
+
+val set_json : string -> (unit, string) result
+(** [set_json path] opens (truncates) [path] as the JSONL sink;
+    ["-"] means stderr.  Returns [Error msg] if the file cannot be
+    opened. *)
+
+val close_json : unit -> unit
+(** Flush and close the JSONL sink, if any.  Idempotent. *)
+
+val set_context : ?run_id:string -> ?phase:string -> unit -> unit
+(** Set (or, with [""], clear) the ambient run id / phase stamped on
+    every subsequent JSONL record.  Omitted arguments are left
+    unchanged. *)
+
+type field_value = S of string | I of int | F of float | B of bool
+type field = string * field_value
+
+val log : level -> ?node:int -> ?fields:field list -> string -> unit
+
+val error : ?node:int -> ?fields:field list -> string -> unit
+val warn : ?node:int -> ?fields:field list -> string -> unit
+val info : ?node:int -> ?fields:field list -> string -> unit
+val debug : ?node:int -> ?fields:field list -> string -> unit
+
+val errorf :
+  ?node:int -> ?fields:field list -> ('a, unit, string, unit) format4 -> 'a
+val warnf :
+  ?node:int -> ?fields:field list -> ('a, unit, string, unit) format4 -> 'a
+val infof :
+  ?node:int -> ?fields:field list -> ('a, unit, string, unit) format4 -> 'a
+val debugf :
+  ?node:int -> ?fields:field list -> ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,430 @@
+(* Run-level metrics registry.  See metrics.mli for the contract.
+
+   Layout: every counter/histogram cell is an [int Atomic.t array] of
+   [n_shards] slots; a recording domain touches only slot
+   [Domain.self () land (n_shards - 1)], so domains never contend
+   unless they hash together.  Scrapes sum the shards.  Gauges are a
+   single [float Atomic.t] (set-semantics, coordinator-only in this
+   repo).  All label interning goes through a per-family mutex — fine
+   because instrumentation records at run/phase granularity, not
+   per-message. *)
+
+let n_shards = 8
+
+type cells = int Atomic.t array
+
+let new_cells () : cells = Array.init n_shards (fun _ -> Atomic.make 0)
+
+let shard () = (Domain.self () :> int) land (n_shards - 1)
+
+let cells_add (c : cells) v = ignore (Atomic.fetch_and_add c.(shard ()) v)
+
+let cells_sum (c : cells) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let cells_zero (c : cells) = Array.iter (fun a -> Atomic.set a 0) c
+
+type hdata = {
+  bounds : int array;
+  bcells : cells array;   (* one per finite bucket, non-cumulative *)
+  hinf : cells;
+  hsum : cells;
+  hcount : cells;
+}
+
+type data =
+  | Dcounter of cells
+  | Dgauge of float Atomic.t
+  | Dhist of hdata
+
+type kind = Counter_k | Gauge_k | Histogram_k
+
+type fam = {
+  fname : string;
+  fhelp : string;
+  fkind : kind;
+  fstable : bool;
+  flabel_names : string list;
+  fmax_series : int;
+  fbounds : int array;                       (* empty unless histogram *)
+  ftable : (string list, data) Hashtbl.t;    (* label values -> cells *)
+  fmutex : Mutex.t;
+  mutable foverflowed : bool;
+  fdefault : data option;                    (* pre-interned [] series *)
+  fenabled : bool Atomic.t;                  (* shared with the registry *)
+  foverflow : int Atomic.t;                  (* shared with the registry *)
+}
+
+type t = {
+  mutable rfams : fam list;                  (* reverse registration order *)
+  rmutex : Mutex.t;
+  renabled : bool Atomic.t;
+  roverflow : int Atomic.t;
+}
+
+let create () = {
+  rfams = [];
+  rmutex = Mutex.create ();
+  renabled = Atomic.make false;
+  roverflow = Atomic.make 0;
+}
+
+let default = create ()
+
+let set_enabled ?(registry = default) b = Atomic.set registry.renabled b
+let enabled ?(registry = default) () = Atomic.get registry.renabled
+let overflow_count ?(registry = default) () = Atomic.get registry.roverflow
+
+let default_max_series = 64
+
+type counter = fam
+type gauge = fam
+type histogram = fam
+
+(* ---------- registration ---------- *)
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let make_data kind bounds =
+  match kind with
+  | Counter_k -> Dcounter (new_cells ())
+  | Gauge_k -> Dgauge (Atomic.make 0.0)
+  | Histogram_k ->
+    Dhist {
+      bounds;
+      bcells = Array.init (Array.length bounds) (fun _ -> new_cells ());
+      hinf = new_cells ();
+      hsum = new_cells ();
+      hcount = new_cells ();
+    }
+
+let register ?(registry = default) ?(stable = true) ?(label_names = [])
+    ?(max_series = default_max_series) ?(help = "") ~kind ~bounds name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Obs.Metrics: invalid metric name %S" name);
+  if kind = Counter_k
+     && String.length name >= 6
+     && String.sub name (String.length name - 6) 6 = "_total" then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics: counter %S must not end in _total (the suffix is added \
+          at exposition time)" name);
+  List.iter
+    (fun l ->
+       if not (valid_name l) || l = "le" then
+         invalid_arg (Printf.sprintf "Obs.Metrics: invalid label name %S" l))
+    label_names;
+  let bounds = Array.of_list bounds in
+  if kind = Histogram_k then begin
+    if Array.length bounds = 0 then
+      invalid_arg "Obs.Metrics: histogram needs at least one bucket";
+    Array.iteri
+      (fun i le ->
+         if i > 0 && bounds.(i - 1) >= le then
+           invalid_arg
+             (Printf.sprintf
+                "Obs.Metrics: histogram %S buckets must be strictly increasing"
+                name))
+      bounds
+  end;
+  Mutex.lock registry.rmutex;
+  let existing = List.find_opt (fun f -> f.fname = name) registry.rfams in
+  let fam =
+    match existing with
+    | Some f ->
+      Mutex.unlock registry.rmutex;
+      if f.fkind <> kind || f.flabel_names <> label_names
+         || f.fstable <> stable || f.fbounds <> bounds then
+        invalid_arg
+          (Printf.sprintf
+             "Obs.Metrics: %S already registered with a different shape" name);
+      f
+    | None ->
+      let fdefault = if label_names = [] then Some (make_data kind bounds) else None in
+      let f = {
+        fname = name; fhelp = help; fkind = kind; fstable = stable;
+        flabel_names = label_names; fmax_series = max_series; fbounds = bounds;
+        ftable = Hashtbl.create 8; fmutex = Mutex.create ();
+        foverflowed = false; fdefault;
+        fenabled = registry.renabled; foverflow = registry.roverflow;
+      } in
+      (match fdefault with Some d -> Hashtbl.add f.ftable [] d | None -> ());
+      registry.rfams <- f :: registry.rfams;
+      Mutex.unlock registry.rmutex;
+      f
+  in
+  fam
+
+let counter ?registry ?stable ?label_names ?max_series ?help name : counter =
+  register ?registry ?stable ?label_names ?max_series ?help
+    ~kind:Counter_k ~bounds:[] name
+
+let gauge ?registry ?stable ?label_names ?max_series ?help name : gauge =
+  register ?registry ?stable ?label_names ?max_series ?help
+    ~kind:Gauge_k ~bounds:[] name
+
+let histogram ?registry ?stable ?label_names ?max_series ?help ~buckets name
+  : histogram =
+  register ?registry ?stable ?label_names ?max_series ?help
+    ~kind:Histogram_k ~bounds:buckets name
+
+let exponential_buckets ~start ~factor ~count =
+  if start <= 0 || factor < 2 || count <= 0 then
+    invalid_arg "Obs.Metrics.exponential_buckets";
+  List.init count (fun i ->
+      let rec pow acc n = if n = 0 then acc else pow (acc * factor) (n - 1) in
+      pow start i)
+
+(* ---------- recording ---------- *)
+
+let get_series f labels =
+  match f.fdefault, labels with
+  | Some d, [] -> d
+  | _ ->
+    if List.length labels <> List.length f.flabel_names then
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S expects %d label value(s)" f.fname
+           (List.length f.flabel_names));
+    Mutex.lock f.fmutex;
+    let d =
+      match Hashtbl.find_opt f.ftable labels with
+      | Some d -> d
+      | None ->
+        if Hashtbl.length f.ftable < f.fmax_series then begin
+          let d = make_data f.fkind f.fbounds in
+          Hashtbl.add f.ftable labels d;
+          d
+        end else begin
+          ignore (Atomic.fetch_and_add f.foverflow 1);
+          if not f.foverflowed then begin
+            f.foverflowed <- true;
+            Printf.eprintf
+              "obs: metric %S exceeded %d label series; further label values \
+               collapse into \"_overflow\"\n%!"
+              f.fname f.fmax_series
+          end;
+          let key = List.map (fun _ -> "_overflow") labels in
+          match Hashtbl.find_opt f.ftable key with
+          | Some d -> d
+          | None ->
+            let d = make_data f.fkind f.fbounds in
+            Hashtbl.add f.ftable key d;
+            d
+        end
+    in
+    Mutex.unlock f.fmutex;
+    d
+
+let inc ?(labels = []) ?(by = 1) (f : counter) =
+  if Atomic.get f.fenabled then begin
+    if by < 0 then invalid_arg "Obs.Metrics.inc: negative increment";
+    match get_series f labels with
+    | Dcounter c -> cells_add c by
+    | _ -> assert false
+  end
+
+let set ?(labels = []) (f : gauge) v =
+  if Atomic.get f.fenabled then
+    match get_series f labels with
+    | Dgauge g -> Atomic.set g v
+    | _ -> assert false
+
+let observe ?(labels = []) (f : histogram) v =
+  if Atomic.get f.fenabled then
+    match get_series f labels with
+    | Dhist h ->
+      let n = Array.length h.bounds in
+      let rec place i =
+        if i >= n then cells_add h.hinf 1
+        else if v <= h.bounds.(i) then cells_add h.bcells.(i) 1
+        else place (i + 1)
+      in
+      place 0;
+      cells_add h.hsum v;
+      cells_add h.hcount 1
+    | _ -> assert false
+
+(* ---------- scraping ---------- *)
+
+type hist_snapshot = {
+  le : int array;
+  cumulative : int array;
+  total : int;
+  sum : int;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_snapshot
+
+type series = {
+  labels : (string * string) list;
+  value : value;
+}
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  stable : bool;
+  overflowed : bool;
+  series : series list;
+}
+
+let value_of_data = function
+  | Dcounter c -> Counter_v (cells_sum c)
+  | Dgauge g -> Gauge_v (Atomic.get g)
+  | Dhist h ->
+    let n = Array.length h.bounds in
+    let cumulative = Array.make n 0 in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + cells_sum h.bcells.(i);
+      cumulative.(i) <- !acc
+    done;
+    Histogram_v {
+      le = Array.copy h.bounds;
+      cumulative;
+      total = !acc + cells_sum h.hinf;
+      sum = cells_sum h.hsum;
+    }
+
+let snapshot ?(stable_only = false) ?(registry = default) () =
+  Mutex.lock registry.rmutex;
+  let fams = registry.rfams in
+  Mutex.unlock registry.rmutex;
+  fams
+  |> List.filter (fun f -> (not stable_only) || f.fstable)
+  |> List.map (fun f ->
+      Mutex.lock f.fmutex;
+      let rows = Hashtbl.fold (fun k d acc -> (k, d) :: acc) f.ftable [] in
+      Mutex.unlock f.fmutex;
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      {
+        name = f.fname;
+        help = f.fhelp;
+        kind = f.fkind;
+        stable = f.fstable;
+        overflowed = f.foverflowed;
+        series =
+          List.map
+            (fun (lv, d) ->
+               { labels = List.combine f.flabel_names lv;
+                 value = value_of_data d })
+            rows;
+      })
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.rmutex;
+  let fams = registry.rfams in
+  Atomic.set registry.roverflow 0;
+  Mutex.unlock registry.rmutex;
+  List.iter
+    (fun f ->
+       Mutex.lock f.fmutex;
+       Hashtbl.reset f.ftable;
+       f.foverflowed <- false;
+       (match f.fdefault with
+        | Some d ->
+          (match d with
+           | Dcounter c -> cells_zero c
+           | Dgauge g -> Atomic.set g 0.0
+           | Dhist h ->
+             Array.iter cells_zero h.bcells;
+             cells_zero h.hinf; cells_zero h.hsum; cells_zero h.hcount);
+          Hashtbl.add f.ftable [] d
+        | None -> ());
+       Mutex.unlock f.fmutex)
+    fams
+
+(* ---------- OpenMetrics text exposition ---------- *)
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let kind_str = function
+  | Counter_k -> "counter"
+  | Gauge_k -> "gauge"
+  | Histogram_k -> "histogram"
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render_labels buf = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf k;
+         Buffer.add_string buf "=\"";
+         Buffer.add_string buf (escape_label_value v);
+         Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let expose ?stable_only ?registry () =
+  let fams = snapshot ?stable_only ?registry () in
+  let buf = Buffer.create 4096 in
+  let line name labels v =
+    Buffer.add_string buf name;
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf v;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun f ->
+       if f.help <> "" then
+         Buffer.add_string buf
+           (Printf.sprintf "# HELP %s %s\n" f.name (escape_help f.help));
+       Buffer.add_string buf
+         (Printf.sprintf "# TYPE %s %s\n" f.name (kind_str f.kind));
+       List.iter
+         (fun s ->
+            match s.value with
+            | Counter_v v ->
+              line (f.name ^ "_total") s.labels (string_of_int v)
+            | Gauge_v v -> line f.name s.labels (float_str v)
+            | Histogram_v h ->
+              Array.iteri
+                (fun i le ->
+                   line (f.name ^ "_bucket")
+                     (s.labels @ [ ("le", string_of_int le) ])
+                     (string_of_int h.cumulative.(i)))
+                h.le;
+              line (f.name ^ "_bucket")
+                (s.labels @ [ ("le", "+Inf") ])
+                (string_of_int h.total);
+              line (f.name ^ "_sum") s.labels (string_of_int h.sum);
+              line (f.name ^ "_count") s.labels (string_of_int h.total))
+         f.series)
+    fams;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,130 @@
+(** Process-wide run-level metrics: counters, gauges and fixed-bucket
+    histograms with exact (integer, overflow-safe) sums.
+
+    Design constraints, in order:
+
+    - {b Zero cost when disabled.}  Every recording entry point is a
+      single [Atomic.get] branch away from a no-op; the registry ships
+      disabled and is only switched on by tools that scrape it
+      ([planarmon], tests).  The instrumented hot paths in the engine
+      additionally check {!enabled} before computing label values.
+
+    - {b Deterministic scrape.}  Simulated metrics (marked
+      [~stable:true] at registration) depend only on the program, the
+      graph and the seed — never on [?domains], fast-forward, wall
+      clock or scheduling.  {!snapshot} and {!expose} emit families
+      sorted by name and series sorted by label values, so two runs
+      with identical simulated behaviour produce byte-identical
+      stable output.
+
+    - {b Lock-free recording.}  Counter and histogram cells are arrays
+      of [Atomic.t] indexed by [Domain.self () mod n_shards]; domains
+      never contend on a CAS unless they hash to the same shard.
+      Shards are summed at scrape time.
+
+    - {b Bounded label cardinality.}  Each family caps its number of
+      label-value series ([?max_series], default {!default_max_series}).
+      Past the cap new label combinations are routed to a single
+      ["_overflow"] series, a warning is printed once per family, and
+      the registry-wide {!overflow_count} is bumped — loud, but never
+      unbounded memory. *)
+
+type t
+(** A metrics registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry used when [?registry] is omitted.
+    All instrumentation in this repo records here. *)
+
+val set_enabled : ?registry:t -> bool -> unit
+val enabled : ?registry:t -> unit -> bool
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every cell, forget every label series and clear overflow
+    state.  Registered families survive (handles stay valid). *)
+
+val default_max_series : int
+
+(** {1 Instrument handles} *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?registry:t -> ?stable:bool -> ?label_names:string list ->
+  ?max_series:int -> ?help:string -> string -> counter
+(** [counter name] registers (or retrieves, if [name] is already
+    registered with the same kind) an integer counter family.
+    [~stable] (default [true]) marks the family as
+    simulated-deterministic; host-side families (wall clock, GC)
+    must pass [~stable:false].
+    @raise Invalid_argument if [name] is already registered with a
+    different kind or label names. *)
+
+val gauge :
+  ?registry:t -> ?stable:bool -> ?label_names:string list ->
+  ?max_series:int -> ?help:string -> string -> gauge
+
+val histogram :
+  ?registry:t -> ?stable:bool -> ?label_names:string list ->
+  ?max_series:int -> ?help:string -> buckets:int list -> string -> histogram
+(** [buckets] are the inclusive upper bounds ([le]) of the finite
+    buckets, strictly increasing; a [+Inf] bucket is implicit.
+    An observation [v] lands in the first bucket with [v <= le]. *)
+
+val exponential_buckets : start:int -> factor:int -> count:int -> int list
+(** [exponential_buckets ~start:1 ~factor:2 ~count:5] = [[1;2;4;8;16]]. *)
+
+val inc : ?labels:string list -> ?by:int -> counter -> unit
+(** No-op when the registry is disabled.  [by] defaults to 1 and must
+    be [>= 0]. *)
+
+val set : ?labels:string list -> gauge -> float -> unit
+val observe : ?labels:string list -> histogram -> int -> unit
+
+(** {1 Scraping} *)
+
+type hist_snapshot = {
+  le : int array;            (** finite bucket upper bounds *)
+  cumulative : int array;    (** cumulative counts per finite bucket *)
+  total : int;               (** observation count incl. +Inf bucket *)
+  sum : int;                 (** exact sum of all observations *)
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_snapshot
+
+type series = {
+  labels : (string * string) list;  (** [(name, value)] pairs, in registration order *)
+  value : value;
+}
+
+type kind = Counter_k | Gauge_k | Histogram_k
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  stable : bool;
+  overflowed : bool;  (** true once label cardinality exceeded the cap *)
+  series : series list;
+}
+
+val snapshot : ?stable_only:bool -> ?registry:t -> unit -> family list
+(** Merge all shards and return families sorted by name, series sorted
+    by label values.  [?stable_only] drops [~stable:false] families. *)
+
+val expose : ?stable_only:bool -> ?registry:t -> unit -> string
+(** OpenMetrics text exposition of {!snapshot}, ending in [# EOF]. *)
+
+val escape_label_value : string -> string
+(** OpenMetrics label-value escaping of backslash, double quote and
+    newline (exposed for tests). *)
+
+val overflow_count : ?registry:t -> unit -> int
+(** Number of label-series rejections recorded since the last {!reset}. *)

@@ -19,6 +19,17 @@ type result = {
   degraded : string option;
 }
 
+(* Stable metrics: phase counts and durations are measured in simulated
+   rounds, never wall clock. *)
+let m_phases =
+  Obs.Metrics.counter ~help:"Stage I phases executed" "stage1_phases"
+
+let m_phase_rounds =
+  Obs.Metrics.histogram
+    ~help:"Simulated rounds per Stage I phase"
+    ~buckets:(Obs.Metrics.exponential_buckets ~start:1 ~factor:2 ~count:20)
+    "stage1_phase_rounds"
+
 let phases_for ~eps ~alpha =
   let rate = 1.0 -. (1.0 /. float_of_int (12 * alpha)) in
   let t = log (eps /. 2.0) /. log rate in
@@ -96,6 +107,8 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
          (fun tel -> Congest.Telemetry.phase tel phase_label)
          telemetry;
        Option.iter (fun tr -> Congest.Trace.phase tr phase_label) trace;
+       Obs.Log.set_context ~phase:phase_label ();
+       let rounds_before = st.State.stats.Congest.Stats.rounds in
        let cut_before = State.cut_edges st in
        Prims.refresh_roots st;
        let budget = max 1 (State.max_depth st) in
@@ -121,6 +134,14 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
            :: !phases;
          if stop_when_met && float_of_int cut_after <= target then stop := true;
          incr phase
+       end;
+       (* Phase duration in *simulated* rounds — deterministic across
+          [?domains] and fast-forward, so the histogram is a stable
+          metric. *)
+       if Obs.Metrics.enabled () then begin
+         Obs.Metrics.inc m_phases;
+         Obs.Metrics.observe m_phase_rounds
+           (st.State.stats.Congest.Stats.rounds - rounds_before)
        end
      done
    with
@@ -132,6 +153,7 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
          primitive.  That is a degraded execution, never a verdict. *)
       degraded :=
         Some ("Stage I interrupted under faults: " ^ Printexc.to_string e));
+  Obs.Log.set_context ~phase:"" ();
   {
     state = st;
     rejected = st.State.rejections;

@@ -1,0 +1,232 @@
+module Json = Congest.Telemetry.Json
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+type st = { s : string; mutable pos : int }
+
+let peek t = if t.pos < String.length t.s then Some t.s.[t.pos] else None
+
+let skip_ws t =
+  let n = String.length t.s in
+  while
+    t.pos < n
+    && match t.s.[t.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    t.pos <- t.pos + 1
+  done
+
+let expect t c =
+  match peek t with
+  | Some c' when c' = c -> t.pos <- t.pos + 1
+  | Some c' -> fail t.pos (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail t.pos (Printf.sprintf "expected %c, found end of input" c)
+
+let literal t word v =
+  let n = String.length word in
+  if t.pos + n <= String.length t.s && String.sub t.s t.pos n = word then begin
+    t.pos <- t.pos + n;
+    v
+  end
+  else fail t.pos (Printf.sprintf "expected %s" word)
+
+(* UTF-8 encode one scalar value. *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 t =
+  if t.pos + 4 > String.length t.s then fail t.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let c = t.s.[t.pos + i] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail (t.pos + i) "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  t.pos <- t.pos + 4;
+  !v
+
+let parse_string t =
+  expect t '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if t.pos >= String.length t.s then fail t.pos "unterminated string";
+    match t.s.[t.pos] with
+    | '"' -> t.pos <- t.pos + 1
+    | '\\' ->
+        t.pos <- t.pos + 1;
+        (if t.pos >= String.length t.s then fail t.pos "unterminated escape";
+         (match t.s.[t.pos] with
+         | '"' -> Buffer.add_char b '"'; t.pos <- t.pos + 1
+         | '\\' -> Buffer.add_char b '\\'; t.pos <- t.pos + 1
+         | '/' -> Buffer.add_char b '/'; t.pos <- t.pos + 1
+         | 'b' -> Buffer.add_char b '\b'; t.pos <- t.pos + 1
+         | 'f' -> Buffer.add_char b '\012'; t.pos <- t.pos + 1
+         | 'n' -> Buffer.add_char b '\n'; t.pos <- t.pos + 1
+         | 'r' -> Buffer.add_char b '\r'; t.pos <- t.pos + 1
+         | 't' -> Buffer.add_char b '\t'; t.pos <- t.pos + 1
+         | 'u' ->
+             t.pos <- t.pos + 1;
+             let u = hex4 t in
+             if u >= 0xD800 && u <= 0xDBFF then begin
+               (* high surrogate: require a low surrogate next *)
+               if t.pos + 2 <= String.length t.s
+                  && t.s.[t.pos] = '\\'
+                  && t.s.[t.pos + 1] = 'u'
+               then begin
+                 t.pos <- t.pos + 2;
+                 let lo = hex4 t in
+                 if lo < 0xDC00 || lo > 0xDFFF then
+                   fail t.pos "unpaired surrogate in \\u escape";
+                 add_utf8 b
+                   (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+               end
+               else fail t.pos "unpaired surrogate in \\u escape"
+             end
+             else if u >= 0xDC00 && u <= 0xDFFF then
+               fail t.pos "unpaired surrogate in \\u escape"
+             else add_utf8 b u
+         | c -> fail t.pos (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+    | c when Char.code c < 0x20 -> fail t.pos "raw control byte in string"
+    | c ->
+        Buffer.add_char b c;
+        t.pos <- t.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number t =
+  let start = t.pos in
+  let n = String.length t.s in
+  let is_float = ref false in
+  if peek t = Some '-' then t.pos <- t.pos + 1;
+  while
+    t.pos < n
+    && match t.s.[t.pos] with
+       | '0' .. '9' -> true
+       | '.' | 'e' | 'E' | '+' | '-' ->
+           (match t.s.[t.pos] with
+           | '.' | 'e' | 'E' -> is_float := true
+           | _ -> ());
+           true
+       | _ -> false
+  do
+    t.pos <- t.pos + 1
+  done;
+  let lit = String.sub t.s start (t.pos - start) in
+  if lit = "" || lit = "-" then fail start "malformed number";
+  if !is_float then
+    match float_of_string_opt lit with
+    | Some f -> Json.Float f
+    | None -> fail start (Printf.sprintf "malformed number %S" lit)
+  else
+    match int_of_string_opt lit with
+    | Some i -> Json.Int i
+    | None -> (
+        (* out of int range: fall back to float *)
+        match float_of_string_opt lit with
+        | Some f -> Json.Float f
+        | None -> fail start (Printf.sprintf "malformed number %S" lit))
+
+let rec parse_value t =
+  skip_ws t;
+  match peek t with
+  | None -> fail t.pos "unexpected end of input"
+  | Some '{' ->
+      t.pos <- t.pos + 1;
+      skip_ws t;
+      if peek t = Some '}' then begin
+        t.pos <- t.pos + 1;
+        Json.Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec members_loop () =
+          skip_ws t;
+          let k = parse_string t in
+          skip_ws t;
+          expect t ':';
+          let v = parse_value t in
+          members := (k, v) :: !members;
+          skip_ws t;
+          match peek t with
+          | Some ',' ->
+              t.pos <- t.pos + 1;
+              members_loop ()
+          | Some '}' -> t.pos <- t.pos + 1
+          | _ -> fail t.pos "expected , or } in object"
+        in
+        members_loop ();
+        Json.Obj (List.rev !members)
+      end
+  | Some '[' ->
+      t.pos <- t.pos + 1;
+      skip_ws t;
+      if peek t = Some ']' then begin
+        t.pos <- t.pos + 1;
+        Json.List []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value t in
+          items := v :: !items;
+          skip_ws t;
+          match peek t with
+          | Some ',' ->
+              t.pos <- t.pos + 1;
+              items_loop ()
+          | Some ']' -> t.pos <- t.pos + 1
+          | _ -> fail t.pos "expected , or ] in array"
+        in
+        items_loop ();
+        Json.List (List.rev !items)
+      end
+  | Some '"' -> Json.String (parse_string t)
+  | Some 't' -> literal t "true" (Json.Bool true)
+  | Some 'f' -> literal t "false" (Json.Bool false)
+  | Some 'n' -> literal t "null" Json.Null
+  | Some ('-' | '0' .. '9') -> parse_number t
+  | Some c -> fail t.pos (Printf.sprintf "unexpected character %c" c)
+
+let of_string s =
+  let t = { s; pos = 0 } in
+  match parse_value t with
+  | v ->
+      skip_ws t;
+      if t.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" t.pos)
+      else Ok v
+  | exception Fail (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> (
+      match of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the JSON this repo emits
+    ({!Congest.Telemetry.Json} has only a printer).
+
+    RFC 8259 subset, strict: one top-level value, no trailing garbage,
+    no comments.  Numbers without [.], [e] or [E] parse as [Int]
+    (mirroring the printer, which never writes an [Int] in float
+    form); everything else parses as [Float].  String escapes,
+    including [\uXXXX] (encoded to UTF-8, surrogate pairs supported),
+    are handled.  Errors carry a byte offset. *)
+
+val of_string : string -> (Congest.Telemetry.Json.t, string) result
+
+val of_file : string -> (Congest.Telemetry.Json.t, string) result
+(** Reads the whole file; IO failures come back as [Error]. *)

@@ -1,4 +1,5 @@
 module Json = Congest.Telemetry.Json
+module Json_parse = Json_parse
 module Ctrace = Ctrace
 module Perfetto = Perfetto
 module PT = Tester.Planarity_tester
@@ -7,9 +8,11 @@ let stats_schema = "planartest.stats/v1"
 let stats_schema_v2 = "planartest.stats/v2"
 let stats_schema_v3 = "planartest.stats/v3"
 let bench_schema = "bench.planarity/v1"
+let metrics_schema = "metrics/v1"
 
 let known_schemas =
-  [ stats_schema; stats_schema_v2; stats_schema_v3; bench_schema ]
+  [ stats_schema; stats_schema_v2; stats_schema_v3; bench_schema;
+    metrics_schema ]
 
 let check_schema j =
   match j with
@@ -137,6 +140,60 @@ let bench_envelope ~quick ~jobs ~domains experiments =
       ("jobs", Json.Int jobs);
       ("domains", Json.Int domains);
       ("experiments", Json.List experiments);
+    ]
+
+(* [metrics/v1]: the {!Obs.Metrics} snapshot as a stable JSON document.
+   Families arrive sorted by name and series by label values (the
+   registry guarantees it), so two snapshots of identical simulated
+   behaviour render byte-identically.  Histogram buckets carry
+   *cumulative* counts, mirroring OpenMetrics [le] semantics; ["count"]
+   includes the implicit [+Inf] bucket. *)
+let metrics_json ?stable_only ?registry () =
+  let module M = Obs.Metrics in
+  let series_json (s : M.series) =
+    let labels =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.M.labels)
+    in
+    match s.M.value with
+    | M.Counter_v v -> Json.Obj [ ("labels", labels); ("value", Json.Int v) ]
+    | M.Gauge_v v -> Json.Obj [ ("labels", labels); ("value", Json.Float v) ]
+    | M.Histogram_v h ->
+        Json.Obj
+          [
+            ("labels", labels);
+            ( "buckets",
+              Json.List
+                (List.init (Array.length h.M.le) (fun i ->
+                     Json.Obj
+                       [
+                         ("le", Json.Int h.M.le.(i));
+                         ("count", Json.Int h.M.cumulative.(i));
+                       ])) );
+            ("sum", Json.Int h.M.sum);
+            ("count", Json.Int h.M.total);
+          ]
+  in
+  let family_json (fam : M.family) =
+    Json.Obj
+      [
+        ("name", Json.String fam.M.name);
+        ( "kind",
+          Json.String
+            (match fam.M.kind with
+            | M.Counter_k -> "counter"
+            | M.Gauge_k -> "gauge"
+            | M.Histogram_k -> "histogram") );
+        ("help", Json.String fam.M.help);
+        ("stable", Json.Bool fam.M.stable);
+        ("series", Json.List (List.map series_json fam.M.series));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String metrics_schema);
+      ( "metrics",
+        Json.List (List.map family_json (M.snapshot ?stable_only ?registry ()))
+      );
     ]
 
 let write path j =

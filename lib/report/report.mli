@@ -8,6 +8,9 @@
 
 module Json = Congest.Telemetry.Json
 
+(** Strict RFC 8259 parser for the documents this module emits. *)
+module Json_parse = Json_parse
+
 (** Binary [.ctrace] serialization of {!Congest.Trace} recordings. *)
 module Ctrace = Ctrace
 
@@ -25,6 +28,9 @@ val stats_schema_v3 : string
 
 (** ["bench.planarity/v1"] *)
 val bench_schema : string
+
+(** ["metrics/v1"] *)
+val metrics_schema : string
 
 (** Every schema tag this build can emit or validate. *)
 val known_schemas : string list
@@ -75,6 +81,16 @@ val tester_stats :
     [bench.planarity/v1] document; [experiments] are the per-experiment
     objects ([{"id", "title", "claim", "data"}]). *)
 val bench_envelope : quick:bool -> jobs:int -> domains:int -> Json.t list -> Json.t
+
+(** [metrics_json ()] is the ["metrics/v1"] snapshot of an
+    {!Obs.Metrics} registry (default: the process-wide one): families
+    sorted by name, series by label values, histogram buckets carrying
+    cumulative counts with ["count"] including the implicit [+Inf]
+    bucket.  With [~stable_only:true] only simulated-deterministic
+    families are emitted — that projection is byte-identical across
+    [?domains] and fast-forward. *)
+val metrics_json :
+  ?stable_only:bool -> ?registry:Obs.Metrics.t -> unit -> Json.t
 
 (** [write path j] writes [j] plus a trailing newline to [path], or to
     stdout when [path] is ["-"]. *)

@@ -1,5 +1,17 @@
 type verdict = Accept | Reject of (int * string) list | Degraded of string
 
+(* Stable run-level metrics.  Verdicts and stage durations are a pure
+   function of (graph, seed, eps, faults) — wall clock never enters. *)
+let m_verdicts =
+  Obs.Metrics.counter ~label_names:[ "verdict" ]
+    ~help:"Tester verdicts by outcome" "planartest_verdicts"
+
+let m_stage2_rounds =
+  Obs.Metrics.histogram
+    ~help:"Simulated rounds spent in Stage II per tester run"
+    ~buckets:(Obs.Metrics.exponential_buckets ~start:1 ~factor:2 ~count:20)
+    "planartest_stage2_rounds"
+
 type partition_mode = Stage_one | Exponential_shifts
 
 type report = {
@@ -64,14 +76,24 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
         (fun tel -> Congest.Telemetry.phase tel "stage2")
         telemetry;
       Option.iter (fun tr -> Congest.Trace.phase tr "stage2") trace;
-      try Some (Stage2.run ~embedding st ~eps ~seed) with
-      | Congest.Faults.Degraded msg ->
-          degraded := Some msg;
-          None
-      | e when faults_active ->
-          degraded :=
-            Some ("Stage II interrupted under faults: " ^ Printexc.to_string e);
-          None
+      Obs.Log.set_context ~phase:"stage2" ();
+      let rounds_before = st.Partition.State.stats.Congest.Stats.rounds in
+      let r =
+        try Some (Stage2.run ~embedding st ~eps ~seed) with
+        | Congest.Faults.Degraded msg ->
+            degraded := Some msg;
+            None
+        | e when faults_active ->
+            degraded :=
+              Some
+                ("Stage II interrupted under faults: " ^ Printexc.to_string e);
+            None
+      in
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.observe m_stage2_rounds
+          (st.Partition.State.stats.Congest.Stats.rounds - rounds_before);
+      Obs.Log.set_context ~phase:"" ();
+      r
     end
     else None
   in
@@ -97,6 +119,13 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
                stats.Congest.Stats.delayed stats.Congest.Stats.crashed_nodes)
         else Reject (List.sort_uniq compare rejections)
   in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.inc m_verdicts
+      ~labels:
+        [ (match verdict with
+          | Accept -> "accept"
+          | Reject _ -> "reject"
+          | Degraded _ -> "degraded") ];
   {
     verdict;
     stage1;

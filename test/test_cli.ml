@@ -1,0 +1,181 @@
+(* End-to-end smoke tests for the CLI contracts this PR pins down:
+
+   - planartrace: bad arguments exit 2 with usage on stderr (never 0,
+     never an uncaught exception, never cmdliner's 124);
+   - planarmon compare: 0 on agreement, 1 on deterministic mismatch,
+     2 on IO/usage errors;
+   - bench --json -: machine JSON on stdout, human report on stderr.
+
+   The binaries are built by dune (see the [deps] in test/dune) and
+   invoked relative to the test's cwd inside [_build]. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let planartrace = "../bin/planartrace.exe"
+let planarmon = "../bin/planarmon.exe"
+let bench = "../bench/main.exe"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Run [argv], return (exit code, stdout, stderr). *)
+let run argv =
+  let out = Filename.temp_file "cli" ".out" in
+  let err = Filename.temp_file "cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s > %s 2> %s"
+          (String.concat " " (List.map Filename.quote argv))
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, slurp out, slurp err))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* planartrace exit paths                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_planartrace_bad_args () =
+  let code, _, err = run [ planartrace; "no-such-subcommand" ] in
+  check ci "unknown subcommand exits 2" 2 code;
+  check cb "usage goes to stderr" true (contains err "planartrace");
+  let code, _, err = run [ planartrace; "export" ] in
+  check ci "missing argument exits 2" 2 code;
+  check cb "stderr names the problem" true (String.length err > 0)
+
+let test_planartrace_corrupt_input () =
+  let path = Filename.temp_file "bogus" ".ctrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "this is not a trace file";
+      let code, _, err = run [ planartrace; "info"; path ] in
+      check ci "corrupt trace exits 2" 2 code;
+      check cb "error mentions the corruption" true
+        (contains err "corrupt" || contains err "trace"))
+
+let test_planartrace_help () =
+  let code, out, _ = run [ planartrace; "--help" ] in
+  check ci "--help exits 0" 0 code;
+  check cb "help text rendered" true (contains out "planartrace")
+
+(* ------------------------------------------------------------------ *)
+(* planarmon compare exit paths                                        *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_doc value =
+  Printf.sprintf
+    {|{"schema":"metrics/v1","metrics":[{"name":"congest_rounds","kind":"counter","help":"h","stable":true,"series":[{"labels":{},"value":%d}]}]}|}
+    value
+
+let with_two_files a b f =
+  let pa = Filename.temp_file "base" ".json" in
+  let pb = Filename.temp_file "cand" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove pa;
+      Sys.remove pb)
+    (fun () ->
+      write_file pa a;
+      write_file pb b;
+      f pa pb)
+
+let test_planarmon_compare_ok () =
+  with_two_files (metrics_doc 42) (metrics_doc 42) (fun a b ->
+      let code, out, _ = run [ planarmon; "compare"; a; b ] in
+      check ci "identical documents exit 0" 0 code;
+      check cb "summary reports OK" true (contains out "OK"))
+
+let test_planarmon_compare_mismatch () =
+  with_two_files (metrics_doc 42) (metrics_doc 43) (fun a b ->
+      let code, out, _ = run [ planarmon; "compare"; a; b ] in
+      check ci "stable-value drift exits 1" 1 code;
+      check cb "offender table names the family" true
+        (contains out "congest_rounds"))
+
+let test_planarmon_compare_io_error () =
+  let code, _, err =
+    run [ planarmon; "compare"; "/nonexistent/a.json"; "/nonexistent/b.json" ]
+  in
+  check ci "unreadable input exits 2" 2 code;
+  check cb "stderr explains" true (String.length err > 0)
+
+let test_planarmon_bad_args () =
+  let code, _, _ = run [ planarmon; "no-such-subcommand" ] in
+  check ci "unknown subcommand exits 2" 2 code;
+  let code, _, _ = run [ planarmon; "compare"; "only-one-file" ] in
+  check ci "missing operand exits 2" 2 code
+
+(* ------------------------------------------------------------------ *)
+(* bench --json -: stream separation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_stream_split () =
+  let code, out, err =
+    run [ bench; "--only"; "E1"; "--quick"; "--no-timings"; "--json"; "-" ]
+  in
+  check ci "bench exits 0" 0 code;
+  (match Report.Json_parse.of_string out with
+  | Ok (Report.Json.Obj fields) ->
+      check cb "stdout is exactly one bench.planarity/v1 document" true
+        (List.assoc_opt "schema" fields
+        = Some (Report.Json.String "bench.planarity/v1"))
+  | Ok _ -> Alcotest.fail "stdout JSON is not an object"
+  | Error e -> Alcotest.failf "stdout is not pure JSON: %s" e);
+  check cb "human report moved to stderr" true (contains err "E1");
+  check cb "no human chrome leaked into stdout" false (contains out "====")
+
+let test_bench_rejects_unknown_experiment () =
+  let code, _, err = run [ bench; "--only"; "E99"; "--quick" ] in
+  check ci "unknown experiment id exits 2" 2 code;
+  check cb "stderr names the id" true (contains err "E99")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "planartrace",
+        [
+          Alcotest.test_case "bad arguments exit 2" `Quick
+            test_planartrace_bad_args;
+          Alcotest.test_case "corrupt input exits 2" `Quick
+            test_planartrace_corrupt_input;
+          Alcotest.test_case "--help exits 0" `Quick test_planartrace_help;
+        ] );
+      ( "planarmon",
+        [
+          Alcotest.test_case "compare agreement exits 0" `Quick
+            test_planarmon_compare_ok;
+          Alcotest.test_case "compare mismatch exits 1" `Quick
+            test_planarmon_compare_mismatch;
+          Alcotest.test_case "compare IO error exits 2" `Quick
+            test_planarmon_compare_io_error;
+          Alcotest.test_case "bad arguments exit 2" `Quick
+            test_planarmon_bad_args;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "--json - splits streams" `Quick
+            test_bench_stream_split;
+          Alcotest.test_case "unknown --only id exits 2" `Quick
+            test_bench_rejects_unknown_experiment;
+        ] );
+    ]

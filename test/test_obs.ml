@@ -1,0 +1,210 @@
+(* Tests for the observability layer: OpenMetrics exposition details
+   that external scrapers depend on (escaping, histogram bucket
+   semantics) and the determinism contract for stable metrics (the
+   stable projection must not depend on [?domains] or fast-forward). *)
+
+module M = Obs.Metrics
+module PT = Tester.Planarity_tester
+open Graphlib
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cs = Alcotest.string
+let cb = Alcotest.bool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Each test gets a private registry so the cases cannot interfere with
+   each other (or with the instrumented libraries' default registry). *)
+let fresh () =
+  let r = M.create () in
+  M.set_enabled ~registry:r true;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics escaping                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_escape_label_value () =
+  check cs "backslash" {|a\\b|} (M.escape_label_value {|a\b|});
+  check cs "double quote" {|a\"b|} (M.escape_label_value {|a"b|});
+  check cs "newline" {|a\nb|} (M.escape_label_value "a\nb");
+  check cs "all three, in order" {|\\ \" \n|}
+    (M.escape_label_value "\\ \" \n");
+  check cs "clean strings pass through" "grid_42" (M.escape_label_value "grid_42")
+
+let test_expose_escapes_labels () =
+  let r = fresh () in
+  let c =
+    M.counter ~registry:r ~label_names:[ "path" ] ~help:"with \\ and\nnewline"
+      "esc_test"
+  in
+  M.inc ~labels:[ "a\"b\\c\nd" ] c;
+  let text = M.expose ~registry:r () in
+  check cb "label value escaped in exposition" true
+    (contains text {|esc_test_total{path="a\"b\\c\nd"} 1|});
+  (* HELP text escapes backslash and newline but NOT double quotes. *)
+  check cb "help escaped" true
+    (contains text {|# HELP esc_test with \\ and\nnewline|});
+  check cb "exposition is EOF-terminated" true
+    (let suffix = "# EOF\n" in
+     String.length text >= String.length suffix
+     && String.sub text (String.length text - String.length suffix)
+          (String.length suffix)
+        = suffix)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket boundary semantics                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_le_inclusive () =
+  let r = fresh () in
+  let h = M.histogram ~registry:r ~buckets:[ 10; 20 ] "le_test" in
+  (* An observation exactly at a bound lands in that bucket ([v <= le]),
+     one past it lands in the next, one past the last bound is +Inf-only. *)
+  M.observe h 10;
+  M.observe h 11;
+  M.observe h 20;
+  M.observe h 21;
+  match M.snapshot ~registry:r () with
+  | [ { M.series = [ { M.value = M.Histogram_v hs; _ } ]; _ } ] ->
+      check ci "le=10 holds exactly the v<=10 observation" 1 hs.M.cumulative.(0);
+      check ci "le=20 cumulates 10, 11 and 20" 3 hs.M.cumulative.(1);
+      check ci "total counts the +Inf overflow too" 4 hs.M.total;
+      check ci "sum is exact" (10 + 11 + 20 + 21) hs.M.sum
+  | _ -> Alcotest.fail "expected one family with one series"
+
+let test_le_exposition_cumulative () =
+  let r = fresh () in
+  let h = M.histogram ~registry:r ~buckets:[ 5 ] "expo_h" in
+  M.observe h 5;
+  M.observe h 6;
+  let text = M.expose ~registry:r () in
+  check cb "boundary observation inside le=5" true
+    (contains text {|expo_h_bucket{le="5"} 1|});
+  check cb "+Inf bucket equals count" true
+    (contains text {|expo_h_bucket{le="+Inf"} 2|});
+  check cb "_count line" true (contains text "expo_h_count 2");
+  check cb "_sum line" true (contains text "expo_h_sum 11")
+
+(* ------------------------------------------------------------------ *)
+(* Registration guard rails                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registration_guards () =
+  let r = fresh () in
+  (match M.counter ~registry:r "bad_total" with
+  | _ -> Alcotest.fail "counter name ending in _total accepted"
+  | exception Invalid_argument _ -> ());
+  (match M.histogram ~registry:r ~buckets:[ 3; 3 ] "bad_buckets" with
+  | _ -> Alcotest.fail "non-increasing buckets accepted"
+  | exception Invalid_argument _ -> ());
+  let _ = M.counter ~registry:r "dup" in
+  match M.gauge ~registry:r "dup" with
+  | _ -> Alcotest.fail "kind clash on re-registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_label_cardinality_cap () =
+  let r = fresh () in
+  let c = M.counter ~registry:r ~label_names:[ "k" ] ~max_series:2 "capped" in
+  M.inc ~labels:[ "a" ] c;
+  M.inc ~labels:[ "b" ] c;
+  M.inc ~labels:[ "c" ] c;
+  (* third label routed to _overflow *)
+  M.inc ~labels:[ "d" ] c;
+  check ci "registry-wide overflow count" 2 (M.overflow_count ~registry:r ());
+  match M.snapshot ~registry:r () with
+  | [ { M.overflowed; series; _ } ] ->
+      check cb "family flagged as overflowed" true overflowed;
+      let labels =
+        List.map (fun s -> List.assoc "k" s.M.labels) series
+        |> List.sort compare
+      in
+      check Alcotest.(list string) "overflow series absorbs the excess"
+        [ "_overflow"; "a"; "b" ] labels;
+      let ov =
+        List.find (fun s -> List.assoc "k" s.M.labels = "_overflow") series
+      in
+      check cb "both rejected increments landed there" true
+        (match ov.M.value with M.Counter_v 2 -> true | _ -> false)
+  | _ -> Alcotest.fail "expected one family"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain / fast-forward determinism of the stable projection    *)
+(* ------------------------------------------------------------------ *)
+
+let stable_exposition ~domains ~fast_forward =
+  (* The engine and tester record into the default registry, so this
+     test briefly enables it; [Fun.protect] restores the disabled
+     state even if the run throws. *)
+  Fun.protect
+    ~finally:(fun () -> M.set_enabled false)
+    (fun () ->
+      M.set_enabled true;
+      M.reset ();
+      let g = Generators.grid 12 12 in
+      let r = PT.run ~seed:5 ~domains ~fast_forward g ~eps:0.25 in
+      (match r.PT.verdict with
+      | PT.Accept -> ()
+      | _ -> Alcotest.fail "grid run must accept");
+      M.expose ~stable_only:true ())
+
+let test_stable_projection_invariant () =
+  let base = stable_exposition ~domains:1 ~fast_forward:true in
+  check cb "baseline run actually recorded something" true
+    (contains base "congest_rounds");
+  check cb "host-side families excluded from the stable projection" false
+    (contains base "congest_run_wall_us");
+  check cb "fast-forward accounting excluded (ff-dependent by definition)"
+    false
+    (contains base "congest_fast_forwarded_rounds");
+  let d4 = stable_exposition ~domains:4 ~fast_forward:true in
+  check cs "domains=1 vs domains=4: byte-identical" base d4;
+  let no_ff = stable_exposition ~domains:1 ~fast_forward:false in
+  check cs "ff on vs off: byte-identical" base no_ff
+
+let test_disabled_records_nothing () =
+  let r = M.create () in
+  (* never enabled *)
+  let c = M.counter ~registry:r "noop" in
+  M.inc c;
+  M.inc ~by:41 c;
+  M.set_enabled ~registry:r true;
+  match M.snapshot ~registry:r () with
+  | [ { M.series = [ { M.value = M.Counter_v 0; _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "disabled registry must stay at zero"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "openmetrics",
+        [
+          Alcotest.test_case "label-value escaping" `Quick
+            test_escape_label_value;
+          Alcotest.test_case "exposition escapes labels and help" `Quick
+            test_expose_escapes_labels;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "le bounds are inclusive" `Quick test_le_inclusive;
+          Alcotest.test_case "cumulative buckets in exposition" `Quick
+            test_le_exposition_cumulative;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "registration guard rails" `Quick
+            test_registration_guards;
+          Alcotest.test_case "label cardinality cap" `Quick
+            test_label_cardinality_cap;
+          Alcotest.test_case "disabled registry records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "stable projection: domains and ff invariant"
+            `Quick test_stable_projection_invariant;
+        ] );
+    ]

@@ -296,6 +296,13 @@ let test_check_schema () =
            i + String.length sub <= String.length e
            && (String.sub e i (String.length sub) = sub || has (i + 1))
          in
+         has 0);
+      check cb "message lists metrics/v1 too" true
+        (let sub = Report.metrics_schema in
+         let rec has i =
+           i + String.length sub <= String.length e
+           && (String.sub e i (String.length sub) = sub || has (i + 1))
+         in
          has 0));
   (match Report.check_schema (J.Obj [ ("schema", J.Int 3) ]) with
   | Ok _ -> Alcotest.fail "non-string schema accepted"
@@ -325,6 +332,84 @@ let test_bench_schema () =
     (match field j "schema" with J.String s -> s | _ -> "?");
   check ci "domains recorded" 4
     (match field j "domains" with J.Int d -> d | _ -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* metrics/v1: the Obs.Metrics snapshot document                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The key sets below are a contract with [planarmon compare] and any
+   external scraper: changing them requires bumping [metrics/v1]. *)
+let test_metrics_schema () =
+  let module M = Obs.Metrics in
+  let r = M.create () in
+  M.set_enabled ~registry:r true;
+  let c = M.counter ~registry:r ~label_names:[ "verdict" ] "rt_counter" in
+  let g = M.gauge ~registry:r ~stable:false "rt_gauge" in
+  let h = M.histogram ~registry:r ~buckets:[ 1; 4 ] "rt_hist" in
+  M.inc ~labels:[ "accept" ] c;
+  M.set g 2.5;
+  M.observe h 3;
+  let j = Report.metrics_json ~registry:r () in
+  check kt "envelope keys and types"
+    [ ("schema", "string"); ("metrics", "list") ]
+    (keys_and_tags j);
+  check Alcotest.string "schema tag" "metrics/v1"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  (match Report.check_schema j with
+  | Ok t -> check Alcotest.string "check_schema accepts it" "metrics/v1" t
+  | Error e -> Alcotest.failf "metrics/v1 rejected by check_schema: %s" e);
+  let fams = match field j "metrics" with J.List l -> l | _ -> [] in
+  check ci "three families" 3 (List.length fams);
+  List.iter
+    (fun fam ->
+      check kt "family key set"
+        [
+          ("name", "string");
+          ("kind", "string");
+          ("help", "string");
+          ("stable", "bool");
+          ("series", "list");
+        ]
+        (keys_and_tags fam))
+    fams;
+  let fam_named n =
+    List.find (fun f -> field f "name" = J.String n) fams
+  in
+  let series f =
+    match field f "series" with J.List (s :: _) -> s | _ -> Alcotest.fail "series"
+  in
+  check kt "counter series row"
+    [ ("labels", "obj"); ("value", "int") ]
+    (keys_and_tags (series (fam_named "rt_counter")));
+  check kt "counter labels"
+    [ ("verdict", "string") ]
+    (keys_and_tags (field (series (fam_named "rt_counter")) "labels"));
+  check kt "gauge series row"
+    [ ("labels", "obj"); ("value", "float") ]
+    (keys_and_tags (series (fam_named "rt_gauge")));
+  check cb "host-side gauge carries stable=false" true
+    (field (fam_named "rt_gauge") "stable" = J.Bool false);
+  let hrow = series (fam_named "rt_hist") in
+  check kt "histogram series row"
+    [ ("labels", "obj"); ("buckets", "list"); ("sum", "int"); ("count", "int") ]
+    (keys_and_tags hrow);
+  (match field hrow "buckets" with
+  | J.List buckets ->
+      check ci "one row per finite bucket" 2 (List.length buckets);
+      List.iter
+        (fun b ->
+          check kt "bucket row" [ ("le", "int"); ("count", "int") ]
+            (keys_and_tags b))
+        buckets;
+      (* cumulative le semantics: the observation 3 is inside le=4 only *)
+      check cb "bucket counts are cumulative" true
+        (List.map
+           (fun b -> (field b "le", field b "count"))
+           buckets
+        = [ (J.Int 1, J.Int 0); (J.Int 4, J.Int 1) ])
+  | _ -> Alcotest.fail "buckets must be a list");
+  check cb "count includes the +Inf bucket" true
+    (field hrow "count" = J.Int 1)
 
 (* ------------------------------------------------------------------ *)
 (* Report.write: file vs the "-" stdout convention                     *)
@@ -395,6 +480,7 @@ let () =
           Alcotest.test_case "check_schema rejects unknown versions" `Quick
             test_check_schema;
           Alcotest.test_case "bench.planarity/v1" `Quick test_bench_schema;
+          Alcotest.test_case "metrics/v1" `Quick test_metrics_schema;
         ] );
       ( "write",
         [
