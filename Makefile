@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz trace monitor monitor-baseline ci clean
+.PHONY: all build test bench fuzz trace monitor monitor-baseline scale ci clean
 
 all: build
 
@@ -82,12 +82,40 @@ monitor-baseline: build
 	./_build/default/bin/planarmon.exe snapshot --stable-only \
 	  --json MONITOR_baseline.json --openmetrics /dev/null
 
+# Million-node substrate gate (also a CI leg).  Two halves:
+#   1. quick M1 — the memory-substrate experiment; its bytes/node and
+#      bytes/edge columns are analytic (Graph.storage_bytes + the engine
+#      pool footprint), so they are deterministic and meaningful even on
+#      a loaded CI box.
+#   2. checkpoint round trip — run planartest to completion for a
+#      reference stats JSON, rerun with --checkpoint --checkpoint-exit 1
+#      (must exit 3 after the first phase-boundary save, simulating a
+#      kill), resume from the checkpoint file, and require the resumed
+#      stats JSON to be byte-identical (cmp) to the uninterrupted one.
+SCALE_DIR ?= /tmp/planarscale
+scale: build
+	mkdir -p $(SCALE_DIR)
+	dune exec bench/main.exe -- --quick --no-timings --only M1 \
+	  --json $(SCALE_DIR)/m1.json
+	./_build/default/bin/planartest.exe gen --family far -n 4000 \
+	  --param 0.3 --seed 5 > $(SCALE_DIR)/g.txt
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --stats-json $(SCALE_DIR)/full.json --log-level warn > /dev/null
+	rm -f $(SCALE_DIR)/ck.bin
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --checkpoint $(SCALE_DIR)/ck.bin --checkpoint-exit 1 \
+	  --log-level warn > /dev/null; test $$? -eq 3
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --checkpoint $(SCALE_DIR)/ck.bin \
+	  --stats-json $(SCALE_DIR)/resumed.json --log-level warn > /dev/null
+	cmp $(SCALE_DIR)/full.json $(SCALE_DIR)/resumed.json
+
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace monitor
+ci: build test trace monitor scale
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -44,7 +44,7 @@ let log_json = ref None
 (* Every experiment id `--only` accepts, in run order. *)
 let known_ids =
   [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "B" ]
+    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "M1"; "B" ]
 
 let () =
   let argv = Sys.argv in
@@ -1504,6 +1504,104 @@ let bechamel_section () =
       | _ -> row "%-40s (no estimate)\n" name)
     rows
 
+(* ------------------------------------------------------------------ *)
+
+(* M1: the million-node memory substrate.  The resident cost of a tester
+   run splits into the CSR graph (8 B/node + 32 B/edge), the engine
+   pool's per-edge accounting (16 B/edge fault-free), and growable slabs
+   sized by peak per-round traffic, not by the graph.  All byte figures
+   are analytic ({!Graph.storage_bytes}, {!Engine.footprint}) and thus
+   deterministic; wall time is the only host-dependent column.  Serial
+   on purpose — parmap concurrency would distort the timings. *)
+let m1_memory_substrate () =
+  let sizes = if quick then [ 2_500; 10_000 ] else [ 65_536; 1_000_000 ] in
+  let points =
+    List.concat_map (fun n -> [ ("grid", n); ("far", n) ]) sizes
+  in
+  let results =
+    List.map
+      (fun (family, n) ->
+        let g =
+          match family with
+          | "grid" ->
+              let r, c = Generators.grid_dims n in
+              Generators.grid r c
+          | _ ->
+              Generators.far_from_planar
+                (Random.State.make [| 97; n |])
+                ~n ~eps:0.1
+        in
+        let gnode, gedge = Graph.storage_bytes g in
+        let r, wall =
+          time (fun () ->
+              Tester.Planarity_tester.run ~domains g ~eps:0.3 ~seed:1)
+        in
+        let st =
+          match r.Tester.Planarity_tester.stage1 with
+          | Some s -> s.Partition.Stage1.state
+          | None -> assert false
+        in
+        let fp = Partition.State.Eng.footprint st.Partition.State.pool in
+        let nn = Graph.n g and m = Graph.m g in
+        let per_node =
+          float_of_int (gnode + fp.Partition.State.Eng.node_bytes)
+          /. float_of_int nn
+        and per_edge =
+          float_of_int (gedge + fp.Partition.State.Eng.edge_bytes)
+          /. float_of_int (max 1 m)
+        in
+        let verdict =
+          match r.Tester.Planarity_tester.verdict with
+          | Tester.Planarity_tester.Accept -> "accept"
+          | Tester.Planarity_tester.Reject _ -> "reject"
+          | Tester.Planarity_tester.Degraded _ -> "degraded"
+        in
+        ( family,
+          nn,
+          m,
+          gnode + fp.Partition.State.Eng.node_bytes,
+          gedge + fp.Partition.State.Eng.edge_bytes,
+          fp.Partition.State.Eng.slab_bytes,
+          per_node,
+          per_edge,
+          wall,
+          r.Tester.Planarity_tester.rounds,
+          verdict ))
+      points
+  in
+  emit "M1" ~title:"memory substrate: bytes per node / edge at scale"
+    ~claim:
+      "engineering target, not a paper claim: flat per-edge state keeps \
+       the substrate at <= 64 bytes/edge so 10^6..10^7-node runs fit in \
+       RAM"
+    (J.List
+       (List.map
+          (fun (family, n, m, nb, eb, slab, pn, pe, wall, rounds, verdict) ->
+            J.Obj
+              [
+                ("family", J.String family);
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("node_bytes", J.Int nb);
+                ("edge_bytes", J.Int eb);
+                ("slab_bytes", J.Int slab);
+                ("bytes_per_node", J.Float pn);
+                ("bytes_per_edge", J.Float pe);
+                ("wall_seconds", J.Float wall);
+                ("rounds", J.Int rounds);
+                ("verdict", J.String verdict);
+              ])
+          results));
+  row "%-8s %-9s %-9s %-8s %-8s %-10s %-9s %-9s %-8s\n" "family" "n" "m"
+    "B/node" "B/edge" "slab(MB)" "wall(s)" "rounds" "verdict";
+  List.iter
+    (fun (family, n, m, _, _, slab, pn, pe, wall, rounds, verdict) ->
+      row "%-8s %-9d %-9d %-8.1f %-8.1f %-10.2f %-9.2f %-9d %-8s\n" family n
+        m pn pe
+        (float_of_int slab /. 1.048576e6)
+        wall rounds verdict)
+    results
+
 let () =
   if want "E1" then e1_rounds_vs_n ();
   if want "E2" then e2_rounds_vs_eps ();
@@ -1524,6 +1622,7 @@ let () =
   if want "A3" then a3_adaptive_schedule ();
   if want "P1" then p1_engine_wallclock ();
   if want "R1" then r1_fault_stability ();
+  if want "M1" then m1_memory_substrate ();
   if timings && want "B" then bechamel_section ();
   (match !json_path with
   | Some path ->

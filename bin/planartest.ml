@@ -161,7 +161,8 @@ let test_cmd =
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
   let run path eps seed domains stats_json faults_spec trace_out no_ff
-      log_level log_json =
+      checkpoint_path checkpoint_every checkpoint_exit no_gt log_level
+      log_json =
     setup_logs log_level log_json;
     Obs.Log.set_context
       ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
@@ -177,13 +178,40 @@ let test_cmd =
               Obs.Log.errorf "planartest test: %s" msg;
               exit 2)
     in
+    (* Checkpointed runs always record telemetry, even without
+       --stats-json: the snapshot carries the series, so a later resume
+       that does ask for --stats-json still gets the full history. *)
     let telemetry =
-      Option.map (fun _ -> Congest.Telemetry.create ()) stats_json
+      if stats_json <> None || checkpoint_path <> None then
+        Some (Congest.Telemetry.create ())
+      else None
     in
     let trace = Option.map (fun _ -> Congest.Trace.create ()) trace_out in
+    let checkpoint =
+      match checkpoint_path with
+      | None -> None
+      | Some ck_path ->
+          let after_save saves =
+            Obs.Log.infof "checkpoint %d written to %s" saves ck_path;
+            match checkpoint_exit with
+            | Some k when saves >= k ->
+                Obs.Log.infof
+                  "exiting after checkpoint %d as requested (--checkpoint-exit)"
+                  saves;
+                exit 3
+            | _ -> ()
+          in
+          Some
+            (Report.Checkpoint.stage1 ~path:ck_path ~every:checkpoint_every
+               ~after_save g ~eps ~seed ~alpha:3 ~faults)
+    in
     let r =
-      Tester.Planarity_tester.run ?telemetry ?trace ~domains
-        ~fast_forward:(not no_ff) ?faults g ~eps ~seed
+      try
+        Tester.Planarity_tester.run ?telemetry ?trace ~domains
+          ~fast_forward:(not no_ff) ?faults ?checkpoint g ~eps ~seed
+      with Failure msg when checkpoint_path <> None ->
+        Obs.Log.errorf "planartest test: %s" msg;
+        exit 2
     in
     Option.iter Congest.Trace.finish trace;
     (match (trace_out, trace) with
@@ -222,8 +250,9 @@ let test_cmd =
         r.Tester.Planarity_tester.dropped r.Tester.Planarity_tester.duplicated
         r.Tester.Planarity_tester.delayed
         r.Tester.Planarity_tester.crashed_nodes;
-    human "ground truth (LR)  : %s\n"
-      (if Planarity.Lr.is_planar g then "planar" else "non-planar");
+    if not no_gt then
+      human "ground truth (LR)  : %s\n"
+        (if Planarity.Lr.is_planar g then "planar" else "non-planar");
     match stats_json with
     | Some out ->
         let j =
@@ -256,12 +285,49 @@ let test_cmd =
     in
     Arg.(value & flag & info [ "no-fast-forward" ] ~doc)
   in
+  let checkpoint_arg =
+    let doc =
+      "Checkpoint the run to $(docv) at Stage I phase boundaries and \
+       resume from it when the file already exists.  The file is \
+       checksummed and parameter-fingerprinted (graph, eps, seed, faults); \
+       resuming with different parameters is refused.  A resumed run's \
+       final statistics are byte-identical to an uninterrupted one \
+       (per-round telemetry covers only the phases the resumed process \
+       executed itself)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Save a checkpoint every $(docv)-th completed Stage I phase." in
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+  in
+  let checkpoint_exit_arg =
+    let doc =
+      "Testing hook: exit with status 3 right after the $(docv)-th \
+       checkpoint save, simulating an interruption.  Rerun with the same \
+       --checkpoint to resume."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-exit" ] ~docv:"N" ~doc)
+  in
+  let no_gt_arg =
+    let doc =
+      "Skip the centralized left-right planarity check printed as 'ground \
+       truth' (it is diagnostic only; skipping it saves a full \
+       centralized pass on multi-million-node inputs)."
+    in
+    Arg.(value & flag & info [ "no-ground-truth" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ log_level_arg
-      $ log_json_arg)
+      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ checkpoint_exit_arg $ no_gt_arg
+      $ log_level_arg $ log_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

@@ -67,50 +67,52 @@ let m_run_wall =
            requested domain count"
     "congest_run_wall_us"
 
+(* Memory-substrate gauges, set at every pool creation (the M1 gate reads
+   them after a run): analytic bytes of the vertex- and edge-indexed
+   arrays at creation time — a pure function of (n, m), hence stable. *)
+let m_graph_node_bytes =
+  Obs.Metrics.gauge ~help:"Graph CSR bytes in vertex-indexed arrays"
+    "congest_graph_node_bytes"
+
+let m_graph_edge_bytes =
+  Obs.Metrics.gauge ~help:"Graph CSR bytes in edge-indexed arrays"
+    "congest_graph_edge_bytes"
+
+let m_pool_node_bytes =
+  Obs.Metrics.gauge
+    ~help:"Engine pool bytes in vertex-indexed arrays, at pool creation"
+    "congest_pool_node_bytes"
+
+let m_pool_edge_bytes =
+  Obs.Metrics.gauge
+    ~help:"Engine pool bytes in edge-indexed arrays, at pool creation"
+    "congest_pool_edge_bytes"
+
 module Make (Msg : MESSAGE) = struct
-  (* Reusable message buffer: parallel arrays instead of lists so the
-     steady-state delivery path allocates nothing.  [ids] holds the
-     destination (outboxes) or sender (inboxes); [eids] holds the directed
-     edge id (outboxes only).  [msgs] is created from the first message
-     pushed, so no dummy [Msg.t] is ever needed. *)
-  type buf = {
-    mutable ids : int array;
-    mutable eids : int array;
-    mutable msgs : Msg.t array;
-    mutable len : int;
-  }
-
-  let fresh_buf () = { ids = [||]; eids = [||]; msgs = [||]; len = 0 }
-
-  let push b id eid msg =
-    let cap = Array.length b.ids in
-    if b.len = cap then begin
-      let ncap = max 4 (2 * cap) in
-      let nids = Array.make ncap 0 and neids = Array.make ncap 0 in
-      let nmsgs = Array.make ncap msg in
-      Array.blit b.ids 0 nids 0 b.len;
-      Array.blit b.eids 0 neids 0 b.len;
-      Array.blit b.msgs 0 nmsgs 0 b.len;
-      b.ids <- nids;
-      b.eids <- neids;
-      b.msgs <- nmsgs
-    end;
-    b.ids.(b.len) <- id;
-    b.eids.(b.len) <- eid;
-    b.msgs.(b.len) <- msg;
-    b.len <- b.len + 1
-
   (* Per-domain stepping state.  During a round, each domain steps a
      disjoint block of nodes; everything a node program can mutate that is
-     not indexed by its own id (the senders worklist, the rejection log, a
-     raised exception) lands in the stepping domain's arena and is merged
-     by the coordinating domain, in arena order, after the barrier.  Blocks
-     partition the node-id-sorted worklists into contiguous ascending
-     ranges, so concatenating arenas 0..D-1 reproduces exactly the order a
-     serial engine would have produced. *)
+     not indexed by its own id (the senders worklist, queued sends, the
+     rejection log, a raised exception) lands in the stepping domain's
+     arena and is merged by the coordinating domain, in arena order, after
+     the barrier.  Blocks partition the node-id-sorted worklists into
+     contiguous ascending ranges, so concatenating arenas 0..D-1
+     reproduces exactly the order a serial engine would have produced.
+
+     Sends live in one flat growable buffer per arena ([s_dest] / [s_eids]
+     / [s_msgs]) instead of a per-node outbox: a node steps exactly once
+     per round, so its sends are contiguous, starting at the offset
+     [aoff.(i)] recorded when sender [i] first queued.  That turns 2n
+     boxed buffer records into three arrays per arena and lets the charge
+     pass recover "which directed edges carried traffic" by re-scanning
+     the entries, with no 2m-sized side table. *)
   type arena = {
-    asenders : int array;  (* nodes with a non-empty outbox, ascending *)
+    asenders : int array;  (* nodes with queued sends, ascending *)
     mutable asenders_len : int;
+    aoff : int array;  (* aoff.(i): sender i's first entry in s_* *)
+    mutable s_dest : int array;
+    mutable s_eids : int array;  (* directed edge ids *)
+    mutable s_msgs : Msg.t array;
+    mutable s_len : int;
     mutable arejects : (int * int * string) list;  (* reverse chron. *)
     mutable afailed : (int * exn) option;  (* lowest failing node in block *)
     mutable afails : (int * int * exn) list;
@@ -125,6 +127,11 @@ module Make (Msg : MESSAGE) = struct
     {
       asenders = Array.make (max 1 n) 0;
       asenders_len = 0;
+      aoff = Array.make (max 1 n) 0;
+      s_dest = [||];
+      s_eids = [||];
+      s_msgs = [||];
+      s_len = 0;
       arejects = [];
       afailed = None;
       afails = [];
@@ -134,22 +141,50 @@ module Make (Msg : MESSAGE) = struct
       amin_wake = max_int;
     }
 
+  (* [s_msgs] is created from the first message pushed, so no dummy
+     [Msg.t] is ever needed. *)
+  let push_send a dest de msg =
+    let cap = Array.length a.s_dest in
+    if a.s_len = cap then begin
+      let ncap = max 4 (2 * cap) in
+      let nd = Array.make ncap 0 and ne = Array.make ncap 0 in
+      let nm = Array.make ncap msg in
+      Array.blit a.s_dest 0 nd 0 a.s_len;
+      Array.blit a.s_eids 0 ne 0 a.s_len;
+      Array.blit a.s_msgs 0 nm 0 a.s_len;
+      a.s_dest <- nd;
+      a.s_eids <- ne;
+      a.s_msgs <- nm
+    end;
+    a.s_dest.(a.s_len) <- dest;
+    a.s_eids.(a.s_len) <- de;
+    a.s_msgs.(a.s_len) <- msg;
+    a.s_len <- a.s_len + 1
+
   (* Preallocated per-graph delivery state, reusable across runs so that a
      protocol built from many short engine runs (Stage I's primitives) does
      not pay an O(n + m) allocation bill per run.  One run at a time; a
      nested [run] on a busy pool silently falls back to fresh allocation. *)
   type pool = {
     pgraph : Graph.t;
-    outbox : buf array;  (* per node, queued sends for this round *)
-    inbox : buf array;  (* per node, deliveries, reused across rounds *)
     (* Per-directed-edge bit totals for the round being delivered.  The
        directed edge u->v of undirected edge e=(a,b), a<b, has id [2e]
-       when u=a and [2e+1] when u=b.  Entries are reset through
-       [touched], so a round costs O(edges carrying traffic), not O(m). *)
+       when u=a and [2e+1] when u=b.  Entries are reset by the charge
+       pass re-scanning the arenas' send entries (plus [extra_touched]
+       for delayed re-deliveries), so a round costs O(edges carrying
+       traffic), not O(m). *)
     edge_bits : int array;
-    touched : int array;  (* directed edge ids with traffic this round *)
-    mutable touched_len : int;
-    queued : bool array;  (* node already in some arena's senders list *)
+    (* Directed edges charged by delayed (re)deliveries this round — the
+       only traffic the send-entry re-scan cannot see.  Tiny: bounded by
+       the delayed messages landing this round. *)
+    mutable extra_touched : int array;
+    mutable extra_len : int;
+    (* Per-directed-edge message index for the round being delivered (the
+       [k] of [Faults.draw]); reset by the same charge re-scan.  Lazily
+       sized to 2m by the first faulted run so fault-free pools stay 16
+       bytes/edge. *)
+    mutable fidx : int array;
+    queued : Bytes.t;  (* '\001' iff already in some arena's senders list *)
     receivers : int array;  (* nodes with a non-empty inbox *)
     mutable receivers_len : int;
     (* Worklist of nodes still suspended at a [wait]; ascending id order
@@ -160,35 +195,190 @@ module Make (Msg : MESSAGE) = struct
        inbox; written at suspension time, so no reset is needed. *)
     wake : int array;
     arena_of : int array;  (* node -> index of the arena stepping it *)
-    conts : ((int * Msg.t) list, unit) Effect.Deep.continuation option array;
+    (* Parked continuations; [none_k] (an immediate sentinel compared
+       with [==]) marks "not parked", avoiding an [option] box per
+       suspended node per round. *)
+    conts : ((int * Msg.t) list, unit) Effect.Deep.continuation array;
+    (* Inbox slab: deliveries for the round land in one growable set of
+       parallel arrays, chained per destination through [ib_next] from
+       [ib_head.(dest)] (-1 = empty).  Chains are LIFO, so walking one
+       while prepending rebuilds push order.  Only the stepping domain
+       that owns [dest] ever consumes its chain; the slab itself is
+       written exclusively by the coordinator during delivery. *)
+    ib_head : int array;
+    mutable ib_sender : int array;
+    mutable ib_next : int array;
+    mutable ib_msgs : Msg.t array;
+    mutable ib_len : int;
     mutable arenas : arena array;  (* grown on demand to the run's D *)
     mutable in_use : bool;
   }
 
+  let none_k : ((int * Msg.t) list, unit) Effect.Deep.continuation =
+    Obj.magic 0
+
+  let push_inbox p ~sender ~dest msg =
+    let cap = Array.length p.ib_sender in
+    if p.ib_len = cap then begin
+      let ncap = max 4 (2 * cap) in
+      let ns = Array.make ncap 0 and nn = Array.make ncap 0 in
+      let nm = Array.make ncap msg in
+      Array.blit p.ib_sender 0 ns 0 p.ib_len;
+      Array.blit p.ib_next 0 nn 0 p.ib_len;
+      Array.blit p.ib_msgs 0 nm 0 p.ib_len;
+      p.ib_sender <- ns;
+      p.ib_next <- nn;
+      p.ib_msgs <- nm
+    end;
+    let s = p.ib_len in
+    p.ib_sender.(s) <- sender;
+    p.ib_next.(s) <- p.ib_head.(dest);
+    p.ib_msgs.(s) <- msg;
+    p.ib_head.(dest) <- s;
+    p.ib_len <- s + 1
+
+  let push_extra p de =
+    let cap = Array.length p.extra_touched in
+    if p.extra_len = cap then begin
+      let na = Array.make (max 8 (2 * cap)) 0 in
+      Array.blit p.extra_touched 0 na 0 p.extra_len;
+      p.extra_touched <- na
+    end;
+    p.extra_touched.(p.extra_len) <- de;
+    p.extra_len <- p.extra_len + 1
+
+  (* One slot of the delayed-message ring: the ring has [max_delay + 1]
+     slots indexed by due round mod its width, so every pending due round
+     maps to its own slot (delays are 1..max_delay rounds).  Entries are
+     appended in enqueue order, which is exactly the global sequence
+     order the old sorted-list implementation reconstructed — and only
+     the bucket due this round is ever drained, making heavy delay specs
+     linear instead of quadratic. *)
+  type dslot = {
+    mutable q_sent : int array;  (* send round, for trace events *)
+    mutable q_sender : int array;
+    mutable q_dest : int array;
+    mutable q_de : int array;
+    mutable q_msgs : Msg.t array;
+    mutable q_len : int;
+    mutable q_due : int;  (* due round of the queued entries; -1 if empty *)
+  }
+
+  let fresh_dslot () =
+    {
+      q_sent = [||];
+      q_sender = [||];
+      q_dest = [||];
+      q_de = [||];
+      q_msgs = [||];
+      q_len = 0;
+      q_due = -1;
+    }
+
+  let push_dslot s ~sent ~sender ~dest ~de msg =
+    let cap = Array.length s.q_sent in
+    if s.q_len = cap then begin
+      let ncap = max 4 (2 * cap) in
+      let nt = Array.make ncap 0
+      and ns = Array.make ncap 0
+      and nd = Array.make ncap 0
+      and ne = Array.make ncap 0 in
+      let nm = Array.make ncap msg in
+      Array.blit s.q_sent 0 nt 0 s.q_len;
+      Array.blit s.q_sender 0 ns 0 s.q_len;
+      Array.blit s.q_dest 0 nd 0 s.q_len;
+      Array.blit s.q_de 0 ne 0 s.q_len;
+      Array.blit s.q_msgs 0 nm 0 s.q_len;
+      s.q_sent <- nt;
+      s.q_sender <- ns;
+      s.q_dest <- nd;
+      s.q_de <- ne;
+      s.q_msgs <- nm
+    end;
+    s.q_sent.(s.q_len) <- sent;
+    s.q_sender.(s.q_len) <- sender;
+    s.q_dest.(s.q_len) <- dest;
+    s.q_de.(s.q_len) <- de;
+    s.q_msgs.(s.q_len) <- msg;
+    s.q_len <- s.q_len + 1
+
+  (* Analytic resident cost of a pool, split the way the M1 memory gate
+     reports it: vertex-indexed arrays, edge-indexed arrays, and the
+     growable message slabs (send buffers + inbox slab + delay-touched
+     scratch), whose capacity tracks the peak per-round traffic rather
+     than n or m.  Slot bytes only; message payloads are shared values
+     and not counted. *)
+  type footprint = { node_bytes : int; edge_bytes : int; slab_bytes : int }
+
+  let footprint p =
+    let w = 8 in
+    let node = ref (Bytes.length p.queued) in
+    node :=
+      !node
+      + w
+        * (Array.length p.receivers + Array.length p.live
+         + Array.length p.wake + Array.length p.arena_of
+         + Array.length p.conts + Array.length p.ib_head);
+    Array.iter
+      (fun a ->
+        node := !node + (w * (Array.length a.asenders + Array.length a.aoff)))
+      p.arenas;
+    let edge = w * (Array.length p.edge_bits + Array.length p.fidx) in
+    let slab =
+      ref
+        (w
+        * (Array.length p.ib_sender + Array.length p.ib_next
+         + Array.length p.ib_msgs + Array.length p.extra_touched))
+    in
+    Array.iter
+      (fun a ->
+        slab :=
+          !slab
+          + w
+            * (Array.length a.s_dest + Array.length a.s_eids
+             + Array.length a.s_msgs))
+      p.arenas;
+    { node_bytes = !node; edge_bytes = edge; slab_bytes = !slab }
+
   let pool g =
     let n = Graph.n g in
-    {
-      pgraph = g;
-      outbox = Array.init n (fun _ -> fresh_buf ());
-      inbox = Array.init n (fun _ -> fresh_buf ());
-      edge_bits = Array.make (2 * Graph.m g) 0;
-      touched = Array.make (2 * Graph.m g) 0;
-      touched_len = 0;
-      queued = Array.make n false;
-      receivers = Array.make n 0;
-      receivers_len = 0;
-      live = Array.make n 0;
-      wake = Array.make n 0;
-      arena_of = Array.make n 0;
-      conts = Array.make n None;
-      arenas = [| fresh_arena n |];
-      in_use = false;
-    }
+    let p =
+      {
+        pgraph = g;
+        edge_bits = Array.make (2 * Graph.m g) 0;
+        extra_touched = [||];
+        extra_len = 0;
+        fidx = [||];
+        queued = Bytes.make n '\000';
+        receivers = Array.make n 0;
+        receivers_len = 0;
+        live = Array.make n 0;
+        wake = Array.make n 0;
+        arena_of = Array.make n 0;
+        conts = Array.make n none_k;
+        ib_head = Array.make n (-1);
+        ib_sender = [||];
+        ib_next = [||];
+        ib_msgs = [||];
+        ib_len = 0;
+        arenas = [| fresh_arena n |];
+        in_use = false;
+      }
+    in
+    if Obs.Metrics.enabled () then begin
+      let gn, ge = Graph.storage_bytes g in
+      Obs.Metrics.set m_graph_node_bytes (float_of_int gn);
+      Obs.Metrics.set m_graph_edge_bytes (float_of_int ge);
+      let f = footprint p in
+      Obs.Metrics.set m_pool_node_bytes (float_of_int f.node_bytes);
+      Obs.Metrics.set m_pool_edge_bytes (float_of_int f.edge_bytes)
+    end;
+    p
 
   let ensure_arenas p d =
     let cur = Array.length p.arenas in
     if cur < d then begin
-      let n = Array.length p.queued in
+      let n = Bytes.length p.queued in
       let na =
         Array.init d (fun i -> if i < cur then p.arenas.(i) else fresh_arena n)
       in
@@ -196,30 +386,40 @@ module Make (Msg : MESSAGE) = struct
     end
 
   (* Clear whatever the previous run left behind (undelivered final-round
-     sends, or mid-round state abandoned by an exception); cost is
-     proportional to the leftovers, not to n + m.  [conts] needs no sweep:
-     every exit path of [run] leaves it all-[None]. *)
+     sends, or mid-round state abandoned by an exception) by replaying
+     the same send entries the charge pass would have scanned; cost is
+     proportional to the leftovers, not to n + m, and every step is
+     idempotent so any partially-reset state is safe.  [conts] needs no
+     sweep: every exit path of [run] leaves it all-[none_k]. *)
   let reset_pool p =
+    let have_fidx = Array.length p.fidx > 0 in
     Array.iter
       (fun a ->
         for i = 0 to a.asenders_len - 1 do
-          let v = a.asenders.(i) in
-          p.queued.(v) <- false;
-          p.outbox.(v).len <- 0
+          Bytes.unsafe_set p.queued a.asenders.(i) '\000'
+        done;
+        for j = 0 to a.s_len - 1 do
+          let de = a.s_eids.(j) in
+          p.edge_bits.(de) <- 0;
+          if have_fidx then p.fidx.(de) <- 0
         done;
         a.asenders_len <- 0;
+        a.s_len <- 0;
         a.arejects <- [];
         a.afailed <- None;
         a.afails <- [])
       p.arenas;
+    for i = 0 to p.extra_len - 1 do
+      let de = p.extra_touched.(i) in
+      p.edge_bits.(de) <- 0;
+      if have_fidx then p.fidx.(de) <- 0
+    done;
+    p.extra_len <- 0;
     for i = 0 to p.receivers_len - 1 do
-      p.inbox.(p.receivers.(i)).len <- 0
+      p.ib_head.(p.receivers.(i)) <- -1
     done;
     p.receivers_len <- 0;
-    for i = 0 to p.touched_len - 1 do
-      p.edge_bits.(p.touched.(i)) <- 0
-    done;
-    p.touched_len <- 0
+    p.ib_len <- 0
 
   type engine = {
     graph : Graph.t;
@@ -261,28 +461,37 @@ module Make (Msg : MESSAGE) = struct
         c.crng <- Some r;
         r
 
-  let send c ~dest msg =
+  (* Within one domain nodes run one at a time in ascending id order
+     (both at start-up and when resumed), so appending on first use keeps
+     each arena's senders list sorted — and because a node steps at most
+     once per round, its sends stay contiguous from the offset recorded
+     here. *)
+  let send_de c dest de msg =
     let p = c.eng.p in
+    let a = p.arenas.(p.arena_of.(c.id)) in
+    if Bytes.unsafe_get p.queued c.id = '\000' then begin
+      Bytes.unsafe_set p.queued c.id '\001';
+      a.asenders.(a.asenders_len) <- c.id;
+      a.aoff.(a.asenders_len) <- a.s_len;
+      a.asenders_len <- a.asenders_len + 1
+    end;
+    push_send a dest de msg
+
+  let send c ~dest msg =
     let e =
       try Graph.find_edge c.eng.graph c.id dest
       with Not_found ->
         invalid_arg
           (Printf.sprintf "Engine.send: %d is not a neighbor of %d" dest c.id)
     in
-    let de = (2 * e) + if c.id < dest then 0 else 1 in
-    (* Within one domain nodes run one at a time in ascending id order
-       (both at start-up and when resumed), so appending on first use
-       keeps each arena's senders list sorted. *)
-    if not p.queued.(c.id) then begin
-      p.queued.(c.id) <- true;
-      let a = p.arenas.(p.arena_of.(c.id)) in
-      a.asenders.(a.asenders_len) <- c.id;
-      a.asenders_len <- a.asenders_len + 1
-    end;
-    push p.outbox.(c.id) dest de msg
+    send_de c dest ((2 * e) + if c.id < dest then 0 else 1) msg
 
   let broadcast c msg =
-    Array.iter (fun dest -> send c ~dest msg) (neighbors c)
+    (* Port order is neighbor-ascending, matching a [send] per neighbor,
+       but with no neighbor-array allocation and no binary search. *)
+    let id = c.id in
+    Graph.iter_incident c.eng.graph id (fun dest e ->
+        send_de c dest ((2 * e) + if id < dest then 0 else 1) msg)
 
   (* With fast-forwarding off the engine reverts to legacy per-round
      stepping — one suspension per round, every waiting fiber resumed
@@ -518,29 +727,28 @@ module Make (Msg : MESSAGE) = struct
       end
     in
     let crash_start_i = ref 0 in
-    (* Messages the fault layer deferred: (due round, sequence, send
-       round, sender, dest, directed edge, payload).  Run-local; anything
-       still queued when the run ends is lost, like any other in-flight
-       frame. *)
-    let dq : (int * int * int * int * int * int * Msg.t) list ref = ref [] in
-    let dq_min = ref max_int in
-    let fseq = ref 0 in
-    (* Per-directed-edge message index for the round being delivered (the
-       [k] of [Faults.draw]); reset through [fidx_touched].  Allocated
-       only for faulted runs — those are O(m) per round anyway. *)
-    let fidx, fidx_touched =
+    (* Messages the fault layer deferred, bucketed by due round in a ring
+       of [max_delay + 1] slots.  Run-local contents; the slots themselves
+       are cheap (empty arrays) and anything still queued when the run
+       ends is lost, like any other in-flight frame. *)
+    let dq =
       match fpol with
-      | Some _ -> (Array.make (2 * Graph.m g) 0, Array.make (2 * Graph.m g) 0)
-      | None -> ([||], [||])
+      | Some f -> Array.init (f.Faults.max_delay + 1) (fun _ -> fresh_dslot ())
+      | None -> [||]
     in
-    let fidx_len = ref 0 in
+    let dq_count = ref 0 in
+    let dq_min = ref max_int in
+    (* The per-edge fault index is pool-owned so repeated faulted runs on
+       the same pool do not pay a fresh 2m allocation each ([fidx] is
+       reset by the charge re-scan, entry by entry). *)
+    (match fpol with
+    | Some _ ->
+        if Array.length p.fidx < 2 * Graph.m g then
+          p.fidx <- Array.make (2 * Graph.m g) 0
+    | None -> ());
     let next_k de =
-      let k = fidx.(de) in
-      if k = 0 then begin
-        fidx_touched.(!fidx_len) <- de;
-        incr fidx_len
-      end;
-      fidx.(de) <- k + 1;
+      let k = p.fidx.(de) in
+      p.fidx.(de) <- k + 1;
       k
     in
     let outputs = Array.make n None in
@@ -551,16 +759,16 @@ module Make (Msg : MESSAGE) = struct
        ([Fun.protect] etc.) run.  [Stopped] itself is swallowed by the
        per-node handler; any exception a node raises while unwinding is
        dropped here so every node still gets finalized.  Postcondition:
-       [conts] is all-[None], even if a node caught [Stopped] and tried to
-       wait again. *)
+       [conts] is all-[none_k], even if a node caught [Stopped] and tried
+       to wait again. *)
     let finalize () =
       for v = 0 to n - 1 do
-        match conts.(v) with
-        | None -> ()
-        | Some k ->
-            conts.(v) <- None;
-            (try Effect.Deep.discontinue k Stopped with _ -> ());
-            conts.(v) <- None
+        let k = conts.(v) in
+        if k != none_k then begin
+          conts.(v) <- none_k;
+          (try Effect.Deep.discontinue k Stopped with _ -> ());
+          conts.(v) <- none_k
+        end
       done
     in
     let start v =
@@ -578,20 +786,29 @@ module Make (Msg : MESSAGE) = struct
                   Some
                     (fun (cont : (a, unit) Effect.Deep.continuation) ->
                       p.wake.(v) <- eng.current_round + max 1 k;
-                      conts.(v) <- Some cont)
+                      conts.(v) <- cont)
               | _ -> None);
         }
     in
     let live = p.live in
     let live_len = ref 0 in
-    let build_inbox ib =
-      if ib.len = 0 then []
+    (* Chains are LIFO; prepending while walking head-to-tail rebuilds
+       push order (ascending sender, reverse send order within a sender —
+       the pre-rewrite inbox order).  Consumes the chain: only the
+       stepping domain that owns [v] calls this, and the barrier's
+       happens-before edge covers its reads of the coordinator-written
+       slab. *)
+    let build_inbox v =
+      let head = p.ib_head.(v) in
+      if head < 0 then []
       else begin
         let acc = ref [] in
-        for j = ib.len - 1 downto 0 do
-          acc := (ib.ids.(j), ib.msgs.(j)) :: !acc
+        let s = ref head in
+        while !s >= 0 do
+          acc := (p.ib_sender.(!s), p.ib_msgs.(!s)) :: !acc;
+          s := p.ib_next.(!s)
         done;
-        ib.len <- 0;
+        p.ib_head.(v) <- -1;
         !acc
       end
     in
@@ -659,28 +876,26 @@ module Make (Msg : MESSAGE) = struct
              if crash_until.(v) = max_int then a.aculled <- a.aculled + 1
              else keep_crashed v
            end
-           else begin
-             let ib = p.inbox.(v) in
-             if ib.len > 0 || p.wake.(v) <= eng.current_round then begin
-               match conts.(v) with
-               | None -> ()
-               | Some k ->
-                   conts.(v) <- None;
-                   p.arena_of.(v) <- d;
-                   let inbox = build_inbox ib in
-                   a.astepped <- a.astepped + 1;
-                   (try Effect.Deep.continue k inbox
-                    with e ->
-                      if record_errors then
-                        a.afails <- (eng.current_round, v, e) :: a.afails
-                      else begin
-                        a.afailed <- Some (v, e);
-                        raise Shard_stop
-                      end);
-                   (match conts.(v) with None -> () | Some _ -> keep v)
+           else if p.ib_head.(v) >= 0 || p.wake.(v) <= eng.current_round
+           then begin
+             let k = conts.(v) in
+             if k != none_k then begin
+               conts.(v) <- none_k;
+               p.arena_of.(v) <- d;
+               let inbox = build_inbox v in
+               a.astepped <- a.astepped + 1;
+               (try Effect.Deep.continue k inbox
+                with e ->
+                  if record_errors then
+                    a.afails <- (eng.current_round, v, e) :: a.afails
+                  else begin
+                    a.afailed <- Some (v, e);
+                    raise Shard_stop
+                  end);
+               if conts.(v) != none_k then keep v
              end
-             else keep v
            end
+           else keep v
          done
        with Shard_stop -> ());
       a.akept <- !kept - lo
@@ -853,8 +1068,8 @@ module Make (Msg : MESSAGE) = struct
         let v = live.(i) in
         if
           (not (is_crashed v))
-          && conts.(v) <> None
-          && (p.inbox.(v).len > 0 || p.wake.(v) <= eng.current_round)
+          && conts.(v) != none_k
+          && (p.ib_head.(v) >= 0 || p.wake.(v) <= eng.current_round)
         then begin
           Trace.fiber_resume tr ~round:eng.current_round ~node:v;
           sc.(!cnt) <- v;
@@ -867,7 +1082,7 @@ module Make (Msg : MESSAGE) = struct
       let sc = !fiber_scratch in
       for i = 0 to cnt - 1 do
         let v = sc.(i) in
-        if conts.(v) <> None then
+        if conts.(v) != none_k then
           Trace.fiber_park tr ~round:eng.current_round ~node:v
             ~wake:p.wake.(v)
       done
@@ -889,7 +1104,7 @@ module Make (Msg : MESSAGE) = struct
           && fst crash_starts.(!crash_start_i) <= eng.current_round
         do
           let r, v = crash_starts.(!crash_start_i) in
-          if conts.(v) <> None then begin
+          if conts.(v) != none_k then begin
             eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
             incr round_crashed;
             match trace with
@@ -903,48 +1118,47 @@ module Make (Msg : MESSAGE) = struct
           incr crash_start_i
         done;
       (* Deliver: drain arena senders (ascending blocks, each ascending)
-         into inboxes, summing bits per directed edge.  Each outbox is
-         drained in reverse send order, which makes every inbox buffer
-         sorted by sender with same-sender messages in the order the
-         pre-rewrite engine produced (stable sort over a prepend-built
-         list, i.e. reverse send order). *)
+         into the inbox slab, summing bits per directed edge.  Each
+         sender's entry span is drained in reverse send order, which
+         makes every inbox chain rebuild to exactly the order the
+         pre-rewrite engine produced (sorted by sender, same-sender
+         messages in reverse send order).  Send entries are NOT consumed
+         here — the charge pass below re-scans them in the same order to
+         recover the touched edges, then resets the buffers (always
+         before the step phase queues new sends). *)
       (match fpol with
       | None ->
           for d = 0 to d_req - 1 do
             let a = arenas.(d) in
             for i = 0 to a.asenders_len - 1 do
               let v = a.asenders.(i) in
-              p.queued.(v) <- false;
-              let ob = p.outbox.(v) in
-              for j = ob.len - 1 downto 0 do
-                let dest = ob.ids.(j) and de = ob.eids.(j) in
-                let msg = ob.msgs.(j) in
+              Bytes.unsafe_set p.queued v '\000';
+              let lo = a.aoff.(i) in
+              let hi =
+                if i + 1 < a.asenders_len then a.aoff.(i + 1) else a.s_len
+              in
+              for j = hi - 1 downto lo do
+                let dest = a.s_dest.(j) and de = a.s_eids.(j) in
+                let msg = a.s_msgs.(j) in
                 let b = Msg.bits msg in
                 eng.estats.messages <- eng.estats.messages + 1;
                 eng.estats.total_bits <- eng.estats.total_bits + b;
                 incr round_msgs;
                 round_bits := !round_bits + b;
-                if p.edge_bits.(de) = 0 then begin
-                  p.touched.(p.touched_len) <- de;
-                  p.touched_len <- p.touched_len + 1
-                end;
                 p.edge_bits.(de) <- p.edge_bits.(de) + b;
-                let ib = p.inbox.(dest) in
-                if ib.len = 0 then begin
+                if p.ib_head.(dest) < 0 then begin
                   p.receivers.(p.receivers_len) <- dest;
                   p.receivers_len <- p.receivers_len + 1
                 end;
-                push ib v 0 msg;
+                push_inbox p ~sender:v ~dest msg;
                 (match trace with
                 | Some tr ->
                     Trace.message tr ~round:eng.current_round
                       ~sent:(eng.current_round - 1) ~sender:v ~dest ~edge:de
                       ~bits:b
                 | None -> ())
-              done;
-              ob.len <- 0
-            done;
-            a.asenders_len <- 0
+              done
+            done
           done
       | Some fp ->
           (* Fault-aware delivery.  Decisions are per message, drawn from
@@ -956,10 +1170,6 @@ module Make (Msg : MESSAGE) = struct
             eng.estats.total_bits <- eng.estats.total_bits + b;
             incr round_msgs;
             round_bits := !round_bits + b;
-            if p.edge_bits.(de) = 0 then begin
-              p.touched.(p.touched_len) <- de;
-              p.touched_len <- p.touched_len + 1
-            end;
             p.edge_bits.(de) <- p.edge_bits.(de) + b
           in
           let drop_one () =
@@ -981,12 +1191,11 @@ module Make (Msg : MESSAGE) = struct
               trace_fault Trace.Down_drop ~sender ~dest ~de ~info:0
             end
             else begin
-              let ib = p.inbox.(dest) in
-              if ib.len = 0 then begin
+              if p.ib_head.(dest) < 0 then begin
                 p.receivers.(p.receivers_len) <- dest;
                 p.receivers_len <- p.receivers_len + 1
               end;
-              push ib sender 0 msg;
+              push_inbox p ~sender ~dest msg;
               match trace with
               | Some tr ->
                   Trace.message tr ~round:eng.current_round ~sent ~sender ~dest
@@ -999,38 +1208,51 @@ module Make (Msg : MESSAGE) = struct
              no longer guaranteed to be sorted by sender.  Bits are
              charged at the round the frame actually occupies. *)
           if !dq_min <= eng.current_round then begin
-            let due, future =
-              List.partition
-                (fun (r, _, _, _, _, _, _) -> r <= eng.current_round)
-                !dq
-            in
-            dq := future;
-            dq_min :=
-              List.fold_left
-                (fun m (r, _, _, _, _, _, _) -> min m r)
-                max_int future;
-            let due =
-              List.sort
-                (fun (_, s1, _, _, _, _, _) (_, s2, _, _, _, _, _) ->
-                  compare s1 s2)
-                due
-            in
-            List.iter
-              (fun (_, _, sent, sender, dest, de, msg) ->
-                let b = Msg.bits msg in
-                charge_wire de b;
-                deliver ~sent ~de ~bits:b sender dest msg)
-              due
+            (* Exact [dq_min] maintenance plus the fast-forward cap mean
+               the only due entries live in this round's bucket, already
+               in enqueue (= global sequence) order. *)
+            let slot = dq.(eng.current_round mod Array.length dq) in
+            assert (
+              !dq_min = eng.current_round
+              && slot.q_len > 0
+              && slot.q_due = eng.current_round);
+            for j = 0 to slot.q_len - 1 do
+              let de = slot.q_de.(j) in
+              let msg = slot.q_msgs.(j) in
+              let b = Msg.bits msg in
+              (* The send-entry re-scan cannot see this arc; remember it
+                 for the charge pass (first touch wins, matching the old
+                 touched-list order: deferred arrivals precede fresh
+                 sends). *)
+              if p.edge_bits.(de) = 0 then push_extra p de;
+              charge_wire de b;
+              deliver ~sent:slot.q_sent.(j) ~de ~bits:b slot.q_sender.(j)
+                slot.q_dest.(j) msg
+            done;
+            dq_count := !dq_count - slot.q_len;
+            slot.q_len <- 0;
+            slot.q_due <- -1;
+            if !dq_count = 0 then dq_min := max_int
+            else begin
+              dq_min := max_int;
+              Array.iter
+                (fun s -> if s.q_len > 0 && s.q_due < !dq_min then
+                    dq_min := s.q_due)
+                dq
+            end
           end;
           for d = 0 to d_req - 1 do
             let a = arenas.(d) in
             for i = 0 to a.asenders_len - 1 do
               let v = a.asenders.(i) in
-              p.queued.(v) <- false;
-              let ob = p.outbox.(v) in
-              for j = ob.len - 1 downto 0 do
-                let dest = ob.ids.(j) and de = ob.eids.(j) in
-                let msg = ob.msgs.(j) in
+              Bytes.unsafe_set p.queued v '\000';
+              let lo = a.aoff.(i) in
+              let hi =
+                if i + 1 < a.asenders_len then a.aoff.(i + 1) else a.s_len
+              in
+              for j = hi - 1 downto lo do
+                let dest = a.s_dest.(j) and de = a.s_eids.(j) in
+                let msg = a.s_msgs.(j) in
                 let b = Msg.bits msg in
                 let sent = eng.current_round - 1 in
                 if is_crashed v then begin
@@ -1071,45 +1293,68 @@ module Make (Msg : MESSAGE) = struct
                       incr round_delayed;
                       trace_fault Trace.Delay ~sender:v ~dest ~de ~info:dl;
                       let due = eng.current_round + dl in
-                      dq := (due, !fseq, sent, v, dest, de, msg) :: !dq;
-                      incr fseq;
+                      let slot = dq.(due mod Array.length dq) in
+                      assert (slot.q_len = 0 || slot.q_due = due);
+                      if slot.q_len = 0 then slot.q_due <- due;
+                      push_dslot slot ~sent ~sender:v ~dest ~de msg;
+                      incr dq_count;
                       if due < !dq_min then dq_min := due
-              done;
-              ob.len <- 0
-            done;
-            a.asenders_len <- 0
-          done;
-          for i = 0 to !fidx_len - 1 do
-            fidx.(fidx_touched.(i)) <- 0
-          done;
-          fidx_len := 0);
-      (* Charge bandwidth per directed edge. *)
+              done
+            done
+          done);
+      (* Charge bandwidth per directed edge by re-scanning what was
+         delivered: deferred-arrival arcs first ([extra_touched]), then
+         the send entries in the exact drain order above.  Zeroing
+         [edge_bits] doubles as the visited mark, so an arc is charged at
+         its first touch — the same position the old explicit touched
+         list gave it (and the same arc a strict-mode overflow names).
+         The scan also resets [fidx] and finally the send buffers
+         themselves, always before the step phase queues new sends. *)
       let max_frames = ref 1 in
-      for i = 0 to p.touched_len - 1 do
-        let de = p.touched.(i) in
+      let charge_de de =
         let b = p.edge_bits.(de) in
-        p.edge_bits.(de) <- 0;
-        if b > eng.estats.max_edge_bits then eng.estats.max_edge_bits <- b;
-        if b > bw then begin
-          if strict then begin
-            Obs.Log.warnf
-              ~fields:
-                [ ("round", Obs.Log.I eng.current_round);
-                  ("edge", Obs.Log.I de); ("bits", Obs.Log.I b);
-                  ("bandwidth", Obs.Log.I bw) ]
-              "bandwidth exceeded in strict mode";
-            failwith
-              (Printf.sprintf
-                 "Engine: %d bits on one edge in one round exceeds the \
-                  %d-bit bandwidth (strict mode)"
-                 b bw)
-          end;
-          eng.estats.oversized <- eng.estats.oversized + 1;
-          let frames = Stats.frames ~bandwidth:bw b in
-          if frames > !max_frames then max_frames := frames
+        if b <> 0 then begin
+          p.edge_bits.(de) <- 0;
+          if b > eng.estats.max_edge_bits then eng.estats.max_edge_bits <- b;
+          if b > bw then begin
+            if strict then begin
+              Obs.Log.warnf
+                ~fields:
+                  [ ("round", Obs.Log.I eng.current_round);
+                    ("edge", Obs.Log.I de); ("bits", Obs.Log.I b);
+                    ("bandwidth", Obs.Log.I bw) ]
+                "bandwidth exceeded in strict mode";
+              failwith
+                (Printf.sprintf
+                   "Engine: %d bits on one edge in one round exceeds the \
+                    %d-bit bandwidth (strict mode)"
+                   b bw)
+            end;
+            eng.estats.oversized <- eng.estats.oversized + 1;
+            let frames = Stats.frames ~bandwidth:bw b in
+            if frames > !max_frames then max_frames := frames
+          end
         end
+      in
+      let faulted = fpol <> None in
+      for i = 0 to p.extra_len - 1 do
+        charge_de p.extra_touched.(i)
       done;
-      p.touched_len <- 0;
+      p.extra_len <- 0;
+      for d = 0 to d_req - 1 do
+        let a = arenas.(d) in
+        for i = 0 to a.asenders_len - 1 do
+          let lo = a.aoff.(i) in
+          let hi = if i + 1 < a.asenders_len then a.aoff.(i + 1) else a.s_len in
+          for j = hi - 1 downto lo do
+            let de = a.s_eids.(j) in
+            if faulted then p.fidx.(de) <- 0;
+            charge_de de
+          done
+        done;
+        a.asenders_len <- 0;
+        a.s_len <- 0
+      done;
       eng.estats.charged_rounds <- eng.estats.charged_rounds + !max_frames;
       (* Step the live nodes (sharded when worthwhile). *)
       let fib_cnt =
@@ -1160,12 +1405,14 @@ module Make (Msg : MESSAGE) = struct
       for d = 0 to nd_used - 1 do
         if arenas.(d).amin_wake < !min_wake then min_wake := arenas.(d).amin_wake
       done;
-      (* Inboxes of nodes that finished earlier were never consumed:
-         drop them so the buffers start the next round empty. *)
+      (* Inbox chains of nodes that finished earlier were never consumed:
+         drop them (idempotent for chains [build_inbox] already cleared)
+         and recycle the slab so the next round appends from slot 0. *)
       for i = 0 to p.receivers_len - 1 do
-        p.inbox.(p.receivers.(i)).len <- 0
+        p.ib_head.(p.receivers.(i)) <- -1
       done;
-      p.receivers_len <- 0
+      p.receivers_len <- 0;
+      p.ib_len <- 0
     in
     (* Quiescent-round fast-forward: with no frame in flight anywhere and
        every live fiber parked on a wake round strictly in the future, the
@@ -1213,12 +1460,11 @@ module Make (Msg : MESSAGE) = struct
        live_len := 0;
        min_wake := max_int;
        for v = 0 to n - 1 do
-         match conts.(v) with
-         | None -> ()
-         | Some _ ->
-             live.(!live_len) <- v;
-             incr live_len;
-             if p.wake.(v) < !min_wake then min_wake := p.wake.(v)
+         if conts.(v) != none_k then begin
+           live.(!live_len) <- v;
+           incr live_len;
+           if p.wake.(v) < !min_wake then min_wake := p.wake.(v)
+         end
        done;
        (match trace with
        | Some tr ->
@@ -1251,7 +1497,7 @@ module Make (Msg : MESSAGE) = struct
            && fst crash_starts.(!crash_start_i) <= eng.current_round
          do
            let r, v = crash_starts.(!crash_start_i) in
-           if conts.(v) <> None then begin
+           if conts.(v) != none_k then begin
              eng.estats.crashed_nodes <- eng.estats.crashed_nodes + 1;
              match trace with
              | Some tr ->

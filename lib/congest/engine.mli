@@ -180,8 +180,22 @@ module Make (Msg : MESSAGE) : sig
       a busy pool (nested run) or one built for a different graph value
       makes {!run} fall back to fresh allocation. *)
 
-  (** [pool g] preallocates run state for [g]. *)
+  (** [pool g] preallocates run state for [g].  Also publishes the
+      [congest_graph_*_bytes] / [congest_pool_*_bytes] gauges read by the
+      M1 memory gate. *)
   val pool : Graphlib.Graph.t -> pool
+
+  (** Analytic resident cost of a pool, in bytes, split the way the M1
+      memory experiment reports it: [node_bytes] covers the
+      vertex-indexed arrays, [edge_bytes] the edge-indexed arrays (16
+      bytes/edge fault-free; twice that once a faulted run has sized the
+      per-edge fault index), and [slab_bytes] the growable message slabs,
+      whose capacity tracks the peak per-round traffic rather than n or
+      m.  Slot bytes only — message payloads are shared values and not
+      counted. *)
+  type footprint = { node_bytes : int; edge_bytes : int; slab_bytes : int }
+
+  val footprint : pool -> footprint
 
   (** [run g program] executes [program] at every node of [g].
 

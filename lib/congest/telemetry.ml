@@ -145,6 +145,25 @@ let phase t label =
   if t.cur.rounds > 0 then t.closed <- t.cur :: t.closed;
   t.cur <- fresh_phase label
 
+let copy_ivec (v : Ivec.t) = { Ivec.a = Array.copy v.Ivec.a; len = v.Ivec.len }
+
+let copy_phase p =
+  {
+    p with
+    bits_series = copy_ivec p.bits_series;
+    frames_series = copy_ivec p.frames_series;
+    msgs_series = copy_ivec p.msgs_series;
+    stepped_series = copy_ivec p.stepped_series;
+  }
+
+let copy t =
+  { t with cur = copy_phase t.cur; closed = List.map copy_phase t.closed }
+
+let restore_into dst ~from =
+  let c = copy from in
+  dst.cur <- c.cur;
+  dst.closed <- c.closed
+
 let tick ?(stepped = 0) ?(domains = 1) ?(dropped = 0) ?(duplicated = 0)
     ?(delayed = 0) ?(crashed = 0) t ~bits ~frames ~messages =
   let p = t.cur in

@@ -47,6 +47,18 @@ val create : ?series:bool -> unit -> t
     serialized. *)
 val phase : t -> string -> unit
 
+(** Deep copy of everything recorded so far — safe to marshal or keep
+    while the original keeps ticking.  (Telemetry state is plain data:
+    records, strings and int arrays; no closures.) *)
+val copy : t -> t
+
+(** [restore_into dst ~from] overwrites [dst]'s recorded state with a
+    deep copy of [from]'s, as if [dst] had recorded [from]'s history
+    itself.  Used by checkpoint resume to splice the pre-interruption
+    series back into a fresh recorder; [dst]'s [series] setting is
+    kept. *)
+val restore_into : t -> from:t -> unit
+
 (** [tick t ~bits ~frames ~messages] records one simulated round:
     [bits] delivered in total, [frames] charged for the most loaded
     directed edge (>= 1), [messages] delivered.  Called by the engine.

@@ -1,44 +1,71 @@
+(* Every family streams its edges straight into a {!Graph.Builder} —
+   no intermediate boxed edge list — so generating a 10^6-node graph
+   allocates only the flat CSR arrays plus O(1) scratch.
+
+   Edge-id compatibility: the previous implementations accumulated
+   edges by *prepending* to a list, so the edge-id order was the
+   reverse of discovery order.  Fault schedules and traces are keyed by
+   edge id, so that order is part of observable behaviour; the loops
+   below therefore emit in the same final order (usually by iterating
+   in reverse), while every [Random.State] draw still happens in the
+   original forward order. *)
+
 let path n =
   if n < 1 then invalid_arg "Generators.path";
-  Graph.make ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+  let b = Graph.Builder.create ~hint:(max 1 (n - 1)) ~n () in
+  for i = 0 to n - 2 do
+    Graph.Builder.add b i (i + 1)
+  done;
+  Graph.Builder.finish b
 
 let cycle n =
   if n < 3 then invalid_arg "Generators.cycle";
-  Graph.make ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+  let b = Graph.Builder.create ~hint:n ~n () in
+  Graph.Builder.add b (n - 1) 0;
+  for i = 0 to n - 2 do
+    Graph.Builder.add b i (i + 1)
+  done;
+  Graph.Builder.finish b
 
 let star n =
   if n < 1 then invalid_arg "Generators.star";
-  Graph.make ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+  let b = Graph.Builder.create ~hint:(max 1 (n - 1)) ~n () in
+  for i = 1 to n - 1 do
+    Graph.Builder.add b 0 i
+  done;
+  Graph.Builder.finish b
 
 let complete n =
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
+  let b = Graph.Builder.create ~hint:(n * (n - 1) / 2) ~n () in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      Graph.Builder.add b u v
     done
   done;
-  Graph.make ~n !edges
+  Graph.Builder.finish b
 
-let complete_bipartite a b =
-  let edges = ref [] in
-  for u = 0 to a - 1 do
-    for v = a to a + b - 1 do
-      edges := (u, v) :: !edges
+let complete_bipartite a b_ =
+  let n = a + b_ in
+  let b = Graph.Builder.create ~hint:(a * b_) ~n () in
+  for u = a - 1 downto 0 do
+    for v = a + b_ - 1 downto a do
+      Graph.Builder.add b u v
     done
   done;
-  Graph.make ~n:(a + b) !edges
+  Graph.Builder.finish b
 
 let grid rows cols =
   if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let n = rows * cols in
   let id i j = (i * cols) + j in
-  let edges = ref [] in
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      if j + 1 < cols then edges := (id i j, id i (j + 1)) :: !edges;
-      if i + 1 < rows then edges := (id i j, id (i + 1) j) :: !edges
+  let b = Graph.Builder.create ~hint:(2 * n) ~n () in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      if i + 1 < rows then Graph.Builder.add b (id i j) (id (i + 1) j);
+      if j + 1 < cols then Graph.Builder.add b (id i j) (id i (j + 1))
     done
   done;
-  Graph.make ~n:(rows * cols) !edges
+  Graph.Builder.finish b
 
 let grid_dims ?(min_side = 2) n =
   if min_side < 1 then invalid_arg "Generators.grid_dims: min_side < 1";
@@ -58,27 +85,28 @@ let grid_dims ?(min_side = 2) n =
 
 let torus rows cols =
   if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
+  let n = rows * cols in
   let id i j = (i * cols) + j in
-  let edges = ref [] in
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      edges := (id i j, id i ((j + 1) mod cols)) :: !edges;
-      edges := (id i j, id ((i + 1) mod rows) j) :: !edges
+  let b = Graph.Builder.create ~hint:(2 * n) ~n () in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      Graph.Builder.add b (id i j) (id ((i + 1) mod rows) j);
+      Graph.Builder.add b (id i j) (id i ((j + 1) mod cols))
     done
   done;
-  Graph.of_edges_dedup ~n:(rows * cols) !edges
+  Graph.Builder.finish_dedup b
 
 let hypercube d =
   if d < 0 then invalid_arg "Generators.hypercube";
   let n = 1 lsl d in
-  let edges = ref [] in
-  for v = 0 to n - 1 do
-    for b = 0 to d - 1 do
-      let u = v lxor (1 lsl b) in
-      if u > v then edges := (v, u) :: !edges
+  let b = Graph.Builder.create ~hint:(n * d / 2) ~n () in
+  for v = n - 1 downto 0 do
+    for bit = d - 1 downto 0 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then Graph.Builder.add b v u
     done
   done;
-  Graph.make ~n !edges
+  Graph.Builder.finish b
 
 let petersen () =
   let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
@@ -88,41 +116,67 @@ let petersen () =
 
 let binary_tree n =
   if n < 1 then invalid_arg "Generators.binary_tree";
-  Graph.make ~n (List.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1)))
+  let b = Graph.Builder.create ~hint:(max 1 (n - 1)) ~n () in
+  for v = 1 to n - 1 do
+    Graph.Builder.add b ((v - 1) / 2) v
+  done;
+  Graph.Builder.finish b
 
 let random_tree rng n =
   if n < 1 then invalid_arg "Generators.random_tree";
-  Graph.make ~n
-    (List.init (n - 1) (fun i ->
-         let v = i + 1 in
-         (Random.State.int rng v, v)))
+  let b = Graph.Builder.create ~hint:(max 1 (n - 1)) ~n () in
+  for v = 1 to n - 1 do
+    Graph.Builder.add b (Random.State.int rng v) v
+  done;
+  Graph.Builder.finish b
 
 let apollonian rng n =
   if n < 3 then invalid_arg "Generators.apollonian";
-  let edges = ref [ (0, 1); (0, 2); (1, 2) ] in
-  (* Faces are stored in a growable array; subdividing face f into three
-     replaces slot f and appends two. *)
-  let faces = ref [| (0, 1, 2) |] in
+  (* Faces live in a flat growable int array, three slots per face;
+     subdividing face f into three replaces slot f and appends two.
+     The (a, b, c) corner triple attached to each new vertex is kept in
+     flat per-vertex arrays so the edges can be replayed in reverse
+     discovery order afterwards. *)
+  let faces = ref (Array.make 24 0) in
   let nfaces = ref 1 in
-  let push f =
+  !faces.(0) <- 0;
+  !faces.(1) <- 1;
+  !faces.(2) <- 2;
+  let push a b c =
     let cap = Array.length !faces in
-    if !nfaces = cap then begin
-      let bigger = Array.make (2 * cap) (0, 0, 0) in
+    if 3 * !nfaces = cap then begin
+      let bigger = Array.make (2 * cap) 0 in
       Array.blit !faces 0 bigger 0 cap;
       faces := bigger
     end;
-    !faces.(!nfaces) <- f;
+    let base = 3 * !nfaces in
+    !faces.(base) <- a;
+    !faces.(base + 1) <- b;
+    !faces.(base + 2) <- c;
     incr nfaces
   in
+  let ca = Array.make n 0 and cb = Array.make n 0 and cc = Array.make n 0 in
   for v = 3 to n - 1 do
     let i = Random.State.int rng !nfaces in
-    let a, b, c = !faces.(i) in
-    edges := (a, v) :: (b, v) :: (c, v) :: !edges;
-    !faces.(i) <- (a, b, v);
-    push (a, c, v);
-    push (b, c, v)
+    let base = 3 * i in
+    let a = !faces.(base) and b = !faces.(base + 1) and c = !faces.(base + 2) in
+    ca.(v) <- a;
+    cb.(v) <- b;
+    cc.(v) <- c;
+    !faces.(base + 2) <- v;
+    push a c v;
+    push b c v
   done;
-  Graph.make ~n !edges
+  let b = Graph.Builder.create ~hint:((3 * n) - 6) ~n () in
+  for v = n - 1 downto 3 do
+    Graph.Builder.add b ca.(v) v;
+    Graph.Builder.add b cb.(v) v;
+    Graph.Builder.add b cc.(v) v
+  done;
+  Graph.Builder.add b 0 1;
+  Graph.Builder.add b 0 2;
+  Graph.Builder.add b 1 2;
+  Graph.Builder.finish b
 
 let random_planar rng ~n ~m =
   let g = apollonian rng n in
@@ -137,20 +191,36 @@ let random_planar rng ~n ~m =
     ids.(i) <- ids.(j);
     ids.(j) <- t
   done;
-  let doomed = Hashtbl.create (2 * drop) in
+  let doomed = Array.make (max 1 total) false in
   for i = 0 to drop - 1 do
-    Hashtbl.add doomed ids.(i) ()
+    doomed.(ids.(i)) <- true
   done;
-  fst (Graph.remove_edges g (Hashtbl.mem doomed))
+  fst (Graph.remove_edges g (fun e -> doomed.(e)))
 
 let gnp rng n p =
-  let edges = ref [] in
+  (* The rng must be consulted in forward (u, v) order but the edges
+     must land in reverse order; buffer the hits flat and replay. *)
+  let hits = ref (Array.make 16 0) in
+  let len = ref 0 in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+      if Random.State.float rng 1.0 < p then begin
+        if 2 * !len = Array.length !hits then begin
+          let bigger = Array.make (2 * Array.length !hits) 0 in
+          Array.blit !hits 0 bigger 0 (2 * !len);
+          hits := bigger
+        end;
+        !hits.(2 * !len) <- u;
+        !hits.((2 * !len) + 1) <- v;
+        incr len
+      end
     done
   done;
-  Graph.make ~n !edges
+  let b = Graph.Builder.create ~hint:(max 1 !len) ~n () in
+  for i = !len - 1 downto 0 do
+    Graph.Builder.add b !hits.(2 * i) !hits.((2 * i) + 1)
+  done;
+  Graph.Builder.finish b
 
 let random_bipartite_planar rng n =
   let side = max 2 (int_of_float (sqrt (float_of_int n))) in
@@ -173,26 +243,32 @@ let random_bipartite_planar rng n =
   done;
   !g_ref
 
-let random_non_edge rng g =
-  let n = Graph.n g in
-  if n < 2 then invalid_arg "random_non_edge: too few vertices";
-  let rec go fuel =
-    if fuel = 0 then raise Not_found
-    else
-      let u = Random.State.int rng n and v = Random.State.int rng n in
-      if u <> v && not (Graph.has_edge g u v) then
-        (min u v, max u v)
-      else go (fuel - 1)
-  in
-  go 10_000
-
 let planar_plus_chords rng ~base ~extra =
-  let g = ref base in
+  (* One batched rebuild instead of a full O(m) rebuild per chord.  The
+     rejection sampling consults the base graph plus the chords chosen
+     so far, so the rng stream — and therefore the resulting edge set —
+     is identical to adding the chords one at a time. *)
+  let n = Graph.n base in
+  if extra > 0 && n < 2 then invalid_arg "random_non_edge: too few vertices";
+  let chosen = Hashtbl.create (2 * extra) in
+  let chords = ref [] in
   for _ = 1 to extra do
-    let u, v = random_non_edge rng !g in
-    g := Graph.add_edges !g [ (u, v) ]
+    let rec go fuel =
+      if fuel = 0 then raise Not_found
+      else
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        if
+          u <> v
+          && (not (Graph.has_edge base u v))
+          && not (Hashtbl.mem chosen (min u v, max u v))
+        then (min u v, max u v)
+        else go (fuel - 1)
+    in
+    let p = go 10_000 in
+    Hashtbl.add chosen p ();
+    chords := p :: !chords
   done;
-  !g
+  Graph.add_edges base (List.rev !chords)
 
 let far_from_planar rng ~n ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Generators.far_from_planar";
@@ -238,5 +314,9 @@ let relabel rng g =
     perm.(i) <- perm.(j);
     perm.(j) <- t
   done;
-  Graph.make ~n
-    (Graph.fold_edges (fun acc _ u v -> (perm.(u), perm.(v)) :: acc) [] g)
+  let b = Graph.Builder.create ~hint:(Graph.m g) ~n () in
+  for e = Graph.m g - 1 downto 0 do
+    let u, v = Graph.edge g e in
+    Graph.Builder.add b perm.(u) perm.(v)
+  done;
+  Graph.Builder.finish b

@@ -1,3 +1,8 @@
+(* Plain-text edge lists, streamed in both directions: reading feeds
+   each parsed line straight into a {!Graph.Builder} and writing emits
+   line by line, so neither direction ever materializes a boxed edge
+   list or a whole-file string (a 10^6-edge file is ~25 MB of text). *)
+
 let to_buffer buf g =
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
   Graph.iter_edges
@@ -9,45 +14,67 @@ let to_string g =
   to_buffer buf g;
   Buffer.contents buf
 
-let of_lines lines =
-  let relevant =
-    List.filter
-      (fun line ->
-        let line = String.trim line in
-        line <> "" && line.[0] <> '#')
-      lines
-  in
-  match relevant with
-  | [] -> invalid_arg "Gio: empty input"
-  | header :: rest ->
-      let parse_pair line =
-        match String.split_on_char ' ' (String.trim line) with
-        | [ a; b ] -> (
-            match (int_of_string_opt a, int_of_string_opt b) with
-            | Some a, Some b -> (a, b)
-            | _ -> invalid_arg ("Gio: bad line: " ^ line))
-        | _ -> invalid_arg ("Gio: bad line: " ^ line)
-      in
-      let n, m = parse_pair header in
-      let edges = List.map parse_pair rest in
-      if List.length edges <> m then
+let to_channel oc g =
+  Printf.fprintf oc "%d %d\n" (Graph.n g) (Graph.m g);
+  Graph.iter_edges (fun _ u v -> Printf.fprintf oc "%d %d\n" u v) g
+
+(* Incremental reader: hand it lines one at a time, then [finish]. *)
+type reader = {
+  mutable header : (int * int) option;
+  mutable builder : Graph.Builder.t option;
+  mutable edges_seen : int;
+}
+
+let reader_create () = { header = None; builder = None; edges_seen = 0 }
+
+let parse_pair line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> (a, b)
+      | _ -> invalid_arg ("Gio: bad line: " ^ line))
+  | _ -> invalid_arg ("Gio: bad line: " ^ line)
+
+let reader_line r line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then ()
+  else
+    match r.header with
+    | None ->
+        let n, m = parse_pair trimmed in
+        r.header <- Some (n, m);
+        (* Clamp the pre-size so a hostile header cannot force a huge
+           allocation before the count check has a chance to fire. *)
+        r.builder <-
+          Some (Graph.Builder.create ~hint:(max 1 (min m 1_000_000)) ~n ())
+    | Some _ ->
+        let u, v = parse_pair trimmed in
+        let b = Option.get r.builder in
+        r.edges_seen <- r.edges_seen + 1;
+        Graph.Builder.add b u v
+
+let reader_finish r =
+  match r.header with
+  | None -> invalid_arg "Gio: empty input"
+  | Some (_, m) ->
+      if r.edges_seen <> m then
         invalid_arg
-          (Printf.sprintf "Gio: header says %d edges, found %d" m
-             (List.length edges));
-      Graph.make ~n edges
+          (Printf.sprintf "Gio: header says %d edges, found %d" m r.edges_seen);
+      Graph.Builder.finish (Option.get r.builder)
 
-let of_string s = of_lines (String.split_on_char '\n' s)
-
-let to_channel oc g = output_string oc (to_string g)
+let of_string s =
+  let r = reader_create () in
+  List.iter (reader_line r) (String.split_on_char '\n' s);
+  reader_finish r
 
 let of_channel ic =
-  let lines = ref [] in
+  let r = reader_create () in
   (try
      while true do
-       lines := input_line ic :: !lines
+       reader_line r (input_line ic)
      done
    with End_of_file -> ());
-  of_lines (List.rev !lines)
+  reader_finish r
 
 let load path =
   let ic = open_in path in

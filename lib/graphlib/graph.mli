@@ -1,9 +1,14 @@
-(** Static simple undirected graphs.
+(** Static simple undirected graphs, stored flat (CSR).
 
     Vertices are integers [0 .. n-1].  Edges are undirected, stored once with
     endpoints [(u, v)] such that [u < v], and carry a stable edge identifier
     [0 .. m-1].  The structure is immutable; modification functions return a
-    new graph. *)
+    new graph.
+
+    Internally the graph is four unboxed int arrays (offsets, packed
+    neighbor/edge-id arcs, and the two endpoint columns): 8 bytes per vertex
+    plus 32 bytes per edge, independent of degree distribution — see
+    {!storage_bytes}.  Vertex and edge counts are limited to [2^31]. *)
 
 type t
 
@@ -13,8 +18,39 @@ type t
 val make : n:int -> (int * int) list -> t
 
 (** [of_edges_dedup ~n edges] is [make], except that self-loops are dropped
-    and duplicate edges are kept once. *)
+    and duplicate edges are kept once (the first occurrence keeps its place
+    in the edge-id order). *)
 val of_edges_dedup : n:int -> (int * int) list -> t
+
+(** Streaming construction: feed endpoints one at a time into flat growable
+    storage and build the CSR arrays in one pass at the end, never holding a
+    boxed edge list.  Edge ids are assigned in [add] order (after dropping,
+    for {!Builder.finish_dedup}, self-loops and duplicate repeats), exactly
+    as if the same list had been passed to {!make} / {!of_edges_dedup}. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  (** [create ?hint ~n ()] starts a builder for a graph on [n] vertices;
+      [hint] pre-sizes the edge storage. *)
+  val create : ?hint:int -> n:int -> unit -> t
+
+  (** [add b u v] appends an edge.  Endpoints outside [0 .. n-1] raise
+      [Invalid_argument] immediately; self-loops are recorded and
+      resolved by the finisher (error for {!finish}, dropped for
+      {!finish_dedup}). *)
+  val add : t -> int -> int -> unit
+
+  (** Number of (non-self-loop) edges added so far. *)
+  val count : t -> int
+
+  (** {!make} semantics: self-loops and duplicates raise. *)
+  val finish : t -> graph
+
+  (** {!of_edges_dedup} semantics: self-loops dropped, duplicates kept
+      once. *)
+  val finish_dedup : t -> graph
+end
 
 (** Number of vertices. *)
 val n : t -> int
@@ -22,16 +58,32 @@ val n : t -> int
 (** Number of edges. *)
 val m : t -> int
 
-(** [neighbors g v] is the sorted array of neighbors of [v].  The returned
-    array is owned by the graph and must not be mutated. *)
+(** [neighbors g v] is the sorted array of neighbors of [v], freshly
+    allocated on every call.  Hot paths should use {!iter_incident} /
+    {!nbr} instead. *)
 val neighbors : t -> int -> int array
 
 (** [incident g v] lists [(u, e)] for every edge [e] joining [v] to [u],
-    sorted by neighbor id.  The array must not be mutated. *)
+    sorted by neighbor id.  Freshly allocated on every call; hot paths
+    should use {!iter_incident} / {!nbr} / {!incident_eid}. *)
 val incident : t -> int -> (int * int) array
 
 (** Degree of a vertex. *)
 val degree : t -> int -> int
+
+(** [nbr g v i] is the neighbor at port [i] of [v] — the [i]-th entry,
+    [0 <= i < degree g v], of the neighbor-sorted incidence order.
+    Allocation-free; bounds are not checked. *)
+val nbr : t -> int -> int -> int
+
+(** [incident_eid g v i] is the edge id at port [i] of [v] (the edge
+    joining [v] to [nbr g v i]).  Allocation-free; bounds unchecked. *)
+val incident_eid : t -> int -> int -> int
+
+(** [iter_incident g v f] calls [f u e] for every incident edge [e]
+    joining [v] to [u], in neighbor-sorted (port) order, without
+    allocating. *)
+val iter_incident : t -> int -> (int -> int -> unit) -> unit
 
 (** Maximum degree over all vertices ([0] for an empty graph). *)
 val max_degree : t -> int
@@ -39,8 +91,8 @@ val max_degree : t -> int
 (** [edge g e] is the endpoint pair [(u, v)], [u < v], of edge id [e]. *)
 val edge : t -> int -> int * int
 
-(** [endpoints g] is the array of all endpoint pairs indexed by edge id.
-    The array must not be mutated. *)
+(** [endpoints g] is the array of all endpoint pairs indexed by edge id,
+    freshly allocated on every call.  Prefer {!edge} / {!iter_edges}. *)
 val endpoints : t -> (int * int) array
 
 (** [has_edge g u v] tests adjacency in [O(log (degree u))]. *)
@@ -83,3 +135,17 @@ val pp : Format.formatter -> t -> unit
 
 (** Structural equality: same [n] and same edge set. *)
 val equal : t -> t -> bool
+
+(** [storage_bytes g] is the analytic resident cost [(node_bytes,
+    edge_bytes)] of the graph's own arrays: [8 * (n + 1)] bytes of
+    vertex-indexed storage and [32 * m] bytes of edge-indexed storage
+    (two packed arcs plus the two endpoint columns).  Deterministic — a
+    pure function of [n] and [m] — so it is safe to gate in CI. *)
+val storage_bytes : t -> int * int
+
+(** Order-sensitive structural identity: an FNV-1a hash of [(n, m)] and
+    the endpoint pairs in edge-id order.  Two graphs compare equal under
+    [fingerprint] iff they have the same vertices, the same edges, and
+    the same edge-id assignment — the property checkpoint resume and the
+    streaming-vs-materialized generator tests need. *)
+val fingerprint : t -> int64

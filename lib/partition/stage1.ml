@@ -83,9 +83,10 @@ let nominal_phase_rounds ~n ~phase =
   (fd + cv + merge_steps) * per_step
 
 let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
-    ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
+    ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults ?state
+    ?resume ?on_phase g ~eps =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
-  let st = State.create g in
+  let st = match state with Some st -> st | None -> State.create g in
   st.State.telemetry <- telemetry;
   st.State.trace <- trace;
   st.State.domains <- domains;
@@ -98,6 +99,12 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
   let sr = Forest_decomp.super_rounds_for n in
   let phases = ref [] in
   let phase = ref 1 in
+  (match resume with
+  | Some (next_phase, phases_rev) ->
+      if next_phase < 1 then invalid_arg "Stage1.run: resume phase < 1";
+      phase := next_phase;
+      phases := phases_rev
+  | None -> ());
   let stop = ref false in
   let degraded = ref None in
   (try
@@ -133,7 +140,13 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
            }
            :: !phases;
          if stop_when_met && float_of_int cut_after <= target then stop := true;
-         incr phase
+         incr phase;
+         (* Phase boundary: every engine pool/arena is drained here (each
+            primitive runs to quiescence), so the only live state is
+            [st]'s plain data — the safe point for checkpoint hooks. *)
+         match on_phase with
+         | Some f when (not !stop) && !phase <= t -> f !phase !phases
+         | _ -> ()
        end;
        (* Phase duration in *simulated* rounds — deterministic across
           [?domains] and fast-forward, so the histogram is a stable

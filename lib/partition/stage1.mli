@@ -65,7 +65,26 @@ val phases_for : eps:float -> alpha:int -> int
     @param faults inject a deterministic fault schedule into every engine
            run (see {!Congest.Faults}).  A fault-broken execution returns
            with [degraded = Some _] instead of raising; rejections found
-           under faults are not trustworthy evidence. *)
+           under faults are not trustworthy evidence.
+    @param state run on this pre-built {!State.t} instead of
+           [State.create g] — the resume half of checkpointing (restore a
+           state with {!State.restore}, then pass it here together with
+           [?resume]).  The observer fields of [state] are overwritten
+           from this call's [?telemetry]/[?trace]/[?domains]/
+           [?fast_forward]/[?faults] arguments as usual.
+    @param resume [(next_phase, phases_rev)]: start the phase loop at
+           [next_phase] (1-based) with the reverse-chronological phase
+           traces accumulated so far — exactly the pair an [?on_phase]
+           callback received.  Only meaningful together with [?state].
+    @param on_phase called at the end of every completed phase (after
+           merging, before the next phase starts) with [(next_phase,
+           phases_rev)] — the arguments that, fed back through [?resume]
+           on a state captured at that moment, continue the run
+           identically.  Not called for the final phase of a run that is
+           about to return (target met, rejection, or phase budget
+           exhausted).  At the callback point all engine pools are
+           quiescent, so the {!State.t} contains only plain marshal-safe
+           data. *)
 val run :
   ?alpha:int ->
   ?stop_when_met:bool ->
@@ -75,6 +94,9 @@ val run :
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->
+  ?state:State.t ->
+  ?resume:int * phase_trace list ->
+  ?on_phase:(int -> phase_trace list -> unit) ->
   Graphlib.Graph.t ->
   eps:float ->
   result

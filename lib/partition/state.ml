@@ -91,6 +91,23 @@ let create g =
     faults = None;
   }
 
+let restore g ~nodes ~stats ~rejections ~nominal_rounds =
+  if Array.length nodes <> Graph.n g then
+    invalid_arg "State.restore: node count does not match the graph";
+  {
+    graph = g;
+    nodes;
+    stats;
+    pool = Eng.pool g;
+    rejections;
+    nominal_rounds;
+    telemetry = None;
+    trace = None;
+    domains = 1;
+    fast_forward = true;
+    faults = None;
+  }
+
 let node st v = st.nodes.(v)
 let is_root st v = st.nodes.(v).part_root = v
 

@@ -94,6 +94,23 @@ type t = {
 (** Fresh state: singleton parts, every node the root of its own part. *)
 val create : Graphlib.Graph.t -> t
 
+(** Rebuild a state around [g] from previously captured pieces — the
+    constructor behind checkpoint/resume.  The [nodes] array is adopted
+    as-is (it must have been built against a graph with the same CSR
+    layout, e.g. the same file reloaded); a fresh engine {!Eng.pool} is
+    allocated, and the observer fields ([telemetry], [trace], [domains],
+    [fast_forward], [faults]) reset to their {!create} defaults — callers
+    reconfigure them afterwards exactly as after [create].
+
+    Raises [Invalid_argument] if [Array.length nodes <> Graph.n g]. *)
+val restore :
+  Graphlib.Graph.t ->
+  nodes:node array ->
+  stats:Congest.Stats.t ->
+  rejections:(int * string) list ->
+  nominal_rounds:int ->
+  t
+
 val node : t -> int -> node
 
 (** [is_root st v] holds when [v] is its part's root. *)

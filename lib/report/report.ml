@@ -2,6 +2,7 @@ module Json = Congest.Telemetry.Json
 module Json_parse = Json_parse
 module Ctrace = Ctrace
 module Perfetto = Perfetto
+module Checkpoint = Checkpoint
 module PT = Tester.Planarity_tester
 
 let stats_schema = "planartest.stats/v1"

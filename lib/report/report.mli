@@ -17,6 +17,10 @@ module Ctrace = Ctrace
 (** Chrome/Perfetto [trace_event] JSON export of a {!Ctrace.view}. *)
 module Perfetto = Perfetto
 
+(** Versioned binary checkpoint files for the tester (atomic saves,
+    checksummed, parameter-fingerprinted loads). *)
+module Checkpoint = Checkpoint
+
 (** ["planartest.stats/v1"] *)
 val stats_schema : string
 

@@ -12,6 +12,18 @@ type outcome = {
   nominal_rounds : int;
 }
 
+(* Random_partition's target is [eps' * n] vertices' worth of cut edges,
+   so the edge-cut budget [eps * m] rescales to [eps' = eps * m / n].
+   For a large sparse graph that ratio can land below [1 / n], at which
+   point the target [eps' * n] rounds below one edge and the partition
+   goal is vacuous; clamp so [eps' * n >= 1] always holds. *)
+let effective_eps g ~eps =
+  let n = Graph.n g in
+  if n = 0 then eps
+  else
+    let raw = eps *. float_of_int (Graph.m g) /. float_of_int n in
+    min 0.999 (max raw (1.0 /. float_of_int n))
+
 (* Partition with an absolute edge-cut target of [eps * m]. *)
 let partition_for mode seed g ~eps =
   match mode with
@@ -20,14 +32,7 @@ let partition_for mode seed g ~eps =
          eps * m. *)
       (Partition.Stage1.run g ~eps).Partition.Stage1.state
   | Randomized delta ->
-      (* Random_partition's target is eps' * n; eps' = eps * m / n. *)
-      let eps' =
-        if Graph.n g = 0 then eps
-        else
-          min 0.999
-            (eps *. float_of_int (Graph.m g) /. float_of_int (Graph.n g))
-      in
-      let eps' = max eps' 1e-9 in
+      let eps' = effective_eps g ~eps in
       (Partition.Random_partition.run g ~eps:eps' ~delta ~seed)
         .Partition.Random_partition.state
 

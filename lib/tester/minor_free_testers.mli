@@ -23,6 +23,17 @@ type outcome = {
   nominal_rounds : int;
 }
 
+(** The eps the randomized partition actually runs with: the edge-cut
+    budget [eps * m] rescaled into Random_partition's vertex units,
+    [eps * m / n], clamped into [[1/n, 0.999]].
+
+    Invariant: for [n > 0] the result [eps'] satisfies [eps' *. float n
+    >= 1.0], so the partition's cut target never rounds below one edge —
+    without the floor, a large sparse graph (m << n / eps) would get a
+    vacuous target and a degenerate partition.  Exposed for boundary
+    tests. *)
+val effective_eps : Graphlib.Graph.t -> eps:float -> float
+
 val test_cycle_freeness :
   ?mode:mode -> ?seed:int -> Graphlib.Graph.t -> eps:float -> outcome
 

@@ -14,6 +14,29 @@ let m_stage2_rounds =
 
 type partition_mode = Stage_one | Exponential_shifts
 
+(* Everything Stage I needs to continue from a phase boundary.  Plain
+   marshal-safe data only: [State.node] is ints/bools/lists/arrays, and
+   {!Congest.Stats.t} is a flat record — no closures, no fibers (engine
+   pools are quiescent at phase boundaries and are rebuilt on restore). *)
+type snapshot = {
+  ck_phase : int;  (** next phase to run (1-based) *)
+  ck_phases_rev : Partition.Stage1.phase_trace list;
+      (** phase traces so far, reverse-chronological *)
+  ck_nodes : Partition.State.node array;
+  ck_stats : Congest.Stats.t;
+  ck_rejections : (int * string) list;
+  ck_nominal_rounds : int;
+  ck_telemetry : Congest.Telemetry.t option;
+      (** per-round series recorded up to the snapshot, when the
+          checkpointed run had a telemetry recorder attached *)
+}
+
+type checkpoint = {
+  save : snapshot -> unit;
+  load : unit -> snapshot option;
+  every : int;
+}
+
 type report = {
   verdict : verdict;
   stage1 : Partition.Stage1.result option;
@@ -31,16 +54,67 @@ type report = {
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry
-    ?trace ?(domains = 1) ?(fast_forward = true) ?faults g ~eps =
+    ?trace ?(domains = 1) ?(fast_forward = true) ?faults ?checkpoint g ~eps =
   let faults_active = Congest.Faults.active faults in
+  (match (checkpoint, partition) with
+  | Some ck, _ when ck.every < 1 ->
+      invalid_arg "Planarity_tester.run: checkpoint.every must be >= 1"
+  | Some _, Exponential_shifts ->
+      invalid_arg
+        "Planarity_tester.run: checkpointing requires the Stage_one \
+         partition (Exponential_shifts clusters centrally, with no phase \
+         boundaries to checkpoint at)"
+  | _ -> ());
   let stage1, st =
     match partition with
-    | Stage_one ->
-        let r =
-          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
-            ~domains ~fast_forward ?faults g ~eps
-        in
-        (Some r, r.Partition.Stage1.state)
+    | Stage_one -> (
+        match checkpoint with
+        | None ->
+            let r =
+              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+                ~domains ~fast_forward ?faults g ~eps
+            in
+            (Some r, r.Partition.Stage1.state)
+        | Some ck ->
+            (* The state must pre-exist the run so the [on_phase] closure
+               can capture it for snapshots. *)
+            let st0, resume =
+              match ck.load () with
+              | Some s ->
+                  (* Splice the pre-interruption per-round series into
+                     this run's recorder, so the final stats JSON is
+                     byte-identical to an uninterrupted run's. *)
+                  (match (s.ck_telemetry, telemetry) with
+                  | Some src, Some dst ->
+                      Congest.Telemetry.restore_into dst ~from:src
+                  | _ -> ());
+                  ( Partition.State.restore g ~nodes:s.ck_nodes
+                      ~stats:s.ck_stats ~rejections:s.ck_rejections
+                      ~nominal_rounds:s.ck_nominal_rounds,
+                    Some (s.ck_phase, s.ck_phases_rev) )
+              | None -> (Partition.State.create g, None)
+            in
+            let completed = ref 0 in
+            let on_phase next_phase phases_rev =
+              incr completed;
+              if !completed mod ck.every = 0 then
+                ck.save
+                  {
+                    ck_phase = next_phase;
+                    ck_phases_rev = phases_rev;
+                    ck_nodes = st0.Partition.State.nodes;
+                    ck_stats = Congest.Stats.copy st0.Partition.State.stats;
+                    ck_rejections = st0.Partition.State.rejections;
+                    ck_nominal_rounds = st0.Partition.State.nominal_rounds;
+                    ck_telemetry = Option.map Congest.Telemetry.copy telemetry;
+                  }
+            in
+            let r =
+              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+                ~domains ~fast_forward ?faults ~state:st0 ?resume ~on_phase g
+                ~eps
+            in
+            (Some r, r.Partition.Stage1.state))
     | Exponential_shifts ->
         let r = Partition.En_partition.run ~seed g ~eps in
         let st = r.Partition.En_partition.state in

@@ -25,6 +25,42 @@ type verdict =
     planarity verdict stays one-sided either way). *)
 type partition_mode = Stage_one | Exponential_shifts
 
+(** A resumable image of a [Stage_one] run, captured at a Stage I phase
+    boundary — the only points where every engine pool is quiescent, so
+    the whole tester state is the plain data below (no fibers, no
+    continuations; all of it marshal-safe).  Stage II is not covered: it
+    is a constant number of rounds per part and re-runs from the restored
+    partition. *)
+type snapshot = {
+  ck_phase : int;  (** next Stage I phase to run (1-based) *)
+  ck_phases_rev : Partition.Stage1.phase_trace list;
+      (** completed phase traces, reverse-chronological (the shape
+          {!Partition.Stage1.run}'s [?on_phase]/[?resume] use) *)
+  ck_nodes : Partition.State.node array;
+  ck_stats : Congest.Stats.t;
+  ck_rejections : (int * string) list;
+  ck_nominal_rounds : int;
+  ck_telemetry : Congest.Telemetry.t option;
+      (** the per-round series recorded up to the snapshot (deep copy);
+          restored into the resuming run's recorder so the final
+          telemetry — and hence the whole stats JSON — matches an
+          uninterrupted run *)
+}
+
+(** Checkpoint control, storage-agnostic: the tester calls [load] once at
+    startup (a [Some] snapshot resumes the run from that phase boundary;
+    [None] starts fresh) and [save] after every [every]-th completed
+    phase.  [save] must capture the snapshot before returning — the
+    arrays inside are live state the run keeps mutating (the provided
+    {!Report.Checkpoint} implementation marshals to disk immediately).
+    A run resumed from a snapshot produces byte-identical statistics to
+    an uninterrupted run with the same parameters. *)
+type checkpoint = {
+  save : snapshot -> unit;
+  load : unit -> snapshot option;
+  every : int;  (** save every [every]-th completed phase; >= 1 *)
+}
+
 type report = {
   verdict : verdict;
   stage1 : Partition.Stage1.result option;
@@ -64,7 +100,13 @@ type report = {
     clustering itself is unaffected, like telemetry): the verdict is then
     [Accept], [Degraded] — or [Reject] only when no fault actually fired,
     so the report is identical for any [domains] and [fast_forward]
-    setting, faults included. *)
+    setting, faults included.  [checkpoint] enables phase-boundary
+    checkpoint/resume (see {!checkpoint}); it requires the [Stage_one]
+    partition and raises [Invalid_argument] with [Exponential_shifts].
+    Snapshots carry the telemetry series, so a resumed run's stats JSON
+    (verdict, totals and per-round telemetry) is byte-identical to an
+    uninterrupted run's; event traces ([trace]) are not snapshotted — a
+    resumed run's .ctrace covers only the phases it executed itself. *)
 val run :
   ?seed:int ->
   ?alpha:int ->
@@ -76,6 +118,7 @@ val run :
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->
+  ?checkpoint:checkpoint ->
   Graphlib.Graph.t ->
   eps:float ->
   report

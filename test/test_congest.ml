@@ -1060,6 +1060,95 @@ let test_protocols_count_qcheck =
       count = List.length members)
 
 
+(* ------------------------------------------------------------------ *)
+(* Million-node substrate: pooled buffers and delay buckets            *)
+(* ------------------------------------------------------------------ *)
+
+(* A warmed pool must make per-run allocation independent of the edge
+   count: the per-edge state (bit counters, fault indices, inbox slabs)
+   lives in the pool, so only the per-node fiber machinery allocates per
+   run.  Checked differentially — same node count, same protocol, ~12x
+   the edges — because the O(n) fiber cost is inherent and would drown
+   any absolute threshold. *)
+let test_pool_no_per_edge_alloc () =
+  let n = 400 in
+  (* Idle protocol: message-proportional allocation (inbox cells, effect
+     frames) would otherwise drown the per-edge signal.  The per-run cost
+     left is the O(n) fiber machinery, identical for both graphs. *)
+  let protocol ctx = E.my_id ctx in
+  let faults = Congest.Faults.make ~seed:3 ~delay:0.2 ~max_delay:4 () in
+  let alloc_per_run g =
+    let pool = E.pool g in
+    (* Warm-up grows the slabs and (for the faulted path) the fault-index
+       array; afterwards runs must reuse them all. *)
+    ignore (E.run ~pool ~faults g protocol);
+    ignore (E.run ~pool ~faults g protocol);
+    let before = Gc.allocated_bytes () in
+    ignore (E.run ~pool ~faults g protocol);
+    Gc.allocated_bytes () -. before
+  in
+  let sparse = Generators.cycle n in
+  let dense =
+    Generators.gnp (Random.State.make [| 11 |]) n (25.0 /. float_of_int n)
+  in
+  let msparse = Graph.m sparse and mdense = Graph.m dense in
+  check cb "dense has many more edges" true (mdense > 8 * msparse);
+  let a_sparse = alloc_per_run sparse and a_dense = alloc_per_run dense in
+  (* Any reintroduced per-run O(m) array (the old per-run touched / fidx /
+     send buffers were 16-32 B per edge, >= 150 kB at this density) trips
+     the fixed slack. *)
+  if a_dense > a_sparse +. 32768.0 then
+    Alcotest.failf
+      "per-run allocation grows with edge count: sparse (m=%d) %.0f B, \
+       dense (m=%d) %.0f B"
+      msparse a_sparse mdense a_dense
+
+(* Heavy delayed traffic: every message delayed by up to 8 rounds over a
+   multi-round protocol.  The round-indexed delay buckets must (a) agree
+   with the engine's fault accounting, and (b) keep the run byte-identical
+   across domain counts and fast-forward — the PR 3 differential contract
+   under stress. *)
+let test_delay_bucket_stress () =
+  let g = Generators.grid 6 6 in
+  let rounds = 30 in
+  let protocol ctx =
+    let acc = ref 0 in
+    for _ = 1 to rounds do
+      E.broadcast ctx (M.Int (E.my_id ctx));
+      List.iter (fun (_, M.Int v) -> acc := !acc + v) (E.sync ctx)
+    done;
+    !acc
+  in
+  let faults = Congest.Faults.make ~seed:17 ~delay:1.0 ~max_delay:8 () in
+  let reference = E.run ~faults g protocol in
+  check cb "completed under full delay" true reference.E.completed;
+  let s = reference.E.stats in
+  (* delay=1.0: every send is delayed, so deliveries can never exceed
+     delay events (entries still queued when the last fiber finishes are
+     counted as delayed but never land). *)
+  check cb "every delivery was delayed"
+    true
+    (s.Congest.Stats.delayed >= s.Congest.Stats.messages
+    && s.Congest.Stats.messages > 0);
+  List.iter
+    (fun (domains, ff) ->
+      let r = E.run ~domains ~fast_forward:ff ~faults g protocol in
+      check cb
+        (Printf.sprintf "identical outputs (domains=%d ff=%b)" domains ff)
+        true
+        (r.E.outputs = reference.E.outputs);
+      check ci
+        (Printf.sprintf "identical delayed count (domains=%d ff=%b)" domains
+           ff)
+        s.Congest.Stats.delayed r.E.stats.Congest.Stats.delayed;
+      check ci
+        (Printf.sprintf "identical bits (domains=%d ff=%b)" domains ff)
+        s.Congest.Stats.total_bits r.E.stats.Congest.Stats.total_bits;
+      check ci
+        (Printf.sprintf "identical rounds (domains=%d ff=%b)" domains ff)
+        s.Congest.Stats.rounds r.E.stats.Congest.Stats.rounds)
+    [ (1, false); (2, true); (3, false); (4, true) ]
+
 let () =
   Alcotest.run "congest"
     [
@@ -1093,6 +1182,13 @@ let () =
           Alcotest.test_case "strict mode within budget" `Quick
             test_strict_mode_ok_within_budget;
           q test_echo_qcheck;
+        ] );
+      ( "substrate",
+        [
+          Alcotest.test_case "no per-edge allocation with a warm pool" `Quick
+            test_pool_no_per_edge_alloc;
+          Alcotest.test_case "delay buckets under full-delay stress" `Quick
+            test_delay_bucket_stress;
         ] );
       ( "lifecycle",
         [

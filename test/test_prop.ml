@@ -297,10 +297,76 @@ let prop_spec_roundtrip =
           | Error e ->
               QCheck.Test.fail_reportf "own spec %s rejected: %s" spec e))
 
+(* --- graph construction: dedup semantics and streaming equality ------ *)
+
+(* [of_edges_dedup], [Builder.finish_dedup] and a list-level reference
+   filter must agree exactly — same edges, same edge-id order — which
+   [fingerprint] checks in one comparison. *)
+let prop_of_edges_dedup =
+  QCheck.Test.make
+    ~name:"of_edges_dedup == filtered make == Builder.finish_dedup"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 24)
+        (small_list (pair (int_range 0 23) (int_range 0 23))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (u, v) -> u < n && v < n) edges in
+      let reference =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun (u, v) ->
+            u <> v
+            &&
+            let k = (min u v, max u v) in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          edges
+      in
+      let a = Graph.of_edges_dedup ~n edges in
+      let b = Graph.make ~n reference in
+      let c =
+        let bld = Graph.Builder.create ~n () in
+        List.iter (fun (u, v) -> Graph.Builder.add bld u v) edges;
+        Graph.Builder.finish_dedup bld
+      in
+      (Graph.fingerprint a = Graph.fingerprint b
+      && Graph.fingerprint a = Graph.fingerprint c
+      && Graph.m a = List.length reference)
+      || QCheck.Test.fail_reportf "dedup mismatch: n=%d, %d raw edges" n
+           (List.length edges))
+
+(* The streaming paths (generators building through [Graph.Builder], and
+   the line-by-line Gio reader) must produce bit-for-bit the same
+   structure as materializing the edge list and calling [make]. *)
+let prop_streaming_vs_materialized =
+  QCheck.Test.make
+    ~name:"streamed construction fingerprints == materialized make"
+    ~count:60
+    QCheck.(triple (int_range 0 3) (int_range 8 120) (int_range 0 10000))
+    (fun (family, n, seed) ->
+      let g = graph_of ~family ~n ~seed in
+      let edges =
+        List.rev (Graph.fold_edges (fun acc _ u v -> (u, v) :: acc) [] g)
+      in
+      let materialized = Graph.make ~n:(Graph.n g) edges in
+      let round_tripped = Gio.of_string (Gio.to_string g) in
+      (Graph.fingerprint g = Graph.fingerprint materialized
+      && Graph.fingerprint g = Graph.fingerprint round_tripped)
+      || QCheck.Test.fail_reportf "fingerprint divergence on %s n=%d seed=%d"
+           (family_name family) n seed)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "prop"
     [
+      ( "graphlib",
+        [
+          to_alcotest prop_of_edges_dedup;
+          to_alcotest prop_streaming_vs_materialized;
+        ] );
       ( "partition",
         [ to_alcotest prop_stage1_matches_reference ] );
       ( "tester",

@@ -459,6 +459,106 @@ let test_write_dash_goes_to_stdout () =
         s;
       check cb "no file named -" false (Sys.file_exists "-"))
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint container: round trip, atomicity, refusal modes          *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture a real snapshot by checkpointing a short Stage I run. *)
+let capture_snapshot g ~eps ~seed =
+  let store = ref None in
+  let ck =
+    {
+      PT.every = 1;
+      load = (fun () -> None);
+      save = (fun s -> if !store = None then store := Some s);
+    }
+  in
+  ignore (PT.run ~checkpoint:ck g ~eps ~seed);
+  match !store with
+  | Some s -> s
+  | None -> Alcotest.fail "run produced no checkpoint"
+
+let with_temp f =
+  let path = Filename.temp_file "ck" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_file_roundtrip () =
+  let g = Generators.grid 16 16 in
+  let eps = 0.1 and seed = 7 in
+  let snap = capture_snapshot g ~eps ~seed in
+  let fp =
+    Report.Checkpoint.fingerprint g ~eps ~seed ~alpha:3 ~faults:None
+  in
+  with_temp (fun path ->
+      Sys.remove path;
+      check cb "missing file loads as None" true
+        (Report.Checkpoint.load path ~fingerprint:fp = None);
+      Report.Checkpoint.save path ~fingerprint:fp snap;
+      match Report.Checkpoint.load path ~fingerprint:fp with
+      | None -> Alcotest.fail "saved checkpoint did not load"
+      | Some s ->
+          check ci "phase preserved" snap.PT.ck_phase s.PT.ck_phase;
+          check ci "nominal rounds preserved" snap.PT.ck_nominal_rounds
+            s.PT.ck_nominal_rounds;
+          check ci "stats rounds preserved"
+            snap.PT.ck_stats.Congest.Stats.rounds
+            s.PT.ck_stats.Congest.Stats.rounds;
+          check cb "nodes deep-copied, equal content" true
+            (snap.PT.ck_nodes = s.PT.ck_nodes
+            && not (snap.PT.ck_nodes == s.PT.ck_nodes)))
+
+let test_checkpoint_file_refusals () =
+  let g = Generators.grid 16 16 in
+  let eps = 0.1 and seed = 7 in
+  let snap = capture_snapshot g ~eps ~seed in
+  let fp =
+    Report.Checkpoint.fingerprint g ~eps ~seed ~alpha:3 ~faults:None
+  in
+  let fails f = match f () with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  with_temp (fun path ->
+      Report.Checkpoint.save path ~fingerprint:fp snap;
+      (* Fingerprint mismatch: other eps, other graph, other faults. *)
+      let fp_eps =
+        Report.Checkpoint.fingerprint g ~eps:0.2 ~seed ~alpha:3 ~faults:None
+      in
+      check cb "eps mismatch refused" true
+        (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp_eps));
+      let faults = Some (Congest.Faults.make ~drop:0.1 ()) in
+      let fp_faults =
+        Report.Checkpoint.fingerprint g ~eps ~seed ~alpha:3 ~faults
+      in
+      check cb "faults mismatch refused" true
+        (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp_faults));
+      (* Corruption: flip a byte in the body. *)
+      let ic = open_in_bin path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let bad = Bytes.of_string raw in
+      let i = Bytes.length bad - 5 in
+      Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc bad;
+      close_out oc;
+      check cb "checksum failure refused" true
+        (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp));
+      (* Not a checkpoint at all. *)
+      let oc = open_out_bin path in
+      output_string oc "not a checkpoint";
+      close_out oc;
+      check cb "bad magic refused" true
+        (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp));
+      (* Truncated below the header. *)
+      let oc = open_out_bin path in
+      output_string oc "PLNR";
+      close_out oc;
+      check cb "truncated refused" true
+        (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp)))
+
 let () =
   Alcotest.run "report"
     [
@@ -487,5 +587,12 @@ let () =
           Alcotest.test_case "to file" `Quick test_write_file;
           Alcotest.test_case "dash writes stdout" `Quick
             test_write_dash_goes_to_stdout;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "file round trip" `Quick
+            test_checkpoint_file_roundtrip;
+          Alcotest.test_case "refusal modes" `Quick
+            test_checkpoint_file_refusals;
         ] );
     ]

@@ -508,6 +508,139 @@ let test_en_mode_soundness () =
        ~partition:Tester.Planarity_tester.Exponential_shifts g ~eps:0.2
        ~seed:3)
 
+(* ------------------------------------------------------------------ *)
+(* effective_eps clamp (Random_partition rescale)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_effective_eps_boundaries () =
+  let cf = Alcotest.float 1e-12 in
+  let invariant name g eps =
+    let eps' = Tester.Minor_free_testers.effective_eps g ~eps in
+    check cb (name ^ ": eps' * n >= 1") true
+      (eps' *. float_of_int (Graph.n g) >= 1.0);
+    check cb (name ^ ": eps' <= 0.999") true (eps' <= 0.999)
+  in
+  (* Sparse graph, tiny eps: the raw rescale eps*m/n lands far below 1/n
+     and must be clamped up to exactly 1/n. *)
+  let path = Generators.path 1000 in
+  check cf "sparse floor is 1/n" 0.001
+    (Tester.Minor_free_testers.effective_eps path ~eps:0.0001);
+  invariant "path" path 0.0001;
+  (* Dense graph, large eps: the rescale exceeds 1 and must cap at
+     0.999. *)
+  let dense = Generators.complete 50 in
+  check cf "dense cap is 0.999" 0.999
+    (Tester.Minor_free_testers.effective_eps dense ~eps:0.9);
+  (* Mid-range: no clamp, plain rescale eps * m / n. *)
+  let grid = Generators.grid 10 10 in
+  let eps = 0.3 in
+  check cf "mid-range is eps*m/n"
+    (eps *. float_of_int (Graph.m grid) /. float_of_int (Graph.n grid))
+    (Tester.Minor_free_testers.effective_eps grid ~eps);
+  invariant "grid" grid eps;
+  (* The degenerate regime that motivated the floor: m << n / eps used to
+     produce a vacuous cut target (eps' * n < 1). *)
+  let stars = Generators.star 5000 in
+  invariant "star" stars 0.00001
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module PT = Tester.Planarity_tester
+
+exception Simulated_kill
+
+(* Interrupt a multi-phase Stage I run right after its first checkpoint
+   save, resume from the (marshal round-tripped) snapshot, and demand the
+   resumed run's full stats JSON — totals and per-round telemetry — is
+   byte-identical to an uninterrupted run's. *)
+let test_checkpoint_resume_byte_identical () =
+  let g = Generators.grid 20 20 in
+  let eps = 0.05 and seed = 2 in
+  let stats_json r telemetry =
+    Congest.Telemetry.Json.to_string
+      (Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps ~seed
+         ~domains:1 ~telemetry r)
+  in
+  let tel_ref = Congest.Telemetry.create () in
+  let r_ref = PT.run ~telemetry:tel_ref g ~eps ~seed in
+  (match r_ref.PT.stage1 with
+  | Some s ->
+      check cb "reference run is multi-phase" true
+        (List.length s.Partition.Stage1.phases >= 2)
+  | None -> Alcotest.fail "no stage1 result");
+  let store = ref None in
+  let tel1 = Congest.Telemetry.create () in
+  let kill_ck =
+    {
+      PT.every = 1;
+      load = (fun () -> None);
+      save =
+        (fun s ->
+          (* Marshal round-trip: checks the snapshot really is
+             marshal-safe AND deep-copies it, as the file container
+             does. *)
+          store := Some (Marshal.from_string (Marshal.to_string s []) 0);
+          raise Simulated_kill);
+    }
+  in
+  (try
+     ignore (PT.run ~telemetry:tel1 ~checkpoint:kill_ck g ~eps ~seed);
+     Alcotest.fail "simulated kill did not propagate"
+   with Simulated_kill -> ());
+  check cb "snapshot captured" true (!store <> None);
+  let tel2 = Congest.Telemetry.create () in
+  let resume_ck =
+    { PT.every = 1; load = (fun () -> !store); save = (fun _ -> ()) }
+  in
+  let r2 = PT.run ~telemetry:tel2 ~checkpoint:resume_ck g ~eps ~seed in
+  check Alcotest.string "stats JSON byte-identical after resume"
+    (stats_json r_ref tel_ref) (stats_json r2 tel2)
+
+(* A checkpointed-but-never-interrupted run must equal a plain run. *)
+let test_checkpoint_passive_identical () =
+  let g = Generators.grid 16 16 in
+  let eps = 0.1 and seed = 5 in
+  let r_ref = PT.run g ~eps ~seed in
+  let store = ref None in
+  let saves = ref 0 in
+  let ck =
+    {
+      PT.every = 2;
+      load = (fun () -> None);
+      save =
+        (fun s ->
+          incr saves;
+          store := Some (Marshal.from_string (Marshal.to_string s []) 0));
+    }
+  in
+  let r = PT.run ~checkpoint:ck g ~eps ~seed in
+  check cb "saved at least once" true (!saves >= 1);
+  check cb "same verdict" true (r.PT.verdict = r_ref.PT.verdict);
+  check ci "same rounds" r_ref.PT.rounds r.PT.rounds;
+  check ci "same messages" r_ref.PT.messages r.PT.messages;
+  check ci "same bits" r_ref.PT.total_bits r.PT.total_bits;
+  (* And resuming from a mid-run snapshot of it also converges. *)
+  let r3 =
+    PT.run
+      ~checkpoint:{ PT.every = 2; load = (fun () -> !store); save = ignore }
+      g ~eps ~seed
+  in
+  check cb "resume from passive snapshot" true (r3.PT.verdict = r_ref.PT.verdict);
+  check ci "resume rounds" r_ref.PT.rounds r3.PT.rounds
+
+let test_checkpoint_rejects_exp_shifts () =
+  let g = Generators.grid 8 8 in
+  let ck = { PT.every = 1; load = (fun () -> None); save = ignore } in
+  check cb "Exponential_shifts + checkpoint raises" true
+    (try
+       ignore
+         (PT.run ~partition:PT.Exponential_shifts ~checkpoint:ck g ~eps:0.3
+            ~seed:1);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "tester"
     [
@@ -547,6 +680,20 @@ let () =
             test_domains_invariant_grid;
           Alcotest.test_case "far graph, domains 1/2/4 + ff off" `Quick
             test_domains_invariant_far;
+        ] );
+      ( "eps-rescale",
+        [
+          Alcotest.test_case "effective_eps boundaries" `Quick
+            test_effective_eps_boundaries;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "kill + resume is byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "passive checkpointing changes nothing" `Quick
+            test_checkpoint_passive_identical;
+          Alcotest.test_case "refused in exp-shift mode" `Quick
+            test_checkpoint_rejects_exp_shifts;
         ] );
       ( "exp-shift-mode",
         [
