@@ -1,4 +1,5 @@
-.PHONY: all build test bench fuzz trace monitor monitor-baseline scale ci clean
+.PHONY: all build test bench fuzz trace monitor monitor-baseline scale \
+  compiled ci clean
 
 all: build
 
@@ -109,13 +110,66 @@ scale: build
 	  --checkpoint $(SCALE_DIR)/ck.bin \
 	  --stats-json $(SCALE_DIR)/resumed.json --log-level warn > /dev/null
 	cmp $(SCALE_DIR)/full.json $(SCALE_DIR)/resumed.json
+	# 3. same kill/resume, now with --trace: snapshots carry the event-trace
+	#    state, so the resumed .ctrace must agree with an uninterrupted one
+	#    on every simulated aggregate (planartrace diff ignores host-side
+	#    wall-clock/GC, which legitimately restart at the resume point; the
+	#    v3 stats JSON embeds host profiles, so cmp is only valid on the
+	#    trace-free legs above).
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --trace $(SCALE_DIR)/full.ctrace --log-level warn > /dev/null
+	rm -f $(SCALE_DIR)/ck-trace.bin
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --trace $(SCALE_DIR)/killed.ctrace \
+	  --checkpoint $(SCALE_DIR)/ck-trace.bin --checkpoint-exit 1 \
+	  --log-level warn > /dev/null; test $$? -eq 3
+	./_build/default/bin/planartest.exe test $(SCALE_DIR)/g.txt --eps 0.05 \
+	  --trace $(SCALE_DIR)/resumed.ctrace \
+	  --checkpoint $(SCALE_DIR)/ck-trace.bin --log-level warn > /dev/null
+	./_build/default/bin/planartrace.exe diff $(SCALE_DIR)/full.ctrace \
+	  $(SCALE_DIR)/resumed.ctrace
+
+# Compiled execution-mode gate (also a CI leg).  Three halves:
+#   1. byte-identity — the same planartest run under --mode fiber and
+#      --mode compiled must produce cmp-identical stats JSON, and the
+#      same quick bench E1 sweep must produce cmp-identical BENCH JSON
+#      (--no-timings strips the only legitimately host-dependent
+#      fields).
+#   2. the differential property suite under a pinned QCHECK_SEED (the
+#      compiled-vs-fiber invariance property lives in test_prop.exe).
+#   3. the full-size C1 experiment with its throughput gate: grid
+#      ff-off per-round speedup must reach C1_MIN_SPEEDUP (default 10,
+#      the headline claim; measured 10.2-12.4x on the reference box).
+#      C1 also hard-asserts fiber/compiled stats equality internally.
+# COMPILED_DIR keeps the artifacts for upload on CI failure.
+COMPILED_DIR ?= /tmp/planarcompiled
+C1_MIN_SPEEDUP ?= 10
+compiled: build
+	mkdir -p $(COMPILED_DIR)
+	./_build/default/bin/planartest.exe gen --family grid --n 1024 \
+	  > $(COMPILED_DIR)/g.txt
+	./_build/default/bin/planartest.exe test $(COMPILED_DIR)/g.txt \
+	  --eps 0.3 --mode fiber --stats-json $(COMPILED_DIR)/fiber.json \
+	  --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(COMPILED_DIR)/g.txt \
+	  --eps 0.3 --mode compiled --stats-json $(COMPILED_DIR)/compiled.json \
+	  --log-level warn > /dev/null
+	cmp $(COMPILED_DIR)/fiber.json $(COMPILED_DIR)/compiled.json
+	./_build/default/bench/main.exe --quick --no-timings --only E1 \
+	  --mode fiber --json $(COMPILED_DIR)/e1-fiber.json > /dev/null
+	./_build/default/bench/main.exe --quick --no-timings --only E1 \
+	  --mode compiled --json $(COMPILED_DIR)/e1-compiled.json > /dev/null
+	cmp $(COMPILED_DIR)/e1-fiber.json $(COMPILED_DIR)/e1-compiled.json
+	env QCHECK_SEED=20260809 ./_build/default/test/test_prop.exe
+	env C1_MIN_SPEEDUP=$(C1_MIN_SPEEDUP) ./_build/default/bench/main.exe \
+	  --only C1 --json $(COMPILED_DIR)/c1.json
 
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace monitor scale
+ci: build test trace monitor scale compiled
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -6,14 +6,19 @@
    for paper-vs-measured).
 
    Usage:  bench [--quick|-q] [--jobs N] [--domains D] [--no-timings]
-                 [--json PATH] [--faults SPEC] [--trace PATH]
+                 [--mode fiber|compiled|auto] [--json PATH]
+                 [--faults SPEC] [--trace PATH]
 
    Independent (family, n, eps, seed) points inside each experiment are
    fanned across [--jobs] domains (default: the recommended domain count);
    results are reassembled in input order, so the report is identical to a
    serial run.  [--domains D] additionally shards node stepping *inside*
    each tester/partition run across D engine domains — every statistic is
-   identical for any D, only wall-clock changes.  [--no-timings] skips the
+   identical for any D, only wall-clock changes.  [--mode] selects the
+   execution engine for the lockstep Stage I primitives (default fiber;
+   compiled runs them as fiber-free array passes — every statistic and
+   the whole report are byte-identical across modes, see
+   Congest.Compiled).  [--no-timings] skips the
    serial Bechamel micro-benchmark section and suppresses every printed
    wall-clock column (A3's ff off/on set included): the remaining output
    depends only on simulated accounting, so it is stable for CI diffing.
@@ -38,21 +43,22 @@ let json_path = ref None
 let faults_spec = ref None
 let trace_path = ref None
 let only = ref None
+let mode = ref Congest.Compiled.Fiber
 let log_level = ref "info"
 let log_json = ref None
 
 (* Every experiment id `--only` accepts, in run order. *)
 let known_ids =
   [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "M1"; "B" ]
+    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "M1"; "C1"; "B" ]
 
 let () =
   let argv = Sys.argv in
   let usage () =
     prerr_endline
       "usage: bench [--quick|-q] [--jobs N] [--domains D] [--no-timings] \
-       [--json PATH] [--faults SPEC] [--trace PATH] [--only IDS] \
-       [--log-level LEVEL] [--log-json PATH]";
+       [--mode fiber|compiled|auto] [--json PATH] [--faults SPEC] \
+       [--trace PATH] [--only IDS] [--log-level LEVEL] [--log-json PATH]";
     exit 2
   in
   let rec parse i =
@@ -85,6 +91,16 @@ let () =
           | Ok p -> faults_spec := Some p
           | Error msg ->
               Printf.eprintf "bench: --faults: %s\n" msg;
+              exit 2);
+          parse (i + 2)
+      | "--mode" when i + 1 < Array.length argv ->
+          (match Congest.Compiled.mode_of_string argv.(i + 1) with
+          | Some m -> mode := m
+          | None ->
+              Printf.eprintf
+                "bench: --mode: unknown mode %S (expected fiber, compiled or \
+                 auto)\n"
+                argv.(i + 1);
               exit 2);
           parse (i + 2)
       | "--only" when i + 1 < Array.length argv ->
@@ -135,6 +151,13 @@ let timings = !timings
 let faults_spec = !faults_spec
 let trace_path = !trace_path
 let only = !only
+
+(* The execution mode threaded into every tester / Stage I run below.
+   The dispatcher falls back to the fiber engine on runs with faults or
+   tracing attached, and all statistics are byte-identical across modes,
+   so the whole report is mode-invariant (C1 checks that claim on the
+   spot, timing both modes). *)
+let mode = !mode
 
 let want id = match only with None -> true | Some ids -> List.mem id ids
 
@@ -215,7 +238,7 @@ let e1_rounds_vs_n () =
               let side = int_of_float (sqrt (float_of_int n)) in
               Generators.grid side side
         in
-        let r = Tester.Planarity_tester.run ~domains g ~eps:0.3 ~seed:1 in
+        let r = Tester.Planarity_tester.run ~domains ~mode g ~eps:0.3 ~seed:1 in
         ( family,
           Graph.n g,
           Graph.m g,
@@ -256,7 +279,7 @@ let e2_rounds_vs_eps () =
   let results =
     parmap
       (fun eps ->
-        let r = Tester.Planarity_tester.run ~domains g ~eps ~seed:1 in
+        let r = Tester.Planarity_tester.run ~domains ~mode g ~eps ~seed:1 in
         let phases =
           match r.Tester.Planarity_tester.stage1 with
           | Some s1 -> List.length s1.Partition.Stage1.phases
@@ -421,7 +444,7 @@ let e4_soundness () =
 let e5_weight_decay () =
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 5 |]) n in
-  let r = Partition.Stage1.run ~stop_when_met:false ~domains g ~eps:0.35 in
+  let r = Partition.Stage1.run ~stop_when_met:false ~domains ~mode g ~eps:0.35 in
   let live, idle =
     List.partition
       (fun (p : Partition.Stage1.phase_trace) ->
@@ -475,7 +498,7 @@ let e5_weight_decay () =
 let e6_diameter_growth () =
   let side = if quick then 16 else 24 in
   let g = Generators.grid side side in
-  let r = Partition.Stage1.run ~stop_when_met:false ~domains g ~eps:0.4 in
+  let r = Partition.Stage1.run ~stop_when_met:false ~domains ~mode g ~eps:0.4 in
   let shown = ref 0 in
   let rows =
     List.filter_map
@@ -517,7 +540,7 @@ let e7_cut_quality () =
   let results =
     parmap
       (fun eps ->
-        let r = Partition.Stage1.run ~domains g ~eps in
+        let r = Partition.Stage1.run ~domains ~mode g ~eps in
         let cut = Partition.State.cut_edges r.Partition.Stage1.state in
         let target = eps *. float_of_int (Graph.m g) /. 2.0 in
         ( eps,
@@ -558,7 +581,7 @@ let e8_randomized_partition () =
   let g = Generators.grid side side in
   let trials = if quick then 8 else 20 in
   let det =
-    Partition.Stage1.run ~domains g
+    Partition.Stage1.run ~domains ~mode g
       ~eps:(2.0 *. 0.5 *. float_of_int (Graph.n g) /. float_of_int (Graph.m g))
   in
   let det_rounds = det.Partition.Stage1.rounds in
@@ -819,7 +842,7 @@ let e11_minor_free_testers () =
 let e12_emulation_cost () =
   let n = if quick then 300 else 800 in
   let g = Generators.apollonian (Random.State.make [| 9 |]) n in
-  let r = Partition.Stage1.run ~domains g ~eps:0.3 in
+  let r = Partition.Stage1.run ~domains ~mode g ~eps:0.3 in
   let st = r.Partition.Stage1.state in
   let stats = st.Partition.State.stats in
   emit "E12" ~title:"emulation cost accounting"
@@ -873,7 +896,7 @@ let e13_partition_alternatives () =
       (fun n ->
         let g = Generators.apollonian (Random.State.make [| n; 3 |]) n in
         let eps = 0.3 in
-        let s1 = Tester.Planarity_tester.run ~domains g ~eps ~seed:1 in
+        let s1 = Tester.Planarity_tester.run ~domains ~mode g ~eps ~seed:1 in
         let s1_cut =
           match s1.Tester.Planarity_tester.stage1 with
           | Some r -> Partition.State.cut_edges r.Partition.Stage1.state
@@ -882,8 +905,8 @@ let e13_partition_alternatives () =
         let en_part = Partition.En_partition.run g ~eps ~seed:1 in
         let en =
           Tester.Planarity_tester.run
-            ~partition:Tester.Planarity_tester.Exponential_shifts ~domains g
-            ~eps ~seed:1
+            ~partition:Tester.Planarity_tester.Exponential_shifts ~domains
+            ~mode g ~eps ~seed:1
         in
         let verdict r =
           match r.Tester.Planarity_tester.verdict with
@@ -1012,7 +1035,7 @@ let e14_embedding_modes () =
 let a1_selection_rule () =
   let n = if quick then 300 else 600 in
   let g = Generators.apollonian (Random.State.make [| 61 |]) n in
-  let det = Partition.Stage1.run ~domains g ~eps:0.4 in
+  let det = Partition.Stage1.run ~domains ~mode g ~eps:0.4 in
   let avg_ratio phases =
     let rs =
       List.filter_map
@@ -1137,15 +1160,15 @@ let a3_adaptive_schedule () =
        fixed schedule. *)
     List.map
       (fun eps ->
-        let a = Partition.Stage1.run ~domains g ~eps in
+        let a = Partition.Stage1.run ~domains ~mode g ~eps in
         let f_slow, slow_s =
           time (fun () ->
-              Partition.Stage1.run ~stop_when_met:false ~domains
+              Partition.Stage1.run ~stop_when_met:false ~domains ~mode
                 ~fast_forward:false g ~eps)
         in
         let f, fast_s =
           time (fun () ->
-              Partition.Stage1.run ~stop_when_met:false ~domains g ~eps)
+              Partition.Stage1.run ~stop_when_met:false ~domains ~mode g ~eps)
         in
         let stats r =
           r.Partition.Stage1.state.Partition.State.stats
@@ -1212,13 +1235,13 @@ let p1_engine_wallclock () =
   (* Serial timing on purpose; [parmap] concurrency would distort it. *)
   let baseline, base_s =
     time (fun () ->
-        Tester.Planarity_tester.run ~domains:1 ~fast_forward:false g ~eps:0.3
+        Tester.Planarity_tester.run ~domains:1 ~fast_forward:false ~mode g ~eps:0.3
           ~seed:1)
   in
   let run_d d =
     let r, s =
       time (fun () ->
-          Tester.Planarity_tester.run ~domains:d g ~eps:0.3 ~seed:1)
+          Tester.Planarity_tester.run ~domains:d ~mode g ~eps:0.3 ~seed:1)
     in
     (* The determinism contract, checked on the spot: every statistic is
        independent of the domain count and of fast-forwarding. *)
@@ -1354,7 +1377,7 @@ let r1_fault_stability () =
       (fun (fname, gen, planar, pname, pol, seed) ->
         let g = gen seed in
         let r =
-          Tester.Planarity_tester.run ~domains ?faults:(pol seed) g
+          Tester.Planarity_tester.run ~domains ?faults:(pol seed) ~mode g
             ~eps:(if planar then 0.3 else 0.15)
             ~seed
         in
@@ -1455,11 +1478,11 @@ let bechamel_section () =
       mk "lr_planarity_n1000" (fun () ->
           ignore (Planarity.Lr.is_planar g_planarity));
       mk "lr_embed_n1000" (fun () -> ignore (Planarity.Lr.embed g_planarity));
-      mk "stage1_n150" (fun () -> ignore (Partition.Stage1.run g_small ~eps:0.3));
+      mk "stage1_n150" (fun () -> ignore (Partition.Stage1.run ~mode g_small ~eps:0.3));
       mk "full_tester_planar_n150" (fun () ->
-          ignore (Tester.Planarity_tester.run g_small ~eps:0.3 ~seed:1));
+          ignore (Tester.Planarity_tester.run ~mode g_small ~eps:0.3 ~seed:1));
       mk "full_tester_far_n150" (fun () ->
-          ignore (Tester.Planarity_tester.run far ~eps:0.2 ~seed:1));
+          ignore (Tester.Planarity_tester.run ~mode far ~eps:0.2 ~seed:1));
       mk "spanner_n150" (fun () -> ignore (Tester.Spanner.build g_small ~eps:0.3));
       mk "elkin_neiman_n150_k4" (fun () ->
           ignore (Tester.Elkin_neiman.build g_small ~k:4 ~delta:0.2 ~seed:1));
@@ -1534,7 +1557,7 @@ let m1_memory_substrate () =
         let gnode, gedge = Graph.storage_bytes g in
         let r, wall =
           time (fun () ->
-              Tester.Planarity_tester.run ~domains g ~eps:0.3 ~seed:1)
+              Tester.Planarity_tester.run ~domains ~mode g ~eps:0.3 ~seed:1)
         in
         let st =
           match r.Tester.Planarity_tester.stage1 with
@@ -1602,6 +1625,178 @@ let m1_memory_substrate () =
         wall rounds verdict)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Compiled hot path: fiber vs compiled execution (tentpole PR)         *)
+(* ------------------------------------------------------------------ *)
+
+(* C1 times the E1 workloads (planar apollonian and grid at the largest
+   E1 size) under both execution modes and both fast-forward settings,
+   asserting on the spot that every statistic in the report is
+   byte-identical across modes.  The headline metric is per-round
+   throughput — executed rounds per second, measured with fast-forward
+   off so every simulated round is an actual array pass / fiber round —
+   for the compiled path against the fiber reference.  The ff-on rows
+   give the end-to-end wall-clock view of the same runs (there the
+   remaining fiber work — Stage II, general node programs — bounds the
+   ratio by Amdahl's law).
+
+   C1_MIN_SPEEDUP=<x> turns the grid ff-off per-round speedup into a
+   hard gate (exit 1 below x) — the CI compiled leg sets it; unset, C1
+   only reports. *)
+let c1_compiled_hot_path () =
+  let n = if quick then 512 else 2048 in
+  let mk_g family =
+    match family with
+    | "apollonian" -> Generators.apollonian (Random.State.make [| n |]) n
+    | _ ->
+        let side = int_of_float (sqrt (float_of_int n)) in
+        Generators.grid side side
+  in
+  (* Serial timing on purpose; [parmap] concurrency would distort it.
+     Stage I only: that is where the compiled hot path runs (Stage II is
+     a constant number of rounds per part and always uses the fiber
+     engine, so folding it in would just dilute the measurement). *)
+  let point family ff =
+    let g = mk_g family in
+    let run1 m =
+      time (fun () ->
+          Partition.Stage1.run ~measure_diameters:false ~domains:1
+            ~fast_forward:ff ~mode:m g ~eps:0.1)
+    in
+    (* Best-of-3: the per-round gate below compares two wall-clock
+       measurements, so take the minimum over a few reps to keep
+       scheduler noise out of the ratio. *)
+    let run m =
+      let r, s = run1 m in
+      let best = ref s in
+      for _ = 2 to 3 do
+        let _, s' = run1 m in
+        if s' < !best then best := s'
+      done;
+      (r, !best)
+    in
+    ignore (run1 Congest.Compiled.Compiled) (* warm the allocator *);
+    let rf, sf = run Congest.Compiled.Fiber in
+    let rc, sc = run Congest.Compiled.Compiled in
+    let stats (r : Partition.Stage1.result) =
+      r.Partition.Stage1.state.Partition.State.stats
+    in
+    (* The byte-identity contract, checked on the spot. *)
+    assert (
+      rf.Partition.Stage1.rejected = rc.Partition.Stage1.rejected
+      && rf.Partition.Stage1.rounds = rc.Partition.Stage1.rounds
+      && (stats rf).Congest.Stats.messages = (stats rc).Congest.Stats.messages
+      && (stats rf).Congest.Stats.total_bits
+         = (stats rc).Congest.Stats.total_bits
+      && (stats rf).Congest.Stats.fast_forwarded_rounds
+         = (stats rc).Congest.Stats.fast_forwarded_rounds
+      && rf.Partition.Stage1.nominal_rounds
+         = rc.Partition.Stage1.nominal_rounds);
+    let executed =
+      rf.Partition.Stage1.rounds
+      - (stats rf).Congest.Stats.fast_forwarded_rounds
+    in
+    (family, ff, Graph.n g, Graph.m g, rf, executed, sf, sc)
+  in
+  let points =
+    [
+      point "apollonian" false;
+      point "grid" false;
+      point "apollonian" true;
+      point "grid" true;
+    ]
+  in
+  emit "C1" ~title:"compiled hot path: fiber vs compiled execution modes"
+    ~claim:
+      "Stage I lockstep primitives as fiber-free array passes: \
+       byte-identical stats, >=10x per-round throughput on the peeling \
+       rounds (ff off = every simulated round executed individually)"
+    (J.List
+       (List.map
+          (fun (family, ff, gn, gm, rf, executed, sf, sc) ->
+            J.Obj
+              ([
+                 ("family", J.String family);
+                 ("n", J.Int gn);
+                 ("m", J.Int gm);
+                 ("fast_forward", J.Bool ff);
+                 ("rounds", J.Int rf.Partition.Stage1.rounds);
+                 ("executed_rounds", J.Int executed);
+                 ( "messages",
+                   J.Int
+                     rf.Partition.Stage1.state.Partition.State.stats
+                       .Congest.Stats.messages );
+                 ("stats_identical", J.Bool true);
+               ]
+              @
+              if timings then
+                [
+                  ("fiber_seconds", J.Float sf);
+                  ("compiled_seconds", J.Float sc);
+                  ( "fiber_rounds_per_sec",
+                    J.Float (float_of_int executed /. max 1e-9 sf) );
+                  ( "compiled_rounds_per_sec",
+                    J.Float (float_of_int executed /. max 1e-9 sc) );
+                  ("speedup", J.Float (sf /. max 1e-9 sc));
+                ]
+              else []))
+          points));
+  (* eps = 0.1 rather than E1's 0.3: more phases means more peeling
+     super-rounds, which is exactly the hot path this experiment
+     measures (per-phase setup is shared between the modes). *)
+  row
+    "input: E1 graph families at n=%d, eps=0.1 (planar; Stage I partition \
+     only)\n"
+    n;
+  if timings then begin
+    row "%-12s %-5s %-9s %-10s %-10s %-12s %-12s %-8s\n" "family" "ff"
+      "executed" "fiber(s)" "compiled(s)" "fiber r/s" "compiled r/s" "speedup";
+    List.iter
+      (fun (family, ff, _, _, _, executed, sf, sc) ->
+        row "%-12s %-5s %-9d %-10.3f %-10.3f %-12.0f %-12.0f %-8.2fx\n" family
+          (if ff then "on" else "off")
+          executed sf sc
+          (float_of_int executed /. max 1e-9 sf)
+          (float_of_int executed /. max 1e-9 sc)
+          (sf /. max 1e-9 sc))
+      points
+  end
+  else begin
+    row "%-12s %-5s %-9s %-10s %-16s\n" "family" "ff" "rounds" "executed"
+      "stats identical";
+    List.iter
+      (fun (family, ff, _, _, rf, executed, _, _) ->
+        row "%-12s %-5s %-9d %-10d %-16s\n" family
+          (if ff then "on" else "off")
+          rf.Partition.Stage1.rounds executed "yes")
+      points
+  end;
+  match Sys.getenv_opt "C1_MIN_SPEEDUP" with
+  | None -> ()
+  | Some v -> (
+      match float_of_string_opt v with
+      | None ->
+          Printf.eprintf "bench: C1_MIN_SPEEDUP must be a number, got %S\n" v;
+          exit 2
+      | Some min_speedup ->
+          List.iter
+            (fun (family, ff, _, _, _, _, sf, sc) ->
+              if family = "grid" && not ff then begin
+                let speedup = sf /. max 1e-9 sc in
+                if speedup < min_speedup then begin
+                  Printf.eprintf
+                    "bench: C1: grid ff-off per-round speedup %.2fx below \
+                     required %.2fx\n"
+                    speedup min_speedup;
+                  exit 1
+                end
+                else
+                  row
+                    "C1 gate: grid ff-off per-round speedup %.2fx >= %.2fx\n"
+                    speedup min_speedup
+              end)
+            points)
+
 let () =
   if want "E1" then e1_rounds_vs_n ();
   if want "E2" then e2_rounds_vs_eps ();
@@ -1623,6 +1818,7 @@ let () =
   if want "P1" then p1_engine_wallclock ();
   if want "R1" then r1_fault_stability ();
   if want "M1" then m1_memory_substrate ();
+  if want "C1" then c1_compiled_hot_path ();
   if timings && want "B" then bechamel_section ();
   (match !json_path with
   | Some path ->

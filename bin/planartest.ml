@@ -161,13 +161,23 @@ let test_cmd =
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
   let run path eps seed domains stats_json faults_spec trace_out no_ff
-      checkpoint_path checkpoint_every checkpoint_exit no_gt log_level
-      log_json =
+      mode_name checkpoint_path checkpoint_every checkpoint_exit no_gt
+      log_level log_json =
     setup_logs log_level log_json;
     Obs.Log.set_context
       ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
       ();
     let g = read_graph path in
+    let mode =
+      match Congest.Compiled.mode_of_string mode_name with
+      | Some m -> m
+      | None ->
+          Obs.Log.errorf
+            "planartest test: unknown --mode %S (expected fiber, compiled or \
+             auto)"
+            mode_name;
+          exit 2
+    in
     let faults =
       match faults_spec with
       | None -> None
@@ -208,7 +218,7 @@ let test_cmd =
     let r =
       try
         Tester.Planarity_tester.run ?telemetry ?trace ~domains
-          ~fast_forward:(not no_ff) ?faults ?checkpoint g ~eps ~seed
+          ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps ~seed
       with Failure msg when checkpoint_path <> None ->
         Obs.Log.errorf "planartest test: %s" msg;
         exit 2
@@ -285,15 +295,25 @@ let test_cmd =
     in
     Arg.(value & flag & info [ "no-fast-forward" ] ~doc)
   in
+  let mode_arg =
+    let doc =
+      "Execution engine for the lockstep Stage I primitives: $(b,fiber) \
+       (the effect-handler reference engine), $(b,compiled) (fiber-free \
+       array passes; falls back to fiber when faults or --trace are \
+       active), or $(b,auto) (compiled whenever eligible).  The verdict, \
+       statistics and telemetry are byte-identical across modes."
+    in
+    Arg.(value & opt string "fiber" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
   let checkpoint_arg =
     let doc =
       "Checkpoint the run to $(docv) at Stage I phase boundaries and \
        resume from it when the file already exists.  The file is \
        checksummed and parameter-fingerprinted (graph, eps, seed, faults); \
        resuming with different parameters is refused.  A resumed run's \
-       final statistics are byte-identical to an uninterrupted one \
-       (per-round telemetry covers only the phases the resumed process \
-       executed itself)."
+       final statistics, per-round telemetry and .ctrace aggregates are \
+       byte-identical to an uninterrupted one's (host wall-clock \
+       profiles restart at the resume point)."
     in
     Arg.(
       value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
@@ -325,9 +345,9 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run the distributed planarity tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ checkpoint_exit_arg $ no_gt_arg
-      $ log_level_arg $ log_json_arg)
+      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ mode_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_exit_arg
+      $ no_gt_arg $ log_level_arg $ log_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

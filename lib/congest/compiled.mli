@@ -1,0 +1,139 @@
+(** Fiber-free compiled execution for lockstep protocol shapes.
+
+    The general {!Engine} runs one effect-handler fiber per node, which is
+    what makes arbitrary node programs (nested waits, exceptions, local
+    recursion) expressible — but the suspend/resume machinery dominates
+    the inner rounds of the protocols this repository actually runs.
+    Stage I's primitives and the {!Protocols} helpers are all of one
+    restricted shape: a node does some work at start-up, parks for a known
+    number of rounds, and is re-entered once per delivery or deadline with
+    its inbox.  That shape needs no fiber at all: this module executes it
+    as flat array passes over the CSR substrate — one pass per simulated
+    round, no continuations, no per-node stacks, no allocation beyond the
+    messages themselves.
+
+    {b Byte-identity contract.}  For the same graph and the same
+    (deterministic, fault-free) protocol, a compiled run produces
+    {!Stats.t} and {!Telemetry} output byte-identical to the fiber engine
+    at the same [fast_forward] setting: the delivery order (ascending
+    sender, reverse send order within a sender), the inbox construction,
+    bandwidth charging ([max_edge_bits], [oversized], frame counts), round
+    and fast-forward accounting, and the per-round telemetry ticks all
+    replicate {!Engine}'s serial half exactly.  The differential suite in
+    [test/test_prop.ml] and the [make compiled] CI leg enforce this.
+
+    Compiled execution is serial by construction (a round is a single
+    array pass; there is nothing left to parallelize at the per-round cost
+    this module reaches), so telemetry's host-side [max_domains] is 1 —
+    exactly what the fiber engine reports at [~domains:1].
+
+    Fault injection and event tracing are deliberately not implemented
+    here: both hook the fiber engine's delivery loop, and both already
+    force the slow path semantically (faults perturb the lockstep
+    assumptions; traces want fiber park/resume events).  {!pick} returns
+    [false] for them, and callers fall back to the fiber engine. *)
+
+(** Execution-mode knob threaded through [Stage1], [Planarity_tester] and
+    the CLIs ([planartest --mode], [bench --mode]). *)
+type mode =
+  | Fiber  (** always the general effect-handler engine (the default) *)
+  | Compiled
+      (** compiled array passes where the protocol shape allows; silently
+          falls back to the fiber engine under faults or tracing, and for
+          general [run_program]-style node programs *)
+  | Auto  (** [Compiled] when faults and tracing are off, else [Fiber] *)
+
+(** [pick mode ~faults ~trace] decides whether a protocol-shaped run
+    should take the compiled path.  [Fiber] never does; [Compiled] and
+    [Auto] do exactly when no fault policy is active and no trace recorder
+    is attached. *)
+val pick : mode -> faults:bool -> trace:bool -> bool
+
+val mode_to_string : mode -> string
+
+(** Accepted spellings: ["fiber"], ["compiled"], ["auto"]. *)
+val mode_of_string : string -> mode option
+
+(** Per-mode run counters, shared by both engines: the fiber engine
+    increments them with label ["fiber"], compiled runs with
+    ["compiled"].  Stable — simulated round counts are ff- and
+    domain-invariant — so they appear in the metrics stable projection;
+    they are the one family where a fiber-mode and a compiled-mode run of
+    the same workload differ (by the mode label only, never the values). *)
+val m_mode_runs : Obs.Metrics.counter
+
+val m_mode_rounds : Obs.Metrics.counter
+
+module type MESSAGE = sig
+  type t
+
+  val bits : t -> int
+end
+
+module Make (Msg : MESSAGE) : sig
+  (** What a node does next, returned by the [start] / [resume] hooks:
+      [Park k] re-enters the node at the first round with a non-empty
+      inbox, or unconditionally after [k] rounds ([k] is clamped to
+      [>= 1], like the engine's [wait]); [Halt] ends the node. *)
+  type step = Halt | Park of int
+
+  (** Per-run execution context handed to the hooks; carries the current
+      node implicitly, so hooks must only use it synchronously. *)
+  type ctx
+
+  (** Preallocated per-graph delivery state, reusable across runs (the
+      compiled analogue of [Engine.pool], minus fiber storage).  One run
+      at a time; a busy pool falls back to fresh allocation. *)
+  type pool
+
+  val pool : Graphlib.Graph.t -> pool
+
+  (** Queue a message to a neighbor (binary-search edge lookup, exactly
+      like [Engine.send]).  @raise Invalid_argument on a non-neighbor. *)
+  val send : ctx -> dest:int -> Msg.t -> unit
+
+  (** [send_port ctx ~dest ~eid msg] queues on a known incident edge id —
+      no search; for callers iterating an incidence structure.  The
+      directed-edge accounting is identical to {!send}. *)
+  val send_port : ctx -> dest:int -> eid:int -> Msg.t -> unit
+
+  (** Broadcast to all neighbors in port (neighbor-ascending) order,
+      matching [Engine.broadcast]. *)
+  val broadcast : ctx -> Msg.t -> unit
+
+  (** Current round (0 during start-up, [r >= 1] inside round [r]'s
+      resume pass) — same clock as [Engine.round]. *)
+  val round : ctx -> int
+
+  (** Record rejection evidence, like [Engine.reject]. *)
+  val reject : ctx -> string -> unit
+
+  type result = {
+    rejections : (int * int * string) list;
+        (** (round, node, reason), chronological *)
+    stats : Stats.t;
+    completed : bool;  (** false iff [max_rounds] was exhausted *)
+  }
+
+  (** [run g ~start ~resume] drives every node through its [start] hook
+      (ascending id order, round 0), then simulates rounds until every
+      node has halted: deliveries, bandwidth charging, telemetry ticks,
+      fast-forward over quiescent spans and [max_rounds] cut-off all
+      follow [Engine.run]'s serial semantics byte-for-byte.  [resume] is
+      invoked per node (ascending) with the round's inbox — possibly [[]]
+      when the park deadline expired with no traffic.  An exception from
+      a hook aborts the run after the round's accounting, exactly where
+      the fiber engine's propagate mode re-raises.  Defaults match
+      [Engine.run]: bandwidth [Bits.default_bandwidth n], max_rounds
+      1_000_000, fast-forward on. *)
+  val run :
+    ?bandwidth:int ->
+    ?max_rounds:int ->
+    ?telemetry:Telemetry.t ->
+    ?fast_forward:bool ->
+    ?pool:pool ->
+    Graphlib.Graph.t ->
+    start:(ctx -> int -> step) ->
+    resume:(ctx -> int -> (int * Msg.t) list -> step) ->
+    result
+end

@@ -1542,6 +1542,9 @@ module Make (Msg : MESSAGE) = struct
       Obs.Metrics.inc ~labels:[ "duplicated" ] ~by:s.Stats.duplicated m_faults;
       Obs.Metrics.inc ~labels:[ "delayed" ] ~by:s.Stats.delayed m_faults;
       Obs.Metrics.inc ~by:s.Stats.crashed_nodes m_crashed;
+      Obs.Metrics.inc ~labels:[ "fiber" ] Compiled.m_mode_runs;
+      Obs.Metrics.inc ~labels:[ "fiber" ] ~by:s.Stats.rounds
+        Compiled.m_mode_rounds;
       let dt_us =
         int_of_float ((Unix.gettimeofday () -. m_t0) *. 1e6) |> max 0
       in

@@ -9,10 +9,19 @@ module M = struct
 end
 
 module E = Engine.Make (M)
+module C = Compiled.Make (M)
 
 type bfs_result = { parent : int array; level : int array; rounds : int }
 
-let bfs_tree g ~root ~rounds_bound =
+(* Each protocol below exists twice: the fiber program (the reference)
+   and a compiled twin that runs the same per-round logic as flat array
+   passes — one [resume] per node per round instead of one fiber
+   suspend/resume.  The twins replicate the fiber send order exactly
+   (broadcasts in port order, [Child] replies in neighbor order), so
+   Stats and Telemetry are byte-identical; the differential tests in
+   test/test_congest.ml hold them to that. *)
+
+let bfs_tree_fiber g ~root ~rounds_bound =
   let n = Graph.n g in
   let parent = Array.make n (-1) in
   let level = Array.make n (-1) in
@@ -39,7 +48,42 @@ let bfs_tree g ~root ~rounds_bound =
   in
   { parent; level; rounds = res.E.stats.Stats.rounds }
 
-let elect_min_id g ~rounds_bound =
+let bfs_tree_compiled g ~root ~rounds_bound =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let level = Array.make n (-1) in
+  let rem = Array.make n rounds_bound in
+  let res =
+    C.run g
+      ~start:(fun ctx v ->
+        (if v = root then begin
+           level.(v) <- 0;
+           C.broadcast ctx (M.Level 0)
+         end);
+        if rounds_bound <= 0 then C.Halt else C.Park 1)
+      ~resume:(fun ctx v inbox ->
+        List.iter
+          (fun (from, msg) ->
+            match msg with
+            | M.Level d ->
+                if level.(v) < 0 then begin
+                  level.(v) <- d + 1;
+                  parent.(v) <- from;
+                  C.broadcast ctx (M.Level (d + 1))
+                end
+            | _ -> assert false)
+          inbox;
+        rem.(v) <- rem.(v) - 1;
+        if rem.(v) = 0 then C.Halt else C.Park 1)
+  in
+  { parent; level; rounds = res.C.stats.Stats.rounds }
+
+let bfs_tree ?(mode = Compiled.Fiber) g ~root ~rounds_bound =
+  if Compiled.pick mode ~faults:false ~trace:false then
+    bfs_tree_compiled g ~root ~rounds_bound
+  else bfs_tree_fiber g ~root ~rounds_bound
+
+let elect_min_id_fiber g ~rounds_bound =
   let n = Graph.n g in
   let leader = Array.init n (fun v -> v) in
   ignore
@@ -62,11 +106,42 @@ let elect_min_id g ~rounds_bound =
          done));
   leader
 
+let elect_min_id_compiled g ~rounds_bound =
+  let n = Graph.n g in
+  let leader = Array.init n (fun v -> v) in
+  let rem = Array.make n rounds_bound in
+  ignore
+    (C.run g
+       ~start:(fun ctx v ->
+         C.broadcast ctx (M.Leader v);
+         if rounds_bound <= 0 then C.Halt else C.Park 1)
+       ~resume:(fun ctx v inbox ->
+         let improved = ref false in
+         List.iter
+           (fun (_, msg) ->
+             match msg with
+             | M.Leader c ->
+                 if c < leader.(v) then begin
+                   leader.(v) <- c;
+                   improved := true
+                 end
+             | _ -> assert false)
+           inbox;
+         if !improved then C.broadcast ctx (M.Leader leader.(v));
+         rem.(v) <- rem.(v) - 1;
+         if rem.(v) = 0 then C.Halt else C.Park 1));
+  leader
+
+let elect_min_id ?(mode = Compiled.Fiber) g ~rounds_bound =
+  if Compiled.pick mode ~faults:false ~trace:false then
+    elect_min_id_compiled g ~rounds_bound
+  else elect_min_id_fiber g ~rounds_bound
+
 (* Flood-echo on a general graph: the wave builds a BFS tree; on adoption a
    node tells its parent [Child true] and every other neighbor
    [Child false], so each node knows when all neighbor relations are
    resolved and all child counts are in. *)
-let count_nodes g ~root ~rounds_bound =
+let count_nodes_fiber g ~root ~rounds_bound =
   let n = Graph.n g in
   let parent = Array.make n (-2) in
   let total = ref 0 in
@@ -114,3 +189,59 @@ let count_nodes g ~root ~rounds_bound =
         done)
   in
   (!total, res.E.stats.Stats.rounds)
+
+let count_nodes_compiled g ~root ~rounds_bound =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let unknown = Array.init n (fun v -> Graph.degree g v) in
+  let children_pending = Array.make n 0 in
+  let sum = Array.make n 1 in
+  let sent = Bytes.make n '\000' in
+  let rem = Array.make n rounds_bound in
+  let total = ref 0 in
+  (* [Level] broadcast first, then one [Child] per neighbor in port
+     order — the fiber twin's exact send sequence. *)
+  let adopt ctx v from d =
+    parent.(v) <- from;
+    C.broadcast ctx (M.Level (d + 1));
+    Graph.iter_incident g v (fun w e ->
+        C.send_port ctx ~dest:w ~eid:e (M.Child (w = from)))
+  in
+  let res =
+    C.run g
+      ~start:(fun ctx v ->
+        (if v = root then adopt ctx v (-1) (-1));
+        if rounds_bound <= 0 then C.Halt else C.Park 1)
+      ~resume:(fun ctx v inbox ->
+        List.iter
+          (fun (from, msg) ->
+            match msg with
+            | M.Level d -> if parent.(v) = -2 then adopt ctx v from d
+            | M.Child true ->
+                unknown.(v) <- unknown.(v) - 1;
+                children_pending.(v) <- children_pending.(v) + 1
+            | M.Child false -> unknown.(v) <- unknown.(v) - 1
+            | M.Count c ->
+                sum.(v) <- sum.(v) + c;
+                children_pending.(v) <- children_pending.(v) - 1
+            | _ -> assert false)
+          inbox;
+        (if
+           unknown.(v) = 0
+           && children_pending.(v) = 0
+           && Bytes.get sent v = '\000'
+           && parent.(v) >= -1
+         then begin
+           Bytes.set sent v '\001';
+           if parent.(v) >= 0 then C.send ctx ~dest:parent.(v) (M.Count sum.(v))
+           else total := sum.(v)
+         end);
+        rem.(v) <- rem.(v) - 1;
+        if rem.(v) = 0 then C.Halt else C.Park 1)
+  in
+  (!total, res.C.stats.Stats.rounds)
+
+let count_nodes ?(mode = Compiled.Fiber) g ~root ~rounds_bound =
+  if Compiled.pick mode ~faults:false ~trace:false then
+    count_nodes_compiled g ~root ~rounds_bound
+  else count_nodes_fiber g ~root ~rounds_bound

@@ -11,14 +11,28 @@ type bfs_result = {
 }
 
 (** [bfs_tree g ~root ~rounds_bound] floods from [root] for
-    [rounds_bound] rounds (use an eccentricity upper bound, e.g. [n]). *)
-val bfs_tree : Graphlib.Graph.t -> root:int -> rounds_bound:int -> bfs_result
+    [rounds_bound] rounds (use an eccentricity upper bound, e.g. [n]).
+    [?mode] (default [Fiber]) selects the execution engine; the compiled
+    path produces byte-identical results and {!Congest.Stats} (see
+    {!Compiled}). *)
+val bfs_tree :
+  ?mode:Compiled.mode ->
+  Graphlib.Graph.t ->
+  root:int ->
+  rounds_bound:int ->
+  bfs_result
 
 (** Leader election by min-id flooding: every node learns the smallest id
     in its component in (at most) [rounds_bound] rounds; returns the
     per-node leader. *)
-val elect_min_id : Graphlib.Graph.t -> rounds_bound:int -> int array
+val elect_min_id :
+  ?mode:Compiled.mode -> Graphlib.Graph.t -> rounds_bound:int -> int array
 
 (** Flood-echo from [root]: counts the nodes of [root]'s component using a
     spanning-tree convergecast; returns (count, rounds). *)
-val count_nodes : Graphlib.Graph.t -> root:int -> rounds_bound:int -> int * int
+val count_nodes :
+  ?mode:Compiled.mode ->
+  Graphlib.Graph.t ->
+  root:int ->
+  rounds_bound:int ->
+  int * int

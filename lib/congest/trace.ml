@@ -70,8 +70,8 @@ type host_phase = {
 let slot = 7
 
 type t = {
-  cfg : config;
-  ev : int array;  (* ring, cfg.capacity * slot ints *)
+  mutable cfg : config;  (* mutable only for [restore_into] *)
+  mutable ev : int array;  (* ring, cfg.capacity * slot ints *)
   mutable written : int;  (* events ever pushed (ring index = mod cap) *)
   (* Label intern table: spans/phases carry an id, not a string. *)
   labels : (string, int) Hashtbl.t;
@@ -178,6 +178,58 @@ let create ?(config = default_config) () =
   t
 
 let config t = t.cfg
+
+(* Deep snapshot for checkpointing: every recorded field, safe to Marshal
+   (ints, strings, lists and one [Gc.stat] record — no closures). *)
+let copy t =
+  {
+    t with
+    ev = Array.copy t.ev;
+    labels = Hashtbl.copy t.labels;
+    label_names = Array.copy t.label_names;
+  }
+
+let restore_into dst ~from =
+  dst.cfg <- from.cfg;
+  dst.ev <- Array.copy from.ev;
+  dst.written <- from.written;
+  Hashtbl.reset dst.labels;
+  Hashtbl.iter (fun k v -> Hashtbl.add dst.labels k v) from.labels;
+  dst.label_names <- Array.copy from.label_names;
+  dst.label_count <- from.label_count;
+  dst.base <- from.base;
+  dst.meta <- from.meta;
+  dst.t_rounds <- from.t_rounds;
+  dst.t_frames <- from.t_frames;
+  dst.t_bits <- from.t_bits;
+  dst.t_messages <- from.t_messages;
+  dst.t_ff <- from.t_ff;
+  dst.t_dropped <- from.t_dropped;
+  dst.t_duplicated <- from.t_duplicated;
+  dst.t_delayed <- from.t_delayed;
+  dst.t_crashed <- from.t_crashed;
+  dst.t_sampled_out <- from.t_sampled_out;
+  dst.msg_seen <- from.msg_seen;
+  dst.span_seen <- from.span_seen;
+  dst.p_label <- from.p_label;
+  dst.p_rounds <- from.p_rounds;
+  dst.p_bits <- from.p_bits;
+  dst.p_frames <- from.p_frames;
+  dst.p_messages <- from.p_messages;
+  dst.p_ff <- from.p_ff;
+  dst.p_par_rounds <- from.p_par_rounds;
+  dst.p_stepped <- from.p_stepped;
+  dst.p_max_stepped <- from.p_max_stepped;
+  dst.p_max_domains <- from.p_max_domains;
+  dst.sim_closed <- from.sim_closed;
+  dst.host_closed <- from.host_closed;
+  dst.finished <- from.finished;
+  (* Host-side deltas restart at the restore point: wall clock and GC
+     state do not survive a process boundary, so the open phase's host
+     profile measures only post-restore work (same rule as
+     [Telemetry.restore_into]). *)
+  dst.p_wall0 <- Unix.gettimeofday ();
+  dst.p_gc0 <- Gc.quick_stat ()
 
 let push t kind time a b c d e =
   let i = t.written mod t.cfg.capacity * slot in

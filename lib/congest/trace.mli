@@ -57,6 +57,20 @@ val create : ?config:config -> unit -> t
 
 val config : t -> config
 
+(** Deep snapshot of everything recorded so far — ring, labels, exact
+    totals, open-phase accumulators.  Safe to [Marshal]; used by
+    [Report.Checkpoint] so a resumed [--trace] run reproduces the full
+    run's aggregates. *)
+val copy : t -> t
+
+(** [restore_into dst ~from] overwrites [dst] with [from]'s recorded
+    state (ring, labels, totals, phases, base round).  Host-side deltas
+    (wall clock, GC) restart at the restore point — they cannot span a
+    process boundary — so only simulated aggregates are byte-identical
+    across a kill/resume, which is exactly what [planartrace diff]
+    compares. *)
+val restore_into : t -> from:t -> unit
+
 (** Kind of fault-layer event (see {!Faults}). *)
 type fault_kind =
   | Drop

@@ -1,6 +1,7 @@
 open Graphlib
 
 module Eng = State.Eng
+module Cmp = State.Cmp
 
 let sync = Eng.sync
 let wait = Eng.wait
@@ -56,9 +57,64 @@ let run_program ?(seed = 0) (st : State.t) program =
     List.map (fun (_, v, reason) -> (v, reason)) res.Eng.rejections
     @ st.State.rejections
 
+(* The four lockstep primitives below ([refresh_roots], [bcast],
+   [converge], [boundary]) each exist twice: the fiber program above is
+   the reference, and a compiled twin runs the same per-round logic
+   through [Congest.Compiled] — flat array passes, no fibers — with
+   byte-identical Stats/Telemetry (the dispatch is invisible to
+   callers).  General [run_program] node programs always stay on the
+   fiber engine: they can wait at arbitrary nesting depths, which is
+   exactly what the compiled shape gives up. *)
+let compiled_active (st : State.t) =
+  Congest.Compiled.pick st.State.mode
+    ~faults:(Congest.Faults.active st.State.faults)
+    ~trace:(st.State.trace <> None)
+
+(* [run_program]'s compiled counterpart.  Faults are never active here
+   ([compiled_active] excludes them), so an incomplete run is a plain
+   budget failure, never a Degraded verdict. *)
+let run_compiled (st : State.t) ~start ~resume =
+  let res =
+    Cmp.run ?telemetry:st.State.telemetry ~fast_forward:st.State.fast_forward
+      ~pool:(State.cmp_pool st) st.State.graph ~start ~resume
+  in
+  Congest.Stats.add_into st.State.stats res.Cmp.stats;
+  if not res.Cmp.completed then failwith "Prims: node program did not complete";
+  st.State.rejections <-
+    List.map (fun (_, v, reason) -> (v, reason)) res.Cmp.rejections
+    @ st.State.rejections
+
+let refresh_roots_compiled (st : State.t) =
+  let g = st.State.graph in
+  run_compiled st
+    ~start:(fun ctx v ->
+      let nd = State.node st v in
+      Graph.iter_incident g v (fun nbr e ->
+          Cmp.send_port ctx ~dest:nbr ~eid:e (Msg.Root nd.State.part_root));
+      Cmp.Park 1)
+    ~resume:(fun _ctx v inbox ->
+      let nd = State.node st v in
+      (* Inbox senders arrive in ascending order, matching port order, so
+         one pointer walks both in a single merged pass (no [incident]
+         allocation on this path). *)
+      let port = ref 0 in
+      List.iter
+        (fun (from, msg) ->
+          match msg with
+          | Msg.Root r ->
+              while Graph.nbr g v !port <> from do
+                incr port
+              done;
+              nd.State.nbr_root.(!port) <- r
+          | _ -> assert false)
+        inbox;
+      Cmp.Halt)
+
 let refresh_roots st =
   traced st "refresh_roots" @@ fun () ->
-  run_program st (fun ctx nd ->
+  if compiled_active st then refresh_roots_compiled st
+  else
+    run_program st (fun ctx nd ->
       Array.iter
         (fun (nbr, _) -> Eng.send ctx ~dest:nbr (Msg.Root nd.State.part_root))
         (Graph.incident st.State.graph nd.State.id);
@@ -78,9 +134,45 @@ let refresh_roots st =
           | _ -> assert false)
         inbox)
 
+let bcast_compiled (st : State.t) ~budget ~tag ~at_root ~on_receive =
+  let relay ctx nd payload =
+    List.iter
+      (fun c -> Cmp.send ctx ~dest:c (Msg.Down (tag, payload)))
+      nd.State.children
+  in
+  run_compiled st
+    ~start:(fun ctx v ->
+      let nd = State.node st v in
+      (if State.is_root st v then
+         match at_root nd with
+         | Some payload ->
+             on_receive nd payload;
+             relay ctx nd payload
+         | None -> ());
+      if budget > 0 then Cmp.Park budget else Cmp.Halt)
+    ~resume:(fun ctx v inbox ->
+      let nd = State.node st v in
+      List.iter
+        (fun (from, msg) ->
+          match msg with
+          | Msg.Down (t, payload) ->
+              if t <> tag then
+                failwith
+                  (Printf.sprintf "bcast: lockstep violation (tag %d vs %d)" t
+                     tag);
+              assert (from = nd.State.parent);
+              on_receive nd payload;
+              relay ctx nd payload
+          | _ -> assert false)
+        inbox;
+      let left = budget - Cmp.round ctx in
+      if left > 0 then Cmp.Park left else Cmp.Halt)
+
 let bcast st ~budget ~tag ~at_root ~on_receive =
   traced st "bcast" @@ fun () ->
-  run_program st (fun ctx nd ->
+  if compiled_active st then bcast_compiled st ~budget ~tag ~at_root ~on_receive
+  else
+    run_program st (fun ctx nd ->
       let relay payload =
         List.iter
           (fun c -> Eng.send ctx ~dest:c (Msg.Down (tag, payload)))
@@ -110,9 +202,65 @@ let bcast st ~budget ~tag ~at_root ~on_receive =
                  relay payload
              | _ -> assert false)))
 
+let converge_compiled (st : State.t) ~budget ~tag ~init ~combine ~encode
+    ~decode ~at_root =
+  let n = Graph.n st.State.graph in
+  let pending = Array.make n 0 in
+  let accs = Array.make n None in
+  let sent = Bytes.make n '\000' in
+  let maybe_send ctx v nd =
+    if pending.(v) = 0 && Bytes.get sent v = '\000' then begin
+      Bytes.set sent v '\001';
+      let acc = Option.get accs.(v) in
+      if nd.State.parent >= 0 then
+        Cmp.send ctx ~dest:nd.State.parent (Msg.Up (tag, encode acc))
+      else at_root nd acc
+    end
+  in
+  run_compiled st
+    ~start:(fun ctx v ->
+      let nd = State.node st v in
+      pending.(v) <- List.length nd.State.children;
+      accs.(v) <- Some (init nd);
+      maybe_send ctx v nd;
+      if budget > 0 then Cmp.Park budget
+      else if Bytes.get sent v = '\000' then
+        failwith "converge: budget too small for tree depth"
+      else Cmp.Halt)
+    ~resume:(fun ctx v inbox ->
+      let nd = State.node st v in
+      (* As in the fiber twin's [wait_rounds]: the processing hook only
+         runs on a non-empty inbox (a deadline wake-up with no traffic
+         changes nothing). *)
+      (if inbox <> [] then begin
+         List.iter
+           (fun (from, msg) ->
+             match msg with
+             | Msg.Up (t, payload) ->
+                 if t <> tag then
+                   failwith
+                     (Printf.sprintf
+                        "converge: lockstep violation (tag %d vs %d)" t tag);
+                 if not (List.mem from nd.State.children) then
+                   failwith "converge: message from non-child";
+                 accs.(v) <- Some (combine (Option.get accs.(v)) (decode payload));
+                 pending.(v) <- pending.(v) - 1
+             | _ -> assert false)
+           inbox;
+         maybe_send ctx v nd
+       end);
+      let left = budget - Cmp.round ctx in
+      if left > 0 then Cmp.Park left
+      else if Bytes.get sent v = '\000' then
+        failwith "converge: budget too small for tree depth"
+      else Cmp.Halt)
+
 let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
   traced st "converge" @@ fun () ->
-  run_program st (fun ctx nd ->
+  if compiled_active st then
+    converge_compiled st ~budget ~tag ~init ~combine ~encode ~decode ~at_root
+  else
+    run_program st (fun ctx nd ->
       let pending = ref (List.length nd.State.children) in
       let acc = ref (init nd) in
       let sent = ref false in
@@ -147,9 +295,44 @@ let converge st ~budget ~tag ~init ~combine ~encode ~decode ~at_root =
           maybe_send ());
       if not !sent then failwith "converge: budget too small for tree depth")
 
+let boundary_compiled (st : State.t) ~tag ~payload ~on_receive =
+  let g = st.State.graph in
+  run_compiled st
+    ~start:(fun ctx v ->
+      let nd = State.node st v in
+      let deg = Graph.degree g v in
+      for port = 0 to deg - 1 do
+        if nd.State.nbr_root.(port) <> nd.State.part_root then begin
+          let nbr = Graph.nbr g v port in
+          match payload nd ~port ~nbr with
+          | Some pl ->
+              Cmp.send_port ctx ~dest:nbr
+                ~eid:(Graph.incident_eid g v port)
+                (Msg.Bdry (tag, pl))
+          | None -> ()
+        end
+      done;
+      Cmp.Park 1)
+    ~resume:(fun _ctx v inbox ->
+      let nd = State.node st v in
+      List.iter
+        (fun (from, msg) ->
+          match msg with
+          | Msg.Bdry (t, pl) ->
+              if t <> tag then
+                failwith
+                  (Printf.sprintf "boundary: lockstep violation (tag %d vs %d)"
+                     t tag);
+              on_receive nd ~nbr:from pl
+          | _ -> assert false)
+        inbox;
+      Cmp.Halt)
+
 let boundary st ~tag ~payload ~on_receive =
   traced st "boundary" @@ fun () ->
-  run_program st (fun ctx nd ->
+  if compiled_active st then boundary_compiled st ~tag ~payload ~on_receive
+  else
+    run_program st (fun ctx nd ->
       let inc = Graph.incident st.State.graph nd.State.id in
       Array.iteri
         (fun port (nbr, _) ->

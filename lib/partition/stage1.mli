@@ -66,6 +66,11 @@ val phases_for : eps:float -> alpha:int -> int
            run (see {!Congest.Faults}).  A fault-broken execution returns
            with [degraded = Some _] instead of raising; rejections found
            under faults are not trustworthy evidence.
+    @param mode execution mode for the lockstep primitives (default
+           [Fiber]): [Compiled]/[Auto] run them as fiber-free array
+           passes when no faults and no trace are attached, with
+           byte-identical results, Stats and Telemetry (see
+           {!Congest.Compiled}).
     @param state run on this pre-built {!State.t} instead of
            [State.create g] — the resume half of checkpointing (restore a
            state with {!State.restore}, then pass it here together with
@@ -94,6 +99,7 @@ val run :
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->
+  ?mode:Congest.Compiled.mode ->
   ?state:State.t ->
   ?resume:int * phase_trace list ->
   ?on_phase:(int -> phase_trace list -> unit) ->

@@ -1,6 +1,7 @@
 open Graphlib
 
 module Eng = Congest.Engine.Make (Msg)
+module Cmp = Congest.Compiled.Make (Msg)
 
 type node = {
   id : int;
@@ -43,6 +44,8 @@ type t = {
   mutable domains : int;
   mutable fast_forward : bool;
   mutable faults : Congest.Faults.policy option;
+  mutable mode : Congest.Compiled.mode;
+  mutable cpool : Cmp.pool option;  (* lazily allocated on first compiled run *)
 }
 
 let create g =
@@ -89,6 +92,8 @@ let create g =
     domains = 1;
     fast_forward = true;
     faults = None;
+    mode = Congest.Compiled.Fiber;
+    cpool = None;
   }
 
 let restore g ~nodes ~stats ~rejections ~nominal_rounds =
@@ -106,7 +111,17 @@ let restore g ~nodes ~stats ~rejections ~nominal_rounds =
     domains = 1;
     fast_forward = true;
     faults = None;
+    mode = Congest.Compiled.Fiber;
+    cpool = None;
   }
+
+let cmp_pool st =
+  match st.cpool with
+  | Some p -> p
+  | None ->
+      let p = Cmp.pool st.graph in
+      st.cpool <- Some p;
+      p
 
 let node st v = st.nodes.(v)
 let is_root st v = st.nodes.(v).part_root = v

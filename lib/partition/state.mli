@@ -10,6 +10,11 @@
     preallocated {!Congest.Engine.Make.pool} serves every run). *)
 module Eng : module type of Congest.Engine.Make (Msg)
 
+(** The compiled (fiber-free) twin over the same message type; the
+    lockstep {!Prims} primitives dispatch to it when {!t.mode} selects
+    the compiled path (see {!Congest.Compiled}). *)
+module Cmp : module type of Congest.Compiled.Make (Msg)
+
 type node = {
   id : int;
   mutable part_root : int;
@@ -89,6 +94,16 @@ type t = {
           injects the deterministic fault schedule it describes; a run
           that cannot complete under it raises {!Congest.Faults.Degraded}
           rather than failing silently *)
+  mutable mode : Congest.Compiled.mode;
+      (** execution mode for the lockstep {!Prims} primitives (default
+          [Fiber]); [Compiled]/[Auto] run them as fiber-free array passes
+          when no faults and no trace are attached — accounting is
+          byte-identical either way (see {!Congest.Compiled}).  General
+          {!Prims.run_program} node programs always use the fiber
+          engine. *)
+  mutable cpool : Cmp.pool option;
+      (** reusable compiled-path delivery state, allocated lazily by
+          {!cmp_pool} on the first compiled run *)
 }
 
 (** Fresh state: singleton parts, every node the root of its own part. *)
@@ -110,6 +125,9 @@ val restore :
   rejections:(int * string) list ->
   nominal_rounds:int ->
   t
+
+(** The state's compiled-path pool, allocating it on first use. *)
+val cmp_pool : t -> Cmp.pool
 
 val node : t -> int -> node
 

@@ -4,7 +4,9 @@
    Layout, all bytes big-endian-free (no integers outside the marshalled
    payload):
 
-     bytes 0..7    magic "PLNRCK01" (version in the last two digits)
+     bytes 0..7    magic "PLNRCK02" (version in the last two digits;
+                   02 added the optional event-trace state to the
+                   snapshot, so 01 files no longer load)
      bytes 8..23   MD5 digest of the body
      bytes 24..    body = Marshal.to_string (fingerprint, snapshot)
 
@@ -20,7 +22,7 @@
 
 module PT = Tester.Planarity_tester
 
-let magic = "PLNRCK01"
+let magic = "PLNRCK02"
 
 let fingerprint g ~eps ~seed ~alpha ~faults =
   Printf.sprintf "graph=%Lx eps=%h seed=%d alpha=%d faults=%s"

@@ -29,6 +29,9 @@ type snapshot = {
   ck_telemetry : Congest.Telemetry.t option;
       (** per-round series recorded up to the snapshot, when the
           checkpointed run had a telemetry recorder attached *)
+  ck_trace : Congest.Trace.t option;
+      (** event-trace state recorded up to the snapshot, when the
+          checkpointed run had a trace recorder attached *)
 }
 
 type checkpoint = {
@@ -54,7 +57,8 @@ type report = {
 
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     ?(embedding = Stage2.Oracle) ?(measure_diameters = false) ?telemetry
-    ?trace ?(domains = 1) ?(fast_forward = true) ?faults ?checkpoint g ~eps =
+    ?trace ?(domains = 1) ?(fast_forward = true) ?faults
+    ?(mode = Congest.Compiled.Fiber) ?checkpoint g ~eps =
   let faults_active = Congest.Faults.active faults in
   (match (checkpoint, partition) with
   | Some ck, _ when ck.every < 1 ->
@@ -72,7 +76,7 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
         | None ->
             let r =
               Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
-                ~domains ~fast_forward ?faults g ~eps
+                ~domains ~fast_forward ?faults ~mode g ~eps
             in
             (Some r, r.Partition.Stage1.state)
         | Some ck ->
@@ -87,6 +91,14 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
                   (match (s.ck_telemetry, telemetry) with
                   | Some src, Some dst ->
                       Congest.Telemetry.restore_into dst ~from:src
+                  | _ -> ());
+                  (* Same splice for the event trace: the resumed run's
+                     .ctrace then carries the pre-interruption rounds,
+                     phases and aggregate totals as if never stopped
+                     (host-clock deltas restart — see
+                     {!Congest.Trace.restore_into}). *)
+                  (match (s.ck_trace, trace) with
+                  | Some src, Some dst -> Congest.Trace.restore_into dst ~from:src
                   | _ -> ());
                   ( Partition.State.restore g ~nodes:s.ck_nodes
                       ~stats:s.ck_stats ~rejections:s.ck_rejections
@@ -107,12 +119,13 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
                     ck_rejections = st0.Partition.State.rejections;
                     ck_nominal_rounds = st0.Partition.State.nominal_rounds;
                     ck_telemetry = Option.map Congest.Telemetry.copy telemetry;
+                    ck_trace = Option.map Congest.Trace.copy trace;
                   }
             in
             let r =
               Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
-                ~domains ~fast_forward ?faults ~state:st0 ?resume ~on_phase g
-                ~eps
+                ~domains ~fast_forward ?faults ~mode ~state:st0 ?resume
+                ~on_phase g ~eps
             in
             (Some r, r.Partition.Stage1.state))
     | Exponential_shifts ->
@@ -126,6 +139,7 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
            from here on (Stage II); the centralized En clustering above
            already ran. *)
         st.Partition.State.faults <- faults;
+        st.Partition.State.mode <- mode;
         (None, st)
   in
   let degraded = ref None in

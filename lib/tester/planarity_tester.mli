@@ -45,6 +45,13 @@ type snapshot = {
           restored into the resuming run's recorder so the final
           telemetry — and hence the whole stats JSON — matches an
           uninterrupted run *)
+  ck_trace : Congest.Trace.t option;
+      (** the event-trace state recorded up to the snapshot (deep copy);
+          restored into the resuming run's recorder so the resumed
+          .ctrace carries the pre-interruption rounds, phase records and
+          aggregate totals — [planartrace diff] then matches an
+          uninterrupted run (host wall-clock/GC deltas restart at the
+          resume point; see {!Congest.Trace.restore_into}) *)
 }
 
 (** Checkpoint control, storage-agnostic: the tester calls [load] once at
@@ -100,13 +107,19 @@ type report = {
     clustering itself is unaffected, like telemetry): the verdict is then
     [Accept], [Degraded] — or [Reject] only when no fault actually fired,
     so the report is identical for any [domains] and [fast_forward]
-    setting, faults included.  [checkpoint] enables phase-boundary
+    setting, faults included.  [mode] selects the execution engine for the
+    lockstep Stage I primitives (default [Fiber]): [Compiled]/[Auto] run
+    them as fiber-free array passes when no faults and no trace are
+    attached, with a byte-identical report, Stats and Telemetry (see
+    {!Congest.Compiled}); Stage II and general node programs always use
+    the fiber engine.  [checkpoint] enables phase-boundary
     checkpoint/resume (see {!checkpoint}); it requires the [Stage_one]
     partition and raises [Invalid_argument] with [Exponential_shifts].
-    Snapshots carry the telemetry series, so a resumed run's stats JSON
-    (verdict, totals and per-round telemetry) is byte-identical to an
-    uninterrupted run's; event traces ([trace]) are not snapshotted — a
-    resumed run's .ctrace covers only the phases it executed itself. *)
+    Snapshots carry the telemetry series and the event-trace state, so a
+    resumed run's stats JSON (verdict, totals and per-round telemetry)
+    is byte-identical to an uninterrupted run's, and a resumed run's
+    .ctrace aggregates match an uninterrupted run's under [planartrace
+    diff] (host wall-clock/GC deltas restart at the resume point). *)
 val run :
   ?seed:int ->
   ?alpha:int ->
@@ -118,6 +131,7 @@ val run :
   ?domains:int ->
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->
+  ?mode:Congest.Compiled.mode ->
   ?checkpoint:checkpoint ->
   Graphlib.Graph.t ->
   eps:float ->

@@ -13,6 +13,7 @@ let check = Alcotest.check
 let ci = Alcotest.int
 let cb = Alcotest.bool
 
+let planartest = "../bin/planartest.exe"
 let planartrace = "../bin/planartrace.exe"
 let planarmon = "../bin/planarmon.exe"
 let bench = "../bench/main.exe"
@@ -149,6 +150,57 @@ let test_bench_rejects_unknown_experiment () =
   check ci "unknown experiment id exits 2" 2 code;
   check cb "stderr names the id" true (contains err "E99")
 
+(* ------------------------------------------------------------------ *)
+(* --mode: execution-engine selection on both CLIs                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_graph f =
+  let path = Filename.temp_file "modegraph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, out, _ =
+        run [ planartest; "gen"; "--family"; "cycle"; "-n"; "32" ]
+      in
+      check ci "gen exits 0" 0 code;
+      write_file path out;
+      f path)
+
+let test_bench_rejects_unknown_mode () =
+  let code, _, err = run [ bench; "--mode"; "bogus"; "--quick" ] in
+  check ci "unknown --mode exits 2" 2 code;
+  check cb "stderr names the bad value" true (contains err "bogus")
+
+let test_planartest_rejects_unknown_mode () =
+  with_graph (fun g ->
+      let code, _, err =
+        run [ planartest; "test"; g; "--eps"; "0.3"; "--mode"; "bogus" ]
+      in
+      check ci "unknown --mode exits 2" 2 code;
+      check cb "stderr names the bad value" true (contains err "bogus"))
+
+let test_planartest_mode_stats_identical () =
+  with_graph (fun g ->
+      let stats mode =
+        let out = Filename.temp_file "modestats" ".json" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove out)
+          (fun () ->
+            let code, _, _ =
+              run
+                [
+                  planartest; "test"; g; "--eps"; "0.3"; "--mode"; mode;
+                  "--stats-json"; out; "--log-level"; "warn";
+                ]
+            in
+            check ci (mode ^ " run exits 0") 0 code;
+            slurp out)
+      in
+      check Alcotest.string "fiber and compiled stats JSON are byte-identical"
+        (stats "fiber") (stats "compiled");
+      check Alcotest.string "auto matches fiber too" (stats "fiber")
+        (stats "auto"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -177,5 +229,14 @@ let () =
             test_bench_stream_split;
           Alcotest.test_case "unknown --only id exits 2" `Quick
             test_bench_rejects_unknown_experiment;
+          Alcotest.test_case "unknown --mode exits 2" `Quick
+            test_bench_rejects_unknown_mode;
+        ] );
+      ( "mode",
+        [
+          Alcotest.test_case "planartest unknown --mode exits 2" `Quick
+            test_planartest_rejects_unknown_mode;
+          Alcotest.test_case "planartest stats identical across modes" `Quick
+            test_planartest_mode_stats_identical;
         ] );
     ]

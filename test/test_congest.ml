@@ -1059,6 +1059,36 @@ let test_protocols_count_qcheck =
       let count, _ = Congest.Protocols.count_nodes g ~root:0 ~rounds_bound:(3 * n + 4) in
       count = List.length members)
 
+(* The compiled execution path must be indistinguishable from the fiber
+   engine on every protocol it recognizes — same outputs, same round
+   counts — across connected and disconnected random inputs. *)
+let test_protocols_compiled_differential =
+  QCheck.Test.make
+    ~name:"protocols: compiled mode == fiber mode on random graphs" ~count:30
+    QCheck.(pair (int_range 2 40) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 31 |] in
+      let g = Generators.gnp rng n 0.2 in
+      let run mode =
+        let bfs =
+          Congest.Protocols.bfs_tree ~mode g ~root:0 ~rounds_bound:(Graph.n g)
+        in
+        let leaders =
+          Congest.Protocols.elect_min_id ~mode g ~rounds_bound:(Graph.n g)
+        in
+        let count =
+          Congest.Protocols.count_nodes ~mode g ~root:0
+            ~rounds_bound:((3 * n) + 4)
+        in
+        ( (bfs.Congest.Protocols.parent, bfs.Congest.Protocols.level,
+           bfs.Congest.Protocols.rounds),
+          leaders, count )
+      in
+      run Congest.Compiled.Fiber = run Congest.Compiled.Compiled
+      ||
+      QCheck.Test.fail_reportf "compiled/fiber divergence at n=%d seed=%d" n
+        seed)
+
 
 (* ------------------------------------------------------------------ *)
 (* Million-node substrate: pooled buffers and delay buckets            *)
@@ -1280,5 +1310,6 @@ let () =
           Alcotest.test_case "min-id leader" `Quick test_protocols_leader;
           Alcotest.test_case "flood-echo count" `Quick test_protocols_count;
           q test_protocols_count_qcheck;
+          q test_protocols_compiled_differential;
         ] );
     ]

@@ -15,6 +15,10 @@
      on/off, and any fault seed — the PR 2 determinism contract extended
      to fault injection.
 
+   - The compiled execution mode (Congest.Compiled) is observationally
+     equal to the fiber engine: verdict, stats fingerprint and telemetry
+     JSON agree for every mode x fast-forward combination.
+
    Plus a fuzz of the Bits framing path: fragment/reassemble round-trips,
    frames always fit the bandwidth, and any lossy or spliced frame set
    reassembles to None (detectable silence), never to a wrong payload.
@@ -184,6 +188,46 @@ let prop_stats_invariance =
                   domains fast_forward)
             [ true; false ])
         (domains_list 1))
+
+(* --- 3b. compiled hot path == fiber engine --------------------------- *)
+
+(* The execution mode must be invisible in every observable: verdict,
+   full stats fingerprint INCLUDING fast_forwarded_rounds (both engines
+   make the same fast-forward decisions), and the per-round telemetry
+   JSON.  Run on planar and far inputs so both accepting and rejecting
+   Stage I paths cross the compiled primitives. *)
+let prop_compiled_matches_fiber =
+  QCheck.Test.make
+    ~name:"compiled mode == fiber mode (verdict + stats + telemetry JSON)"
+    ~count:12
+    QCheck.(
+      triple (int_range 0 3) (int_range 8 60) (int_range 0 10000))
+    (fun (family, n, seed) ->
+      let g = graph_of ~family ~n ~seed in
+      let eps = 0.25 +. float_of_int (seed mod 4) /. 10.0 in
+      let observe mode fast_forward =
+        let telemetry = Congest.Telemetry.create () in
+        let r =
+          PT.run ~telemetry ~domains:1 ~fast_forward ~mode g ~eps ~seed
+        in
+        ( fingerprint r,
+          r.PT.fast_forwarded_rounds,
+          Congest.Telemetry.Json.to_string (Congest.Telemetry.to_json telemetry)
+        )
+      in
+      List.for_all
+        (fun fast_forward ->
+          let base = observe Congest.Compiled.Fiber fast_forward in
+          List.for_all
+            (fun mode ->
+              if observe mode fast_forward = base then true
+              else
+                QCheck.Test.fail_reportf
+                  "mode %s diverges from fiber: %s n=%d seed=%d eps=%.2f ff=%b"
+                  (Congest.Compiled.mode_to_string mode)
+                  (family_name family) n seed eps fast_forward)
+            [ Congest.Compiled.Compiled; Congest.Compiled.Auto ])
+        [ true; false ])
 
 (* --- 4. fuzz the framing / fragmentation path ------------------------ *)
 
@@ -373,6 +417,7 @@ let () =
         [
           to_alcotest prop_planar_never_rejects;
           to_alcotest prop_stats_invariance;
+          to_alcotest prop_compiled_matches_fiber;
         ] );
       ( "bits-fuzz",
         [

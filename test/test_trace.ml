@@ -284,6 +284,83 @@ let test_tester_trace_determinism () =
          | _ -> false)
        (events t1))
 
+(* Satellite of the compiled-mode PR: checkpoint snapshots now carry the
+   trace state, so a killed-and-resumed --trace run must produce the same
+   .ctrace aggregates as an uninterrupted one.  Host-side wall-clock and
+   GC deltas legitimately restart at the resume point, so the comparison
+   is on the simulated side: totals, per-phase aggregates, config. *)
+exception Simulated_kill
+
+let test_checkpoint_resume_trace_identical () =
+  let g = Generators.grid 20 20 in
+  let eps = 0.05 and seed = 2 in
+  let tr_ref = T.create () in
+  ignore (Tester.Planarity_tester.run ~trace:tr_ref g ~eps ~seed);
+  T.finish tr_ref;
+  let store = ref None in
+  let tr1 = T.create () in
+  let kill_ck =
+    {
+      Tester.Planarity_tester.every = 1;
+      load = (fun () -> None);
+      save =
+        (fun s ->
+          (* Marshal round-trip: the snapshot (trace state included) must
+             be marshal-safe, exactly as the file container stores it. *)
+          store := Some (Marshal.from_string (Marshal.to_string s []) 0);
+          raise Simulated_kill);
+    }
+  in
+  (try
+     ignore
+       (Tester.Planarity_tester.run ~trace:tr1 ~checkpoint:kill_ck g ~eps
+          ~seed);
+     Alcotest.fail "simulated kill did not propagate"
+   with Simulated_kill -> ());
+  (match !store with
+  | Some s ->
+      check cb "snapshot carries the trace state" true
+        (s.Tester.Planarity_tester.ck_trace <> None)
+  | None -> Alcotest.fail "no snapshot captured");
+  let tr2 = T.create () in
+  let resume_ck =
+    {
+      Tester.Planarity_tester.every = 1;
+      load = (fun () -> !store);
+      save = (fun _ -> ());
+    }
+  in
+  ignore
+    (Tester.Planarity_tester.run ~trace:tr2 ~checkpoint:resume_ck g ~eps ~seed);
+  T.finish tr2;
+  check cb "sim totals identical after kill+resume" true
+    (sim_totals (T.totals tr_ref) = sim_totals (T.totals tr2));
+  check cb "sim phases identical after kill+resume" true
+    (T.sim_phases tr_ref = T.sim_phases tr2);
+  check cb "config identical" true (T.config tr_ref = T.config tr2)
+
+(* The snapshot plumbing underneath: copy is a deep, independent image
+   and restore_into overwrites the destination with it. *)
+let test_copy_restore_into () =
+  let tr = T.create () in
+  ignore (star_run ~trace:tr ());
+  T.finish tr;
+  let snap = T.copy tr in
+  check cb "copy preserves totals" true (T.totals snap = T.totals tr);
+  check cb "copy preserves events" true (events snap = events tr);
+  (* Mutating the original must not leak into the copy... *)
+  ignore (star_run ~trace:tr ());
+  check cb "copy unaffected by later recording" true
+    (sim_totals (T.totals snap) <> sim_totals (T.totals tr));
+  (* ...and restore_into brings a fresh recorder to the copied state. *)
+  let dst = T.create () in
+  T.restore_into dst ~from:snap;
+  check cb "restore_into reproduces totals" true
+    (T.totals dst = T.totals snap);
+  check cb "restore_into reproduces events" true (events dst = events snap);
+  check cb "restore_into reproduces phases" true
+    (T.sim_phases dst = T.sim_phases snap)
+
 (* ------------------------------------------------------------------ *)
 (* Ctrace: binary round-trip                                           *)
 (* ------------------------------------------------------------------ *)
@@ -419,6 +496,13 @@ let () =
             test_fast_forward_invariance;
           Alcotest.test_case "tester threads labels; deterministic" `Quick
             test_tester_trace_determinism;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "kill + resume keeps .ctrace aggregates" `Quick
+            test_checkpoint_resume_trace_identical;
+          Alcotest.test_case "copy / restore_into round-trip" `Quick
+            test_copy_restore_into;
         ] );
       ( "export",
         [
