@@ -1,5 +1,5 @@
 .PHONY: all build test bench fuzz trace monitor monitor-baseline scale \
-  compiled ci clean
+  compiled testers ci clean
 
 all: build
 
@@ -164,12 +164,56 @@ compiled: build
 	env C1_MIN_SPEEDUP=$(C1_MIN_SPEEDUP) ./_build/default/bench/main.exe \
 	  --only C1 --json $(COMPILED_DIR)/c1.json
 
+# Tester-portfolio gate (also a CI leg).  Three parts:
+#   1. the harness unit suite: verdict plumbing, Degraded propagation
+#      under faults, checkpoint validation, eps-clamp boundaries for
+#      both budgets.
+#   2. the portfolio differential suite under a pinned QCHECK_SEED:
+#      bipartiteness / cycle-freeness testers vs the centralized
+#      references, never-reject on holding inputs (faults off or on),
+#      certified-far instances rejecting deterministically, and the
+#      domains x ff x mode totals invariance.  On failure the shrunk
+#      qcheck counterexample is in the captured log under TESTERS_DIR
+#      for CI artifact upload — paste it into a regression test.
+#   3. a quick T1 portfolio run (T1 hard-asserts every
+#      (property, instance) verdict internally and exits 1 on any
+#      mismatch), plus CLI byte-identity of the new testers' stats JSON
+#      across --mode fiber/compiled.
+TESTERS_DIR ?= /tmp/planartesters
+testers: build
+	mkdir -p $(TESTERS_DIR)
+	./_build/default/test/test_tester_harness.exe \
+	  > $(TESTERS_DIR)/harness.txt 2>&1; \
+	  code=$$?; cat $(TESTERS_DIR)/harness.txt; exit $$code
+	env QCHECK_SEED=20260809 \
+	  ./_build/default/test/test_prop.exe test portfolio \
+	  > $(TESTERS_DIR)/portfolio.txt 2>&1; \
+	  code=$$?; cat $(TESTERS_DIR)/portfolio.txt; exit $$code
+	dune exec bench/main.exe -- --quick --no-timings --only T1 \
+	  --json $(TESTERS_DIR)/t1.json
+	./_build/default/bin/planartest.exe gen --family grid --n 256 \
+	  > $(TESTERS_DIR)/g.txt
+	./_build/default/bin/planartest.exe test $(TESTERS_DIR)/g.txt --eps 0.3 \
+	  --property bipartite --mode fiber \
+	  --stats-json $(TESTERS_DIR)/bip-fiber.json --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(TESTERS_DIR)/g.txt --eps 0.3 \
+	  --property bipartite --mode compiled \
+	  --stats-json $(TESTERS_DIR)/bip-compiled.json --log-level warn > /dev/null
+	cmp $(TESTERS_DIR)/bip-fiber.json $(TESTERS_DIR)/bip-compiled.json
+	./_build/default/bin/planartest.exe test $(TESTERS_DIR)/g.txt --eps 0.3 \
+	  --property cycle-free --mode fiber \
+	  --stats-json $(TESTERS_DIR)/cyc-fiber.json --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(TESTERS_DIR)/g.txt --eps 0.3 \
+	  --property cycle-free --mode compiled \
+	  --stats-json $(TESTERS_DIR)/cyc-compiled.json --log-level warn > /dev/null
+	cmp $(TESTERS_DIR)/cyc-fiber.json $(TESTERS_DIR)/cyc-compiled.json
+
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace monitor scale compiled
+ci: build test trace monitor scale compiled testers
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -50,7 +50,7 @@ let log_json = ref None
 (* Every experiment id `--only` accepts, in run order. *)
 let known_ids =
   [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "M1"; "C1"; "B" ]
+    "E12"; "E13"; "E14"; "A1"; "A2"; "A3"; "P1"; "R1"; "M1"; "C1"; "T1"; "B" ]
 
 let () =
   let argv = Sys.argv in
@@ -1797,6 +1797,120 @@ let c1_compiled_hot_path () =
               end)
             points)
 
+(* T1: the property portfolio on the shared Stage I harness.  One
+   holding and one certified-far instance per property; the far
+   instances are constructed so rejection is deterministic (planted
+   violations outnumber eps*m/2, the most edges Stage I's cut can
+   remove), so every verdict below is a hard expectation, not a
+   statistical one. *)
+let t1_property_portfolio () =
+  let rng = Random.State.make [| 81 |] in
+  let n = if quick then 128 else 256 in
+  let eps = 0.1 in
+  (* Mirror odd_cycle_planted's square count: diagonals sit in
+     vertex-disjoint unit squares anchored at even (i, j). *)
+  let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+  let per_axis = ((side - 2) / 2) + 1 in
+  let planted = per_axis * per_axis in
+  let cases =
+    [
+      ("planarity", "apollonian", Generators.apollonian rng n, true);
+      ( "planarity", "far_from_planar",
+        Generators.far_from_planar rng ~n ~eps:0.3, false );
+      ( "bipartite", "bipartite_perturbed",
+        Generators.bipartite_perturbed rng n, true );
+      ( "bipartite", "odd_cycle_planted",
+        Generators.odd_cycle_planted rng ~n ~k:planted, false );
+      ("cycle-free", "forest_close", Generators.forest_close rng n, true);
+      ( "cycle-free", "forest_plus_edges",
+        Generators.forest_plus_edges rng ~n ~k:(n / 2), false );
+    ]
+  in
+  let verdict_name (v : Tester.Harness.verdict) =
+    match v with
+    | Tester.Harness.Accept -> "accept"
+    | Tester.Harness.Reject _ -> "reject"
+    | Tester.Harness.Degraded _ -> "degraded"
+  in
+  let results =
+    parmap
+      (fun (prop, inst, g, expect) ->
+        let verdict, rounds, nominal, messages, bits =
+          match prop with
+          | "planarity" ->
+              let r =
+                Tester.Planarity_tester.run ~domains ~mode g ~eps ~seed:1
+              in
+              ( verdict_name r.Tester.Planarity_tester.verdict,
+                r.Tester.Planarity_tester.rounds,
+                r.Tester.Planarity_tester.nominal_rounds,
+                r.Tester.Planarity_tester.messages,
+                r.Tester.Planarity_tester.total_bits )
+          | "bipartite" ->
+              let _, t =
+                Tester.Bipartite_tester.run ~domains ~mode ~seed:1 g ~eps
+              in
+              ( verdict_name t.Tester.Harness.verdict,
+                t.Tester.Harness.rounds,
+                t.Tester.Harness.nominal_rounds,
+                t.Tester.Harness.messages,
+                t.Tester.Harness.total_bits )
+          | _ ->
+              let _, t =
+                Tester.Cycle_free_tester.run ~domains ~mode ~seed:1 g ~eps
+              in
+              ( verdict_name t.Tester.Harness.verdict,
+                t.Tester.Harness.rounds,
+                t.Tester.Harness.nominal_rounds,
+                t.Tester.Harness.messages,
+                t.Tester.Harness.total_bits )
+        in
+        ( prop, inst, Graph.n g, Graph.m g, expect, verdict, rounds, nominal,
+          messages, bits ))
+      cases
+  in
+  emit "T1" ~title:"property portfolio on the shared Stage I harness"
+    ~claim:
+      "Section 1 framework: one Stage I partition serves planarity, \
+       bipartiteness and cycle-freeness Stage II checks (one-sided error)"
+    (J.List
+       (List.map
+          (fun (prop, inst, n, m, expect, verdict, rounds, nominal, messages,
+                bits) ->
+            J.Obj
+              [
+                ("property", J.String prop);
+                ("instance", J.String inst);
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("expect_accept", J.Bool expect);
+                ("verdict", J.String verdict);
+                ("rounds", J.Int rounds);
+                ("nominal_rounds", J.Int nominal);
+                ("messages", J.Int messages);
+                ("total_bits", J.Int bits);
+              ])
+          results));
+  row "%-12s %-20s %-6s %-6s %-8s %-9s %-9s %-12s %-10s\n" "property"
+    "instance" "n" "m" "expect" "verdict" "rounds" "nominal" "messages";
+  List.iter
+    (fun (prop, inst, n, m, expect, verdict, rounds, nominal, messages, _) ->
+      row "%-12s %-20s %-6d %-6d %-8s %-9s %-9d %-12d %-10d\n" prop inst n m
+        (if expect then "accept" else "reject")
+        verdict rounds nominal messages)
+    results;
+  (* Hard gate (like C1's): every row's verdict is deterministic by
+     construction, so any mismatch is a real regression, not noise. *)
+  List.iter
+    (fun (prop, inst, _, _, expect, verdict, _, _, _, _) ->
+      let expected = if expect then "accept" else "reject" in
+      if verdict <> expected then begin
+        Printf.eprintf "bench: T1: %s on %s expected %s, got %s\n" prop inst
+          expected verdict;
+        exit 1
+      end)
+    results
+
 let () =
   if want "E1" then e1_rounds_vs_n ();
   if want "E2" then e2_rounds_vs_eps ();
@@ -1819,6 +1933,7 @@ let () =
   if want "R1" then r1_fault_stability ();
   if want "M1" then m1_memory_substrate ();
   if want "C1" then c1_compiled_hot_path ();
+  if want "T1" then t1_property_portfolio ();
   if timings && want "B" then bechamel_section ();
   (match !json_path with
   | Some path ->

@@ -162,11 +162,19 @@ let test_cmd =
   in
   let run path eps seed domains stats_json faults_spec trace_out no_ff
       mode_name checkpoint_path checkpoint_every checkpoint_exit no_gt
-      log_level log_json =
+      property log_level log_json =
     setup_logs log_level log_json;
     Obs.Log.set_context
       ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
       ();
+    (match property with
+    | "planarity" | "bipartite" | "cycle-free" -> ()
+    | p ->
+        Obs.Log.errorf
+          "planartest test: unknown --property %S (expected planarity, \
+           bipartite or cycle-free)"
+          p;
+        exit 2);
     let g = read_graph path in
     let mode =
       match Congest.Compiled.mode_of_string mode_name with
@@ -213,12 +221,62 @@ let test_cmd =
           in
           Some
             (Report.Checkpoint.stage1 ~path:ck_path ~every:checkpoint_every
-               ~after_save g ~eps ~seed ~alpha:3 ~faults)
+               ~after_save ~property g ~eps ~seed ~alpha:3 ~faults)
     in
-    let r =
+    (* Planarity keeps its dedicated path (and [Report.tester_stats]) so
+       its human output and stats JSON stay byte-identical to pre-harness
+       builds; the newer properties run through the harness directly and
+       emit the property-tagged document. *)
+    let totals_of_report (r : Tester.Planarity_tester.report) =
+      {
+        Tester.Harness.verdict = r.Tester.Planarity_tester.verdict;
+        stage1 = r.Tester.Planarity_tester.stage1;
+        rounds = r.Tester.Planarity_tester.rounds;
+        nominal_rounds = r.Tester.Planarity_tester.nominal_rounds;
+        messages = r.Tester.Planarity_tester.messages;
+        total_bits = r.Tester.Planarity_tester.total_bits;
+        fast_forwarded_rounds =
+          r.Tester.Planarity_tester.fast_forwarded_rounds;
+        dropped = r.Tester.Planarity_tester.dropped;
+        duplicated = r.Tester.Planarity_tester.duplicated;
+        delayed = r.Tester.Planarity_tester.delayed;
+        crashed_nodes = r.Tester.Planarity_tester.crashed_nodes;
+      }
+    in
+    let n = Graph.n g and m = Graph.m g in
+    let t, stats_doc =
       try
-        Tester.Planarity_tester.run ?telemetry ?trace ~domains
-          ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps ~seed
+        match property with
+        | "planarity" ->
+            let r =
+              Tester.Planarity_tester.run ?telemetry ?trace ~domains
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
+                ~seed
+            in
+            ( totals_of_report r,
+              fun host ->
+                Report.tester_stats ~n ~m ~eps ~seed ~domains ?telemetry
+                  ?faults ?host r )
+        | "bipartite" ->
+            let _, t =
+              Tester.Bipartite_tester.run ?telemetry ?trace ~domains
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
+                ~seed
+            in
+            ( t,
+              fun host ->
+                Report.harness_stats ~n ~m ~eps ~seed ~domains ~property
+                  ?telemetry ?faults ?host t )
+        | _ ->
+            let _, t =
+              Tester.Cycle_free_tester.run ?telemetry ?trace ~domains
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
+                ~seed
+            in
+            ( t,
+              fun host ->
+                Report.harness_stats ~n ~m ~eps ~seed ~domains ~property
+                  ?telemetry ?faults ?host t )
       with Failure msg when checkpoint_path <> None ->
         Obs.Log.errorf "planartest test: %s" msg;
         exit 2
@@ -237,38 +295,45 @@ let test_cmd =
        human-readable summary moves to stderr. *)
     let hum = if stats_json = Some "-" then stderr else stdout in
     let human fmt = Printf.fprintf hum fmt in
-    (match r.Tester.Planarity_tester.verdict with
-    | Tester.Planarity_tester.Accept -> human "ACCEPT (all nodes)\n"
-    | Tester.Planarity_tester.Reject l ->
+    (match t.Tester.Harness.verdict with
+    | Tester.Harness.Accept -> human "ACCEPT (all nodes)\n"
+    | Tester.Harness.Reject l ->
         human "REJECT (%d nodes)\n" (List.length l);
         List.iteri
           (fun i (node, reason) ->
             if i < 5 then human "  node %d: %s\n" node reason)
           l
-    | Tester.Planarity_tester.Degraded msg ->
+    | Tester.Harness.Degraded msg ->
         human "DEGRADED (no trustworthy verdict under faults)\n  %s\n" msg);
     human
       "rounds (simulated) : %d\nrounds (nominal)   : %d\nrounds \
        (fast-fwd)  : %d\nmessages           : %d\ntotal bits         : %d\n"
-      r.Tester.Planarity_tester.rounds r.Tester.Planarity_tester.nominal_rounds
-      r.Tester.Planarity_tester.fast_forwarded_rounds
-      r.Tester.Planarity_tester.messages r.Tester.Planarity_tester.total_bits;
+      t.Tester.Harness.rounds t.Tester.Harness.nominal_rounds
+      t.Tester.Harness.fast_forwarded_rounds t.Tester.Harness.messages
+      t.Tester.Harness.total_bits;
     if faults <> None then
       human
         "faults             : dropped=%d duplicated=%d delayed=%d \
          crashed=%d\n"
-        r.Tester.Planarity_tester.dropped r.Tester.Planarity_tester.duplicated
-        r.Tester.Planarity_tester.delayed
-        r.Tester.Planarity_tester.crashed_nodes;
+        t.Tester.Harness.dropped t.Tester.Harness.duplicated
+        t.Tester.Harness.delayed t.Tester.Harness.crashed_nodes;
     if not no_gt then
-      human "ground truth (LR)  : %s\n"
-        (if Planarity.Lr.is_planar g then "planar" else "non-planar");
+      (match property with
+      | "planarity" ->
+          human "ground truth (LR)  : %s\n"
+            (if Planarity.Lr.is_planar g then "planar" else "non-planar")
+      | "bipartite" ->
+          human "ground truth       : %s\n"
+            (if Partition.Reference.is_bipartite g then "bipartite"
+             else "non-bipartite")
+      | _ ->
+          let excess = Partition.Reference.excess_edges g in
+          human "ground truth       : %s\n"
+            (if excess = 0 then "cycle-free"
+             else Printf.sprintf "has cycles (excess %d)" excess));
     match stats_json with
     | Some out ->
-        let j =
-          Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps ~seed
-            ~domains ?telemetry ?faults ?host:trace r
-        in
+        let j = stats_doc trace in
         (try Report.write out j
          with Sys_error msg ->
            Obs.Log.errorf "planartest test: cannot write stats: %s" msg;
@@ -341,13 +406,23 @@ let test_cmd =
     in
     Arg.(value & flag & info [ "no-ground-truth" ] ~doc)
   in
+  let property_arg =
+    let doc =
+      "Property to test: $(b,planarity) (the paper's tester), \
+       $(b,bipartite) (odd-cycle detection via per-part 2-coloring) or \
+       $(b,cycle-free) (per-part excess-edge counting).  All three share \
+       the Stage I partition harness and its accounting guarantees \
+       (byte-identical stats across --domains, fast-forward and --mode)."
+    in
+    Arg.(value & opt string "planarity" & info [ "property" ] ~docv:"PROP" ~doc)
+  in
   Cmd.v
-    (Cmd.info "test" ~doc:"Run the distributed planarity tester")
+    (Cmd.info "test" ~doc:"Run a distributed property tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
       $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ mode_arg
       $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_exit_arg
-      $ no_gt_arg $ log_level_arg $ log_json_arg)
+      $ no_gt_arg $ property_arg $ log_level_arg $ log_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

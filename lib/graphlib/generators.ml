@@ -305,6 +305,64 @@ let connected_copies g k =
   done;
   !acc
 
+let odd_cycle_planted rng ~n ~k =
+  if n < 9 then invalid_arg "Generators.odd_cycle_planted: n < 9";
+  let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+  let base = grid side side in
+  let id i j = (i * side) + j in
+  (* Unit squares whose top-left corner has even coordinates are
+     pairwise vertex-disjoint, so the k planted diagonals certify k
+     vertex-disjoint triangles: every one needs its own edge deletion,
+     putting the graph at bipartite distance >= k.  Each diagonal lies
+     inside a grid face, so the graph stays planar. *)
+  let squares = ref [] in
+  let i = ref 0 in
+  while !i + 1 < side do
+    let j = ref 0 in
+    while !j + 1 < side do
+      squares := (!i, !j) :: !squares;
+      j := !j + 2
+    done;
+    i := !i + 2
+  done;
+  let squares = Array.of_list !squares in
+  let avail = Array.length squares in
+  if k < 1 || k > avail then
+    invalid_arg
+      (Printf.sprintf
+         "Generators.odd_cycle_planted: k = %d not in [1, %d] for side %d" k
+         avail side);
+  for idx = 0 to k - 1 do
+    let j = idx + Random.State.int rng (avail - idx) in
+    let t = squares.(idx) in
+    squares.(idx) <- squares.(j);
+    squares.(j) <- t
+  done;
+  let diags =
+    List.init k (fun t ->
+        let i, j = squares.(t) in
+        (id i j, id (i + 1) (j + 1)))
+  in
+  Graph.add_edges base (List.sort compare diags)
+
+let forest_plus_edges rng ~n ~k =
+  if n < 2 then invalid_arg "Generators.forest_plus_edges: n < 2";
+  (* A spanning tree has zero excess, so the k distinct extra non-edges
+     put the excess (= deletions to cycle-freeness) at exactly k. *)
+  planar_plus_chords rng ~base:(random_tree rng n) ~extra:k
+
+let forest_close rng n =
+  if n < 1 then invalid_arg "Generators.forest_close";
+  (* Random-attachment forest: each vertex joins a random earlier vertex
+     with probability 0.9, else starts a new component.  Cycle-free by
+     construction; possibly disconnected, which the testers handle. *)
+  let b = Graph.Builder.create ~hint:(max 1 (n - 1)) ~n () in
+  for v = 1 to n - 1 do
+    if Random.State.float rng 1.0 < 0.9 then
+      Graph.Builder.add b (Random.State.int rng v) v
+  done;
+  Graph.Builder.finish b
+
 let relabel rng g =
   let n = Graph.n g in
   let perm = Array.init n (fun i -> i) in
@@ -320,3 +378,9 @@ let relabel rng g =
     Graph.Builder.add b perm.(u) perm.(v)
   done;
   Graph.Builder.finish b
+
+let bipartite_perturbed rng n =
+  (* Property-holding counterpart of [odd_cycle_planted]: a connected
+     planar bipartite graph (perturbed grid) under a random relabeling,
+     so id-based tie-breaking in the testers sees no grid structure. *)
+  relabel rng (random_bipartite_planar rng n)

@@ -79,5 +79,32 @@ val connected_copies : Graph.t -> int -> Graph.t
     between consecutive copies (vertex 0 of copy [i+1] to the last vertex of
     copy [i]).  Preserves planarity. *)
 
+val odd_cycle_planted : Random.State.t -> n:int -> k:int -> Graph.t
+(** Far-from-bipartite workload: the [side x side] grid
+    ([side = max 3 (floor (sqrt n))]) plus [k] diagonals planted in
+    pairwise vertex-disjoint unit squares.  The [k] resulting triangles
+    are vertex-disjoint odd cycles, certifying bipartite distance
+    [>= k]; the diagonals lie inside grid faces, so the graph stays
+    planar.  Raises [Invalid_argument] unless
+    [1 <= k <= ceil ((side - 1) / 2) ^ 2] (the number of disjoint
+    squares). *)
+
+val bipartite_perturbed : Random.State.t -> int -> Graph.t
+(** Close (property-holding) counterpart of {!odd_cycle_planted}: a
+    connected planar bipartite graph — the grid with random
+    connectivity-preserving edge deletions — under a random vertex
+    relabeling. *)
+
+val forest_plus_edges : Random.State.t -> n:int -> k:int -> Graph.t
+(** Far-from-cycle-free workload: a uniform random attachment tree on
+    [n] vertices plus [k] distinct random non-edges, so the excess over
+    a spanning forest — the exact deletion distance to cycle-freeness —
+    is [k].  Requires [n >= 2]. *)
+
+val forest_close : Random.State.t -> int -> Graph.t
+(** Cycle-free (property-holding) workload: a random-attachment forest —
+    each vertex joins a random earlier vertex with probability 0.9,
+    else starts a new component.  Possibly disconnected. *)
+
 val relabel : Random.State.t -> Graph.t -> Graph.t
 (** Random permutation of vertex ids (to de-bias id-based tie-breaking). *)

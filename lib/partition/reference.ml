@@ -291,3 +291,62 @@ let run ?(alpha = 3) ?(stop_when_met = true) g ~eps =
     rejected = !rejected;
     phases = List.length !cuts;
   }
+
+(* --- Centralized references for the property portfolio ------------- *)
+(* Whole-graph, non-distributed decision procedures the differential
+   suites compare the testers against.  All three are exact (no eps):
+   the tester contract under test is one-sidedness (holds => the tester
+   never Rejects) and evidence soundness (the tester Rejects => the
+   exact property fails here). *)
+
+let is_bipartite g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if color.(s) = -1 then begin
+      color.(s) <- 0;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Array.iter
+          (fun (v, _) ->
+            if color.(v) = -1 then begin
+              color.(v) <- 1 - color.(u);
+              Queue.add v q
+            end
+            else if color.(v) = color.(u) then ok := false)
+          (Graph.incident g u)
+      done
+    end
+  done;
+  !ok
+
+let excess_edges g =
+  let n = Graph.n g in
+  let seen = Array.make (max 1 n) false in
+  let components = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      incr components;
+      seen.(s) <- true;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Array.iter
+          (fun (v, _) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.add v q
+            end)
+          (Graph.incident g u)
+      done
+    end
+  done;
+  (* m - (n - c) edges beyond a spanning forest: the exact number of
+     deletions to reach cycle-freeness. *)
+  Graph.m g - (n - !components)
+
+let is_cycle_free g = excess_edges g = 0

@@ -21,3 +21,20 @@ type result = {
 (** Mirror of {!Stage1.run} (deterministic variant, [alpha = 3]). *)
 val run :
   ?alpha:int -> ?stop_when_met:bool -> Graphlib.Graph.t -> eps:float -> result
+
+(** {2 Centralized references for the property portfolio}
+
+    Exact whole-graph decision procedures the tester differential suites
+    compare against: one-sidedness (the property holds => the tester
+    never Rejects) and evidence soundness (the tester Rejects => the
+    property fails). *)
+
+(** BFS 2-coloring over every component. *)
+val is_bipartite : Graphlib.Graph.t -> bool
+
+(** [m - (n - components)]: edges beyond a spanning forest — the exact
+    number of deletions to reach cycle-freeness. *)
+val excess_edges : Graphlib.Graph.t -> int
+
+(** [excess_edges g = 0]. *)
+val is_cycle_free : Graphlib.Graph.t -> bool

@@ -24,13 +24,19 @@ module PT = Tester.Planarity_tester
 
 let magic = "PLNRCK02"
 
-let fingerprint g ~eps ~seed ~alpha ~faults =
-  Printf.sprintf "graph=%Lx eps=%h seed=%d alpha=%d faults=%s"
+let fingerprint ?(property = "planarity") g ~eps ~seed ~alpha ~faults =
+  (* The property name guards against resuming one tester's Stage I into
+     another (the partition is property-independent, but the snapshot's
+     accounting is about to diverge).  Planarity contributes no suffix so
+     its fingerprints — and hence existing checkpoint files — are
+     byte-identical to pre-harness builds. *)
+  Printf.sprintf "graph=%Lx eps=%h seed=%d alpha=%d faults=%s%s"
     (Graphlib.Graph.fingerprint g)
     eps seed alpha
     (match faults with
     | None -> "none"
     | Some p -> Congest.Faults.to_spec p)
+    (if property = "planarity" then "" else " property=" ^ property)
 
 let save path ~fingerprint:fp (s : PT.snapshot) =
   let body = Marshal.to_string (fp, s) [] in
@@ -89,9 +95,10 @@ let load path ~fingerprint:fp =
                \  current: %s" path stored_fp fp);
         Some s)
 
-let stage1 ~path ?(every = 1) ?after_save g ~eps ~seed ~alpha ~faults =
+let stage1 ~path ?(every = 1) ?after_save ?property g ~eps ~seed ~alpha
+    ~faults =
   if every < 1 then invalid_arg "Checkpoint.stage1: every must be >= 1";
-  let fp = fingerprint g ~eps ~seed ~alpha ~faults in
+  let fp = fingerprint ?property g ~eps ~seed ~alpha ~faults in
   let saves = ref 0 in
   {
     PT.every;

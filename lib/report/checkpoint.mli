@@ -15,8 +15,12 @@
     checkpoint taken at [--domains 1] resumes fine at [--domains 8]. *)
 
 (** Canonical parameter fingerprint stored in (and demanded of) a
-    checkpoint file. *)
+    checkpoint file.  [property] (default ["planarity"]) guards against
+    resuming one tester's Stage I into another; the default contributes
+    no suffix, so planarity fingerprints — and existing checkpoint
+    files — are unchanged from pre-harness builds. *)
 val fingerprint :
+  ?property:string ->
   Graphlib.Graph.t ->
   eps:float ->
   seed:int ->
@@ -37,16 +41,19 @@ val load :
   Tester.Planarity_tester.snapshot option
 
 (** [stage1 ~path ?every ?after_save g ~eps ~seed ~alpha ~faults] wires
-    the container into a {!Tester.Planarity_tester.checkpoint}: [load]
+    the container into a {!Tester.Harness.checkpoint} (the type
+    {!Tester.Planarity_tester.checkpoint} equals transparently): [load]
     reads [path] (missing file = fresh start), [save] writes it
     atomically after every [every]-th completed Stage I phase (default
     1).  [after_save] is called with the number of saves performed so
     far — the hook CLI harnesses use to simulate a kill after the n-th
-    checkpoint. *)
+    checkpoint.  [property] feeds the {!fingerprint} (default
+    ["planarity"]). *)
 val stage1 :
   path:string ->
   ?every:int ->
   ?after_save:(int -> unit) ->
+  ?property:string ->
   Graphlib.Graph.t ->
   eps:float ->
   seed:int ->

@@ -59,19 +59,31 @@ let host_block (tr : Congest.Trace.t) =
           ] );
     ]
 
-let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
-    (r : PT.report) =
+(* Shared emitter behind [tester_stats] and [harness_stats].  [property]
+   is [None] for planarity documents — their key set is a locked golden
+   contract, byte-identical to pre-harness builds — and [Some name] for
+   the newer testers, which add the one ["property"] member after
+   ["seed"] (a v1 consumer that ignores unknown keys is unaffected). *)
+let stats_doc ~n ~m ~eps ~seed ~domains ?property ?telemetry ?faults ?host
+    ~verdict:(v : Tester.Harness.verdict) ~rounds ~nominal_rounds ~messages
+    ~total_bits ~fast_forwarded_rounds ~dropped ~duplicated ~delayed
+    ~crashed_nodes () =
   let verdict, rejections, degraded_reason =
-    match r.PT.verdict with
-    | PT.Accept -> ("accept", [], None)
-    | PT.Reject l -> ("reject", l, None)
-    | PT.Degraded msg -> ("degraded", [], Some msg)
+    match v with
+    | Tester.Harness.Accept -> ("accept", [], None)
+    | Tester.Harness.Reject l -> ("reject", l, None)
+    | Tester.Harness.Degraded msg -> ("degraded", [], Some msg)
   in
   (* v1, byte-compatible with the pre-faults emitter, is produced whenever
      no fault policy is supplied.  A [Degraded] verdict can only arise
      under a policy, so v1 documents keep their two-value verdict.  The
      host profiling block bumps to v3; with profiling off the v1/v2
      output is byte-identical to earlier builds. *)
+  let property_slot =
+    match property with
+    | None -> []
+    | Some p -> [ ("property", Json.String p) ]
+  in
   let base =
     [
       ( "schema",
@@ -83,21 +95,24 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
       ("graph", Json.Obj [ ("n", Json.Int n); ("m", Json.Int m) ]);
       ("eps", Json.Float eps);
       ("seed", Json.Int seed);
-      ("domains", Json.Int domains);
-      ("verdict", Json.String verdict);
-      ( "rejections",
-        Json.List
-          (List.map
-             (fun (node, reason) ->
-               Json.Obj
-                 [ ("node", Json.Int node); ("reason", Json.String reason) ])
-             rejections) );
-      ("rounds", Json.Int r.PT.rounds);
-      ("nominal_rounds", Json.Int r.PT.nominal_rounds);
-      ("messages", Json.Int r.PT.messages);
-      ("total_bits", Json.Int r.PT.total_bits);
-      ("fast_forwarded_rounds", Json.Int r.PT.fast_forwarded_rounds);
     ]
+    @ property_slot
+    @ [
+        ("domains", Json.Int domains);
+        ("verdict", Json.String verdict);
+        ( "rejections",
+          Json.List
+            (List.map
+               (fun (node, reason) ->
+                 Json.Obj
+                   [ ("node", Json.Int node); ("reason", Json.String reason) ])
+               rejections) );
+        ("rounds", Json.Int rounds);
+        ("nominal_rounds", Json.Int nominal_rounds);
+        ("messages", Json.Int messages);
+        ("total_bits", Json.Int total_bits);
+        ("fast_forwarded_rounds", Json.Int fast_forwarded_rounds);
+      ]
   in
   let faults_block =
     match faults with
@@ -109,10 +124,10 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
               [
                 ("spec", Json.String (Congest.Faults.to_spec p));
                 ("seed", Json.Int p.Congest.Faults.seed);
-                ("dropped", Json.Int r.PT.dropped);
-                ("duplicated", Json.Int r.PT.duplicated);
-                ("delayed", Json.Int r.PT.delayed);
-                ("crashed_nodes", Json.Int r.PT.crashed_nodes);
+                ("dropped", Json.Int dropped);
+                ("duplicated", Json.Int duplicated);
+                ("delayed", Json.Int delayed);
+                ("crashed_nodes", Json.Int crashed_nodes);
                 ( "degraded_reason",
                   match degraded_reason with
                   | Some msg -> Json.String msg
@@ -132,6 +147,29 @@ let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
     ]
   in
   Json.Obj (base @ faults_block @ host_slot @ telemetry_slot)
+
+let tester_stats ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
+    (r : PT.report) =
+  stats_doc ~n ~m ~eps ~seed ~domains ?telemetry ?faults ?host
+    ~verdict:r.PT.verdict ~rounds:r.PT.rounds
+    ~nominal_rounds:r.PT.nominal_rounds ~messages:r.PT.messages
+    ~total_bits:r.PT.total_bits
+    ~fast_forwarded_rounds:r.PT.fast_forwarded_rounds ~dropped:r.PT.dropped
+    ~duplicated:r.PT.duplicated ~delayed:r.PT.delayed
+    ~crashed_nodes:r.PT.crashed_nodes ()
+
+let harness_stats ~n ~m ~eps ~seed ~domains ~property ?telemetry ?faults ?host
+    (t : Tester.Harness.totals) =
+  stats_doc ~n ~m ~eps ~seed ~domains ~property ?telemetry ?faults ?host
+    ~verdict:t.Tester.Harness.verdict ~rounds:t.Tester.Harness.rounds
+    ~nominal_rounds:t.Tester.Harness.nominal_rounds
+    ~messages:t.Tester.Harness.messages
+    ~total_bits:t.Tester.Harness.total_bits
+    ~fast_forwarded_rounds:t.Tester.Harness.fast_forwarded_rounds
+    ~dropped:t.Tester.Harness.dropped
+    ~duplicated:t.Tester.Harness.duplicated
+    ~delayed:t.Tester.Harness.delayed
+    ~crashed_nodes:t.Tester.Harness.crashed_nodes ()
 
 let bench_envelope ~quick ~jobs ~domains experiments =
   Json.Obj

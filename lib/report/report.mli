@@ -81,6 +81,26 @@ val tester_stats :
   Tester.Planarity_tester.report ->
   Json.t
 
+(** [harness_stats ~property totals] is the same stats document built
+    from a {!Tester.Harness.totals} (any harness-based tester), plus one
+    ["property"] string member inserted after ["seed"].  The v1/v2/v3
+    tagging rules are identical to {!tester_stats}; planarity runs keep
+    using {!tester_stats} so their documents stay byte-identical to
+    pre-harness builds, while a consumer that ignores unknown keys reads
+    both document shapes interchangeably. *)
+val harness_stats :
+  n:int ->
+  m:int ->
+  eps:float ->
+  seed:int ->
+  domains:int ->
+  property:string ->
+  ?telemetry:Congest.Telemetry.t ->
+  ?faults:Congest.Faults.policy ->
+  ?host:Congest.Trace.t ->
+  Tester.Harness.totals ->
+  Json.t
+
 (** [bench_envelope ~quick ~jobs ~domains experiments] is the
     [bench.planarity/v1] document; [experiments] are the per-experiment
     objects ([{"id", "title", "claim", "data"}]). *)

@@ -1,0 +1,260 @@
+open Graphlib
+
+type verdict = Accept | Reject of (int * string) list | Degraded of string
+
+(* Stable run-level metrics, shared by every property tester built on the
+   harness.  Verdicts and stage durations are a pure function of
+   (graph, seed, eps, faults) — wall clock never enters.  The family
+   names predate the harness (they are pinned by MONITOR_baseline.json),
+   so they keep the planartest_ prefix. *)
+let m_verdicts =
+  Obs.Metrics.counter ~label_names:[ "verdict" ]
+    ~help:"Tester verdicts by outcome" "planartest_verdicts"
+
+let m_stage2_rounds =
+  Obs.Metrics.histogram
+    ~help:"Simulated rounds spent in Stage II per tester run"
+    ~buckets:(Obs.Metrics.exponential_buckets ~start:1 ~factor:2 ~count:20)
+    "planartest_stage2_rounds"
+
+type partition_mode = Stage_one | Exponential_shifts
+
+(* Everything Stage I needs to continue from a phase boundary.  Plain
+   marshal-safe data only: [State.node] is ints/bools/lists/arrays, and
+   {!Congest.Stats.t} is a flat record — no closures, no fibers (engine
+   pools are quiescent at phase boundaries and are rebuilt on restore). *)
+type snapshot = {
+  ck_phase : int;  (** next phase to run (1-based) *)
+  ck_phases_rev : Partition.Stage1.phase_trace list;
+      (** phase traces so far, reverse-chronological *)
+  ck_nodes : Partition.State.node array;
+  ck_stats : Congest.Stats.t;
+  ck_rejections : (int * string) list;
+  ck_nominal_rounds : int;
+  ck_telemetry : Congest.Telemetry.t option;
+      (** per-round series recorded up to the snapshot, when the
+          checkpointed run had a telemetry recorder attached *)
+  ck_trace : Congest.Trace.t option;
+      (** event-trace state recorded up to the snapshot, when the
+          checkpointed run had a trace recorder attached *)
+}
+
+type checkpoint = {
+  save : snapshot -> unit;
+  load : unit -> snapshot option;
+  every : int;
+}
+
+type totals = {
+  verdict : verdict;
+  stage1 : Partition.Stage1.result option;
+  rounds : int;
+  nominal_rounds : int;
+  messages : int;
+  total_bits : int;
+  fast_forwarded_rounds : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed_nodes : int;
+}
+
+type eps_budget = Edge_budget | Vertex_budget
+
+(* Random_partition's target is [eps' * n] vertices' worth of cut edges.
+   An edge-budget property (distance counted in edge edits out of [m],
+   which is what planarity, bipartiteness and cycle-freeness all use in
+   the general-graph model) rescales its [eps * m] budget to
+   [eps' = eps * m / n]; a vertex-budget property already speaks vertex
+   units and only needs the clamp.  Either way, for a large sparse graph
+   the ratio can land below [1 / n], at which point the target [eps' * n]
+   rounds below one edge and the partition goal is vacuous; clamp so
+   [eps' * n >= 1] always holds (and below the degenerate 1.0). *)
+let effective_eps ?(budget = Edge_budget) g ~eps =
+  let n = Graph.n g in
+  if n = 0 then eps
+  else
+    let raw =
+      match budget with
+      | Edge_budget -> eps *. float_of_int (Graph.m g) /. float_of_int n
+      | Vertex_budget -> eps
+    in
+    min 0.999 (max raw (1.0 /. float_of_int n))
+
+let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
+    ?(measure_diameters = false) ?telemetry ?trace ?(domains = 1)
+    ?(fast_forward = true) ?faults ?(mode = Congest.Compiled.Fiber)
+    ?checkpoint ~property ~stage2 g ~eps =
+  let faults_active = Congest.Faults.active faults in
+  (match (checkpoint, partition) with
+  | Some ck, _ when ck.every < 1 ->
+      invalid_arg
+        (Printf.sprintf "Tester.Harness.run (%s): checkpoint.every must be \
+                         >= 1" property)
+  | Some _, Exponential_shifts ->
+      invalid_arg
+        (Printf.sprintf
+           "Tester.Harness.run (%s): checkpointing requires the Stage_one \
+            partition (Exponential_shifts clusters centrally, with no phase \
+            boundaries to checkpoint at)"
+           property)
+  | _ -> ());
+  let stage1, st =
+    match partition with
+    | Stage_one -> (
+        match checkpoint with
+        | None ->
+            let r =
+              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+                ~domains ~fast_forward ?faults ~mode g ~eps
+            in
+            (Some r, r.Partition.Stage1.state)
+        | Some ck ->
+            (* The state must pre-exist the run so the [on_phase] closure
+               can capture it for snapshots. *)
+            let st0, resume =
+              match ck.load () with
+              | Some s ->
+                  (* Splice the pre-interruption per-round series into
+                     this run's recorder, so the final stats JSON is
+                     byte-identical to an uninterrupted run's. *)
+                  (match (s.ck_telemetry, telemetry) with
+                  | Some src, Some dst ->
+                      Congest.Telemetry.restore_into dst ~from:src
+                  | _ -> ());
+                  (* Same splice for the event trace: the resumed run's
+                     .ctrace then carries the pre-interruption rounds,
+                     phases and aggregate totals as if never stopped
+                     (host-clock deltas restart — see
+                     {!Congest.Trace.restore_into}). *)
+                  (match (s.ck_trace, trace) with
+                  | Some src, Some dst -> Congest.Trace.restore_into dst ~from:src
+                  | _ -> ());
+                  ( Partition.State.restore g ~nodes:s.ck_nodes
+                      ~stats:s.ck_stats ~rejections:s.ck_rejections
+                      ~nominal_rounds:s.ck_nominal_rounds,
+                    Some (s.ck_phase, s.ck_phases_rev) )
+              | None -> (Partition.State.create g, None)
+            in
+            let completed = ref 0 in
+            let on_phase next_phase phases_rev =
+              incr completed;
+              if !completed mod ck.every = 0 then
+                ck.save
+                  {
+                    ck_phase = next_phase;
+                    ck_phases_rev = phases_rev;
+                    ck_nodes = st0.Partition.State.nodes;
+                    ck_stats = Congest.Stats.copy st0.Partition.State.stats;
+                    ck_rejections = st0.Partition.State.rejections;
+                    ck_nominal_rounds = st0.Partition.State.nominal_rounds;
+                    ck_telemetry = Option.map Congest.Telemetry.copy telemetry;
+                    ck_trace = Option.map Congest.Trace.copy trace;
+                  }
+            in
+            let r =
+              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+                ~domains ~fast_forward ?faults ~mode ~state:st0 ?resume
+                ~on_phase g ~eps
+            in
+            (Some r, r.Partition.Stage1.state))
+    | Exponential_shifts ->
+        let r = Partition.En_partition.run ~seed g ~eps in
+        let st = r.Partition.En_partition.state in
+        st.Partition.State.telemetry <- telemetry;
+        st.Partition.State.trace <- trace;
+        st.Partition.State.domains <- domains;
+        st.Partition.State.fast_forward <- fast_forward;
+        (* Like telemetry/domains, faults apply to the engine runs issued
+           from here on (Stage II); the centralized En clustering above
+           already ran. *)
+        st.Partition.State.faults <- faults;
+        st.Partition.State.mode <- mode;
+        (None, st)
+  in
+  let degraded = ref None in
+  (match stage1 with
+  | Some r -> degraded := r.Partition.Stage1.degraded
+  | None -> ());
+  let partition_rejected =
+    match stage1 with
+    | Some r -> r.Partition.Stage1.rejected <> []
+    | None -> false
+  in
+  (* Under an active policy, a fault can corrupt the partition state in
+     ways Stage II would misread as property violations; verify the
+     state centrally and degrade loudly instead of testing on garbage. *)
+  if !degraded = None && faults_active && not partition_rejected then (
+    try Partition.State.check_invariants st
+    with Failure msg ->
+      degraded := Some (Printf.sprintf "partition state corrupted: %s" msg));
+  let stage2_result =
+    if !degraded = None && not partition_rejected then begin
+      Option.iter
+        (fun tel -> Congest.Telemetry.phase tel "stage2")
+        telemetry;
+      Option.iter (fun tr -> Congest.Trace.phase tr "stage2") trace;
+      Obs.Log.set_context ~phase:"stage2" ();
+      let rounds_before = st.Partition.State.stats.Congest.Stats.rounds in
+      let r =
+        try Some (stage2 st ~eps ~seed) with
+        | Congest.Faults.Degraded msg ->
+            degraded := Some msg;
+            None
+        | e when faults_active ->
+            degraded :=
+              Some
+                ("Stage II interrupted under faults: " ^ Printexc.to_string e);
+            None
+      in
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.observe m_stage2_rounds
+          (st.Partition.State.stats.Congest.Stats.rounds - rounds_before);
+      Obs.Log.set_context ~phase:"" ();
+      r
+    end
+    else None
+  in
+  let stats = st.Partition.State.stats in
+  let rejections = st.Partition.State.rejections in
+  let verdict =
+    match !degraded with
+    | Some msg -> Degraded msg
+    | None ->
+        if rejections = [] then Accept
+        else if faults_active && Congest.Stats.faults_fired stats then
+          (* One-sided error by construction: rejection evidence gathered
+             while the fault layer was interfering could be an artifact of
+             a lost or duplicated message, so it is not trustworthy.  An
+             input with the property therefore never outputs [Reject]
+             under faults — it accepts, or degrades explicitly. *)
+          Degraded
+            (Printf.sprintf
+               "rejection evidence found while faults were active (%d \
+                dropped, %d duplicated, %d delayed, %d crashed) — not \
+                trustworthy"
+               stats.Congest.Stats.dropped stats.Congest.Stats.duplicated
+               stats.Congest.Stats.delayed stats.Congest.Stats.crashed_nodes)
+        else Reject (List.sort_uniq compare rejections)
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.inc m_verdicts
+      ~labels:
+        [ (match verdict with
+          | Accept -> "accept"
+          | Reject _ -> "reject"
+          | Degraded _ -> "degraded") ];
+  ( stage2_result,
+    {
+      verdict;
+      stage1;
+      rounds = stats.Congest.Stats.rounds;
+      nominal_rounds = st.Partition.State.nominal_rounds;
+      messages = stats.Congest.Stats.messages;
+      total_bits = stats.Congest.Stats.total_bits;
+      fast_forwarded_rounds = stats.Congest.Stats.fast_forwarded_rounds;
+      dropped = stats.Congest.Stats.dropped;
+      duplicated = stats.Congest.Stats.duplicated;
+      delayed = stats.Congest.Stats.delayed;
+      crashed_nodes = stats.Congest.Stats.crashed_nodes;
+    } )

@@ -12,17 +12,13 @@ type outcome = {
   nominal_rounds : int;
 }
 
-(* Random_partition's target is [eps' * n] vertices' worth of cut edges,
-   so the edge-cut budget [eps * m] rescales to [eps' = eps * m / n].
-   For a large sparse graph that ratio can land below [1 / n], at which
-   point the target [eps' * n] rounds below one edge and the partition
-   goal is vacuous; clamp so [eps' * n >= 1] always holds. *)
-let effective_eps g ~eps =
-  let n = Graph.n g in
-  if n = 0 then eps
-  else
-    let raw = eps *. float_of_int (Graph.m g) /. float_of_int n in
-    min 0.999 (max raw (1.0 /. float_of_int n))
+(* The clamp now lives in {!Harness.effective_eps}, parameterized by how
+   the property counts its distance budget.  Every tester in this module
+   (cycle-freeness, bipartiteness, hereditary minor-closed properties)
+   measures farness in edge edits out of [m] — the general sparse-graph
+   model — so [Edge_budget] is the correct rescaling for all of them; a
+   vertex-normalized property would pass [Vertex_budget] instead. *)
+let effective_eps g ~eps = Harness.effective_eps ~budget:Harness.Edge_budget g ~eps
 
 (* Partition with an absolute edge-cut target of [eps * m]. *)
 let partition_for mode seed g ~eps =

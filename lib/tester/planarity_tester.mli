@@ -1,12 +1,16 @@
 (** The complete distributed planarity tester of Theorem 1: Stage I
     (partition, {!Partition.Stage1}) followed by Stage II (per-part testing,
-    {!Stage2}).
+    {!Stage2}), instantiated on the shared {!Harness}.
 
     Guarantee: if the input graph is planar, every node accepts; if it is
     [eps]-far from planar (more than [eps * m] edge deletions needed), some
-    node rejects with probability [1 - 1/poly n]. *)
+    node rejects with probability [1 - 1/poly n].
 
-type verdict =
+    The verdict/snapshot/checkpoint types are transparent equations with
+    {!Harness} — they are the harness types, re-exported here so callers
+    that predate the harness keep working unchanged. *)
+
+type verdict = Harness.verdict =
   | Accept
   | Reject of (int * string) list
   | Degraded of string
@@ -23,7 +27,9 @@ type verdict =
     {!Partition.En_partition}), giving [O(log^2 n poly(1/eps))] rounds and
     losing the deterministic completeness of the partition step (the
     planarity verdict stays one-sided either way). *)
-type partition_mode = Stage_one | Exponential_shifts
+type partition_mode = Harness.partition_mode =
+  | Stage_one
+  | Exponential_shifts
 
 (** A resumable image of a [Stage_one] run, captured at a Stage I phase
     boundary — the only points where every engine pool is quiescent, so
@@ -31,7 +37,7 @@ type partition_mode = Stage_one | Exponential_shifts
     continuations; all of it marshal-safe).  Stage II is not covered: it
     is a constant number of rounds per part and re-runs from the restored
     partition. *)
-type snapshot = {
+type snapshot = Harness.snapshot = {
   ck_phase : int;  (** next Stage I phase to run (1-based) *)
   ck_phases_rev : Partition.Stage1.phase_trace list;
       (** completed phase traces, reverse-chronological (the shape
@@ -62,7 +68,7 @@ type snapshot = {
     {!Report.Checkpoint} implementation marshals to disk immediately).
     A run resumed from a snapshot produces byte-identical statistics to
     an uninterrupted run with the same parameters. *)
-type checkpoint = {
+type checkpoint = Harness.checkpoint = {
   save : snapshot -> unit;
   load : unit -> snapshot option;
   every : int;  (** save every [every]-th completed phase; >= 1 *)

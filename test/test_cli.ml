@@ -201,6 +201,73 @@ let test_planartest_mode_stats_identical () =
       check Alcotest.string "auto matches fiber too" (stats "fiber")
         (stats "auto"))
 
+(* ------------------------------------------------------------------ *)
+(* planartest --property: the tester portfolio through the CLI         *)
+(* ------------------------------------------------------------------ *)
+
+let test_planartest_rejects_unknown_property () =
+  with_graph (fun g ->
+      let code, _, err =
+        run [ planartest; "test"; g; "--eps"; "0.3"; "--property"; "nonsense" ]
+      in
+      check ci "unknown --property exits 2" 2 code;
+      check cb "stderr names the bad value" true (contains err "nonsense"))
+
+let test_planartest_property_runs () =
+  (* a 32-cycle holds all three properties except cycle-freeness; every
+     run must exit 0 (a Reject verdict is still a successful run) and
+     stamp the stats JSON with the property member for the new testers *)
+  with_graph (fun g ->
+      List.iter
+        (fun (property, expect_member) ->
+          let out = Filename.temp_file "propstats" ".json" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove out)
+            (fun () ->
+              let code, _, _ =
+                run
+                  [
+                    planartest; "test"; g; "--eps"; "0.3"; "--property";
+                    property; "--stats-json"; out; "--log-level"; "warn";
+                  ]
+              in
+              check ci (property ^ " run exits 0") 0 code;
+              let doc = slurp out in
+              check cb
+                (property ^ " property member in stats")
+                expect_member
+                (contains doc
+                   (Printf.sprintf "\"property\":%S" property))))
+        [ ("planarity", false); ("bipartite", true); ("cycle-free", true) ])
+
+let test_planartest_property_mode_stats_identical () =
+  (* The new testers inherit the engine contract: fiber and compiled
+     stats JSON are byte-identical. *)
+  with_graph (fun g ->
+      let stats property mode =
+        let out = Filename.temp_file "propmode" ".json" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove out)
+          (fun () ->
+            let code, _, _ =
+              run
+                [
+                  planartest; "test"; g; "--eps"; "0.3"; "--property";
+                  property; "--mode"; mode; "--stats-json"; out;
+                  "--log-level"; "warn";
+                ]
+            in
+            check ci (property ^ "/" ^ mode ^ " run exits 0") 0 code;
+            slurp out)
+      in
+      List.iter
+        (fun property ->
+          check Alcotest.string
+            (property ^ ": fiber == compiled stats JSON")
+            (stats property "fiber")
+            (stats property "compiled"))
+        [ "bipartite"; "cycle-free" ])
+
 let () =
   Alcotest.run "cli"
     [
@@ -238,5 +305,11 @@ let () =
             test_planartest_rejects_unknown_mode;
           Alcotest.test_case "planartest stats identical across modes" `Quick
             test_planartest_mode_stats_identical;
+          Alcotest.test_case "planartest unknown --property exits 2" `Quick
+            test_planartest_rejects_unknown_property;
+          Alcotest.test_case "planartest --property portfolio runs" `Quick
+            test_planartest_property_runs;
+          Alcotest.test_case "planartest property stats identical across modes"
+            `Quick test_planartest_property_mode_stats_identical;
         ] );
     ]

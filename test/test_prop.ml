@@ -402,6 +402,192 @@ let prop_streaming_vs_materialized =
       || QCheck.Test.fail_reportf "fingerprint divergence on %s n=%d seed=%d"
            (family_name family) n seed)
 
+(* --- 6. the property portfolio on the shared harness ----------------- *)
+
+module H = Tester.Harness
+
+let verdict_tag = function
+  | H.Accept -> "accept"
+  | H.Reject l -> Printf.sprintf "reject:%d" (List.length l)
+  | H.Degraded m -> "degraded:" ^ m
+
+(* Same contract as [fingerprint] above, on Harness totals: everything
+   except [fast_forwarded_rounds] must be a pure function of the input. *)
+let totals_fingerprint (t : H.totals) =
+  ( verdict_tag t.H.verdict,
+    (t.H.rounds, t.H.nominal_rounds, t.H.messages, t.H.total_bits),
+    (t.H.dropped, t.H.duplicated, t.H.delayed, t.H.crashed_nodes) )
+
+(* Differential one-sided contract vs lib/partition/reference.ml: a
+   holding input is never rejected, and any rejection is backed by the
+   centralized reference agreeing the property fails.  (Accepting a
+   violating-but-close input is allowed — that is what eps-far means.) *)
+let prop_bipartite_matches_reference =
+  QCheck.Test.make
+    ~name:"bipartiteness tester vs centralized reference (one-sided)"
+    ~count:30
+    QCheck.(triple (int_range 0 3) (int_range 8 64) (int_range 0 10000))
+    (fun (family, n, seed) ->
+      let g = graph_of ~family ~n ~seed in
+      let _, t = Tester.Bipartite_tester.run ~seed g ~eps:0.3 in
+      match t.H.verdict with
+      | H.Accept -> true
+      | H.Degraded m ->
+          QCheck.Test.fail_reportf "degraded without faults: %s" m
+      | H.Reject _ when not (Partition.Reference.is_bipartite g) -> true
+      | H.Reject l ->
+          QCheck.Test.fail_reportf
+            "rejected a bipartite %s n=%d seed=%d at %d node(s)"
+            (family_name family) n seed (List.length l))
+
+let prop_cycle_free_matches_reference =
+  QCheck.Test.make
+    ~name:"cycle-freeness tester vs centralized reference (one-sided)"
+    ~count:30
+    QCheck.(triple (int_range 0 3) (int_range 8 64) (int_range 0 10000))
+    (fun (family, n, seed) ->
+      let g = graph_of ~family ~n ~seed in
+      let _, t = Tester.Cycle_free_tester.run ~seed g ~eps:0.3 in
+      match t.H.verdict with
+      | H.Accept -> true
+      | H.Degraded m ->
+          QCheck.Test.fail_reportf "degraded without faults: %s" m
+      | H.Reject _ when not (Partition.Reference.is_cycle_free g) -> true
+      | H.Reject l ->
+          QCheck.Test.fail_reportf
+            "rejected a forest %s n=%d seed=%d at %d node(s)"
+            (family_name family) n seed (List.length l))
+
+let prop_bipartite_holding_never_rejects =
+  QCheck.Test.make
+    ~name:"bipartite input never rejects (faults off or on)" ~count:25
+    QCheck.(
+      pair
+        (pair (int_range 8 80) (int_range 0 10000))
+        (triple (int_range 0 1000) (int_range 0 7) (int_range 0 20)))
+    (fun ((n, seed), (fseed, intensity, crash)) ->
+      let rng = Random.State.make [| seed; 1289 |] in
+      let g = Generators.bipartite_perturbed rng (max 4 n) in
+      let faults = policy_of ~fseed ~intensity ~crash ~n:(Graph.n g) in
+      let _, t = Tester.Bipartite_tester.run ?faults ~seed g ~eps:0.3 in
+      match t.H.verdict with
+      | H.Accept | H.Degraded _ -> true
+      | H.Reject l ->
+          QCheck.Test.fail_reportf
+            "bipartite n=%d seed=%d faults=%s rejected at %d node(s)" n seed
+            (match faults with
+            | Some p -> Congest.Faults.to_spec p
+            | None -> "off")
+            (List.length l))
+
+let prop_cycle_free_holding_never_rejects =
+  QCheck.Test.make
+    ~name:"forest input never rejects (faults off or on)" ~count:25
+    QCheck.(
+      pair
+        (pair (int_range 8 80) (int_range 0 10000))
+        (triple (int_range 0 1000) (int_range 0 7) (int_range 0 20)))
+    (fun ((n, seed), (fseed, intensity, crash)) ->
+      let rng = Random.State.make [| seed; 2477 |] in
+      let g = Generators.forest_close rng (max 2 n) in
+      let faults = policy_of ~fseed ~intensity ~crash ~n:(Graph.n g) in
+      let _, t = Tester.Cycle_free_tester.run ?faults ~seed g ~eps:0.3 in
+      match t.H.verdict with
+      | H.Accept | H.Degraded _ -> true
+      | H.Reject l ->
+          QCheck.Test.fail_reportf
+            "forest n=%d seed=%d faults=%s rejected at %d node(s)" n seed
+            (match faults with
+            | Some p -> Congest.Faults.to_spec p
+            | None -> "off")
+            (List.length l))
+
+(* Certified-far soundness, faults off.  Both instances plant more
+   violations than eps*m/2 — the most edges Stage I's cut can remove —
+   so an intact odd cycle / cyclic part survives in some part and the
+   rejection is deterministic, not statistical.  The generators' own
+   soundness is checked against the references on the way. *)
+let prop_far_instances_reject =
+  QCheck.Test.make
+    ~name:"certified-far instances reject deterministically (faults off)"
+    ~count:20
+    QCheck.(pair (int_range 9 120) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 3671 |] in
+      let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+      let per_axis = ((side - 2) / 2) + 1 in
+      let odd = Generators.odd_cycle_planted rng ~n ~k:(per_axis * per_axis) in
+      let k = max 1 (n / 2) in
+      let chorded = Generators.forest_plus_edges rng ~n ~k in
+      if Partition.Reference.is_bipartite odd then
+        QCheck.Test.fail_reportf "odd_cycle_planted n=%d is bipartite" n
+      else if Partition.Reference.excess_edges chorded <> k then
+        QCheck.Test.fail_reportf "forest_plus_edges n=%d k=%d: excess %d" n k
+          (Partition.Reference.excess_edges chorded)
+      else
+        let _, tb = Tester.Bipartite_tester.run ~seed odd ~eps:0.1 in
+        let _, tc = Tester.Cycle_free_tester.run ~seed chorded ~eps:0.1 in
+        match (tb.H.verdict, tc.H.verdict) with
+        | H.Reject _, H.Reject _ -> true
+        | vb, vc ->
+            QCheck.Test.fail_reportf
+              "far instance accepted: n=%d seed=%d bipartite=%s cycle-free=%s"
+              n seed (verdict_tag vb) (verdict_tag vc))
+
+let prop_portfolio_invariance =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "bipartite/cycle-free totals invariant across domains 1..%d x ff \
+          x mode"
+         max_domains)
+    ~count:6
+    QCheck.(triple (int_range 0 3) (int_range 8 40) (int_range 0 10000))
+    (fun (family, n, seed) ->
+      let g = graph_of ~family ~n ~seed in
+      let runs =
+        [
+          ( "bipartite",
+            fun ~domains ~fast_forward ~mode ->
+              snd
+                (Tester.Bipartite_tester.run ~seed ~domains ~fast_forward
+                   ~mode g ~eps:0.3) );
+          ( "cycle-free",
+            fun ~domains ~fast_forward ~mode ->
+              snd
+                (Tester.Cycle_free_tester.run ~seed ~domains ~fast_forward
+                   ~mode g ~eps:0.3) );
+        ]
+      in
+      let rec doms d = if d > max_domains then [] else d :: doms (d + 1) in
+      List.for_all
+        (fun (prop, run) ->
+          let base =
+            totals_fingerprint
+              (run ~domains:1 ~fast_forward:true ~mode:Congest.Compiled.Fiber)
+          in
+          List.for_all
+            (fun domains ->
+              List.for_all
+                (fun fast_forward ->
+                  List.for_all
+                    (fun mode ->
+                      let fp =
+                        totals_fingerprint (run ~domains ~fast_forward ~mode)
+                      in
+                      if fp = base then true
+                      else
+                        QCheck.Test.fail_reportf
+                          "%s totals differ: %s n=%d seed=%d domains=%d \
+                           ff=%b mode=%s"
+                          prop (family_name family) n seed domains
+                          fast_forward
+                          (Congest.Compiled.mode_to_string mode))
+                    [ Congest.Compiled.Fiber; Congest.Compiled.Compiled ])
+                [ true; false ])
+            (doms 1))
+        runs)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "prop"
@@ -418,6 +604,15 @@ let () =
           to_alcotest prop_planar_never_rejects;
           to_alcotest prop_stats_invariance;
           to_alcotest prop_compiled_matches_fiber;
+        ] );
+      ( "portfolio",
+        [
+          to_alcotest prop_bipartite_matches_reference;
+          to_alcotest prop_cycle_free_matches_reference;
+          to_alcotest prop_bipartite_holding_never_rejects;
+          to_alcotest prop_cycle_free_holding_never_rejects;
+          to_alcotest prop_far_instances_reject;
+          to_alcotest prop_portfolio_invariance;
         ] );
       ( "bits-fuzz",
         [

@@ -265,6 +265,91 @@ let test_stats_v2_unchanged_without_host () =
     (match field j "schema" with J.String s -> s | _ -> "?")
 
 (* ------------------------------------------------------------------ *)
+(* harness_stats: one "property" member after "seed", same tagging     *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic totals value mirroring [rejecting_report], so the
+   harness document shape is pinned without hunting for inputs. *)
+let synthetic_totals =
+  {
+    Tester.Harness.verdict =
+      Tester.Harness.Reject [ (3, "odd cycle"); (7, "odd cycle") ];
+    stage1 = None;
+    rounds = 10;
+    nominal_rounds = 12;
+    messages = 5;
+    total_bits = 40;
+    fast_forwarded_rounds = 2;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    crashed_nodes = 0;
+  }
+
+(* harness documents = the matching tester_stats key list with one
+   "property" member spliced in between "seed" and "domains". *)
+let splice_property keys =
+  List.concat_map
+    (fun (k, t) ->
+      if k = "domains" then [ ("property", "string"); (k, t) ] else [ (k, t) ])
+    keys
+
+let test_harness_stats_property_member () =
+  let j =
+    Report.harness_stats ~n:9 ~m:12 ~eps:0.2 ~seed:3 ~domains:1
+      ~property:"bipartite" synthetic_totals
+  in
+  check kt "v1 keys + property after seed" (splice_property stats_keys)
+    (keys_and_tags j);
+  check Alcotest.string "schema tag stays v1" "planartest.stats/v1"
+    (match field j "schema" with J.String s -> s | _ -> "?");
+  check Alcotest.string "property value" "bipartite"
+    (match field j "property" with J.String s -> s | _ -> "?");
+  check Alcotest.string "verdict preserved" "reject"
+    (match field j "verdict" with J.String s -> s | _ -> "?")
+
+let test_harness_stats_v2_v3_tagging () =
+  (* The v1 -> v2 -> v3 bump rules are the tester_stats ones, property
+     member included in all three. *)
+  let faults = Congest.Faults.make ~seed:7 ~drop:0.05 () in
+  let j2 =
+    Report.harness_stats ~n:9 ~m:12 ~eps:0.2 ~seed:3 ~domains:1
+      ~property:"cycle-free" ~faults synthetic_totals
+  in
+  check kt "v2 keys + property" (splice_property stats_keys_v2)
+    (keys_and_tags j2);
+  check Alcotest.string "v2 tag" "planartest.stats/v2"
+    (match field j2 "schema" with J.String s -> s | _ -> "?");
+  let g = Generators.grid 5 5 in
+  let tr = Congest.Trace.create () in
+  let _, t = Tester.Bipartite_tester.run ~seed:1 ~trace:tr g ~eps:0.3 in
+  Congest.Trace.finish tr;
+  let j3 =
+    Report.harness_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 ~property:"bipartite" ~host:tr t
+  in
+  check kt "v3 keys + property"
+    (splice_property (splice_host stats_keys))
+    (keys_and_tags j3);
+  check Alcotest.string "v3 tag" "planartest.stats/v3"
+    (match field j3 "schema" with J.String s -> s | _ -> "?")
+
+let test_planarity_keys_unchanged_by_harness () =
+  (* The locked golden: a planarity run through the post-harness
+     pipeline still emits the exact pre-harness v1 key set — no
+     "property" member sneaks into tester_stats documents. *)
+  let g, r = Lazy.force small_report in
+  let j =
+    Report.tester_stats ~n:(Graph.n g) ~m:(Graph.m g) ~eps:0.3 ~seed:1
+      ~domains:1 r
+  in
+  check cb "no property member" true
+    (match j with
+    | J.Obj fields -> not (List.mem_assoc "property" fields)
+    | _ -> false);
+  check kt "v1 key set intact" stats_keys (keys_and_tags j)
+
+(* ------------------------------------------------------------------ *)
 (* check_schema: goldens must reject unknown versions loudly           *)
 (* ------------------------------------------------------------------ *)
 
@@ -575,6 +660,12 @@ let () =
           Alcotest.test_case "v1 unchanged without faults" `Quick
             test_stats_v1_unchanged_without_faults;
           Alcotest.test_case "planartest.stats/v3" `Quick test_stats_schema_v3;
+          Alcotest.test_case "harness_stats property member" `Quick
+            test_harness_stats_property_member;
+          Alcotest.test_case "harness_stats v2/v3 tagging" `Quick
+            test_harness_stats_v2_v3_tagging;
+          Alcotest.test_case "planarity keys unchanged by harness" `Quick
+            test_planarity_keys_unchanged_by_harness;
           Alcotest.test_case "v2 unchanged without host" `Quick
             test_stats_v2_unchanged_without_host;
           Alcotest.test_case "check_schema rejects unknown versions" `Quick

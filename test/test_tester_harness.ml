@@ -1,0 +1,237 @@
+(* Unit tests for the shared tester harness (lib/tester/harness.ml):
+   verdict plumbing driven by synthetic Stage II callbacks, Degraded
+   propagation under fault injection, checkpoint parameter validation,
+   and the eps-rescaling clamp boundary cases for both budgets. *)
+
+open Graphlib
+module H = Tester.Harness
+module S = Partition.State
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cf = Alcotest.float 1e-12
+let q = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* effective_eps clamp                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_effective_eps_edge_budget () =
+  let g = Generators.grid 6 6 in
+  let n = float_of_int (Graph.n g) and m = float_of_int (Graph.m g) in
+  check cf "midrange: eps * m / n" (0.3 *. m /. n) (H.effective_eps g ~eps:0.3);
+  check cf "tiny eps floors at 1/n" (1.0 /. n) (H.effective_eps g ~eps:1e-9);
+  check cf "huge eps caps at 0.999" 0.999 (H.effective_eps g ~eps:10.0);
+  (* default budget is Edge_budget *)
+  check cf "default = Edge_budget"
+    (H.effective_eps ~budget:H.Edge_budget g ~eps:0.3)
+    (H.effective_eps g ~eps:0.3)
+
+let test_effective_eps_vertex_budget () =
+  let g = Generators.grid 6 6 in
+  let n = float_of_int (Graph.n g) in
+  check cf "midrange passes through" 0.3
+    (H.effective_eps ~budget:H.Vertex_budget g ~eps:0.3);
+  check cf "zero eps floors at 1/n" (1.0 /. n)
+    (H.effective_eps ~budget:H.Vertex_budget g ~eps:0.0);
+  check cf "huge eps caps at 0.999" 0.999
+    (H.effective_eps ~budget:H.Vertex_budget g ~eps:5.0)
+
+let test_effective_eps_degenerate () =
+  (* empty graph: eps is returned unchanged, no division by n *)
+  check cf "n = 0 passes eps through" 0.42
+    (H.effective_eps (Graph.make ~n:0 []) ~eps:0.42);
+  (* edgeless graph with vertices: raw = 0, floored at 1/n *)
+  check cf "m = 0 floors at 1/n" 0.25
+    (H.effective_eps (Graph.make ~n:4 []) ~eps:0.3);
+  (* single node: 1/n = 1.0 > 0.999, so the cap wins over the floor *)
+  check cf "n = 1 cap beats floor" 0.999
+    (H.effective_eps (Graph.make ~n:1 []) ~eps:0.3)
+
+(* The documented invariant, fuzzed: eps' * n >= 1 and eps' <= 0.999 for
+   every budget, and Minor_free_testers.effective_eps is exactly the
+   Edge_budget clamp (the PR that introduced the harness re-routed it). *)
+let prop_effective_eps_invariant =
+  QCheck.Test.make ~name:"effective_eps: eps' * n >= 1, eps' <= 0.999"
+    ~count:200
+    QCheck.(
+      triple (int_range 0 3) (int_range 1 80)
+        (pair (int_range 0 10000) (int_range 0 40)))
+    (fun (family, n, (seed, e)) ->
+      let rng = Random.State.make [| seed; 977 |] in
+      let g =
+        match family mod 4 with
+        | 0 -> Generators.apollonian rng (max 4 n)
+        | 1 ->
+            let side = max 2 (int_of_float (sqrt (float_of_int (max 4 n)))) in
+            Generators.grid side side
+        | 2 -> Generators.random_tree rng (max 2 n)
+        | _ -> Graph.make ~n []
+      in
+      let eps = float_of_int e /. 20.0 in
+      List.for_all
+        (fun budget ->
+          let eps' = H.effective_eps ~budget g ~eps in
+          let n = Graph.n g in
+          (* 1/n is not exactly representable, so the product can land an
+             ulp below 1.0 — the documented invariant holds up to
+             rounding *)
+          (n = 0
+          || (eps' *. float_of_int n >= 1.0 -. 1e-9 && eps' <= 0.999))
+          || QCheck.Test.fail_reportf "clamp violated: n=%d eps=%.3f eps'=%f"
+               n eps eps')
+        [ H.Edge_budget; H.Vertex_budget ]
+      && (let a = Tester.Minor_free_testers.effective_eps g ~eps in
+          let b = H.effective_eps ~budget:H.Edge_budget g ~eps in
+          a = b
+          || QCheck.Test.fail_reportf
+               "Minor_free_testers.effective_eps %f <> Edge_budget clamp %f" a
+               b))
+
+(* ------------------------------------------------------------------ *)
+(* verdict plumbing with synthetic Stage II callbacks                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_accept_surfaces_stage2_result () =
+  let g = Generators.grid 5 5 in
+  let r, t =
+    H.run ~property:"unit" ~stage2:(fun _ ~eps:_ ~seed:_ -> 42) g ~eps:0.3
+  in
+  check (Alcotest.option Alcotest.int) "stage2 result surfaced" (Some 42) r;
+  (match t.H.verdict with
+  | H.Accept -> ()
+  | _ -> Alcotest.fail "expected Accept on a quiet Stage II");
+  check cb "Stage_one result present" true (t.H.stage1 <> None)
+
+let test_reject_evidence_sorted_deduped () =
+  let g = Generators.grid 5 5 in
+  let stage2 st ~eps:_ ~seed:_ =
+    st.S.rejections <- [ (7, "b"); (3, "a"); (7, "b") ]
+  in
+  let r, t = H.run ~property:"unit" ~stage2 g ~eps:0.3 in
+  check cb "stage2 ran" true (r <> None);
+  match t.H.verdict with
+  | H.Reject l ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+        "evidence sorted and deduplicated"
+        [ (3, "a"); (7, "b") ]
+        l
+  | _ -> Alcotest.fail "expected Reject"
+
+let test_degraded_exception_propagates () =
+  (* Congest.Faults.Degraded escaping Stage II becomes the verdict even
+     on a fault-free run (the escape hatch is unconditional). *)
+  let g = Generators.grid 5 5 in
+  let stage2 _ ~eps:_ ~seed:_ = raise (Congest.Faults.Degraded "gave up") in
+  let r, t = H.run ~property:"unit" ~stage2 g ~eps:0.3 in
+  check cb "no stage2 result" true (r = None);
+  match t.H.verdict with
+  | H.Degraded msg -> check Alcotest.string "message preserved" "gave up" msg
+  | _ -> Alcotest.fail "expected Degraded"
+
+let test_rejection_under_fired_faults_degrades () =
+  (* Synthetic rejection evidence while a drop policy demonstrably fired
+     must never surface as Reject — one-sided error by construction. *)
+  let g = Generators.grid 8 8 in
+  let faults =
+    Congest.Faults.make ~seed:11 ~drop:0.4 ~duplicate:0.0 ~delay:0.0
+      ~max_delay:1 ~truncate:0.0 ~crashes:[] ()
+  in
+  let stage2 st ~eps:_ ~seed:_ =
+    st.S.rejections <- (0, "synthetic") :: st.S.rejections
+  in
+  let _, t = H.run ~faults ~property:"unit" ~stage2 g ~eps:0.3 in
+  check cb "faults actually fired" true (t.H.dropped > 0);
+  match t.H.verdict with
+  | H.Degraded _ -> ()
+  | H.Accept -> Alcotest.fail "synthetic evidence vanished"
+  | H.Reject _ -> Alcotest.fail "rejection trusted while faults fired"
+
+let test_plain_exception_without_faults_escapes () =
+  (* Without a fault policy there is nothing to blame: an unexpected
+     Stage II exception propagates to the caller instead of being
+     laundered into Degraded. *)
+  let g = Generators.grid 4 4 in
+  let stage2 _ ~eps:_ ~seed:_ = failwith "stage2 bug" in
+  Alcotest.check_raises "escapes" (Failure "stage2 bug") (fun () ->
+      ignore (H.run ~property:"unit" ~stage2 g ~eps:0.3))
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint parameter validation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_checkpoint every =
+  { H.every; save = (fun _ -> ()); load = (fun () -> None) }
+
+let noop_stage2 _ ~eps:_ ~seed:_ = ()
+
+let test_checkpoint_every_validated () =
+  let g = Generators.grid 4 4 in
+  Alcotest.check_raises "every = 0 rejected"
+    (Invalid_argument
+       "Tester.Harness.run (unit): checkpoint.every must be >= 1") (fun () ->
+      ignore
+        (H.run
+           ~checkpoint:(dummy_checkpoint 0)
+           ~property:"unit" ~stage2:noop_stage2 g ~eps:0.3))
+
+let test_checkpoint_requires_stage_one () =
+  let g = Generators.grid 4 4 in
+  Alcotest.check_raises "Exponential_shifts rejected"
+    (Invalid_argument
+       "Tester.Harness.run (unit): checkpointing requires the Stage_one \
+        partition (Exponential_shifts clusters centrally, with no phase \
+        boundaries to checkpoint at)") (fun () ->
+      ignore
+        (H.run ~partition:H.Exponential_shifts
+           ~checkpoint:(dummy_checkpoint 1)
+           ~property:"unit" ~stage2:noop_stage2 g ~eps:0.3))
+
+let test_exponential_shifts_has_no_stage1 () =
+  let g = Generators.grid 5 5 in
+  let r, t =
+    H.run ~partition:H.Exponential_shifts ~property:"unit"
+      ~stage2:(fun _ ~eps:_ ~seed:_ -> "ok")
+      g ~eps:0.3
+  in
+  check (Alcotest.option Alcotest.string) "stage2 still runs" (Some "ok") r;
+  check cb "no Stage I result" true (t.H.stage1 = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "tester_harness"
+    [
+      ( "effective_eps",
+        [
+          Alcotest.test_case "edge budget" `Quick
+            test_effective_eps_edge_budget;
+          Alcotest.test_case "vertex budget" `Quick
+            test_effective_eps_vertex_budget;
+          Alcotest.test_case "degenerate graphs" `Quick
+            test_effective_eps_degenerate;
+          q prop_effective_eps_invariant;
+        ] );
+      ( "verdict",
+        [
+          Alcotest.test_case "accept surfaces result" `Quick
+            test_accept_surfaces_stage2_result;
+          Alcotest.test_case "reject sorted+dedup" `Quick
+            test_reject_evidence_sorted_deduped;
+          Alcotest.test_case "Degraded exception" `Quick
+            test_degraded_exception_propagates;
+          Alcotest.test_case "faulty rejection degrades" `Quick
+            test_rejection_under_fired_faults_degrades;
+          Alcotest.test_case "plain exception escapes" `Quick
+            test_plain_exception_without_faults_escapes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "every >= 1" `Quick test_checkpoint_every_validated;
+          Alcotest.test_case "Stage_one only" `Quick
+            test_checkpoint_requires_stage_one;
+          Alcotest.test_case "Exponential_shifts runs" `Quick
+            test_exponential_shifts_has_no_stage1;
+        ] );
+    ]
