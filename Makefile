@@ -1,5 +1,5 @@
-.PHONY: all build test bench fuzz trace monitor monitor-baseline scale \
-  compiled testers ci clean
+.PHONY: all build test bench fuzz trace critpath monitor monitor-baseline \
+  scale compiled testers ci clean
 
 all: build
 
@@ -55,6 +55,88 @@ trace: build
 	./_build/default/bin/planartrace.exe export $(TRACE_DIR)/d1.ctrace \
 	  -o $(TRACE_DIR)/d1.perfetto.json.again
 	cmp $(TRACE_DIR)/d1.perfetto.json $(TRACE_DIR)/d1.perfetto.json.again
+
+# Causal critical-path gate (also a CI leg).  Five parts:
+#   1. delay-free exact gate — record a pinned-seed traced planartest
+#      run with a ring sized to hold every event, then `planartrace
+#      critpath --gate exact`: the causal chain must explain every
+#      round (path length = total traced rounds, zero excess, ring
+#      complete), and the JSON must carry the locked critpath/v1 tag.
+#   2. invariance — the critpath JSON of the same (smaller) workload
+#      must be byte-identical under --domains 1/4, --no-fast-forward
+#      and --mode compiled (the ff-off leg records every per-round spin
+#      resume, so it needs the bigger share of the ring; the analyzer's
+#      timer-collapse folds them back into the same path).
+#   3. delay-storm attribution — the tester is deadline-scheduled, so a
+#      delay storm shows up as slack absorption, never path excess: the
+#      storm leg locks the path's excess at zero.  The complementary
+#      half — a delivery-driven workload whose inflation IS excess,
+#      with contracted_rounds recovering the clean run exactly — is the
+#      relay-chain unit pair in test_trace.exe (critpath group), run as
+#      part 4.
+#   5. the Perfetto export with the --critpath overlay is a pure
+#      function of the .ctrace bytes: exporting twice must be
+#      byte-identical.
+# CRITPATH_DIR keeps the artifacts for upload on CI failure.  None of
+# the gated commands sit behind a pipe, so their exit codes reach make.
+CRITPATH_DIR ?= /tmp/planarcritpath
+critpath: build
+	mkdir -p $(CRITPATH_DIR)
+	./_build/default/bin/planartest.exe gen --family grid --n 256 \
+	  > $(CRITPATH_DIR)/g256.txt
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g256.txt \
+	  --eps 0.3 --seed 3 --trace $(CRITPATH_DIR)/exact.ctrace \
+	  --trace-capacity 1048576 --log-level warn > /dev/null
+	./_build/default/bin/planartrace.exe critpath \
+	  $(CRITPATH_DIR)/exact.ctrace --gate exact \
+	  --json $(CRITPATH_DIR)/exact.critpath.json
+	grep -q '"schema":"critpath/v1"' $(CRITPATH_DIR)/exact.critpath.json
+	./_build/default/bin/planartest.exe gen --family grid --n 64 \
+	  > $(CRITPATH_DIR)/g64.txt
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g64.txt \
+	  --eps 0.1 --seed 3 --trace $(CRITPATH_DIR)/d1.ctrace \
+	  --trace-capacity 1048576 --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g64.txt \
+	  --eps 0.1 --seed 3 --domains 4 --trace $(CRITPATH_DIR)/d4.ctrace \
+	  --trace-capacity 1048576 --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g64.txt \
+	  --eps 0.1 --seed 3 --no-fast-forward \
+	  --trace $(CRITPATH_DIR)/noff.ctrace \
+	  --trace-capacity 1048576 --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g64.txt \
+	  --eps 0.1 --seed 3 --mode compiled \
+	  --trace $(CRITPATH_DIR)/comp.ctrace \
+	  --trace-capacity 1048576 --log-level warn > /dev/null
+	./_build/default/bin/planartrace.exe critpath $(CRITPATH_DIR)/d1.ctrace \
+	  --gate exact --json $(CRITPATH_DIR)/d1.critpath.json > /dev/null
+	./_build/default/bin/planartrace.exe critpath $(CRITPATH_DIR)/d4.ctrace \
+	  --json $(CRITPATH_DIR)/d4.critpath.json > /dev/null
+	./_build/default/bin/planartrace.exe critpath \
+	  $(CRITPATH_DIR)/noff.ctrace \
+	  --json $(CRITPATH_DIR)/noff.critpath.json > /dev/null
+	./_build/default/bin/planartrace.exe critpath \
+	  $(CRITPATH_DIR)/comp.ctrace \
+	  --json $(CRITPATH_DIR)/comp.critpath.json > /dev/null
+	cmp $(CRITPATH_DIR)/d1.critpath.json $(CRITPATH_DIR)/d4.critpath.json
+	cmp $(CRITPATH_DIR)/d1.critpath.json $(CRITPATH_DIR)/noff.critpath.json
+	cmp $(CRITPATH_DIR)/d1.critpath.json $(CRITPATH_DIR)/comp.critpath.json
+	./_build/default/bin/planartest.exe test $(CRITPATH_DIR)/g256.txt \
+	  --eps 0.3 --seed 3 --faults "delay=0.2,maxdelay=8,seed=7" \
+	  --trace $(CRITPATH_DIR)/storm.ctrace --trace-capacity 1048576 \
+	  --log-level warn > /dev/null
+	./_build/default/bin/planartrace.exe critpath \
+	  $(CRITPATH_DIR)/storm.ctrace \
+	  --json $(CRITPATH_DIR)/storm.critpath.json > /dev/null
+	grep -q '"excess_rounds":0,"stitch_rounds"' \
+	  $(CRITPATH_DIR)/storm.critpath.json
+	./_build/default/test/test_trace.exe test critpath \
+	  > $(CRITPATH_DIR)/units.txt 2>&1; \
+	  code=$$?; cat $(CRITPATH_DIR)/units.txt; exit $$code
+	./_build/default/bin/planartrace.exe export $(CRITPATH_DIR)/d1.ctrace \
+	  --critpath -o $(CRITPATH_DIR)/overlay.json
+	./_build/default/bin/planartrace.exe export $(CRITPATH_DIR)/d1.ctrace \
+	  --critpath -o $(CRITPATH_DIR)/overlay.json.again
+	cmp $(CRITPATH_DIR)/overlay.json $(CRITPATH_DIR)/overlay.json.again
 
 # Metrics regression gate (also a CI leg): take a fresh stable-only
 # metrics/v1 snapshot of planarmon's default workload (grid n=512,
@@ -213,7 +295,7 @@ testers: build
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace monitor scale compiled testers
+ci: build test trace critpath monitor scale compiled testers
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -154,7 +154,11 @@ let sample_host_gauges () =
   M.set m_gc_heap_words (float_of_int s.Gc.heap_words)
 
 (* Runs the tester once with metrics enabled; returns the report and the
-   wall-clock seconds spent. *)
+   wall-clock seconds spent.  Every run is traced into a large ring (so
+   the causal analysis is never lossy at monitor scales) and fed to the
+   critical-path analyzer: critpath_rounds / critpath_slack_rounds are
+   ~stable, so the monitor baseline locks them alongside the engine's
+   own counters. *)
 let run_workload w =
   let g =
     try make_graph ~family:w.family ~n:w.n ~param:w.param ~seed:w.seed
@@ -166,12 +170,35 @@ let run_workload w =
     ~run_id:
       (Printf.sprintf "planarmon:%s:n=%d:seed=%d" w.family w.n w.seed)
     ();
+  (* The ring must hold the whole run: critpath metrics are only stable
+     when no causal parent was evicted.  The default workload records
+     ~1.9M events fast-forwarded; without fast-forward every parked
+     node's per-round spin resume lands in the ring too (~11.2M), so
+     the diagnostic ff-off mode pays for the bigger ring rather than
+     lose the stable families. *)
+  let capacity = if w.fast_forward then 1 lsl 21 else 1 lsl 24 in
+  let trace =
+    Congest.Trace.create
+      ~config:{ Congest.Trace.default_config with capacity }
+      ()
+  in
   let t0 = Unix.gettimeofday () in
   let r =
-    PT.run ~domains:w.domains ~fast_forward:w.fast_forward ~seed:w.seed g
-      ~eps:w.eps
+    PT.run ~trace ~domains:w.domains ~fast_forward:w.fast_forward ~seed:w.seed
+      g ~eps:w.eps
   in
   let wall = Unix.gettimeofday () -. t0 in
+  Congest.Trace.finish trace;
+  let view = Report.Ctrace.of_trace trace in
+  (* A lossy ring's surviving suffix depends on the host event mix
+     (Shard events vary with --domains), so a path computed from it is
+     not machine-independent: skip the stable families rather than
+     poison the baseline. *)
+  if Report.Critpath_report.lossy_view view then
+    Obs.Log.warn
+      "critpath: monitor trace ring overflowed; skipping critpath metrics \
+       (raise the workload size only alongside a bigger ring)"
+  else Obs.Critpath.record_metrics (Report.Critpath_report.analyze view);
   M.set m_workload_wall wall;
   sample_host_gauges ();
   (r, wall)

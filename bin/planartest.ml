@@ -160,9 +160,9 @@ let test_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run path eps seed domains stats_json faults_spec trace_out no_ff
-      mode_name checkpoint_path checkpoint_every checkpoint_exit no_gt
-      property log_level log_json =
+  let run path eps seed domains stats_json faults_spec trace_out
+      trace_capacity no_ff mode_name checkpoint_path checkpoint_every
+      checkpoint_exit no_gt property log_level log_json =
     setup_logs log_level log_json;
     Obs.Log.set_context
       ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
@@ -204,7 +204,23 @@ let test_cmd =
         Some (Congest.Telemetry.create ())
       else None
     in
-    let trace = Option.map (fun _ -> Congest.Trace.create ()) trace_out in
+    let trace =
+      Option.map
+        (fun _ ->
+          match trace_capacity with
+          | None -> Congest.Trace.create ()
+          | Some cap when cap >= 1 ->
+              Congest.Trace.create
+                ~config:
+                  { Congest.Trace.default_config with
+                    Congest.Trace.capacity = cap }
+                ()
+          | Some cap ->
+              Obs.Log.errorf
+                "planartest test: --trace-capacity must be >= 1 (got %d)" cap;
+              exit 2)
+        trace_out
+    in
     let checkpoint =
       match checkpoint_path with
       | None -> None
@@ -291,6 +307,15 @@ let test_cmd =
           Obs.Log.errorf "planartest test: cannot write trace: %s" msg;
           exit 1)
     | _ -> ());
+    (* Traced runs feed the ~stable critpath counters — but only when a
+       metrics registry is live (planarmon-style embedding); the
+       analysis is skipped entirely otherwise, so plain runs pay
+       nothing. *)
+    (match trace with
+    | Some tr when Obs.Metrics.enabled () ->
+        Obs.Critpath.record_metrics
+          (Report.Critpath_report.analyze (Report.Ctrace.of_trace tr))
+    | _ -> ());
     (* With --stats-json -, stdout carries exactly the JSON document; the
        human-readable summary moves to stderr. *)
     let hum = if stats_json = Some "-" then stderr else stdout in
@@ -352,6 +377,20 @@ let test_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let trace_capacity_arg =
+    let doc =
+      "Trace ring capacity in events (with --trace; default 65536).  \
+       Aggregates are exact at any capacity, but per-event analyses — \
+       $(b,planartrace critpath) in particular — need the ring to hold \
+       the whole run; size it above the expected event count (roughly \
+       messages + 2 steps per node per active round) to avoid a lossy \
+       profile."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
   let no_ff_arg =
     let doc =
       "Disable the engine's quiescent-round fast-forward (the measurement \
@@ -364,9 +403,10 @@ let test_cmd =
     let doc =
       "Execution engine for the lockstep Stage I primitives: $(b,fiber) \
        (the effect-handler reference engine), $(b,compiled) (fiber-free \
-       array passes; falls back to fiber when faults or --trace are \
-       active), or $(b,auto) (compiled whenever eligible).  The verdict, \
-       statistics and telemetry are byte-identical across modes."
+       array passes; falls back to fiber when faults are active), or \
+       $(b,auto) (compiled whenever eligible).  The verdict, statistics, \
+       telemetry and --trace event stream are byte-identical across \
+       modes."
     in
     Arg.(value & opt string "fiber" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
@@ -420,7 +460,8 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run a distributed property tester")
     Term.(
       const run $ graph_arg $ eps_arg $ seed_arg $ domains_arg
-      $ stats_json_arg $ faults_arg $ trace_arg $ no_ff_arg $ mode_arg
+      $ stats_json_arg $ faults_arg $ trace_arg $ trace_capacity_arg
+      $ no_ff_arg $ mode_arg
       $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_exit_arg
       $ no_gt_arg $ property_arg $ log_level_arg $ log_json_arg)
 

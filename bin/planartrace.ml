@@ -6,7 +6,8 @@
      planartrace phases run.ctrace
      planartrace imbalance run.ctrace
      planartrace faults run.ctrace
-     planartrace export run.ctrace -o run.json
+     planartrace critpath run.ctrace --top 10 --json cp.json
+     planartrace export run.ctrace -o run.json --critpath
      planartrace diff a.ctrace b.ctrace *)
 
 open Cmdliner
@@ -140,7 +141,19 @@ let edges_cmd =
           :: acc)
         msgs []
     in
-    let rows = List.sort (fun a b -> compare b a) rows in
+    (* Rank by charged frames, then bits, then messages (all
+       descending); exhausted counts tie-break by ascending (src, dst)
+       so the table is stable and reproducible rather than falling back
+       to descending edge ids. *)
+    let rows =
+      List.sort
+        (fun (f1, b1, m1, e1, s1, d1) (f2, b2, m2, e2, s2, d2) ->
+          if f1 <> f2 then compare f2 f1
+          else if b1 <> b2 then compare b2 b1
+          else if m1 <> m2 then compare m2 m1
+          else compare (s1, d1, e1) (s2, d2, e2))
+        rows
+    in
     Printf.printf "%-8s %-12s %8s %10s %10s\n" "edge" "direction" "frames"
       "bits" "messages";
     List.iteri
@@ -243,6 +256,151 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Chronological fault-event timeline")
     Term.(const run $ trace_arg)
 
+(* --- critpath ---------------------------------------------------------- *)
+
+(* The recorder tracks every loss (ring overwrite, sampling) in its
+   exact totals; a causal analysis over a lossy ring may be missing the
+   parents of early steps, so say so loudly — through Obs.Log so the
+   warning also lands in a --log-json stream — and count it. *)
+let m_lossy_analyses =
+  Obs.Metrics.counter ~stable:false
+    ~help:"Critical-path analyses run over a lossy (overwritten/sampled) ring"
+    "critpath_lossy_analyses"
+
+let warn_lossy (v : Ctrace.view) =
+  if Report.Critpath_report.lossy_view v then begin
+    let t = v.Ctrace.totals in
+    Obs.Metrics.inc m_lossy_analyses;
+    Obs.Log.warnf
+      ~fields:
+        [
+          ("overwritten", Obs.Log.I t.Trace.overwritten);
+          ("sampled_out", Obs.Log.I t.Trace.sampled_out);
+          ("recorded", Obs.Log.I t.Trace.recorded);
+        ]
+      "critpath: ring is lossy — causal chain may terminate early and \
+       blame below covers only the surviving suffix"
+  end
+
+let critpath_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Show the $(docv) most-blamed causal edges.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the critpath/v1 JSON document ('-' = stdout).")
+  in
+  let gate_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("exact", `Exact); ("delayed", `Delayed) ])) None
+      & info [ "gate" ] ~docv:"MODE"
+          ~doc:
+            "Assert the profile's invariants and exit non-zero when they \
+             fail: $(b,exact) requires the path to span the whole run \
+             with zero excess (delay-free runs); $(b,delayed) requires \
+             the path to span the run with positive excess attributed to \
+             injected delays.")
+  in
+  let run path top json gate =
+    let v = load path in
+    warn_lossy v;
+    let r = Report.Critpath_report.analyze v in
+    let module C = Obs.Critpath in
+    Printf.printf
+      "critical path   : %d rounds over %d steps (rounds %d..%d of %d \
+       traced)\n"
+      r.C.path_rounds r.C.steps r.C.start_round r.C.end_round
+      r.C.total_rounds;
+    Printf.printf "deliver hops    : %d (%d nominal rounds, %d excess)\n"
+      r.C.deliver_hops r.C.deliver_rounds r.C.excess_rounds;
+    Printf.printf "slack           : %d rounds of deadline waits\n"
+      r.C.timer_rounds;
+    if r.C.stitch_rounds > 0 then
+      Printf.printf "run stitches    : %d rounds\n" r.C.stitch_rounds;
+    Printf.printf
+      "contracted      : %d rounds with injected delays contracted\n"
+      r.C.contracted_rounds;
+    if r.C.lossy then print_endline "coverage        : LOSSY (see warning)";
+    if r.C.phases <> [] then begin
+      Printf.printf "\n%-18s %6s %8s %8s %8s\n" "phase" "hops" "deliver"
+        "slack" "excess";
+      List.iter
+        (fun (p : C.phase_profile) ->
+          Printf.printf "%-18s %6d %8d %8d %8d\n" p.C.phase p.C.hops
+            p.C.deliver_rounds p.C.timer_rounds p.C.excess_rounds)
+        r.C.phases
+    end;
+    if r.C.edges <> [] then begin
+      Printf.printf "\n%-14s %-8s %6s %8s %8s\n" "causal edge" "edge" "hops"
+        "rounds" "excess";
+      List.iteri
+        (fun i (b : C.edge_blame) ->
+          if i < top then
+            Printf.printf "%5d->%-7d %-8s %6d %8d %8d\n" b.C.src b.C.dst
+              (if b.C.edge >= 0 then string_of_int b.C.edge else "?")
+              b.C.hops b.C.rounds b.C.excess)
+        r.C.edges
+    end
+    else print_endline "\n(no deliver hops on the path)";
+    (match json with
+    | Some out -> (
+        try Report.write out (Report.Critpath_report.to_json ~top r)
+        with Sys_error msg ->
+          Printf.eprintf "planartrace critpath: %s\n" msg;
+          exit 1)
+    | None -> ());
+    match gate with
+    | None -> ()
+    | Some `Exact ->
+        if r.C.path_rounds <> r.C.total_rounds then begin
+          Printf.eprintf
+            "GATE exact: path %d rounds does not span the %d traced rounds\n"
+            r.C.path_rounds r.C.total_rounds;
+          exit 1
+        end;
+        if r.C.excess_rounds <> 0 then begin
+          Printf.eprintf
+            "GATE exact: %d excess rounds on a run declared delay-free\n"
+            r.C.excess_rounds;
+          exit 1
+        end;
+        if r.C.lossy then begin
+          Printf.eprintf "GATE exact: ring is lossy\n";
+          exit 1
+        end
+    | Some `Delayed ->
+        if r.C.path_rounds <> r.C.total_rounds then begin
+          Printf.eprintf
+            "GATE delayed: path %d rounds does not span the %d traced \
+             rounds\n"
+            r.C.path_rounds r.C.total_rounds;
+          exit 1
+        end;
+        if r.C.excess_rounds <= 0 then begin
+          Printf.eprintf
+            "GATE delayed: no excess rounds attributed under an injected \
+             delay storm\n";
+          exit 1
+        end;
+        if r.C.contracted_rounds >= r.C.path_rounds then begin
+          Printf.eprintf
+            "GATE delayed: contraction did not shorten the path (%d >= %d)\n"
+            r.C.contracted_rounds r.C.path_rounds;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Causal critical path: why the run took as many rounds as it did")
+    Term.(const run $ trace_arg $ top_arg $ json_arg $ gate_arg)
+
 (* --- export ------------------------------------------------------------ *)
 
 let export_cmd =
@@ -252,9 +410,24 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"PATH"
           ~doc:"Output JSON path ('-' = stdout).")
   in
-  let run path out =
+  let overlay_arg =
+    Arg.(
+      value & flag
+      & info [ "critpath" ]
+          ~doc:
+            "Overlay the causal critical path as its own track, chained \
+             by flow arrows.")
+  in
+  let run path out overlay =
     let v = load path in
-    (try Report.Perfetto.write out v
+    let critpath =
+      if overlay then begin
+        warn_lossy v;
+        Some (Report.Critpath_report.analyze v)
+      end
+      else None
+    in
+    (try Report.Perfetto.write ?critpath out v
      with Sys_error msg ->
        Printf.eprintf "planartrace export: %s\n" msg;
        exit 1);
@@ -263,7 +436,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export as Chrome/Perfetto trace_event JSON")
-    Term.(const run $ trace_arg $ out_arg)
+    Term.(const run $ trace_arg $ out_arg $ overlay_arg)
 
 (* --- diff -------------------------------------------------------------- *)
 
@@ -371,7 +544,7 @@ let () =
            (Cmd.info "planartrace" ~doc)
            [
              info_cmd; edges_cmd; phases_cmd; imbalance_cmd; faults_cmd;
-             export_cmd; diff_cmd;
+             critpath_cmd; export_cmd; diff_cmd;
            ])
     with Failure msg | Sys_error msg ->
       (* A subcommand body leaked an exception: that is a bad-input

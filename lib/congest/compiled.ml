@@ -2,10 +2,10 @@ open Graphlib
 
 type mode = Fiber | Compiled | Auto
 
-let pick mode ~faults ~trace =
+let pick mode ~faults =
   match mode with
   | Fiber -> false
-  | Compiled | Auto -> (not faults) && not trace
+  | Compiled | Auto -> not faults
 
 let mode_to_string = function
   | Fiber -> "fiber"
@@ -111,6 +111,12 @@ module Make (Msg : MESSAGE) = struct
     mutable receivers_len : int;
     live : int array;  (* parked nodes, ascending, compacted per round *)
     wake : int array;  (* absolute resume deadline per parked node *)
+    (* Causal parent of the round's first delivery per node (sender and
+       send round of the frame that flipped [ib_head] from empty), for
+       the trace's Resume wake-cause slots — same contract as the fiber
+       pool's twin fields.  Lazily allocated by the first traced run. *)
+    mutable wake_sender : int array;
+    mutable wake_sent : int array;
     ib_head : int array;
     mutable ib_sender : int array;
     mutable ib_next : int array;
@@ -136,6 +142,8 @@ module Make (Msg : MESSAGE) = struct
       receivers_len = 0;
       live = Array.make (max 1 n) 0;
       wake = Array.make (max 1 n) 0;
+      wake_sender = [||];
+      wake_sent = [||];
       ib_head = Array.make (max 1 n) (-1);
       ib_sender = [||];
       ib_next = [||];
@@ -253,13 +261,16 @@ module Make (Msg : MESSAGE) = struct
     completed : bool;
   }
 
-  let run ?bandwidth ?(max_rounds = 1_000_000) ?telemetry
+  let run ?bandwidth ?(max_rounds = 1_000_000) ?telemetry ?trace
       ?(fast_forward = true) ?pool:opool g ~start ~resume =
     let n = Graph.n g in
     let m_t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
     let bw =
       match bandwidth with Some b -> b | None -> Bits.default_bandwidth n
     in
+    (match trace with
+    | Some tr -> Trace.set_meta tr ~n ~m:(Graph.m g) ~bandwidth:bw
+    | None -> ());
     let p, owned =
       match opool with
       | Some p when p.pgraph == g && not p.in_use ->
@@ -268,6 +279,11 @@ module Make (Msg : MESSAGE) = struct
       | _ -> (pool g, false)
     in
     p.in_use <- true;
+    let traced = trace <> None in
+    if traced && Array.length p.wake_sender < n then begin
+      p.wake_sender <- Array.make (max 1 n) (-1);
+      p.wake_sent <- Array.make (max 1 n) (-1)
+    end;
     let eng =
       {
         graph = g;
@@ -306,6 +322,55 @@ module Make (Msg : MESSAGE) = struct
         !acc
       end
     in
+    (* Resume/park trace events, predicted before/after the step loop in
+       ascending id order — the same two-pass shape as the fiber
+       engine's prescan/postscan, so the fiber event stream is
+       byte-identical across modes.  Candidates are the due nodes with
+       fast-forward on and every live node with it off (the fiber
+       baseline resumes every waiting fiber every round). *)
+    let fiber_scratch = ref [||] in
+    let trace_prescan tr =
+      if Array.length !fiber_scratch = 0 then
+        fiber_scratch := Array.make (max 1 n) 0;
+      let sc = !fiber_scratch in
+      let cnt = ref 0 in
+      for i = 0 to !live_len - 1 do
+        let v = live.(i) in
+        if (not eng.ff) || p.ib_head.(v) >= 0 || wake.(v) <= eng.current_round
+        then begin
+          (* Prefer-arrival rule, as in the fiber engine: any delivery
+             this round outranks an expired deadline. *)
+          if p.ib_head.(v) >= 0 then
+            Trace.fiber_resume tr ~round:eng.current_round ~node:v
+              ~cause:Trace.Wake_deliver ~sender:p.wake_sender.(v)
+              ~sent:p.wake_sent.(v)
+          else
+            Trace.fiber_resume tr ~round:eng.current_round ~node:v
+              ~cause:Trace.Wake_deadline ~sender:(-1) ~sent:(-1);
+          sc.(!cnt) <- v;
+          incr cnt
+        end
+      done;
+      !cnt
+    in
+    (* Entries the step loop nulled out (halted or failed) are skipped;
+       with fast-forward off a surviving fiber's park deadline is the
+       next round (the fiber baseline re-suspends with [Suspend 1]),
+       except candidates past a failed hook, which were never stepped
+       and keep last round's deadline. *)
+    let trace_postscan tr cnt ~failed_ci =
+      let sc = !fiber_scratch in
+      for i = 0 to cnt - 1 do
+        let v = sc.(i) in
+        if v >= 0 then
+          let wk =
+            if eng.ff then wake.(v)
+            else if i > failed_ci then eng.current_round
+            else eng.current_round + 1
+          in
+          Trace.fiber_park tr ~round:eng.current_round ~node:v ~wake:wk
+      done
+    in
     let one_round () =
       eng.estats.Stats.rounds <- eng.estats.Stats.rounds + 1;
       eng.current_round <- eng.current_round + 1;
@@ -328,9 +393,18 @@ module Make (Msg : MESSAGE) = struct
           p.edge_bits.(de) <- p.edge_bits.(de) + b;
           if p.ib_head.(dest) < 0 then begin
             p.receivers.(p.receivers_len) <- dest;
-            p.receivers_len <- p.receivers_len + 1
+            p.receivers_len <- p.receivers_len + 1;
+            if traced then begin
+              p.wake_sender.(dest) <- v;
+              p.wake_sent.(dest) <- eng.current_round - 1
+            end
           end;
-          push_inbox p ~sender:v ~dest msg
+          push_inbox p ~sender:v ~dest msg;
+          (match trace with
+          | Some tr ->
+              Trace.message tr ~round:eng.current_round
+                ~sent:(eng.current_round - 1) ~sender:v ~dest ~edge:de ~bits:b
+          | None -> ())
         done
       done;
       (* Charge bandwidth per directed edge by re-scanning the same
@@ -364,9 +438,15 @@ module Make (Msg : MESSAGE) = struct
          baseline steps every waiting node each round (the node's own
          hook still only runs on arrival or deadline, exactly like
          [Engine.wait]'s internal loop). *)
+      let fib_cnt =
+        match trace with Some tr -> trace_prescan tr | None -> 0
+      in
       let stepped = ref 0 in
       let kept = ref 0 in
       let failure = ref None in
+      let sc = !fiber_scratch in
+      let ci = ref 0 in
+      let failed_ci = ref max_int in
       min_wake := max_int;
       let keep v =
         live.(!kept) <- v;
@@ -382,25 +462,45 @@ module Make (Msg : MESSAGE) = struct
              let inbox = build_inbox v in
              if eng.ff then incr stepped;
              ctx.cur <- v;
+             if traced then begin
+               (* Halted or failed unless the hook parks again; the
+                  candidate order of this loop matches the prescan's
+                  exactly (nothing stepped so far changed an unvisited
+                  node's due-ness), so [ci] walks the same scratch. *)
+               sc.(!ci) <- -1;
+               incr ci
+             end;
              match resume ctx v inbox with
              | Park k ->
                  wake.(v) <- eng.current_round + max 1 k;
+                 if traced then sc.(!ci - 1) <- v;
                  keep v
              | Halt -> ()
            end
-           else keep v
+           else begin
+             if traced && not eng.ff then incr ci;
+             keep v
+           end
          done
-       with e -> failure := Some e);
+       with e ->
+         failure := Some e;
+         if traced then failed_ci := !ci - 1);
       live_len := !kept;
       (match eng.telemetry with
       | Some tel ->
           Telemetry.tick tel ~stepped:!stepped ~domains:1 ~bits:!round_bits
             ~frames:!max_frames ~messages:!round_msgs
       | None -> ());
+      (match trace with
+      | Some tr ->
+          trace_postscan tr fib_cnt ~failed_ci:!failed_ci;
+          Trace.round_tick tr ~round:eng.current_round ~bits:!round_bits
+            ~frames:!max_frames ~messages:!round_msgs ~stepped:!stepped
+      | None -> ());
       (* A hook exception aborts after the round's accounting — the same
          point the fiber engine's propagate mode re-raises (after the
-         telemetry tick, before the inbox recycle; the next run's
-         [reset_pool] clears the leftovers). *)
+         telemetry tick and trace emission, before the inbox recycle;
+         the next run's [reset_pool] clears the leftovers). *)
       (match !failure with Some e -> raise e | None -> ());
       (* Recycle the inbox chains (messages delivered to already-halted
          nodes were never consumed by [build_inbox]). *)
@@ -422,8 +522,13 @@ module Make (Msg : MESSAGE) = struct
           eng.estats.Stats.fast_forwarded_rounds <-
             eng.estats.Stats.fast_forwarded_rounds + delta;
           eng.current_round <- eng.current_round + delta;
-          match eng.telemetry with
+          (match eng.telemetry with
           | Some tel -> Telemetry.fast_forward tel ~rounds:delta
+          | None -> ());
+          match trace with
+          | Some tr ->
+              Trace.fast_forward tr ~round:(eng.current_round - delta)
+                ~rounds:delta
           | None -> ()
         end
       end
@@ -442,6 +547,16 @@ module Make (Msg : MESSAGE) = struct
              if w < !min_wake then min_wake := w
          | Halt -> ()
        done;
+       (match trace with
+       | Some tr ->
+           (* Initial parks; with fast-forward off the fiber baseline's
+              first suspension is always [Suspend 1], deadline round 1. *)
+           for i = 0 to !live_len - 1 do
+             let v = live.(i) in
+             Trace.fiber_park tr ~round:0 ~node:v
+               ~wake:(if eng.ff then wake.(v) else 1)
+           done
+       | None -> ());
        while !running && !live_len > 0 do
          if eng.estats.Stats.rounds >= max_rounds then begin
            running := false;
@@ -456,9 +571,15 @@ module Make (Msg : MESSAGE) = struct
            else one_round ()
          end
        done;
-       if owned then p.in_use <- false
+       if owned then p.in_use <- false;
+       match trace with
+       | Some tr -> Trace.run_end tr ~rounds:eng.current_round
+       | None -> ()
      with e ->
        if owned then p.in_use <- false;
+       (match trace with
+       | Some tr -> Trace.run_end tr ~rounds:eng.current_round
+       | None -> ());
        raise e);
     if Obs.Metrics.enabled () then begin
       let s = eng.estats in

@@ -27,11 +27,13 @@
     this module reaches), so telemetry's host-side [max_domains] is 1 —
     exactly what the fiber engine reports at [~domains:1].
 
-    Fault injection and event tracing are deliberately not implemented
-    here: both hook the fiber engine's delivery loop, and both already
-    force the slow path semantically (faults perturb the lockstep
-    assumptions; traces want fiber park/resume events).  {!pick} returns
-    [false] for them, and callers fall back to the fiber engine. *)
+    Event tracing ([?trace]) is implemented natively: the array passes
+    emit the same message/resume/park/round/fast-forward event stream
+    the fiber engine records from its serial half — including the
+    causal wake slots — so a compiled [.ctrace] is byte-identical to a
+    serial fiber one.  Fault injection is deliberately not: it perturbs
+    the lockstep assumptions, so {!pick} returns [false] under faults
+    and callers fall back to the fiber engine. *)
 
 (** Execution-mode knob threaded through [Stage1], [Planarity_tester] and
     the CLIs ([planartest --mode], [bench --mode]). *)
@@ -39,15 +41,15 @@ type mode =
   | Fiber  (** always the general effect-handler engine (the default) *)
   | Compiled
       (** compiled array passes where the protocol shape allows; silently
-          falls back to the fiber engine under faults or tracing, and for
-          general [run_program]-style node programs *)
-  | Auto  (** [Compiled] when faults and tracing are off, else [Fiber] *)
+          falls back to the fiber engine under faults, and for general
+          [run_program]-style node programs *)
+  | Auto  (** [Compiled] when faults are off, else [Fiber] *)
 
-(** [pick mode ~faults ~trace] decides whether a protocol-shaped run
-    should take the compiled path.  [Fiber] never does; [Compiled] and
-    [Auto] do exactly when no fault policy is active and no trace recorder
-    is attached. *)
-val pick : mode -> faults:bool -> trace:bool -> bool
+(** [pick mode ~faults] decides whether a protocol-shaped run should
+    take the compiled path.  [Fiber] never does; [Compiled] and [Auto]
+    do exactly when no fault policy is active (tracing is supported
+    natively, so it no longer forces the fiber path). *)
+val pick : mode -> faults:bool -> bool
 
 val mode_to_string : mode -> string
 
@@ -123,13 +125,18 @@ module Make (Msg : MESSAGE) : sig
       invoked per node (ascending) with the round's inbox — possibly [[]]
       when the park deadline expired with no traffic.  An exception from
       a hook aborts the run after the round's accounting, exactly where
-      the fiber engine's propagate mode re-raises.  Defaults match
-      [Engine.run]: bandwidth [Bits.default_bandwidth n], max_rounds
-      1_000_000, fast-forward on. *)
+      the fiber engine's propagate mode re-raises.  With [?trace]
+      attached, the run records the same event stream (messages with
+      causal wake slots, predicted resume/park pairs, round ticks,
+      fast-forward spans, run end) the fiber engine would at
+      [~domains:1].  Defaults match [Engine.run]: bandwidth
+      [Bits.default_bandwidth n], max_rounds 1_000_000, fast-forward
+      on. *)
   val run :
     ?bandwidth:int ->
     ?max_rounds:int ->
     ?telemetry:Telemetry.t ->
+    ?trace:Trace.t ->
     ?fast_forward:bool ->
     ?pool:pool ->
     Graphlib.Graph.t ->

@@ -194,6 +194,13 @@ module Make (Msg : MESSAGE) = struct
     (* Absolute round at which a suspended node resumes even with an empty
        inbox; written at suspension time, so no reset is needed. *)
     wake : int array;
+    (* Causal parent of the round's first inbox delivery per node —
+       (sender, send round) of the frame that flipped [ib_head] from
+       empty — feeding the trace's Resume wake-cause slots.  Valid only
+       while [ib_head.(v) >= 0]; lazily allocated by the first traced
+       run so untraced pools pay nothing. *)
+    mutable wake_sender : int array;
+    mutable wake_sent : int array;
     arena_of : int array;  (* node -> index of the arena stepping it *)
     (* Parked continuations; [none_k] (an immediate sentinel compared
        with [==]) marks "not parked", avoiding an [option] box per
@@ -318,7 +325,8 @@ module Make (Msg : MESSAGE) = struct
       + w
         * (Array.length p.receivers + Array.length p.live
          + Array.length p.wake + Array.length p.arena_of
-         + Array.length p.conts + Array.length p.ib_head);
+         + Array.length p.conts + Array.length p.ib_head
+         + Array.length p.wake_sender + Array.length p.wake_sent);
     Array.iter
       (fun a ->
         node := !node + (w * (Array.length a.asenders + Array.length a.aoff)))
@@ -354,6 +362,8 @@ module Make (Msg : MESSAGE) = struct
         receivers_len = 0;
         live = Array.make n 0;
         wake = Array.make n 0;
+        wake_sender = [||];
+        wake_sent = [||];
         arena_of = Array.make n 0;
         conts = Array.make n none_k;
         ib_head = Array.make n (-1);
@@ -689,6 +699,11 @@ module Make (Msg : MESSAGE) = struct
     in
     ensure_arenas p d_req;
     p.in_use <- true;
+    let traced = trace <> None in
+    if traced && Array.length p.wake_sender < n then begin
+      p.wake_sender <- Array.make (max 1 n) (-1);
+      p.wake_sent <- Array.make (max 1 n) (-1)
+    end;
     let arenas = p.arenas in
     let eng =
       {
@@ -1071,7 +1086,18 @@ module Make (Msg : MESSAGE) = struct
           && conts.(v) != none_k
           && (p.ib_head.(v) >= 0 || p.wake.(v) <= eng.current_round)
         then begin
-          Trace.fiber_resume tr ~round:eng.current_round ~node:v;
+          (* Prefer-arrival rule: a resume with any delivery this round
+             is blamed on the first-delivered frame even if its deadline
+             also expired — the only attribution that is invariant under
+             fast-forward (ff-off spin wakes are pure Deadline resumes,
+             arrival rounds look identical either way). *)
+          if p.ib_head.(v) >= 0 then
+            Trace.fiber_resume tr ~round:eng.current_round ~node:v
+              ~cause:Trace.Wake_deliver ~sender:p.wake_sender.(v)
+              ~sent:p.wake_sent.(v)
+          else
+            Trace.fiber_resume tr ~round:eng.current_round ~node:v
+              ~cause:Trace.Wake_deadline ~sender:(-1) ~sent:(-1);
           sc.(!cnt) <- v;
           incr cnt
         end
@@ -1148,7 +1174,11 @@ module Make (Msg : MESSAGE) = struct
                 p.edge_bits.(de) <- p.edge_bits.(de) + b;
                 if p.ib_head.(dest) < 0 then begin
                   p.receivers.(p.receivers_len) <- dest;
-                  p.receivers_len <- p.receivers_len + 1
+                  p.receivers_len <- p.receivers_len + 1;
+                  if traced then begin
+                    p.wake_sender.(dest) <- v;
+                    p.wake_sent.(dest) <- eng.current_round - 1
+                  end
                 end;
                 push_inbox p ~sender:v ~dest msg;
                 (match trace with
@@ -1193,7 +1223,11 @@ module Make (Msg : MESSAGE) = struct
             else begin
               if p.ib_head.(dest) < 0 then begin
                 p.receivers.(p.receivers_len) <- dest;
-                p.receivers_len <- p.receivers_len + 1
+                p.receivers_len <- p.receivers_len + 1;
+                if traced then begin
+                  p.wake_sender.(dest) <- sender;
+                  p.wake_sent.(dest) <- sent
+                end
               end;
               push_inbox p ~sender ~dest msg;
               match trace with

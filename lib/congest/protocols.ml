@@ -79,7 +79,7 @@ let bfs_tree_compiled g ~root ~rounds_bound =
   { parent; level; rounds = res.C.stats.Stats.rounds }
 
 let bfs_tree ?(mode = Compiled.Fiber) g ~root ~rounds_bound =
-  if Compiled.pick mode ~faults:false ~trace:false then
+  if Compiled.pick mode ~faults:false then
     bfs_tree_compiled g ~root ~rounds_bound
   else bfs_tree_fiber g ~root ~rounds_bound
 
@@ -133,7 +133,7 @@ let elect_min_id_compiled g ~rounds_bound =
   leader
 
 let elect_min_id ?(mode = Compiled.Fiber) g ~rounds_bound =
-  if Compiled.pick mode ~faults:false ~trace:false then
+  if Compiled.pick mode ~faults:false then
     elect_min_id_compiled g ~rounds_bound
   else elect_min_id_fiber g ~rounds_bound
 
@@ -242,6 +242,6 @@ let count_nodes_compiled g ~root ~rounds_bound =
   (!total, res.C.stats.Stats.rounds)
 
 let count_nodes ?(mode = Compiled.Fiber) g ~root ~rounds_bound =
-  if Compiled.pick mode ~faults:false ~trace:false then
+  if Compiled.pick mode ~faults:false then
     count_nodes_compiled g ~root ~rounds_bound
   else count_nodes_fiber g ~root ~rounds_bound

@@ -10,6 +10,8 @@ let default_config =
 
 type fault_kind = Drop | Duplicate | Delay | Truncate | Crash | Down_drop
 
+type wake_cause = Wake_unknown | Wake_deliver | Wake_deadline
+
 type event =
   | Round of { round : int; bits : int; frames : int; messages : int;
                stepped : int }
@@ -17,7 +19,8 @@ type event =
                  edge : int; bits : int }
   | Fault of { round : int; kind : fault_kind; sender : int; dest : int;
                edge : int; info : int }
-  | Resume of { round : int; node : int }
+  | Resume of { round : int; node : int; cause : wake_cause; sender : int;
+                sent : int }
   | Park of { round : int; node : int; wake : int }
   | Phase_open of { round : int; label : string }
   | Phase_close of { round : int; label : string }
@@ -26,6 +29,7 @@ type event =
   | Fast_forward of { round : int; rounds : int }
   | Shard of { round : int; domains : int; max_stepped : int;
                stepped : int }
+  | Run_end of { round : int; rounds : int }
 
 type totals = {
   rounds : int;
@@ -66,8 +70,19 @@ type host_phase = {
 
 (* Event slot layout: [kind; time; a; b; c; d; e].  Kind codes are the
    constructor order of [event]; fault kind codes the order of
-   [fault_kind].  The same codes are the wire format of [Report.Ctrace]. *)
+   [fault_kind]; wake-cause codes the order of [wake_cause].  The same
+   codes are the wire format of [Report.Ctrace]. *)
 let slot = 7
+
+(* Every event the ring or the samplers lose is a hole an offline
+   analyzer (critpath) cannot see through; surfacing the count as a
+   host-side metric lets planarmon and the CLIs warn loudly instead of
+   under-reporting silently.  Host-side because ring eviction depends on
+   the host event mix (Shard events vary with --domains). *)
+let m_dropped =
+  Obs.Metrics.counter ~stable:false
+    ~help:"Trace events lost to ring overwrite or per-category sampling"
+    "trace_dropped_events"
 
 type t = {
   mutable cfg : config;  (* mutable only for [restore_into] *)
@@ -240,7 +255,12 @@ let push t kind time a b c d e =
   t.ev.(i + 4) <- c;
   t.ev.(i + 5) <- d;
   t.ev.(i + 6) <- e;
-  t.written <- t.written + 1
+  t.written <- t.written + 1;
+  if t.written > t.cfg.capacity then Obs.Metrics.inc m_dropped
+
+let sampled_out t k =
+  t.t_sampled_out <- t.t_sampled_out + k;
+  Obs.Metrics.inc ~by:k m_dropped
 
 let set_meta t ~n ~m ~bandwidth =
   if t.meta = None then t.meta <- Some (n, m, bandwidth)
@@ -264,7 +284,7 @@ let message t ~round ~sent ~sender ~dest ~edge ~bits =
   t.msg_seen <- k + 1;
   if k mod t.cfg.sample_messages = 0 then
     push t 1 (t.base + round) (t.base + sent) sender dest edge bits
-  else t.t_sampled_out <- t.t_sampled_out + 1
+  else sampled_out t 1
 
 let fault_code = function
   | Drop -> 0
@@ -292,13 +312,25 @@ let fault t ~round ~kind ~sender ~dest ~edge ~info =
 
 let want_fiber t node = node mod t.cfg.sample_fibers = 0
 
-let fiber_resume t ~round ~node =
-  if want_fiber t node then push t 3 (t.base + round) node 0 0 0 0
-  else t.t_sampled_out <- t.t_sampled_out + 1
+let cause_code = function
+  | Wake_unknown -> 0
+  | Wake_deliver -> 1
+  | Wake_deadline -> 2
+
+let cause_of_code = function 1 -> Wake_deliver | 2 -> Wake_deadline
+  | _ -> Wake_unknown
+
+let fiber_resume t ~round ~node ~cause ~sender ~sent =
+  if want_fiber t node then
+    (* [sent] is stored on the absolute timeline like [Message.sent]; -1
+       (no causal delivery) stays -1 so decode can tell it apart. *)
+    let abs_sent = if sent < 0 then -1 else t.base + sent in
+    push t 3 (t.base + round) node (cause_code cause) sender abs_sent 0
+  else sampled_out t 1
 
 let fiber_park t ~round ~node ~wake =
   if want_fiber t node then push t 4 (t.base + round) node (t.base + wake) 0 0 0
-  else t.t_sampled_out <- t.t_sampled_out + 1
+  else sampled_out t 1
 
 let shard t ~round ~domains ~max_stepped ~stepped =
   t.p_par_rounds <- t.p_par_rounds + 1;
@@ -315,7 +347,12 @@ let fast_forward t ~round ~rounds =
   t.p_ff <- t.p_ff + rounds;
   push t 9 (t.base + round) rounds 0 0 0 0
 
-let run_end t ~rounds = t.base <- t.base + rounds
+let run_end t ~rounds =
+  (* Recorded before the base moves so the event's timestamp is the
+     run's final absolute round; critpath uses it to stitch the
+     happens-before chains of consecutive engine runs into one path. *)
+  push t 11 (t.base + rounds) rounds 0 0 0 0;
+  t.base <- t.base + rounds
 
 (* Closing a phase captures the host-side deltas.  A phase with no
    simulated rounds is dropped — both views, so they stay aligned —
@@ -380,7 +417,7 @@ let span t label f =
     Fun.protect ~finally:(fun () -> push t 8 t.base id 0 0 0 0) f
   end
   else begin
-    t.t_sampled_out <- t.t_sampled_out + 2;
+    sampled_out t 2;
     f ()
   end
 
@@ -459,7 +496,9 @@ let decode t i =
   | 2 ->
       Fault { round = time; kind = fault_of_code a; sender = b; dest = c;
               edge = d; info = e }
-  | 3 -> Resume { round = time; node = a }
+  | 3 ->
+      Resume { round = time; node = a; cause = cause_of_code b; sender = c;
+               sent = d }
   | 4 -> Park { round = time; node = a; wake = b }
   | 5 -> Phase_open { round = time; label = t.label_names.(a) }
   | 6 -> Phase_close { round = time; label = t.label_names.(a) }
@@ -467,6 +506,7 @@ let decode t i =
   | 8 -> Span_close { round = time; label = t.label_names.(a) }
   | 9 -> Fast_forward { round = time; rounds = a }
   | 10 -> Shard { round = time; domains = a; max_stepped = b; stepped = c }
+  | 11 -> Run_end { round = time; rounds = a }
   | k -> invalid_arg (Printf.sprintf "Trace.decode: bad kind %d" k)
 
 let iter_events t f =

@@ -80,6 +80,16 @@ type fault_kind =
   | Crash  (** a crash event took effect at a running node *)
   | Down_drop  (** a message lost because an endpoint was down *)
 
+(** Why a parked fiber resumed — the causal parent slot of every
+    {!Resume} event, recorded by the engine's serial delivery half.
+    Constant constructors only, so recording stays allocation-free. *)
+type wake_cause =
+  | Wake_unknown  (** pre-causal traces (ctrace v1) or unsampled *)
+  | Wake_deliver
+      (** an inbox arrival; [sender]/[sent] name the earliest frame
+          delivered to the node this round *)
+  | Wake_deadline  (** the node's own park deadline expired *)
+
 (** Decoded trace event.  [round] is the absolute simulated round. *)
 type event =
   | Round of { round : int; bits : int; frames : int; messages : int;
@@ -91,8 +101,11 @@ type event =
           [edge] is the directed edge id *)
   | Fault of { round : int; kind : fault_kind; sender : int; dest : int;
                edge : int; info : int }
-  | Resume of { round : int; node : int }
-      (** a parked fiber resumed this round *)
+  | Resume of { round : int; node : int; cause : wake_cause; sender : int;
+                sent : int }
+      (** a parked fiber resumed this round; on [Wake_deliver] the
+          causally-first frame it woke on was sent by [sender] at
+          absolute round [sent] ([-1]/[-1] otherwise) *)
   | Park of { round : int; node : int; wake : int }
       (** a fiber parked until round [wake] (or an earlier arrival) *)
   | Phase_open of { round : int; label : string }
@@ -107,6 +120,10 @@ type event =
       (** {b host-side}: the round's stepping was sharded across
           [domains] domains; the most loaded one resumed [max_stepped]
           of the [stepped] fibers *)
+  | Run_end of { round : int; rounds : int }
+      (** one engine run finished at absolute round [round] after
+          [rounds] simulated rounds; the next event's run starts here
+          (critpath stitches happens-before chains across it) *)
 
 (** Exact whole-trace counters, immune to ring overflow and sampling. *)
 type totals = {
@@ -179,12 +196,21 @@ val fault :
     nodes. *)
 val want_fiber : t -> int -> bool
 
-val fiber_resume : t -> round:int -> node:int -> unit
+(** [fiber_resume t ~round ~node ~cause ~sender ~sent] records a resume
+    with its causal parent: on {!Wake_deliver}, [sender]/[sent] name the
+    earliest-sent frame delivered to [node] this round ([sent] is
+    run-relative here; the ring stores it on the absolute timeline).
+    Pass [(-1)]/[(-1)] for the other causes. *)
+val fiber_resume :
+  t -> round:int -> node:int -> cause:wake_cause -> sender:int -> sent:int ->
+  unit
+
 val fiber_park : t -> round:int -> node:int -> wake:int -> unit
 val shard : t -> round:int -> domains:int -> max_stepped:int -> stepped:int -> unit
 val fast_forward : t -> round:int -> rounds:int -> unit
 
-(** [run_end t ~rounds] closes one engine run: the next run's round 0 is
+(** [run_end t ~rounds] closes one engine run, recording a {!Run_end}
+    event at the run's final absolute round: the next run's round 0 is
     this trace's absolute round [base + rounds]. *)
 val run_end : t -> rounds:int -> unit
 

@@ -1,0 +1,401 @@
+(* Offline causal critical-path analysis.  See critpath.mli for the
+   model; the short version: resume events are steps, each step records
+   the one cause that woke it (a first frame delivery or its own park
+   deadline), and the chain from the last step back to the run's start
+   is the causal explanation of the run's length.  Hop weights telescope
+   (child round - parent round), so the path length equals the last
+   step's absolute round whenever the chain reaches round 0. *)
+
+type cause = Unknown | Deliver | Deadline
+
+type event =
+  | Message of { round : int; sent : int; sender : int; dest : int;
+                 edge : int }
+  | Resume of { round : int; node : int; cause : cause; sender : int;
+                sent : int }
+  | Phase of string
+  | Run_end of { round : int }
+
+type hop_kind = Deliver_hop | Timer_hop | Run_hop
+
+type hop = {
+  kind : hop_kind;
+  from_node : int;
+  from_round : int;
+  node : int;
+  round : int;
+  edge : int;
+  rounds : int;
+  excess : int;
+  phase : string;
+}
+
+type phase_profile = {
+  phase : string;
+  hops : int;
+  deliver_rounds : int;
+  timer_rounds : int;
+  excess_rounds : int;
+}
+
+type edge_blame = {
+  src : int;
+  dst : int;
+  edge : int;
+  hops : int;
+  rounds : int;
+  excess : int;
+}
+
+type report = {
+  path_rounds : int;
+  start_round : int;
+  end_round : int;
+  total_rounds : int;
+  steps : int;
+  deliver_hops : int;
+  deliver_rounds : int;
+  timer_rounds : int;
+  excess_rounds : int;
+  stitch_rounds : int;
+  contracted_rounds : int;
+  lossy : bool;
+  phases : phase_profile list;
+  edges : edge_blame list;
+  hops : hop list;
+}
+
+(* Step store: one record per resume event plus lazily synthesised
+   run-start anchors.  [parent] is a step id (-1 for the global root);
+   [kind] describes the hop from the parent to this step. *)
+type step = {
+  id : int;
+  s_node : int;
+  s_round : int;
+  parent : int;
+  s_kind : hop_kind;
+  s_edge : int;
+  s_sent : int;  (* absolute send round of a deliver step, -1 otherwise *)
+  s_phase : int;
+}
+
+let empty_report =
+  { path_rounds = 0; start_round = 0; end_round = 0; total_rounds = 0;
+    steps = 0; deliver_hops = 0; deliver_rounds = 0; timer_rounds = 0;
+    excess_rounds = 0; stitch_rounds = 0; contracted_rounds = 0;
+    lossy = false; phases = []; edges = []; hops = [] }
+
+let analyze ?(lossy = false) ~n events =
+  let n =
+    if n > 0 then n
+    else
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Message { sender; dest; _ } -> max acc (max sender dest + 1)
+          | Resume { node; sender; _ } -> max acc (max node sender + 1)
+          | Phase _ | Run_end _ -> acc)
+        1 events
+  in
+  (* Phase label interning, in first-seen order.  The implicit initial
+     phase (before any explicit switch) is "run", matching the trace
+     recorder's implicit whole-run phase. *)
+  let phase_tbl = Hashtbl.create 8 in
+  let phase_names = ref [] and phase_count = ref 0 in
+  let intern l =
+    match Hashtbl.find_opt phase_tbl l with
+    | Some i -> i
+    | None ->
+        let i = !phase_count in
+        incr phase_count;
+        Hashtbl.add phase_tbl l i;
+        phase_names := l :: !phase_names;
+        i
+  in
+  let cur_phase = ref (intern "run") in
+  (* Growable step store. *)
+  let steps = ref (Array.make 1024 None) in
+  let n_steps = ref 0 in
+  let push_step s_node s_round parent s_kind s_edge s_sent =
+    let id = !n_steps in
+    if id = Array.length !steps then begin
+      let bigger = Array.make (2 * id) None in
+      Array.blit !steps 0 bigger 0 id;
+      steps := bigger
+    end;
+    (!steps).(id) <-
+      Some { id; s_node; s_round; parent; s_kind; s_edge; s_sent;
+             s_phase = !cur_phase };
+    incr n_steps;
+    id
+  in
+  let get id = match (!steps).(id) with Some s -> s | None -> assert false in
+  (* Per-node state, epoch-tagged so run boundaries reset it without an
+     O(n) sweep per run.  [hist] holds a node's step ids, latest first,
+     for the current epoch only; [start_id] memoises the synthesised
+     run-start step. *)
+  let hist = Array.make n [] in
+  let hist_epoch = Array.make n (-1) in
+  let start_id = Array.make n (-1) in
+  let start_epoch = Array.make n (-1) in
+  (* First delivery of the current round per destination: the causally
+     first frame, used to attach edge ids and to back-fill v1 traces. *)
+  let msg_round = Array.make n (-1) in
+  let msg_sender = Array.make n (-1) in
+  let msg_sent = Array.make n (-1) in
+  let msg_edge = Array.make n (-1) in
+  let epoch = ref 0 in
+  let base = ref 0 in
+  let anchor = ref (-1) in
+  let last_step = ref (-1) in
+  let total_rounds = ref 0 in
+  let node_hist v = if hist_epoch.(v) = !epoch then hist.(v) else [] in
+  let add_hist v id =
+    if hist_epoch.(v) = !epoch then hist.(v) <- id :: hist.(v)
+    else begin
+      hist_epoch.(v) <- !epoch;
+      hist.(v) <- [ id ]
+    end
+  in
+  let start_of v =
+    if start_epoch.(v) = !epoch then start_id.(v)
+    else begin
+      let id = push_step v !base !anchor Run_hop (-1) (-1) in
+      start_epoch.(v) <- !epoch;
+      start_id.(v) <- id;
+      id
+    end
+  in
+  (* Latest step of [v] at round <= [t] in the current epoch, or the
+     synthesised run start.  The scan is almost always one entry deep:
+     a sender's send round is its latest step unless delay faults let
+     it run again before the frame landed. *)
+  let resolve v t =
+    let rec scan = function
+      | [] -> start_of v
+      | id :: rest -> if (get id).s_round <= t then id else scan rest
+    in
+    if v < 0 || v >= n then start_of (max 0 (min v (n - 1)))
+    else scan (node_hist v)
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Phase l -> cur_phase := intern l
+      | Run_end { round } ->
+          total_rounds := max !total_rounds round;
+          incr epoch;
+          base := round;
+          anchor := !last_step
+      | Message { round; sent; sender; dest; edge } ->
+          if dest >= 0 && dest < n && msg_round.(dest) <> round then begin
+            msg_round.(dest) <- round;
+            msg_sender.(dest) <- sender;
+            msg_sent.(dest) <- sent;
+            msg_edge.(dest) <- edge
+          end
+      | Resume { round; node; cause; sender; sent } ->
+          if node >= 0 && node < n then begin
+            let cause, sender, sent =
+              match cause with
+              | Unknown ->
+                  if msg_round.(node) = round then
+                    (Deliver, msg_sender.(node), msg_sent.(node))
+                  else (Deadline, -1, -1)
+              | c -> (c, sender, sent)
+            in
+            let parent, kind, edge =
+              match cause with
+              | Deliver ->
+                  let edge =
+                    if
+                      msg_round.(node) = round
+                      && msg_sender.(node) = sender
+                      && msg_sent.(node) = sent
+                    then msg_edge.(node)
+                    else -1
+                  in
+                  (resolve sender sent, Deliver_hop, edge)
+              | Deadline | Unknown ->
+                  let p =
+                    match node_hist node with
+                    | latest :: _ -> latest
+                    | [] -> start_of node
+                  in
+                  (p, Timer_hop, -1)
+            in
+            let id =
+              push_step node round parent kind edge
+                (if kind = Deliver_hop then sent else -1)
+            in
+            add_hist node id;
+            last_step := id
+          end)
+    events;
+  if !last_step < 0 then { empty_report with lossy }
+  else begin
+    let phase_name =
+      let arr = Array.of_list (List.rev !phase_names) in
+      fun i -> arr.(i)
+    in
+    (* Walk the chain backwards, collapsing consecutive timer hops of
+       the same node (the ff-off spin resumes) into one hop. *)
+    let hops = ref [] in
+    let cur = ref (get !last_step) in
+    while (!cur).parent >= 0 do
+      let child = !cur in
+      let p = ref (get child.parent) in
+      if child.s_kind = Timer_hop then
+        while (!p).parent >= 0 && (!p).s_kind = Timer_hop do
+          p := get (!p).parent
+        done;
+      let parent = !p in
+      let rounds = child.s_round - parent.s_round in
+      (* Excess is the recorded wire latency beyond the nominal round
+         (round - sent - 1), never the parent gap: on a lossy ring the
+         resolved parent can predate the send (its intervening steps
+         were evicted), and that hole is slack, not fault inflation. *)
+      let excess =
+        if child.s_kind = Deliver_hop then
+          if child.s_sent >= 0 then
+            max 0 (min (rounds - 1) (child.s_round - child.s_sent - 1))
+          else max 0 (rounds - 1)
+        else 0
+      in
+      hops :=
+        { kind = child.s_kind;
+          from_node = parent.s_node;
+          from_round = parent.s_round;
+          node = child.s_node;
+          round = child.s_round;
+          edge = child.s_edge;
+          rounds;
+          excess;
+          phase = phase_name child.s_phase }
+        :: !hops;
+      cur := parent
+    done;
+    let hops = !hops in
+    let root = !cur in
+    let last = get !last_step in
+    let deliver_hops = ref 0 and deliver_rounds = ref 0 in
+    let timer_rounds = ref 0 and excess_rounds = ref 0 in
+    let stitch_rounds = ref 0 in
+    List.iter
+      (fun (h : hop) ->
+        match h.kind with
+        | Deliver_hop ->
+            incr deliver_hops;
+            deliver_rounds := !deliver_rounds + 1;
+            excess_rounds := !excess_rounds + h.excess;
+            (* Any remainder is a sender-side hole (lossy rings only) —
+               slack, by the comment above. *)
+            timer_rounds := !timer_rounds + (h.rounds - 1 - h.excess)
+        | Timer_hop -> timer_rounds := !timer_rounds + h.rounds
+        | Run_hop -> stitch_rounds := !stitch_rounds + h.rounds)
+      hops;
+    (* Per-phase decomposition, in first-seen phase order. *)
+    let np = !phase_count in
+    let ph_hops = Array.make np 0 in
+    let ph_deliver = Array.make np 0 in
+    let ph_timer = Array.make np 0 in
+    let ph_excess = Array.make np 0 in
+    List.iter
+      (fun (h : hop) ->
+        let i =
+          match Hashtbl.find_opt phase_tbl h.phase with
+          | Some i -> i
+          | None -> 0
+        in
+        ph_hops.(i) <- ph_hops.(i) + 1;
+        match h.kind with
+        | Deliver_hop ->
+            ph_deliver.(i) <- ph_deliver.(i) + 1;
+            ph_excess.(i) <- ph_excess.(i) + h.excess;
+            ph_timer.(i) <- ph_timer.(i) + (h.rounds - 1 - h.excess)
+        | Timer_hop -> ph_timer.(i) <- ph_timer.(i) + h.rounds
+        | Run_hop -> ())
+      hops;
+    let phases =
+      List.filter_map
+        (fun i ->
+          if ph_hops.(i) = 0 then None
+          else
+            Some
+              { phase = phase_name i;
+                hops = ph_hops.(i);
+                deliver_rounds = ph_deliver.(i);
+                timer_rounds = ph_timer.(i);
+                excess_rounds = ph_excess.(i) })
+        (List.init np (fun i -> i))
+    in
+    (* Blame: deliver hops grouped by directed (src, dst). *)
+    let blame = Hashtbl.create 16 in
+    List.iter
+      (fun (h : hop) ->
+        if h.kind = Deliver_hop then begin
+          let key = (h.from_node, h.node) in
+          let b =
+            match Hashtbl.find_opt blame key with
+            | Some b -> b
+            | None ->
+                let b =
+                  { src = h.from_node; dst = h.node; edge = h.edge;
+                    hops = 0; rounds = 0; excess = 0 }
+                in
+                Hashtbl.add blame key b;
+                b
+          in
+          Hashtbl.replace blame key
+            { b with
+              edge = (if b.edge >= 0 then b.edge else h.edge);
+              hops = b.hops + 1;
+              rounds = b.rounds + h.rounds;
+              excess = b.excess + h.excess }
+        end)
+      hops;
+    let edges =
+      Hashtbl.fold (fun _ b acc -> b :: acc) blame []
+      |> List.sort (fun a b ->
+             if a.rounds <> b.rounds then compare b.rounds a.rounds
+             else if a.hops <> b.hops then compare b.hops a.hops
+             else compare (a.src, a.dst) (b.src, b.dst))
+    in
+    let path_rounds = last.s_round - root.s_round in
+    { path_rounds;
+      start_round = root.s_round;
+      end_round = last.s_round;
+      total_rounds = max !total_rounds last.s_round;
+      steps = List.length hops + 1;
+      deliver_hops = !deliver_hops;
+      deliver_rounds = !deliver_rounds;
+      timer_rounds = !timer_rounds;
+      excess_rounds = !excess_rounds;
+      stitch_rounds = !stitch_rounds;
+      contracted_rounds = path_rounds - !excess_rounds;
+      lossy;
+      phases;
+      edges;
+      hops }
+  end
+
+(* ~stable: the collapsed path is ff-, domain- and mode-invariant, so
+   these totals belong in the machine-independent stable projection
+   (gated by planarmon / MONITOR_baseline.json). *)
+let m_rounds =
+  Metrics.counter
+    ~help:"Causal critical-path length of traced runs, in rounds"
+    "critpath_rounds"
+
+let m_slack =
+  Metrics.counter ~label_names:[ "phase" ]
+    ~help:"Critical-path slack (deadline waits) per phase, in rounds"
+    "critpath_slack_rounds"
+
+let record_metrics r =
+  Metrics.inc ~by:r.path_rounds m_rounds;
+  List.iter
+    (fun (p : phase_profile) ->
+      if p.timer_rounds > 0 then
+        Metrics.inc ~labels:[ p.phase ] ~by:p.timer_rounds m_slack)
+    r.phases

@@ -68,15 +68,15 @@ let run_program ?(seed = 0) (st : State.t) program =
 let compiled_active (st : State.t) =
   Congest.Compiled.pick st.State.mode
     ~faults:(Congest.Faults.active st.State.faults)
-    ~trace:(st.State.trace <> None)
 
 (* [run_program]'s compiled counterpart.  Faults are never active here
    ([compiled_active] excludes them), so an incomplete run is a plain
    budget failure, never a Degraded verdict. *)
 let run_compiled (st : State.t) ~start ~resume =
   let res =
-    Cmp.run ?telemetry:st.State.telemetry ~fast_forward:st.State.fast_forward
-      ~pool:(State.cmp_pool st) st.State.graph ~start ~resume
+    Cmp.run ?telemetry:st.State.telemetry ?trace:st.State.trace
+      ~fast_forward:st.State.fast_forward ~pool:(State.cmp_pool st)
+      st.State.graph ~start ~resume
   in
   Congest.Stats.add_into st.State.stats res.Cmp.stats;
   if not res.Cmp.completed then failwith "Prims: node program did not complete";

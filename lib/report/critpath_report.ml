@@ -1,0 +1,107 @@
+(* Bridge between the engine-side trace and the engine-agnostic
+   Obs.Critpath analyzer, plus the locked [critpath/v1] JSON document.
+   Obs cannot depend on Congest, so the event mapping lives here. *)
+
+module Trace = Congest.Trace
+module Json = Congest.Telemetry.Json
+module C = Obs.Critpath
+
+let schema = "critpath/v1"
+
+let cause_of_trace = function
+  | Trace.Wake_unknown -> C.Unknown
+  | Trace.Wake_deliver -> C.Deliver
+  | Trace.Wake_deadline -> C.Deadline
+
+(* Analyzer input from a view's surviving ring: deliveries, steps with
+   their causal slots, phase switches and run boundaries; everything
+   else (faults, parks, spans, counters) is irrelevant to the DAG. *)
+let events_of_view (v : Ctrace.view) =
+  Array.to_list v.Ctrace.events
+  |> List.filter_map (fun e ->
+         match e with
+         | Trace.Message { round; sent; sender; dest; edge; _ } ->
+             Some (C.Message { round; sent; sender; dest; edge })
+         | Trace.Resume { round; node; cause; sender; sent } ->
+             Some
+               (C.Resume
+                  { round; node; cause = cause_of_trace cause; sender; sent })
+         | Trace.Phase_open { label; _ } -> Some (C.Phase label)
+         | Trace.Run_end { round; _ } -> Some (C.Run_end { round })
+         | _ -> None)
+
+let lossy_view (v : Ctrace.view) =
+  v.Ctrace.totals.Trace.overwritten > 0
+  || v.Ctrace.totals.Trace.sampled_out > 0
+
+let analyze (v : Ctrace.view) =
+  C.analyze ~lossy:(lossy_view v) ~n:v.Ctrace.n (events_of_view v)
+
+let hop_kind_name = function
+  | C.Deliver_hop -> "deliver"
+  | C.Timer_hop -> "timer"
+  | C.Run_hop -> "run"
+
+let hop_json (h : C.hop) =
+  Json.Obj
+    [
+      ("kind", Json.String (hop_kind_name h.C.kind));
+      ("from_node", Json.Int h.C.from_node);
+      ("from_round", Json.Int h.C.from_round);
+      ("node", Json.Int h.C.node);
+      ("round", Json.Int h.C.round);
+      ("edge", Json.Int h.C.edge);
+      ("rounds", Json.Int h.C.rounds);
+      ("excess", Json.Int h.C.excess);
+      ("phase", Json.String h.C.phase);
+    ]
+
+let phase_json (p : C.phase_profile) =
+  Json.Obj
+    [
+      ("phase", Json.String p.C.phase);
+      ("hops", Json.Int p.C.hops);
+      ("deliver_rounds", Json.Int p.C.deliver_rounds);
+      ("timer_rounds", Json.Int p.C.timer_rounds);
+      ("excess_rounds", Json.Int p.C.excess_rounds);
+    ]
+
+let edge_json (b : C.edge_blame) =
+  Json.Obj
+    [
+      ("src", Json.Int b.C.src);
+      ("dst", Json.Int b.C.dst);
+      ("edge", Json.Int b.C.edge);
+      ("hops", Json.Int b.C.hops);
+      ("rounds", Json.Int b.C.rounds);
+      ("excess", Json.Int b.C.excess);
+    ]
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+(* [critpath/v1].  [~top] bounds the blame table only — the hop list is
+   always the full path, so two runs of the same workload can be
+   byte-compared end to end. *)
+let to_json ?(top = 10) (r : C.report) =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("path_rounds", Json.Int r.C.path_rounds);
+      ("start_round", Json.Int r.C.start_round);
+      ("end_round", Json.Int r.C.end_round);
+      ("total_rounds", Json.Int r.C.total_rounds);
+      ("steps", Json.Int r.C.steps);
+      ("deliver_hops", Json.Int r.C.deliver_hops);
+      ("deliver_rounds", Json.Int r.C.deliver_rounds);
+      ("timer_rounds", Json.Int r.C.timer_rounds);
+      ("excess_rounds", Json.Int r.C.excess_rounds);
+      ("stitch_rounds", Json.Int r.C.stitch_rounds);
+      ("contracted_rounds", Json.Int r.C.contracted_rounds);
+      ("lossy", Json.Bool r.C.lossy);
+      ("phases", Json.List (List.map phase_json r.C.phases));
+      ("edges", Json.List (List.map edge_json (take top r.C.edges)));
+      ("hops", Json.List (List.map hop_json r.C.hops));
+    ]

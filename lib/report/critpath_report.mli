@@ -1,0 +1,23 @@
+(** Critical-path analysis of a {!Ctrace.view} and its locked JSON form.
+
+    {!Obs.Critpath} is deliberately engine-agnostic; this module maps a
+    trace's surviving ring into its input events, runs the analyzer with
+    the view's node count and loss flags, and renders the report as the
+    [critpath/v1] schema document. *)
+
+val schema : string
+(** ["critpath/v1"], registered in {!Report.known_schemas}. *)
+
+(** Analyzer input from a view's ring: deliveries, causal resumes,
+    phase switches and run boundaries. *)
+val events_of_view : Ctrace.view -> Obs.Critpath.event list
+
+(** True when the recording lost events to ring overwrite or sampling —
+    the analyzer may then be missing causal parents. *)
+val lossy_view : Ctrace.view -> bool
+
+val analyze : Ctrace.view -> Obs.Critpath.report
+
+(** [to_json ?top r] renders [critpath/v1].  [top] (default 10) bounds
+    the blame-ranked edge table; the hop list is always complete. *)
+val to_json : ?top:int -> Obs.Critpath.report -> Congest.Telemetry.Json.t

@@ -1,7 +1,11 @@
 module Trace = Congest.Trace
 
 let magic = "CTRACE01"
-let version = 1
+
+(* Version 2 added the Resume events' causal wake slots (cause, sender,
+   send round) and the Run_end event (kind 11).  Version-1 files still
+   decode: their resumes surface as [Wake_unknown] with no parent. *)
+let version = 2
 
 type view = {
   version : int;
@@ -33,6 +37,17 @@ let fault_of_code = function
   | 4 -> Trace.Crash
   | 5 -> Trace.Down_drop
   | k -> failwith (Printf.sprintf "Ctrace: bad fault kind code %d" k)
+
+let cause_code = function
+  | Trace.Wake_unknown -> 0
+  | Trace.Wake_deliver -> 1
+  | Trace.Wake_deadline -> 2
+
+let cause_of_code = function
+  | 0 -> Trace.Wake_unknown
+  | 1 -> Trace.Wake_deliver
+  | 2 -> Trace.Wake_deadline
+  | k -> failwith (Printf.sprintf "Ctrace: bad wake cause code %d" k)
 
 (* {1 Encoding} *)
 
@@ -141,7 +156,8 @@ let encode t =
           slot 1 round sent sender dest edge bits
       | Trace.Fault { round; kind; sender; dest; edge; info } ->
           slot 2 round (fault_code kind) sender dest edge info
-      | Trace.Resume { round; node } -> slot 3 round node 0 0 0 0
+      | Trace.Resume { round; node; cause; sender; sent } ->
+          slot 3 round node (cause_code cause) sender sent 0
       | Trace.Park { round; node; wake } -> slot 4 round node wake 0 0 0
       | Trace.Phase_open { round; label } ->
           slot 5 round (intern label) 0 0 0 0
@@ -152,7 +168,8 @@ let encode t =
           slot 8 round (intern label) 0 0 0 0
       | Trace.Fast_forward { round; rounds } -> slot 9 round rounds 0 0 0 0
       | Trace.Shard { round; domains; max_stepped; stepped } ->
-          slot 10 round domains max_stepped stepped 0 0);
+          slot 10 round domains max_stepped stepped 0 0
+      | Trace.Run_end { round; rounds } -> slot 11 round rounds 0 0 0 0);
   Buffer.contents b
 
 (* {1 Decoding} *)
@@ -189,10 +206,10 @@ let decode data =
   then failwith "Ctrace: bad magic (not a .ctrace file)";
   let cur = { data; pos = String.length magic } in
   let v = get_int cur "version" in
-  if v <> version then
+  if v <> 1 && v <> version then
     failwith
-      (Printf.sprintf "Ctrace: unknown format version %d (this build reads %d)"
-         v version);
+      (Printf.sprintf
+         "Ctrace: unknown format version %d (this build reads 1-%d)" v version);
   (* Record literals and [Array.init]/[List.init] evaluate their parts in
      unspecified order, so every multi-field read below is sequenced with
      explicit [let]s / loops. *)
@@ -314,7 +331,15 @@ let decode data =
             Trace.Fault
               { round = t0; kind = fault_of_code a; sender = b; dest = c;
                 edge = d; info = e }
-        | 3 -> Trace.Resume { round = t0; node = a }
+        | 3 ->
+            if v >= 2 then
+              Trace.Resume
+                { round = t0; node = a; cause = cause_of_code b; sender = c;
+                  sent = d }
+            else
+              Trace.Resume
+                { round = t0; node = a; cause = Trace.Wake_unknown;
+                  sender = -1; sent = -1 }
         | 4 -> Trace.Park { round = t0; node = a; wake = b }
         | 5 -> Trace.Phase_open { round = t0; label = label a }
         | 6 -> Trace.Phase_close { round = t0; label = label a }
@@ -324,6 +349,7 @@ let decode data =
         | 10 ->
             Trace.Shard
               { round = t0; domains = a; max_stepped = b; stepped = c }
+        | 11 when v >= 2 -> Trace.Run_end { round = t0; rounds = a }
         | k -> failwith (Printf.sprintf "Ctrace: bad event kind %d" k)))
   in
   if cur.pos <> String.length data then

@@ -30,13 +30,60 @@ let fault_name = function
   | Trace.Crash -> "crash"
   | Trace.Down_drop -> "down-drop"
 
-let of_view (v : Ctrace.view) =
+(* The critical-path overlay gets its own pid so the causal chain reads
+   as one lane of hop slices, chained head-to-tail by flow arrows.  Flow
+   ids live far above the per-message ids so the two families can never
+   collide. *)
+let critpath_events (r : Obs.Critpath.report) =
+  let out = ref [ meta_event ~pid:4 ~name:"critical path" "process_name" ] in
+  let emit e = out := e :: !out in
+  List.iteri
+    (fun i (h : Obs.Critpath.hop) ->
+      let name =
+        match h.kind with
+        | Obs.Critpath.Deliver_hop ->
+            Printf.sprintf "deliver %d->%d" h.from_node h.node
+        | Obs.Critpath.Timer_hop -> Printf.sprintf "wait %d" h.node
+        | Obs.Critpath.Run_hop -> "run-stitch"
+      in
+      emit
+        (ev
+           (common ~name ~cat:"critpath" ~ph:"X" ~ts:h.from_round ~pid:4
+              ~tid:0
+              [
+                ("dur", Json.Int (max 1 h.rounds));
+                ( "args",
+                  Json.Obj
+                    [
+                      ("edge", Json.Int h.edge);
+                      ("excess", Json.Int h.excess);
+                      ("phase", Json.String h.phase);
+                    ] );
+              ]));
+      let id = 1_000_000_000 + i in
+      emit
+        (ev
+           (common ~name:"critpath" ~cat:"critpath" ~ph:"s" ~ts:h.from_round
+              ~pid:4 ~tid:0
+              [ ("id", Json.Int id) ]));
+      emit
+        (ev
+           (common ~name:"critpath" ~cat:"critpath" ~ph:"f" ~ts:h.round
+              ~pid:4 ~tid:0
+              [ ("id", Json.Int id); ("bp", Json.String "e") ])))
+    r.Obs.Critpath.hops;
+  List.rev !out
+
+let of_view ?critpath (v : Ctrace.view) =
   let out = ref [] in
   let emit e = out := e :: !out in
   emit (meta_event ~pid:0 ~name:"simulation" "process_name");
   emit (meta_event ~pid:1 ~name:"network" "process_name");
   emit (meta_event ~pid:2 ~name:"fibers" "process_name");
   emit (meta_event ~pid:3 ~name:"host" "process_name");
+  (match critpath with
+  | Some r -> List.iter emit (critpath_events r)
+  | None -> ());
   let flow_id = ref 0 in
   Array.iter
     (fun e ->
@@ -100,12 +147,27 @@ let of_view (v : Ctrace.view) =
                           ("info", Json.Int info);
                         ] );
                   ]))
-      | Trace.Resume { round; node } ->
+      | Trace.Resume { round; node; cause; sender; sent } ->
+          let cause_s =
+            match cause with
+            | Trace.Wake_unknown -> "unknown"
+            | Trace.Wake_deliver -> "deliver"
+            | Trace.Wake_deadline -> "deadline"
+          in
           emit
             (ev
                (common ~name:"resume" ~cat:"fiber" ~ph:"i" ~ts:round ~pid:2
                   ~tid:node
-                  [ ("s", Json.String "t") ]))
+                  [
+                    ("s", Json.String "t");
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("cause", Json.String cause_s);
+                          ("sender", Json.Int sender);
+                          ("sent", Json.Int sent);
+                        ] );
+                  ]))
       | Trace.Park { round; node; wake } ->
           emit
             (ev
@@ -153,6 +215,15 @@ let of_view (v : Ctrace.view) =
                           ("max_stepped", Json.Int max_stepped);
                           ("stepped", Json.Int stepped);
                         ] );
+                  ]))
+      | Trace.Run_end { round; rounds } ->
+          emit
+            (ev
+               (common ~name:"run-end" ~cat:"sim" ~ph:"i" ~ts:round ~pid:0
+                  ~tid:0
+                  [
+                    ("s", Json.String "p");
+                    ("args", Json.Obj [ ("rounds", Json.Int rounds) ]);
                   ])))
     v.Ctrace.events;
   Json.Obj
@@ -172,8 +243,8 @@ let of_view (v : Ctrace.view) =
           ] );
     ]
 
-let write path view =
-  let j = of_view view in
+let write ?critpath path view =
+  let j = of_view ?critpath view in
   if path = "-" then begin
     print_string (Json.to_string j);
     print_newline ()

@@ -11,14 +11,20 @@
     - pid 1 "network": per-sender message slices with flow arrows from
       send to delivery (so convergecast causality renders as arrows),
       and fault instants;
-    - pid 2 "fibers": per-node park slices and resume instants;
+    - pid 2 "fibers": per-node park slices and resume instants (the
+      instants carry the causal wake slots — cause / sender / sent —
+      in their args);
     - pid 3 "host": domain-shard counter series (domains, max_stepped) —
-      host-side data, clearly separated from simulated tracks.
+      host-side data, clearly separated from simulated tracks;
+    - pid 4 "critical path" (only with [?critpath]): one slice per
+      causal hop, chained head-to-tail by [cat:"critpath"] flow arrows,
+      so the explanation of the run's length renders as a single lane
+      over the message and fiber tracks.
 
-    The export is a pure function of the view: byte-identical JSON for
-    byte-identical [.ctrace] input. *)
+    The export is a pure function of the view (and overlay report):
+    byte-identical JSON for byte-identical [.ctrace] input. *)
 
-val of_view : Ctrace.view -> Congest.Telemetry.Json.t
+val of_view : ?critpath:Obs.Critpath.report -> Ctrace.view -> Congest.Telemetry.Json.t
 
 (** [write path view] writes {!of_view} to [path] ([-] = stdout). *)
-val write : string -> Ctrace.view -> unit
+val write : ?critpath:Obs.Critpath.report -> string -> Ctrace.view -> unit

@@ -3,6 +3,7 @@ module Json_parse = Json_parse
 module Ctrace = Ctrace
 module Perfetto = Perfetto
 module Checkpoint = Checkpoint
+module Critpath_report = Critpath_report
 module PT = Tester.Planarity_tester
 
 let stats_schema = "planartest.stats/v1"
@@ -10,10 +11,11 @@ let stats_schema_v2 = "planartest.stats/v2"
 let stats_schema_v3 = "planartest.stats/v3"
 let bench_schema = "bench.planarity/v1"
 let metrics_schema = "metrics/v1"
+let critpath_schema = Critpath_report.schema
 
 let known_schemas =
   [ stats_schema; stats_schema_v2; stats_schema_v3; bench_schema;
-    metrics_schema ]
+    metrics_schema; critpath_schema ]
 
 let check_schema j =
   match j with

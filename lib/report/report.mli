@@ -21,6 +21,10 @@ module Perfetto = Perfetto
     checksummed, parameter-fingerprinted loads). *)
 module Checkpoint = Checkpoint
 
+(** Causal critical-path analysis of a {!Ctrace.view} and the
+    [critpath/v1] JSON document. *)
+module Critpath_report = Critpath_report
+
 (** ["planartest.stats/v1"] *)
 val stats_schema : string
 
@@ -35,6 +39,9 @@ val bench_schema : string
 
 (** ["metrics/v1"] *)
 val metrics_schema : string
+
+(** ["critpath/v1"] *)
+val critpath_schema : string
 
 (** Every schema tag this build can emit or validate. *)
 val known_schemas : string list

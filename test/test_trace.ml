@@ -6,6 +6,8 @@
 open Graphlib
 module T = Congest.Trace
 module J = Report.Json
+module CP = Obs.Critpath
+module CR = Report.Critpath_report
 
 let check = Alcotest.check
 let ci = Alcotest.int
@@ -77,7 +79,8 @@ let test_sampling () =
      either fully present or fully absent. *)
   check cb "even node sampled in" true (T.want_fiber tr 0);
   check cb "odd node sampled out" false (T.want_fiber tr 1);
-  T.fiber_resume tr ~round:1 ~node:1;
+  T.fiber_resume tr ~round:1 ~node:1 ~cause:T.Wake_deadline ~sender:(-1)
+    ~sent:(-1);
   check cb "no event for a sampled-out fiber" true
     (not
        (List.exists (function T.Resume _ -> true | _ -> false) (events tr)));
@@ -337,7 +340,14 @@ let test_checkpoint_resume_trace_identical () =
     (sim_totals (T.totals tr_ref) = sim_totals (T.totals tr2));
   check cb "sim phases identical after kill+resume" true
     (T.sim_phases tr_ref = T.sim_phases tr2);
-  check cb "config identical" true (T.config tr_ref = T.config tr2)
+  check cb "config identical" true (T.config tr_ref = T.config tr2);
+  (* The causal wake slots ride through the PLNRCK02 snapshot unchanged,
+     so the critical path of the resumed run is the reference run's. *)
+  check cb "sim event stream identical after kill+resume" true
+    (fst (sim_events tr_ref) = fst (sim_events tr2));
+  check cb "critpath identical after kill+resume" true
+    (CR.analyze (Report.Ctrace.of_trace tr_ref)
+    = CR.analyze (Report.Ctrace.of_trace tr2))
 
 (* The snapshot plumbing underneath: copy is a deep, independent image
    and restore_into overwrites the destination with it. *)
@@ -360,6 +370,237 @@ let test_copy_restore_into () =
   check cb "restore_into reproduces events" true (events dst = events snap);
   check cb "restore_into reproduces phases" true
     (T.sim_phases dst = T.sim_phases snap)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let analyze tr = CR.analyze (Report.Ctrace.of_trace tr)
+
+(* Structural sanity shared by every critpath assertion below: the hops
+   chain head-to-tail and their weights telescope to the path length. *)
+let check_chain (r : CP.report) =
+  let rec go from_node from_round = function
+    | [] -> ()
+    | (h : CP.hop) :: rest ->
+        check ci "hop chains from previous node" from_node h.CP.from_node;
+        check ci "hop chains from previous round" from_round h.CP.from_round;
+        check ci "hop weight telescopes" (h.CP.round - h.CP.from_round)
+          h.CP.rounds;
+        check cb "excess within the hop" true
+          (h.CP.excess >= 0 && h.CP.excess <= max 0 (h.CP.rounds - 1));
+        go h.CP.node h.CP.round rest
+  in
+  (match r.CP.hops with
+  | [] -> check ci "empty path is zero rounds" 0 r.CP.path_rounds
+  | (h : CP.hop) :: _ -> go h.CP.from_node r.CP.start_round r.CP.hops);
+  check ci "hop rounds sum to the path"
+    (List.fold_left (fun a (h : CP.hop) -> a + h.CP.rounds) 0 r.CP.hops)
+    r.CP.path_rounds;
+  check ci "path spans start to end" (r.CP.end_round - r.CP.start_round)
+    r.CP.path_rounds;
+  check ci "rounds decompose into deliver/slack/excess/stitch"
+    (r.CP.deliver_rounds + r.CP.timer_rounds + r.CP.excess_rounds
+   + r.CP.stitch_rounds)
+    r.CP.path_rounds;
+  check ci "contracted = path - excess"
+    (r.CP.path_rounds - r.CP.excess_rounds)
+    r.CP.contracted_rounds
+
+(* Every engine-recorded resume carries its causal wake slot, and every
+   deliver wake names a frame the ring actually recorded. *)
+let test_resume_causal_slots () =
+  let tr = T.create () in
+  ignore (star_run ~trace:tr ());
+  T.finish tr;
+  let frames = Hashtbl.create 64 in
+  T.iter_events tr (function
+    | T.Message { round; sent; sender; dest; _ } ->
+        Hashtbl.replace frames (dest, round, sender, sent) ()
+    | _ -> ());
+  let resumes = ref 0 and delivers = ref 0 in
+  T.iter_events tr (function
+    | T.Resume { round; node; cause; sender; sent } -> (
+        incr resumes;
+        check cb "cause recorded" true (cause <> T.Wake_unknown);
+        match cause with
+        | T.Wake_deliver ->
+            incr delivers;
+            check cb "deliver slot names a recorded frame" true
+              (Hashtbl.mem frames (node, round, sender, sent))
+        | _ ->
+            check cb "deadline resumes carry no frame" true
+              (sender = -1 && sent = -1))
+    | _ -> ());
+  check cb "resumes present" true (!resumes > 0);
+  check cb "deliver wakes present" true (!delivers > 0)
+
+(* Delay-free tester run: the causal chain explains every round — path
+   length equals the run's total rounds, with zero excess. *)
+let test_critpath_tester_exact () =
+  let g = Generators.apollonian (Random.State.make [| 3 |]) 40 in
+  let tr =
+    T.create ~config:{ T.default_config with T.capacity = 1 lsl 20 } ()
+  in
+  ignore (Tester.Planarity_tester.run ~trace:tr ~seed:1 g ~eps:0.3);
+  T.finish tr;
+  let v = Report.Ctrace.of_trace tr in
+  check cb "ring complete" false (CR.lossy_view v);
+  let r = CR.analyze v in
+  check_chain r;
+  check cb "path non-trivial" true (r.CP.path_rounds > 0);
+  check ci "path spans the whole run" r.CP.total_rounds r.CP.path_rounds;
+  check ci "no excess on a delay-free run" 0 r.CP.excess_rounds;
+  check cb "not lossy" false r.CP.lossy;
+  check ci "phase profile attributes the whole path"
+    (r.CP.path_rounds - r.CP.stitch_rounds)
+    (List.fold_left
+       (fun a (p : CP.phase_profile) ->
+         a + p.CP.deliver_rounds + p.CP.timer_rounds + p.CP.excess_rounds)
+       0 r.CP.phases);
+  check cb "tester phases named" true
+    (List.exists (fun (p : CP.phase_profile) -> p.CP.phase = "stage2")
+       r.CP.phases
+    || List.exists
+         (fun (p : CP.phase_profile) ->
+           String.length p.CP.phase >= 6 && String.sub p.CP.phase 0 6 = "stage1")
+         r.CP.phases)
+
+(* A delivery-driven relay chain: node 0 fires a token down the path,
+   every other node parks on a long deadline and forwards on arrival.
+   The run's length is the sum of the wire latencies, which makes delay
+   inflation exactly attributable. *)
+let relay_run ?faults ~trace k =
+  E.run ?faults ~trace (Generators.path k) (fun ctx ->
+      let me = E.my_id ctx in
+      if me = 0 then begin
+        E.send ctx ~dest:1 (M.Int 1);
+        ignore (E.wait ctx 1);
+        0
+      end
+      else
+        match E.wait ctx 500 with
+        | (_, M.Int v) :: _ ->
+            if me < k - 1 then E.send ctx ~dest:(me + 1) (M.Int (v + 1));
+            ignore (E.wait ctx 1);
+            v
+        | _ -> -1)
+
+let test_critpath_relay_clean () =
+  let tr = T.create () in
+  ignore (relay_run ~trace:tr 12);
+  T.finish tr;
+  let r = analyze tr in
+  check_chain r;
+  check ci "one deliver hop per relay edge" 11 r.CP.deliver_hops;
+  check ci "clean wire: no excess" 0 r.CP.excess_rounds;
+  check ci "path spans the run" r.CP.total_rounds r.CP.path_rounds;
+  (* The blame table ranks the relay's directed edges. *)
+  check ci "blame covers the relay edges" 11 (List.length r.CP.edges);
+  List.iter
+    (fun (b : CP.edge_blame) ->
+      check ci "each edge blamed once" 1 b.CP.hops;
+      check ci "each edge costs its nominal round" 1 b.CP.rounds)
+    r.CP.edges
+
+(* Delay storm on the relay: every frame arrives exactly one round late,
+   the run inflates by one round per hop, and the fault-impact
+   attribution accounts for the inflation exactly — contracting the
+   injected delays recovers the clean run's length. *)
+let test_critpath_relay_inflation () =
+  let k = 12 in
+  let clean = T.create () in
+  ignore (relay_run ~trace:clean k);
+  T.finish clean;
+  let rc = analyze clean in
+  let delayed = T.create () in
+  let faults = Congest.Faults.make ~seed:1 ~delay:1.0 ~max_delay:1 () in
+  ignore (relay_run ~faults ~trace:delayed k);
+  T.finish delayed;
+  let rd = analyze delayed in
+  check_chain rd;
+  check cb "delays inflated the run" true
+    (rd.CP.path_rounds > rc.CP.path_rounds);
+  check ci "every relay hop inflated" (k - 1) rd.CP.excess_rounds;
+  check ci "excess accounts for the whole inflation"
+    (rd.CP.path_rounds - rc.CP.path_rounds)
+    rd.CP.excess_rounds;
+  check ci "contracting the delays recovers the clean run"
+    rc.CP.path_rounds rd.CP.contracted_rounds;
+  (* The per-edge blame surfaces the inflation, hop by hop. *)
+  check ci "blamed excess matches"
+    rd.CP.excess_rounds
+    (List.fold_left (fun a (b : CP.edge_blame) -> a + b.CP.excess) 0
+       rd.CP.edges)
+
+(* The reported path is invariant under fast-forwarding: the baseline's
+   per-round spins collapse into the deadline waits they implement. *)
+let test_critpath_fast_forward_invariance () =
+  let run fast_forward =
+    let tr = T.create () in
+    ignore (star_run ~fast_forward ~trace:tr ());
+    T.finish tr;
+    tr
+  in
+  let t_on = run true and t_off = run false in
+  check cb "ff fired" true ((T.totals t_on).T.fast_forwarded > 0);
+  check cb "critpath report identical under fast-forward" true
+    (analyze t_on = analyze t_off)
+
+(* Losing ring events must be surfaced, not silently analyzed around:
+   the recorder feeds the host-side trace_dropped_events counter on both
+   eviction and sampling, and the view is flagged lossy. *)
+let test_dropped_events_metric () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled was;
+      Obs.Metrics.reset ())
+    (fun () ->
+      let value () =
+        match
+          List.find_opt
+            (fun (f : Obs.Metrics.family) ->
+              f.Obs.Metrics.name = "trace_dropped_events")
+            (Obs.Metrics.snapshot ())
+        with
+        | Some
+            {
+              Obs.Metrics.series =
+                [ { Obs.Metrics.value = Obs.Metrics.Counter_v v; _ } ];
+              _;
+            } ->
+            v
+        | _ -> Alcotest.fail "trace_dropped_events family missing"
+      in
+      let tr =
+        T.create ~config:{ T.default_config with T.capacity = 8 } ()
+      in
+      for r = 0 to 19 do
+        T.round_tick tr ~round:r ~bits:0 ~frames:0 ~messages:0 ~stepped:0
+      done;
+      check ci "ring evictions counted" 12 (value ());
+      check cb "view flagged lossy" true
+        (CR.lossy_view (Report.Ctrace.of_trace tr));
+      let tr2 =
+        T.create
+          ~config:
+            {
+              T.capacity = 64;
+              sample_messages = 2;
+              sample_fibers = 1;
+              sample_spans = 1;
+            }
+          ()
+      in
+      for i = 0 to 4 do
+        T.message tr2 ~round:1 ~sent:0 ~sender:i ~dest:0 ~edge:i ~bits:8
+      done;
+      check ci "sampling holes add on" 14 (value ());
+      check cb "sampled view flagged lossy" true
+        (CR.lossy_view (Report.Ctrace.of_trace tr2)))
 
 (* ------------------------------------------------------------------ *)
 (* Ctrace: binary round-trip                                           *)
@@ -475,6 +716,135 @@ let test_perfetto_export () =
   check cb "deterministic" true
     (J.to_string j = J.to_string (Report.Perfetto.of_view v))
 
+(* Shared helpers for picking apart the trace_event rows. *)
+let doc_events j =
+  match j with
+  | J.Obj fields -> (
+      match List.assoc "traceEvents" fields with
+      | J.List l -> l
+      | _ -> Alcotest.fail "traceEvents must be a list")
+  | _ -> Alcotest.fail "expected an object"
+
+let str k e =
+  match e with
+  | J.Obj f -> (
+      match List.assoc_opt k f with Some (J.String s) -> Some s | _ -> None)
+  | _ -> None
+
+let num k e =
+  match e with
+  | J.Obj f -> (
+      match List.assoc_opt k f with Some (J.Int i) -> Some i | _ -> None)
+  | _ -> None
+
+(* Message flow arrows: each recorded delivery exports one s/f pair
+   under a private id, tail at the send round, head at the delivery
+   round — round-tripped through the .ctrace container. *)
+let test_perfetto_flow_events () =
+  let tr = traced_run () in
+  with_tmp (fun path ->
+      Report.Ctrace.write path tr;
+      let v = Report.Ctrace.read path in
+      let evs = doc_events (Report.Perfetto.of_view v) in
+      let deliveries =
+        Array.to_list v.Report.Ctrace.events
+        |> List.filter_map (function
+             | T.Message { round; sent; _ } -> Some (sent, round)
+             | _ -> None)
+      in
+      let flows ph =
+        List.filter_map
+          (fun e ->
+            if str "cat" e = Some "message" && str "ph" e = Some ph then
+              match (num "id" e, num "ts" e) with
+              | Some id, Some ts -> Some (id, ts)
+              | _ -> Alcotest.fail "flow event lacks id/ts"
+            else None)
+          evs
+      in
+      let starts = flows "s" and finishes = flows "f" in
+      check ci "one flow tail per delivery" (List.length deliveries)
+        (List.length starts);
+      check ci "one flow head per delivery" (List.length deliveries)
+        (List.length finishes);
+      (* Ids are assigned in event order, so the k-th pair is the k-th
+         recorded delivery; the arrow spans exactly its wire time. *)
+      List.iteri
+        (fun k (sent, round) ->
+          let id, ts_s = List.nth starts k in
+          let id', ts_f = List.nth finishes k in
+          check ci "pair ids match" id id';
+          check ci "tail at the send round" sent ts_s;
+          check ci "head at the delivery round" round ts_f)
+        deliveries)
+
+(* Fast-forwarded quiescent spans export as X slices whose durations sum
+   to the run's fast-forward total. *)
+let test_perfetto_ff_spans () =
+  let tr = T.create () in
+  ignore (star_run ~trace:tr ());
+  T.finish tr;
+  let v = Report.Ctrace.of_trace tr in
+  let evs = doc_events (Report.Perfetto.of_view v) in
+  let spans =
+    List.filter (fun e -> str "name" e = Some "fast-forward") evs
+  in
+  check cb "ff spans exported" true (spans <> []);
+  let total =
+    List.fold_left
+      (fun a e ->
+        match num "dur" e with
+        | Some d ->
+            check cb "span has a start" true (num "ts" e <> None);
+            a + d
+        | None -> Alcotest.fail "ff span lacks dur")
+      0 spans
+  in
+  check ci "span durations sum to the ff total"
+    (T.totals tr).T.fast_forwarded total
+
+(* The critical-path overlay: one pid-4 slice per hop, chained
+   head-to-tail by flow arrows whose ids live above the message ids. *)
+let test_perfetto_critpath_overlay () =
+  let tr = T.create () in
+  ignore (star_run ~trace:tr ());
+  T.finish tr;
+  let v = Report.Ctrace.of_trace tr in
+  let r = CR.analyze v in
+  check cb "path found" true (r.CP.hops <> []);
+  let evs =
+    doc_events (Report.Perfetto.of_view ~critpath:r v)
+    |> List.filter (fun e -> num "pid" e = Some 4)
+  in
+  let slices = List.filter (fun e -> str "ph" e = Some "X") evs in
+  let starts = List.filter (fun e -> str "ph" e = Some "s") evs in
+  let finishes = List.filter (fun e -> str "ph" e = Some "f") evs in
+  let nh = List.length r.CP.hops in
+  check ci "one slice per hop" nh (List.length slices);
+  check ci "one arrow tail per hop" nh (List.length starts);
+  check ci "one arrow head per hop" nh (List.length finishes);
+  List.iteri
+    (fun i (h : CP.hop) ->
+      let s = List.nth starts i and f = List.nth finishes i in
+      check ci "arrow id is the hop's" (1_000_000_000 + i)
+        (Option.get (num "id" s));
+      check ci "matching head id" (1_000_000_000 + i)
+        (Option.get (num "id" f));
+      check ci "tail at the hop's start" h.CP.from_round
+        (Option.get (num "ts" s));
+      check ci "head at the hop's end" h.CP.round (Option.get (num "ts" f));
+      (* Consecutive hops share a round, so the arrows chain. *)
+      if i + 1 < nh then
+        check ci "arrows connect hop to hop"
+          (Option.get (num "ts" f))
+          (Option.get (num "ts" (List.nth starts (i + 1)))))
+    r.CP.hops;
+  (* Without the overlay no pid-4 rows exist. *)
+  check cb "overlay is opt-in" true
+    (List.for_all
+       (fun e -> num "pid" e <> Some 4)
+       (doc_events (Report.Perfetto.of_view v)))
+
 let () =
   Alcotest.run "trace"
     [
@@ -504,6 +874,21 @@ let () =
           Alcotest.test_case "copy / restore_into round-trip" `Quick
             test_copy_restore_into;
         ] );
+      ( "critpath",
+        [
+          Alcotest.test_case "resumes carry causal wake slots" `Quick
+            test_resume_causal_slots;
+          Alcotest.test_case "delay-free path spans the run" `Quick
+            test_critpath_tester_exact;
+          Alcotest.test_case "relay chain: clean attribution" `Quick
+            test_critpath_relay_clean;
+          Alcotest.test_case "relay chain: delay inflation attributed" `Quick
+            test_critpath_relay_inflation;
+          Alcotest.test_case "path invariant under fast-forward" `Quick
+            test_critpath_fast_forward_invariance;
+          Alcotest.test_case "lossy rings feed trace_dropped_events" `Quick
+            test_dropped_events_metric;
+        ] );
       ( "export",
         [
           Alcotest.test_case "ctrace round-trip" `Quick test_ctrace_roundtrip;
@@ -511,5 +896,11 @@ let () =
             test_ctrace_bad_input;
           Alcotest.test_case "perfetto trace_event document" `Quick
             test_perfetto_export;
+          Alcotest.test_case "perfetto message flow arrows" `Quick
+            test_perfetto_flow_events;
+          Alcotest.test_case "perfetto fast-forward spans" `Quick
+            test_perfetto_ff_spans;
+          Alcotest.test_case "perfetto critical-path overlay" `Quick
+            test_perfetto_critpath_overlay;
         ] );
     ]
