@@ -1,5 +1,5 @@
 .PHONY: all build test bench fuzz trace critpath monitor monitor-baseline \
-  scale compiled testers ci clean
+  scale compiled testers live ci clean
 
 all: build
 
@@ -290,12 +290,88 @@ testers: build
 	  --stats-json $(TESTERS_DIR)/cyc-compiled.json --log-level warn > /dev/null
 	cmp $(TESTERS_DIR)/cyc-fiber.json $(TESTERS_DIR)/cyc-compiled.json
 
+# Live-observability gate (also a CI leg).  Four parts:
+#   1. kill detection — run with --heartbeat --checkpoint
+#      --checkpoint-exit 1 (exit 3 simulates a kill at the first
+#      phase-boundary save).  The orphaned heartbeat still says
+#      state=running, so `planarmon attach --stall-after` must declare
+#      the run dead (exit 1).
+#   2. resume provenance — resume from the checkpoint with --heartbeat
+#      and --ledger; attach now exits 0 with the verdict.  A second,
+#      uninterrupted run appends to the same ledger: its stats JSON is
+#      cmp-identical to the resumed one, both records carry one
+#      fingerprint and one digest (the engine determinism contract,
+#      checked from the provenance trail), and `planarmon history`
+#      stays green over them.
+#   3. observer-effect matrix — heartbeat-on vs heartbeat-off stats
+#      JSON must be cmp-identical across --domains 1/4 x fast-forward
+#      on/off x --mode fiber/compiled (the heartbeat runs host-side
+#      from quiescent boundaries, so it must not perturb one simulated
+#      byte), and a traced pair must agree under `planartrace diff`
+#      (only host wall-clock/GC may differ).
+#   4. L1 with its overhead gate: heartbeat publication at the default
+#      cadence costs < L1_MAX_OVERHEAD_PCT % wall on the n=2048 grid
+#      (L1 also hard-asserts on/off stats identity internally).
+LIVE_DIR ?= /tmp/planarlive
+L1_MAX_OVERHEAD_PCT ?= 2
+live: build
+	mkdir -p $(LIVE_DIR)
+	rm -f $(LIVE_DIR)/ck.bin $(LIVE_DIR)/runs.jsonl
+	./_build/default/bin/planartest.exe gen --family far -n 4000 \
+	  --param 0.3 --seed 5 > $(LIVE_DIR)/g.txt
+	./_build/default/bin/planartest.exe test $(LIVE_DIR)/g.txt --eps 0.05 \
+	  --heartbeat $(LIVE_DIR)/hb.json --checkpoint $(LIVE_DIR)/ck.bin \
+	  --checkpoint-exit 1 --log-level warn > /dev/null; test $$? -eq 3
+	grep -q '"state":"running"' $(LIVE_DIR)/hb.json
+	./_build/default/bin/planarmon.exe attach $(LIVE_DIR)/hb.json \
+	  --stall-after 1 --interval 0.2 > /dev/null 2>&1; test $$? -eq 1
+	./_build/default/bin/planartest.exe test $(LIVE_DIR)/g.txt --eps 0.05 \
+	  --heartbeat $(LIVE_DIR)/hb.json --checkpoint $(LIVE_DIR)/ck.bin \
+	  --ledger $(LIVE_DIR)/runs.jsonl \
+	  --stats-json $(LIVE_DIR)/resumed.json --log-level warn > /dev/null
+	./_build/default/bin/planarmon.exe attach $(LIVE_DIR)/hb.json
+	./_build/default/bin/planartest.exe test $(LIVE_DIR)/g.txt --eps 0.05 \
+	  --ledger $(LIVE_DIR)/runs.jsonl \
+	  --stats-json $(LIVE_DIR)/full.json --log-level warn > /dev/null
+	cmp $(LIVE_DIR)/full.json $(LIVE_DIR)/resumed.json
+	./_build/default/bin/planarmon.exe history $(LIVE_DIR)/runs.jsonl
+	test $$(grep -o '"fingerprint":"[^"]*"' $(LIVE_DIR)/runs.jsonl \
+	  | sort -u | wc -l) -eq 1
+	test $$(grep -o '"digest":"[0-9a-f]*"' $(LIVE_DIR)/runs.jsonl \
+	  | sort -u | wc -l) -eq 1
+	./_build/default/bin/planartest.exe gen --family grid --n 256 \
+	  > $(LIVE_DIR)/gm.txt
+	set -e; for d in 1 4; do for ff in "" "--no-fast-forward"; do \
+	  for m in fiber compiled; do \
+	    tag="d$$d$${ff:+-noff}-$$m"; \
+	    ./_build/default/bin/planartest.exe test $(LIVE_DIR)/gm.txt \
+	      --eps 0.3 --domains $$d $$ff --mode $$m \
+	      --stats-json $(LIVE_DIR)/off-$$tag.json \
+	      --log-level warn > /dev/null; \
+	    ./_build/default/bin/planartest.exe test $(LIVE_DIR)/gm.txt \
+	      --eps 0.3 --domains $$d $$ff --mode $$m \
+	      --heartbeat $(LIVE_DIR)/hb-m.json --heartbeat-every 64 \
+	      --stats-json $(LIVE_DIR)/on-$$tag.json \
+	      --log-level warn > /dev/null; \
+	    cmp $(LIVE_DIR)/off-$$tag.json $(LIVE_DIR)/on-$$tag.json; \
+	  done; done; done
+	./_build/default/bin/planartest.exe test $(LIVE_DIR)/gm.txt --eps 0.3 \
+	  --trace $(LIVE_DIR)/off.ctrace --log-level warn > /dev/null
+	./_build/default/bin/planartest.exe test $(LIVE_DIR)/gm.txt --eps 0.3 \
+	  --heartbeat $(LIVE_DIR)/hb-m.json --heartbeat-every 64 \
+	  --trace $(LIVE_DIR)/on.ctrace --log-level warn > /dev/null
+	./_build/default/bin/planartrace.exe diff $(LIVE_DIR)/off.ctrace \
+	  $(LIVE_DIR)/on.ctrace
+	env L1_MAX_OVERHEAD_PCT=$(L1_MAX_OVERHEAD_PCT) \
+	  ./_build/default/bench/main.exe --only L1 \
+	  --ledger $(LIVE_DIR)/runs.jsonl --json $(LIVE_DIR)/l1.json
+
 # What CI runs: full build, the whole test suite, and a quick pass of the
 # experiment harness with machine-readable output (also validates the
 # --json emitter end to end).  CI additionally runs a 2-domain matrix leg
 # (see .github/workflows/ci.yml); the engine contract makes its stats
 # output identical to this serial one.
-ci: build test trace critpath monitor scale compiled testers
+ci: build test trace critpath monitor scale compiled testers live
 	dune exec bench/main.exe -- --quick --no-timings --json /tmp/bench.json
 
 clean:

@@ -3,6 +3,8 @@
      planarmon snapshot --family grid --n 512 --openmetrics - --json m.json
      planarmon compare BENCH_planarity.json /tmp/bench-new.json
      planarmon watch --family grid --n 512 --iters 10
+     planarmon attach /tmp/hb.json --stall-after 30
+     planarmon history runs.jsonl
 
    `snapshot` runs a tester workload with the Obs.Metrics registry
    enabled and emits the OpenMetrics text exposition plus the
@@ -12,10 +14,14 @@
    wall-clock fields are gated by a threshold, and regressions exit 1
    with a table of offenders.  `watch` loops a workload, checks the
    simulated accounting never drifts across iterations, aggregates the
-   histograms and flags wall-clock outliers.
+   histograms and flags wall-clock outliers.  `attach` tails a live
+   run's heartbeat/v1 status file (progress, rounds/s, phase-aware ETA)
+   with a --stall-after liveness gate.  `history` summarizes a
+   runs.ledger/v1 provenance ledger and flags determinism drift across
+   runs of the same fingerprint.
 
-   Exit codes: 0 ok, 1 regression / mismatch / outlier, 2 usage or IO
-   error. *)
+   Exit codes: 0 ok (attach: run finished), 1 regression / mismatch /
+   outlier / stalled / drift, 2 usage or IO error. *)
 
 open Cmdliner
 open Graphlib
@@ -208,7 +214,10 @@ let run_workload w =
 let write_text path s =
   if path = "-" then print_string s
   else begin
-    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+    (* Atomic tmp+rename via the shared lib/report helper: a concurrent
+       scraper tailing the exposition file never reads a torn document
+       (same path the run ledger and checkpoints publish through). *)
+    Report.write_atomic path s;
     Obs.Log.infof "wrote %s" path
   end
 
@@ -649,6 +658,333 @@ let watch_cmd =
       const run $ workload_term $ iters_arg $ outlier_arg $ openmetrics_arg
       $ log_level_arg $ log_json_arg)
 
+(* ---------- attach ------------------------------------------------------ *)
+
+(* The fields `attach` consumes from a heartbeat/v1 document.  The
+   writer publishes atomically (tmp+rename), so every successful read
+   sees a complete document; a parse failure means the file is not a
+   heartbeat at all. *)
+type hb = {
+  hb_seq : int;
+  hb_state : string;
+  hb_verdict : string option;
+  hb_run_id : string;
+  hb_property : string;
+  hb_phase : string;
+  hb_done : int;
+  hb_total : int;
+  hb_rounds : int;
+  hb_messages : int;
+  hb_wall : float;
+}
+
+let parse_heartbeat s =
+  match Report.Json_parse.of_string s with
+  | Error msg -> Error msg
+  | Ok (Json.Obj m) -> (
+      let str k =
+        match List.assoc_opt k m with Some (Json.String s) -> Some s | _ -> None
+      in
+      let int k =
+        match List.assoc_opt k m with Some (Json.Int i) -> Some i | _ -> None
+      in
+      let num k =
+        match List.assoc_opt k m with
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      match str "schema" with
+      | Some sch when sch = Report.heartbeat_schema -> (
+          match
+            (str "state", int "seq", int "phases_done", int "phases_total",
+             int "rounds", int "messages", num "wall_s")
+          with
+          | ( Some state, Some seq, Some done_, Some total, Some rounds,
+              Some messages, Some wall ) ->
+              Ok
+                {
+                  hb_seq = seq;
+                  hb_state = state;
+                  hb_verdict = str "verdict";
+                  hb_run_id = Option.value (str "run_id") ~default:"?";
+                  hb_property = Option.value (str "property") ~default:"?";
+                  hb_phase = Option.value (str "phase") ~default:"";
+                  hb_done = done_;
+                  hb_total = total;
+                  hb_rounds = rounds;
+                  hb_messages = messages;
+                  hb_wall = wall;
+                }
+          | _ -> Error "missing heartbeat member")
+      | Some sch -> Error (Printf.sprintf "unexpected schema %S" sch)
+      | None -> Error "no \"schema\" member")
+  | Ok _ -> Error "not a JSON object"
+
+let attach_cmd =
+  let file_arg =
+    let doc = "Heartbeat status file published by a live run." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let stall_arg =
+    let doc =
+      "Declare the run dead and exit 1 when the heartbeat sequence number \
+       does not advance for $(docv) seconds.  0 (the default) follows \
+       forever."
+    in
+    Arg.(value & opt float 0.0 & info [ "stall-after" ] ~docv:"SECS" ~doc)
+  in
+  let interval_arg =
+    let doc = "Poll interval in seconds." in
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let run file stall_after interval log_level log_json =
+    setup_logs log_level log_json;
+    if stall_after < 0.0 then begin
+      Obs.Log.error "planarmon attach: --stall-after must be >= 0";
+      exit 2
+    end;
+    if interval <= 0.0 then begin
+      Obs.Log.error "planarmon attach: --interval must be > 0";
+      exit 2
+    end;
+    let read_file () =
+      try Some (In_channel.with_open_bin file In_channel.input_all)
+      with Sys_error _ -> None
+    in
+    let tty = Unix.isatty Unix.stdout in
+    let print_done hb =
+      if tty then print_string "\r";
+      Printf.printf "[%s] done: verdict=%s phases=%d/%d rounds=%d messages=%d \
+                     wall=%.3fs\n"
+        hb.hb_run_id
+        (Option.value hb.hb_verdict ~default:"?")
+        hb.hb_done hb.hb_total hb.hb_rounds hb.hb_messages hb.hb_wall;
+      exit 0
+    in
+    (* Rounds/s over a sliding window of the writer's own (wall_s,
+       rounds) stamps — immune to our polling jitter.  ETA is
+       phase-based: phases are the only monotone progress measure whose
+       total is known up front (the round budget is data-dependent). *)
+    let window = Queue.create () in
+    let progress hb =
+      Queue.push (hb.hb_wall, hb.hb_rounds) window;
+      while Queue.length window > 32 do
+        ignore (Queue.pop window)
+      done;
+      let rps =
+        if Queue.length window >= 2 then begin
+          let w0, r0 = Queue.peek window in
+          let w1, r1 =
+            Queue.fold (fun _ x -> x) (Queue.peek window) window
+          in
+          if w1 > w0 then
+            Printf.sprintf " %.0f rounds/s" (float_of_int (r1 - r0) /. (w1 -. w0))
+          else ""
+        end
+        else ""
+      in
+      let eta =
+        if hb.hb_done > 0 && hb.hb_total > hb.hb_done then
+          Printf.sprintf " eta~%.0fs"
+            (hb.hb_wall
+            *. float_of_int (hb.hb_total - hb.hb_done)
+            /. float_of_int hb.hb_done)
+        else ""
+      in
+      let pct =
+        if hb.hb_total > 0 then 100 * hb.hb_done / hb.hb_total else 0
+      in
+      let line =
+        Printf.sprintf "[%s] %3d%% %s phases=%d/%d rounds=%d messages=%d \
+                        wall=%.1fs%s%s"
+          hb.hb_run_id pct
+          (if hb.hb_phase = "" then hb.hb_property else hb.hb_phase)
+          hb.hb_done hb.hb_total hb.hb_rounds hb.hb_messages hb.hb_wall rps eta
+      in
+      if tty then Printf.printf "\r%s   %!" line
+      else begin
+        print_endline line;
+        flush stdout
+      end
+    in
+    (* First read gates the input contract: missing or unparseable at
+       attach time is a usage error (2), not a stall (1). *)
+    (match read_file () with
+    | None ->
+        Obs.Log.errorf "planarmon attach: %s: cannot read" file;
+        exit 2
+    | Some s -> (
+        match parse_heartbeat s with
+        | Error msg ->
+            Obs.Log.errorf "planarmon attach: %s: %s" file msg;
+            exit 2
+        | Ok hb ->
+            if hb.hb_state = "done" then print_done hb;
+            progress hb;
+            let last_seq = ref hb.hb_seq in
+            let last_advance = ref (Unix.gettimeofday ()) in
+            let rec loop () =
+              Unix.sleepf interval;
+              (match read_file () with
+              | None ->
+                  (* The file existed when we attached; its writer (or a
+                     cleanup) removed it without publishing "done". *)
+                  if tty then print_newline ();
+                  Obs.Log.errorf
+                    "planarmon attach: %s disappeared before completion" file;
+                  exit 1
+              | Some s -> (
+                  match parse_heartbeat s with
+                  | Error msg ->
+                      if tty then print_newline ();
+                      Obs.Log.errorf "planarmon attach: %s: %s" file msg;
+                      exit 2
+                  | Ok hb ->
+                      if hb.hb_state = "done" then print_done hb;
+                      if hb.hb_seq <> !last_seq then begin
+                        last_seq := hb.hb_seq;
+                        last_advance := Unix.gettimeofday ();
+                        progress hb
+                      end
+                      else if
+                        stall_after > 0.0
+                        && Unix.gettimeofday () -. !last_advance > stall_after
+                      then begin
+                        if tty then print_newline ();
+                        Obs.Log.errorf
+                          "planarmon attach: no heartbeat from [%s] for %.1fs \
+                           (last seq %d, phase %d/%d) — declaring the run dead"
+                          hb.hb_run_id stall_after hb.hb_seq hb.hb_done
+                          hb.hb_total;
+                        exit 1
+                      end));
+              loop ()
+            in
+            loop ()))
+  in
+  Cmd.v
+    (Cmd.info "attach"
+       ~doc:
+         "Tail a live run's heartbeat file: progress, rounds/s and \
+          phase-aware ETA.  Exits 0 when the run finishes, 1 when the \
+          heartbeat stalls past --stall-after or the file disappears, 2 on \
+          missing or malformed input.")
+    Term.(
+      const run $ file_arg $ stall_arg $ interval_arg $ log_level_arg
+      $ log_json_arg)
+
+(* ---------- history ----------------------------------------------------- *)
+
+let history_cmd =
+  let file_arg =
+    let doc = "Run ledger (runs.ledger/v1 JSONL) written via --ledger." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER" ~doc)
+  in
+  let property_arg =
+    let doc = "Only show runs of this property." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "property" ] ~docv:"NAME" ~doc)
+  in
+  let run file property_filter log_level log_json =
+    setup_logs log_level log_json;
+    if not (Sys.file_exists file) then begin
+      Obs.Log.errorf "planarmon history: %s: no such file" file;
+      exit 2
+    end;
+    let records, skipped = Report.Ledger.load file in
+    if skipped > 0 then
+      Obs.Log.warnf "planarmon history: skipped %d unparseable line(s)" skipped;
+    let records =
+      match property_filter with
+      | None -> records
+      | Some p ->
+          List.filter (fun r -> r.Report.Ledger.property = p) records
+    in
+    if records = [] then begin
+      print_endline "no ledger records";
+      exit 0
+    end;
+    (* Group by fingerprint, preserving first-seen order.  Every run of
+       a fingerprint must agree on the simulated outcome — the digest
+       already folds verdict/rounds/messages/bits into one value, so a
+       digest mismatch IS determinism drift. *)
+    let groups : (string, Report.Ledger.record list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let fp = r.Report.Ledger.fingerprint in
+        match Hashtbl.find_opt groups fp with
+        | Some l -> l := r :: !l
+        | None ->
+            Hashtbl.add groups fp (ref [ r ]);
+            order := fp :: !order)
+      records;
+    let drift = ref false in
+    Printf.printf "%-12s %-5s %-9s %-10s %-12s %-10s %-8s %s\n" "property"
+      "runs" "verdict" "rounds" "messages" "wall_med" "trend" "fingerprint";
+    List.iter
+      (fun fp ->
+        let rows = List.rev !(Hashtbl.find groups fp) in
+        let r0 = List.hd rows in
+        let group_drift =
+          List.exists
+            (fun r ->
+              r.Report.Ledger.digest <> r0.Report.Ledger.digest
+              || r.Report.Ledger.verdict <> r0.Report.Ledger.verdict)
+            rows
+        in
+        if group_drift then drift := true;
+        let walls =
+          List.map (fun r -> r.Report.Ledger.wall_s) rows
+          |> List.sort compare |> Array.of_list
+        in
+        let median = walls.(Array.length walls / 2) in
+        let first_wall = (List.hd rows).Report.Ledger.wall_s in
+        let last_wall =
+          (List.nth rows (List.length rows - 1)).Report.Ledger.wall_s
+        in
+        let trend =
+          if List.length rows < 2 || first_wall <= 0.0 then "-"
+          else
+            Printf.sprintf "%+.0f%%"
+              (100.0 *. (last_wall -. first_wall) /. first_wall)
+        in
+        Printf.printf "%-12s %-5d %-9s %-10d %-12d %-10.4f %-8s %s%s\n"
+          r0.Report.Ledger.property (List.length rows)
+          r0.Report.Ledger.verdict r0.Report.Ledger.rounds
+          r0.Report.Ledger.messages median trend fp
+          (if group_drift then "  DRIFT" else "");
+        if group_drift then
+          List.iteri
+            (fun i r ->
+              Printf.printf
+                "  run %d: tool=%s verdict=%s rounds=%d messages=%d bits=%d \
+                 digest=%s\n"
+                i r.Report.Ledger.tool r.Report.Ledger.verdict
+                r.Report.Ledger.rounds r.Report.Ledger.messages
+                r.Report.Ledger.total_bits r.Report.Ledger.digest)
+            rows)
+      (List.rev !order);
+    if !drift then begin
+      Obs.Log.error
+        "planarmon history: determinism drift — runs with the same \
+         fingerprint disagree on the simulated outcome";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Summarize a provenance run ledger: runs per fingerprint, wall-time \
+          trend, and determinism drift (same fingerprint, different \
+          simulated outcome — exit 1).")
+    Term.(const run $ file_arg $ property_arg $ log_level_arg $ log_json_arg)
+
 (* ---------- entry ------------------------------------------------------- *)
 
 let () =
@@ -662,7 +998,7 @@ let () =
       Cmd.eval ~argv
         (Cmd.group
            (Cmd.info "planarmon" ~doc)
-           [ snapshot_cmd; compare_cmd; watch_cmd ])
+           [ snapshot_cmd; compare_cmd; watch_cmd; attach_cmd; history_cmd ])
     with
     | Sys_error msg | Failure msg ->
         Printf.eprintf "planarmon: %s\n" msg;

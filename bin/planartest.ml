@@ -30,10 +30,13 @@ let log_json_arg =
   Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"PATH" ~doc)
 
 let setup_logs level json =
+  (* Error-level records are never suppressed and reach the JSONL sink
+     too (when one is open), so even CLI-level failures land in
+     --log-json instead of bypassing it via bare eprintf. *)
   (match Obs.Log.level_of_string level with
   | Ok l -> Obs.Log.set_level l
   | Error msg ->
-      Printf.eprintf "planartest: %s\n" msg;
+      Obs.Log.errorf "planartest: %s" msg;
       exit 2);
   match json with
   | None -> ()
@@ -41,7 +44,7 @@ let setup_logs level json =
       match Obs.Log.set_json path with
       | Ok () -> at_exit Obs.Log.close_json
       | Error msg ->
-          Printf.eprintf "planartest: cannot open --log-json %s: %s\n" path msg;
+          Obs.Log.errorf "planartest: cannot open --log-json %s: %s" path msg;
           exit 2)
 
 let graph_arg =
@@ -162,11 +165,11 @@ let test_cmd =
   in
   let run path eps seed domains stats_json faults_spec trace_out
       trace_capacity no_ff mode_name checkpoint_path checkpoint_every
-      checkpoint_exit no_gt property log_level log_json =
+      checkpoint_exit no_gt property heartbeat_path heartbeat_every
+      heartbeat_secs progress ledger_path log_level log_json =
     setup_logs log_level log_json;
-    Obs.Log.set_context
-      ~run_id:(Printf.sprintf "planartest:%s:seed=%d" path seed)
-      ();
+    let run_id = Printf.sprintf "planartest:%s:seed=%d" path seed in
+    Obs.Log.set_context ~run_id ();
     (match property with
     | "planarity" | "bipartite" | "cycle-free" -> ()
     | p ->
@@ -195,6 +198,49 @@ let test_cmd =
           | Error msg ->
               Obs.Log.errorf "planartest test: %s" msg;
               exit 2)
+    in
+    let fingerprint =
+      Report.Checkpoint.fingerprint ~property g ~eps ~seed ~alpha:3 ~faults
+    in
+    (* --progress draws on stderr only when a human is watching: not a
+       tty, or --log-json - sharing the stream, disables it silently. *)
+    let progress_live =
+      progress && Unix.isatty Unix.stderr && log_json <> Some "-"
+    in
+    let on_publish =
+      if not progress_live then None
+      else
+        Some
+          (fun (p : Obs.Heartbeat.progress) ->
+            let pct =
+              if p.Obs.Heartbeat.phases_total > 0 then
+                100 * p.Obs.Heartbeat.phases_done
+                / p.Obs.Heartbeat.phases_total
+              else 0
+            in
+            Printf.eprintf
+              "\r[planartest] %3d%% | phase %d/%d | rounds %d | messages %d   \
+               %!"
+              pct p.Obs.Heartbeat.phases_done p.Obs.Heartbeat.phases_total
+              p.Obs.Heartbeat.rounds p.Obs.Heartbeat.messages)
+    in
+    (if heartbeat_every < 1 then begin
+       Obs.Log.errorf "planartest test: --heartbeat-every must be >= 1 (got %d)"
+         heartbeat_every;
+       exit 2
+     end);
+    (if heartbeat_secs <= 0.0 then begin
+       Obs.Log.errorf "planartest test: --heartbeat-secs must be > 0 (got %g)"
+         heartbeat_secs;
+       exit 2
+     end);
+    let heartbeat =
+      if heartbeat_path = None && not progress_live then None
+      else
+        Some
+          (Obs.Heartbeat.create ?path:heartbeat_path
+             ~every_rounds:heartbeat_every ~every_secs:heartbeat_secs
+             ?on_publish ~run_id ~fingerprint ~property ())
     in
     (* Checkpointed runs always record telemetry, even without
        --stats-json: the snapshot carries the series, so a later resume
@@ -227,6 +273,9 @@ let test_cmd =
       | Some ck_path ->
           let after_save saves =
             Obs.Log.infof "checkpoint %d written to %s" saves ck_path;
+            Option.iter
+              (fun hb -> Obs.Heartbeat.set_checkpoint hb ck_path)
+              heartbeat;
             match checkpoint_exit with
             | Some k when saves >= k ->
                 Obs.Log.infof
@@ -260,14 +309,15 @@ let test_cmd =
       }
     in
     let n = Graph.n g and m = Graph.m g in
+    let wall_t0 = Unix.gettimeofday () in
     let t, stats_doc =
       try
         match property with
         | "planarity" ->
             let r =
               Tester.Planarity_tester.run ?telemetry ?trace ~domains
-                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
-                ~seed
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint
+                ?heartbeat g ~eps ~seed
             in
             ( totals_of_report r,
               fun host ->
@@ -276,8 +326,8 @@ let test_cmd =
         | "bipartite" ->
             let _, t =
               Tester.Bipartite_tester.run ?telemetry ?trace ~domains
-                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
-                ~seed
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint
+                ?heartbeat g ~eps ~seed
             in
             ( t,
               fun host ->
@@ -286,8 +336,8 @@ let test_cmd =
         | _ ->
             let _, t =
               Tester.Cycle_free_tester.run ?telemetry ?trace ~domains
-                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint g ~eps
-                ~seed
+                ~fast_forward:(not no_ff) ?faults ~mode ?checkpoint
+                ?heartbeat g ~eps ~seed
             in
             ( t,
               fun host ->
@@ -297,6 +347,67 @@ let test_cmd =
         Obs.Log.errorf "planartest test: %s" msg;
         exit 2
     in
+    let wall_s = Unix.gettimeofday () -. wall_t0 in
+    let verdict_str =
+      match t.Tester.Harness.verdict with
+      | Tester.Harness.Accept -> "accept"
+      | Tester.Harness.Reject _ -> "reject"
+      | Tester.Harness.Degraded _ -> "degraded"
+    in
+    Option.iter (fun hb -> Obs.Heartbeat.finish hb ~verdict:verdict_str)
+      heartbeat;
+    if progress_live then prerr_newline ();
+    (match ledger_path with
+    | None -> ()
+    | Some lp -> (
+        let record =
+          {
+            Report.Ledger.ts = Unix.gettimeofday ();
+            tool = "planartest";
+            run_id;
+            fingerprint;
+            property;
+            config =
+              [
+                ("graph", path);
+                ("eps", Printf.sprintf "%g" eps);
+                ("seed", string_of_int seed);
+                ("domains", string_of_int domains);
+                ("mode", mode_name);
+                ("fast_forward", string_of_bool (not no_ff));
+                ("faults", Option.value ~default:"none" faults_spec);
+              ];
+            verdict = verdict_str;
+            digest =
+              Report.Ledger.digest_core ~property ~verdict:verdict_str
+                ~rounds:t.Tester.Harness.rounds
+                ~nominal_rounds:t.Tester.Harness.nominal_rounds
+                ~messages:t.Tester.Harness.messages
+                ~total_bits:t.Tester.Harness.total_bits
+                ~fast_forwarded_rounds:t.Tester.Harness.fast_forwarded_rounds
+                ~dropped:t.Tester.Harness.dropped
+                ~duplicated:t.Tester.Harness.duplicated
+                ~delayed:t.Tester.Harness.delayed
+                ~crashed_nodes:t.Tester.Harness.crashed_nodes;
+            rounds = t.Tester.Harness.rounds;
+            nominal_rounds = t.Tester.Harness.nominal_rounds;
+            messages = t.Tester.Harness.messages;
+            total_bits = t.Tester.Harness.total_bits;
+            wall_s;
+            host = Unix.gethostname ();
+          }
+        in
+        try
+          Report.Ledger.append ~path:lp record;
+          Obs.Log.infof "ledger record appended to %s" lp
+        with
+        | Sys_error msg ->
+            Obs.Log.errorf "planartest test: cannot append to ledger: %s" msg;
+            exit 1
+        | Unix.Unix_error (e, _, _) ->
+            Obs.Log.errorf "planartest test: cannot append to ledger: %s"
+              (Unix.error_message e);
+            exit 1));
     Option.iter Congest.Trace.finish trace;
     (match (trace_out, trace) with
     | Some path, Some tr -> (
@@ -456,6 +567,43 @@ let test_cmd =
     in
     Arg.(value & opt string "planarity" & info [ "property" ] ~docv:"PROP" ~doc)
   in
+  let heartbeat_arg =
+    let doc =
+      "Publish a live heartbeat/v1 status document to $(docv), atomically \
+       replaced (tmp+rename) every --heartbeat-every charged rounds and/or \
+       --heartbeat-secs wall-seconds, plus at every phase boundary.  Tail \
+       it with $(b,planarmon attach).  Purely host-side: the verdict, \
+       stats JSON, stable metrics and --trace stream are byte-identical \
+       with or without it."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "heartbeat" ] ~docv:"FILE" ~doc)
+  in
+  let heartbeat_every_arg =
+    let doc = "Heartbeat republication cadence in charged rounds." in
+    Arg.(value & opt int 8192 & info [ "heartbeat-every" ] ~docv:"K" ~doc)
+  in
+  let heartbeat_secs_arg =
+    let doc = "Heartbeat republication cadence in wall-clock seconds." in
+    Arg.(value & opt float 1.0 & info [ "heartbeat-secs" ] ~docv:"SECS" ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Draw a single-line progress bar on stderr, driven by the heartbeat \
+       callback (works with or without --heartbeat).  Auto-disabled when \
+       stderr is not a tty or --log-json - would share the stream."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let ledger_arg =
+    let doc =
+      "Append one runs.ledger/v1 JSONL provenance record (fingerprint, \
+       config, verdict, deterministic stats digest, wall time, host) to \
+       $(docv) when the run completes.  Summarize with $(b,planarmon \
+       history)."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "test" ~doc:"Run a distributed property tester")
     Term.(
@@ -463,7 +611,9 @@ let test_cmd =
       $ stats_json_arg $ faults_arg $ trace_arg $ trace_capacity_arg
       $ no_ff_arg $ mode_arg
       $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_exit_arg
-      $ no_gt_arg $ property_arg $ log_level_arg $ log_json_arg)
+      $ no_gt_arg $ property_arg $ heartbeat_arg $ heartbeat_every_arg
+      $ heartbeat_secs_arg $ progress_arg $ ledger_arg $ log_level_arg
+      $ log_json_arg)
 
 (* --- partition -------------------------------------------------------- *)
 

@@ -262,7 +262,7 @@ module Make (Msg : MESSAGE) = struct
   }
 
   let run ?bandwidth ?(max_rounds = 1_000_000) ?telemetry ?trace
-      ?(fast_forward = true) ?pool:opool g ~start ~resume =
+      ?(fast_forward = true) ?on_round ?pool:opool g ~start ~resume =
     let n = Graph.n g in
     let m_t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
     let bw =
@@ -525,11 +525,13 @@ module Make (Msg : MESSAGE) = struct
           (match eng.telemetry with
           | Some tel -> Telemetry.fast_forward tel ~rounds:delta
           | None -> ());
-          match trace with
+          (match trace with
           | Some tr ->
               Trace.fast_forward tr ~round:(eng.current_round - delta)
                 ~rounds:delta
-          | None -> ()
+          | None -> ());
+          (* Host-side observer, same contract as the fiber engine's. *)
+          match on_round with Some f -> f delta | None -> ()
         end
       end
     in
@@ -568,7 +570,10 @@ module Make (Msg : MESSAGE) = struct
              running := false;
              completed := false
            end
-           else one_round ()
+           else begin
+             one_round ();
+             match on_round with Some f -> f 1 | None -> ()
+           end
          end
        done;
        if owned then p.in_use <- false;

@@ -138,9 +138,13 @@ module Make (Msg : MESSAGE) : sig
     ?telemetry:Telemetry.t ->
     ?trace:Trace.t ->
     ?fast_forward:bool ->
+    ?on_round:(int -> unit) ->
     ?pool:pool ->
     Graphlib.Graph.t ->
     start:(ctx -> int -> step) ->
     resume:(ctx -> int -> (int * Msg.t) list -> step) ->
     result
+  (** [?on_round] is the same host-side per-round observer as
+      [Engine.run]'s: [f 1] per stepped round, [f delta] per
+      fast-forwarded span.  Must not touch simulated state. *)
 end

@@ -662,7 +662,7 @@ module Make (Msg : MESSAGE) = struct
 
   let run ?(seed = 0) ?bandwidth ?(strict = false) ?(max_rounds = 1_000_000)
       ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults
-      ?(on_error = `Propagate) ?pool:opool g program =
+      ?on_round ?(on_error = `Propagate) ?pool:opool g program =
     let n = Graph.n g in
     let m_t0 = if Obs.Metrics.enabled () then Unix.gettimeofday () else 0.0 in
     let bw =
@@ -1478,11 +1478,14 @@ module Make (Msg : MESSAGE) = struct
           (match eng.telemetry with
           | Some tel -> Telemetry.fast_forward tel ~rounds:delta
           | None -> ());
-          match trace with
+          (match trace with
           | Some tr ->
               Trace.fast_forward tr ~round:(eng.current_round - delta)
                 ~rounds:delta
-          | None -> ()
+          | None -> ());
+          (* Host-side observer; runs on the coordinator in a quiescent
+             span, after all accounting for the skip is settled. *)
+          match on_round with Some f -> f delta | None -> ()
         end
       end
     in
@@ -1518,7 +1521,10 @@ module Make (Msg : MESSAGE) = struct
              running := false;
              completed := false
            end
-           else one_round ()
+           else begin
+             one_round ();
+             match on_round with Some f -> f 1 | None -> ()
+           end
          end
        done;
        (* Crash events inside a span the final fast-forward jumped over

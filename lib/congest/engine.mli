@@ -256,6 +256,13 @@ module Make (Msg : MESSAGE) : sig
              [result.failures] — the recorded set is the same for every
              [?domains] count, closing the only-one-exception-observable
              gap of [`Propagate].
+      @param on_round host-side observer called on the coordinator after
+             each completed round — [f 1] per stepped round, [f delta]
+             after a fast-forwarded quiescent span of [delta] rounds.
+             Runs strictly between rounds (quiescent state) and must not
+             touch simulated state; with a pure observer the simulated
+             stream is byte-identical with or without the hook.  Drives
+             {!Obs.Heartbeat}.
       @param pool reuse preallocated delivery state (must come from
              [pool g] on the same graph value). *)
   val run :
@@ -268,6 +275,7 @@ module Make (Msg : MESSAGE) : sig
     ?domains:int ->
     ?fast_forward:bool ->
     ?faults:Faults.policy ->
+    ?on_round:(int -> unit) ->
     ?on_error:[ `Propagate | `Record ] ->
     ?pool:pool ->
     Graphlib.Graph.t ->

@@ -1,0 +1,37 @@
+(* Crash-safe file publication, shared by every writer in this repo
+   that a concurrent reader may be tailing: the heartbeat status file
+   (whole-document replace), the run ledger (append-only JSONL) and,
+   via [Report.write_atomic], the checkpoint container and planarmon's
+   exposition files.  Living in [obs] keeps the dependency direction
+   clean — report depends on obs, never the reverse. *)
+
+let with_channel path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write path contents = with_channel path (fun oc -> output_string oc contents)
+
+let append_line path line =
+  let buf = line ^ "\n" in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.of_string buf in
+      let len = Bytes.length b in
+      let written = Unix.write fd b 0 len in
+      if written <> len then
+        raise
+          (Sys_error
+             (Printf.sprintf "%s: short append (%d of %d bytes)" path written
+                len)))

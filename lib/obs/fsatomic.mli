@@ -1,0 +1,33 @@
+(** Crash-safe file publication primitives.
+
+    Two patterns, for two kinds of live files:
+
+    - {!write}: whole-document replace via temp file + [rename].  A
+      reader never observes a torn document — it sees the previous
+      contents or the new ones, nothing in between — and a crash
+      mid-write leaves the previous version intact.  Used by the
+      heartbeat status file, the checkpoint container and planarmon's
+      exposition output (all through this one helper, so there is a
+      single rename path to audit).
+
+    - {!append_line}: append-only record streams (JSONL ledgers).  The
+      line plus its newline go down in a single [write(2)] on an
+      [O_APPEND] descriptor, so concurrent appenders never interleave
+      bytes; a crash can tear at most the final line, which readers
+      must skip (see [Report.Ledger.load]). *)
+
+val write : string -> string -> unit
+(** [write path contents] atomically replaces [path] with [contents]
+    via [path ^ ".tmp"] + rename.  Raises [Sys_error] on IO failure
+    (the temp file is removed, [path] is untouched). *)
+
+val with_channel : string -> (out_channel -> unit) -> unit
+(** Streaming variant of {!write}: [with_channel path f] opens the
+    temp file in binary mode, hands the channel to [f], then closes
+    and renames.  Same atomicity and cleanup contract; use when the
+    document is too large to build as one string (checkpoints). *)
+
+val append_line : string -> string -> unit
+(** [append_line path line] appends [line ^ "\n"] to [path] (creating
+    it at 0o644) in one [write(2)].  [line] must not contain a
+    newline.  Raises [Sys_error] / [Unix.Unix_error] on failure. *)

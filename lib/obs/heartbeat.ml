@@ -1,0 +1,244 @@
+(* Live-run heartbeat: a small status document republished atomically
+   (tmp+rename, via [Fsatomic.write]) every K charged rounds and/or T
+   wall-seconds.  Everything here runs on the host coordinator between
+   quiescent engine rounds — the simulated stream (stats, telemetry,
+   trace, metrics) is never touched, so a run with a heartbeat is
+   byte-identical to one without, across domains / fast-forward /
+   execution mode.
+
+   JSON is hand-rolled on purpose: obs cannot depend on
+   Congest.Telemetry.Json (congest depends on obs).  The key set and
+   order are locked — test_report.ml carries the golden. *)
+
+let schema = "heartbeat/v1"
+
+type progress = {
+  rounds : int;
+  charged_rounds : int;
+  messages : int;
+  total_bits : int;
+  phases_done : int;
+  phases_total : int;
+}
+
+let zero_progress =
+  {
+    rounds = 0;
+    charged_rounds = 0;
+    messages = 0;
+    total_bits = 0;
+    phases_done = 0;
+    phases_total = 0;
+  }
+
+type t = {
+  path : string option;
+  every_rounds : int;
+  every_secs : float;
+  on_publish : (progress -> unit) option;
+  run_id : string;
+  fingerprint : string;
+  property : string;
+  created : float;
+  mutable sample : (unit -> progress) option;
+  mutable base_rounds : int;
+  mutable base_charged : int;
+  mutable ticks : int;  (* live round ticks accumulated since [attach] *)
+  mutable since_publish : int;
+  mutable tick_calls : int;  (* stride counter for the wall-clock check *)
+  mutable last_wall : float;
+  mutable seq : int;
+  mutable checkpoint : string option;
+  mutable finished : bool;
+  mutable warned : bool;
+}
+
+let create ?path ?(every_rounds = 8192) ?(every_secs = 1.0) ?on_publish
+    ~run_id ~fingerprint ~property () =
+  if every_rounds < 1 then invalid_arg "Heartbeat.create: every_rounds < 1";
+  let now = Unix.gettimeofday () in
+  {
+    path;
+    every_rounds;
+    every_secs;
+    on_publish;
+    run_id;
+    fingerprint;
+    property;
+    created = now;
+    sample = None;
+    base_rounds = 0;
+    base_charged = 0;
+    ticks = 0;
+    since_publish = 0;
+    tick_calls = 0;
+    last_wall = now;
+    seq = 0;
+    checkpoint = None;
+    finished = false;
+    warned = false;
+  }
+
+let path t = t.path
+let set_checkpoint t p = t.checkpoint <- Some p
+
+let attach t ~sample =
+  let s = sample () in
+  t.sample <- Some sample;
+  (* The sample only advances at primitive-run granularity; live engine
+     ticks fill in between.  Recording the bases here makes resumed runs
+     start from the checkpointed totals rather than zero. *)
+  t.base_rounds <- s.rounds;
+  t.base_charged <- s.charged_rounds;
+  t.ticks <- 0
+
+let current t =
+  match t.sample with
+  | None -> zero_progress
+  | Some f ->
+    let s = f () in
+    {
+      s with
+      rounds = max s.rounds (t.base_rounds + t.ticks);
+      charged_rounds = max s.charged_rounds (t.base_charged + t.ticks);
+    }
+
+let add_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let add_metric_entries b =
+  (* Stable families only: the projection is deterministic, so the
+     heartbeat stays diffable across hosts.  Histograms flatten to
+     [name_sum] / [name_count]; label sets render into the name the way
+     the exposition format does. *)
+  let first = ref true in
+  let entry name v =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b "{\"name\":";
+    Buffer.add_string b (Log.json_string name);
+    Buffer.add_string b ",\"value\":";
+    v ();
+    Buffer.add_char b '}'
+  in
+  let series_name fam_name labels =
+    match labels with
+    | [] -> fam_name
+    | labels ->
+      let parts =
+        List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s=\"%s\"" k (Metrics.escape_label_value v))
+          labels
+      in
+      Printf.sprintf "%s{%s}" fam_name (String.concat "," parts)
+  in
+  List.iter
+    (fun (fam : Metrics.family) ->
+      List.iter
+        (fun (s : Metrics.series) ->
+          let name = series_name fam.Metrics.name s.Metrics.labels in
+          match s.Metrics.value with
+          | Metrics.Counter_v n ->
+            entry name (fun () -> Buffer.add_string b (string_of_int n))
+          | Metrics.Gauge_v g -> entry name (fun () -> add_float b g)
+          | Metrics.Histogram_v h ->
+            entry (name ^ "_sum") (fun () ->
+                Buffer.add_string b (string_of_int h.Metrics.sum));
+            entry (name ^ "_count") (fun () ->
+                Buffer.add_string b (string_of_int h.Metrics.total)))
+        fam.Metrics.series)
+    (Metrics.snapshot ~stable_only:true ())
+
+let render t ~state ~verdict ~now (p : progress) =
+  let b = Buffer.create 1024 in
+  let _, phase = Log.context () in
+  Buffer.add_string b "{\"schema\":";
+  Buffer.add_string b (Log.json_string schema);
+  Buffer.add_string b (Printf.sprintf ",\"seq\":%d" t.seq);
+  Buffer.add_string b ",\"state\":";
+  Buffer.add_string b (Log.json_string state);
+  Buffer.add_string b ",\"verdict\":";
+  (match verdict with
+   | None -> Buffer.add_string b "null"
+   | Some v -> Buffer.add_string b (Log.json_string v));
+  Buffer.add_string b ",\"run_id\":";
+  Buffer.add_string b (Log.json_string t.run_id);
+  Buffer.add_string b ",\"fingerprint\":";
+  Buffer.add_string b (Log.json_string t.fingerprint);
+  Buffer.add_string b ",\"property\":";
+  Buffer.add_string b (Log.json_string t.property);
+  Buffer.add_string b ",\"phase\":";
+  Buffer.add_string b (Log.json_string phase);
+  Buffer.add_string b (Printf.sprintf ",\"phases_done\":%d" p.phases_done);
+  Buffer.add_string b (Printf.sprintf ",\"phases_total\":%d" p.phases_total);
+  Buffer.add_string b (Printf.sprintf ",\"rounds\":%d" p.rounds);
+  Buffer.add_string b
+    (Printf.sprintf ",\"charged_rounds\":%d" p.charged_rounds);
+  Buffer.add_string b (Printf.sprintf ",\"messages\":%d" p.messages);
+  Buffer.add_string b (Printf.sprintf ",\"total_bits\":%d" p.total_bits);
+  Buffer.add_string b ",\"checkpoint\":";
+  (match t.checkpoint with
+   | None -> Buffer.add_string b "null"
+   | Some c -> Buffer.add_string b (Log.json_string c));
+  Buffer.add_string b ",\"wall_s\":";
+  Buffer.add_string b (Printf.sprintf "%.6f" (now -. t.created));
+  let gc = Gc.quick_stat () in
+  Buffer.add_string b ",\"gc\":{\"minor_words\":";
+  add_float b gc.Gc.minor_words;
+  Buffer.add_string b
+    (Printf.sprintf ",\"major_collections\":%d" gc.Gc.major_collections);
+  Buffer.add_string b (Printf.sprintf ",\"heap_words\":%d" gc.Gc.heap_words);
+  Buffer.add_string b "},\"metrics\":";
+  if Metrics.enabled () then begin
+    Buffer.add_char b '[';
+    add_metric_entries b;
+    Buffer.add_char b ']'
+  end
+  else Buffer.add_string b "null";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let publish_at t ~state ~verdict now =
+  t.seq <- t.seq + 1;
+  t.since_publish <- 0;
+  t.last_wall <- now;
+  let p = current t in
+  (match t.path with
+   | None -> ()
+   | Some path -> (
+     try Fsatomic.write path (render t ~state ~verdict ~now p)
+     with Sys_error msg ->
+       if not t.warned then begin
+         t.warned <- true;
+         Log.warnf ~fields:[ ("path", Log.S path) ]
+           "heartbeat write failed: %s" msg
+       end));
+  match t.on_publish with None -> () | Some f -> f p
+
+let publish t =
+  if not t.finished then
+    publish_at t ~state:"running" ~verdict:None (Unix.gettimeofday ())
+
+let tick t ~rounds =
+  if not t.finished then begin
+    t.ticks <- t.ticks + rounds;
+    t.since_publish <- t.since_publish + rounds;
+    t.tick_calls <- t.tick_calls + 1;
+    if t.since_publish >= t.every_rounds then publish t
+    else if t.tick_calls land 63 = 0 then begin
+      (* Check the clock only every 64 ticks: gettimeofday per round
+         would be the dominant cost of the whole hook. *)
+      let now = Unix.gettimeofday () in
+      if now -. t.last_wall >= t.every_secs then
+        publish_at t ~state:"running" ~verdict:None now
+    end
+  end
+
+let finish t ~verdict =
+  if not t.finished then begin
+    publish_at t ~state:"done" ~verdict:(Some verdict) (Unix.gettimeofday ());
+    t.finished <- true
+  end

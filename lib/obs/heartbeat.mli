@@ -1,0 +1,90 @@
+(** Live-run heartbeat publication.
+
+    A heartbeat is a single small JSON document (locked schema
+    ["heartbeat/v1"]) republished in place — atomic tmp+rename via
+    {!Fsatomic.write} — every K charged rounds and/or T wall-seconds.
+    A tailing reader ([planarmon attach], a future daemon supervisor)
+    always sees a complete document and can derive progress, ETA and
+    liveness from [seq]/[wall_s]/[rounds] deltas.
+
+    {b Determinism.}  All hooks run on the host coordinator at
+    quiescent round or phase boundaries; nothing here reads or writes
+    simulated state.  A run with a heartbeat attached produces
+    byte-identical stats / telemetry / trace / stable-metrics output
+    to the same run without one, across [--domains], fast-forward and
+    execution mode.
+
+    {b Not thread-safe.}  [tick]/[publish]/[finish] must be called
+    from the coordinator only (they are — via the engine's [?on_round]
+    and Stage I's [?on_phase] hooks).
+
+    Document key set, in order: [schema seq state verdict run_id
+    fingerprint property phase phases_done phases_total rounds
+    charged_rounds messages total_bits checkpoint wall_s gc metrics],
+    with [gc = {minor_words, major_collections, heap_words}] and
+    [metrics] either [null] (registry disabled) or a flat
+    [{name, value}] list of the stable projection. *)
+
+val schema : string
+(** ["heartbeat/v1"]. *)
+
+type progress = {
+  rounds : int;            (** engine rounds completed (live, per tick) *)
+  charged_rounds : int;    (** charged rounds (live, per tick) *)
+  messages : int;          (** messages so far (primitive-run granularity) *)
+  total_bits : int;        (** bits so far (primitive-run granularity) *)
+  phases_done : int;       (** Stage I phases completed (+1 for Stage II) *)
+  phases_total : int;      (** total phases incl. Stage II *)
+}
+
+type t
+
+val create :
+  ?path:string ->
+  ?every_rounds:int ->
+  ?every_secs:float ->
+  ?on_publish:(progress -> unit) ->
+  run_id:string ->
+  fingerprint:string ->
+  property:string ->
+  unit ->
+  t
+(** [create ~run_id ~fingerprint ~property ()] builds a heartbeat.
+    [?path] is the status file; when omitted nothing is written and
+    only [?on_publish] fires (that is how [planartest --progress]
+    works without [--heartbeat]).  [?every_rounds] (default 8192)
+    and [?every_secs] (default 1.0) bound the republication cadence
+    from below; phase boundaries force-publish regardless.  Write
+    failures are logged once via {!Log} and never raised — a full
+    disk must not kill a long run. *)
+
+val attach : t -> sample:(unit -> progress) -> unit
+(** Connect the source of truth: [sample ()] reads the run's
+    accumulated stats (harness-side).  Called once the partition
+    state exists, before stepping starts; the totals sampled here
+    become the base that live {!tick}s extend, so resumed runs
+    report checkpointed totals rather than zero. *)
+
+val set_checkpoint : t -> string -> unit
+(** Record the latest checkpoint path; appears in the document as
+    [checkpoint] (null until first set). *)
+
+val tick : t -> rounds:int -> unit
+(** [tick t ~rounds] accounts [rounds] freshly completed engine
+    rounds (1 per stepped round, the span length after a
+    fast-forward skip) and republishes if a cadence bound is due.
+    O(1); checks the wall clock only every 64 calls. *)
+
+val publish : t -> unit
+(** Force a republication now (phase boundaries).  No-op after
+    {!finish}. *)
+
+val finish : t -> verdict:string -> unit
+(** Final publication with [state = "done"] and the given verdict;
+    subsequent ticks/publishes are no-ops. *)
+
+val path : t -> string option
+
+val current : t -> progress
+(** The progress that would be published now (exposed for tests and
+    the progress bar). *)

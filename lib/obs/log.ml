@@ -75,6 +75,12 @@ let set_context ?run_id ?phase () =
   (match phase with Some p -> st.phase <- p | None -> ());
   Mutex.unlock st.mutex
 
+let context () =
+  Mutex.lock st.mutex;
+  let r = (st.run_id, st.phase) in
+  Mutex.unlock st.mutex;
+  r
+
 (* Minimal RFC 8259 string escaping; obs cannot depend on
    Congest.Telemetry.Json (congest depends on obs). *)
 let json_escape b s =
@@ -92,6 +98,11 @@ let json_escape b s =
        | c -> Buffer.add_char b c)
     s;
   Buffer.add_char b '"'
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  json_escape b s;
+  Buffer.contents b
 
 let add_field_value b = function
   | S s -> json_escape b s

@@ -41,6 +41,17 @@ val set_context : ?run_id:string -> ?phase:string -> unit -> unit
     every subsequent JSONL record.  Omitted arguments are left
     unchanged. *)
 
+val context : unit -> string * string
+(** The current ambient [(run_id, phase)] pair — [""] for unset.
+    {!Heartbeat} samples the phase from here, so the status file and
+    the JSONL log always agree on where the run is. *)
+
+val json_string : string -> string
+(** Minimal RFC 8259 escaping of [s], double quotes included — the
+    JSON string writer shared by obs modules that hand-roll their
+    documents ([obs] cannot depend on [Congest.Telemetry.Json];
+    congest depends on obs). *)
+
 type field_value = S of string | I of int | F of float | B of bool
 type field = string * field_value
 

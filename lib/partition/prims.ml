@@ -38,7 +38,8 @@ let run_program ?(seed = 0) (st : State.t) program =
   let res =
     Eng.run ~seed ?telemetry:st.State.telemetry ?trace:st.State.trace
       ~domains:st.State.domains ~fast_forward:st.State.fast_forward
-      ?faults:st.State.faults ~pool:st.State.pool st.State.graph
+      ?faults:st.State.faults ?on_round:st.State.on_round
+      ~pool:st.State.pool st.State.graph
       (fun ctx -> program ctx (State.node st (Eng.my_id ctx)))
   in
   (* Charge before judging completion: a degraded run's rounds and fault
@@ -75,8 +76,8 @@ let compiled_active (st : State.t) =
 let run_compiled (st : State.t) ~start ~resume =
   let res =
     Cmp.run ?telemetry:st.State.telemetry ?trace:st.State.trace
-      ~fast_forward:st.State.fast_forward ~pool:(State.cmp_pool st)
-      st.State.graph ~start ~resume
+      ~fast_forward:st.State.fast_forward ?on_round:st.State.on_round
+      ~pool:(State.cmp_pool st) st.State.graph ~start ~resume
   in
   Congest.Stats.add_into st.State.stats res.Cmp.stats;
   if not res.Cmp.completed then failwith "Prims: node program did not complete";

@@ -84,7 +84,8 @@ let nominal_phase_rounds ~n ~phase =
 
 let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
     ?telemetry ?trace ?(domains = 1) ?(fast_forward = true) ?faults
-    ?(mode = Congest.Compiled.Fiber) ?state ?resume ?on_phase g ~eps =
+    ?(mode = Congest.Compiled.Fiber) ?on_round ?state ?resume ?on_phase g ~eps
+    =
   if not (eps > 0.0 && eps < 1.0) then invalid_arg "Stage1.run: eps in (0,1)";
   let st = match state with Some st -> st | None -> State.create g in
   st.State.telemetry <- telemetry;
@@ -93,6 +94,7 @@ let run ?(alpha = 3) ?(stop_when_met = true) ?(measure_diameters = true)
   st.State.fast_forward <- fast_forward;
   st.State.faults <- faults;
   st.State.mode <- mode;
+  st.State.on_round <- on_round;
   let faults_active = Congest.Faults.active faults in
   let n = Graph.n g and m = Graph.m g in
   let target = eps *. float_of_int m /. 2.0 in

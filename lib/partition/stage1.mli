@@ -66,6 +66,10 @@ val phases_for : eps:float -> alpha:int -> int
            run (see {!Congest.Faults}).  A fault-broken execution returns
            with [degraded = Some _] instead of raising; rejections found
            under faults are not trustworthy evidence.
+    @param on_round host-side observer forwarded to every engine run (see
+           {!Congest.Engine.Make.run}): [f 1] per stepped round,
+           [f delta] per fast-forwarded span.  Must not touch simulated
+           state; drives {!Obs.Heartbeat} ticks.
     @param mode execution mode for the lockstep primitives (default
            [Fiber]): [Compiled]/[Auto] run them as fiber-free array
            passes when no faults and no trace are attached, with
@@ -100,6 +104,7 @@ val run :
   ?fast_forward:bool ->
   ?faults:Congest.Faults.policy ->
   ?mode:Congest.Compiled.mode ->
+  ?on_round:(int -> unit) ->
   ?state:State.t ->
   ?resume:int * phase_trace list ->
   ?on_phase:(int -> phase_trace list -> unit) ->

@@ -46,6 +46,7 @@ type t = {
   mutable faults : Congest.Faults.policy option;
   mutable mode : Congest.Compiled.mode;
   mutable cpool : Cmp.pool option;  (* lazily allocated on first compiled run *)
+  mutable on_round : (int -> unit) option;
 }
 
 let create g =
@@ -94,6 +95,7 @@ let create g =
     faults = None;
     mode = Congest.Compiled.Fiber;
     cpool = None;
+    on_round = None;
   }
 
 let restore g ~nodes ~stats ~rejections ~nominal_rounds =
@@ -113,6 +115,7 @@ let restore g ~nodes ~stats ~rejections ~nominal_rounds =
     faults = None;
     mode = Congest.Compiled.Fiber;
     cpool = None;
+    on_round = None;
   }
 
 let cmp_pool st =

@@ -104,6 +104,11 @@ type t = {
   mutable cpool : Cmp.pool option;
       (** reusable compiled-path delivery state, allocated lazily by
           {!cmp_pool} on the first compiled run *)
+  mutable on_round : (int -> unit) option;
+      (** host-side per-round observer threaded to every engine run
+          through {!Prims} (fiber and compiled alike): [f 1] per stepped
+          round, [f delta] per fast-forwarded span.  Must not touch
+          simulated state — drives {!Obs.Heartbeat} ticks. *)
 }
 
 (** Fresh state: singleton parts, every node the root of its own part. *)

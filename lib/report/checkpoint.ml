@@ -41,18 +41,12 @@ let fingerprint ?(property = "planarity") g ~eps ~seed ~alpha ~faults =
 let save path ~fingerprint:fp (s : PT.snapshot) =
   let body = Marshal.to_string (fp, s) [] in
   let digest = Digest.string body in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc magic;
-     output_string oc digest;
-     output_string oc body;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  (* Atomic tmp+rename via the shared helper: a crash mid-save leaves
+     the previous checkpoint intact rather than a torn file. *)
+  Obs.Fsatomic.with_channel path (fun oc ->
+      output_string oc magic;
+      output_string oc digest;
+      output_string oc body)
 
 let load path ~fingerprint:fp =
   if not (Sys.file_exists path) then None

@@ -1,0 +1,162 @@
+(* Provenance run ledger: one JSONL record per completed run, appended
+   crash-safely through [Obs.Fsatomic.append_line].  The file is the
+   repo's perf/correctness trajectory across runs — `planarmon history`
+   groups it by fingerprint and flags determinism drift.
+
+   A record's [digest] hashes only the domain-/fast-forward-/mode-
+   invariant core of the run's outcome (verdict + simulated accounting),
+   never wall-clock or observer configuration: two runs of the same
+   fingerprint must agree on it byte-for-byte, or the engine's
+   determinism contract broke. *)
+
+module Json = Congest.Telemetry.Json
+
+let schema = "runs.ledger/v1"
+
+type record = {
+  ts : float;  (** append wall-clock, Unix epoch seconds *)
+  tool : string;  (** "planartest" | "bench" *)
+  run_id : string;
+  fingerprint : string;
+  property : string;
+  config : (string * string) list;
+  verdict : string;
+  digest : string;
+  rounds : int;
+  nominal_rounds : int;
+  messages : int;
+  total_bits : int;
+  wall_s : float;
+  host : string;
+}
+
+let digest_core ~property ~verdict ~rounds ~nominal_rounds ~messages
+    ~total_bits ~fast_forwarded_rounds ~dropped ~duplicated ~delayed
+    ~crashed_nodes =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "%s|%s|rounds=%d|nominal=%d|msgs=%d|bits=%d|ff=%d|dropped=%d|dup=%d|delayed=%d|crashed=%d"
+          property verdict rounds nominal_rounds messages total_bits
+          fast_forwarded_rounds dropped duplicated delayed crashed_nodes))
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("ts", Json.Float r.ts);
+      ("tool", Json.String r.tool);
+      ("run_id", Json.String r.run_id);
+      ("fingerprint", Json.String r.fingerprint);
+      ("property", Json.String r.property);
+      ( "config",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.config) );
+      ("verdict", Json.String r.verdict);
+      ("digest", Json.String r.digest);
+      ("rounds", Json.Int r.rounds);
+      ("nominal_rounds", Json.Int r.nominal_rounds);
+      ("messages", Json.Int r.messages);
+      ("total_bits", Json.Int r.total_bits);
+      ("wall_s", Json.Float r.wall_s);
+      ("host", Json.String r.host);
+    ]
+
+let append ~path r = Obs.Fsatomic.append_line path (Json.to_string (to_json r))
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj members ->
+      let str k =
+        match List.assoc_opt k members with
+        | Some (Json.String s) -> Ok s
+        | _ -> Error (Printf.sprintf "member %S missing or not a string" k)
+      in
+      let int k =
+        match List.assoc_opt k members with
+        | Some (Json.Int i) -> Ok i
+        | _ -> Error (Printf.sprintf "member %S missing or not an int" k)
+      in
+      let num k =
+        match List.assoc_opt k members with
+        | Some (Json.Float f) -> Ok f
+        | Some (Json.Int i) -> Ok (float_of_int i)
+        | _ -> Error (Printf.sprintf "member %S missing or not a number" k)
+      in
+      let* s = str "schema" in
+      if s <> schema then Error (Printf.sprintf "unknown schema %S" s)
+      else
+        let* ts = num "ts" in
+        let* tool = str "tool" in
+        let* run_id = str "run_id" in
+        let* fingerprint = str "fingerprint" in
+        let* property = str "property" in
+        let* config =
+          match List.assoc_opt "config" members with
+          | Some (Json.Obj kvs) ->
+              List.fold_left
+                (fun acc (k, v) ->
+                  let* acc = acc in
+                  match v with
+                  | Json.String s -> Ok ((k, s) :: acc)
+                  | _ ->
+                      Error
+                        (Printf.sprintf "config member %S is not a string" k))
+                (Ok []) kvs
+              |> Result.map List.rev
+          | _ -> Error "member \"config\" missing or not an object"
+        in
+        let* verdict = str "verdict" in
+        let* digest = str "digest" in
+        let* rounds = int "rounds" in
+        let* nominal_rounds = int "nominal_rounds" in
+        let* messages = int "messages" in
+        let* total_bits = int "total_bits" in
+        let* wall_s = num "wall_s" in
+        let* host = str "host" in
+        Ok
+          {
+            ts;
+            tool;
+            run_id;
+            fingerprint;
+            property;
+            config;
+            verdict;
+            digest;
+            rounds;
+            nominal_rounds;
+            messages;
+            total_bits;
+            wall_s;
+            host;
+          }
+  | _ -> Error "record is not a JSON object"
+
+let load path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let records = ref [] in
+        let skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Json_parse.of_string line with
+               | Ok j -> (
+                   match of_json j with
+                   | Ok r -> records := r :: !records
+                   | Error _ -> incr skipped)
+               | Error _ ->
+                   (* A torn final line from a crashed writer parses as
+                      invalid JSON; skipping it is the documented reader
+                      contract. *)
+                   incr skipped
+           done
+         with End_of_file -> ());
+        (List.rev !records, !skipped))
+  end

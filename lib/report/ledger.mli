@@ -1,0 +1,73 @@
+(** Provenance run ledger: an append-only JSONL file ([runs.jsonl])
+    with one locked ["runs.ledger/v1"] record per completed
+    [planartest] / [bench] run.
+
+    Appends are crash-safe ({!Obs.Fsatomic.append_line}: one
+    [write(2)] on an [O_APPEND] descriptor), so concurrent writers
+    never interleave bytes and a crash can tear at most the final
+    line — which {!load} skips and counts.
+
+    Record key set, in order: [schema ts tool run_id fingerprint
+    property config verdict digest rounds nominal_rounds messages
+    total_bits wall_s host].  [config] is a flat string→string
+    object of the run's knobs (eps, seed, domains, mode, …).
+
+    The [digest] field hashes only the domain-/fast-forward-/mode-
+    invariant outcome of the run — see {!digest_core} — so every run
+    of the same {!Checkpoint.fingerprint} must carry the same digest;
+    a mismatch means the engine's determinism contract broke
+    ([planarmon history] exits 1 on it).  Wall-clock lives outside
+    the digest and is only trended. *)
+
+val schema : string
+(** ["runs.ledger/v1"]. *)
+
+type record = {
+  ts : float;  (** append wall-clock, Unix epoch seconds *)
+  tool : string;  (** ["planartest"] | ["bench"] *)
+  run_id : string;
+  fingerprint : string;  (** {!Checkpoint.fingerprint} string *)
+  property : string;
+  config : (string * string) list;
+  verdict : string;  (** ["accept"] | ["reject"] | ["degraded"] | bench outcome *)
+  digest : string;
+      (** {!digest_core} hex for tester runs; [bench] writes the MD5 of
+          its timing-stripped report core instead (same invariance
+          contract: equal for every run of one fingerprint) *)
+  rounds : int;
+  nominal_rounds : int;
+  messages : int;
+  total_bits : int;
+  wall_s : float;
+  host : string;
+}
+
+val digest_core :
+  property:string ->
+  verdict:string ->
+  rounds:int ->
+  nominal_rounds:int ->
+  messages:int ->
+  total_bits:int ->
+  fast_forwarded_rounds:int ->
+  dropped:int ->
+  duplicated:int ->
+  delayed:int ->
+  crashed_nodes:int ->
+  string
+(** MD5 hex of the canonical outcome core.  Every argument is
+    byte-identical across [--domains], fast-forward and [--mode] by
+    the engine contract; wall-clock and observer configuration are
+    deliberately excluded. *)
+
+val to_json : record -> Congest.Telemetry.Json.t
+val of_json : Congest.Telemetry.Json.t -> (record, string) result
+
+val append : path:string -> record -> unit
+(** Append one record as a single JSONL line.  Raises [Sys_error] /
+    [Unix.Unix_error] on IO failure. *)
+
+val load : string -> record list * int
+(** [load path] is [(records, skipped)] — chronological records plus
+    the count of unparseable or wrong-schema lines skipped (torn
+    final line included).  A missing file is [([], 0)]. *)

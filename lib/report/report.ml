@@ -4,6 +4,7 @@ module Ctrace = Ctrace
 module Perfetto = Perfetto
 module Checkpoint = Checkpoint
 module Critpath_report = Critpath_report
+module Ledger = Ledger
 module PT = Tester.Planarity_tester
 
 let stats_schema = "planartest.stats/v1"
@@ -12,10 +13,12 @@ let stats_schema_v3 = "planartest.stats/v3"
 let bench_schema = "bench.planarity/v1"
 let metrics_schema = "metrics/v1"
 let critpath_schema = Critpath_report.schema
+let heartbeat_schema = Obs.Heartbeat.schema
+let ledger_schema = Ledger.schema
 
 let known_schemas =
   [ stats_schema; stats_schema_v2; stats_schema_v3; bench_schema;
-    metrics_schema; critpath_schema ]
+    metrics_schema; critpath_schema; heartbeat_schema; ledger_schema ]
 
 let check_schema j =
   match j with
@@ -243,3 +246,12 @@ let write path j =
     print_newline ()
   end
   else Json.write_file path j
+
+(* The one atomic-publication path for whole documents a concurrent
+   reader may be tailing (planarmon watch --out, checkpoints via
+   [Checkpoint.save], the heartbeat inside obs itself).  Delegates to
+   [Obs.Fsatomic] — the implementation lives in obs because obs cannot
+   depend on report. *)
+let write_atomic path contents = Obs.Fsatomic.write path contents
+
+let write_atomic_json path j = write_atomic path (Json.to_string j ^ "\n")

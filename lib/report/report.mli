@@ -25,6 +25,10 @@ module Checkpoint = Checkpoint
     [critpath/v1] JSON document. *)
 module Critpath_report = Critpath_report
 
+(** Append-only provenance ledger of completed runs
+    ([runs.ledger/v1] JSONL records, crash-safe appends). *)
+module Ledger = Ledger
+
 (** ["planartest.stats/v1"] *)
 val stats_schema : string
 
@@ -42,6 +46,13 @@ val metrics_schema : string
 
 (** ["critpath/v1"] *)
 val critpath_schema : string
+
+(** ["heartbeat/v1"] (emitted by {!Obs.Heartbeat}; registered here so
+    {!check_schema} recognizes status files). *)
+val heartbeat_schema : string
+
+(** ["runs.ledger/v1"] *)
+val ledger_schema : string
 
 (** Every schema tag this build can emit or validate. *)
 val known_schemas : string list
@@ -126,3 +137,12 @@ val metrics_json :
 (** [write path j] writes [j] plus a trailing newline to [path], or to
     stdout when [path] is ["-"]. *)
 val write : string -> Json.t -> unit
+
+(** [write_atomic path contents] atomically replaces [path] via
+    temp file + rename ({!Obs.Fsatomic.write}) — the one publication
+    path for whole documents a concurrent reader may be tailing
+    ([planarmon watch --out], checkpoints, the heartbeat). *)
+val write_atomic : string -> string -> unit
+
+(** {!write_atomic} of [Json.to_string j ^ "\n"]. *)
+val write_atomic_json : string -> Json.t -> unit

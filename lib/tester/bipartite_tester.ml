@@ -89,10 +89,10 @@ let stage2 st ~eps:_ ~seed:_ =
   }
 
 let run ?seed ?alpha ?partition ?measure_diameters ?telemetry ?trace ?domains
-    ?fast_forward ?faults ?mode ?checkpoint g ~eps =
+    ?fast_forward ?faults ?mode ?checkpoint ?heartbeat g ~eps =
   Harness.run ?seed ?alpha ?partition ?measure_diameters ?telemetry ?trace
-    ?domains ?fast_forward ?faults ?mode ?checkpoint ~property:"bipartite"
-    ~stage2 g ~eps
+    ?domains ?fast_forward ?faults ?mode ?checkpoint ?heartbeat
+    ~property:"bipartite" ~stage2 g ~eps
 
 let accepts ?seed ?partition g ~eps =
   match (snd (run ?seed ?partition g ~eps)).Harness.verdict with

@@ -46,6 +46,7 @@ val run :
   ?faults:Congest.Faults.policy ->
   ?mode:Congest.Compiled.mode ->
   ?checkpoint:Harness.checkpoint ->
+  ?heartbeat:Obs.Heartbeat.t ->
   Graphlib.Graph.t ->
   eps:float ->
   details option * Harness.totals

@@ -84,7 +84,7 @@ let effective_eps ?(budget = Edge_budget) g ~eps =
 let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
     ?(measure_diameters = false) ?telemetry ?trace ?(domains = 1)
     ?(fast_forward = true) ?faults ?(mode = Congest.Compiled.Fiber)
-    ?checkpoint ~property ~stage2 g ~eps =
+    ?checkpoint ?heartbeat ~property ~stage2 g ~eps =
   let faults_active = Congest.Faults.active faults in
   (match (checkpoint, partition) with
   | Some ck, _ when ck.every < 1 ->
@@ -99,20 +99,48 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
             boundaries to checkpoint at)"
            property)
   | _ -> ());
+  (* Heartbeat plumbing — all host-side.  [hb_on_round] ticks from the
+     engine's quiescent round boundaries; the sample closure reads the
+     state's accumulated stats (primitive-run granularity) plus the
+     phase counters below; phase boundaries force a publication. *)
+  let hb_phases_done = ref 0 in
+  let hb_phases_total =
+    ref
+      (match partition with
+      | Stage_one -> Partition.Stage1.phases_for ~eps ~alpha + 1
+      | Exponential_shifts -> 1 (* centralized clustering; Stage II only *))
+  in
+  let hb_on_round =
+    Option.map (fun hb rounds -> Obs.Heartbeat.tick hb ~rounds) heartbeat
+  in
+  let attach_heartbeat st =
+    Option.iter
+      (fun hb ->
+        let stats = st.Partition.State.stats in
+        Obs.Heartbeat.attach hb ~sample:(fun () ->
+            {
+              Obs.Heartbeat.rounds = stats.Congest.Stats.rounds;
+              charged_rounds = stats.Congest.Stats.charged_rounds;
+              messages = stats.Congest.Stats.messages;
+              total_bits = stats.Congest.Stats.total_bits;
+              phases_done = !hb_phases_done;
+              phases_total = !hb_phases_total;
+            });
+        Obs.Heartbeat.publish hb)
+      heartbeat
+  in
+  let hb_publish () = Option.iter Obs.Heartbeat.publish heartbeat in
   let stage1, st =
     match partition with
-    | Stage_one -> (
-        match checkpoint with
-        | None ->
-            let r =
-              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
-                ~domains ~fast_forward ?faults ~mode g ~eps
-            in
-            (Some r, r.Partition.Stage1.state)
-        | Some ck ->
-            (* The state must pre-exist the run so the [on_phase] closure
-               can capture it for snapshots. *)
-            let st0, resume =
+    | Stage_one ->
+        (* The state pre-exists the run so the [on_phase] closure can
+           capture it for checkpoint snapshots and so the heartbeat can
+           sample it; with neither feature in use this is exactly
+           [Stage1.run]'s own [State.create g] hoisted out. *)
+        let st0, resume =
+          match checkpoint with
+          | None -> (Partition.State.create g, None)
+          | Some ck -> (
               match ck.load () with
               | Some s ->
                   (* Splice the pre-interruption per-round series into
@@ -134,30 +162,39 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
                       ~stats:s.ck_stats ~rejections:s.ck_rejections
                       ~nominal_rounds:s.ck_nominal_rounds,
                     Some (s.ck_phase, s.ck_phases_rev) )
-              | None -> (Partition.State.create g, None)
-            in
-            let completed = ref 0 in
-            let on_phase next_phase phases_rev =
-              incr completed;
-              if !completed mod ck.every = 0 then
-                ck.save
-                  {
-                    ck_phase = next_phase;
-                    ck_phases_rev = phases_rev;
-                    ck_nodes = st0.Partition.State.nodes;
-                    ck_stats = Congest.Stats.copy st0.Partition.State.stats;
-                    ck_rejections = st0.Partition.State.rejections;
-                    ck_nominal_rounds = st0.Partition.State.nominal_rounds;
-                    ck_telemetry = Option.map Congest.Telemetry.copy telemetry;
-                    ck_trace = Option.map Congest.Trace.copy trace;
-                  }
-            in
-            let r =
-              Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
-                ~domains ~fast_forward ?faults ~mode ~state:st0 ?resume
-                ~on_phase g ~eps
-            in
-            (Some r, r.Partition.Stage1.state))
+              | None -> (Partition.State.create g, None))
+        in
+        (match resume with
+        | Some (next_phase, _) -> hb_phases_done := next_phase - 1
+        | None -> ());
+        attach_heartbeat st0;
+        let completed = ref 0 in
+        let on_phase next_phase phases_rev =
+          incr completed;
+          hb_phases_done := next_phase - 1;
+          (match checkpoint with
+          | Some ck when !completed mod ck.every = 0 ->
+              ck.save
+                {
+                  ck_phase = next_phase;
+                  ck_phases_rev = phases_rev;
+                  ck_nodes = st0.Partition.State.nodes;
+                  ck_stats = Congest.Stats.copy st0.Partition.State.stats;
+                  ck_rejections = st0.Partition.State.rejections;
+                  ck_nominal_rounds = st0.Partition.State.nominal_rounds;
+                  ck_telemetry = Option.map Congest.Telemetry.copy telemetry;
+                  ck_trace = Option.map Congest.Trace.copy trace;
+                }
+          | _ -> ());
+          hb_publish ()
+        in
+        let r =
+          Partition.Stage1.run ~alpha ~measure_diameters ?telemetry ?trace
+            ~domains ~fast_forward ?faults ~mode ?on_round:hb_on_round
+            ~state:st0 ?resume ~on_phase g ~eps
+        in
+        hb_phases_done := List.length r.Partition.Stage1.phases;
+        (Some r, r.Partition.Stage1.state)
     | Exponential_shifts ->
         let r = Partition.En_partition.run ~seed g ~eps in
         let st = r.Partition.En_partition.state in
@@ -170,6 +207,8 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
            already ran. *)
         st.Partition.State.faults <- faults;
         st.Partition.State.mode <- mode;
+        st.Partition.State.on_round <- hb_on_round;
+        attach_heartbeat st;
         (None, st)
   in
   let degraded = ref None in
@@ -195,6 +234,7 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
         telemetry;
       Option.iter (fun tr -> Congest.Trace.phase tr "stage2") trace;
       Obs.Log.set_context ~phase:"stage2" ();
+      hb_publish ();
       let rounds_before = st.Partition.State.stats.Congest.Stats.rounds in
       let r =
         try Some (stage2 st ~eps ~seed) with
@@ -211,6 +251,7 @@ let run ?(seed = 0) ?(alpha = 3) ?(partition = Stage_one)
         Obs.Metrics.observe m_stage2_rounds
           (st.Partition.State.stats.Congest.Stats.rounds - rounds_before);
       Obs.Log.set_context ~phase:"" ();
+      if Option.is_some r then hb_phases_done := !hb_phases_total;
       r
     end
     else None

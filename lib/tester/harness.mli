@@ -128,6 +128,15 @@ val effective_eps : ?budget:eps_budget -> Graphlib.Graph.t -> eps:float -> float
     [fast_forward] (default [true]), [faults], [mode] (default [Fiber]),
     [checkpoint].
 
+    [heartbeat]: attach an {!Obs.Heartbeat.t} to the run.  The harness
+    connects its sample source to the partition state's accumulated
+    stats and phase progress ([phases_total] counts the Stage I phase
+    budget plus one for Stage II), ticks it from the engine's quiescent
+    round boundaries, and force-publishes at every phase boundary.
+    Entirely host-side: the simulated stream — verdict, stats,
+    telemetry, trace, stable metrics — is byte-identical with or
+    without it.  The caller owns the final {!Obs.Heartbeat.finish}.
+
     Verdict semantics: Stage I or Stage II rejection evidence yields
     [Reject] on a fault-free run; under an active fault policy that
     actually fired, evidence yields [Degraded] instead (one-sided error
@@ -146,6 +155,7 @@ val run :
   ?faults:Congest.Faults.policy ->
   ?mode:Congest.Compiled.mode ->
   ?checkpoint:checkpoint ->
+  ?heartbeat:Obs.Heartbeat.t ->
   property:string ->
   stage2:(Partition.State.t -> eps:float -> seed:int -> 'a) ->
   Graphlib.Graph.t ->

@@ -48,10 +48,11 @@ type report = {
 
 let run ?seed ?alpha ?partition ?(embedding = Stage2.Oracle)
     ?measure_diameters ?telemetry ?trace ?domains ?fast_forward ?faults
-    ?mode ?checkpoint g ~eps =
+    ?mode ?checkpoint ?heartbeat g ~eps =
   let stage2, t =
     Harness.run ?seed ?alpha ?partition ?measure_diameters ?telemetry ?trace
-      ?domains ?fast_forward ?faults ?mode ?checkpoint ~property:"planarity"
+      ?domains ?fast_forward ?faults ?mode ?checkpoint ?heartbeat
+      ~property:"planarity"
       ~stage2:(fun st ~eps ~seed -> Stage2.run ~embedding st ~eps ~seed)
       g ~eps
   in

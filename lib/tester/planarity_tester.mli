@@ -125,7 +125,10 @@ type report = {
     resumed run's stats JSON (verdict, totals and per-round telemetry)
     is byte-identical to an uninterrupted run's, and a resumed run's
     .ctrace aggregates match an uninterrupted run's under [planartrace
-    diff] (host wall-clock/GC deltas restart at the resume point). *)
+    diff] (host wall-clock/GC deltas restart at the resume point).
+    [heartbeat] attaches a live {!Obs.Heartbeat.t} (purely host-side —
+    see {!Harness.run}; the caller owns the final
+    {!Obs.Heartbeat.finish}). *)
 val run :
   ?seed:int ->
   ?alpha:int ->
@@ -139,6 +142,7 @@ val run :
   ?faults:Congest.Faults.policy ->
   ?mode:Congest.Compiled.mode ->
   ?checkpoint:checkpoint ->
+  ?heartbeat:Obs.Heartbeat.t ->
   Graphlib.Graph.t ->
   eps:float ->
   report

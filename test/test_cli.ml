@@ -268,6 +268,144 @@ let test_planartest_property_mode_stats_identical () =
             (stats property "compiled"))
         [ "bipartite"; "cycle-free" ])
 
+(* ------------------------------------------------------------------ *)
+(* planarmon attach / history, planartest --heartbeat/--progress/--ledger *)
+(* ------------------------------------------------------------------ *)
+
+let replace_once hay needle repl =
+  let nh = String.length hay and nn = String.length needle in
+  let rec find i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> hay
+  | Some i ->
+      String.sub hay 0 i ^ repl ^ String.sub hay (i + nn) (nh - i - nn)
+
+(* One tester run with --heartbeat and --ledger; returns the heartbeat
+   document and leaves the ledger at [ledger]. *)
+let with_finished_heartbeat f =
+  with_graph (fun g ->
+      let hb = Filename.temp_file "hb" ".json" in
+      let ledger = Filename.temp_file "runs" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove hb;
+          Sys.remove ledger)
+        (fun () ->
+          let code, _, _ =
+            run
+              [
+                planartest; "test"; g; "--eps"; "0.3"; "--heartbeat"; hb;
+                "--heartbeat-every"; "4"; "--ledger"; ledger; "--log-level";
+                "warn";
+              ]
+          in
+          check ci "heartbeat run exits 0" 0 code;
+          f ~graph:g ~hb ~ledger))
+
+let test_attach_missing_file () =
+  let code, _, err = run [ planarmon; "attach"; "/nonexistent/hb.json" ] in
+  check ci "missing heartbeat exits 2" 2 code;
+  check cb "stderr explains" true (String.length err > 0)
+
+let test_attach_corrupt_file () =
+  let path = Filename.temp_file "hb" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "not a heartbeat";
+      let code, _, _ = run [ planarmon; "attach"; path ] in
+      check ci "corrupt heartbeat exits 2" 2 code;
+      write_file path {|{"schema":"metrics/v1"}|};
+      let code, _, _ = run [ planarmon; "attach"; path ] in
+      check ci "wrong schema exits 2" 2 code)
+
+let test_attach_completed_and_stalled () =
+  with_finished_heartbeat (fun ~graph:_ ~hb ~ledger:_ ->
+      let code, out, _ = run [ planarmon; "attach"; hb ] in
+      check ci "finished run exits 0" 0 code;
+      check cb "verdict printed" true (contains out "verdict=");
+      (* Rewind the same document to a live state with no writer behind
+         it: attach must declare the run dead after --stall-after. *)
+      let doc = slurp hb in
+      let stalled =
+        replace_once doc {|"state":"done"|} {|"state":"running"|}
+      in
+      check cb "rewrite changed the document" true (stalled <> doc);
+      write_file hb stalled;
+      let code, _, err =
+        run
+          [
+            planarmon; "attach"; hb; "--stall-after"; "0.5"; "--interval";
+            "0.1";
+          ]
+      in
+      check ci "stalled heartbeat exits 1" 1 code;
+      check cb "stall diagnosis on stderr" true (contains err "dead"))
+
+let test_attach_bad_flags () =
+  let code, _, _ =
+    run [ planarmon; "attach"; "x.json"; "--stall-after"; "-1" ]
+  in
+  check ci "negative --stall-after exits 2" 2 code;
+  let code, _, _ = run [ planarmon; "attach"; "x.json"; "--interval"; "0" ] in
+  check ci "zero --interval exits 2" 2 code
+
+let test_progress_silent_when_not_tty () =
+  (* --progress must auto-disable when stderr is not a tty (it is a
+     pipe here), leaving stderr free of control characters. *)
+  with_graph (fun g ->
+      let code, _, err =
+        run
+          [
+            planartest; "test"; g; "--eps"; "0.3"; "--progress";
+            "--log-level"; "warn";
+          ]
+      in
+      check ci "--progress run exits 0" 0 code;
+      check cb "no progress bar leaked to piped stderr" false
+        (contains err "\r["))
+
+let test_history_ledger_roundtrip () =
+  with_finished_heartbeat (fun ~graph:g ~hb:_ ~ledger ->
+      (* Second run of the identical configuration: same fingerprint,
+         same digest — history groups them and stays green. *)
+      let code, _, _ =
+        run
+          [
+            planartest; "test"; g; "--eps"; "0.3"; "--ledger"; ledger;
+            "--log-level"; "warn";
+          ]
+      in
+      check ci "second ledger run exits 0" 0 code;
+      let code, out, _ = run [ planarmon; "history"; ledger ] in
+      check ci "consistent ledger exits 0" 0 code;
+      check cb "both runs grouped" true (contains out " 2 ");
+      (* Torn final line (crash mid-append): skipped with a warning,
+         never fatal. *)
+      let lines = slurp ledger in
+      write_file ledger (lines ^ {|{"schema":"runs.ledg|});
+      let code, _, err = run [ planarmon; "history"; ledger ] in
+      check ci "torn line still exits 0" 0 code;
+      check cb "torn line counted" true (contains err "skipped 1");
+      (* Determinism drift: duplicate a record with a different digest
+         under the same fingerprint. *)
+      let l = List.hd (String.split_on_char '\n' lines) in
+      let forged =
+        replace_once l {|"digest":"|} {|"digest":"f0f0|}
+      in
+      write_file ledger (lines ^ forged ^ "\n");
+      let code, out, _ = run [ planarmon; "history"; ledger ] in
+      check ci "digest drift exits 1" 1 code;
+      check cb "drift flagged in table" true (contains out "DRIFT"))
+
+let test_history_missing_file () =
+  let code, _, _ = run [ planarmon; "history"; "/nonexistent/runs.jsonl" ] in
+  check ci "missing ledger exits 2" 2 code
+
 let () =
   Alcotest.run "cli"
     [
@@ -311,5 +449,22 @@ let () =
             test_planartest_property_runs;
           Alcotest.test_case "planartest property stats identical across modes"
             `Quick test_planartest_property_mode_stats_identical;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "attach missing file exits 2" `Quick
+            test_attach_missing_file;
+          Alcotest.test_case "attach corrupt file exits 2" `Quick
+            test_attach_corrupt_file;
+          Alcotest.test_case "attach completed 0 / stalled 1" `Quick
+            test_attach_completed_and_stalled;
+          Alcotest.test_case "attach bad flags exit 2" `Quick
+            test_attach_bad_flags;
+          Alcotest.test_case "--progress silent when stderr is piped" `Quick
+            test_progress_silent_when_not_tty;
+          Alcotest.test_case "history groups, skips torn, flags drift" `Quick
+            test_history_ledger_roundtrip;
+          Alcotest.test_case "history missing ledger exits 2" `Quick
+            test_history_missing_file;
         ] );
     ]

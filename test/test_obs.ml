@@ -177,6 +177,131 @@ let test_disabled_records_nothing () =
   | [ { M.series = [ { M.value = M.Counter_v 0; _ } ]; _ } ] -> ()
   | _ -> Alcotest.fail "disabled registry must stay at zero"
 
+(* ------------------------------------------------------------------ *)
+(* Fsatomic: the shared atomic-publication helpers                     *)
+(* ------------------------------------------------------------------ *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_fsatomic_write () =
+  let path = Filename.temp_file "fsat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Fsatomic.write path "first";
+      check cs "contents written" "first" (slurp path);
+      (* Replacement is whole-document: the reader never sees a mix. *)
+      Obs.Fsatomic.write path "second document, longer";
+      check cs "replaced in place" "second document, longer" (slurp path);
+      (* A failed publication must not leave temp litter next to the
+         target. *)
+      let dir = Filename.dirname path in
+      let before =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      (try
+         Obs.Fsatomic.with_channel path (fun _ -> failwith "midway")
+       with Failure _ -> ());
+      let after =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      check ci "no temp file left behind" (List.length before)
+        (List.length after);
+      check cs "target untouched by the failed write"
+        "second document, longer" (slurp path))
+
+let test_fsatomic_append_line () =
+  let path = Filename.temp_file "fsat" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sys.remove path;
+      (* append creates the file *)
+      Obs.Fsatomic.append_line path "one";
+      Obs.Fsatomic.append_line path "two";
+      check cs "one line per append, newline-terminated" "one\ntwo\n"
+        (slurp path))
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat: cadence, bases, terminal finish                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_progress ?(rounds = 0) ?(charged = 0) () =
+  {
+    Obs.Heartbeat.rounds;
+    charged_rounds = charged;
+    messages = 1;
+    total_bits = 8;
+    phases_done = 1;
+    phases_total = 4;
+  }
+
+let test_heartbeat_tick_cadence () =
+  let published = ref 0 in
+  (* No [?path]: publication only fires the hook (planartest --progress
+     without --heartbeat).  every_secs is huge so only the round cadence
+     triggers. *)
+  let hb =
+    Obs.Heartbeat.create ~every_rounds:100 ~every_secs:1e9
+      ~on_publish:(fun _ -> incr published)
+      ~run_id:"r" ~fingerprint:"f" ~property:"p" ()
+  in
+  Obs.Heartbeat.attach hb ~sample:(fun () -> mk_progress ());
+  for _ = 1 to 99 do
+    Obs.Heartbeat.tick hb ~rounds:1
+  done;
+  check ci "below the cadence: no publication" 0 !published;
+  Obs.Heartbeat.tick hb ~rounds:1;
+  check ci "100th round publishes" 1 !published;
+  (* A fast-forwarded span ticks once with the whole span length. *)
+  Obs.Heartbeat.tick hb ~rounds:250;
+  check ci "one span over the cadence publishes once" 2 !published;
+  Obs.Heartbeat.publish hb;
+  check ci "explicit publish always fires" 3 !published
+
+let test_heartbeat_bases_and_ticks () =
+  (* attach on resume: the checkpointed totals become the floor, live
+     ticks extend them even while the coarse sample lags. *)
+  let hb =
+    Obs.Heartbeat.create ~run_id:"r" ~fingerprint:"f" ~property:"p" ()
+  in
+  Obs.Heartbeat.attach hb
+    ~sample:(fun () -> mk_progress ~rounds:500 ~charged:600 ());
+  Obs.Heartbeat.tick hb ~rounds:7;
+  let p = Obs.Heartbeat.current hb in
+  check ci "rounds = base + live ticks" 507 p.Obs.Heartbeat.rounds;
+  check ci "charged_rounds too" 607 p.Obs.Heartbeat.charged_rounds;
+  check ci "sampled fields pass through" 1 p.Obs.Heartbeat.messages
+
+let test_heartbeat_finish_terminal () =
+  let published = ref 0 in
+  let hb =
+    Obs.Heartbeat.create
+      ~on_publish:(fun _ -> incr published)
+      ~run_id:"r" ~fingerprint:"f" ~property:"p" ()
+  in
+  Obs.Heartbeat.attach hb ~sample:(fun () -> mk_progress ());
+  Obs.Heartbeat.finish hb ~verdict:"accept";
+  check ci "finish publishes" 1 !published;
+  Obs.Heartbeat.finish hb ~verdict:"reject";
+  Obs.Heartbeat.publish hb;
+  Obs.Heartbeat.tick hb ~rounds:1_000_000;
+  check ci "finish is terminal for every entry point" 1 !published
+
+let test_heartbeat_bad_cadence () =
+  match
+    Obs.Heartbeat.create ~every_rounds:0 ~run_id:"r" ~fingerprint:"f"
+      ~property:"p" ()
+  with
+  | _ -> Alcotest.fail "every_rounds = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -206,5 +331,22 @@ let () =
         [
           Alcotest.test_case "stable projection: domains and ff invariant"
             `Quick test_stable_projection_invariant;
+        ] );
+      ( "fsatomic",
+        [
+          Alcotest.test_case "atomic write replaces whole documents" `Quick
+            test_fsatomic_write;
+          Alcotest.test_case "append_line is one line per call" `Quick
+            test_fsatomic_append_line;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "round cadence" `Quick test_heartbeat_tick_cadence;
+          Alcotest.test_case "resume bases + live ticks" `Quick
+            test_heartbeat_bases_and_ticks;
+          Alcotest.test_case "finish is terminal" `Quick
+            test_heartbeat_finish_terminal;
+          Alcotest.test_case "invalid cadence rejected" `Quick
+            test_heartbeat_bad_cadence;
         ] );
     ]

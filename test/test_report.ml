@@ -644,6 +644,228 @@ let test_checkpoint_file_refusals () =
       check cb "truncated refused" true
         (fails (fun () -> Report.Checkpoint.load path ~fingerprint:fp)))
 
+(* ------------------------------------------------------------------ *)
+(* heartbeat/v1: the live status document                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [planarmon attach] and any supervisor tailing the status file parse
+   these keys; the set and order are locked like the stats schemas. *)
+let heartbeat_keys ~verdict ~checkpoint ~metrics =
+  [
+    ("schema", "string");
+    ("seq", "int");
+    ("state", "string");
+    ("verdict", verdict);
+    ("run_id", "string");
+    ("fingerprint", "string");
+    ("property", "string");
+    ("phase", "string");
+    ("phases_done", "int");
+    ("phases_total", "int");
+    ("rounds", "int");
+    ("charged_rounds", "int");
+    ("messages", "int");
+    ("total_bits", "int");
+    ("checkpoint", checkpoint);
+    ("wall_s", "float");
+    ("gc", "obj");
+    ("metrics", metrics);
+  ]
+
+let parse_file path =
+  match Report.Json_parse.of_file path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s does not parse: %s" path e
+
+let test_heartbeat_schema () =
+  let path = Filename.temp_file "hb" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let hb =
+        Obs.Heartbeat.create ~path ~run_id:"r1" ~fingerprint:"fp"
+          ~property:"planarity" ()
+      in
+      Obs.Heartbeat.attach hb
+        ~sample:(fun () ->
+          {
+            Obs.Heartbeat.rounds = 7;
+            charged_rounds = 9;
+            messages = 11;
+            total_bits = 13;
+            phases_done = 2;
+            phases_total = 5;
+          });
+      Obs.Heartbeat.publish hb;
+      let j = parse_file path in
+      check kt "running key set (verdict/checkpoint null, metrics off)"
+        (heartbeat_keys ~verdict:"null" ~checkpoint:"null" ~metrics:"null")
+        (keys_and_tags j);
+      (match Report.check_schema j with
+      | Ok t -> check Alcotest.string "check_schema accepts it" "heartbeat/v1" t
+      | Error e -> Alcotest.failf "heartbeat/v1 rejected by check_schema: %s" e);
+      check kt "gc sub-object"
+        [
+          ("minor_words", "float");
+          ("major_collections", "int");
+          ("heap_words", "int");
+        ]
+        (keys_and_tags (field j "gc"));
+      check cb "state running" true (field j "state" = J.String "running");
+      check ci "sampled rounds" 7
+        (match field j "rounds" with J.Int r -> r | _ -> -1);
+      (* Finishing republishes in place: verdict and checkpoint become
+         strings, nothing else about the shape moves. *)
+      Obs.Heartbeat.set_checkpoint hb "run.ck";
+      Obs.Heartbeat.finish hb ~verdict:"accept";
+      let j = parse_file path in
+      check kt "done key set"
+        (heartbeat_keys ~verdict:"string" ~checkpoint:"string" ~metrics:"null")
+        (keys_and_tags j);
+      check cb "state done" true (field j "state" = J.String "done");
+      check cb "verdict recorded" true (field j "verdict" = J.String "accept");
+      check ci "seq advanced" 2
+        (match field j "seq" with J.Int s -> s | _ -> -1);
+      (* finish is terminal: further publishes must not resurrect it. *)
+      Obs.Heartbeat.publish hb;
+      let j = parse_file path in
+      check ci "seq frozen after finish" 2
+        (match field j "seq" with J.Int s -> s | _ -> -1))
+
+let test_heartbeat_metrics_projection () =
+  (* With the global registry enabled the [metrics] member is the flat
+     stable projection: counters by name, histograms flattened to
+     _sum/_count, each entry {name, value}. *)
+  let module M = Obs.Metrics in
+  let path = Filename.temp_file "hb" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ();
+      Sys.remove path)
+    (fun () ->
+      M.set_enabled true;
+      M.reset ();
+      let c = M.counter "hb_test_counter" in
+      M.inc ~by:3 c;
+      let hb =
+        Obs.Heartbeat.create ~path ~run_id:"r2" ~fingerprint:"fp"
+          ~property:"planarity" ()
+      in
+      Obs.Heartbeat.publish hb;
+      let j = parse_file path in
+      match field j "metrics" with
+      | J.List entries ->
+          check cb "projection non-empty" true (entries <> []);
+          List.iter
+            (fun e ->
+              match keys_and_tags e with
+              | [ ("name", "string"); ("value", ("int" | "float")) ] -> ()
+              | other ->
+                  Alcotest.failf "unexpected entry shape: %s"
+                    (String.concat ";"
+                       (List.map (fun (k, t) -> k ^ ":" ^ t) other)))
+            entries;
+          check cb "our counter present" true
+            (List.exists
+               (fun e -> field e "name" = J.String "hb_test_counter")
+               entries)
+      | other -> Alcotest.failf "metrics is %s, expected list" (tag other))
+
+(* ------------------------------------------------------------------ *)
+(* runs.ledger/v1: the provenance ledger record                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_record =
+  {
+    Report.Ledger.ts = 1700000000.5;
+    tool = "planartest";
+    run_id = "planartest:g.txt:seed=0";
+    fingerprint = "graph=abc eps=0x1p-3 seed=0 alpha=3 faults=none";
+    property = "planarity";
+    config = [ ("eps", "0.2"); ("seed", "0") ];
+    verdict = "accept";
+    digest = "d41d8cd98f00b204e9800998ecf8427e";
+    rounds = 10;
+    nominal_rounds = 12;
+    messages = 5;
+    total_bits = 40;
+    wall_s = 0.25;
+    host = "testhost";
+  }
+
+let test_ledger_schema () =
+  let j = Report.Ledger.to_json sample_record in
+  check kt "record key set, order and types"
+    [
+      ("schema", "string");
+      ("ts", "float");
+      ("tool", "string");
+      ("run_id", "string");
+      ("fingerprint", "string");
+      ("property", "string");
+      ("config", "obj");
+      ("verdict", "string");
+      ("digest", "string");
+      ("rounds", "int");
+      ("nominal_rounds", "int");
+      ("messages", "int");
+      ("total_bits", "int");
+      ("wall_s", "float");
+      ("host", "string");
+    ]
+    (keys_and_tags j);
+  (match Report.check_schema j with
+  | Ok t -> check Alcotest.string "check_schema accepts it" "runs.ledger/v1" t
+  | Error e -> Alcotest.failf "runs.ledger/v1 rejected by check_schema: %s" e);
+  (match Report.Ledger.of_json j with
+  | Ok r -> check cb "of_json round-trips to_json" true (r = sample_record)
+  | Error e -> Alcotest.failf "of_json rejects its own to_json: %s" e);
+  (* The digest is a pure function of the simulated outcome. *)
+  let d ~rounds =
+    Report.Ledger.digest_core ~property:"planarity" ~verdict:"accept" ~rounds
+      ~nominal_rounds:12 ~messages:5 ~total_bits:40 ~fast_forwarded_rounds:2
+      ~dropped:0 ~duplicated:0 ~delayed:0 ~crashed_nodes:0
+  in
+  check Alcotest.string "digest_core deterministic" (d ~rounds:10)
+    (d ~rounds:10);
+  check cb "digest_core sensitive to the core" true
+    (d ~rounds:10 <> d ~rounds:11)
+
+let test_ledger_append_load_torn () =
+  let path = Filename.temp_file "runs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Report.Ledger.append ~path sample_record;
+      Report.Ledger.append ~path { sample_record with rounds = 11 };
+      let records, skipped = Report.Ledger.load path in
+      check ci "two records back" 2 (List.length records);
+      check ci "nothing skipped" 0 skipped;
+      check cb "order preserved" true
+        ((List.nth records 1).Report.Ledger.rounds = 11);
+      (* A crash mid-append tears at most the final line; the reader
+         skips and counts it without losing the earlier records. *)
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 path
+      in
+      output_string oc {|{"schema":"runs.ledg|};
+      close_out oc;
+      let records, skipped = Report.Ledger.load path in
+      check ci "intact records survive the torn tail" 2 (List.length records);
+      check ci "torn line counted" 1 skipped;
+      (* Wrong-schema lines are skipped the same way. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\n{\"schema\":\"metrics/v1\"}\n";
+      close_out oc;
+      let records, skipped = Report.Ledger.load path in
+      check ci "still two records" 2 (List.length records);
+      check ci "two lines skipped now" 2 skipped;
+      (* Missing file is empty, not an error. *)
+      let records, skipped = Report.Ledger.load "/nonexistent/runs.jsonl" in
+      check ci "missing file: no records" 0 (List.length records);
+      check ci "missing file: no skips" 0 skipped)
+
 let () =
   Alcotest.run "report"
     [
@@ -672,6 +894,12 @@ let () =
             test_check_schema;
           Alcotest.test_case "bench.planarity/v1" `Quick test_bench_schema;
           Alcotest.test_case "metrics/v1" `Quick test_metrics_schema;
+          Alcotest.test_case "heartbeat/v1" `Quick test_heartbeat_schema;
+          Alcotest.test_case "heartbeat metrics projection" `Quick
+            test_heartbeat_metrics_projection;
+          Alcotest.test_case "runs.ledger/v1" `Quick test_ledger_schema;
+          Alcotest.test_case "ledger append/load and torn tail" `Quick
+            test_ledger_append_load_torn;
         ] );
       ( "write",
         [
